@@ -1,0 +1,29 @@
+//! Map-matching microbenchmark: the Viterbi look-ahead matcher over noisy
+//! simulated traces (the paper's data-preprocessing step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neat_bench::setup::{dataset, network};
+use neat_mapmatch::{MapMatcher, MatchConfig};
+use neat_mobisim::noise::to_raw_traces;
+use neat_rnet::netgen::MapPreset;
+
+fn bench_mapmatch(c: &mut Criterion) {
+    let net = network(MapPreset::Atlanta, 42);
+    let data = dataset(MapPreset::Atlanta, &net, 25, 42);
+    let traces = to_raw_traces(&data, 8.0, 9);
+    let matcher = MapMatcher::new(&net, MatchConfig::default());
+
+    let mut group = c.benchmark_group("mapmatch");
+    group.sample_size(10);
+    group.bench_function("match_25_noisy_traces_atl", |b| {
+        b.iter(|| {
+            matcher
+                .match_traces(&traces, "bench")
+                .expect("matching succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapmatch);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! TraClus microbenchmarks: the three-component line-segment distance,
+//! MDL partitioning and the O(n²) DBSCAN grouping — the cost centres that
+//! make the baseline three orders of magnitude slower than NEAT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neat_bench::setup::{dataset, network};
+use neat_rnet::netgen::MapPreset;
+use neat_rnet::Point;
+use neat_traclus::distance::segment_distance;
+use neat_traclus::partition::partition_dataset;
+use neat_traclus::{group, TSeg, TraClusConfig};
+use neat_traj::TrajectoryId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_segments(n: usize, seed: u64) -> Vec<TSeg> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen_range(0.0..5000.0);
+            let y = rng.gen_range(0.0..5000.0);
+            TSeg {
+                trajectory: TrajectoryId::new(i as u64),
+                start: Point::new(x, y),
+                end: Point::new(
+                    x + rng.gen_range(-200.0..200.0),
+                    y + rng.gen_range(-200.0..200.0),
+                ),
+            }
+        })
+        .collect()
+}
+
+fn bench_traclus(c: &mut Criterion) {
+    let config = TraClusConfig::default();
+    let segs = random_segments(512, 3);
+
+    let mut group_bench = c.benchmark_group("traclus");
+    group_bench.sample_size(10);
+    group_bench.bench_function("segment_distance_512x512", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..segs.len() {
+                for j in 0..segs.len() {
+                    acc += segment_distance(&segs[i], &segs[j], &config);
+                }
+            }
+            acc
+        })
+    });
+    group_bench.bench_function("dbscan_512_segments", |b| {
+        b.iter(|| group::dbscan(&segs, &config))
+    });
+
+    let net = network(MapPreset::Atlanta, 42);
+    let data = dataset(MapPreset::Atlanta, &net, 50, 42);
+    group_bench.bench_function("mdl_partition_atl50", |b| {
+        b.iter(|| partition_dataset(&data))
+    });
+    group_bench.finish();
+}
+
+criterion_group!(benches, bench_traclus);
+criterion_main!(benches);

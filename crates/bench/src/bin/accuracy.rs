@@ -1,0 +1,202 @@
+//! Cluster-quality evaluation against ground truth.
+//!
+//! The paper supports its "highly accurate" claim with visual comparison
+//! (Figures 3–4). Our simulator knows the ground truth — which
+//! trajectories followed the same origin→destination route — so this
+//! binary scores NEAT and both baselines with pairwise precision /
+//! recall / F1 and the Adjusted Rand Index over trajectory co-membership.
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{experiment_config, network, raw_gps_view};
+use neat_bench::{parse_args, scaled, time};
+use neat_core::evaluation::{assign_trajectories, pairwise_scores};
+use neat_core::{Mode, Neat, NeatConfig};
+use neat_mobisim::generate_dataset_labeled;
+use neat_rnet::netgen::MapPreset;
+use neat_traclus::whole::{cluster_whole_trajectories, WholeConfig};
+use neat_traclus::{TraClus, TraClusConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("accuracy");
+    report.line(
+        "Cluster quality vs simulator ground truth (same-route trajectories belong together)",
+    );
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(300, scale);
+    let preset = neat_mobisim::presets::DatasetPreset::new(MapPreset::Atlanta, n);
+    let (data, gt) =
+        generate_dataset_labeled(&net, &preset.sim_config(), seed.wrapping_add(1), "acc");
+    // Truth classes at the macro granularity: (hotspot region,
+    // destination). Trajectories from the same area to the same place
+    // belong together — the notion of "same traffic" the paper's flows
+    // capture.
+    let mut class_of: HashMap<(usize, usize), usize> = HashMap::new();
+    let truth: HashMap<u64, usize> = data
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            let mc = gt.macro_class(tr.id()).expect("labelled");
+            let next = class_of.len();
+            let c = *class_of.entry(mc).or_insert(next);
+            (tr.id().value(), c)
+        })
+        .collect();
+    report.line(format!(
+        "dataset: {} trajectories, {} points, {} macro OD classes",
+        data.len(),
+        data.total_points(),
+        class_of.len()
+    ));
+
+    let mut rows = Vec::new();
+
+    // NEAT final clusters (moderate epsilon so clusters stay route-scale).
+    let config = NeatConfig {
+        epsilon: 2000.0,
+        ..experiment_config()
+    };
+    let (result, t) = time(|| {
+        Neat::new(&net, config)
+            .run(&data, Mode::Opt)
+            .expect("neat run")
+    });
+    let assigned: HashMap<u64, usize> = assign_trajectories(&result.clusters)
+        .into_iter()
+        .map(|(tr, c)| (tr.value(), c))
+        .collect();
+    let s = pairwise_scores(&truth, &assigned);
+    rows.push(vec![
+        "opt-NEAT (eps=2000m)".into(),
+        result.clusters.len().to_string(),
+        format!("{:.3}", s.precision),
+        format!("{:.3}", s.recall),
+        format!("{:.3}", s.f1),
+        format!("{:.3}", s.adjusted_rand),
+        secs(t),
+    ]);
+
+    // TraClus on the raw GPS view: trajectory assigned to the cluster
+    // holding most of its line segments.
+    let raw = raw_gps_view(&data, seed);
+    let tc = TraClus::new(TraClusConfig {
+        epsilon: 10.0,
+        min_lns: 5,
+        ..TraClusConfig::default()
+    });
+    let (tc_result, t) = time(|| tc.run(&raw));
+    let mut votes: HashMap<u64, HashMap<usize, usize>> = HashMap::new();
+    for (ci, cluster) in tc_result.clusters.iter().enumerate() {
+        for seg in &cluster.segments {
+            *votes
+                .entry(seg.trajectory.value())
+                .or_default()
+                .entry(ci)
+                .or_default() += 1;
+        }
+    }
+    let tc_assigned: HashMap<u64, usize> = votes
+        .into_iter()
+        .map(|(tr, by)| {
+            let best = by
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .expect("voted");
+            (tr, best.0)
+        })
+        .collect();
+    let s = pairwise_scores(&truth, &tc_assigned);
+    rows.push(vec![
+        "TraClus (eps=10m, MinLns=5)".into(),
+        tc_result.clusters.len().to_string(),
+        format!("{:.3}", s.precision),
+        format!("{:.3}", s.recall),
+        format!("{:.3}", s.f1),
+        format!("{:.3}", s.adjusted_rand),
+        secs(t),
+    ]);
+
+    // Whole-trajectory OPTICS.
+    let (w, t) = time(|| {
+        cluster_whole_trajectories(
+            &data,
+            &WholeConfig {
+                eps: 500.0,
+                min_pts: 3,
+                eps_prime: 500.0,
+                time_step_s: 20.0,
+            },
+        )
+    });
+    let mut w_assigned: HashMap<u64, usize> = HashMap::new();
+    for (ci, cluster) in w.clusters.iter().enumerate() {
+        for &idx in cluster {
+            w_assigned.insert(data.trajectories()[idx].id().value(), ci);
+        }
+    }
+    let s = pairwise_scores(&truth, &w_assigned);
+    rows.push(vec![
+        "Trajectory-OPTICS (eps=500m)".into(),
+        w.clusters.len().to_string(),
+        format!("{:.3}", s.precision),
+        format!("{:.3}", s.recall),
+        format!("{:.3}", s.f1),
+        format!("{:.3}", s.adjusted_rand),
+        secs(t),
+    ]);
+
+    report.table(
+        &[
+            "method",
+            "#clusters",
+            "precision",
+            "recall",
+            "F1",
+            "ARI",
+            "time s",
+        ],
+        &rows,
+    );
+
+    // Second granularity: exact (origin, destination) routes. Recall here
+    // shows whether methods at least keep identical-route trips together.
+    let mut route_class: HashMap<_, usize> = HashMap::new();
+    let fine_truth: HashMap<u64, usize> = data
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            let label = gt.labels[&tr.id()];
+            let next = route_class.len();
+            let c = *route_class.entry(label).or_insert(next);
+            (tr.id().value(), c)
+        })
+        .collect();
+    report.line("");
+    report.line(format!(
+        "exact-route granularity ({} distinct routes): recall of identical-route pairs",
+        route_class.len()
+    ));
+    let mut rows = Vec::new();
+    for (name, assigned) in [
+        ("opt-NEAT", &assigned),
+        ("TraClus", &tc_assigned),
+        ("Trajectory-OPTICS", &w_assigned),
+    ] {
+        let s = pairwise_scores(&fine_truth, assigned);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", s.recall),
+            format!("{:.3}", s.precision),
+        ]);
+    }
+    report.table(&["method", "same-route recall", "precision"], &rows);
+    report.line(
+        "shape check (paper): NEAT groups same-route traffic better than the Euclidean baselines",
+    );
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

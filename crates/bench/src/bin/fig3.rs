@@ -1,0 +1,78 @@
+//! Figure 3 — visualisation of NEAT clustering on ATL500.
+//!
+//! Reproduces the three panels as SVGs (input data, flow clusters, final
+//! clusters with ε = 6500 m / minCard = 5) and prints the cluster counts
+//! the paper reports: 31 flow clusters merging into 2 final clusters.
+
+use neat_bench::report::Report;
+use neat_bench::setup::{dataset, experiment_config, network};
+use neat_bench::{parse_args, scaled, time};
+use neat_core::{Mode, Neat};
+use neat_rnet::netgen::MapPreset;
+use neat_viz::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("fig3");
+    report
+        .line("Figure 3: NEAT clustering of ATL500 (paper: 31 flow clusters -> 2 final clusters)");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(500, scale);
+    let data = dataset(MapPreset::Atlanta, &net, n, seed);
+    report.line(format!(
+        "dataset: {} trajectories, {} points",
+        data.len(),
+        data.total_points()
+    ));
+
+    let neat = Neat::new(&net, experiment_config());
+    let (result, elapsed) = time(|| neat.run(&data, Mode::Opt).expect("neat run"));
+    report.line(format!(
+        "flow clusters (minCard=5): {}   (paper: 31)",
+        result.flow_clusters.len()
+    ));
+    report.line(format!(
+        "final clusters (eps=6500m): {}   (paper: 2)",
+        result.clusters.len()
+    ));
+    report.line(format!(
+        "opt-NEAT total time: {:.2}s",
+        elapsed.as_secs_f64()
+    ));
+    for (i, c) in result.clusters.iter().enumerate() {
+        report.line(format!(
+            "  cluster {}: {} flows, {} trajectories, {:.1} km of routes",
+            i,
+            c.flows().len(),
+            c.trajectory_cardinality(),
+            c.total_route_length(&net) / 1000.0
+        ));
+    }
+
+    for (name, svg) in [
+        (
+            "fig3a_input.svg",
+            render::render_dataset_with_markers(&net, &data),
+        ),
+        (
+            "fig3b_flows.svg",
+            render::render_flow_clusters(&net, &result.flow_clusters),
+        ),
+        (
+            "fig3c_clusters.svg",
+            render::render_trajectory_clusters(&net, &result.clusters),
+        ),
+        ("fig3d_density.svg", {
+            let base = neat.run(&data, Mode::Base).expect("base run");
+            render::render_density(&net, &base.base_clusters)
+        }),
+    ] {
+        let path = Report::save_artifact(name, &svg).expect("write svg");
+        report.line(format!("wrote {}", path.display()));
+    }
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

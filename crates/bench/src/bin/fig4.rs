@@ -1,0 +1,81 @@
+//! Figure 4 — TraClus on ATL500 with the paper's two parameterisations:
+//! the tuned setting (ε = 10 m, MinLns = 30 → 81 clusters) and the
+//! degenerate setting (ε = 1 m, MinLns = 1 → 460 clusters).
+
+use neat_bench::report::Report;
+use neat_bench::setup::{dataset, network, raw_gps_view};
+use neat_bench::{parse_args, scaled, time};
+use neat_rnet::netgen::MapPreset;
+use neat_traclus::{TraClus, TraClusConfig};
+use neat_viz::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("fig4");
+    report.line("Figure 4: TraClus on ATL500");
+    report.line("paper: eps=10m/MinLns=30 -> 81 clusters; eps=1m/MinLns=1 -> 460 clusters");
+    report.line("our sweep (results/traclus_sweep.txt) tunes MinLns=5 for the synthetic geometry");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(500, scale);
+    let data = raw_gps_view(&dataset(MapPreset::Atlanta, &net, n, seed), seed);
+    report.line(format!(
+        "dataset: {} trajectories, {} points",
+        data.len(),
+        data.total_points()
+    ));
+
+    let mut rows = Vec::new();
+    for (label, eps, min_lns, paper, svg_name) in [
+        ("tuned", 10.0, 5usize, 81usize, "fig4a_tuned.svg"),
+        ("degenerate", 1.0, 1usize, 460usize, "fig4b_degenerate.svg"),
+    ] {
+        let tc = TraClus::new(TraClusConfig {
+            epsilon: eps,
+            min_lns,
+            ..TraClusConfig::default()
+        });
+        let (result, elapsed) = time(|| tc.run(&data));
+        let avg_rep: f64 = if result.clusters.is_empty() {
+            0.0
+        } else {
+            result
+                .clusters
+                .iter()
+                .map(|c| c.representative_length())
+                .sum::<f64>()
+                / result.clusters.len() as f64
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{eps}"),
+            min_lns.to_string(),
+            paper.to_string(),
+            result.clusters.len().to_string(),
+            result.noise.to_string(),
+            result.total_segments.to_string(),
+            format!("{:.1}", avg_rep),
+            format!("{:.2}s", elapsed.as_secs_f64()),
+        ]);
+        let svg = render::render_traclus(&net, &result);
+        Report::save_artifact(svg_name, &svg).expect("write svg");
+    }
+    report.table(
+        &[
+            "setting",
+            "eps",
+            "MinLns",
+            "paper #clusters",
+            "measured #clusters",
+            "noise",
+            "line segs",
+            "avg rep len m",
+            "time",
+        ],
+        &rows,
+    );
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

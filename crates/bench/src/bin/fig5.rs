@@ -1,0 +1,129 @@
+//! Figure 5 — flow-NEAT vs TraClus on the ATL datasets:
+//! (a) average representative-route length, (b) maximum representative-
+//! route length, (c) number of resulting clusters, (d) running time
+//! (semi-log in the paper; we print the raw seconds).
+//!
+//! TraClus is O(n²) in the number of partitioned line segments; the paper
+//! itself needed 334 735 s (≈ 3.9 days) for ATL5000. `--cap <objects>`
+//! bounds the measured baseline (default 500 objects); larger datasets
+//! get a quadratic extrapolation from the largest measured run, marked
+//! `~` in the output.
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{dataset, experiment_config, network, raw_gps_view};
+use neat_bench::{parse_bench_args, scaled, time};
+use neat_core::{Mode, Neat};
+use neat_mobisim::presets::OBJECT_COUNTS;
+use neat_rnet::netgen::MapPreset;
+use neat_traclus::{TraClus, TraClusConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let a = parse_bench_args(&args);
+    let cap = a.cap.unwrap_or(500);
+    let mut report = Report::new("fig5");
+    report.line("Figure 5: flow-NEAT vs TraClus on ATL datasets");
+    report.line(format!(
+        "scale = {}, seed = {}, traclus measured up to {cap} objects (`~` = quadratic extrapolation)",
+        a.scale, a.seed
+    ));
+
+    let net = network(MapPreset::Atlanta, a.seed);
+    let neat = Neat::new(&net, experiment_config());
+    // Tuned for our synthetic geometry by the traclus_sweep binary (the
+    // paper's visual-inspection tuning arrived at eps=10 m, MinLns=30 for
+    // its USGS traces).
+    let traclus = TraClus::new(TraClusConfig {
+        epsilon: 10.0,
+        min_lns: 5,
+        ..TraClusConfig::default()
+    });
+
+    // (points, measured seconds) of the largest measured TraClus run, for
+    // extrapolation.
+    let mut last_measured: Option<(f64, f64)> = None;
+    let mut rows = Vec::new();
+    for (i, &objects) in OBJECT_COUNTS.iter().enumerate() {
+        let n = scaled(objects, a.scale);
+        let data = dataset(MapPreset::Atlanta, &net, n, a.seed.wrapping_add(i as u64));
+        let points = data.total_points();
+
+        // flow-NEAT lengths/counts + opt-NEAT runtime (the paper's
+        // "NEAT" timing curve runs all three phases).
+        let (flow_result, _) = time(|| neat.run(&data, Mode::Flow).expect("flow-NEAT"));
+        let (opt_result, neat_time) = time(|| neat.run(&data, Mode::Opt).expect("opt-NEAT"));
+        let lens: Vec<f64> = flow_result
+            .flow_clusters
+            .iter()
+            .map(|f| f.route_length(&net))
+            .collect();
+        let neat_avg = if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<f64>() / lens.len() as f64
+        };
+        let neat_max = lens.iter().copied().fold(0.0f64, f64::max);
+
+        // TraClus baseline (measured or extrapolated) on the raw GPS
+        // view of the same trips.
+        let raw = raw_gps_view(&data, a.seed);
+        let (tc_avg, tc_max, tc_count, tc_time) = if n <= cap {
+            let (r, t) = time(|| traclus.run(&raw));
+            last_measured = Some((points as f64, t.as_secs_f64()));
+            let reps: Vec<f64> = r
+                .clusters
+                .iter()
+                .map(|c| c.representative_length())
+                .collect();
+            let avg = if reps.is_empty() {
+                0.0
+            } else {
+                reps.iter().sum::<f64>() / reps.len() as f64
+            };
+            (
+                format!("{avg:.0}"),
+                format!("{:.0}", reps.iter().copied().fold(0.0f64, f64::max)),
+                r.clusters.len().to_string(),
+                secs(t),
+            )
+        } else if let Some((p0, t0)) = last_measured {
+            let est = t0 * (points as f64 / p0).powi(2);
+            ("-".into(), "-".into(), "-".into(), format!("~{est:.0}"))
+        } else {
+            ("-".into(), "-".into(), "-".into(), "-".into())
+        };
+
+        rows.push(vec![
+            format!("ATL{objects}"),
+            points.to_string(),
+            format!("{neat_avg:.0}"),
+            format!("{neat_max:.0}"),
+            flow_result.flow_clusters.len().to_string(),
+            secs(neat_time),
+            tc_avg,
+            tc_max,
+            tc_count,
+            tc_time,
+            opt_result.clusters.len().to_string(),
+        ]);
+    }
+    report.table(
+        &[
+            "dataset",
+            "points",
+            "NEAT avg len m",
+            "NEAT max len m",
+            "NEAT #flows",
+            "NEAT s",
+            "TC avg len m",
+            "TC max len m",
+            "TC #clusters",
+            "TC s",
+            "NEAT #final",
+        ],
+        &rows,
+    );
+    report.line("shape checks (paper): NEAT routes longer on average & max; NEAT fewer clusters; NEAT >1000x faster at scale");
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,80 @@
+//! Figure 6 — performance of the NEAT versions:
+//! (a) base-/flow-/opt-NEAT runtime scaling over the MIA datasets
+//!     (near-linear; the opt curve nearly overlaps flow thanks to ELB);
+//! (b) relative cost of Phase 1 vs Phase 2 (Phase 1 dominates because it
+//!     scans every location, while Phase 2 only touches base clusters).
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{dataset, experiment_config, network};
+use neat_bench::{parse_args, scaled, time};
+use neat_core::{Mode, Neat};
+use neat_mobisim::presets::OBJECT_COUNTS;
+use neat_rnet::netgen::MapPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("fig6");
+    report.line("Figure 6(a): base/flow/opt-NEAT runtime scaling (MIA datasets)");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Miami, seed);
+    let neat = Neat::new(&net, experiment_config());
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    for (i, &objects) in OBJECT_COUNTS.iter().enumerate() {
+        let n = scaled(objects, scale);
+        let data = dataset(MapPreset::Miami, &net, n, seed.wrapping_add(i as u64));
+        let points = data.total_points();
+
+        let (_, base_t) = time(|| neat.run(&data, Mode::Base).expect("base"));
+        let (_, flow_t) = time(|| neat.run(&data, Mode::Flow).expect("flow"));
+        let (opt, opt_t) = time(|| neat.run(&data, Mode::Opt).expect("opt"));
+        rows_a.push(vec![
+            format!("MIA{objects}"),
+            points.to_string(),
+            secs(base_t),
+            secs(flow_t),
+            secs(opt_t),
+            opt.flow_clusters.len().to_string(),
+            opt.clusters.len().to_string(),
+        ]);
+        // Phase breakdown from the opt run's internal timings.
+        let p1 = opt.timings.phase1.as_secs_f64();
+        let p2 = opt.timings.phase2.as_secs_f64();
+        let p3 = opt.timings.phase3.as_secs_f64();
+        let total = (p1 + p2 + p3).max(f64::MIN_POSITIVE);
+        rows_b.push(vec![
+            format!("MIA{objects}"),
+            format!("{p1:.3}"),
+            format!("{p2:.3}"),
+            format!("{p3:.3}"),
+            format!("{:.1}%", 100.0 * p1 / total),
+            format!("{:.1}%", 100.0 * p2 / total),
+            format!("{:.1}%", 100.0 * p3 / total),
+        ]);
+    }
+    report.table(
+        &[
+            "dataset",
+            "points",
+            "base-NEAT s",
+            "flow-NEAT s",
+            "opt-NEAT s",
+            "#flows",
+            "#final",
+        ],
+        &rows_a,
+    );
+    report.line("");
+    report.line("Figure 6(b): phase breakdown within opt-NEAT");
+    report.table(
+        &[
+            "dataset", "phase1 s", "phase2 s", "phase3 s", "p1 %", "p2 %", "p3 %",
+        ],
+        &rows_b,
+    );
+    report.line("shape checks (paper): near-linear scaling; opt ~= flow; phase1 > phase2");
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

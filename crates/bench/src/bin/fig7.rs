@@ -1,0 +1,72 @@
+//! Figure 7 — effectiveness of the Euclidean lower bound: opt-NEAT with
+//! the ELB filter (plus bounded A*) vs opt-NEAT computing all shortest
+//! paths with plain Dijkstra network expansion, on the ATL (7a) and SJ
+//! (7b) dataset series. The Dijkstra curve's cost tracks the number of
+//! flows produced by Phase 2, not the data size (cf. Table III).
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{dataset, experiment_config, network};
+use neat_bench::{parse_args, scaled, time};
+use neat_core::{Mode, Neat, NeatConfig, SpStrategy};
+use neat_mobisim::presets::OBJECT_COUNTS;
+use neat_rnet::netgen::MapPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("fig7");
+    report.line("Figure 7: opt-NEAT-ELB vs opt-NEAT-Dijkstra (Phase-3 ablation)");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    for (panel, map) in [
+        ("7(a) ATL", MapPreset::Atlanta),
+        ("7(b) SJ", MapPreset::SanJose),
+    ] {
+        report.line("");
+        report.line(format!("Figure {panel} datasets"));
+        let net = network(map, seed);
+        let elb_cfg = experiment_config();
+        let dij_cfg = NeatConfig {
+            use_elb: false,
+            sp_strategy: SpStrategy::Dijkstra,
+            ..experiment_config()
+        };
+        let elb = Neat::new(&net, elb_cfg);
+        let dij = Neat::new(&net, dij_cfg);
+        let mut rows = Vec::new();
+        for (i, &objects) in OBJECT_COUNTS.iter().enumerate() {
+            let n = scaled(objects, scale);
+            let data = dataset(map, &net, n, seed.wrapping_add(i as u64));
+            let (r_elb, t_elb) = time(|| elb.run(&data, Mode::Opt).expect("elb run"));
+            let (r_dij, t_dij) = time(|| dij.run(&data, Mode::Opt).expect("dijkstra run"));
+            rows.push(vec![
+                format!("{}{objects}", map.code()),
+                r_elb.flow_clusters.len().to_string(),
+                secs(t_elb),
+                secs(t_dij),
+                format!("{:.3}", r_elb.timings.phase3.as_secs_f64()),
+                format!("{:.3}", r_dij.timings.phase3.as_secs_f64()),
+                r_elb.phase3_stats.elb_skips.to_string(),
+                r_elb.phase3_stats.sp_computations.to_string(),
+                r_dij.phase3_stats.sp_computations.to_string(),
+            ]);
+        }
+        report.table(
+            &[
+                "dataset",
+                "#flows",
+                "ELB total s",
+                "Dij total s",
+                "ELB p3 s",
+                "Dij p3 s",
+                "ELB skips",
+                "ELB SPs",
+                "Dij SPs",
+            ],
+            &rows,
+        );
+    }
+    report.line("shape checks (paper): Dijkstra phase-3 cost tracks #flows, ELB curve far below");
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

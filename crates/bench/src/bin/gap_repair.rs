@@ -1,0 +1,81 @@
+//! Gap-repair ablation: Phase 1 with and without junction insertion under
+//! GPS dropout.
+//!
+//! Section III-A1 of the paper inserts junction nodes between
+//! non-contiguous samples via shortest-path recovery, so segments
+//! traversed *between* surviving samples still contribute t-fragments.
+//! This experiment drops a fraction of samples and measures how much
+//! segment coverage the repair preserves relative to naive splitting.
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::network;
+use neat_bench::{parse_args, scaled, time};
+use neat_core::phase1::form_base_clusters;
+use neat_mobisim::generate_dataset;
+use neat_rnet::netgen::MapPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("gap_repair");
+    report.line("Phase-1 gap repair ablation under GPS dropout (ATL)");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(200, scale);
+    let preset = neat_mobisim::presets::DatasetPreset::new(MapPreset::Atlanta, n);
+
+    // Ground-truth coverage from the dropout-free dataset.
+    let full = generate_dataset(&net, &preset.sim_config(), seed + 1, "full");
+    let truth = form_base_clusters(&net, &full, true).expect("phase1");
+    let truth_segments = truth.base_clusters.len();
+    report.line(format!(
+        "dropout-free reference: {} trajectories covering {} segments",
+        full.len(),
+        truth_segments
+    ));
+
+    let mut rows = Vec::new();
+    for dropout in [0.0, 0.3, 0.6, 0.8, 0.9] {
+        let mut cfg = preset.sim_config();
+        cfg.sample_dropout = dropout;
+        let data = generate_dataset(&net, &cfg, seed + 1, "drop");
+        let (with_repair, t_repair) =
+            time(|| form_base_clusters(&net, &data, true).expect("phase1"));
+        let (without, t_naive) = time(|| form_base_clusters(&net, &data, false).expect("phase1"));
+        rows.push(vec![
+            format!("{:.0}%", dropout * 100.0),
+            data.total_points().to_string(),
+            format!(
+                "{} ({:.1}%)",
+                with_repair.base_clusters.len(),
+                100.0 * with_repair.base_clusters.len() as f64 / truth_segments as f64
+            ),
+            format!(
+                "{} ({:.1}%)",
+                without.base_clusters.len(),
+                100.0 * without.base_clusters.len() as f64 / truth_segments as f64
+            ),
+            with_repair.fragment_count.to_string(),
+            without.fragment_count.to_string(),
+            secs(t_repair),
+            secs(t_naive),
+        ]);
+    }
+    report.table(
+        &[
+            "dropout",
+            "points",
+            "covered segs (repair)",
+            "covered segs (naive)",
+            "fragments (repair)",
+            "fragments (naive)",
+            "repair s",
+            "naive s",
+        ],
+        &rows,
+    );
+    report.line("expectation: repair holds coverage near 100% of the reference while naive splitting loses the segments traversed between surviving samples");
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

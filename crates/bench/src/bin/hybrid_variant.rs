@@ -1,0 +1,66 @@
+//! Section IV-C variant experiment — TraClus given NEAT's preprocessing:
+//! the grouping phase runs over NEAT base clusters with the modified
+//! Hausdorff network distance. The paper reports that even so, the
+//! variant needs 6 396.79 s on SJ2000 (117 clusters) while NEAT delivers
+//! 42 flow clusters / 14 final clusters in 11.68 s.
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{dataset, experiment_config, network};
+use neat_bench::{parse_bench_args, scaled, time};
+use neat_core::{Mode, Neat};
+use neat_rnet::netgen::MapPreset;
+use neat_traclus::hybrid::{cluster_base_clusters, HybridConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let a = parse_bench_args(&args);
+    let mut report = Report::new("hybrid_variant");
+    report.line("Section IV-C: TraClus hybrid variant vs NEAT on SJ2000");
+    report.line("paper: hybrid 6396.79s / 117 clusters; NEAT 11.68s / 42 flows + 14 final");
+    report.line(format!("scale = {}, seed = {}", a.scale, a.seed));
+
+    let net = network(MapPreset::SanJose, a.seed);
+    let n = scaled(2000, a.scale);
+    let data = dataset(MapPreset::SanJose, &net, n, a.seed);
+    report.line(format!(
+        "dataset: {} trajectories, {} points",
+        data.len(),
+        data.total_points()
+    ));
+
+    // NEAT (all three phases).
+    let neat = Neat::new(&net, experiment_config());
+    let (neat_result, neat_time) = time(|| neat.run(&data, Mode::Opt).expect("neat"));
+    report.line(format!(
+        "NEAT: {} t-fragments, {} base clusters, {} flow clusters, {} final clusters in {}s",
+        neat_result.fragment_count,
+        neat_result.base_cluster_count,
+        neat_result.flow_clusters.len(),
+        neat_result.clusters.len(),
+        secs(neat_time)
+    ));
+
+    // Hybrid variant: Phase 1 output handed to a Hausdorff DBSCAN.
+    let (p1, p1_time) = time(|| neat.run(&data, Mode::Base).expect("phase1"));
+    let hybrid_cfg = HybridConfig {
+        epsilon: 135.0,
+        min_pts: 2,
+    };
+    let (hybrid, hybrid_time) =
+        time(|| cluster_base_clusters(&net, p1.base_clusters.clone(), &hybrid_cfg));
+    report.line(format!(
+        "hybrid: {} clusters, {} noise, {} network-distance computations in {}s (+{}s shared phase 1)",
+        hybrid.clusters.len(),
+        hybrid.noise,
+        hybrid.distance_computations,
+        secs(hybrid_time),
+        secs(p1_time)
+    ));
+    let speedup = hybrid_time.as_secs_f64() / neat_time.as_secs_f64().max(1e-9);
+    report.line(format!(
+        "hybrid/NEAT time ratio: {speedup:.1}x (paper: ~548x)"
+    ));
+    report.line("shape check (paper): hybrid slower than NEAT by orders of magnitude, more fragmented clusters");
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,56 @@
+//! Map-matcher accuracy sweep: exact and within-one-segment accuracy of
+//! the SLAMM-style look-ahead matcher as GPS noise grows — validating the
+//! preprocessing substrate the NEAT pipeline relies on (Section III-A1).
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{dataset, network};
+use neat_bench::{parse_args, scaled, time};
+use neat_mapmatch::{evaluate, MapMatcher, MatchConfig};
+use neat_mobisim::noise::to_raw_traces;
+use neat_rnet::netgen::MapPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("mapmatch_eval");
+    report.line("Map-matching accuracy vs GPS noise (SLAMM-style look-ahead matcher, ATL)");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(100, scale);
+    let truth = dataset(MapPreset::Atlanta, &net, n, seed);
+    report.line(format!(
+        "ground truth: {} trajectories, {} points (avg segment length ≈ 151 m)",
+        truth.len(),
+        truth.total_points()
+    ));
+
+    let matcher = MapMatcher::new(&net, MatchConfig::default());
+    let mut rows = Vec::new();
+    for noise in [0.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
+        let raw = to_raw_traces(&truth, noise, seed ^ 77);
+        let ((matched, skipped), t) =
+            time(|| matcher.match_traces(&raw, "eval").expect("matching"));
+        let ev = evaluate(&net, &truth, &matched);
+        rows.push(vec![
+            format!("{noise}"),
+            format!("{:.1}%", 100.0 * ev.accuracy()),
+            format!("{:.1}%", 100.0 * ev.relaxed_accuracy()),
+            skipped.to_string(),
+            secs(t),
+        ]);
+    }
+    report.table(
+        &[
+            "noise std m",
+            "exact accuracy",
+            "within one segment",
+            "skipped traces",
+            "time s",
+        ],
+        &rows,
+    );
+    report.line("expectation: ~95% exact at GPS-grade noise (5 m), 100% within one segment, graceful degradation beyond");
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

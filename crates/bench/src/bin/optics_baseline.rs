@@ -1,0 +1,82 @@
+//! Whole-trajectory OPTICS baseline (reference \[24\] of the paper).
+//!
+//! The paper's related-work section argues that clustering trajectories
+//! *as a whole* misses shared sub-routes: objects travelling the same
+//! corridor at different times (or continuing to different destinations)
+//! are far apart under the time-averaged Euclidean distance. This binary
+//! quantifies that on our traffic: NEAT discovers the shared flows, while
+//! Trajectory-OPTICS mostly reports noise because departures are
+//! staggered.
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{dataset, experiment_config, network};
+use neat_bench::{parse_args, scaled, time};
+use neat_core::{Mode, Neat};
+use neat_rnet::netgen::MapPreset;
+use neat_traclus::whole::{cluster_whole_trajectories, WholeConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("optics_baseline");
+    report.line("Whole-trajectory OPTICS (Trajectory-OPTICS [24]) vs NEAT on ATL traffic");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(300, scale);
+    let data = dataset(MapPreset::Atlanta, &net, n, seed);
+    report.line(format!(
+        "dataset: {} trajectories, {} points (departures staggered over 300 s)",
+        data.len(),
+        data.total_points()
+    ));
+
+    let (neat_result, neat_time) = time(|| {
+        Neat::new(&net, experiment_config())
+            .run(&data, Mode::Opt)
+            .expect("neat")
+    });
+    report.line(format!(
+        "NEAT: {} flows -> {} clusters covering {} trajectories in {}s",
+        neat_result.flow_clusters.len(),
+        neat_result.clusters.len(),
+        neat_result
+            .clusters
+            .iter()
+            .map(|c| c.trajectory_cardinality())
+            .sum::<usize>(),
+        secs(neat_time)
+    ));
+
+    let mut rows = Vec::new();
+    for eps in [100.0, 300.0, 1000.0] {
+        let cfg = WholeConfig {
+            eps,
+            min_pts: 3,
+            eps_prime: eps,
+            time_step_s: 10.0,
+        };
+        let (r, t) = time(|| cluster_whole_trajectories(&data, &cfg));
+        let clustered: usize = r.clusters.iter().map(Vec::len).sum();
+        rows.push(vec![
+            format!("{eps}"),
+            r.clusters.len().to_string(),
+            clustered.to_string(),
+            r.noise.to_string(),
+            secs(t),
+        ]);
+    }
+    report.table(
+        &[
+            "eps (m)",
+            "#clusters",
+            "clustered trajs",
+            "noise trajs",
+            "time s",
+        ],
+        &rows,
+    );
+    report.line("shape check (paper §V): whole-trajectory clustering leaves most staggered traffic unclustered / coarse, and costs O(n^2) trajectory-pair distances");
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,51 @@
+//! Table I — road networks used in the experiments.
+//!
+//! Regenerates the paper's network-statistics table for the three
+//! synthetic stand-in maps and prints paper-vs-measured rows.
+
+use neat_bench::report::Report;
+use neat_bench::{parse_args, time};
+use neat_rnet::netgen::MapPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_scale, seed) = parse_args(&args);
+    let mut report = Report::new("table1");
+    report.line("Table I: road networks (paper value / measured value of synthetic stand-in)");
+    report.line(format!("seed = {seed}"));
+
+    let mut rows = Vec::new();
+    for map in MapPreset::all() {
+        let paper = map.paper_stats();
+        let (net, gen_time) = time(|| map.generate(seed));
+        let got = net.stats();
+        rows.push(vec![
+            map.code().to_string(),
+            format!("{} / {}", paper.junctions, got.junctions),
+            format!("{} / {}", paper.segments, got.segments),
+            format!("{:.1} / {:.1}", paper.total_length_km, got.total_length_km),
+            format!(
+                "{:.1} / {:.1}",
+                paper.avg_segment_length_m, got.avg_segment_length_m
+            ),
+            format!("{:.1} / {:.2}", paper.avg_degree, got.avg_degree),
+            format!("{} / {}", paper.max_degree, got.max_degree),
+            format!("{:.2}s", gen_time.as_secs_f64()),
+        ]);
+    }
+    report.table(
+        &[
+            "map",
+            "junctions",
+            "segments",
+            "total km",
+            "avg seg m",
+            "avg deg",
+            "max deg",
+            "gen time",
+        ],
+        &rows,
+    );
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

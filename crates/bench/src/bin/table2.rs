@@ -1,0 +1,57 @@
+//! Table II — datasets used in the experiments.
+//!
+//! Generates all fifteen datasets ({ATL, SJ, MIA} × {500…5000}) and
+//! reports paper point counts vs measured point counts of the synthetic
+//! stand-ins.
+
+use neat_bench::report::Report;
+use neat_bench::{parse_args, scaled, time};
+use neat_mobisim::presets::{DatasetPreset, OBJECT_COUNTS};
+use neat_rnet::netgen::MapPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("table2");
+    report.line("Table II: datasets (points: paper / measured)");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let mut rows = Vec::new();
+    for map in MapPreset::all() {
+        let net = neat_bench::setup::network(map, seed);
+        for &objects in &OBJECT_COUNTS {
+            let n = scaled(objects, scale);
+            let preset = DatasetPreset::new(map, objects);
+            let (data, gen_time) =
+                time(|| DatasetPreset::new(map, n).generate_on(&net, seed.wrapping_add(1)));
+            let paper = preset
+                .paper_points()
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into());
+            rows.push(vec![
+                preset.label(),
+                n.to_string(),
+                paper,
+                data.total_points().to_string(),
+                format!(
+                    "{:.1}",
+                    data.total_points() as f64 / data.len().max(1) as f64
+                ),
+                format!("{:.2}s", gen_time.as_secs_f64()),
+            ]);
+        }
+    }
+    report.table(
+        &[
+            "dataset",
+            "objects",
+            "paper points",
+            "measured points",
+            "pts/object",
+            "gen time",
+        ],
+        &rows,
+    );
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Parameter sweep for the TraClus baseline — the equivalent of the
+//! paper's "vary ε from 1 m to 50 m and choose MinLns by visual
+//! inspection" tuning procedure (Section IV-C), needed because the
+//! optimal (ε, MinLns) depends on the dataset geometry.
+
+use neat_bench::report::{secs, Report};
+use neat_bench::setup::{dataset, network, raw_gps_view};
+use neat_bench::{parse_args, scaled, time};
+use neat_rnet::netgen::MapPreset;
+use neat_traclus::{TraClus, TraClusConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("traclus_sweep");
+    report.line("TraClus parameter sweep on ATL500 (tuning procedure of Section IV-C)");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(500, scale);
+    let data = raw_gps_view(&dataset(MapPreset::Atlanta, &net, n, seed), seed);
+    report.line(format!(
+        "dataset: {} trajectories, {} points",
+        data.len(),
+        data.total_points()
+    ));
+
+    // The TraClus authors' entropy heuristic, run on a sample of the
+    // partitioned segments (quadratic scan).
+    let sample: Vec<_> = neat_traclus::partition::partition_dataset(&data)
+        .into_iter()
+        .take(800)
+        .collect();
+    if let Some((eps, min_lns)) = neat_traclus::estimate_parameters(
+        &sample,
+        &[1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0],
+        &neat_traclus::TraClusConfig::default(),
+    ) {
+        report.line(format!(
+            "entropy heuristic (800-segment sample): eps = {eps}, MinLns = {min_lns}"
+        ));
+    }
+
+    let mut rows = Vec::new();
+    for eps in [1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
+        for min_lns in [1usize, 5, 10, 30] {
+            let tc = TraClus::new(TraClusConfig {
+                epsilon: eps,
+                min_lns,
+                ..TraClusConfig::default()
+            });
+            let (r, t) = time(|| tc.run(&data));
+            let avg_rep = if r.clusters.is_empty() {
+                0.0
+            } else {
+                r.clusters
+                    .iter()
+                    .map(|c| c.representative_length())
+                    .sum::<f64>()
+                    / r.clusters.len() as f64
+            };
+            rows.push(vec![
+                format!("{eps}"),
+                min_lns.to_string(),
+                r.clusters.len().to_string(),
+                r.noise.to_string(),
+                r.total_segments.to_string(),
+                format!("{avg_rep:.0}"),
+                secs(t),
+            ]);
+        }
+    }
+    report.table(
+        &[
+            "eps",
+            "MinLns",
+            "#clusters",
+            "noise",
+            "segments",
+            "avg rep m",
+            "time",
+        ],
+        &rows,
+    );
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,133 @@
+//! Ablation of the Phase-2 merging controls (Section III-B2): the
+//! selectivity weights `(wq, wk, wv)` and the netflow-domination
+//! threshold β. The paper discusses these qualitatively ("the setting of
+//! the weights is usually determined by the specific location-based
+//! applications"); this sweep quantifies their effect on the discovered
+//! flows.
+
+use neat_bench::report::Report;
+use neat_bench::setup::{dataset, network};
+use neat_bench::{parse_args, scaled, time};
+use neat_core::{Mode, Neat, NeatConfig, Weights};
+use neat_rnet::netgen::MapPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, seed) = parse_args(&args);
+    let mut report = Report::new("weights_ablation");
+    report.line("Ablation: merging-selectivity weights and beta on ATL500");
+    report.line(format!("scale = {scale}, seed = {seed}"));
+
+    let net = network(MapPreset::Atlanta, seed);
+    let n = scaled(500, scale);
+    let data = dataset(MapPreset::Atlanta, &net, n, seed);
+    report.line(format!(
+        "dataset: {} trajectories, {} points",
+        data.len(),
+        data.total_points()
+    ));
+
+    let weight_settings: [(&str, Weights); 5] = [
+        ("balanced (1/3,1/3,1/3)", Weights::balanced()),
+        ("flow only (1,0,0)", Weights::flow_only()),
+        ("density only (0,1,0)", Weights::density_only()),
+        ("speed only (0,0,1)", Weights::speed_only()),
+        (
+            "traffic monitoring (1/2,1/2,0)",
+            Weights::traffic_monitoring(),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, weights) in weight_settings {
+        let config = NeatConfig {
+            weights,
+            min_card: 5,
+            ..NeatConfig::default()
+        };
+        let (r, t) = time(|| Neat::new(&net, config).run(&data, Mode::Flow).expect("run"));
+        rows.push(stats_row(name, &net, &r, t));
+    }
+    report.line("");
+    report.line("weight sweep (beta = +inf):");
+    report.table(
+        &[
+            "setting",
+            "#flows",
+            "avg len m",
+            "max len m",
+            "avg card",
+            "avg speed limit m/s",
+            "time s",
+        ],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for beta in [1.0, 1.5, 2.0, 5.0, 10.0, f64::INFINITY] {
+        let config = NeatConfig {
+            weights: Weights::flow_only(),
+            beta,
+            min_card: 5,
+            ..NeatConfig::default()
+        };
+        let (r, t) = time(|| Neat::new(&net, config).run(&data, Mode::Flow).expect("run"));
+        rows.push(stats_row(&format!("beta = {beta}"), &net, &r, t));
+    }
+    report.line("");
+    report.line("beta sweep (flow-only weights):");
+    report.table(
+        &[
+            "setting",
+            "#flows",
+            "avg len m",
+            "max len m",
+            "avg card",
+            "avg speed limit m/s",
+            "time s",
+        ],
+        &rows,
+    );
+    let path = report.save().expect("write results");
+    eprintln!("saved {}", path.display());
+}
+
+fn stats_row(
+    name: &str,
+    net: &neat_rnet::RoadNetwork,
+    r: &neat_core::NeatResult,
+    t: std::time::Duration,
+) -> Vec<String> {
+    let lens: Vec<f64> = r
+        .flow_clusters
+        .iter()
+        .map(|f| f.route_length(net))
+        .collect();
+    let cards: Vec<f64> = r
+        .flow_clusters
+        .iter()
+        .map(|f| f.trajectory_cardinality() as f64)
+        .collect();
+    let speeds: Vec<f64> = r
+        .flow_clusters
+        .iter()
+        .flat_map(|f| f.route())
+        .filter_map(|s| net.segment(s).ok())
+        .map(|s| s.speed_limit)
+        .collect();
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    vec![
+        name.to_string(),
+        r.flow_clusters.len().to_string(),
+        format!("{:.0}", avg(&lens)),
+        format!("{:.0}", lens.iter().copied().fold(0.0f64, f64::max)),
+        format!("{:.1}", avg(&cards)),
+        format!("{:.1}", avg(&speeds)),
+        format!("{:.3}", t.as_secs_f64()),
+    ]
+}

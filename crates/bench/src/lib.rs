@@ -1,0 +1,148 @@
+//! Experiment harness regenerating every table and figure of the NEAT
+//! paper.
+//!
+//! Each table/figure has a dedicated binary (see DESIGN.md §3 for the
+//! index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I — road-network statistics |
+//! | `table2` | Table II — dataset point counts |
+//! | `table3` | Table III — flow clusters per SJ dataset |
+//! | `fig3` | Figure 3 — ATL500 visualisation + cluster counts |
+//! | `fig4` | Figure 4 — TraClus on ATL500 (two parameterisations) |
+//! | `fig5` | Figure 5 — route lengths, cluster counts, runtimes |
+//! | `fig6` | Figure 6 — NEAT version scaling + phase breakdown |
+//! | `fig7` | Figure 7 — ELB vs Dijkstra in Phase 3 |
+//! | `hybrid_variant` | §IV-C — TraClus hybrid on SJ2000 |
+//!
+//! Run them in release mode, e.g.
+//! `cargo run --release -p neat-bench --bin table1`. Every binary accepts
+//! `--scale <f>` to shrink the object counts (default 1.0 = the paper's
+//! scale) and writes both stdout and `results/<name>.txt`.
+
+pub mod report;
+pub mod setup;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Parsed command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchArgs {
+    /// Object-count scale factor (1.0 = the paper's sizes).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Optional cap on the object count for the quadratic TraClus
+    /// baseline (`--cap`); larger datasets get an extrapolated estimate.
+    pub cap: Option<usize>,
+}
+
+/// Parses `--scale <f>`, `--seed <u64>` and `--cap <usize>` flags.
+/// Defaults: scale 1.0, seed 42, no cap.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags.
+pub fn parse_bench_args(args: &[String]) -> BenchArgs {
+    let mut out = BenchArgs {
+        scale: 1.0,
+        seed: 42,
+        cap: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                out.scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a positive number"));
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+                i += 2;
+            }
+            "--cap" => {
+                out.cap = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--cap needs an integer")),
+                );
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}` (supported: --scale, --seed, --cap)"),
+        }
+    }
+    assert!(out.scale > 0.0, "--scale must be positive");
+    out
+}
+
+/// Convenience wrapper returning only `(scale, seed)`.
+///
+/// # Panics
+///
+/// Same as [`parse_bench_args`].
+pub fn parse_args(args: &[String]) -> (f64, u64) {
+    let a = parse_bench_args(args);
+    (a.scale, a.seed)
+}
+
+/// Scales an object count, keeping at least 10 objects.
+pub fn scaled(objects: usize, scale: f64) -> usize {
+    ((objects as f64 * scale).round() as usize).max(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn default_args() {
+        assert_eq!(parse_args(&[]), (1.0, 42));
+    }
+
+    #[test]
+    fn parses_scale_and_seed() {
+        assert_eq!(
+            parse_args(&s(&["--scale", "0.25", "--seed", "7"])),
+            (0.25, 7)
+        );
+        assert_eq!(parse_args(&s(&["--seed", "9"])), (1.0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse_args(&s(&["--bogus"]));
+    }
+
+    #[test]
+    fn scaled_floors_at_ten() {
+        assert_eq!(scaled(500, 1.0), 500);
+        assert_eq!(scaled(500, 0.1), 50);
+        assert_eq!(scaled(20, 0.01), 10);
+    }
+
+    #[test]
+    fn time_measures() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text experiment reports: aligned tables written to stdout and to
+//! `results/<name>.txt` so EXPERIMENTS.md can quote them verbatim.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// An experiment report accumulating lines that are printed and saved.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    name: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report named after its experiment (used as the output
+    /// filename).
+    pub fn new(name: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        println!("{text}");
+        self.lines.push(text);
+    }
+
+    /// Appends an aligned table.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        self.line(fmt_row(&head));
+        self.line("-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        for row in rows {
+            self.line(fmt_row(row));
+        }
+    }
+
+    /// The directory experiment artefacts are written to (`results/`,
+    /// created on demand).
+    pub fn results_dir() -> PathBuf {
+        let dir = PathBuf::from("results");
+        let _ = fs::create_dir_all(&dir);
+        dir
+    }
+
+    /// Writes the accumulated lines to `results/<name>.txt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let path = Self::results_dir().join(format!("{}.txt", self.name));
+        let mut f = fs::File::create(&path)?;
+        for l in &self.lines {
+            writeln!(f, "{l}")?;
+        }
+        Ok(path)
+    }
+
+    /// Saves an auxiliary artefact (e.g. an SVG) under `results/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_artifact(filename: &str, contents: &str) -> std::io::Result<PathBuf> {
+        let path = Self::results_dir().join(filename);
+        fs::write(&path, contents)?;
+        Ok(path)
+    }
+}
+
+/// Formats a `Duration` in seconds with millisecond precision.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let mut r = Report::new("test_align");
+        r.table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(r.lines.iter().any(|l| l.contains("longer")));
+        // All data rows have equal length.
+        let data: Vec<&String> = r.lines.iter().filter(|l| !l.starts_with('-')).collect();
+        assert_eq!(data[0].len(), data[1].len());
+        assert_eq!(data[1].len(), data[2].len());
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let mut r = Report::new("test_save_report");
+        r.line("hello");
+        let path = r.save().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("hello"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,84 @@
+//! Candidate road segments for each raw sample.
+
+use neat_rnet::geometry::Point;
+use neat_rnet::index::SegmentHit;
+use neat_rnet::{RoadNetwork, SegmentIndex};
+
+/// Finds candidate segments near query points via a grid index.
+#[derive(Debug, Clone)]
+pub struct CandidateFinder<'a> {
+    net: &'a RoadNetwork,
+    index: SegmentIndex,
+    radius: f64,
+    max_candidates: usize,
+}
+
+impl<'a> CandidateFinder<'a> {
+    /// Builds a finder with the given search radius (metres) and candidate
+    /// cap. The index cell size is tied to the radius.
+    pub fn new(net: &'a RoadNetwork, radius: f64, max_candidates: usize) -> Self {
+        CandidateFinder {
+            net,
+            index: SegmentIndex::build(net, radius.max(25.0)),
+            radius,
+            max_candidates: max_candidates.max(1),
+        }
+    }
+
+    /// Candidate segments for `p`: all segments within the radius (up to
+    /// the cap, nearest first). When none fall inside the radius, the
+    /// single nearest segment is returned so matching never dead-ends;
+    /// an empty vector means the network has no segments at all.
+    pub fn candidates(&self, p: Point) -> Vec<SegmentHit> {
+        let mut hits = self.index.within(self.net, p, self.radius);
+        if hits.is_empty() {
+            return self.index.nearest(self.net, p).into_iter().collect();
+        }
+        hits.truncate(self.max_candidates);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::netgen::chain_network;
+
+    #[test]
+    fn candidates_within_radius() {
+        let net = chain_network(5, 100.0, 10.0);
+        let f = CandidateFinder::new(&net, 30.0, 4);
+        let hits = f.candidates(Point::new(150.0, 10.0));
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].segment.index(), 1);
+        assert!(hits.iter().all(|h| h.distance <= 30.0));
+    }
+
+    #[test]
+    fn falls_back_to_nearest_when_radius_empty() {
+        let net = chain_network(5, 100.0, 10.0);
+        let f = CandidateFinder::new(&net, 10.0, 4);
+        let hits = f.candidates(Point::new(150.0, 500.0));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].distance > 10.0);
+    }
+
+    #[test]
+    fn cap_limits_candidate_count() {
+        let net = chain_network(30, 10.0, 10.0); // dense short segments
+        let f = CandidateFinder::new(&net, 100.0, 3);
+        let hits = f.candidates(Point::new(150.0, 0.0));
+        assert!(hits.len() <= 3);
+        // Nearest first.
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn empty_network_yields_no_candidates() {
+        let net = neat_rnet::RoadNetworkBuilder::new().build().unwrap();
+        let f = CandidateFinder::new(&net, 30.0, 4);
+        assert!(f.candidates(Point::new(0.0, 0.0)).is_empty());
+    }
+}

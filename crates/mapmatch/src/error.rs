@@ -1,0 +1,44 @@
+//! Error type for map matching.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while map matching raw traces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MapMatchError {
+    /// The trace has no samples.
+    EmptyTrace,
+    /// The network has no segments, so no sample can be matched.
+    EmptyNetwork,
+    /// The configuration is invalid (message names the parameter).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MapMatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapMatchError::EmptyTrace => write!(f, "trace has no samples"),
+            MapMatchError::EmptyNetwork => write!(f, "road network has no segments"),
+            MapMatchError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl Error for MapMatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            MapMatchError::EmptyTrace,
+            MapMatchError::EmptyNetwork,
+            MapMatchError::InvalidConfig("radius".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

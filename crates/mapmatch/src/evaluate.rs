@@ -1,0 +1,153 @@
+//! Map-matching quality evaluation against ground truth.
+//!
+//! Simulated datasets carry the true segment of every sample, so matcher
+//! output can be scored exactly — the harness uses this to validate the
+//! SLAMM-style matcher before trusting it in the pipeline experiments.
+
+use neat_traj::Dataset;
+use std::fmt;
+
+/// Aggregate matcher accuracy over a dataset pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatchEvaluation {
+    /// Samples compared.
+    pub total: usize,
+    /// Samples assigned the ground-truth segment.
+    pub correct: usize,
+    /// Samples assigned a segment adjacent to the ground-truth segment
+    /// (near-misses around junctions).
+    pub adjacent: usize,
+}
+
+impl MatchEvaluation {
+    /// Exact-segment accuracy in `[0, 1]`; zero when nothing was compared.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Accuracy counting adjacent-segment assignments as correct.
+    pub fn relaxed_accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.correct + self.adjacent) as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for MatchEvaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} exact ({:.1}%), {:.1}% within one segment",
+            self.correct,
+            self.total,
+            100.0 * self.accuracy(),
+            100.0 * self.relaxed_accuracy()
+        )
+    }
+}
+
+/// Compares matched output against ground truth, pairing trajectories by
+/// position in the dataset and samples by index. Trajectories or samples
+/// without a counterpart are skipped.
+pub fn evaluate(
+    net: &neat_rnet::RoadNetwork,
+    truth: &Dataset,
+    matched: &Dataset,
+) -> MatchEvaluation {
+    let mut ev = MatchEvaluation::default();
+    for (t, m) in truth.trajectories().iter().zip(matched.trajectories()) {
+        for (tp, mp) in t.points().iter().zip(m.points()) {
+            ev.total += 1;
+            if tp.segment == mp.segment {
+                ev.correct += 1;
+            } else if net.intersection_of(tp.segment, mp.segment).is_some() {
+                ev.adjacent += 1;
+            }
+        }
+    }
+    ev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::{Point, RoadLocation, SegmentId};
+    use neat_traj::{Trajectory, TrajectoryId};
+
+    fn traj(id: u64, sids: &[usize]) -> Trajectory {
+        let pts = sids
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                RoadLocation::new(SegmentId::new(s), Point::new(i as f64, 0.0), i as f64)
+            })
+            .collect();
+        Trajectory::new(TrajectoryId::new(id), pts).unwrap()
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let net = chain_network(5, 100.0, 10.0);
+        let mut d = Dataset::new("t");
+        d.push(traj(0, &[0, 0, 1, 2]));
+        let ev = evaluate(&net, &d, &d);
+        assert_eq!(ev.total, 4);
+        assert_eq!(ev.correct, 4);
+        assert_eq!(ev.accuracy(), 1.0);
+        assert_eq!(ev.relaxed_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn adjacent_misses_counted_separately() {
+        let net = chain_network(5, 100.0, 10.0);
+        let mut truth = Dataset::new("t");
+        truth.push(traj(0, &[0, 1]));
+        let mut matched = Dataset::new("m");
+        matched.push(traj(0, &[0, 2])); // s2 adjacent to s1
+        let ev = evaluate(&net, &truth, &matched);
+        assert_eq!(ev.correct, 1);
+        assert_eq!(ev.adjacent, 1);
+        assert_eq!(ev.accuracy(), 0.5);
+        assert_eq!(ev.relaxed_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn far_misses_hurt_both_scores() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut truth = Dataset::new("t");
+        truth.push(traj(0, &[0, 0]));
+        let mut matched = Dataset::new("m");
+        matched.push(traj(0, &[4, 4]));
+        let ev = evaluate(&net, &truth, &matched);
+        assert_eq!(ev.correct, 0);
+        assert_eq!(ev.adjacent, 0);
+        assert_eq!(ev.relaxed_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn empty_comparison_is_zero() {
+        let net = chain_network(3, 100.0, 10.0);
+        let ev = evaluate(&net, &Dataset::new("a"), &Dataset::new("b"));
+        assert_eq!(ev.total, 0);
+        assert_eq!(ev.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_percentages() {
+        let ev = MatchEvaluation {
+            total: 10,
+            correct: 9,
+            adjacent: 1,
+        };
+        let s = ev.to_string();
+        assert!(s.contains("90.0%"));
+        assert!(s.contains("100.0%"));
+    }
+}

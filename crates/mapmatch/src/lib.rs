@@ -1,0 +1,49 @@
+//! Selective look-ahead map matching (the paper's SLAMM \[14\] stand-in).
+//!
+//! NEAT preprocesses raw GPS traces so every sample carries a road-segment
+//! id. The paper uses the selective look-ahead matcher of Weber et al.
+//! because look-ahead "can catch many known errors of earlier MM
+//! algorithms, such as map-matching location samples between two nearby
+//! parallel road segments".
+//!
+//! This crate implements the same idea as a small Viterbi-style dynamic
+//! program over per-sample candidate sets:
+//!
+//! * **candidates** — road segments within a radius of each sample,
+//!   retrieved from the grid [`neat_rnet::SegmentIndex`] ([`candidates`]);
+//! * **selective look-ahead** — unambiguous samples (a single nearby
+//!   candidate) are pinned immediately; ambiguous stretches are resolved
+//!   by minimising emission (snap distance) plus transition (network
+//!   discontinuity) cost over the whole stretch, which is exactly what
+//!   distinguishes a look-ahead matcher from a greedy nearest-segment one
+//!   ([`matcher`]).
+//!
+//! ```
+//! use neat_mapmatch::{MapMatcher, MatchConfig};
+//! use neat_rnet::netgen::chain_network;
+//! use neat_rnet::location::RawSample;
+//! use neat_rnet::Point;
+//!
+//! # fn main() -> Result<(), neat_mapmatch::MapMatchError> {
+//! let net = chain_network(4, 100.0, 13.9);
+//! let matcher = MapMatcher::new(&net, MatchConfig::default());
+//! let trace = vec![
+//!     RawSample::new(Point::new(50.0, 2.0), 0.0),
+//!     RawSample::new(Point::new(150.0, -1.0), 10.0),
+//! ];
+//! let matched = matcher.match_trace(&trace)?;
+//! assert_eq!(matched[0].segment.index(), 0);
+//! assert_eq!(matched[1].segment.index(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod candidates;
+pub mod error;
+pub mod evaluate;
+pub mod matcher;
+
+pub use candidates::CandidateFinder;
+pub use error::MapMatchError;
+pub use evaluate::{evaluate, MatchEvaluation};
+pub use matcher::{MapMatcher, MatchConfig};

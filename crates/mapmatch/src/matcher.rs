@@ -1,0 +1,338 @@
+//! The look-ahead matcher: a Viterbi-style dynamic program over candidate
+//! segments.
+
+use crate::candidates::CandidateFinder;
+use crate::error::MapMatchError;
+use neat_rnet::geometry::project_onto_segment;
+use neat_rnet::location::RawSample;
+use neat_rnet::{RoadLocation, RoadNetwork, SegmentId};
+use neat_traj::{Dataset, Trajectory, TrajectoryId};
+
+/// Map-matching parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchConfig {
+    /// Candidate search radius in metres (≈ 3× the expected GPS error).
+    pub candidate_radius_m: f64,
+    /// Maximum candidates retained per sample.
+    pub max_candidates: usize,
+    /// Transition cost (metres-equivalent) for moving between *adjacent*
+    /// segments.
+    pub adjacent_cost: f64,
+    /// Transition cost for moving between segments that are two hops
+    /// apart (one segment skipped between samples).
+    pub skip_cost: f64,
+    /// Transition cost for any larger discontinuity — effectively a jump
+    /// penalty that the look-ahead optimisation avoids when possible.
+    pub jump_cost: f64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            candidate_radius_m: 30.0,
+            max_candidates: 4,
+            adjacent_cost: 2.0,
+            skip_cost: 10.0,
+            jump_cost: 200.0,
+        }
+    }
+}
+
+impl MatchConfig {
+    fn validate(&self) -> Result<(), MapMatchError> {
+        // NaN must fail too, hence the negated comparison.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.candidate_radius_m > 0.0) {
+            return Err(MapMatchError::InvalidConfig(
+                "candidate radius must be positive".into(),
+            ));
+        }
+        if self.max_candidates == 0 {
+            return Err(MapMatchError::InvalidConfig(
+                "max candidates must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A reusable map matcher bound to one road network.
+#[derive(Debug, Clone)]
+pub struct MapMatcher<'a> {
+    net: &'a RoadNetwork,
+    finder: CandidateFinder<'a>,
+    config: MatchConfig,
+}
+
+impl<'a> MapMatcher<'a> {
+    /// Creates a matcher over `net`.
+    pub fn new(net: &'a RoadNetwork, config: MatchConfig) -> Self {
+        let finder = CandidateFinder::new(net, config.candidate_radius_m, config.max_candidates);
+        MapMatcher {
+            net,
+            finder,
+            config,
+        }
+    }
+
+    /// Matches one raw trace to road-network locations.
+    ///
+    /// Every output location carries the chosen segment id and the sample
+    /// position snapped onto that segment's chord; timestamps are
+    /// preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`MapMatchError::EmptyTrace`] for an empty input,
+    /// [`MapMatchError::EmptyNetwork`] when the network has no segments,
+    /// and [`MapMatchError::InvalidConfig`] for bad parameters.
+    pub fn match_trace(&self, trace: &[RawSample]) -> Result<Vec<RoadLocation>, MapMatchError> {
+        self.config.validate()?;
+        if trace.is_empty() {
+            return Err(MapMatchError::EmptyTrace);
+        }
+        if self.net.segment_count() == 0 {
+            return Err(MapMatchError::EmptyNetwork);
+        }
+
+        // Candidate sets per sample.
+        let cand: Vec<Vec<neat_rnet::index::SegmentHit>> = trace
+            .iter()
+            .map(|s| self.finder.candidates(s.position))
+            .collect();
+
+        // Viterbi over the candidate lattice: cost = snap distance +
+        // transition discontinuity. This is the "look-ahead" — the global
+        // optimum can prefer a slightly-farther candidate now to avoid a
+        // large discontinuity later (e.g. parallel-road flip-flops).
+        let n = trace.len();
+        let mut cost: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(n);
+        cost.push(cand[0].iter().map(|h| h.distance).collect());
+        back.push(vec![0; cand[0].len()]);
+        for i in 1..n {
+            let mut row_cost = Vec::with_capacity(cand[i].len());
+            let mut row_back = Vec::with_capacity(cand[i].len());
+            for hj in &cand[i] {
+                let mut best = f64::INFINITY;
+                let mut best_k = 0usize;
+                for (k, hk) in cand[i - 1].iter().enumerate() {
+                    let t = self.transition_cost(hk.segment, hj.segment);
+                    let c = cost[i - 1][k] + t;
+                    if c < best {
+                        best = c;
+                        best_k = k;
+                    }
+                }
+                row_cost.push(best + hj.distance);
+                row_back.push(best_k);
+            }
+            cost.push(row_cost);
+            back.push(row_back);
+        }
+
+        // Backtrack the optimal assignment.
+        let mut idx = (0..cand[n - 1].len())
+            .min_by(|&a, &b| cost[n - 1][a].total_cmp(&cost[n - 1][b]))
+            .expect("candidate sets are non-empty");
+        let mut chosen = vec![0usize; n];
+        chosen[n - 1] = idx;
+        for i in (1..n).rev() {
+            idx = back[i][idx];
+            chosen[i - 1] = idx;
+        }
+
+        Ok(trace
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let sid = cand[i][chosen[i]].segment;
+                let seg = self.net.segment(sid).expect("candidate segment exists");
+                let a = self.net.position(seg.a);
+                let b = self.net.position(seg.b);
+                let snapped = project_onto_segment(s.position, a, b).point;
+                RoadLocation::new(sid, snapped, s.time)
+            })
+            .collect())
+    }
+
+    /// Matches a batch of traces into a [`Dataset`]. Traces that fail to
+    /// produce a valid trajectory (fewer than two samples) are skipped and
+    /// counted in the second return value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapMatchError::EmptyNetwork`] / invalid-config errors;
+    /// per-trace empty inputs are treated as skips instead.
+    pub fn match_traces(
+        &self,
+        traces: &[Vec<RawSample>],
+        name: impl Into<String>,
+    ) -> Result<(Dataset, usize), MapMatchError> {
+        self.config.validate()?;
+        if self.net.segment_count() == 0 {
+            return Err(MapMatchError::EmptyNetwork);
+        }
+        let mut dataset = Dataset::new(name);
+        let mut skipped = 0usize;
+        for (i, trace) in traces.iter().enumerate() {
+            if trace.len() < 2 {
+                skipped += 1;
+                continue;
+            }
+            let pts = self.match_trace(trace)?;
+            match Trajectory::new(TrajectoryId::new(i as u64), pts) {
+                Ok(tr) => dataset.push(tr),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok((dataset, skipped))
+    }
+
+    /// Discontinuity cost between consecutive segment assignments.
+    fn transition_cost(&self, from: SegmentId, to: SegmentId) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        if self.net.intersection_of(from, to).is_some() {
+            return self.config.adjacent_cost;
+        }
+        // Two hops: a shared neighbour exists.
+        let two_hop = self
+            .net
+            .adjacent_segments(from)
+            .iter()
+            .any(|&m| self.net.intersection_of(m, to).is_some());
+        if two_hop {
+            self.config.skip_cost
+        } else {
+            self.config.jump_cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::{Point, RoadNetworkBuilder};
+
+    #[test]
+    fn clean_trace_matches_exactly() {
+        let net = chain_network(5, 100.0, 10.0);
+        let m = MapMatcher::new(&net, MatchConfig::default());
+        let trace: Vec<RawSample> = (0..8)
+            .map(|i| RawSample::new(Point::new(i as f64 * 50.0 + 25.0, 0.0), i as f64))
+            .collect();
+        let out = m.match_trace(&trace).unwrap();
+        for (s, o) in trace.iter().zip(&out) {
+            assert_eq!(o.time, s.time);
+            let expect = (s.position.x / 100.0).floor() as usize;
+            assert_eq!(o.segment.index(), expect.min(3));
+        }
+    }
+
+    #[test]
+    fn noisy_trace_snaps_to_road() {
+        let net = chain_network(5, 100.0, 10.0);
+        let m = MapMatcher::new(&net, MatchConfig::default());
+        let trace = vec![
+            RawSample::new(Point::new(50.0, 8.0), 0.0),
+            RawSample::new(Point::new(150.0, -6.0), 10.0),
+        ];
+        let out = m.match_trace(&trace).unwrap();
+        assert_eq!(out[0].position.y, 0.0); // snapped onto the chord
+        assert_eq!(out[1].position.y, 0.0);
+    }
+
+    /// Two parallel roads 20 m apart — the SLAMM paper's flagship failure
+    /// case for greedy matching.
+    fn parallel_roads() -> neat_rnet::RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let mut south = Vec::new();
+        let mut north = Vec::new();
+        for i in 0..5 {
+            south.push(b.add_node(Point::new(i as f64 * 100.0, 0.0)));
+            north.push(b.add_node(Point::new(i as f64 * 100.0, 20.0)));
+        }
+        for i in 0..4 {
+            b.add_segment(south[i], south[i + 1], 10.0).unwrap(); // sids 0,2,4,6
+            b.add_segment(north[i], north[i + 1], 10.0).unwrap(); // sids 1,3,5,7
+        }
+        // Connect the two roads at the far ends only.
+        b.add_segment(south[0], north[0], 10.0).unwrap();
+        b.add_segment(south[4], north[4], 10.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookahead_resolves_parallel_road_ambiguity() {
+        let net = parallel_roads();
+        let m = MapMatcher::new(&net, MatchConfig::default());
+        // Object drives the south road; one noisy sample leans north
+        // (y = 12 > 10 = midline) but the consistent choice is south.
+        let trace = vec![
+            RawSample::new(Point::new(50.0, 1.0), 0.0),
+            RawSample::new(Point::new(150.0, 12.0), 10.0),
+            RawSample::new(Point::new(250.0, 2.0), 20.0),
+            RawSample::new(Point::new(350.0, -1.0), 30.0),
+        ];
+        let out = m.match_trace(&trace).unwrap();
+        // A greedy nearest-segment matcher would flip sample 1 to the
+        // north road (sid 3); look-ahead keeps the whole path on the
+        // south road (sids 0, 2, 4, 6).
+        let sids: Vec<usize> = out.iter().map(|o| o.segment.index()).collect();
+        assert_eq!(sids, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let net = chain_network(3, 100.0, 10.0);
+        let m = MapMatcher::new(&net, MatchConfig::default());
+        assert_eq!(m.match_trace(&[]), Err(MapMatchError::EmptyTrace));
+    }
+
+    #[test]
+    fn empty_network_is_an_error() {
+        let net = RoadNetworkBuilder::new().build().unwrap();
+        let m = MapMatcher::new(&net, MatchConfig::default());
+        let t = vec![RawSample::new(Point::new(0.0, 0.0), 0.0)];
+        assert_eq!(m.match_trace(&t), Err(MapMatchError::EmptyNetwork));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let net = chain_network(3, 100.0, 10.0);
+        let c = MatchConfig {
+            candidate_radius_m: 0.0,
+            ..MatchConfig::default()
+        };
+        let m = MapMatcher::new(&net, MatchConfig::default());
+        // Validation happens at match time with the stored config; build a
+        // matcher with the bad config directly.
+        let bad = MapMatcher::new(&net, c);
+        let t = vec![RawSample::new(Point::new(0.0, 0.0), 0.0)];
+        assert!(matches!(
+            bad.match_trace(&t),
+            Err(MapMatchError::InvalidConfig(_))
+        ));
+        drop(m);
+    }
+
+    #[test]
+    fn batch_matching_skips_short_traces() {
+        let net = chain_network(4, 100.0, 10.0);
+        let m = MapMatcher::new(&net, MatchConfig::default());
+        let traces = vec![
+            vec![
+                RawSample::new(Point::new(10.0, 0.0), 0.0),
+                RawSample::new(Point::new(90.0, 0.0), 8.0),
+            ],
+            vec![RawSample::new(Point::new(10.0, 0.0), 0.0)], // too short
+            vec![],
+        ];
+        let (ds, skipped) = m.match_traces(&traces, "batch").unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(skipped, 2);
+    }
+}

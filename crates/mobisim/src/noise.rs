@@ -1,0 +1,132 @@
+//! GPS-noise injection: turns map-matched traces into raw traces.
+//!
+//! The map matcher (crate `neat-mapmatch`) needs noisy, unmatched input to
+//! be exercised realistically. [`to_raw_traces`] strips segment ids from a
+//! simulated dataset and perturbs each position with isotropic Gaussian
+//! noise (Box–Muller over the seeded RNG, keeping the workspace free of
+//! extra distribution crates).
+
+use neat_rnet::location::RawSample;
+use neat_traj::Dataset;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A raw (unmatched) trace: the samples of one trajectory without segment
+/// associations, as a GPS receiver would log them.
+pub type RawTrace = Vec<RawSample>;
+
+/// Draws one standard-normal variate via Box–Muller.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Converts a matched dataset into raw traces with Gaussian position noise
+/// of standard deviation `noise_std_m` metres per axis.
+///
+/// Deterministic for a given `(dataset, noise_std_m, seed)`.
+///
+/// # Panics
+///
+/// Panics if `noise_std_m` is negative.
+pub fn to_raw_traces(dataset: &Dataset, noise_std_m: f64, seed: u64) -> Vec<RawTrace> {
+    assert!(noise_std_m >= 0.0, "noise std must be non-negative");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    dataset
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            tr.points()
+                .iter()
+                .map(|p| {
+                    let dx = standard_normal(&mut rng) * noise_std_m;
+                    let dy = standard_normal(&mut rng) * noise_std_m;
+                    RawSample::new(
+                        neat_rnet::Point::new(p.position.x + dx, p.position.y + dy),
+                        p.time,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_dataset, SimConfig};
+    use neat_rnet::netgen::{generate_grid_network, GridNetworkConfig};
+
+    fn dataset() -> Dataset {
+        let net = generate_grid_network(&GridNetworkConfig::small_test(8, 8), 2);
+        generate_dataset(
+            &net,
+            &SimConfig {
+                num_objects: 5,
+                ..SimConfig::default()
+            },
+            3,
+            "n",
+        )
+    }
+
+    #[test]
+    fn trace_shape_matches_dataset() {
+        let d = dataset();
+        let raw = to_raw_traces(&d, 5.0, 1);
+        assert_eq!(raw.len(), d.len());
+        for (trace, tr) in raw.iter().zip(d.trajectories()) {
+            assert_eq!(trace.len(), tr.len());
+            for (s, p) in trace.iter().zip(tr.points()) {
+                assert_eq!(s.time, p.time);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let d = dataset();
+        let raw = to_raw_traces(&d, 0.0, 1);
+        for (trace, tr) in raw.iter().zip(d.trajectories()) {
+            for (s, p) in trace.iter().zip(tr.points()) {
+                assert_eq!(s.position, p.position);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_magnitude_is_plausible() {
+        let d = dataset();
+        let std = 10.0;
+        let raw = to_raw_traces(&d, std, 7);
+        let mut sum_sq = 0.0;
+        let mut n = 0usize;
+        for (trace, tr) in raw.iter().zip(d.trajectories()) {
+            for (s, p) in trace.iter().zip(tr.points()) {
+                sum_sq += s.position.distance_sq(p.position);
+                n += 1;
+            }
+        }
+        // E[dx²+dy²] = 2σ²; allow a generous band.
+        let mean_sq = sum_sq / n as f64;
+        assert!(
+            mean_sq > 0.5 * 2.0 * std * std && mean_sq < 2.0 * 2.0 * std * std,
+            "mean squared displacement {mean_sq}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = dataset();
+        assert_eq!(to_raw_traces(&d, 5.0, 9), to_raw_traces(&d, 5.0, 9));
+        assert_ne!(to_raw_traces(&d, 5.0, 9), to_raw_traces(&d, 5.0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_panics() {
+        let d = dataset();
+        let _ = to_raw_traces(&d, -1.0, 0);
+    }
+}

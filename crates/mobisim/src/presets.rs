@@ -1,0 +1,163 @@
+//! The paper's fifteen datasets: {ATL, SJ, MIA} × {500…5000} objects.
+//!
+//! Table II reports each dataset's point count; the sampling periods below
+//! are calibrated so our synthetic maps yield point counts of the same
+//! magnitude (the exact figures depend on the private GTMobiSIM
+//! configuration the authors used and are compared in EXPERIMENTS.md).
+
+use crate::{generate_dataset, SimConfig};
+use neat_rnet::netgen::MapPreset;
+use neat_rnet::RoadNetwork;
+use neat_traj::Dataset;
+
+/// The object counts of Table II.
+pub const OBJECT_COUNTS: [usize; 5] = [500, 1000, 2000, 3000, 5000];
+
+/// One of the paper's datasets, identified by map and object count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatasetPreset {
+    /// Which road network the objects travel on.
+    pub map: MapPreset,
+    /// Number of mobile objects.
+    pub objects: usize,
+}
+
+impl DatasetPreset {
+    /// Creates a preset; `objects` is typically one of [`OBJECT_COUNTS`].
+    pub fn new(map: MapPreset, objects: usize) -> Self {
+        DatasetPreset { map, objects }
+    }
+
+    /// The label the paper uses, e.g. `"ATL500"`.
+    pub fn label(&self) -> String {
+        format!("{}{}", self.map.code(), self.objects)
+    }
+
+    /// The point count Table II reports for this dataset, if listed.
+    pub fn paper_points(&self) -> Option<usize> {
+        let idx = OBJECT_COUNTS.iter().position(|&c| c == self.objects)?;
+        let table: [[usize; 5]; 3] = [
+            // ATL
+            [114_878, 233_793, 468_738, 669_924, 1_277_521],
+            // SJ
+            [131_982, 255_162, 542_598, 794_638, 1_296_739],
+            // MIA
+            [276_711, 452_224, 893_412, 1_302_145, 2_262_313],
+        ];
+        let row = match self.map {
+            MapPreset::Atlanta => 0,
+            MapPreset::SanJose => 1,
+            MapPreset::Miami => 2,
+        };
+        Some(table[row][idx])
+    }
+
+    /// Simulation configuration calibrated per map.
+    ///
+    /// Sampling periods are chosen so points-per-object lands near the
+    /// paper's (ATL ≈ 230, SJ ≈ 260, MIA ≈ 550); hotspot and destination
+    /// counts follow the ATL500 description in Section IV-B.
+    pub fn sim_config(&self) -> SimConfig {
+        let sample_period_s = match self.map {
+            MapPreset::Atlanta => 3.7,
+            MapPreset::SanJose => 3.2,
+            MapPreset::Miami => 9.0,
+        };
+        SimConfig {
+            num_objects: self.objects,
+            num_hotspots: 2,
+            num_destinations: 3,
+            hotspot_radius_m: 600.0,
+            sample_period_s,
+            speed_factor: (0.75, 1.0),
+            start_window_s: 300.0,
+            first_trajectory_id: 0,
+            route_by: neat_rnet::path::CostModel::Distance,
+            sample_dropout: 0.0,
+            trips_per_object: 1,
+            trip_dwell_s: 120.0,
+        }
+    }
+
+    /// Generates the dataset on an already-generated network for this
+    /// preset's map.
+    pub fn generate_on(&self, net: &RoadNetwork, seed: u64) -> Dataset {
+        generate_dataset(net, &self.sim_config(), seed, self.label())
+    }
+
+    /// Generates both the network (seeded with `seed`) and the dataset
+    /// (seeded with `seed + 1`).
+    pub fn generate(&self, seed: u64) -> (RoadNetwork, Dataset) {
+        let net = self.map.generate(seed);
+        let data = self.generate_on(&net, seed.wrapping_add(1));
+        (net, data)
+    }
+
+    /// All fifteen presets of Table II in row order.
+    pub fn all() -> Vec<DatasetPreset> {
+        MapPreset::all()
+            .into_iter()
+            .flat_map(|m| OBJECT_COUNTS.iter().map(move |&c| DatasetPreset::new(m, c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(
+            DatasetPreset::new(MapPreset::Atlanta, 500).label(),
+            "ATL500"
+        );
+        assert_eq!(
+            DatasetPreset::new(MapPreset::SanJose, 2000).label(),
+            "SJ2000"
+        );
+        assert_eq!(
+            DatasetPreset::new(MapPreset::Miami, 5000).label(),
+            "MIA5000"
+        );
+    }
+
+    #[test]
+    fn paper_points_table() {
+        assert_eq!(
+            DatasetPreset::new(MapPreset::Atlanta, 500).paper_points(),
+            Some(114_878)
+        );
+        assert_eq!(
+            DatasetPreset::new(MapPreset::Miami, 5000).paper_points(),
+            Some(2_262_313)
+        );
+        assert_eq!(
+            DatasetPreset::new(MapPreset::Atlanta, 123).paper_points(),
+            None
+        );
+    }
+
+    #[test]
+    fn all_presets_enumerated() {
+        let all = DatasetPreset::all();
+        assert_eq!(all.len(), 15);
+        assert_eq!(all[0].label(), "ATL500");
+        assert_eq!(all[14].label(), "MIA5000");
+    }
+
+    #[test]
+    fn atl500_point_count_is_right_magnitude() {
+        // Shrunk variant of the ATL500 run: same map, fewer objects, so
+        // the unit test stays fast. Points/object should be near the
+        // paper's ≈230.
+        let preset = DatasetPreset::new(MapPreset::Atlanta, 25);
+        let (_, data) = preset.generate(42);
+        assert_eq!(data.len(), 25);
+        let per_object = data.total_points() as f64 / data.len() as f64;
+        assert!(
+            (50.0..1200.0).contains(&per_object),
+            "points per object {per_object} far from paper magnitude"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the NEAT pipeline.
+
+use neat_rnet::{RnetError, SegmentId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NEAT clustering pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NeatError {
+    /// A trajectory references a road segment missing from the network.
+    UnknownSegment(SegmentId),
+    /// Configuration is invalid (message explains which parameter).
+    InvalidConfig(String),
+    /// A fragment's segment does not match the base cluster it was added to.
+    SegmentMismatch {
+        /// Segment of the base cluster.
+        expected: SegmentId,
+        /// Segment of the offending fragment.
+        got: SegmentId,
+    },
+    /// A base cluster cannot extend a flow cluster because its segment is
+    /// not adjacent to the flow's open endpoint.
+    NotAdjacent {
+        /// The flow's end segment.
+        end: SegmentId,
+        /// The candidate segment.
+        candidate: SegmentId,
+    },
+    /// An underlying road-network error.
+    Rnet(RnetError),
+}
+
+impl fmt::Display for NeatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeatError::UnknownSegment(s) => {
+                write!(f, "trajectory references unknown segment {s}")
+            }
+            NeatError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NeatError::SegmentMismatch { expected, got } => {
+                write!(f, "fragment on {got} added to base cluster for {expected}")
+            }
+            NeatError::NotAdjacent { end, candidate } => {
+                write!(f, "segment {candidate} is not adjacent to flow end {end}")
+            }
+            NeatError::Rnet(e) => write!(f, "road network error: {e}"),
+        }
+    }
+}
+
+impl Error for NeatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NeatError::Rnet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RnetError> for NeatError {
+    fn from(e: RnetError) -> Self {
+        NeatError::Rnet(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            NeatError::UnknownSegment(SegmentId::new(1)),
+            NeatError::InvalidConfig("weights".into()),
+            NeatError::SegmentMismatch {
+                expected: SegmentId::new(0),
+                got: SegmentId::new(1),
+            },
+            NeatError::NotAdjacent {
+                end: SegmentId::new(0),
+                candidate: SegmentId::new(5),
+            },
+            NeatError::Rnet(RnetError::EmptyNetwork),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn rnet_error_has_source() {
+        let e = NeatError::from(RnetError::EmptyNetwork);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeatError>();
+    }
+}

@@ -1,0 +1,268 @@
+//! External cluster-quality evaluation against ground truth.
+//!
+//! The paper claims NEAT is "highly accurate" by visual comparison; our
+//! simulator knows the ground truth (which trajectories genuinely share a
+//! route), so accuracy can be quantified. This module scores any
+//! trajectory-level clustering against a reference labelling with the
+//! standard pairwise measures — precision, recall, F1, Rand index and
+//! Adjusted Rand Index — treating unassigned (noise) trajectories as
+//! singleton clusters.
+
+use crate::model::TrajectoryCluster;
+use neat_traj::TrajectoryId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Pairwise agreement scores between a predicted clustering and the
+/// ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PairwiseScores {
+    /// Of the pairs predicted together, the fraction truly together.
+    pub precision: f64,
+    /// Of the pairs truly together, the fraction predicted together.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Fraction of all pairs classified consistently (Rand index).
+    pub rand_index: f64,
+    /// Chance-corrected Rand index (ARI; 1 = perfect, ≈0 = random).
+    pub adjusted_rand: f64,
+    /// Number of items scored.
+    pub items: usize,
+}
+
+/// Scores a predicted clustering against ground-truth labels.
+///
+/// `truth` maps every item to its true class; `predicted` maps items to a
+/// predicted cluster (items absent from `predicted` count as singletons —
+/// the usual treatment of noise). Items missing from `truth` are ignored.
+///
+/// ```
+/// use neat_core::evaluation::pairwise_scores;
+/// use std::collections::HashMap;
+///
+/// let truth: HashMap<u32, usize> = [(1, 0), (2, 0), (3, 1), (4, 1)].into();
+/// let pred: HashMap<u32, usize> = [(1, 9), (2, 9), (3, 5), (4, 5)].into();
+/// let s = pairwise_scores(&truth, &pred);
+/// assert_eq!(s.f1, 1.0); // label names don't matter, only co-membership
+/// ```
+pub fn pairwise_scores<I: std::hash::Hash + Eq + Copy + Ord>(
+    truth: &HashMap<I, usize>,
+    predicted: &HashMap<I, usize>,
+) -> PairwiseScores {
+    let mut items: Vec<I> = truth.keys().copied().collect();
+    items.sort();
+    let n = items.len();
+    if n < 2 {
+        return PairwiseScores {
+            items: n,
+            ..PairwiseScores::default()
+        };
+    }
+
+    // Contingency table between truth classes and predicted clusters
+    // (noise items become unique singleton cluster ids).
+    let mut next_singleton = usize::MAX;
+    let mut pred_of = |i: &I| -> usize {
+        match predicted.get(i) {
+            Some(&c) => c,
+            None => {
+                next_singleton -= 1;
+                next_singleton + 1
+            }
+        }
+    };
+    let mut table: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut truth_sizes: HashMap<usize, u64> = HashMap::new();
+    let mut pred_sizes: HashMap<usize, u64> = HashMap::new();
+    for i in &items {
+        let t = truth[i];
+        let p = pred_of(i);
+        *table.entry((t, p)).or_default() += 1;
+        *truth_sizes.entry(t).or_default() += 1;
+        *pred_sizes.entry(p).or_default() += 1;
+    }
+
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let together_both: f64 = table.values().map(|&c| choose2(c)).sum();
+    let together_truth: f64 = truth_sizes.values().map(|&c| choose2(c)).sum();
+    let together_pred: f64 = pred_sizes.values().map(|&c| choose2(c)).sum();
+    let total_pairs = choose2(n as u64);
+
+    let precision = if together_pred > 0.0 {
+        together_both / together_pred
+    } else {
+        0.0
+    };
+    let recall = if together_truth > 0.0 {
+        together_both / together_truth
+    } else {
+        0.0
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    // Rand index: (TP + TN) / all pairs.
+    let tp = together_both;
+    let fp = together_pred - together_both;
+    let fn_ = together_truth - together_both;
+    let tn = total_pairs - tp - fp - fn_;
+    let rand_index = (tp + tn) / total_pairs;
+    // ARI.
+    let expected = together_truth * together_pred / total_pairs;
+    let max_index = 0.5 * (together_truth + together_pred);
+    let adjusted_rand = if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. everything in one class on both sides): the
+        // clusterings agree perfectly by construction.
+        1.0
+    } else {
+        (together_both - expected) / (max_index - expected)
+    };
+
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+        rand_index,
+        adjusted_rand,
+        items: n,
+    }
+}
+
+/// Assigns each trajectory to one predicted cluster: the final cluster in
+/// which it has the most t-fragments (ties towards the earlier cluster).
+/// Trajectories in no cluster are left out (noise).
+pub fn assign_trajectories(clusters: &[TrajectoryCluster]) -> HashMap<TrajectoryId, usize> {
+    let mut votes: HashMap<TrajectoryId, HashMap<usize, usize>> = HashMap::new();
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for flow in cluster.flows() {
+            for member in flow.members() {
+                for frag in member.fragments() {
+                    *votes
+                        .entry(frag.trajectory)
+                        .or_default()
+                        .entry(ci)
+                        .or_default() += 1;
+                }
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .map(|(tr, by_cluster)| {
+            let best = by_cluster
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .expect("at least one vote");
+            (tr, best.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u64, usize)]) -> HashMap<u64, usize> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let truth = map(&[(1, 0), (2, 0), (3, 1), (4, 1)]);
+        let s = pairwise_scores(&truth, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.rand_index, 1.0);
+        assert_eq!(s.adjusted_rand, 1.0);
+        assert_eq!(s.items, 4);
+    }
+
+    #[test]
+    fn label_permutation_does_not_matter() {
+        let truth = map(&[(1, 0), (2, 0), (3, 1), (4, 1)]);
+        let pred = map(&[(1, 7), (2, 7), (3, 3), (4, 3)]);
+        let s = pairwise_scores(&truth, &pred);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.adjusted_rand, 1.0);
+    }
+
+    #[test]
+    fn everything_in_one_cluster_has_full_recall_low_precision() {
+        let truth = map(&[(1, 0), (2, 0), (3, 1), (4, 1)]);
+        let pred = map(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let s = pairwise_scores(&truth, &pred);
+        assert_eq!(s.recall, 1.0);
+        // 2 true-together pairs out of 6 predicted-together pairs.
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-9);
+        assert!(s.adjusted_rand < 0.2);
+    }
+
+    #[test]
+    fn all_noise_means_no_predicted_pairs() {
+        let truth = map(&[(1, 0), (2, 0), (3, 1)]);
+        let pred: HashMap<u64, usize> = HashMap::new();
+        let s = pairwise_scores(&truth, &pred);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+        // TN-heavy Rand index stays below 1 because the true pair is
+        // split.
+        assert!(s.rand_index < 1.0);
+    }
+
+    #[test]
+    fn tiny_inputs_are_degenerate() {
+        let s = pairwise_scores(&map(&[(1, 0)]), &map(&[(1, 0)]));
+        assert_eq!(s.items, 1);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn split_cluster_loses_recall_only() {
+        let truth = map(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let pred = map(&[(1, 0), (2, 0), (3, 1), (4, 1)]);
+        let s = pairwise_scores(&truth, &pred);
+        assert_eq!(s.precision, 1.0);
+        // 2 of 6 true pairs preserved.
+        assert!((s.recall - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_resolves_multi_cluster_trajectories() {
+        use crate::model::{BaseCluster, FlowCluster};
+        use neat_rnet::netgen::chain_network;
+        use neat_rnet::{Point, RoadLocation, SegmentId};
+        use neat_traj::TFragment;
+
+        let net = chain_network(6, 100.0, 10.0);
+        let frag = |tr: u64, seg: usize| {
+            let loc = RoadLocation::new(SegmentId::new(seg), Point::new(0.0, 0.0), 0.0);
+            TFragment {
+                trajectory: TrajectoryId::new(tr),
+                segment: SegmentId::new(seg),
+                first: loc,
+                last: loc,
+                point_count: 2,
+            }
+        };
+        // Trajectory 1 has 2 fragments in cluster 0 and 1 in cluster 1.
+        let c0 = TrajectoryCluster::new(vec![FlowCluster::from_base(
+            &net,
+            BaseCluster::new(SegmentId::new(0), vec![frag(1, 0), frag(1, 0), frag(2, 0)]).unwrap(),
+        )
+        .unwrap()]);
+        let c1 = TrajectoryCluster::new(vec![FlowCluster::from_base(
+            &net,
+            BaseCluster::new(SegmentId::new(3), vec![frag(1, 3)]).unwrap(),
+        )
+        .unwrap()]);
+        let assign = assign_trajectories(&[c0, c1]);
+        assert_eq!(assign[&TrajectoryId::new(1)], 0);
+        assert_eq!(assign[&TrajectoryId::new(2)], 0);
+        assert_eq!(assign.len(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Incremental (online) trajectory clustering.
+//!
+//! Section III-C of the paper motivates the Phase-3 design with real-time
+//! clustering: "the first two phases of NEAT can be performed on each
+//! newly arrived set of trajectories. The new flow clusters are then
+//! merged with the available flow clusters to produce compact clustering
+//! results."
+//!
+//! [`IncrementalNeat`] implements exactly that loop: each
+//! [`IncrementalNeat::ingest`] call runs Phases 1–2 on the fresh batch
+//! only, appends the resulting flow clusters to the retained set and
+//! re-refines with the density-based Phase 3.
+
+use crate::config::NeatConfig;
+use crate::error::NeatError;
+use crate::model::{FlowCluster, TrajectoryCluster};
+use crate::phase1::form_base_clusters;
+use crate::phase2::form_flow_clusters;
+use crate::phase3::{refine_flow_clusters, Phase3Stats};
+use neat_rnet::RoadNetwork;
+use neat_traj::Dataset;
+
+/// Online NEAT clusterer retaining flow clusters across batches.
+///
+/// ```
+/// use neat_core::incremental::IncrementalNeat;
+/// use neat_core::NeatConfig;
+/// use neat_rnet::netgen::chain_network;
+/// use neat_rnet::{RoadLocation, SegmentId, Point};
+/// use neat_traj::{Dataset, Trajectory, TrajectoryId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = chain_network(4, 100.0, 13.9);
+/// let config = NeatConfig { min_card: 1, ..NeatConfig::default() };
+/// let mut online = IncrementalNeat::new(&net, config);
+/// let mut batch = Dataset::new("batch1");
+/// batch.push(Trajectory::new(TrajectoryId::new(1), vec![
+///     RoadLocation::new(SegmentId::new(0), Point::new(50.0, 0.0), 0.0),
+///     RoadLocation::new(SegmentId::new(1), Point::new(150.0, 0.0), 10.0),
+/// ])?);
+/// let clusters = online.ingest(&batch)?;
+/// assert_eq!(clusters.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalNeat<'a> {
+    net: &'a RoadNetwork,
+    config: NeatConfig,
+    flows: Vec<FlowCluster>,
+    batches: usize,
+    last_stats: Phase3Stats,
+}
+
+impl<'a> IncrementalNeat<'a> {
+    /// Creates an online clusterer with no retained state.
+    pub fn new(net: &'a RoadNetwork, config: NeatConfig) -> Self {
+        IncrementalNeat {
+            net,
+            config,
+            flows: Vec::new(),
+            batches: 0,
+            last_stats: Phase3Stats::default(),
+        }
+    }
+
+    /// Number of batches ingested so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// The retained flow clusters (across all batches).
+    pub fn flow_clusters(&self) -> &[FlowCluster] {
+        &self.flows
+    }
+
+    /// Phase-3 instrumentation of the most recent [`IncrementalNeat::ingest`].
+    pub fn last_refinement_stats(&self) -> Phase3Stats {
+        self.last_stats
+    }
+
+    /// Ingests a new batch of trajectories: Phases 1–2 run on the batch
+    /// alone; the new flows join the retained set; Phase 3 re-refines the
+    /// combined set and returns the current trajectory clusters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and unknown-segment errors from the
+    /// underlying phases.
+    pub fn ingest(&mut self, batch: &Dataset) -> Result<Vec<TrajectoryCluster>, NeatError> {
+        self.config.validate()?;
+        let p1 = form_base_clusters(self.net, batch, self.config.insert_junctions)?;
+        let p2 = form_flow_clusters(self.net, p1.base_clusters, &self.config)?;
+        self.flows.extend(p2.flow_clusters);
+        self.batches += 1;
+        let p3 = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
+        self.last_stats = p3.stats;
+        Ok(p3.clusters)
+    }
+
+    /// Compacts the retained flow set: drops flows whose trajectory
+    /// cardinality has fallen below `min_card` (e.g. noise from early
+    /// batches) and returns how many were evicted. Long-running online
+    /// deployments call this periodically to bound state.
+    pub fn compact(&mut self, min_card: usize) -> usize {
+        let before = self.flows.len();
+        self.flows
+            .retain(|f| f.trajectory_cardinality() >= min_card);
+        before - self.flows.len()
+    }
+
+    /// Drops all retained state.
+    pub fn reset(&mut self) {
+        self.flows.clear();
+        self.batches = 0;
+        self.last_stats = Phase3Stats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::{Point, RoadLocation, SegmentId};
+    use neat_traj::{Trajectory, TrajectoryId};
+
+    fn traverse(id0: u64, count: u64, segs: &[usize]) -> Vec<Trajectory> {
+        (0..count)
+            .map(|i| {
+                let pts = segs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &s)| {
+                        RoadLocation::new(
+                            SegmentId::new(s),
+                            Point::new(s as f64 * 100.0 + 50.0, 0.0),
+                            k as f64 * 10.0,
+                        )
+                    })
+                    .collect();
+                Trajectory::new(TrajectoryId::new(id0 + i), pts).unwrap()
+            })
+            .collect()
+    }
+
+    fn cfg() -> NeatConfig {
+        NeatConfig {
+            min_card: 2,
+            epsilon: 250.0,
+            ..NeatConfig::default()
+        }
+    }
+
+    #[test]
+    fn batches_accumulate_flows() {
+        let net = chain_network(10, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut batch1 = Dataset::new("b1");
+        batch1.extend(traverse(0, 3, &[0, 1, 2]));
+        let c1 = online.ingest(&batch1).unwrap();
+        assert_eq!(online.batches(), 1);
+        assert_eq!(online.flow_clusters().len(), 1);
+        assert_eq!(c1.len(), 1);
+
+        let mut batch2 = Dataset::new("b2");
+        batch2.extend(traverse(100, 3, &[6, 7, 8]));
+        let c2 = online.ingest(&batch2).unwrap();
+        assert_eq!(online.batches(), 2);
+        assert_eq!(online.flow_clusters().len(), 2);
+        // Far apart (Hausdorff 600 m > 250 m): two clusters.
+        assert_eq!(c2.len(), 2);
+    }
+
+    #[test]
+    fn nearby_batches_merge_in_refinement() {
+        let net = chain_network(10, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(traverse(0, 3, &[0, 1]));
+        online.ingest(&b1).unwrap();
+        let mut b2 = Dataset::new("b2");
+        b2.extend(traverse(100, 3, &[2, 3]));
+        let clusters = online.ingest(&b2).unwrap();
+        // Adjacent routes (Hausdorff 200 m ≤ 250 m) merge into one
+        // cluster even though they arrived in different batches.
+        assert_eq!(online.flow_clusters().len(), 2);
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_for_disjoint_populations() {
+        let net = chain_network(12, 100.0, 10.0);
+        // Two disjoint traffic populations that arrive as two batches.
+        let pop1 = traverse(0, 4, &[0, 1, 2]);
+        let pop2 = traverse(100, 4, &[8, 9, 10]);
+
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(pop1.clone());
+        online.ingest(&b1).unwrap();
+        let mut b2 = Dataset::new("b2");
+        b2.extend(pop2.clone());
+        let incr = online.ingest(&b2).unwrap();
+
+        let mut all = Dataset::new("all");
+        all.extend(pop1);
+        all.extend(pop2);
+        let oneshot = crate::pipeline::Neat::new(&net, cfg())
+            .run(&all, crate::pipeline::Mode::Opt)
+            .unwrap();
+        assert_eq!(incr.len(), oneshot.clusters.len());
+        let sizes = |cs: &[TrajectoryCluster]| {
+            let mut v: Vec<usize> = cs.iter().map(|c| c.flows().len()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sizes(&incr), sizes(&oneshot.clusters));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b = Dataset::new("b");
+        b.extend(traverse(0, 3, &[0, 1]));
+        online.ingest(&b).unwrap();
+        assert!(!online.flow_clusters().is_empty());
+        online.reset();
+        assert!(online.flow_clusters().is_empty());
+        assert_eq!(online.batches(), 0);
+    }
+
+    #[test]
+    fn compact_evicts_small_flows() {
+        let net = chain_network(10, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(traverse(0, 5, &[0, 1]));
+        b1.extend(traverse(100, 2, &[5, 6]));
+        online.ingest(&b1).unwrap();
+        assert_eq!(online.flow_clusters().len(), 2);
+        let evicted = online.compact(4);
+        assert_eq!(evicted, 1);
+        assert_eq!(online.flow_clusters().len(), 1);
+        assert!(online.flow_clusters()[0].trajectory_cardinality() >= 4);
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let clusters = online.ingest(&Dataset::new("empty")).unwrap();
+        assert!(clusters.is_empty());
+        assert_eq!(online.batches(), 1);
+    }
+
+    #[test]
+    fn refinement_stats_update_per_batch() {
+        let net = chain_network(10, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(traverse(0, 3, &[0, 1]));
+        online.ingest(&b1).unwrap();
+        let s1 = online.last_refinement_stats();
+        let mut b2 = Dataset::new("b2");
+        b2.extend(traverse(100, 3, &[4, 5]));
+        online.ingest(&b2).unwrap();
+        let s2 = online.last_refinement_stats();
+        // Second refinement sees more flows, so it considers more pairs.
+        assert!(s2.pairs_considered >= s1.pairs_considered);
+    }
+}

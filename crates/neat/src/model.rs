@@ -1,0 +1,495 @@
+//! The NEAT data model: base clusters, flow clusters and trajectory
+//! clusters (Definitions 2–8 of the paper).
+
+use crate::error::NeatError;
+use neat_rnet::{NodeId, RoadNetwork, SegmentId};
+use neat_traj::{TFragment, TrajectoryId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A base cluster (Definition 2): all t-fragments of a trajectory set that
+/// lie on one road segment, which is the cluster's *representative* `e_S`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseCluster {
+    segment: SegmentId,
+    fragments: Vec<TFragment>,
+    /// Cached participating-trajectory set `P_Tr(S)` (Definition 3).
+    trajectories: BTreeSet<TrajectoryId>,
+}
+
+impl BaseCluster {
+    /// Creates a base cluster from fragments that all lie on `segment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeatError::SegmentMismatch`] if any fragment lies on a
+    /// different segment.
+    pub fn new(segment: SegmentId, fragments: Vec<TFragment>) -> Result<Self, NeatError> {
+        for f in &fragments {
+            if f.segment != segment {
+                return Err(NeatError::SegmentMismatch {
+                    expected: segment,
+                    got: f.segment,
+                });
+            }
+        }
+        let trajectories = fragments.iter().map(|f| f.trajectory).collect();
+        Ok(BaseCluster {
+            segment,
+            fragments,
+            trajectories,
+        })
+    }
+
+    /// The representative road segment `e_S`.
+    pub fn segment(&self) -> SegmentId {
+        self.segment
+    }
+
+    /// The member t-fragments.
+    pub fn fragments(&self) -> &[TFragment] {
+        &self.fragments
+    }
+
+    /// Cluster density `d(S)` (Definition 4): the number of t-fragments.
+    pub fn density(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// The participating trajectories `P_Tr(S)` (Definition 3).
+    pub fn participating_trajectories(&self) -> &BTreeSet<TrajectoryId> {
+        &self.trajectories
+    }
+
+    /// Trajectory cardinality `|P_Tr(S)|` (Definition 3).
+    pub fn trajectory_cardinality(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Netflow `f(Si, Sj)` (Definition 5): the number of trajectories
+    /// participating in both clusters.
+    pub fn netflow(&self, other: &BaseCluster) -> usize {
+        intersection_size(&self.trajectories, &other.trajectories)
+    }
+}
+
+/// Size of the intersection of two ordered trajectory sets, iterating the
+/// smaller set.
+pub(crate) fn intersection_size(a: &BTreeSet<TrajectoryId>, b: &BTreeSet<TrajectoryId>) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().filter(|t| large.contains(t)).count()
+}
+
+/// The f-neighbourhood `N_f(S, n_u)` of Definition 6: among `candidates`,
+/// the base clusters whose representative segments are adjacent to `of`'s
+/// segment at junction `nu` and share at least one participating
+/// trajectory with `of`. Returned in `candidates` order.
+///
+/// # Panics
+///
+/// Panics if `nu` is not an endpoint of `of`'s segment (the paper's
+/// operator is only defined at the segment's endpoints).
+pub fn f_neighborhood<'a>(
+    net: &RoadNetwork,
+    of: &BaseCluster,
+    nu: NodeId,
+    candidates: &'a [BaseCluster],
+) -> Vec<&'a BaseCluster> {
+    let adjacent = net.adjacent_segments_at(of.segment(), nu);
+    candidates
+        .iter()
+        .filter(|c| adjacent.contains(&c.segment()) && of.netflow(c) > 0)
+        .collect()
+}
+
+/// The maxFlow-neighbour of Definition 7: the member of
+/// [`f_neighborhood`] with the highest netflow to `of` (ties broken by
+/// segment id for determinism), or `None` when the neighbourhood is
+/// empty.
+pub fn maxflow_neighbor<'a>(
+    net: &RoadNetwork,
+    of: &BaseCluster,
+    nu: NodeId,
+    candidates: &'a [BaseCluster],
+) -> Option<&'a BaseCluster> {
+    f_neighborhood(net, of, nu, candidates)
+        .into_iter()
+        .max_by(|a, b| {
+            of.netflow(a)
+                .cmp(&of.netflow(b))
+                .then_with(|| b.segment().cmp(&a.segment()))
+        })
+}
+
+/// A flow cluster (Definition 8): an ordered list of base clusters whose
+/// representative segments form a route in the road network.
+///
+/// The junction chain is maintained alongside the members, so the flow's
+/// two open endpoints — needed by the Phase-3 distance — are always
+/// available in O(1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowCluster {
+    members: Vec<BaseCluster>,
+    /// Junction chain of the representative route; `nodes.len() ==
+    /// members.len() + 1`. `nodes[i]` and `nodes[i+1]` are the endpoints of
+    /// `members[i].segment()`.
+    nodes: Vec<NodeId>,
+    trajectories: BTreeSet<TrajectoryId>,
+}
+
+impl FlowCluster {
+    /// Creates a flow cluster containing a single base cluster. The node
+    /// chain is seeded with the segment's `(a, b)` endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeatError::UnknownSegment`] if the base cluster's segment
+    /// is not part of `net`.
+    pub fn from_base(net: &RoadNetwork, base: BaseCluster) -> Result<Self, NeatError> {
+        let seg = net
+            .segment(base.segment())
+            .map_err(|_| NeatError::UnknownSegment(base.segment()))?;
+        let nodes = vec![seg.a, seg.b];
+        let trajectories = base.trajectories.clone();
+        Ok(FlowCluster {
+            members: vec![base],
+            nodes,
+            trajectories,
+        })
+    }
+
+    /// Member base clusters in route order.
+    pub fn members(&self) -> &[BaseCluster] {
+        &self.members
+    }
+
+    /// The representative route `r_F` as a segment sequence.
+    pub fn route(&self) -> Vec<SegmentId> {
+        self.members.iter().map(BaseCluster::segment).collect()
+    }
+
+    /// The junction chain of the representative route (one node more than
+    /// there are members).
+    pub fn node_chain(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The two open endpoints of the representative route —
+    /// `{a1, a2}` in Definition 11.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (
+            *self.nodes.first().expect("flow has at least one member"),
+            *self.nodes.last().expect("flow has at least one member"),
+        )
+    }
+
+    /// Open endpoint at the back of the route (extension point for
+    /// appending).
+    pub fn back_endpoint(&self) -> NodeId {
+        *self.nodes.last().expect("non-empty")
+    }
+
+    /// Open endpoint at the front of the route (extension point for
+    /// prepending).
+    pub fn front_endpoint(&self) -> NodeId {
+        *self.nodes.first().expect("non-empty")
+    }
+
+    /// Total length of the representative route in metres.
+    pub fn route_length(&self, net: &RoadNetwork) -> f64 {
+        self.members
+            .iter()
+            .map(|m| {
+                net.segment(m.segment())
+                    .map(|s| s.length)
+                    .unwrap_or_default()
+            })
+            .sum()
+    }
+
+    /// Participating trajectories `P_Tr(F)` — the union over members.
+    pub fn participating_trajectories(&self) -> &BTreeSet<TrajectoryId> {
+        &self.trajectories
+    }
+
+    /// Trajectory cardinality `|P_Tr(F)|`.
+    pub fn trajectory_cardinality(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Total t-fragment count over all members.
+    pub fn density(&self) -> usize {
+        self.members.iter().map(BaseCluster::density).sum()
+    }
+
+    /// Netflow between this flow cluster and a base cluster,
+    /// `f(F, S) = |P_Tr(F) ∩ P_Tr(S)|` (Section II-B).
+    pub fn netflow_with(&self, base: &BaseCluster) -> usize {
+        intersection_size(&self.trajectories, &base.trajectories)
+    }
+
+    /// Appends `base` at the back of the route. Its segment must be
+    /// incident to [`FlowCluster::back_endpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeatError::NotAdjacent`] when the candidate segment does
+    /// not touch the back endpoint, or [`NeatError::UnknownSegment`] when
+    /// it is not part of `net`.
+    pub fn push_back(&mut self, net: &RoadNetwork, base: BaseCluster) -> Result<(), NeatError> {
+        let seg = net
+            .segment(base.segment())
+            .map_err(|_| NeatError::UnknownSegment(base.segment()))?;
+        let join = self.back_endpoint();
+        if !seg.has_endpoint(join) {
+            return Err(NeatError::NotAdjacent {
+                end: self.members.last().expect("non-empty").segment(),
+                candidate: base.segment(),
+            });
+        }
+        self.nodes.push(seg.other_endpoint(join));
+        self.trajectories.extend(base.trajectories.iter().copied());
+        self.members.push(base);
+        Ok(())
+    }
+
+    /// Prepends `base` at the front of the route. Its segment must be
+    /// incident to [`FlowCluster::front_endpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlowCluster::push_back`].
+    pub fn push_front(&mut self, net: &RoadNetwork, base: BaseCluster) -> Result<(), NeatError> {
+        let seg = net
+            .segment(base.segment())
+            .map_err(|_| NeatError::UnknownSegment(base.segment()))?;
+        let join = self.front_endpoint();
+        if !seg.has_endpoint(join) {
+            return Err(NeatError::NotAdjacent {
+                end: self.members.first().expect("non-empty").segment(),
+                candidate: base.segment(),
+            });
+        }
+        self.nodes.insert(0, seg.other_endpoint(join));
+        self.trajectories.extend(base.trajectories.iter().copied());
+        self.members.insert(0, base);
+        Ok(())
+    }
+}
+
+/// A final trajectory cluster (Phase-3 output): one or more flow clusters
+/// whose representative routes are density-connected under the modified
+/// Hausdorff network distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryCluster {
+    flows: Vec<FlowCluster>,
+}
+
+impl TrajectoryCluster {
+    /// Creates a trajectory cluster from its member flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flows` is empty — a cluster always has at least one
+    /// member.
+    pub fn new(flows: Vec<FlowCluster>) -> Self {
+        assert!(!flows.is_empty(), "trajectory cluster cannot be empty");
+        TrajectoryCluster { flows }
+    }
+
+    /// Member flow clusters.
+    pub fn flows(&self) -> &[FlowCluster] {
+        &self.flows
+    }
+
+    /// Total t-fragment count.
+    pub fn density(&self) -> usize {
+        self.flows.iter().map(FlowCluster::density).sum()
+    }
+
+    /// Number of distinct participating trajectories.
+    pub fn trajectory_cardinality(&self) -> usize {
+        let mut all = BTreeSet::new();
+        for f in &self.flows {
+            all.extend(f.participating_trajectories().iter().copied());
+        }
+        all.len()
+    }
+
+    /// Sum of the member flows' representative-route lengths in metres.
+    pub fn total_route_length(&self, net: &RoadNetwork) -> f64 {
+        self.flows.iter().map(|f| f.route_length(net)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::{Point, RoadLocation};
+
+    fn frag(tr: u64, seg: usize) -> TFragment {
+        let loc = RoadLocation::new(SegmentId::new(seg), Point::new(0.0, 0.0), 0.0);
+        TFragment {
+            trajectory: TrajectoryId::new(tr),
+            segment: SegmentId::new(seg),
+            first: loc,
+            last: loc,
+            point_count: 2,
+        }
+    }
+
+    #[test]
+    fn base_cluster_density_and_cardinality() {
+        // Paper Figure 1(b): S1 holds 4 t-fragments of 3 trajectories.
+        let s = BaseCluster::new(
+            SegmentId::new(0),
+            vec![frag(1, 0), frag(1, 0), frag(2, 0), frag(3, 0)],
+        )
+        .unwrap();
+        assert_eq!(s.density(), 4);
+        assert_eq!(s.trajectory_cardinality(), 3);
+    }
+
+    #[test]
+    fn base_cluster_rejects_foreign_fragment() {
+        let err = BaseCluster::new(SegmentId::new(0), vec![frag(1, 1)]).unwrap_err();
+        assert!(matches!(err, NeatError::SegmentMismatch { .. }));
+    }
+
+    #[test]
+    fn netflow_counts_shared_trajectories() {
+        let s1 =
+            BaseCluster::new(SegmentId::new(0), vec![frag(1, 0), frag(2, 0), frag(3, 0)]).unwrap();
+        let s2 =
+            BaseCluster::new(SegmentId::new(1), vec![frag(2, 1), frag(3, 1), frag(4, 1)]).unwrap();
+        assert_eq!(s1.netflow(&s2), 2);
+        assert_eq!(s2.netflow(&s1), 2); // symmetric
+        let s3 = BaseCluster::new(SegmentId::new(2), vec![frag(9, 2)]).unwrap();
+        assert_eq!(s1.netflow(&s3), 0);
+    }
+
+    #[test]
+    fn f_neighborhood_matches_figure1() {
+        // Star network as in Figure 1(b): hub n2 joins s12, s23, s24, s25.
+        let mut b = neat_rnet::RoadNetworkBuilder::new();
+        let n1 = b.add_node(Point::new(-100.0, 0.0));
+        let n2 = b.add_node(Point::new(0.0, 0.0));
+        let n3 = b.add_node(Point::new(100.0, 50.0));
+        let n4 = b.add_node(Point::new(100.0, 0.0));
+        let n5 = b.add_node(Point::new(100.0, -50.0));
+        b.add_segment(n1, n2, 10.0).unwrap(); // s0 = s12
+        b.add_segment(n2, n3, 10.0).unwrap(); // s1 = s23
+        b.add_segment(n2, n4, 10.0).unwrap(); // s2 = s24
+        b.add_segment(n2, n5, 10.0).unwrap(); // s3 = s25
+        let net = b.build().unwrap();
+        let s1 = BaseCluster::new(
+            SegmentId::new(0),
+            vec![frag(1, 0), frag(2, 0), frag(3, 0), frag(4, 0)],
+        )
+        .unwrap();
+        let pool = vec![
+            BaseCluster::new(SegmentId::new(1), vec![frag(1, 1), frag(2, 1)]).unwrap(),
+            BaseCluster::new(SegmentId::new(2), vec![frag(3, 2)]).unwrap(),
+            BaseCluster::new(SegmentId::new(3), vec![frag(4, 3), frag(9, 3)]).unwrap(),
+        ];
+        // All three are f-neighbours of S1 at n2 (each shares a
+        // trajectory), as in the paper's example.
+        let neigh = super::f_neighborhood(&net, &s1, n2, &pool);
+        assert_eq!(neigh.len(), 3);
+        // The maxFlow-neighbour is S2 (netflow 2 > 1, 1).
+        let best = super::maxflow_neighbor(&net, &s1, n2, &pool).unwrap();
+        assert_eq!(best.segment(), SegmentId::new(1));
+        // At the dead end n1, the neighbourhood is empty.
+        assert!(super::f_neighborhood(&net, &s1, n1, &pool).is_empty());
+        assert!(super::maxflow_neighbor(&net, &s1, n1, &pool).is_none());
+    }
+
+    #[test]
+    fn f_neighborhood_excludes_zero_netflow() {
+        let net = chain_network(4, 100.0, 10.0);
+        let s = BaseCluster::new(SegmentId::new(1), vec![frag(1, 1)]).unwrap();
+        let pool = vec![
+            BaseCluster::new(SegmentId::new(0), vec![frag(9, 0)]).unwrap(), // no shared traj
+            BaseCluster::new(SegmentId::new(2), vec![frag(1, 2)]).unwrap(), // shared
+        ];
+        let neigh = super::f_neighborhood(&net, &s, NodeId::new(2), &pool);
+        assert_eq!(neigh.len(), 1);
+        assert_eq!(neigh[0].segment(), SegmentId::new(2));
+    }
+
+    #[test]
+    fn flow_cluster_grows_both_ends() {
+        // chain: n0 -s0- n1 -s1- n2 -s2- n3
+        let net = chain_network(4, 100.0, 10.0);
+        let b0 = BaseCluster::new(SegmentId::new(0), vec![frag(1, 0)]).unwrap();
+        let b1 = BaseCluster::new(SegmentId::new(1), vec![frag(1, 1), frag(2, 1)]).unwrap();
+        let b2 = BaseCluster::new(SegmentId::new(2), vec![frag(2, 2)]).unwrap();
+        let mut flow = FlowCluster::from_base(&net, b1).unwrap();
+        assert_eq!(flow.endpoints(), (NodeId::new(1), NodeId::new(2)));
+        flow.push_back(&net, b2).unwrap();
+        assert_eq!(flow.back_endpoint(), NodeId::new(3));
+        flow.push_front(&net, b0).unwrap();
+        assert_eq!(flow.front_endpoint(), NodeId::new(0));
+        assert_eq!(
+            flow.route(),
+            vec![SegmentId::new(0), SegmentId::new(1), SegmentId::new(2)]
+        );
+        assert!(net.is_route(&flow.route()));
+        assert_eq!(flow.node_chain().len(), 4);
+        assert_eq!(flow.trajectory_cardinality(), 2);
+        assert_eq!(flow.density(), 4);
+        assert!((flow.route_length(&net) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_cluster_rejects_non_adjacent() {
+        let net = chain_network(5, 100.0, 10.0);
+        let b0 = BaseCluster::new(SegmentId::new(0), vec![frag(1, 0)]).unwrap();
+        let b3 = BaseCluster::new(SegmentId::new(3), vec![frag(1, 3)]).unwrap();
+        let mut flow = FlowCluster::from_base(&net, b0).unwrap();
+        assert!(matches!(
+            flow.push_back(&net, b3),
+            Err(NeatError::NotAdjacent { .. })
+        ));
+    }
+
+    #[test]
+    fn flow_netflow_with_base() {
+        let net = chain_network(3, 100.0, 10.0);
+        let b0 = BaseCluster::new(SegmentId::new(0), vec![frag(1, 0), frag(2, 0)]).unwrap();
+        let b1 = BaseCluster::new(SegmentId::new(1), vec![frag(2, 1), frag(3, 1)]).unwrap();
+        let flow = FlowCluster::from_base(&net, b0).unwrap();
+        assert_eq!(flow.netflow_with(&b1), 1);
+    }
+
+    #[test]
+    fn trajectory_cluster_aggregates() {
+        let net = chain_network(4, 100.0, 10.0);
+        let b0 = BaseCluster::new(SegmentId::new(0), vec![frag(1, 0)]).unwrap();
+        let b2 = BaseCluster::new(SegmentId::new(2), vec![frag(1, 2), frag(2, 2)]).unwrap();
+        let f0 = FlowCluster::from_base(&net, b0).unwrap();
+        let f1 = FlowCluster::from_base(&net, b2).unwrap();
+        let c = TrajectoryCluster::new(vec![f0, f1]);
+        assert_eq!(c.flows().len(), 2);
+        assert_eq!(c.density(), 3);
+        assert_eq!(c.trajectory_cardinality(), 2); // trajectories 1 and 2
+        assert!((c.total_route_length(&net) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trajectory_cluster_panics() {
+        let _ = TrajectoryCluster::new(vec![]);
+    }
+
+    #[test]
+    fn intersection_size_iterates_smaller_side() {
+        let a: BTreeSet<TrajectoryId> = (0..100).map(TrajectoryId::new).collect();
+        let b: BTreeSet<TrajectoryId> = (50..53).map(TrajectoryId::new).collect();
+        assert_eq!(intersection_size(&a, &b), 3);
+        assert_eq!(intersection_size(&b, &a), 3);
+        let empty = BTreeSet::new();
+        assert_eq!(intersection_size(&a, &empty), 0);
+    }
+}

@@ -1,0 +1,515 @@
+//! Phase 1 — base cluster formation (Section III-A).
+//!
+//! Each trajectory is scanned point by point. Whenever two consecutive
+//! samples lie on different road segments, the junction node(s) between
+//! those segments are inserted as splitting points:
+//!
+//! * contiguous segments contribute the single shared junction `I(ei, ej)`,
+//! * non-contiguous segments are repaired with a shortest-path search (the
+//!   paper uses the map-matching approach of \[14\]); every junction along
+//!   the repair path is inserted, so segments traversed *between* samples
+//!   still receive a (two-point) t-fragment.
+//!
+//! The resulting t-fragments are grouped by road segment into base
+//! clusters, which are returned sorted by density (descending) so the
+//! first cluster is the dense-core (Definition 4).
+
+use crate::error::NeatError;
+use crate::model::BaseCluster;
+use neat_rnet::path::TravelMode;
+use neat_rnet::{RoadLocation, RoadNetwork, SegmentId, ShortestPathEngine};
+use neat_traj::{Dataset, TFragment, Trajectory};
+use std::collections::HashMap;
+
+/// Output of Phase 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Output {
+    /// Base clusters sorted by density descending (ties broken by segment
+    /// id ascending, keeping the order deterministic). The first entry is
+    /// the dense-core.
+    pub base_clusters: Vec<BaseCluster>,
+    /// Total number of t-fragments extracted.
+    pub fragment_count: usize,
+}
+
+impl Phase1Output {
+    /// The dense-core — the densest base cluster (Definition 4) — or
+    /// `None` for an empty dataset.
+    pub fn dense_core(&self) -> Option<&BaseCluster> {
+        self.base_clusters.first()
+    }
+}
+
+/// Runs Phase 1: extracts t-fragments from every trajectory and groups
+/// them into density-sorted base clusters.
+///
+/// When `insert_junctions` is `true`, junction points are inserted between
+/// consecutive samples on different segments (with shortest-path gap repair
+/// for non-contiguous segments); otherwise trajectories are split purely on
+/// segment-id changes.
+///
+/// # Errors
+///
+/// Returns [`NeatError::UnknownSegment`] if a sample references a segment
+/// that is not part of `net`.
+pub fn form_base_clusters(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+) -> Result<Phase1Output, NeatError> {
+    let mut engine = ShortestPathEngine::new(net);
+    let mut by_segment: HashMap<SegmentId, Vec<TFragment>> = HashMap::new();
+    let mut fragment_count = 0usize;
+    for tr in dataset.trajectories() {
+        let frags = if insert_junctions {
+            extract_fragments_with_junctions(net, &mut engine, tr)?
+        } else {
+            neat_traj::fragment::split_into_fragments(tr)
+        };
+        fragment_count += frags.len();
+        for f in frags {
+            if net.segment(f.segment).is_err() {
+                return Err(NeatError::UnknownSegment(f.segment));
+            }
+            by_segment.entry(f.segment).or_default().push(f);
+        }
+    }
+    let mut base_clusters: Vec<BaseCluster> = by_segment
+        .into_iter()
+        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment"))
+        .collect();
+    base_clusters.sort_by(|a, b| {
+        b.density()
+            .cmp(&a.density())
+            .then_with(|| a.segment().cmp(&b.segment()))
+    });
+    Ok(Phase1Output {
+        base_clusters,
+        fragment_count,
+    })
+}
+
+/// Parallel variant of [`form_base_clusters`]: trajectories are split
+/// into `threads` chunks extracted concurrently (each worker owns its own
+/// shortest-path engine), then grouped exactly as the sequential version.
+///
+/// The output is bit-identical to [`form_base_clusters`]: chunk results
+/// are concatenated in chunk order, so fragment order — and therefore
+/// base-cluster contents and density ordering — is unchanged.
+///
+/// # Errors
+///
+/// Same as [`form_base_clusters`]; with several failing trajectories the
+/// error of the earliest chunk wins.
+pub fn form_base_clusters_parallel(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+    threads: usize,
+) -> Result<Phase1Output, NeatError> {
+    let threads = threads.max(1);
+    if threads == 1 || dataset.len() < 2 * threads {
+        return form_base_clusters(net, dataset, insert_junctions);
+    }
+    let trajectories = dataset.trajectories();
+    let chunk_size = trajectories.len().div_ceil(threads);
+    let chunks: Vec<&[Trajectory]> = trajectories.chunks(chunk_size).collect();
+
+    let results: Vec<Result<Vec<TFragment>, NeatError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut engine = ShortestPathEngine::new(net);
+                    let mut out = Vec::new();
+                    for tr in chunk {
+                        let frags = if insert_junctions {
+                            extract_fragments_with_junctions(net, &mut engine, tr)?
+                        } else {
+                            neat_traj::fragment::split_into_fragments(tr)
+                        };
+                        out.extend(frags);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("phase-1 worker panicked"))
+            .collect()
+    })
+    .expect("phase-1 scope panicked");
+
+    let mut by_segment: HashMap<SegmentId, Vec<TFragment>> = HashMap::new();
+    let mut fragment_count = 0usize;
+    for chunk in results {
+        for f in chunk? {
+            if net.segment(f.segment).is_err() {
+                return Err(NeatError::UnknownSegment(f.segment));
+            }
+            fragment_count += 1;
+            by_segment.entry(f.segment).or_default().push(f);
+        }
+    }
+    let mut base_clusters: Vec<BaseCluster> = by_segment
+        .into_iter()
+        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment"))
+        .collect();
+    base_clusters.sort_by(|a, b| {
+        b.density()
+            .cmp(&a.density())
+            .then_with(|| a.segment().cmp(&b.segment()))
+    });
+    Ok(Phase1Output {
+        base_clusters,
+        fragment_count,
+    })
+}
+
+/// Extracts the t-fragments of one trajectory, inserting junction points at
+/// segment transitions.
+///
+/// # Errors
+///
+/// Returns [`NeatError::UnknownSegment`] for samples on unknown segments.
+pub fn extract_fragments_with_junctions(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    tr: &Trajectory,
+) -> Result<Vec<TFragment>, NeatError> {
+    let pts = tr.points();
+    let mut out: Vec<TFragment> = Vec::new();
+    // Current open fragment.
+    let mut cur_first: RoadLocation = pts[0];
+    let mut cur_last: RoadLocation = pts[0];
+    let mut cur_count: usize = 1;
+
+    let close = |out: &mut Vec<TFragment>, first: RoadLocation, last: RoadLocation, count| {
+        out.push(TFragment {
+            trajectory: tr.id(),
+            segment: first.segment,
+            first,
+            last,
+            point_count: count,
+        });
+    };
+
+    for q in &pts[1..] {
+        let p = cur_last;
+        if q.segment == p.segment {
+            cur_last = *q;
+            cur_count += 1;
+            continue;
+        }
+        // Segment transition: recover the junction chain between p and q.
+        match junction_chain(net, engine, p, *q)? {
+            Some(chain) => {
+                // chain: the traversed junctions j0..jk and the segments
+                // between them (len = k, may be empty when contiguous).
+                let (junctions, mid_segments, times) = chain;
+                // Close the current fragment at the first junction.
+                let j0 = RoadLocation::new(p.segment, junctions[0], times[0]);
+                cur_last = j0;
+                cur_count += 1;
+                close(&mut out, cur_first, cur_last, cur_count);
+                // Pass-through fragments for intermediate segments.
+                for (i, &mid) in mid_segments.iter().enumerate() {
+                    let a = RoadLocation::new(mid, junctions[i], times[i]);
+                    let b = RoadLocation::new(mid, junctions[i + 1], times[i + 1]);
+                    close(&mut out, a, b, 2);
+                }
+                // Open the next fragment on q's segment at the last junction.
+                let jk = RoadLocation::new(
+                    q.segment,
+                    *junctions.last().expect("chain non-empty"),
+                    *times.last().expect("chain non-empty"),
+                );
+                cur_first = jk;
+                cur_last = *q;
+                cur_count = 2;
+            }
+            None => {
+                // Unreachable gap: split without junction insertion.
+                close(&mut out, cur_first, cur_last, cur_count);
+                cur_first = *q;
+                cur_last = *q;
+                cur_count = 1;
+            }
+        }
+    }
+    close(&mut out, cur_first, cur_last, cur_count);
+    Ok(out)
+}
+
+type Chain = (Vec<neat_rnet::Point>, Vec<SegmentId>, Vec<f64>);
+
+/// Computes the junction chain travelled between consecutive samples `p`
+/// (on segment `ep`) and `q` (on segment `eq ≠ ep`).
+///
+/// Returns the junction positions, the intermediate segments between them
+/// (empty when the segments are contiguous) and interpolated timestamps —
+/// or `None` when no path connects the two segments.
+fn junction_chain(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    p: RoadLocation,
+    q: RoadLocation,
+) -> Result<Option<Chain>, NeatError> {
+    let ep = net
+        .segment(p.segment)
+        .map_err(|_| NeatError::UnknownSegment(p.segment))?;
+    let eq = net
+        .segment(q.segment)
+        .map_err(|_| NeatError::UnknownSegment(q.segment))?;
+
+    if let Some(j) = net.intersection_of(ep.id, eq.id) {
+        // Contiguous: one shared junction.
+        let jpos = net.position(j);
+        let d1 = p.position.distance(jpos);
+        let d2 = jpos.distance(q.position);
+        let total = (d1 + d2).max(1e-9);
+        let t = p.time + (q.time - p.time) * d1 / total;
+        return Ok(Some((vec![jpos], vec![], vec![t])));
+    }
+
+    // Non-contiguous: choose the endpoint pair minimising the detour and
+    // take the shortest path between them (the map-matching repair of [14]).
+    let mut best: Option<(f64, neat_rnet::path::Route, f64, f64)> = None;
+    for u in [ep.a, ep.b] {
+        for v in [eq.a, eq.b] {
+            let d_pu = p.position.distance(net.position(u));
+            let d_vq = net.position(v).distance(q.position);
+            if let Some(route) = engine.route(net, u, v, TravelMode::Directed) {
+                let cost = d_pu + route.length + d_vq;
+                if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
+                    best = Some((cost, route, d_pu, d_vq));
+                }
+            }
+        }
+    }
+    let (cost, route, d_pu, _) = match best {
+        Some(b) => b,
+        None => return Ok(None),
+    };
+    // Interpolate times along the travelled distance.
+    let span = q.time - p.time;
+    let total = cost.max(1e-9);
+    let mut junctions = Vec::with_capacity(route.nodes.len());
+    let mut times = Vec::with_capacity(route.nodes.len());
+    let mut travelled = d_pu;
+    let mut prev: Option<neat_rnet::NodeId> = None;
+    for (i, &n) in route.nodes.iter().enumerate() {
+        if let Some(pn) = prev {
+            let seg = net
+                .segment(route.segments[i - 1])
+                .expect("route segment exists");
+            debug_assert!(seg.has_endpoint(pn));
+            travelled += seg.length;
+        }
+        junctions.push(net.position(n));
+        times.push(p.time + span * (travelled / total));
+        prev = Some(n);
+    }
+    Ok(Some((junctions, route.segments, times)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::Point;
+    use neat_traj::TrajectoryId;
+
+    fn loc(seg: usize, x: f64, t: f64) -> RoadLocation {
+        RoadLocation::new(SegmentId::new(seg), Point::new(x, 0.0), t)
+    }
+
+    fn traj(id: u64, pts: Vec<RoadLocation>) -> Trajectory {
+        Trajectory::new(TrajectoryId::new(id), pts).unwrap()
+    }
+
+    /// Chain network: n0 -s0- n1 -s1- n2 -s2- n3 -s3- n4, 100 m apart.
+    fn net5() -> RoadNetwork {
+        chain_network(5, 100.0, 10.0)
+    }
+
+    #[test]
+    fn contiguous_transition_inserts_junction() {
+        let net = net5();
+        let mut eng = ShortestPathEngine::new(&net);
+        // Sample on s0 at x=50, then on s1 at x=150: junction n1 at x=100.
+        let tr = traj(1, vec![loc(0, 50.0, 0.0), loc(1, 150.0, 10.0)]);
+        let frags = extract_fragments_with_junctions(&net, &mut eng, &tr).unwrap();
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].segment, SegmentId::new(0));
+        // Fragment 0 ends at the junction (x=100), halfway in time.
+        assert!((frags[0].last.position.x - 100.0).abs() < 1e-9);
+        assert!((frags[0].last.time - 5.0).abs() < 1e-9);
+        // Fragment 1 starts at the junction.
+        assert!((frags[1].first.position.x - 100.0).abs() < 1e-9);
+        assert_eq!(frags[1].segment, SegmentId::new(1));
+        assert_eq!(frags[1].last.time, 10.0);
+    }
+
+    #[test]
+    fn gap_repair_creates_passthrough_fragments() {
+        let net = net5();
+        let mut eng = ShortestPathEngine::new(&net);
+        // Sample on s0 then s3: s1 and s2 traversed between samples.
+        let tr = traj(1, vec![loc(0, 50.0, 0.0), loc(3, 350.0, 30.0)]);
+        let frags = extract_fragments_with_junctions(&net, &mut eng, &tr).unwrap();
+        let segs: Vec<usize> = frags.iter().map(|f| f.segment.index()).collect();
+        assert_eq!(segs, vec![0, 1, 2, 3]);
+        // Pass-through fragments carry the inserted junction endpoints.
+        assert_eq!(frags[1].point_count, 2);
+        assert!((frags[1].first.position.x - 100.0).abs() < 1e-9);
+        assert!((frags[1].last.position.x - 200.0).abs() < 1e-9);
+        // Times increase monotonically across the chain.
+        for w in frags.windows(2) {
+            assert!(w[0].last.time <= w[1].first.time + 1e-9);
+        }
+        assert!(frags[3].last.time <= 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn base_clusters_sorted_by_density() {
+        let net = net5();
+        let mut data = Dataset::new("d");
+        // 3 trajectories over s0→s1; 1 over s2→s3.
+        for id in 0..3 {
+            data.push(traj(id, vec![loc(0, 50.0, 0.0), loc(1, 150.0, 10.0)]));
+        }
+        data.push(traj(9, vec![loc(2, 250.0, 0.0), loc(3, 350.0, 10.0)]));
+        let out = form_base_clusters(&net, &data, true).unwrap();
+        assert_eq!(out.base_clusters.len(), 4);
+        let dc = out.dense_core().unwrap();
+        assert_eq!(dc.density(), 3);
+        // s0 and s1 both have density 3; tie broken by segment id.
+        assert_eq!(dc.segment(), SegmentId::new(0));
+        for w in out.base_clusters.windows(2) {
+            assert!(w[0].density() >= w[1].density());
+        }
+    }
+
+    #[test]
+    fn fragment_counts_accumulate() {
+        let net = net5();
+        let mut data = Dataset::new("d");
+        data.push(traj(0, vec![loc(0, 10.0, 0.0), loc(0, 90.0, 9.0)]));
+        data.push(traj(1, vec![loc(0, 10.0, 0.0), loc(1, 150.0, 20.0)]));
+        let out = form_base_clusters(&net, &data, true).unwrap();
+        assert_eq!(out.fragment_count, 3);
+        let total: usize = out.base_clusters.iter().map(BaseCluster::density).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn unknown_segment_is_reported() {
+        let net = net5();
+        let mut data = Dataset::new("d");
+        data.push(traj(0, vec![loc(77, 0.0, 0.0), loc(77, 1.0, 1.0)]));
+        let err = form_base_clusters(&net, &data, true).unwrap_err();
+        assert!(matches!(err, NeatError::UnknownSegment(s) if s.index() == 77));
+        // Also without junction insertion.
+        let err = form_base_clusters(&net, &data, false).unwrap_err();
+        assert!(matches!(err, NeatError::UnknownSegment(_)));
+    }
+
+    #[test]
+    fn empty_dataset_gives_empty_output() {
+        let net = net5();
+        let out = form_base_clusters(&net, &Dataset::new("e"), true).unwrap();
+        assert!(out.base_clusters.is_empty());
+        assert!(out.dense_core().is_none());
+        assert_eq!(out.fragment_count, 0);
+    }
+
+    #[test]
+    fn disconnected_gap_splits_without_insertion() {
+        // Two disjoint chains; trajectory jumps between them.
+        let mut b = neat_rnet::RoadNetworkBuilder::new();
+        let a0 = b.add_node(Point::new(0.0, 0.0));
+        let a1 = b.add_node(Point::new(100.0, 0.0));
+        let c0 = b.add_node(Point::new(0.0, 5000.0));
+        let c1 = b.add_node(Point::new(100.0, 5000.0));
+        let s0 = b.add_segment(a0, a1, 10.0).unwrap();
+        let s1 = b.add_segment(c0, c1, 10.0).unwrap();
+        let net = b.build().unwrap();
+        let mut eng = ShortestPathEngine::new(&net);
+        let tr = traj(
+            1,
+            vec![
+                RoadLocation::new(s0, Point::new(50.0, 0.0), 0.0),
+                RoadLocation::new(s1, Point::new(50.0, 5000.0), 100.0),
+            ],
+        );
+        let frags = extract_fragments_with_junctions(&net, &mut eng, &tr).unwrap();
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].point_count, 1);
+        assert_eq!(frags[1].point_count, 1);
+    }
+
+    #[test]
+    fn no_insertion_mode_matches_plain_split() {
+        let net = net5();
+        let mut data = Dataset::new("d");
+        data.push(traj(0, vec![loc(0, 10.0, 0.0), loc(1, 150.0, 10.0)]));
+        let out = form_base_clusters(&net, &data, false).unwrap();
+        assert_eq!(out.fragment_count, 2);
+        // Without junction insertion the first fragment ends at the sample.
+        let s0_cluster = out
+            .base_clusters
+            .iter()
+            .find(|c| c.segment() == SegmentId::new(0))
+            .unwrap();
+        assert!((s0_cluster.fragments()[0].last.position.x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let net = net5();
+        let mut data = Dataset::new("par");
+        for id in 0..37 {
+            data.push(traj(
+                id,
+                vec![
+                    loc((id % 3) as usize, (id % 3) as f64 * 100.0 + 20.0, 0.0),
+                    loc(
+                        ((id % 3) + 1) as usize,
+                        ((id % 3) + 1) as f64 * 100.0 + 30.0,
+                        15.0,
+                    ),
+                ],
+            ));
+        }
+        let seq = form_base_clusters(&net, &data, true).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = form_base_clusters_parallel(&net, &data, true, threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_propagates_errors() {
+        let net = net5();
+        let mut data = Dataset::new("err");
+        for id in 0..8 {
+            data.push(traj(id, vec![loc(0, 10.0, 0.0), loc(0, 20.0, 5.0)]));
+        }
+        data.push(traj(99, vec![loc(77, 0.0, 0.0), loc(77, 1.0, 1.0)]));
+        let err = form_base_clusters_parallel(&net, &data, true, 4).unwrap_err();
+        assert!(matches!(err, NeatError::UnknownSegment(_)));
+    }
+
+    #[test]
+    fn direction_preserved_in_fragment_order() {
+        let net = net5();
+        let mut eng = ShortestPathEngine::new(&net);
+        // Travel backwards: s3 → s0.
+        let tr = traj(1, vec![loc(3, 350.0, 0.0), loc(0, 50.0, 30.0)]);
+        let frags = extract_fragments_with_junctions(&net, &mut eng, &tr).unwrap();
+        let segs: Vec<usize> = frags.iter().map(|f| f.segment.index()).collect();
+        assert_eq!(segs, vec![3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,539 @@
+//! Phase 3 — flow cluster refinement (Section III-C).
+//!
+//! Flow clusters whose representative routes end near each other (in
+//! *network* distance) are merged into final trajectory clusters:
+//!
+//! * the distance between two flows is a modified Hausdorff distance over
+//!   the two endpoint pairs of their representative routes
+//!   (Definition 11), computed with undirected shortest paths;
+//! * merging uses a deterministic adaptation of DBSCAN: the data units are
+//!   flow clusters, there is no minimum cardinality, and each round is
+//!   seeded by the unprocessed flow with the longest representative route;
+//! * the Euclidean lower bound (ELB) `d_E(a,b) ≤ d_N(a,b)` filters
+//!   candidate pairs before any shortest-path computation: if the minimum
+//!   Euclidean distance between the endpoint sets exceeds ε, the network
+//!   distance must too (Section III-C3).
+
+use crate::config::{NeatConfig, RouteDistance, SpStrategy};
+use crate::error::NeatError;
+use crate::model::{FlowCluster, TrajectoryCluster};
+use neat_rnet::path::TravelMode;
+use neat_rnet::{NodeId, RoadNetwork, ShortestPathEngine};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Instrumentation counters for the Figure-7 ablation (ELB vs Dijkstra).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Phase3Stats {
+    /// Ordered flow pairs examined while retrieving ε-neighbourhoods.
+    pub pairs_considered: u64,
+    /// Pairs eliminated by the Euclidean lower bound before any
+    /// shortest-path computation.
+    pub elb_skips: u64,
+    /// Individual shortest-path computations performed (up to four per
+    /// surviving pair, minus cache hits).
+    pub sp_computations: u64,
+    /// Node-pair distance lookups answered by the memo table.
+    pub sp_cache_hits: u64,
+}
+
+/// Output of Phase 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase3Output {
+    /// Final trajectory clusters, in formation order.
+    pub clusters: Vec<TrajectoryCluster>,
+    /// Instrumentation counters.
+    pub stats: Phase3Stats,
+}
+
+/// Network-distance oracle with memoisation and the ELB filter.
+struct DistanceOracle<'a> {
+    net: &'a RoadNetwork,
+    engine: ShortestPathEngine,
+    strategy: SpStrategy,
+    epsilon: f64,
+    cache: HashMap<(NodeId, NodeId), Option<f64>>,
+    stats: Phase3Stats,
+}
+
+impl<'a> DistanceOracle<'a> {
+    fn new(net: &'a RoadNetwork, strategy: SpStrategy, epsilon: f64) -> Self {
+        DistanceOracle {
+            net,
+            engine: ShortestPathEngine::new(net),
+            strategy,
+            epsilon,
+            cache: HashMap::new(),
+            stats: Phase3Stats::default(),
+        }
+    }
+
+    /// Undirected network distance `d_N(a, b)`, memoised symmetrically.
+    ///
+    /// Phase 3 only needs to decide `d_N ≤ ε`, so the A* strategy bounds
+    /// its search at ε and returns `None` for anything farther (or
+    /// unreachable); the Dijkstra strategy reproduces the paper's
+    /// unbounded network-expansion baseline.
+    fn network_distance(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&d) = self.cache.get(&key) {
+            self.stats.sp_cache_hits += 1;
+            return d;
+        }
+        self.stats.sp_computations += 1;
+        let d = match self.strategy {
+            SpStrategy::AStar => self.engine.distance_bounded(
+                self.net,
+                key.0,
+                key.1,
+                TravelMode::Undirected,
+                self.epsilon,
+            ),
+            SpStrategy::Dijkstra => {
+                // Plain unbounded network expansion: the paper's
+                // opt-NEAT-Dijkstra baseline (Figure 7).
+                self.engine.distance_plain(self.net, key.0, key.1)
+            }
+        };
+        self.cache.insert(key, d);
+        d
+    }
+
+    /// Modified Hausdorff distance between two representative routes:
+    /// over the endpoint pairs (Definition 11, the paper's first
+    /// prototype) or over every junction of both routes
+    /// ([`RouteDistance::FullRoute`]). `None` when some required distance
+    /// exceeds ε (A* strategy) or is unreachable.
+    fn flow_distance(
+        &mut self,
+        fi: &FlowCluster,
+        fj: &FlowCluster,
+        points: RouteDistance,
+    ) -> Option<f64> {
+        let (xs, ys): (Vec<NodeId>, Vec<NodeId>) = match points {
+            RouteDistance::Endpoints => {
+                let (a1, a2) = fi.endpoints();
+                let (b1, b2) = fj.endpoints();
+                (vec![a1, a2], vec![b1, b2])
+            }
+            RouteDistance::FullRoute => (fi.node_chain().to_vec(), fj.node_chain().to_vec()),
+        };
+        let mut h = 0.0f64;
+        for &a in &xs {
+            let m = ys
+                .iter()
+                .filter_map(|&b| self.network_distance(a, b))
+                .fold(f64::INFINITY, f64::min);
+            if !m.is_finite() {
+                return None;
+            }
+            h = h.max(m);
+        }
+        for &b in &ys {
+            let m = xs
+                .iter()
+                .filter_map(|&a| self.network_distance(b, a))
+                .fold(f64::INFINITY, f64::min);
+            if !m.is_finite() {
+                return None;
+            }
+            h = h.max(m);
+        }
+        Some(h)
+    }
+
+    /// Minimum Euclidean distance between the compared point sets — the
+    /// ELB pre-filter of Section III-C3. The point sets must match the
+    /// route-distance setting: when every cross Euclidean distance
+    /// exceeds ε, every network distance does too, so every `min` term of
+    /// the Hausdorff (and hence the Hausdorff itself) exceeds ε.
+    fn min_euclidean(&self, fi: &FlowCluster, fj: &FlowCluster, points: RouteDistance) -> f64 {
+        let (xs, ys): (Vec<NodeId>, Vec<NodeId>) = match points {
+            RouteDistance::Endpoints => {
+                let (a1, a2) = fi.endpoints();
+                let (b1, b2) = fj.endpoints();
+                (vec![a1, a2], vec![b1, b2])
+            }
+            RouteDistance::FullRoute => (fi.node_chain().to_vec(), fj.node_chain().to_vec()),
+        };
+        let mut m = f64::INFINITY;
+        for &a in &xs {
+            for &b in &ys {
+                m = m.min(self.net.euclidean_distance(a, b));
+            }
+        }
+        m
+    }
+}
+
+/// Runs Phase 3: merges flow clusters whose modified Hausdorff network
+/// distance is within `config.epsilon`, using the deterministic DBSCAN
+/// adaptation described in the module docs.
+///
+/// # Errors
+///
+/// Returns [`NeatError::InvalidConfig`] when the configuration fails
+/// validation.
+pub fn refine_flow_clusters(
+    net: &RoadNetwork,
+    flows: Vec<FlowCluster>,
+    config: &NeatConfig,
+) -> Result<Phase3Output, NeatError> {
+    config.validate()?;
+    let n = flows.len();
+    if n == 0 {
+        return Ok(Phase3Output {
+            clusters: Vec::new(),
+            stats: Phase3Stats::default(),
+        });
+    }
+
+    // Deterministic processing order: longest representative route first
+    // (ties by fewer members, then original index).
+    let mut order: Vec<usize> = (0..n).collect();
+    let lengths: Vec<f64> = flows.iter().map(|f| f.route_length(net)).collect();
+    order.sort_by(|&i, &j| {
+        lengths[j]
+            .total_cmp(&lengths[i])
+            .then_with(|| flows[i].members().len().cmp(&flows[j].members().len()))
+            .then_with(|| i.cmp(&j))
+    });
+
+    let mut oracle = DistanceOracle::new(net, config.sp_strategy, config.epsilon);
+    let mut label: Vec<Option<usize>> = vec![None; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+
+    for &seed in &order {
+        if label[seed].is_some() {
+            continue;
+        }
+        let gid = groups.len();
+        groups.push(Vec::new());
+        // DBSCAN-style expansion with a FIFO frontier; no minPts — every
+        // ε-reachable flow joins the cluster (Section III-C2, mod. 3).
+        let mut queue = std::collections::VecDeque::from([seed]);
+        label[seed] = Some(gid);
+        while let Some(cur) = queue.pop_front() {
+            groups[gid].push(cur);
+            // ε-neighbourhood of `cur` among unlabelled flows, scanned in
+            // index order for determinism.
+            for other in 0..n {
+                if label[other].is_some() {
+                    continue;
+                }
+                oracle.stats.pairs_considered += 1;
+                if config.use_elb
+                    && oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance)
+                        > config.epsilon
+                {
+                    oracle.stats.elb_skips += 1;
+                    continue;
+                }
+                match oracle.flow_distance(&flows[cur], &flows[other], config.route_distance) {
+                    Some(d) if d <= config.epsilon => {
+                        label[other] = Some(gid);
+                        queue.push_back(other);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Materialise clusters, preserving in-group discovery order.
+    let mut flows_opt: Vec<Option<FlowCluster>> = flows.into_iter().map(Some).collect();
+    let clusters = groups
+        .into_iter()
+        .map(|members| {
+            TrajectoryCluster::new(
+                members
+                    .into_iter()
+                    .map(|i| flows_opt[i].take().expect("each flow used once"))
+                    .collect(),
+            )
+        })
+        .collect();
+    Ok(Phase3Output {
+        clusters,
+        stats: oracle.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouteDistance;
+    use crate::model::BaseCluster;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::{Point, RoadLocation, SegmentId};
+    use neat_traj::{TFragment, TrajectoryId};
+
+    fn frag(tr: u64, seg: usize) -> TFragment {
+        let loc = RoadLocation::new(SegmentId::new(seg), Point::new(0.0, 0.0), 0.0);
+        TFragment {
+            trajectory: TrajectoryId::new(tr),
+            segment: SegmentId::new(seg),
+            first: loc,
+            last: loc,
+            point_count: 2,
+        }
+    }
+
+    fn frag2(tr: u64, seg: neat_rnet::SegmentId) -> neat_traj::TFragment {
+        let loc = RoadLocation::new(seg, Point::new(0.0, 0.0), 0.0);
+        neat_traj::TFragment {
+            trajectory: TrajectoryId::new(tr),
+            segment: seg,
+            first: loc,
+            last: loc,
+            point_count: 2,
+        }
+    }
+
+    fn flow_on(net: &RoadNetwork, segs: &[usize], tr: u64) -> FlowCluster {
+        let mut it = segs.iter();
+        let first = *it.next().expect("non-empty");
+        let mut f = FlowCluster::from_base(
+            net,
+            BaseCluster::new(SegmentId::new(first), vec![frag(tr, first)]).unwrap(),
+        )
+        .unwrap();
+        for &s in it {
+            f.push_back(
+                net,
+                BaseCluster::new(SegmentId::new(s), vec![frag(tr, s)]).unwrap(),
+            )
+            .unwrap();
+        }
+        f
+    }
+
+    fn cfg(epsilon: f64, use_elb: bool) -> NeatConfig {
+        NeatConfig {
+            epsilon,
+            use_elb,
+            ..NeatConfig::default()
+        }
+    }
+
+    #[test]
+    fn nearby_flows_merge() {
+        // Chain of 10 segments (100 m each). Flow A = s0..s3 (ends n0,
+        // n4), flow B = s5..s8 (ends n5, n9). Definition 11 pairs each
+        // endpoint with its nearest counterpart: max-min = 500 m (the
+        // n0↔n5 / n4↔n9 correspondence).
+        let net = chain_network(11, 100.0, 10.0);
+        let a = flow_on(&net, &[0, 1, 2, 3], 1);
+        let b = flow_on(&net, &[5, 6, 7, 8], 2);
+        let out =
+            refine_flow_clusters(&net, vec![a.clone(), b.clone()], &cfg(500.0, true)).unwrap();
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].flows().len(), 2);
+        // Just below the Hausdorff distance they stay apart.
+        let out = refine_flow_clusters(&net, vec![a, b], &cfg(499.0, true)).unwrap();
+        assert_eq!(out.clusters.len(), 2);
+    }
+
+    #[test]
+    fn far_flows_stay_apart() {
+        let net = chain_network(30, 100.0, 10.0);
+        let a = flow_on(&net, &[0, 1], 1);
+        let b = flow_on(&net, &[27, 28], 2);
+        let out = refine_flow_clusters(&net, vec![a, b], &cfg(500.0, true)).unwrap();
+        assert_eq!(out.clusters.len(), 2);
+    }
+
+    #[test]
+    fn hausdorff_uses_max_not_min() {
+        // Flow A = s0..s1 (endpoints n0, n2); flow B = s2 (endpoints n2,
+        // n3). Nearest endpoints coincide (n2) but the far ends are 300 m /
+        // 200 m away. dist = max over maxmin = 300 (n0's nearest B endpoint
+        // is n2 at 200m? n0→n2=200, n0→n3=300 → min 200; n2→{n0,n2}: 0;
+        // n3→{n0,n2} = min(300,100)=100; A side: n0:200, n2:0 → max 200;
+        // B side: max(0, 100) = 100; overall 200.
+        let net = chain_network(5, 100.0, 10.0);
+        let a = flow_on(&net, &[0, 1], 1);
+        let b = flow_on(&net, &[2], 2);
+        // ε just below 200 keeps them apart…
+        let out =
+            refine_flow_clusters(&net, vec![a.clone(), b.clone()], &cfg(199.0, true)).unwrap();
+        assert_eq!(out.clusters.len(), 2);
+        // …and ε at 200 merges them.
+        let out = refine_flow_clusters(&net, vec![a, b], &cfg(200.0, true)).unwrap();
+        assert_eq!(out.clusters.len(), 1);
+    }
+
+    #[test]
+    fn elb_and_dijkstra_agree() {
+        let net = chain_network(20, 100.0, 10.0);
+        let flows = vec![
+            flow_on(&net, &[0, 1, 2], 1),
+            flow_on(&net, &[4, 5], 2),
+            flow_on(&net, &[10, 11, 12, 13], 3),
+            flow_on(&net, &[16, 17], 4),
+        ];
+        let with_elb = refine_flow_clusters(&net, flows.clone(), &cfg(250.0, true)).unwrap();
+        let mut dij = cfg(250.0, false);
+        dij.sp_strategy = SpStrategy::Dijkstra;
+        let without = refine_flow_clusters(&net, flows, &dij).unwrap();
+        let shape = |o: &Phase3Output| {
+            let mut v: Vec<usize> = o.clusters.iter().map(|c| c.flows().len()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(shape(&with_elb), shape(&without));
+        // ELB actually skipped work.
+        assert!(with_elb.stats.elb_skips > 0);
+        assert!(with_elb.stats.sp_computations < without.stats.sp_computations);
+    }
+
+    #[test]
+    fn seeded_by_longest_route() {
+        let net = chain_network(12, 100.0, 10.0);
+        let short = flow_on(&net, &[0], 1);
+        let long = flow_on(&net, &[3, 4, 5, 6], 2);
+        let out = refine_flow_clusters(&net, vec![short, long], &cfg(50.0, true)).unwrap();
+        // Longest route seeds the first cluster.
+        assert_eq!(out.clusters[0].flows()[0].members().len(), 4);
+    }
+
+    #[test]
+    fn transitive_chain_merges_via_density_connectivity() {
+        // A–B within ε (400 m), B–C within ε, A–C beyond ε (800 m): all
+        // three join one cluster through B (density-connected set).
+        let net = chain_network(16, 100.0, 10.0);
+        let a = flow_on(&net, &[0, 1], 1); // ends n0,n2
+        let b = flow_on(&net, &[4, 5], 2); // ends n4,n6
+        let c = flow_on(&net, &[8, 9], 3); // ends n8,n10
+        let out = refine_flow_clusters(&net, vec![a, b, c], &cfg(400.0, true)).unwrap();
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].flows().len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let net = chain_network(3, 100.0, 10.0);
+        let out = refine_flow_clusters(&net, vec![], &cfg(100.0, true)).unwrap();
+        assert!(out.clusters.is_empty());
+        assert_eq!(out.stats, Phase3Stats::default());
+    }
+
+    #[test]
+    fn single_flow_single_cluster() {
+        let net = chain_network(4, 100.0, 10.0);
+        let out =
+            refine_flow_clusters(&net, vec![flow_on(&net, &[1, 2], 1)], &cfg(10.0, true)).unwrap();
+        assert_eq!(out.clusters.len(), 1);
+    }
+
+    #[test]
+    fn cache_avoids_recomputation() {
+        let net = chain_network(12, 100.0, 10.0);
+        // Flows sharing endpoints → repeated node pairs.
+        let flows = vec![
+            flow_on(&net, &[0, 1], 1),
+            flow_on(&net, &[2, 3], 2),
+            flow_on(&net, &[4, 5], 3),
+        ];
+        let out = refine_flow_clusters(&net, flows, &cfg(1e6, true)).unwrap();
+        assert!(out.stats.sp_cache_hits > 0);
+    }
+
+    #[test]
+    fn full_route_distance_is_stricter_than_endpoints() {
+        // Two parallel-ish flows sharing endpoints-region but diverging in
+        // the middle cannot be built on a chain; instead compare a long
+        // flow against a short one whose endpoints sit near the long
+        // flow's ends via the chain: endpoints measure sees distance 200,
+        // full-route sees the far interior nodes too.
+        let net = chain_network(12, 100.0, 10.0);
+        let long = flow_on(&net, &[0, 1, 2, 3, 4, 5], 1); // ends n0, n6
+        let short = flow_on(&net, &[7, 8], 2); // ends n7, n9
+                                               // Endpoint Hausdorff: n0→{n7,n9}=700; n6→100; n7→100; n9→300 → 700.
+                                               // Full-route Hausdorff: same max (n0 is farthest) → equal here;
+                                               // verify both settings agree on the decision at ε = 700.
+        for (rd, expect_merge) in [
+            (RouteDistance::Endpoints, true),
+            (RouteDistance::FullRoute, true),
+        ] {
+            let mut c = cfg(700.0, true);
+            c.route_distance = rd;
+            let out = refine_flow_clusters(&net, vec![long.clone(), short.clone()], &c).unwrap();
+            assert_eq!(out.clusters.len() == 1, expect_merge, "{rd:?}");
+        }
+        // At ε = 300 the endpoint measure keeps them apart too (700 > 300).
+        let mut c = cfg(300.0, true);
+        c.route_distance = RouteDistance::FullRoute;
+        let out = refine_flow_clusters(&net, vec![long, short], &c).unwrap();
+        assert_eq!(out.clusters.len(), 2);
+    }
+
+    #[test]
+    fn full_route_separates_what_endpoints_merge() {
+        // A horseshoe: flow A runs along the bottom, flow B is a short
+        // stub near both of A's endpoints but far from A's middle… on a
+        // ring network. Build a loop of 12 nodes (100 m apart).
+        let mut b = neat_rnet::RoadNetworkBuilder::new();
+        let n: Vec<_> = (0..12)
+            .map(|i| {
+                let ang = std::f64::consts::TAU * i as f64 / 12.0;
+                b.add_node(neat_rnet::Point::new(200.0 * ang.cos(), 200.0 * ang.sin()))
+            })
+            .collect();
+        let mut segs = Vec::new();
+        for i in 0..12 {
+            segs.push(b.add_segment(n[i], n[(i + 1) % 12], 10.0).unwrap());
+        }
+        let net = b.build().unwrap();
+        // Flow A: half the ring (segments 0..5, endpoints n0 and n6).
+        // Flow B: one segment on the other side (segment 8: n8-n9).
+        let mk = |sids: &[neat_rnet::SegmentId], tr: u64| {
+            let mut it = sids.iter();
+            let mut f = FlowCluster::from_base(
+                &net,
+                BaseCluster::new(*it.next().unwrap(), vec![frag2(tr, *sids.first().unwrap())])
+                    .unwrap(),
+            )
+            .unwrap();
+            for &s in it {
+                f.push_back(&net, BaseCluster::new(s, vec![frag2(tr, s)]).unwrap())
+                    .unwrap();
+            }
+            f
+        };
+        let a = mk(&segs[0..6], 1);
+        let b_flow = mk(&segs[8..9], 2);
+        // Endpoint distances (along the ring): A ends at n0/n6; B at n8/n9.
+        // n6→n8 = 2 hops ≈ 207 m; n0→n9 = 3 hops ≈ 310 m; endpoint
+        // Hausdorff ≈ 311. Full-route adds A's middle nodes (n3 is 5 hops
+        // from B) → ≈ 518. ε between the two separates the settings.
+        let seg_len = net.segment(segs[0]).unwrap().length;
+        let eps = 4.0 * seg_len; // between 3 and 5 hops
+        let mut c = cfg(eps, true);
+        c.route_distance = RouteDistance::Endpoints;
+        let merged = refine_flow_clusters(&net, vec![a.clone(), b_flow.clone()], &c).unwrap();
+        assert_eq!(merged.clusters.len(), 1, "endpoints should merge");
+        c.route_distance = RouteDistance::FullRoute;
+        let apart = refine_flow_clusters(&net, vec![a, b_flow], &c).unwrap();
+        assert_eq!(apart.clusters.len(), 2, "full route should separate");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let net = chain_network(20, 100.0, 10.0);
+        let mk = || {
+            vec![
+                flow_on(&net, &[0, 1, 2], 1),
+                flow_on(&net, &[5, 6], 2),
+                flow_on(&net, &[9, 10, 11], 3),
+                flow_on(&net, &[15], 4),
+            ]
+        };
+        let a = refine_flow_clusters(&net, mk(), &cfg(300.0, true)).unwrap();
+        let b = refine_flow_clusters(&net, mk(), &cfg(300.0, true)).unwrap();
+        assert_eq!(a.clusters, b.clusters);
+    }
+}

@@ -1,0 +1,366 @@
+//! The user-facing NEAT pipeline: `base-NEAT`, `flow-NEAT` and `opt-NEAT`.
+//!
+//! Section IV of the paper names three versions of the framework — Phase 1
+//! only, Phases 1–2 and all three phases — and evaluates them separately
+//! (Figure 6). [`Neat::run`] executes the requested [`Mode`] and reports
+//! per-phase wall-clock timings alongside the outputs of every phase that
+//! ran.
+
+use crate::config::NeatConfig;
+use crate::error::NeatError;
+use crate::model::{BaseCluster, FlowCluster, TrajectoryCluster};
+use crate::phase1::form_base_clusters_parallel;
+use crate::phase2::form_flow_clusters;
+use crate::phase3::{refine_flow_clusters, Phase3Stats};
+use neat_rnet::RoadNetwork;
+use neat_traj::Dataset;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Which NEAT version to run (Section IV's base-/flow-/opt-NEAT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Phase 1 only: base clusters.
+    Base,
+    /// Phases 1–2: flow clusters.
+    Flow,
+    /// All three phases: refined trajectory clusters.
+    Opt,
+}
+
+impl Mode {
+    /// Human-readable name matching the paper ("base-NEAT" etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Base => "base-NEAT",
+            Mode::Flow => "flow-NEAT",
+            Mode::Opt => "opt-NEAT",
+        }
+    }
+}
+
+/// Wall-clock duration of each phase that ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Phase 1 (base cluster formation).
+    pub phase1: Duration,
+    /// Phase 2 (flow cluster formation); zero when not run.
+    pub phase2: Duration,
+    /// Phase 3 (flow cluster refinement); zero when not run.
+    pub phase3: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across the phases that ran.
+    pub fn total(&self) -> Duration {
+        self.phase1 + self.phase2 + self.phase3
+    }
+}
+
+/// Result of a NEAT run. Outputs of phases beyond the requested [`Mode`]
+/// are empty.
+#[derive(Debug, Clone)]
+pub struct NeatResult {
+    /// The mode that produced this result.
+    pub mode: Mode,
+    /// Phase-1 base clusters, density-sorted. Retained only for
+    /// [`Mode::Base`] (later modes consume them into flows).
+    pub base_clusters: Vec<BaseCluster>,
+    /// Number of base clusters Phase 1 formed (available in every mode).
+    pub base_cluster_count: usize,
+    /// Number of t-fragments Phase 1 extracted.
+    pub fragment_count: usize,
+    /// Phase-2 flow clusters that passed the `minCard` filter (empty for
+    /// [`Mode::Base`]).
+    pub flow_clusters: Vec<FlowCluster>,
+    /// Flows discarded by the `minCard` filter.
+    pub discarded_flows: usize,
+    /// Phase-3 trajectory clusters (empty unless [`Mode::Opt`]).
+    pub clusters: Vec<TrajectoryCluster>,
+    /// Phase-3 instrumentation (zeroed unless [`Mode::Opt`]).
+    pub phase3_stats: Phase3Stats,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+impl NeatResult {
+    /// A multi-line human-readable summary of the run: per-phase counts,
+    /// timings, and (for flow/opt modes) headline statistics of the
+    /// discovered clusters. Intended for logs and CLIs; the structured
+    /// fields remain the API for programmatic use.
+    pub fn summary(&self, net: &RoadNetwork) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} t-fragments -> {} base clusters ({:.3}s)",
+            self.mode.name(),
+            self.fragment_count,
+            self.base_cluster_count,
+            self.timings.phase1.as_secs_f64()
+        );
+        if self.mode != Mode::Base {
+            let stats = crate::analysis::flow_statistics(net, &self.flow_clusters);
+            let _ = writeln!(
+                out,
+                "flows: {} kept / {} discarded; avg route {:.0} m, max {:.0} m, avg {:.1} trajectories ({:.3}s)",
+                stats.count,
+                self.discarded_flows,
+                stats.avg_route_length_m,
+                stats.max_route_length_m,
+                stats.avg_cardinality,
+                self.timings.phase2.as_secs_f64()
+            );
+        }
+        if self.mode == Mode::Opt {
+            let stats = crate::analysis::cluster_statistics(net, &self.clusters);
+            let _ = writeln!(
+                out,
+                "clusters: {}; avg {:.1} flows each, largest {}; {} SPs / {} ELB skips ({:.3}s)",
+                stats.count,
+                stats.avg_flows_per_cluster,
+                stats.max_flows_per_cluster,
+                self.phase3_stats.sp_computations,
+                self.phase3_stats.elb_skips,
+                self.timings.phase3.as_secs_f64()
+            );
+        }
+        out
+    }
+}
+
+/// The NEAT clustering pipeline bound to a road network and configuration.
+///
+/// See the [crate-level docs](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct Neat<'a> {
+    net: &'a RoadNetwork,
+    config: NeatConfig,
+}
+
+impl<'a> Neat<'a> {
+    /// Creates a pipeline over `net` with the given configuration.
+    pub fn new(net: &'a RoadNetwork, config: NeatConfig) -> Self {
+        Neat { net, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NeatConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline on `dataset` in the requested mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeatError::InvalidConfig`] for invalid parameters and
+    /// [`NeatError::UnknownSegment`] when the dataset references segments
+    /// missing from the network.
+    pub fn run(&self, dataset: &Dataset, mode: Mode) -> Result<NeatResult, NeatError> {
+        self.config.validate()?;
+        let mut timings = PhaseTimings::default();
+
+        let t0 = Instant::now();
+        let p1 = form_base_clusters_parallel(
+            self.net,
+            dataset,
+            self.config.insert_junctions,
+            self.config.phase1_threads,
+        )?;
+        timings.phase1 = t0.elapsed();
+        let base_cluster_count = p1.base_clusters.len();
+        let fragment_count = p1.fragment_count;
+
+        if mode == Mode::Base {
+            return Ok(NeatResult {
+                mode,
+                base_clusters: p1.base_clusters,
+                base_cluster_count,
+                fragment_count,
+                flow_clusters: Vec::new(),
+                discarded_flows: 0,
+                clusters: Vec::new(),
+                phase3_stats: Phase3Stats::default(),
+                timings,
+            });
+        }
+
+        let t1 = Instant::now();
+        let p2 = form_flow_clusters(self.net, p1.base_clusters, &self.config)?;
+        timings.phase2 = t1.elapsed();
+
+        if mode == Mode::Flow {
+            return Ok(NeatResult {
+                mode,
+                base_clusters: Vec::new(),
+                base_cluster_count,
+                fragment_count,
+                flow_clusters: p2.flow_clusters,
+                discarded_flows: p2.discarded,
+                clusters: Vec::new(),
+                phase3_stats: Phase3Stats::default(),
+                timings,
+            });
+        }
+
+        let t2 = Instant::now();
+        let flow_clusters = p2.flow_clusters.clone();
+        let p3 = refine_flow_clusters(self.net, p2.flow_clusters, &self.config)?;
+        timings.phase3 = t2.elapsed();
+
+        Ok(NeatResult {
+            mode,
+            base_clusters: Vec::new(),
+            base_cluster_count,
+            fragment_count,
+            flow_clusters,
+            discarded_flows: p2.discarded,
+            clusters: p3.clusters,
+            phase3_stats: p3.stats,
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::{Point, RoadLocation, SegmentId};
+    use neat_traj::{Trajectory, TrajectoryId};
+
+    /// Dataset where `count` objects traverse segments `segs` of a chain
+    /// network (100 m spacing), sampled twice per segment.
+    fn traverse(count: u64, id0: u64, segs: &[usize]) -> Vec<Trajectory> {
+        (0..count)
+            .map(|i| {
+                let pts = segs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(k, &s)| {
+                        [
+                            RoadLocation::new(
+                                SegmentId::new(s),
+                                Point::new(s as f64 * 100.0 + 30.0, 0.0),
+                                k as f64 * 10.0,
+                            ),
+                            RoadLocation::new(
+                                SegmentId::new(s),
+                                Point::new(s as f64 * 100.0 + 70.0, 0.0),
+                                k as f64 * 10.0 + 5.0,
+                            ),
+                        ]
+                    })
+                    .collect();
+                Trajectory::new(TrajectoryId::new(id0 + i), pts).unwrap()
+            })
+            .collect()
+    }
+
+    fn config(min_card: usize) -> NeatConfig {
+        NeatConfig {
+            min_card,
+            ..NeatConfig::default()
+        }
+    }
+
+    #[test]
+    fn base_mode_returns_base_clusters() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(4, 0, &[0, 1, 2]));
+        let r = Neat::new(&net, config(1)).run(&data, Mode::Base).unwrap();
+        assert_eq!(r.mode, Mode::Base);
+        assert_eq!(r.base_clusters.len(), 3);
+        assert_eq!(r.base_cluster_count, 3);
+        assert!(r.flow_clusters.is_empty());
+        assert!(r.clusters.is_empty());
+        assert!(r.timings.phase2.is_zero());
+    }
+
+    #[test]
+    fn flow_mode_produces_flows() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(4, 0, &[0, 1, 2]));
+        data.extend(traverse(2, 100, &[4]));
+        let r = Neat::new(&net, config(2)).run(&data, Mode::Flow).unwrap();
+        assert_eq!(r.flow_clusters.len(), 2);
+        assert!(r.base_clusters.is_empty());
+        assert_eq!(r.base_cluster_count, 4);
+        assert!(r.clusters.is_empty());
+    }
+
+    #[test]
+    fn opt_mode_produces_final_clusters() {
+        let net = chain_network(10, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(4, 0, &[0, 1, 2]));
+        data.extend(traverse(4, 100, &[5, 6, 7]));
+        // Definition-11 distance between the flows is 500 m (nearest
+        // endpoint correspondence n0↔n5, n3↔n8).
+        let mut c = config(2);
+        c.epsilon = 500.0;
+        let r = Neat::new(&net, c).run(&data, Mode::Opt).unwrap();
+        assert_eq!(r.flow_clusters.len(), 2);
+        assert_eq!(r.clusters.len(), 1);
+        assert_eq!(r.clusters[0].flows().len(), 2);
+        assert!(r.phase3_stats.pairs_considered > 0);
+    }
+
+    #[test]
+    fn min_card_discard_count_surfaces() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(5, 0, &[0, 1]));
+        data.extend(traverse(1, 100, &[3, 4]));
+        let r = Neat::new(&net, config(3)).run(&data, Mode::Flow).unwrap();
+        assert_eq!(r.flow_clusters.len(), 1);
+        assert_eq!(r.discarded_flows, 1);
+    }
+
+    #[test]
+    fn invalid_config_fails_early() {
+        let net = chain_network(3, 100.0, 10.0);
+        let mut c = config(1);
+        c.beta = 0.1;
+        assert!(matches!(
+            Neat::new(&net, c).run(&Dataset::new("x"), Mode::Base),
+            Err(NeatError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn mode_names_match_paper() {
+        assert_eq!(Mode::Base.name(), "base-NEAT");
+        assert_eq!(Mode::Flow.name(), "flow-NEAT");
+        assert_eq!(Mode::Opt.name(), "opt-NEAT");
+    }
+
+    #[test]
+    fn summary_mentions_each_phase() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(4, 0, &[0, 1, 2]));
+        let neat = Neat::new(&net, config(1));
+        let base = neat.run(&data, Mode::Base).unwrap().summary(&net);
+        assert!(base.contains("base-NEAT"));
+        assert!(!base.contains("flows:"));
+        let flow = neat.run(&data, Mode::Flow).unwrap().summary(&net);
+        assert!(flow.contains("flows:"));
+        assert!(!flow.contains("clusters:"));
+        let opt = neat.run(&data, Mode::Opt).unwrap().summary(&net);
+        assert!(opt.contains("clusters:"));
+        assert!(opt.lines().count() >= 3);
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(3, 0, &[0, 1, 2, 3]));
+        let r = Neat::new(&net, config(1)).run(&data, Mode::Opt).unwrap();
+        assert!(r.timings.total() >= r.timings.phase1);
+        assert!(r.timings.total() >= r.timings.phase3);
+    }
+}

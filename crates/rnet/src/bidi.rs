@@ -1,0 +1,266 @@
+//! Bidirectional Dijkstra — an alternative point-to-point solver used as
+//! an ablation against the A* engine in `path` (DESIGN.md §7).
+//!
+//! The search expands balls from both endpoints simultaneously and stops
+//! once the frontier sum exceeds the best meeting-point distance, settling
+//! roughly half the nodes of a unidirectional Dijkstra on road networks.
+
+use crate::graph::RoadNetwork;
+use crate::ids::NodeId;
+use crate::path::TravelMode;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable bidirectional Dijkstra solver with its own scratch state.
+#[derive(Debug, Clone)]
+pub struct BidirectionalDijkstra {
+    dist: [Vec<f64>; 2],
+    stamp: [Vec<u32>; 2],
+    generation: u32,
+    /// Node settlements across all queries, for ablation reporting.
+    settled_total: u64,
+}
+
+impl BidirectionalDijkstra {
+    /// Creates a solver sized for `net`.
+    pub fn new(net: &RoadNetwork) -> Self {
+        let n = net.node_count();
+        BidirectionalDijkstra {
+            dist: [vec![f64::INFINITY; n], vec![f64::INFINITY; n]],
+            stamp: [vec![0; n], vec![0; n]],
+            generation: 0,
+            settled_total: 0,
+        }
+    }
+
+    /// Total node settlements performed so far.
+    pub fn settled_nodes(&self) -> u64 {
+        self.settled_total
+    }
+
+    fn touch(&mut self, side: usize, node: usize) {
+        if self.stamp[side][node] != self.generation {
+            self.stamp[side][node] = self.generation;
+            self.dist[side][node] = f64::INFINITY;
+        }
+    }
+
+    fn dist_of(&self, side: usize, node: usize) -> f64 {
+        if self.stamp[side][node] == self.generation {
+            self.dist[side][node]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Network distance `d_N(from, to)`, or `None` when unreachable.
+    ///
+    /// For [`TravelMode::Directed`], the backward ball relaxes segments in
+    /// reverse, so one-way restrictions are honoured.
+    pub fn distance(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+    ) -> Option<f64> {
+        assert_eq!(
+            self.stamp[0].len(),
+            net.node_count(),
+            "solver was built for a different network"
+        );
+        if from == to {
+            return Some(0.0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp[0].fill(0);
+            self.stamp[1].fill(0);
+            self.generation = 1;
+        }
+
+        let mut heaps = [BinaryHeap::new(), BinaryHeap::new()];
+        for (side, start) in [(0usize, from), (1usize, to)] {
+            self.touch(side, start.index());
+            self.dist[side][start.index()] = 0.0;
+            heaps[side].push(Entry {
+                dist: 0.0,
+                node: start.index() as u32,
+            });
+        }
+
+        let mut best = f64::INFINITY;
+        loop {
+            // Pick the side with the smaller frontier to expand.
+            let side = match (heaps[0].peek(), heaps[1].peek()) {
+                (None, None) => break,
+                (Some(_), None) => 0,
+                (None, Some(_)) => 1,
+                (Some(a), Some(b)) => {
+                    if a.dist <= b.dist {
+                        0
+                    } else {
+                        1
+                    }
+                }
+            };
+            // Termination: the two frontiers together cannot improve best.
+            let top0 = heaps[0].peek().map_or(f64::INFINITY, |e| e.dist);
+            let top1 = heaps[1].peek().map_or(f64::INFINITY, |e| e.dist);
+            if top0 + top1 >= best {
+                break;
+            }
+            let Entry { dist, node } = heaps[side].pop().expect("side chosen non-empty");
+            let u = node as usize;
+            if dist > self.dist_of(side, u) {
+                continue; // stale
+            }
+            self.settled_total += 1;
+            for &sid in net.incident_segments(NodeId::new(u)) {
+                let seg = net.segment(sid).expect("incident segment exists");
+                if mode == TravelMode::Directed {
+                    // Forward ball follows direction; backward ball goes
+                    // against it.
+                    let ok = if side == 0 {
+                        seg.traversable_from(NodeId::new(u))
+                    } else {
+                        seg.traversable_from(seg.other_endpoint(NodeId::new(u)))
+                    };
+                    if !ok {
+                        continue;
+                    }
+                }
+                let v = seg.other_endpoint(NodeId::new(u)).index();
+                let nd = dist + seg.length;
+                self.touch(side, v);
+                if nd < self.dist[side][v] {
+                    self.dist[side][v] = nd;
+                    heaps[side].push(Entry {
+                        dist: nd,
+                        node: v as u32,
+                    });
+                    let other = self.dist_of(1 - side, v);
+                    if nd + other < best {
+                        best = nd + other;
+                    }
+                }
+            }
+        }
+        best.is_finite().then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::RoadNetworkBuilder;
+    use crate::netgen::{generate_grid_network, GridNetworkConfig};
+    use crate::path::ShortestPathEngine;
+
+    #[test]
+    fn agrees_with_unidirectional_on_grid() {
+        let net = generate_grid_network(&GridNetworkConfig::small_test(9, 9), 3);
+        let mut uni = ShortestPathEngine::new(&net);
+        let mut bi = BidirectionalDijkstra::new(&net);
+        for (a, b) in [(0usize, 80usize), (5, 41), (12, 12), (3, 77), (40, 44)] {
+            let (a, b) = (NodeId::new(a), NodeId::new(b));
+            let du = uni.distance(&net, a, b, TravelMode::Undirected);
+            let db = bi.distance(&net, a, b, TravelMode::Undirected);
+            match (du, db) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{a}->{b}: {x} vs {y}"),
+                (None, None) => {}
+                other => panic!("reachability mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn directed_respects_oneway_both_ways() {
+        let mut b = RoadNetworkBuilder::new();
+        let x = b.add_node(Point::new(0.0, 0.0));
+        let y = b.add_node(Point::new(100.0, 0.0));
+        b.add_segment_detailed(x, y, 100.0, 10.0, true).unwrap();
+        let net = b.build().unwrap();
+        let mut bi = BidirectionalDijkstra::new(&net);
+        assert_eq!(bi.distance(&net, x, y, TravelMode::Directed), Some(100.0));
+        assert_eq!(bi.distance(&net, y, x, TravelMode::Directed), None);
+        assert_eq!(bi.distance(&net, y, x, TravelMode::Undirected), Some(100.0));
+    }
+
+    #[test]
+    fn unreachable_is_none_and_self_is_zero() {
+        let mut b = RoadNetworkBuilder::new();
+        let x = b.add_node(Point::new(0.0, 0.0));
+        let y = b.add_node(Point::new(100.0, 0.0));
+        let net = b.build().unwrap();
+        let mut bi = BidirectionalDijkstra::new(&net);
+        assert_eq!(bi.distance(&net, x, y, TravelMode::Undirected), None);
+        assert_eq!(bi.distance(&net, x, x, TravelMode::Undirected), Some(0.0));
+    }
+
+    #[test]
+    fn settles_fewer_nodes_than_plain_dijkstra_on_long_queries() {
+        let net = generate_grid_network(&GridNetworkConfig::small_test(25, 25), 5);
+        let mut uni = ShortestPathEngine::new(&net);
+        let mut bi = BidirectionalDijkstra::new(&net);
+        let (a, b) = (NodeId::new(0), NodeId::new(net.node_count() - 1));
+        uni.reset_counters();
+        let du = uni.distance_plain(&net, a, b).unwrap();
+        let uni_settled = uni.settled_nodes();
+        let db = bi.distance(&net, a, b, TravelMode::Undirected).unwrap();
+        assert!((du - db).abs() < 1e-9);
+        assert!(
+            bi.settled_nodes() < uni_settled,
+            "bidirectional settled {} vs plain {}",
+            bi.settled_nodes(),
+            uni_settled
+        );
+    }
+
+    #[test]
+    fn reusable_across_many_queries() {
+        let net = generate_grid_network(&GridNetworkConfig::small_test(8, 8), 1);
+        let mut bi = BidirectionalDijkstra::new(&net);
+        let d1 = bi.distance(
+            &net,
+            NodeId::new(0),
+            NodeId::new(63),
+            TravelMode::Undirected,
+        );
+        for _ in 0..50 {
+            assert_eq!(
+                bi.distance(
+                    &net,
+                    NodeId::new(0),
+                    NodeId::new(63),
+                    TravelMode::Undirected
+                ),
+                d1
+            );
+        }
+    }
+}

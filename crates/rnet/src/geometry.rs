@@ -1,0 +1,289 @@
+//! Planar geometry primitives.
+//!
+//! The paper works in projected map coordinates (metres). All geometry here
+//! is 2-D Euclidean: points, distances and point-to-segment projection,
+//! which the map matcher and the Euclidean-lower-bound (ELB) filter of NEAT
+//! Phase 3 rely on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in projected planar coordinates (metres).
+///
+/// ```
+/// use neat_rnet::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from metre coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance — avoids the square root for comparisons.
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Length of this point treated as a vector from the origin.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product with `other` treated as vectors.
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component) with `other` treated as vectors.
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Linear interpolation: `self` at `t == 0`, `other` at `t == 1`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// Result of projecting a point onto a line segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Closest point on the segment.
+    pub point: Point,
+    /// Parameter along the segment, clamped to `[0, 1]`.
+    pub t: f64,
+    /// Euclidean distance from the query point to [`Projection::point`].
+    pub distance: f64,
+}
+
+/// Projects `p` onto the segment `a`–`b`, clamping to the endpoints.
+///
+/// Used by the map matcher to snap GPS samples onto candidate road segments
+/// and by the spatial index for distance queries.
+///
+/// ```
+/// use neat_rnet::Point;
+/// use neat_rnet::geometry::project_onto_segment;
+/// let pr = project_onto_segment(Point::new(1.0, 1.0), Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+/// assert_eq!(pr.point, Point::new(1.0, 0.0));
+/// assert_eq!(pr.distance, 1.0);
+/// assert_eq!(pr.t, 0.5);
+/// ```
+pub fn project_onto_segment(p: Point, a: Point, b: Point) -> Projection {
+    let ab = b - a;
+    let len_sq = ab.dot(ab);
+    let t = if len_sq <= f64::EPSILON {
+        0.0
+    } else {
+        ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0)
+    };
+    let point = a.lerp(b, t);
+    Projection {
+        point,
+        t,
+        distance: p.distance(point),
+    }
+}
+
+/// Distance from point `p` to the segment `a`–`b`.
+pub fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
+    project_onto_segment(p, a, b).distance
+}
+
+/// Axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bbox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Bbox {
+    /// An empty (inverted) box ready to be [`Bbox::expand`]ed.
+    pub fn empty() -> Self {
+        Bbox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Box spanning exactly the two corner points.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Bbox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Width in metres (zero for an empty box).
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height in metres (zero for an empty box).
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Whether the box contains the point (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether this box is valid (non-inverted).
+    pub fn is_valid(&self) -> bool {
+        self.min.x <= self.max.x && self.min.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let before = project_onto_segment(Point::new(-5.0, 3.0), a, b);
+        assert_eq!(before.point, a);
+        assert_eq!(before.t, 0.0);
+        let after = project_onto_segment(Point::new(9.0, -2.0), a, b);
+        assert_eq!(after.point, b);
+        assert_eq!(after.t, 1.0);
+    }
+
+    #[test]
+    fn projection_of_degenerate_segment() {
+        let a = Point::new(2.0, 2.0);
+        let pr = project_onto_segment(Point::new(5.0, 6.0), a, a);
+        assert_eq!(pr.point, a);
+        assert_eq!(pr.distance, 5.0);
+    }
+
+    #[test]
+    fn bbox_expansion_and_contains() {
+        let mut b = Bbox::empty();
+        assert!(!b.is_valid());
+        b.expand(Point::new(1.0, 1.0));
+        b.expand(Point::new(-1.0, 4.0));
+        assert!(b.is_valid());
+        assert!(b.contains(Point::new(0.0, 2.0)));
+        assert!(!b.contains(Point::new(2.0, 2.0)));
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 3.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, -5.0));
+    }
+
+    #[test]
+    fn cross_sign_orientation() {
+        let e1 = Point::new(1.0, 0.0);
+        let e2 = Point::new(0.0, 1.0);
+        assert!(e1.cross(e2) > 0.0);
+        assert!(e2.cross(e1) < 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangle_inequality(ax in -1e4..1e4f64, ay in -1e4..1e4f64,
+                                    bx in -1e4..1e4f64, by in -1e4..1e4f64,
+                                    cx in -1e4..1e4f64, cy in -1e4..1e4f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_projection_is_closest_point(px in -100.0..100.0f64, py in -100.0..100.0f64,
+                                            t in 0.0..1.0f64) {
+            let a = Point::new(-50.0, 10.0);
+            let b = Point::new(60.0, -20.0);
+            let p = Point::new(px, py);
+            let pr = project_onto_segment(p, a, b);
+            // Any other point on the segment is at least as far away.
+            let other = a.lerp(b, t);
+            prop_assert!(pr.distance <= p.distance(other) + 1e-9);
+        }
+
+        #[test]
+        fn prop_projection_point_is_on_segment(px in -100.0..100.0f64, py in -100.0..100.0f64) {
+            let a = Point::new(0.0, 0.0);
+            let b = Point::new(100.0, 50.0);
+            let pr = project_onto_segment(Point::new(px, py), a, b);
+            prop_assert!(pr.t >= 0.0 && pr.t <= 1.0);
+            // The projected point must satisfy the segment parametrisation.
+            let expect = a.lerp(b, pr.t);
+            prop_assert!(pr.point.distance(expect) < 1e-9);
+        }
+    }
+}

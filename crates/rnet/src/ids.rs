@@ -1,0 +1,114 @@
+//! Typed identifiers for road-network entities.
+//!
+//! Newtypes keep node indices, segment identifiers and other `u32`-shaped
+//! values statically distinct (the paper's `ni` junction identifiers and
+//! `sid` road-segment identifiers).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a junction node in a [`RoadNetwork`](crate::RoadNetwork).
+///
+/// Node ids are dense indices assigned by the
+/// [`RoadNetworkBuilder`](crate::RoadNetworkBuilder) in insertion order.
+///
+/// ```
+/// use neat_rnet::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a road segment (the paper's `sid`).
+///
+/// A road segment connects two junctions. Bidirectional road segments are a
+/// single [`Segment`](crate::Segment) with `oneway == false`; both directed
+/// edges share the same `SegmentId`, exactly as the paper labels `e` and
+/// `e'` with the same `sid`.
+///
+/// ```
+/// use neat_rnet::SegmentId;
+/// let s = SegmentId::new(7);
+/// assert_eq!(s.index(), 7);
+/// assert_eq!(s.to_string(), "s7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId(u32);
+
+impl SegmentId {
+    /// Creates a segment id from a dense index.
+    pub fn new(index: usize) -> Self {
+        SegmentId(index as u32)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        for i in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn segment_id_roundtrip() {
+        for i in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(SegmentId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<NodeId> = (0..10).map(NodeId::new).collect();
+        assert_eq!(set.len(), 10);
+        let set: HashSet<SegmentId> = (0..10).map(SegmentId::new).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(5).to_string(), "n5");
+        assert_eq!(SegmentId::new(9).to_string(), "s9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(SegmentId::new(0) < SegmentId::new(10));
+    }
+}

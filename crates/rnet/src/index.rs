@@ -1,0 +1,285 @@
+//! Uniform-grid spatial index over road segments.
+//!
+//! The map matcher must find candidate road segments near each GPS sample;
+//! a uniform grid over segment bounding boxes answers nearest-segment and
+//! radius queries in near-constant time for road networks, whose segments
+//! are short (~125–170 m on the paper's maps) and evenly spread.
+
+use crate::geometry::{point_segment_distance, Bbox, Point};
+use crate::graph::RoadNetwork;
+use crate::ids::SegmentId;
+
+/// A candidate segment returned by a proximity query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentHit {
+    /// The segment.
+    pub segment: SegmentId,
+    /// Distance from the query point to the segment chord, in metres.
+    pub distance: f64,
+}
+
+/// Uniform-grid index over the chords of all segments in a network.
+///
+/// ```
+/// use neat_rnet::{Point, RoadNetworkBuilder, SegmentIndex};
+///
+/// # fn main() -> Result<(), neat_rnet::RnetError> {
+/// let mut b = RoadNetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(100.0, 0.0));
+/// let s = b.add_segment(n0, n1, 13.9)?;
+/// let net = b.build()?;
+/// let idx = SegmentIndex::build(&net, 50.0);
+/// let hit = idx.nearest(&net, Point::new(40.0, 5.0)).unwrap();
+/// assert_eq!(hit.segment, s);
+/// assert!((hit.distance - 5.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    origin: Point,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<SegmentId>>,
+}
+
+impl SegmentIndex {
+    /// Builds an index with the given cell size in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let bbox = net.bbox().unwrap_or(Bbox {
+            min: Point::new(0.0, 0.0),
+            max: Point::new(0.0, 0.0),
+        });
+        let cols = ((bbox.width() / cell_size).ceil() as usize).max(1);
+        let rows = ((bbox.height() / cell_size).ceil() as usize).max(1);
+        let mut idx = SegmentIndex {
+            origin: bbox.min,
+            cell: cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+        };
+        for seg in net.segments() {
+            let a = net.position(seg.a);
+            let b = net.position(seg.b);
+            let sb = Bbox::from_corners(a, b);
+            let (c0, r0) = idx.cell_of(sb.min);
+            let (c1, r1) = idx.cell_of(sb.max);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    idx.cells[r * idx.cols + c].push(seg.id);
+                }
+            }
+        }
+        idx
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = (((p.x - self.origin.x) / self.cell).floor() as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let r = (((p.y - self.origin.y) / self.cell).floor() as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        (c, r)
+    }
+
+    /// All segments whose chord lies within `radius` of `p`, sorted by
+    /// distance then segment id (deterministic).
+    pub fn within(&self, net: &RoadNetwork, p: Point, radius: f64) -> Vec<SegmentHit> {
+        let mut hits = Vec::new();
+        let rings = (radius / self.cell).ceil() as isize + 1;
+        let (pc, pr) = self.cell_of(p);
+        let mut seen = std::collections::HashSet::new();
+        for dr in -rings..=rings {
+            for dc in -rings..=rings {
+                let r = pr as isize + dr;
+                let c = pc as isize + dc;
+                if r < 0 || c < 0 || r >= self.rows as isize || c >= self.cols as isize {
+                    continue;
+                }
+                for &sid in &self.cells[r as usize * self.cols + c as usize] {
+                    if !seen.insert(sid) {
+                        continue;
+                    }
+                    let seg = net.segment(sid).expect("indexed segment exists");
+                    let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
+                    if d <= radius {
+                        hits.push(SegmentHit {
+                            segment: sid,
+                            distance: d,
+                        });
+                    }
+                }
+            }
+        }
+        hits.sort_by(|x, y| {
+            x.distance
+                .total_cmp(&y.distance)
+                .then_with(|| x.segment.cmp(&y.segment))
+        });
+        hits
+    }
+
+    /// The nearest segment to `p`, searching outward ring by ring.
+    /// Returns `None` only for a network with no segments.
+    pub fn nearest(&self, net: &RoadNetwork, p: Point) -> Option<SegmentHit> {
+        let max_rings = self.cols.max(self.rows) as isize + 1;
+        let mut best: Option<SegmentHit> = None;
+        let (pc, pr) = self.cell_of(p);
+        for ring in 0..=max_rings {
+            // Once we have a hit, we can stop after searching one ring
+            // beyond the ring whose inner boundary exceeds the best distance.
+            if let Some(b) = best {
+                if (ring - 1) as f64 * self.cell > b.distance {
+                    break;
+                }
+            }
+            let mut candidates: Vec<SegmentId> = Vec::new();
+            for dr in -ring..=ring {
+                for dc in -ring..=ring {
+                    if dr.abs() != ring && dc.abs() != ring {
+                        continue; // only the ring boundary
+                    }
+                    let r = pr as isize + dr;
+                    let c = pc as isize + dc;
+                    if r < 0 || c < 0 || r >= self.rows as isize || c >= self.cols as isize {
+                        continue;
+                    }
+                    candidates.extend(&self.cells[r as usize * self.cols + c as usize]);
+                }
+            }
+            candidates.sort();
+            candidates.dedup();
+            for sid in candidates {
+                let seg = net.segment(sid).expect("indexed segment exists");
+                let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
+                let better = match best {
+                    None => true,
+                    Some(b) => d < b.distance || (d == b.distance && sid < b.segment),
+                };
+                if better {
+                    best = Some(SegmentHit {
+                        segment: sid,
+                        distance: d,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+
+    fn cross_net() -> (RoadNetwork, Vec<SegmentId>) {
+        // Horizontal road y=0 and vertical road x=500, both 1000 m long.
+        let mut b = RoadNetworkBuilder::new();
+        let w = b.add_node(Point::new(0.0, 0.0));
+        let mid = b.add_node(Point::new(500.0, 0.0));
+        let e = b.add_node(Point::new(1000.0, 0.0));
+        let n = b.add_node(Point::new(500.0, 500.0));
+        let s = b.add_node(Point::new(500.0, -500.0));
+        let s0 = b.add_segment(w, mid, 13.9).unwrap();
+        let s1 = b.add_segment(mid, e, 13.9).unwrap();
+        let s2 = b.add_segment(mid, n, 13.9).unwrap();
+        let s3 = b.add_segment(mid, s, 13.9).unwrap();
+        (b.build().unwrap(), vec![s0, s1, s2, s3])
+    }
+
+    #[test]
+    fn nearest_picks_closest_chord() {
+        let (net, segs) = cross_net();
+        let idx = SegmentIndex::build(&net, 100.0);
+        let hit = idx.nearest(&net, Point::new(250.0, 30.0)).unwrap();
+        assert_eq!(hit.segment, segs[0]);
+        assert!((hit.distance - 30.0).abs() < 1e-9);
+        let hit = idx.nearest(&net, Point::new(510.0, 250.0)).unwrap();
+        assert_eq!(hit.segment, segs[2]);
+    }
+
+    #[test]
+    fn nearest_far_from_everything_still_answers() {
+        let (net, _) = cross_net();
+        let idx = SegmentIndex::build(&net, 100.0);
+        let hit = idx.nearest(&net, Point::new(-5000.0, 4000.0)).unwrap();
+        assert!(hit.distance > 1000.0);
+    }
+
+    #[test]
+    fn within_radius_returns_sorted_hits() {
+        let (net, _) = cross_net();
+        let idx = SegmentIndex::build(&net, 100.0);
+        // The junction point is on all four chords.
+        let hits = idx.within(&net, Point::new(500.0, 0.0), 10.0);
+        assert_eq!(hits.len(), 4);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+        // Sorted by id on distance ties.
+        for w in hits.windows(2) {
+            assert!(w[0].segment < w[1].segment);
+        }
+    }
+
+    #[test]
+    fn within_small_radius_excludes_far_segments() {
+        let (net, segs) = cross_net();
+        let idx = SegmentIndex::build(&net, 100.0);
+        let hits = idx.within(&net, Point::new(100.0, 20.0), 25.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].segment, segs[0]);
+    }
+
+    #[test]
+    fn empty_network_has_no_nearest() {
+        let net = RoadNetworkBuilder::new().build().unwrap();
+        let idx = SegmentIndex::build(&net, 100.0);
+        assert!(idx.nearest(&net, Point::new(0.0, 0.0)).is_none());
+        assert!(idx.within(&net, Point::new(0.0, 0.0), 100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let net = RoadNetworkBuilder::new().build().unwrap();
+        let _ = SegmentIndex::build(&net, 0.0);
+    }
+
+    #[test]
+    fn nearest_agrees_with_exhaustive_scan() {
+        let (net, _) = cross_net();
+        let idx = SegmentIndex::build(&net, 73.0); // odd cell size
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (333.0, -77.0),
+            (505.0, 499.0),
+            (999.0, 1.0),
+            (-200.0, -200.0),
+            (500.0, 0.0),
+        ] {
+            let p = Point::new(x, y);
+            let brute = net
+                .segments()
+                .map(|s| SegmentHit {
+                    segment: s.id,
+                    distance: point_segment_distance(p, net.position(s.a), net.position(s.b)),
+                })
+                .min_by(|a, b| {
+                    a.distance
+                        .total_cmp(&b.distance)
+                        .then_with(|| a.segment.cmp(&b.segment))
+                })
+                .unwrap();
+            let fast = idx.nearest(&net, p).unwrap();
+            assert_eq!(fast.segment, brute.segment, "at {p}");
+            assert!((fast.distance - brute.distance).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Road-network locations (Section II-A of the paper).
+//!
+//! A location is `(sid, x, y, t)` — the segment on which a mobile object
+//! resides, its planar coordinates and the recording timestamp. The paper's
+//! alternative `(sid, p, t)` offset representation is supported via
+//! [`RoadLocation::offset_on`] and [`RoadLocation::at_offset`].
+
+use crate::geometry::{project_onto_segment, Point};
+use crate::graph::RoadNetwork;
+use crate::ids::SegmentId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A timestamped position on a road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoadLocation {
+    /// Road segment on which the object resides.
+    pub segment: SegmentId,
+    /// Planar position in metres.
+    pub position: Point,
+    /// Timestamp in seconds since the start of the trace.
+    pub time: f64,
+}
+
+impl RoadLocation {
+    /// Creates a location from its parts.
+    pub fn new(segment: SegmentId, position: Point, time: f64) -> Self {
+        RoadLocation {
+            segment,
+            position,
+            time,
+        }
+    }
+
+    /// Converts to the paper's `(sid, p, t)` representation: the offset `p`
+    /// in metres from the segment's start junction `a`, measured along the
+    /// segment chord after projecting the position onto it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RnetError::UnknownSegment`] if the location's
+    /// segment is not part of `net`.
+    pub fn offset_on(&self, net: &RoadNetwork) -> Result<f64, crate::RnetError> {
+        let seg = net.segment(self.segment)?;
+        let a = net.position(seg.a);
+        let b = net.position(seg.b);
+        let pr = project_onto_segment(self.position, a, b);
+        Ok(pr.t * seg.length)
+    }
+
+    /// Builds a location from the paper's `(sid, p, t)` representation.
+    /// The offset is clamped to `[0, length]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RnetError::UnknownSegment`] if `segment` is not
+    /// part of `net`.
+    pub fn at_offset(
+        net: &RoadNetwork,
+        segment: SegmentId,
+        offset: f64,
+        time: f64,
+    ) -> Result<Self, crate::RnetError> {
+        let seg = net.segment(segment)?;
+        let a = net.position(seg.a);
+        let b = net.position(seg.b);
+        let t = (offset / seg.length).clamp(0.0, 1.0);
+        Ok(RoadLocation::new(segment, a.lerp(b, t), time))
+    }
+}
+
+impl fmt::Display for RoadLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, t={:.1}s)",
+            self.segment, self.position, self.time
+        )
+    }
+}
+
+/// A raw GPS sample before map matching: planar coordinates plus timestamp,
+/// with no segment association yet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RawSample {
+    /// Observed planar position in metres (possibly noisy).
+    pub position: Point,
+    /// Timestamp in seconds since the start of the trace.
+    pub time: f64,
+}
+
+impl RawSample {
+    /// Creates a raw sample.
+    pub fn new(position: Point, time: f64) -> Self {
+        RawSample { position, time }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+
+    fn one_segment_net() -> (RoadNetwork, SegmentId) {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(200.0, 0.0));
+        let s = b.add_segment(a, c, 13.9).unwrap();
+        (b.build().unwrap(), s)
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let (net, s) = one_segment_net();
+        let loc = RoadLocation::at_offset(&net, s, 50.0, 3.0).unwrap();
+        assert_eq!(loc.position, Point::new(50.0, 0.0));
+        assert_eq!(loc.time, 3.0);
+        assert!((loc.offset_on(&net).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_clamps() {
+        let (net, s) = one_segment_net();
+        let loc = RoadLocation::at_offset(&net, s, 1e9, 0.0).unwrap();
+        assert_eq!(loc.position, Point::new(200.0, 0.0));
+        let loc = RoadLocation::at_offset(&net, s, -5.0, 0.0).unwrap();
+        assert_eq!(loc.position, Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn offset_of_off_segment_point_projects() {
+        let (net, s) = one_segment_net();
+        // 10 m above the midpoint of the segment.
+        let loc = RoadLocation::new(s, Point::new(100.0, 10.0), 0.0);
+        assert!((loc.offset_on(&net).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_segment_errors() {
+        let (net, _) = one_segment_net();
+        let ghost = SegmentId::new(99);
+        assert!(RoadLocation::at_offset(&net, ghost, 0.0, 0.0).is_err());
+        let loc = RoadLocation::new(ghost, Point::new(0.0, 0.0), 0.0);
+        assert!(loc.offset_on(&net).is_err());
+    }
+
+    #[test]
+    fn display_contains_segment() {
+        let loc = RoadLocation::new(SegmentId::new(3), Point::new(1.0, 2.0), 4.5);
+        let s = loc.to_string();
+        assert!(s.contains("s3"));
+        assert!(s.contains("4.5"));
+    }
+}

@@ -1,0 +1,637 @@
+//! Shortest paths over the road network.
+//!
+//! NEAT needs network distances in three places: the mobility simulator
+//! routes objects along shortest paths, the map matcher repairs gaps between
+//! non-contiguous samples, and Phase 3 measures the modified Hausdorff
+//! distance between flow-cluster endpoints (`d_N(a, b)` in Definition 11 —
+//! the paper treats the graph as undirected there).
+//!
+//! [`ShortestPathEngine`] implements Dijkstra and A* (with the admissible
+//! Euclidean heuristic — segment lengths are never shorter than their
+//! chords) over reusable scratch buffers so repeated queries on large
+//! networks (Miami-Dade has >100 k junctions) do not reallocate.
+
+use crate::graph::RoadNetwork;
+use crate::ids::{NodeId, SegmentId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Whether one-way restrictions are honoured during the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TravelMode {
+    /// Respect `Segment::oneway` (used for routing vehicles).
+    Directed,
+    /// Ignore direction (used for Phase-3 proximity, as in the paper).
+    Undirected,
+}
+
+/// What a path's cost measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Metres travelled (the paper's `d_N`).
+    Distance,
+    /// Seconds at the speed limit — lets the simulator route objects the
+    /// way drivers do (fastest rather than shortest path).
+    TravelTime,
+}
+
+impl CostModel {
+    fn segment_cost(self, seg: &crate::graph::Segment) -> f64 {
+        match self {
+            CostModel::Distance => seg.length,
+            CostModel::TravelTime => seg.travel_time(),
+        }
+    }
+}
+
+/// A shortest path: the junction chain, the segments travelled and the
+/// total length in metres.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Junctions visited, from source to target (inclusive).
+    pub nodes: Vec<NodeId>,
+    /// Segments traversed; `segments.len() == nodes.len() - 1`.
+    pub segments: Vec<SegmentId>,
+    /// Total length in metres.
+    pub length: f64,
+}
+
+impl Route {
+    /// A zero-length route standing at `node`.
+    pub fn trivial(node: NodeId) -> Self {
+        Route {
+            nodes: vec![node],
+            segments: Vec::new(),
+            length: 0.0,
+        }
+    }
+
+    /// Number of segments in the route.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    priority: f64,
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on priority; tie-break on node id for determinism.
+        other
+            .priority
+            .total_cmp(&self.priority)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable shortest-path solver.
+///
+/// The engine owns scratch arrays sized to one network; it is cheap to keep
+/// one per thread and issue many queries.
+///
+/// ```
+/// use neat_rnet::{Point, RoadNetworkBuilder, ShortestPathEngine};
+/// use neat_rnet::path::TravelMode;
+///
+/// # fn main() -> Result<(), neat_rnet::RnetError> {
+/// let mut b = RoadNetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(100.0, 0.0));
+/// let n2 = b.add_node(Point::new(200.0, 0.0));
+/// b.add_segment(n0, n1, 13.9)?;
+/// b.add_segment(n1, n2, 13.9)?;
+/// let net = b.build()?;
+/// let mut sp = ShortestPathEngine::new(&net);
+/// let d = sp.distance(&net, n0, n2, TravelMode::Undirected).unwrap();
+/// assert_eq!(d, 200.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShortestPathEngine {
+    /// Fastest speed limit in the network (admissible time heuristic).
+    max_speed: f64,
+    dist: Vec<f64>,
+    prev_node: Vec<u32>,
+    prev_seg: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<HeapEntry>,
+    /// Number of node settlements across all queries (for instrumentation).
+    settled_total: u64,
+}
+
+const NO_PREV: u32 = u32::MAX;
+
+impl ShortestPathEngine {
+    /// Creates an engine sized for `net`.
+    pub fn new(net: &RoadNetwork) -> Self {
+        let n = net.node_count();
+        let max_speed = net
+            .segments()
+            .map(|s| s.speed_limit)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        ShortestPathEngine {
+            max_speed,
+            dist: vec![f64::INFINITY; n],
+            prev_node: vec![NO_PREV; n],
+            prev_seg: vec![NO_PREV; n],
+            stamp: vec![0; n],
+            generation: 0,
+            heap: BinaryHeap::new(),
+            settled_total: 0,
+        }
+    }
+
+    /// Total number of node settlements performed so far — used by the
+    /// benchmarks to show how the ELB filter reduces search effort.
+    pub fn settled_nodes(&self) -> u64 {
+        self.settled_total
+    }
+
+    /// Resets the settlement counter.
+    pub fn reset_counters(&mut self) {
+        self.settled_total = 0;
+    }
+
+    fn begin(&mut self, net: &RoadNetwork) {
+        assert_eq!(
+            self.stamp.len(),
+            net.node_count(),
+            "engine was built for a different network"
+        );
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrapped: clear everything once.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    fn touch(&mut self, node: usize) {
+        if self.stamp[node] != self.generation {
+            self.stamp[node] = self.generation;
+            self.dist[node] = f64::INFINITY;
+            self.prev_node[node] = NO_PREV;
+            self.prev_seg[node] = NO_PREV;
+        }
+    }
+
+    /// Network distance `d_N(from, to)` in metres, or `None` if unreachable.
+    ///
+    /// Runs A* with the Euclidean heuristic, which is admissible because
+    /// every segment's length is at least its chord.
+    pub fn distance(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+    ) -> Option<f64> {
+        self.search(
+            net,
+            from,
+            Some(to),
+            mode,
+            f64::INFINITY,
+            true,
+            CostModel::Distance,
+        )
+    }
+
+    /// Undirected network distance computed with plain Dijkstra network
+    /// expansion (no heuristic) — the paper's baseline for the Phase-3
+    /// ablation (`opt-NEAT-Dijkstra`, Figure 7).
+    pub fn distance_plain(&mut self, net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<f64> {
+        self.search(
+            net,
+            from,
+            Some(to),
+            TravelMode::Undirected,
+            f64::INFINITY,
+            false,
+            CostModel::Distance,
+        )
+    }
+
+    /// Like [`ShortestPathEngine::distance`] but abandons the search once
+    /// the best reachable distance exceeds `bound`, returning `None`.
+    ///
+    /// Phase 3 of NEAT only needs to know whether `d_N ≤ ε`; bounding the
+    /// search keeps the ε-neighbourhood queries cheap.
+    pub fn distance_bounded(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+        bound: f64,
+    ) -> Option<f64> {
+        self.search(net, from, Some(to), mode, bound, true, CostModel::Distance)
+    }
+
+    /// Full shortest route, or `None` if unreachable.
+    pub fn route(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+    ) -> Option<Route> {
+        let length = self.search(
+            net,
+            from,
+            Some(to),
+            mode,
+            f64::INFINITY,
+            true,
+            CostModel::Distance,
+        )?;
+        let mut nodes = vec![to];
+        let mut segments = Vec::new();
+        let mut cur = to.index();
+        while self.prev_node[cur] != NO_PREV {
+            segments.push(SegmentId::new(self.prev_seg[cur] as usize));
+            cur = self.prev_node[cur] as usize;
+            nodes.push(NodeId::new(cur));
+        }
+        nodes.reverse();
+        segments.reverse();
+        debug_assert_eq!(nodes.first(), Some(&from));
+        Some(Route {
+            nodes,
+            segments,
+            length,
+        })
+    }
+
+    /// Fastest route by free-flow travel time, returning the route (with
+    /// its length in metres) and the travel time in seconds — how the
+    /// mobility simulator can route objects when drivers minimise time
+    /// rather than distance.
+    pub fn fastest_route(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+    ) -> Option<(Route, f64)> {
+        let seconds = self.search(
+            net,
+            from,
+            Some(to),
+            mode,
+            f64::INFINITY,
+            true,
+            CostModel::TravelTime,
+        )?;
+        let mut nodes = vec![to];
+        let mut segments = Vec::new();
+        let mut cur = to.index();
+        while self.prev_node[cur] != NO_PREV {
+            segments.push(SegmentId::new(self.prev_seg[cur] as usize));
+            cur = self.prev_node[cur] as usize;
+            nodes.push(NodeId::new(cur));
+        }
+        nodes.reverse();
+        segments.reverse();
+        let length = segments
+            .iter()
+            .map(|&s| net.segment(s).expect("route segment exists").length)
+            .sum();
+        Some((
+            Route {
+                nodes,
+                segments,
+                length,
+            },
+            seconds,
+        ))
+    }
+
+    /// Single-source distances to every reachable node (plain Dijkstra, no
+    /// heuristic, no target). Entries for unreachable nodes are
+    /// `f64::INFINITY`.
+    pub fn distances_from(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        mode: TravelMode,
+    ) -> Vec<f64> {
+        self.search(
+            net,
+            from,
+            None,
+            mode,
+            f64::INFINITY,
+            false,
+            CostModel::Distance,
+        );
+        let mut out = vec![f64::INFINITY; net.node_count()];
+        for (i, d) in out.iter_mut().enumerate() {
+            if self.stamp[i] == self.generation {
+                *d = self.dist[i];
+            }
+        }
+        out
+    }
+
+    /// Core search. Returns the distance to `target` when given, otherwise
+    /// `None` after exhausting the graph.
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        target: Option<NodeId>,
+        mode: TravelMode,
+        bound: f64,
+        use_heuristic: bool,
+        cost: CostModel,
+    ) -> Option<f64> {
+        self.begin(net);
+        let goal_pos = target.map(|t| net.position(t));
+        // Heuristic stays admissible under both cost models: straight-line
+        // metres, divided by the fastest speed limit for travel time.
+        let h_scale = match cost {
+            CostModel::Distance => 1.0,
+            CostModel::TravelTime => 1.0 / self.max_speed,
+        };
+        let h = |net: &RoadNetwork, n: usize| -> f64 {
+            match (use_heuristic, goal_pos) {
+                (true, Some(g)) => net.position(NodeId::new(n)).distance(g) * h_scale,
+                _ => 0.0,
+            }
+        };
+        let src = from.index();
+        self.touch(src);
+        self.dist[src] = 0.0;
+        self.heap.push(HeapEntry {
+            priority: h(net, src),
+            dist: 0.0,
+            node: src as u32,
+        });
+        while let Some(HeapEntry { dist, node, .. }) = self.heap.pop() {
+            let u = node as usize;
+            if self.stamp[u] == self.generation && dist > self.dist[u] {
+                continue; // stale entry
+            }
+            self.settled_total += 1;
+            if dist > bound {
+                return None;
+            }
+            if Some(NodeId::new(u)) == target {
+                return Some(dist);
+            }
+            for &sid in net.incident_segments(NodeId::new(u)) {
+                let seg = net.segment(sid).expect("incident segment exists");
+                if mode == TravelMode::Directed && !seg.traversable_from(NodeId::new(u)) {
+                    continue;
+                }
+                let v = seg.other_endpoint(NodeId::new(u)).index();
+                let nd = dist + cost.segment_cost(seg);
+                self.touch(v);
+                if nd < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.prev_node[v] = u as u32;
+                    self.prev_seg[v] = sid.index() as u32;
+                    self.heap.push(HeapEntry {
+                        priority: nd + h(net, v),
+                        dist: nd,
+                        node: v as u32,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::RoadNetworkBuilder;
+
+    /// 3×3 grid with unit spacing 100 m.
+    fn grid3() -> (RoadNetwork, Vec<NodeId>) {
+        let mut b = RoadNetworkBuilder::new();
+        let mut ids = Vec::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                ids.push(b.add_node(Point::new(c as f64 * 100.0, r as f64 * 100.0)));
+            }
+        }
+        for r in 0..3 {
+            for c in 0..3 {
+                let i = r * 3 + c;
+                if c + 1 < 3 {
+                    b.add_segment(ids[i], ids[i + 1], 13.9).unwrap();
+                }
+                if r + 1 < 3 {
+                    b.add_segment(ids[i], ids[i + 3], 13.9).unwrap();
+                }
+            }
+        }
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn distance_on_grid() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        // Corner to corner: 4 hops of 100 m.
+        let d = sp
+            .distance(&net, ids[0], ids[8], TravelMode::Undirected)
+            .unwrap();
+        assert_eq!(d, 400.0);
+        // Self distance is zero.
+        assert_eq!(
+            sp.distance(&net, ids[4], ids[4], TravelMode::Undirected),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn route_reconstruction() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let r = sp
+            .route(&net, ids[0], ids[8], TravelMode::Undirected)
+            .unwrap();
+        assert_eq!(r.length, 400.0);
+        assert_eq!(r.nodes.len(), 5);
+        assert_eq!(r.segments.len(), 4);
+        assert_eq!(r.nodes[0], ids[0]);
+        assert_eq!(*r.nodes.last().unwrap(), ids[8]);
+        assert!(net.is_route(&r.segments));
+        // Consecutive nodes joined by the listed segment.
+        for (w, &sid) in r.nodes.windows(2).zip(&r.segments) {
+            let seg = net.segment(sid).unwrap();
+            assert!(seg.has_endpoint(w[0]) && seg.has_endpoint(w[1]));
+        }
+    }
+
+    #[test]
+    fn oneway_blocks_directed_but_not_undirected() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        b.add_segment_detailed(a, c, 100.0, 10.0, true).unwrap();
+        let net = b.build().unwrap();
+        let mut sp = ShortestPathEngine::new(&net);
+        assert_eq!(sp.distance(&net, a, c, TravelMode::Directed), Some(100.0));
+        assert_eq!(sp.distance(&net, c, a, TravelMode::Directed), None);
+        assert_eq!(sp.distance(&net, c, a, TravelMode::Undirected), Some(100.0));
+    }
+
+    #[test]
+    fn bounded_search_gives_up() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        assert_eq!(
+            sp.distance_bounded(&net, ids[0], ids[8], TravelMode::Undirected, 200.0),
+            None
+        );
+        assert_eq!(
+            sp.distance_bounded(&net, ids[0], ids[8], TravelMode::Undirected, 400.0),
+            Some(400.0)
+        );
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        let net = b.build().unwrap();
+        let mut sp = ShortestPathEngine::new(&net);
+        assert_eq!(sp.distance(&net, a, c, TravelMode::Undirected), None);
+        assert!(sp.route(&net, a, c, TravelMode::Undirected).is_none());
+    }
+
+    #[test]
+    fn distances_from_all_nodes() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let d = sp.distances_from(&net, ids[0], TravelMode::Undirected);
+        assert_eq!(d[ids[0].index()], 0.0);
+        assert_eq!(d[ids[4].index()], 200.0);
+        assert_eq!(d[ids[8].index()], 400.0);
+    }
+
+    #[test]
+    fn engine_reuse_across_queries_is_consistent() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        for _ in 0..100 {
+            assert_eq!(
+                sp.distance(&net, ids[0], ids[8], TravelMode::Undirected),
+                Some(400.0)
+            );
+            assert_eq!(
+                sp.distance(&net, ids[3], ids[5], TravelMode::Undirected),
+                Some(200.0)
+            );
+        }
+        assert!(sp.settled_nodes() > 0);
+        sp.reset_counters();
+        assert_eq!(sp.settled_nodes(), 0);
+    }
+
+    #[test]
+    fn euclidean_lower_bound_holds_on_grid() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        for &a in &ids {
+            for &b in &ids {
+                let dn = sp.distance(&net, a, b, TravelMode::Undirected).unwrap();
+                let de = net.euclidean_distance(a, b);
+                assert!(
+                    de <= dn + 1e-9,
+                    "ELB violated: dE={de} > dN={dn} for {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different network")]
+    fn engine_rejects_mismatched_network() {
+        let (net, _) = grid3();
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let small = b.build().unwrap();
+        let mut sp = ShortestPathEngine::new(&small);
+        let _ = sp.distance(&net, a, a, TravelMode::Undirected);
+    }
+
+    #[test]
+    fn fastest_route_prefers_highway_over_short_slow_road() {
+        // Two ways from a to d: direct slow road (300 m at 5 m/s = 60 s)
+        // vs a detour on a fast road (400 m at 25 m/s = 16 s).
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let d = b.add_node(Point::new(300.0, 0.0));
+        let m = b.add_node(Point::new(150.0, 130.0));
+        b.add_segment_detailed(a, d, 300.0, 5.0, false).unwrap(); // slow direct
+        b.add_segment(a, m, 25.0).unwrap(); // ~198 m highway legs
+        b.add_segment(m, d, 25.0).unwrap();
+        let net = b.build().unwrap();
+        let mut sp = ShortestPathEngine::new(&net);
+        // Shortest by distance: the direct road.
+        let short = sp.route(&net, a, d, TravelMode::Undirected).unwrap();
+        assert_eq!(short.segments.len(), 1);
+        // Fastest by time: the highway detour.
+        let (fast, seconds) = sp
+            .fastest_route(&net, a, d, TravelMode::Undirected)
+            .unwrap();
+        assert_eq!(fast.segments.len(), 2);
+        assert!(fast.length > short.length);
+        assert!(seconds < 300.0 / 5.0);
+        // Route length is in metres even under the time cost model.
+        let sum: f64 = fast
+            .segments
+            .iter()
+            .map(|&s| net.segment(s).unwrap().length)
+            .sum();
+        assert!((fast.length - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fastest_route_matches_shortest_on_uniform_speeds() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let short = sp
+            .route(&net, ids[0], ids[8], TravelMode::Undirected)
+            .unwrap();
+        let (fast, _) = sp
+            .fastest_route(&net, ids[0], ids[8], TravelMode::Undirected)
+            .unwrap();
+        assert_eq!(fast.length, short.length);
+    }
+
+    #[test]
+    fn trivial_route() {
+        let r = Route::trivial(NodeId::new(3));
+        assert_eq!(r.length, 0.0);
+        assert_eq!(r.segment_count(), 0);
+        assert_eq!(r.nodes, vec![NodeId::new(3)]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Sort-Tile-Recursive (STR) bulk-loaded R-tree over road segments.
+//!
+//! An alternative to the uniform-grid [`crate::SegmentIndex`]: the grid is
+//! ideal for evenly spread urban networks (the paper's maps), while an
+//! R-tree degrades more gracefully on skewed geometry. Both implement the
+//! same nearest/within queries, and `benches/shortest_path.rs`'s sibling
+//! `clustering` bench group compares them.
+//!
+//! The tree is immutable (bulk-loaded once per network), deterministic,
+//! and uses best-first search with bounding-box lower bounds for
+//! `nearest`.
+
+use crate::geometry::{point_segment_distance, Bbox, Point};
+use crate::graph::RoadNetwork;
+use crate::ids::SegmentId;
+use crate::index::SegmentHit;
+
+const NODE_CAPACITY: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { entries: Vec<(Bbox, SegmentId)> },
+    Inner { children: Vec<(Bbox, usize)> },
+}
+
+/// Immutable STR-packed R-tree over the chords of a network's segments.
+///
+/// ```
+/// use neat_rnet::{Point, RoadNetworkBuilder};
+/// use neat_rnet::rtree::SegmentRTree;
+///
+/// # fn main() -> Result<(), neat_rnet::RnetError> {
+/// let mut b = RoadNetworkBuilder::new();
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(100.0, 0.0));
+/// let s = b.add_segment(n0, n1, 13.9)?;
+/// let net = b.build()?;
+/// let tree = SegmentRTree::build(&net);
+/// let hit = tree.nearest(&net, Point::new(40.0, 5.0)).unwrap();
+/// assert_eq!(hit.segment, s);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentRTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+fn bbox_distance(b: &Bbox, p: Point) -> f64 {
+    let dx = (b.min.x - p.x).max(0.0).max(p.x - b.max.x);
+    let dy = (b.min.y - p.y).max(0.0).max(p.y - b.max.y);
+    dx.hypot(dy)
+}
+
+fn bbox_union(boxes: impl Iterator<Item = Bbox>) -> Bbox {
+    let mut out = Bbox::empty();
+    for b in boxes {
+        out.expand(b.min);
+        out.expand(b.max);
+    }
+    out
+}
+
+impl SegmentRTree {
+    /// Bulk-loads the tree with Sort-Tile-Recursive packing.
+    pub fn build(net: &RoadNetwork) -> Self {
+        let mut entries: Vec<(Bbox, SegmentId)> = net
+            .segments()
+            .map(|s| {
+                (
+                    Bbox::from_corners(net.position(s.a), net.position(s.b)),
+                    s.id,
+                )
+            })
+            .collect();
+        if entries.is_empty() {
+            return SegmentRTree {
+                nodes: Vec::new(),
+                root: None,
+            };
+        }
+
+        // STR: sort by centre-x, slice into vertical strips of
+        // √(n/capacity) leaves each, sort each strip by centre-y, pack.
+        let n_leaves = entries.len().div_ceil(NODE_CAPACITY);
+        let strips = (n_leaves as f64).sqrt().ceil() as usize;
+        let per_strip = entries.len().div_ceil(strips.max(1));
+        entries.sort_by(|a, b| {
+            let ax = (a.0.min.x + a.0.max.x, a.1);
+            let bx = (b.0.min.x + b.0.max.x, b.1);
+            ax.0.total_cmp(&bx.0).then_with(|| ax.1.cmp(&bx.1))
+        });
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut level: Vec<(Bbox, usize)> = Vec::new();
+        for strip in entries.chunks_mut(per_strip.max(1)) {
+            strip.sort_by(|a, b| {
+                let ay = (a.0.min.y + a.0.max.y, a.1);
+                let by = (b.0.min.y + b.0.max.y, b.1);
+                ay.0.total_cmp(&by.0).then_with(|| ay.1.cmp(&by.1))
+            });
+            for chunk in strip.chunks(NODE_CAPACITY) {
+                let bbox = bbox_union(chunk.iter().map(|e| e.0));
+                nodes.push(Node::Leaf {
+                    entries: chunk.to_vec(),
+                });
+                level.push((bbox, nodes.len() - 1));
+            }
+        }
+
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in level.chunks(NODE_CAPACITY) {
+                let bbox = bbox_union(chunk.iter().map(|e| e.0));
+                nodes.push(Node::Inner {
+                    children: chunk.to_vec(),
+                });
+                next.push((bbox, nodes.len() - 1));
+            }
+            level = next;
+        }
+        let root = Some(level[0].1);
+        SegmentRTree { nodes, root }
+    }
+
+    /// The nearest segment to `p`, or `None` for an empty network.
+    /// Best-first search pruned by bounding-box distances; ties on exact
+    /// distance break towards the smaller segment id (matching the grid
+    /// index).
+    pub fn nearest(&self, net: &RoadNetwork, p: Point) -> Option<SegmentHit> {
+        let root = self.root?;
+        // Max-heap on Reverse(priority): implement with a Vec-based
+        // binary heap over (dist, is_segment, id) keyed by f64.
+        #[derive(Debug)]
+        enum Item {
+            Node(usize),
+            Seg(SegmentId, f64),
+        }
+        let mut heap: std::collections::BinaryHeap<HeapKey> = std::collections::BinaryHeap::new();
+        let mut items: Vec<Item> = Vec::new();
+
+        #[derive(Debug, PartialEq)]
+        struct HeapKey {
+            dist: f64,
+            idx: usize,
+        }
+        impl Eq for HeapKey {}
+        impl Ord for HeapKey {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .dist
+                    .total_cmp(&self.dist)
+                    .then_with(|| other.idx.cmp(&self.idx))
+            }
+        }
+        impl PartialOrd for HeapKey {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        items.push(Item::Node(root));
+        heap.push(HeapKey { dist: 0.0, idx: 0 });
+        let mut best: Option<SegmentHit> = None;
+        while let Some(HeapKey { dist, idx }) = heap.pop() {
+            if let Some(b) = &best {
+                if dist > b.distance {
+                    break;
+                }
+            }
+            match &items[idx] {
+                Item::Seg(sid, d) => {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => *d < b.distance || (*d == b.distance && *sid < b.segment),
+                    };
+                    if better {
+                        best = Some(SegmentHit {
+                            segment: *sid,
+                            distance: *d,
+                        });
+                    }
+                }
+                Item::Node(n) => match &self.nodes[*n] {
+                    Node::Leaf { entries } => {
+                        for (_, sid) in entries {
+                            let seg = net.segment(*sid).expect("indexed segment");
+                            let d =
+                                point_segment_distance(p, net.position(seg.a), net.position(seg.b));
+                            items.push(Item::Seg(*sid, d));
+                            heap.push(HeapKey {
+                                dist: d,
+                                idx: items.len() - 1,
+                            });
+                        }
+                    }
+                    Node::Inner { children } => {
+                        for (bb, child) in children {
+                            items.push(Item::Node(*child));
+                            heap.push(HeapKey {
+                                dist: bbox_distance(bb, p),
+                                idx: items.len() - 1,
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        best
+    }
+
+    /// All segments within `radius` of `p`, sorted by distance then id
+    /// (same contract as the grid index).
+    pub fn within(&self, net: &RoadNetwork, p: Point, radius: f64) -> Vec<SegmentHit> {
+        let mut hits = Vec::new();
+        let Some(root) = self.root else {
+            return hits;
+        };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n] {
+                Node::Leaf { entries } => {
+                    for (bb, sid) in entries {
+                        if bbox_distance(bb, p) > radius {
+                            continue;
+                        }
+                        let seg = net.segment(*sid).expect("indexed segment");
+                        let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
+                        if d <= radius {
+                            hits.push(SegmentHit {
+                                segment: *sid,
+                                distance: d,
+                            });
+                        }
+                    }
+                }
+                Node::Inner { children } => {
+                    for (bb, child) in children {
+                        if bbox_distance(bb, p) <= radius {
+                            stack.push(*child);
+                        }
+                    }
+                }
+            }
+        }
+        hits.sort_by(|x, y| {
+            x.distance
+                .total_cmp(&y.distance)
+                .then_with(|| x.segment.cmp(&y.segment))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::SegmentIndex;
+    use crate::netgen::{generate_grid_network, GridNetworkConfig};
+    use crate::RoadNetworkBuilder;
+
+    fn net() -> RoadNetwork {
+        generate_grid_network(&GridNetworkConfig::small_test(9, 11), 4)
+    }
+
+    #[test]
+    fn nearest_agrees_with_grid_index() {
+        let net = net();
+        let tree = SegmentRTree::build(&net);
+        let grid = SegmentIndex::build(&net, 80.0);
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (333.0, 512.0),
+            (-120.0, 900.0),
+            (1050.0, -60.0),
+            (505.0, 405.0),
+        ] {
+            let p = Point::new(x, y);
+            let a = tree.nearest(&net, p).unwrap();
+            let b = grid.nearest(&net, p).unwrap();
+            assert_eq!(a.segment, b.segment, "at {p}");
+            assert!((a.distance - b.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn within_agrees_with_grid_index() {
+        let net = net();
+        let tree = SegmentRTree::build(&net);
+        let grid = SegmentIndex::build(&net, 80.0);
+        for radius in [30.0, 120.0, 400.0] {
+            let p = Point::new(450.0, 380.0);
+            let a: Vec<_> = tree
+                .within(&net, p, radius)
+                .iter()
+                .map(|h| h.segment)
+                .collect();
+            let b: Vec<_> = grid
+                .within(&net, p, radius)
+                .iter()
+                .map(|h| h.segment)
+                .collect();
+            assert_eq!(a, b, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = RoadNetworkBuilder::new().build().unwrap();
+        let tree = SegmentRTree::build(&net);
+        assert!(tree.nearest(&net, Point::new(0.0, 0.0)).is_none());
+        assert!(tree.within(&net, Point::new(0.0, 0.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn single_segment() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        let s = b.add_segment(a, c, 10.0).unwrap();
+        let net = b.build().unwrap();
+        let tree = SegmentRTree::build(&net);
+        let hit = tree.nearest(&net, Point::new(50.0, 40.0)).unwrap();
+        assert_eq!(hit.segment, s);
+        assert!((hit.distance - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let net = net();
+        let a = SegmentRTree::build(&net);
+        let b = SegmentRTree::build(&net);
+        // Same queries, same answers — structure equality is implied by
+        // the deterministic packing.
+        for i in 0..20 {
+            let p = Point::new(i as f64 * 53.0, i as f64 * 31.0);
+            assert_eq!(
+                a.nearest(&net, p).map(|h| h.segment),
+                b.nearest(&net, p).map(|h| h.segment)
+            );
+        }
+    }
+}

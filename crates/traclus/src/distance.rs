@@ -1,0 +1,207 @@
+//! The TraClus three-component line-segment distance (Section 3.2 of the
+//! TraClus paper): perpendicular, parallel and angular components, each
+//! Euclidean — which is exactly the property the NEAT paper argues makes
+//! it inappropriate for road-network trajectories.
+
+use crate::{TSeg, TraClusConfig};
+use neat_rnet::Point;
+
+/// Perpendicular distance component between the longer segment
+/// `(ls, le)` and the shorter `(ss, se)`:
+/// `(l⊥₁² + l⊥₂²) / (l⊥₁ + l⊥₂)`, or 0 when both projections coincide.
+pub fn perpendicular_component(ls: Point, le: Point, ss: Point, se: Point) -> f64 {
+    let l1 = project_onto_segment_line(ss, ls, le).1;
+    let l2 = project_onto_segment_line(se, ls, le).1;
+    if l1 + l2 <= f64::EPSILON {
+        0.0
+    } else {
+        (l1 * l1 + l2 * l2) / (l1 + l2)
+    }
+}
+
+/// Parallel distance component: `min(l∥₁, l∥₂)` — the smaller overhang of
+/// the shorter segment's endpoint projections beyond the longer segment.
+pub fn parallel_component(ls: Point, le: Point, ss: Point, se: Point) -> f64 {
+    let dir = le - ls;
+    let len = dir.norm();
+    if len <= f64::EPSILON {
+        return ls.distance(ss).min(ls.distance(se));
+    }
+    let t1 = (ss - ls).dot(dir) / (len * len);
+    let t2 = (se - ls).dot(dir) / (len * len);
+    let overhang = |t: f64| -> f64 {
+        if t < 0.0 {
+            -t * len
+        } else if t > 1.0 {
+            (t - 1.0) * len
+        } else {
+            0.0
+        }
+    };
+    overhang(t1).min(overhang(t2))
+}
+
+/// Angular distance component: `‖shorter‖ × sin θ` for θ ∈ [0°, 90°],
+/// `‖shorter‖` for θ ∈ (90°, 180°].
+pub fn angular_component(ls: Point, le: Point, ss: Point, se: Point) -> f64 {
+    let v1 = le - ls;
+    let v2 = se - ss;
+    let n1 = v1.norm();
+    let n2 = v2.norm();
+    if n1 <= f64::EPSILON || n2 <= f64::EPSILON {
+        return 0.0;
+    }
+    // sin θ via the cross product: numerically exact 0 for collinear
+    // vectors, unlike sqrt(1 − cos²).
+    if v1.dot(v2) < 0.0 {
+        n2
+    } else {
+        let sin = (v1.cross(v2).abs() / (n1 * n2)).min(1.0);
+        n2 * sin
+    }
+}
+
+/// Projects `p` onto the *infinite line* through `a`–`b`, returning the
+/// projection parameter and the perpendicular distance.
+fn project_onto_segment_line(p: Point, a: Point, b: Point) -> (f64, f64) {
+    let ab = b - a;
+    let len_sq = ab.dot(ab);
+    if len_sq <= f64::EPSILON {
+        return (0.0, p.distance(a));
+    }
+    let t = (p - a).dot(ab) / len_sq;
+    let foot = a + ab * t;
+    (t, p.distance(foot))
+}
+
+/// Perpendicular distance used by the MDL partitioning cost — identical to
+/// [`perpendicular_component`] but exposed under the partitioning name.
+pub fn perpendicular_distance(ls: Point, le: Point, ss: Point, se: Point) -> f64 {
+    perpendicular_component(ls, le, ss, se)
+}
+
+/// Angular distance used by the MDL partitioning cost.
+pub fn angular_distance(ls: Point, le: Point, ss: Point, se: Point) -> f64 {
+    angular_component(ls, le, ss, se)
+}
+
+/// The weighted TraClus distance between two line segments. The longer
+/// segment takes the `Li` role, as the TraClus paper prescribes.
+pub fn segment_distance(a: &TSeg, b: &TSeg, config: &TraClusConfig) -> f64 {
+    let (longer, shorter) = if a.length() >= b.length() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let d_perp = perpendicular_component(longer.start, longer.end, shorter.start, shorter.end);
+    let d_par = parallel_component(longer.start, longer.end, shorter.start, shorter.end);
+    let d_ang = angular_component(longer.start, longer.end, shorter.start, shorter.end);
+    config.w_perpendicular * d_perp + config.w_parallel * d_par + config.w_angular * d_ang
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_traj::TrajectoryId;
+    use proptest::prelude::*;
+
+    fn seg(x0: f64, y0: f64, x1: f64, y1: f64) -> TSeg {
+        TSeg {
+            trajectory: TrajectoryId::new(0),
+            start: Point::new(x0, y0),
+            end: Point::new(x1, y1),
+        }
+    }
+
+    fn cfg() -> TraClusConfig {
+        TraClusConfig::default()
+    }
+
+    #[test]
+    fn identical_segments_have_zero_distance() {
+        let a = seg(0.0, 0.0, 100.0, 0.0);
+        assert_eq!(segment_distance(&a, &a, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn parallel_offset_gives_perpendicular_distance() {
+        let a = seg(0.0, 0.0, 100.0, 0.0);
+        let b = seg(0.0, 10.0, 100.0, 10.0);
+        // Perpendicular = (100+100)/20 = 10; parallel = 0; angular = 0.
+        assert!((segment_distance(&a, &b, &cfg()) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_gap_gives_parallel_distance() {
+        let a = seg(0.0, 0.0, 100.0, 0.0);
+        let b = seg(130.0, 0.0, 180.0, 0.0);
+        // Shorter is b; its nearest endpoint overhang past a is 30.
+        assert!((segment_distance(&a, &b, &cfg()) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn right_angle_gives_angular_distance() {
+        let a = seg(0.0, 0.0, 100.0, 0.0);
+        let b = seg(0.0, 0.0, 0.0, 50.0);
+        // θ = 90°: angular = ‖b‖ = 50. Perpendicular: projections of
+        // (0,0) and (0,50) onto a's line: 0 and 50 → (0+2500)/50 = 50.
+        // Parallel: both endpoints project inside a → 0.
+        assert!((segment_distance(&a, &b, &cfg()) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposite_direction_counts_full_length() {
+        let a = seg(0.0, 0.0, 100.0, 0.0);
+        let b = seg(100.0, 5.0, 0.0, 5.0);
+        let d = segment_distance(&a, &b, &cfg());
+        // Angular = ‖b‖ = 100 (θ = 180°), plus perpendicular 5.
+        assert!((d - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = seg(0.0, 0.0, 100.0, 0.0);
+        let b = seg(20.0, 15.0, 70.0, 35.0);
+        assert_eq!(
+            segment_distance(&a, &b, &cfg()),
+            segment_distance(&b, &a, &cfg())
+        );
+    }
+
+    #[test]
+    fn weights_scale_components() {
+        let a = seg(0.0, 0.0, 100.0, 0.0);
+        let b = seg(0.0, 10.0, 100.0, 10.0);
+        let mut c = cfg();
+        c.w_perpendicular = 2.0;
+        assert!((segment_distance(&a, &b, &c) - 20.0).abs() < 1e-9);
+        c.w_perpendicular = 0.0;
+        assert_eq!(segment_distance(&a, &b, &c), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_nonnegative_and_symmetric(
+            x0 in -100.0..100.0f64, y0 in -100.0..100.0f64,
+            x1 in -100.0..100.0f64, y1 in -100.0..100.0f64,
+            x2 in -100.0..100.0f64, y2 in -100.0..100.0f64,
+            x3 in -100.0..100.0f64, y3 in -100.0..100.0f64,
+        ) {
+            let a = seg(x0, y0, x1, y1);
+            let b = seg(x2, y2, x3, y3);
+            let dab = segment_distance(&a, &b, &cfg());
+            let dba = segment_distance(&b, &a, &cfg());
+            prop_assert!(dab >= 0.0);
+            prop_assert!((dab - dba).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_self_distance_zero(
+            x0 in -100.0..100.0f64, y0 in -100.0..100.0f64,
+            x1 in -100.0..100.0f64, y1 in -100.0..100.0f64,
+        ) {
+            let a = seg(x0, y0, x1, y1);
+            prop_assert!(segment_distance(&a, &a, &cfg()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Line-segment DBSCAN (TraClus Section 4.2).
+//!
+//! Standard DBSCAN with parameters `ε` / `MinLns` over the weighted
+//! segment distance. The ε-neighbourhood retrieval is a linear scan over
+//! all segments — the O(n²) behaviour the NEAT paper measures against.
+
+use crate::distance::segment_distance;
+use crate::{TSeg, TraClusConfig};
+
+/// DBSCAN labelling result: member indices per cluster plus the noise
+/// count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grouping {
+    /// Cluster members as indices into the input slice, in discovery
+    /// order.
+    pub clusters: Vec<Vec<usize>>,
+    /// Number of segments labelled noise.
+    pub noise: usize,
+}
+
+/// Runs DBSCAN over `segments` with `config.epsilon` / `config.min_lns`.
+///
+/// A segment is a *core* segment when its ε-neighbourhood (including
+/// itself) holds at least `MinLns` segments; clusters are the usual
+/// density-connected sets; everything unreachable is noise.
+pub fn dbscan(segments: &[TSeg], config: &TraClusConfig) -> Grouping {
+    const UNVISITED: i32 = -2;
+    const NOISE: i32 = -1;
+    let n = segments.len();
+    let mut label = vec![UNVISITED; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+
+    let neighbourhood = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| segment_distance(&segments[i], &segments[j], config) <= config.epsilon)
+            .collect()
+    };
+
+    for i in 0..n {
+        if label[i] != UNVISITED {
+            continue;
+        }
+        let neigh = neighbourhood(i);
+        if neigh.len() < config.min_lns {
+            label[i] = NOISE;
+            continue;
+        }
+        let cid = clusters.len() as i32;
+        clusters.push(Vec::new());
+        label[i] = cid;
+        clusters[cid as usize].push(i);
+        let mut queue: std::collections::VecDeque<usize> = neigh.into();
+        while let Some(j) = queue.pop_front() {
+            if label[j] == NOISE {
+                // Border segment reached from a core segment.
+                label[j] = cid;
+                clusters[cid as usize].push(j);
+                continue;
+            }
+            if label[j] != UNVISITED {
+                continue;
+            }
+            label[j] = cid;
+            clusters[cid as usize].push(j);
+            let jn = neighbourhood(j);
+            if jn.len() >= config.min_lns {
+                queue.extend(jn);
+            }
+        }
+    }
+    let noise = label.iter().filter(|&&l| l == NOISE).count();
+    Grouping { clusters, noise }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::Point;
+    use neat_traj::TrajectoryId;
+
+    fn seg(tr: u64, x0: f64, y0: f64, x1: f64, y1: f64) -> TSeg {
+        TSeg {
+            trajectory: TrajectoryId::new(tr),
+            start: Point::new(x0, y0),
+            end: Point::new(x1, y1),
+        }
+    }
+
+    fn cfg(epsilon: f64, min_lns: usize) -> TraClusConfig {
+        TraClusConfig {
+            epsilon,
+            min_lns,
+            ..TraClusConfig::default()
+        }
+    }
+
+    /// A bundle of `n` parallel segments 1 m apart starting at `y0`.
+    fn bundle(n: usize, y0: f64, id0: u64) -> Vec<TSeg> {
+        (0..n)
+            .map(|i| seg(id0 + i as u64, 0.0, y0 + i as f64, 100.0, y0 + i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn one_bundle_one_cluster() {
+        let segs = bundle(5, 0.0, 0);
+        let g = dbscan(&segs, &cfg(10.0, 3));
+        assert_eq!(g.clusters.len(), 1);
+        assert_eq!(g.clusters[0].len(), 5);
+        assert_eq!(g.noise, 0);
+    }
+
+    #[test]
+    fn two_bundles_two_clusters() {
+        let mut segs = bundle(5, 0.0, 0);
+        segs.extend(bundle(5, 300.0, 10));
+        let g = dbscan(&segs, &cfg(10.0, 3));
+        assert_eq!(g.clusters.len(), 2);
+        assert_eq!(g.noise, 0);
+    }
+
+    #[test]
+    fn isolated_segment_is_noise() {
+        let mut segs = bundle(4, 0.0, 0);
+        segs.push(seg(99, 0.0, 900.0, 100.0, 900.0));
+        let g = dbscan(&segs, &cfg(10.0, 3));
+        assert_eq!(g.clusters.len(), 1);
+        assert_eq!(g.noise, 1);
+    }
+
+    #[test]
+    fn min_lns_one_clusters_everything() {
+        let mut segs = bundle(2, 0.0, 0);
+        segs.push(seg(9, 0.0, 500.0, 100.0, 500.0));
+        let g = dbscan(&segs, &cfg(5.0, 1));
+        assert_eq!(g.noise, 0);
+        assert_eq!(g.clusters.len(), 2);
+    }
+
+    #[test]
+    fn border_segments_join_via_core() {
+        // A chain of segments each within ε of the next: density
+        // connectivity pulls the whole chain into one cluster as long as
+        // interior segments are core.
+        let segs: Vec<TSeg> = (0..7)
+            .map(|i| seg(i as u64, 0.0, i as f64 * 4.0, 100.0, i as f64 * 4.0))
+            .collect();
+        let g = dbscan(&segs, &cfg(5.0, 2));
+        assert_eq!(g.clusters.len(), 1);
+        assert_eq!(g.clusters[0].len(), 7);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = dbscan(&[], &cfg(10.0, 3));
+        assert!(g.clusters.is_empty());
+        assert_eq!(g.noise, 0);
+    }
+
+    #[test]
+    fn labels_partition_the_input() {
+        let mut segs = bundle(6, 0.0, 0);
+        segs.extend(bundle(3, 200.0, 20));
+        segs.push(seg(99, 0.0, 999.0, 50.0, 999.0));
+        let g = dbscan(&segs, &cfg(10.0, 4));
+        let clustered: usize = g.clusters.iter().map(Vec::len).sum();
+        assert_eq!(clustered + g.noise, segs.len());
+        // No index appears twice.
+        let mut all: Vec<usize> = g.clusters.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), clustered);
+    }
+}

@@ -1,0 +1,339 @@
+//! TraClus — the partition-and-group baseline (Lee et al., SIGMOD 2007).
+//!
+//! The NEAT paper evaluates against TraClus as the representative
+//! density-based partial trajectory clustering algorithm. This crate
+//! re-implements it from the original paper's formulas:
+//!
+//! * **partitioning** ([`partition`]): each trajectory is reduced to its
+//!   *characteristic points* by the approximate MDL optimisation, then cut
+//!   into line segments;
+//! * **distance** ([`distance`]): the three-component line-segment
+//!   distance (perpendicular ⊥, parallel ∥ and angular θ);
+//! * **grouping** ([`group`]): DBSCAN over line segments with parameters
+//!   `ε` and `MinLns`;
+//! * **representatives** ([`representative`]): the average-direction sweep
+//!   that produces each cluster's representative trajectory;
+//! * **hybrid variant** ([`hybrid`]): the NEAT paper's §IV-C experiment —
+//!   TraClus's grouping phase run over NEAT base clusters with the
+//!   modified Hausdorff *network* distance;
+//! * **whole-trajectory OPTICS** ([`optics`], [`whole`]): the
+//!   Trajectory-OPTICS method (reference \[24\] of the NEAT paper) that
+//!   clusters trajectories as a whole by time-averaged Euclidean
+//!   distance — included to demonstrate the weakness that motivates
+//!   partial clustering.
+//!
+//! ```
+//! use neat_traclus::{TraClus, TraClusConfig};
+//! use neat_traj::{Dataset, Trajectory, TrajectoryId};
+//! use neat_rnet::{RoadLocation, SegmentId, Point};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut data = Dataset::new("demo");
+//! for id in 0..5 {
+//!     let pts = (0..10).map(|i| RoadLocation::new(
+//!         SegmentId::new(0),
+//!         Point::new(i as f64 * 10.0, id as f64 * 0.5),
+//!         i as f64,
+//!     )).collect();
+//!     data.push(Trajectory::new(TrajectoryId::new(id), pts)?);
+//! }
+//! let result = TraClus::new(TraClusConfig { epsilon: 10.0, min_lns: 3, ..Default::default() })
+//!     .run(&data);
+//! assert_eq!(result.clusters.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod distance;
+pub mod estimate;
+pub mod group;
+pub mod hybrid;
+pub mod optics;
+pub mod partition;
+pub mod representative;
+pub mod whole;
+
+use neat_traj::{Dataset, TrajectoryId};
+use serde::{Deserialize, Serialize};
+
+pub use estimate::{estimate_parameters, scan_epsilons, EpsilonScore};
+pub use hybrid::{HybridConfig, HybridResult};
+pub use whole::{cluster_whole_trajectories, WholeConfig, WholeResult};
+
+/// A directed line segment extracted from a partitioned trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TSeg {
+    /// Trajectory the segment came from.
+    pub trajectory: TrajectoryId,
+    /// Segment start point.
+    pub start: neat_rnet::Point,
+    /// Segment end point.
+    pub end: neat_rnet::Point,
+}
+
+impl TSeg {
+    /// Euclidean length of the segment.
+    pub fn length(&self) -> f64 {
+        self.start.distance(self.end)
+    }
+}
+
+/// TraClus parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraClusConfig {
+    /// DBSCAN ε over the line-segment distance.
+    pub epsilon: f64,
+    /// DBSCAN MinLns (minimum ε-neighbourhood size of a core segment).
+    pub min_lns: usize,
+    /// Weight of the perpendicular distance component.
+    pub w_perpendicular: f64,
+    /// Weight of the parallel distance component.
+    pub w_parallel: f64,
+    /// Weight of the angular distance component.
+    pub w_angular: f64,
+    /// Sweep granularity γ (metres) of the representative-trajectory
+    /// algorithm.
+    pub gamma: f64,
+    /// Minimum number of distinct trajectories a cluster must contain
+    /// (the TraClus paper's trajectory-cardinality check, §4.2); clusters
+    /// below it are discarded. `0` disables the check.
+    pub min_trajectories: usize,
+}
+
+impl Default for TraClusConfig {
+    fn default() -> Self {
+        TraClusConfig {
+            epsilon: 10.0,
+            min_lns: 3,
+            w_perpendicular: 1.0,
+            w_parallel: 1.0,
+            w_angular: 1.0,
+            gamma: 20.0,
+            min_trajectories: 0,
+        }
+    }
+}
+
+/// One density-based cluster of line segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentCluster {
+    /// Member line segments.
+    pub segments: Vec<TSeg>,
+    /// Representative trajectory (polyline), possibly empty when the sweep
+    /// finds fewer than two positions with enough support.
+    pub representative: Vec<neat_rnet::Point>,
+}
+
+impl SegmentCluster {
+    /// Number of distinct trajectories contributing segments.
+    pub fn trajectory_cardinality(&self) -> usize {
+        let mut ids: Vec<TrajectoryId> = self.segments.iter().map(|s| s.trajectory).collect();
+        ids.sort();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Polyline length of the representative trajectory in metres.
+    pub fn representative_length(&self) -> f64 {
+        self.representative
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+}
+
+/// Result of a TraClus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraClusResult {
+    /// Discovered clusters.
+    pub clusters: Vec<SegmentCluster>,
+    /// Number of line segments classified as noise.
+    pub noise: usize,
+    /// Total line segments produced by the partitioning phase.
+    pub total_segments: usize,
+    /// Clusters removed by the trajectory-cardinality check.
+    pub discarded_clusters: usize,
+}
+
+/// The TraClus pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraClus {
+    config: TraClusConfig,
+}
+
+impl TraClus {
+    /// Creates a pipeline with the given parameters.
+    pub fn new(config: TraClusConfig) -> Self {
+        TraClus { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TraClusConfig {
+        &self.config
+    }
+
+    /// Runs partition-and-group clustering over `dataset`.
+    pub fn run(&self, dataset: &Dataset) -> TraClusResult {
+        let segments = partition::partition_dataset(dataset);
+        let total_segments = segments.len();
+        let grouping = group::dbscan(&segments, &self.config);
+        let mut discarded_clusters = 0usize;
+        let clusters = grouping
+            .clusters
+            .into_iter()
+            .filter_map(|members| {
+                let segs: Vec<TSeg> = members.into_iter().map(|i| segments[i]).collect();
+                let representative = representative::representative_trajectory(
+                    &segs,
+                    self.config.min_lns,
+                    self.config.gamma,
+                );
+                let cluster = SegmentCluster {
+                    segments: segs,
+                    representative,
+                };
+                if cluster.trajectory_cardinality() < self.config.min_trajectories {
+                    discarded_clusters += 1;
+                    None
+                } else {
+                    Some(cluster)
+                }
+            })
+            .collect();
+        TraClusResult {
+            clusters,
+            noise: grouping.noise,
+            total_segments,
+            discarded_clusters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::{Point, RoadLocation, SegmentId};
+    use neat_traj::Trajectory;
+
+    fn straight_traj(id: u64, y: f64, n: usize) -> Trajectory {
+        let pts = (0..n)
+            .map(|i| RoadLocation::new(SegmentId::new(0), Point::new(i as f64 * 20.0, y), i as f64))
+            .collect();
+        Trajectory::new(TrajectoryId::new(id), pts).unwrap()
+    }
+
+    #[test]
+    fn parallel_bundle_forms_one_cluster() {
+        let mut data = Dataset::new("bundle");
+        for id in 0..6 {
+            data.push(straight_traj(id, id as f64 * 1.0, 12));
+        }
+        let result = TraClus::new(TraClusConfig {
+            epsilon: 12.0,
+            min_lns: 3,
+            ..Default::default()
+        })
+        .run(&data);
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.clusters[0].trajectory_cardinality(), 6);
+        // The representative follows the bundle direction (≈ x-axis).
+        let rep = &result.clusters[0].representative;
+        assert!(rep.len() >= 2);
+        assert!(result.clusters[0].representative_length() > 100.0);
+    }
+
+    #[test]
+    fn distant_bundles_form_two_clusters() {
+        let mut data = Dataset::new("two");
+        for id in 0..4 {
+            data.push(straight_traj(id, id as f64, 10));
+        }
+        for id in 10..14 {
+            data.push(straight_traj(id, 500.0 + id as f64, 10));
+        }
+        let result = TraClus::new(TraClusConfig {
+            epsilon: 12.0,
+            min_lns: 3,
+            ..Default::default()
+        })
+        .run(&data);
+        assert_eq!(result.clusters.len(), 2);
+    }
+
+    #[test]
+    fn sparse_segments_are_noise() {
+        let mut data = Dataset::new("noise");
+        data.push(straight_traj(0, 0.0, 6));
+        data.push(straight_traj(1, 900.0, 6));
+        let result = TraClus::new(TraClusConfig {
+            epsilon: 5.0,
+            min_lns: 4,
+            ..Default::default()
+        })
+        .run(&data);
+        assert!(result.clusters.is_empty());
+        assert_eq!(result.noise, result.total_segments);
+    }
+
+    #[test]
+    fn smaller_epsilon_yields_more_fragmented_result() {
+        // Mirrors Figure 4: ε=1, MinLns=1 explodes the cluster count
+        // relative to tuned parameters.
+        let mut data = Dataset::new("frag");
+        for id in 0..8 {
+            data.push(straight_traj(id, id as f64 * 6.0, 10));
+        }
+        let tuned = TraClus::new(TraClusConfig {
+            epsilon: 25.0,
+            min_lns: 3,
+            ..Default::default()
+        })
+        .run(&data);
+        let degenerate = TraClus::new(TraClusConfig {
+            epsilon: 1.0,
+            min_lns: 1,
+            ..Default::default()
+        })
+        .run(&data);
+        assert!(degenerate.clusters.len() >= tuned.clusters.len());
+    }
+
+    #[test]
+    fn trajectory_cardinality_check_discards_thin_clusters() {
+        let mut data = Dataset::new("thin");
+        // A bundle entirely from two trajectories going back and forth.
+        for id in 0..2 {
+            data.push(straight_traj(id, id as f64, 12));
+        }
+        for id in 10..16 {
+            data.push(straight_traj(id, 800.0 + (id - 10) as f64, 12));
+        }
+        let without = TraClus::new(TraClusConfig {
+            epsilon: 12.0,
+            min_lns: 2,
+            ..Default::default()
+        })
+        .run(&data);
+        let with = TraClus::new(TraClusConfig {
+            epsilon: 12.0,
+            min_lns: 2,
+            min_trajectories: 4,
+            ..Default::default()
+        })
+        .run(&data);
+        assert_eq!(without.clusters.len(), 2);
+        assert_eq!(with.clusters.len(), 1);
+        assert_eq!(with.discarded_clusters, 1);
+        assert!(with.clusters[0].trajectory_cardinality() >= 4);
+    }
+
+    #[test]
+    fn tseg_length() {
+        let s = TSeg {
+            trajectory: TrajectoryId::new(0),
+            start: Point::new(0.0, 0.0),
+            end: Point::new(3.0, 4.0),
+        };
+        assert_eq!(s.length(), 5.0);
+    }
+}

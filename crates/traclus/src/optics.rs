@@ -1,0 +1,231 @@
+//! OPTICS (Ankerst et al., SIGMOD'99) over a precomputed distance matrix.
+//!
+//! The NEAT paper's related work singles out Trajectory-OPTICS \[24\] as
+//! the representative *whole-trajectory* density clustering method; this
+//! module provides the generic OPTICS ordering and cluster extraction
+//! that [`crate::whole`] builds on.
+
+/// One entry of the OPTICS ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderEntry {
+    /// Index of the object in the input set.
+    pub index: usize,
+    /// Reachability distance when the object was reached
+    /// (`f64::INFINITY` for the first object of each component).
+    pub reachability: f64,
+}
+
+/// A symmetric pairwise distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds a matrix by evaluating `dist` for every unordered pair.
+    ///
+    /// `dist` may return `f64::INFINITY` for incomparable objects.
+    pub fn build(n: usize, mut dist: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(i, j);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between objects `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+}
+
+/// Computes the OPTICS cluster ordering with parameters `eps` (generating
+/// distance) and `min_pts`.
+///
+/// Deterministic: unprocessed objects are visited in index order and ties
+/// in the seed queue break on index.
+pub fn optics_order(matrix: &DistanceMatrix, eps: f64, min_pts: usize) -> Vec<OrderEntry> {
+    let n = matrix.len();
+    let mut processed = vec![false; n];
+    let mut reachability = vec![f64::INFINITY; n];
+    let mut order = Vec::with_capacity(n);
+
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| j != i && matrix.get(i, j) <= eps)
+            .collect()
+    };
+    let core_distance = |i: usize, neigh: &[usize]| -> Option<f64> {
+        // Core distance: distance to the (min_pts)-th nearest object,
+        // counting the object itself as one of min_pts.
+        if neigh.len() + 1 < min_pts {
+            return None;
+        }
+        let mut ds: Vec<f64> = neigh.iter().map(|&j| matrix.get(i, j)).collect();
+        ds.sort_by(f64::total_cmp);
+        Some(ds[min_pts.saturating_sub(2)])
+    };
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        // Expand one density-connected component from `start`.
+        let mut seeds: Vec<usize> = vec![start];
+        while let Some(current) = pop_min(&mut seeds, &reachability, &processed) {
+            processed[current] = true;
+            order.push(OrderEntry {
+                index: current,
+                reachability: reachability[current],
+            });
+            let neigh = neighbours(current);
+            if let Some(core) = core_distance(current, &neigh) {
+                for &j in &neigh {
+                    if processed[j] {
+                        continue;
+                    }
+                    let new_reach = core.max(matrix.get(current, j));
+                    if new_reach < reachability[j] {
+                        reachability[j] = new_reach;
+                    }
+                    if !seeds.contains(&j) {
+                        seeds.push(j);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Pops the unprocessed seed with the smallest reachability (ties by
+/// index). Linear scan — the seed set stays small relative to `n²`
+/// distance evaluations, which dominate OPTICS anyway.
+fn pop_min(seeds: &mut Vec<usize>, reachability: &[f64], processed: &[bool]) -> Option<usize> {
+    seeds.retain(|&s| !processed[s]);
+    let (pos, _) = seeds.iter().enumerate().min_by(|(_, &a), (_, &b)| {
+        reachability[a]
+            .total_cmp(&reachability[b])
+            .then_with(|| a.cmp(&b))
+    })?;
+    Some(seeds.swap_remove(pos))
+}
+
+/// Extracts flat clusters from an OPTICS ordering with threshold
+/// `eps_prime`: a reachability jump above the threshold starts a new
+/// cluster; singleton "clusters" are reported as noise.
+pub fn extract_clusters(order: &[OrderEntry], eps_prime: f64) -> (Vec<Vec<usize>>, usize) {
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for e in order {
+        if e.reachability > eps_prime {
+            if current.len() > 1 {
+                clusters.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+        current.push(e.index);
+    }
+    if current.len() > 1 {
+        clusters.push(current);
+    } else {
+        current.clear();
+    }
+    let clustered: usize = clusters.iter().map(Vec::len).sum();
+    let noise = order.len() - clustered;
+    (clusters, noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D points, Euclidean distance.
+    fn matrix_of(points: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn ordering_covers_every_object_once() {
+        let m = matrix_of(&[0.0, 1.0, 2.0, 50.0, 51.0]);
+        let order = optics_order(&m, 5.0, 2);
+        assert_eq!(order.len(), 5);
+        let mut idx: Vec<usize> = order.iter().map(|e| e.index).collect();
+        idx.sort();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn two_groups_extracted() {
+        let m = matrix_of(&[0.0, 1.0, 2.0, 50.0, 51.0, 52.0]);
+        let order = optics_order(&m, 5.0, 2);
+        let (clusters, noise) = extract_clusters(&order, 5.0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(noise, 0);
+        let mut sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn isolated_point_is_noise() {
+        let m = matrix_of(&[0.0, 1.0, 2.0, 500.0]);
+        let order = optics_order(&m, 5.0, 2);
+        let (clusters, noise) = extract_clusters(&order, 5.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(noise, 1);
+    }
+
+    #[test]
+    fn reachability_is_small_within_dense_runs() {
+        let m = matrix_of(&[0.0, 1.0, 2.0, 3.0]);
+        let order = optics_order(&m, 10.0, 2);
+        // After the first (infinite) entry, reachabilities are ~1.
+        for e in &order[1..] {
+            assert!(e.reachability <= 2.0, "reachability {e:?}");
+        }
+    }
+
+    #[test]
+    fn min_pts_above_density_marks_everything_unreachable() {
+        let m = matrix_of(&[0.0, 100.0, 200.0]);
+        let order = optics_order(&m, 5.0, 2);
+        // No neighbours within eps: every entry keeps infinite
+        // reachability and extraction yields pure noise.
+        assert!(order.iter().all(|e| e.reachability.is_infinite()));
+        let (clusters, noise) = extract_clusters(&order, 5.0);
+        assert!(clusters.is_empty());
+        assert_eq!(noise, 3);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let pts = [3.0, 1.0, 2.0, 10.0, 11.0, 12.5];
+        let a = optics_order(&matrix_of(&pts), 4.0, 2);
+        let b = optics_order(&matrix_of(&pts), 4.0, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = DistanceMatrix::build(0, |_, _| 0.0);
+        assert!(m.is_empty());
+        assert!(optics_order(&m, 1.0, 2).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Trajectory partitioning by approximate MDL optimisation (TraClus
+//! Section 4.1).
+//!
+//! A trajectory's *characteristic points* are the points where its
+//! behaviour changes rapidly; the trajectory is replaced by the line
+//! segments between consecutive characteristic points. The approximate
+//! algorithm greedily extends a window and inserts a characteristic point
+//! whenever encoding the window as one segment (`MDL_par`) costs more than
+//! keeping the raw points (`MDL_nopar`).
+
+use crate::distance::{angular_distance, perpendicular_distance};
+use crate::TSeg;
+use neat_rnet::Point;
+use neat_traj::{Dataset, Trajectory};
+
+/// log₂ clamped below at 0 (distances under 1 m cost nothing, as in the
+/// reference implementation).
+fn log2c(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+/// MDL cost of replacing `points[i..=j]` with the single segment
+/// `(points[i], points[j])`: model cost `L(H)` plus encoding cost
+/// `L(D|H)`.
+fn mdl_par(points: &[Point], i: usize, j: usize) -> f64 {
+    let lh = log2c(points[i].distance(points[j]));
+    let mut perp = 0.0;
+    let mut ang = 0.0;
+    for k in i..j {
+        perp += perpendicular_distance(points[i], points[j], points[k], points[k + 1]);
+        ang += angular_distance(points[i], points[j], points[k], points[k + 1]);
+    }
+    lh + log2c(perp) + log2c(ang)
+}
+
+/// MDL cost of keeping `points[i..=j]` verbatim (`L(D|H) = 0`).
+fn mdl_nopar(points: &[Point], i: usize, j: usize) -> f64 {
+    (i..j)
+        .map(|k| log2c(points[k].distance(points[k + 1])))
+        .sum()
+}
+
+/// Computes the indices of the characteristic points of a point sequence
+/// (always including the first and last index).
+///
+/// # Panics
+///
+/// Panics when fewer than two points are supplied.
+pub fn characteristic_points(points: &[Point]) -> Vec<usize> {
+    assert!(points.len() >= 2, "need at least two points");
+    let mut cps = vec![0usize];
+    let mut start = 0usize;
+    let mut length = 1usize;
+    while start + length < points.len() {
+        let cur = start + length;
+        let cost_par = mdl_par(points, start, cur);
+        let cost_nopar = mdl_nopar(points, start, cur);
+        if cost_par > cost_nopar {
+            // Partition at the previous point.
+            let cp = cur - 1;
+            if cp > start {
+                cps.push(cp);
+                start = cp;
+                length = 1;
+            } else {
+                // Cannot shrink further; accept the single step.
+                cps.push(cur);
+                start = cur;
+                length = 1;
+            }
+        } else {
+            length += 1;
+        }
+    }
+    if *cps.last().expect("non-empty") != points.len() - 1 {
+        cps.push(points.len() - 1);
+    }
+    cps
+}
+
+/// Partitions one trajectory into TraClus line segments between
+/// characteristic points. Zero-length segments (repeated positions) are
+/// dropped.
+pub fn partition_trajectory(tr: &Trajectory) -> Vec<TSeg> {
+    let points: Vec<Point> = tr.points().iter().map(|l| l.position).collect();
+    let cps = characteristic_points(&points);
+    cps.windows(2)
+        .filter(|w| points[w[0]].distance(points[w[1]]) > 1e-9)
+        .map(|w| TSeg {
+            trajectory: tr.id(),
+            start: points[w[0]],
+            end: points[w[1]],
+        })
+        .collect()
+}
+
+/// Partitions every trajectory of a dataset.
+pub fn partition_dataset(dataset: &Dataset) -> Vec<TSeg> {
+    dataset
+        .trajectories()
+        .iter()
+        .flat_map(partition_trajectory)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::{RoadLocation, SegmentId};
+    use neat_traj::TrajectoryId;
+
+    fn traj(coords: &[(f64, f64)]) -> Trajectory {
+        let pts = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| RoadLocation::new(SegmentId::new(0), Point::new(x, y), i as f64))
+            .collect();
+        Trajectory::new(TrajectoryId::new(1), pts).unwrap()
+    }
+
+    #[test]
+    fn straight_line_collapses_to_one_segment() {
+        let t = traj(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0), (150.0, 0.0)]);
+        let segs = partition_trajectory(&t);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].start, Point::new(0.0, 0.0));
+        assert_eq!(segs[0].end, Point::new(150.0, 0.0));
+    }
+
+    #[test]
+    fn sharp_turn_creates_characteristic_point() {
+        // Go east 200 m, then north 200 m: the corner is characteristic.
+        // (The greedy MDL window absorbs turns that occur long after the
+        // window start — a documented property of TraClus's *approximate*
+        // partitioning — so the turn sits a few samples in.)
+        let t = traj(&[
+            (0.0, 0.0),
+            (100.0, 0.0),
+            (200.0, 0.0),
+            (200.0, 100.0),
+            (200.0, 200.0),
+        ]);
+        let segs = partition_trajectory(&t);
+        assert!(segs.len() >= 2, "turn must split the trajectory");
+        // Some split point sits at the corner.
+        assert!(segs
+            .iter()
+            .any(|s| s.end.distance(Point::new(200.0, 0.0)) < 1e-6));
+    }
+
+    #[test]
+    fn endpoints_always_characteristic() {
+        let pts: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 10.0, ((i % 5) as f64) * 8.0))
+            .collect();
+        let cps = characteristic_points(&pts);
+        assert_eq!(cps[0], 0);
+        assert_eq!(*cps.last().unwrap(), 19);
+        // Indices strictly increase.
+        for w in cps.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn two_point_trajectory_is_one_segment() {
+        let t = traj(&[(0.0, 0.0), (10.0, 10.0)]);
+        let segs = partition_trajectory(&t);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn repeated_points_do_not_emit_zero_segments() {
+        let t = traj(&[(0.0, 0.0), (0.0, 0.0), (10.0, 0.0), (10.0, 0.0)]);
+        for s in partition_trajectory(&t) {
+            assert!(s.length() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn single_point_panics() {
+        let _ = characteristic_points(&[Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn dataset_partition_concatenates() {
+        let mut d = Dataset::new("p");
+        d.push(traj(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]));
+        d.push(traj(&[(0.0, 5.0), (10.0, 5.0)]));
+        let segs = partition_dataset(&d);
+        assert!(segs.len() >= 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Representative trajectory of a line-segment cluster (TraClus
+//! Section 4.3): rotate the axes to the cluster's average direction and
+//! sweep a vertical line across the segment endpoints, averaging the
+//! crossing segments' y-coordinates wherever at least `MinLns` segments
+//! overlap.
+
+use crate::TSeg;
+use neat_rnet::Point;
+
+/// Computes the representative trajectory of `segments`.
+///
+/// Returns the polyline in original coordinates; fewer than two sweep
+/// positions with `min_lns` support yield an empty polyline.
+pub fn representative_trajectory(segments: &[TSeg], min_lns: usize, gamma: f64) -> Vec<Point> {
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    // Average direction vector (flip segments pointing against the
+    // majority so opposite travel directions reinforce one axis).
+    let mut main = Point::new(0.0, 0.0);
+    for s in segments {
+        let v = s.end - s.start;
+        if v.dot(main) < 0.0 {
+            main = main - v;
+        } else {
+            main = main + v;
+        }
+    }
+    let norm = main.norm();
+    if norm <= f64::EPSILON {
+        return Vec::new();
+    }
+    let (cos, sin) = (main.x / norm, main.y / norm);
+    let rotate = |p: Point| Point::new(p.x * cos + p.y * sin, -p.x * sin + p.y * cos);
+    let unrotate = |p: Point| Point::new(p.x * cos - p.y * sin, p.x * sin + p.y * cos);
+
+    // Rotated segments with start.x ≤ end.x.
+    let rotated: Vec<(Point, Point)> = segments
+        .iter()
+        .map(|s| {
+            let a = rotate(s.start);
+            let b = rotate(s.end);
+            if a.x <= b.x {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect();
+
+    // Sweep positions: sorted endpoint x-coordinates.
+    let mut xs: Vec<f64> = rotated.iter().flat_map(|(a, b)| [a.x, b.x]).collect();
+    xs.sort_by(f64::total_cmp);
+
+    let mut out: Vec<Point> = Vec::new();
+    let mut last_x = f64::NEG_INFINITY;
+    for &x in &xs {
+        if x - last_x < gamma && !out.is_empty() {
+            continue; // sweep granularity
+        }
+        // Segments crossing the sweep line.
+        let crossing: Vec<f64> = rotated
+            .iter()
+            .filter(|(a, b)| a.x <= x && x <= b.x)
+            .map(|(a, b)| {
+                if (b.x - a.x).abs() <= f64::EPSILON {
+                    (a.y + b.y) / 2.0
+                } else {
+                    a.y + (b.y - a.y) * (x - a.x) / (b.x - a.x)
+                }
+            })
+            .collect();
+        if crossing.len() >= min_lns {
+            let avg_y = crossing.iter().sum::<f64>() / crossing.len() as f64;
+            out.push(unrotate(Point::new(x, avg_y)));
+            last_x = x;
+        }
+    }
+    if out.len() < 2 {
+        Vec::new()
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_traj::TrajectoryId;
+
+    fn seg(x0: f64, y0: f64, x1: f64, y1: f64) -> TSeg {
+        TSeg {
+            trajectory: TrajectoryId::new(0),
+            start: Point::new(x0, y0),
+            end: Point::new(x1, y1),
+        }
+    }
+
+    #[test]
+    fn horizontal_bundle_representative_runs_through_middle() {
+        let segs = vec![
+            seg(0.0, 0.0, 100.0, 0.0),
+            seg(0.0, 10.0, 100.0, 10.0),
+            seg(0.0, 20.0, 100.0, 20.0),
+        ];
+        let rep = representative_trajectory(&segs, 3, 10.0);
+        assert!(rep.len() >= 2);
+        for p in &rep {
+            assert!((p.y - 10.0).abs() < 1e-6, "representative off-centre: {p}");
+        }
+        // Spans roughly the bundle extent.
+        let len: f64 = rep.windows(2).map(|w| w[0].distance(w[1])).sum();
+        assert!(len > 80.0);
+    }
+
+    #[test]
+    fn opposite_directions_still_form_representative() {
+        let segs = vec![
+            seg(0.0, 0.0, 100.0, 0.0),
+            seg(100.0, 4.0, 0.0, 4.0), // reversed travel direction
+            seg(0.0, 8.0, 100.0, 8.0),
+        ];
+        let rep = representative_trajectory(&segs, 3, 10.0);
+        assert!(rep.len() >= 2);
+    }
+
+    #[test]
+    fn insufficient_support_gives_empty() {
+        let segs = vec![seg(0.0, 0.0, 100.0, 0.0)];
+        assert!(representative_trajectory(&segs, 3, 10.0).is_empty());
+        assert!(representative_trajectory(&[], 1, 10.0).is_empty());
+    }
+
+    #[test]
+    fn diagonal_bundle_follows_direction() {
+        let segs: Vec<TSeg> = (0..4)
+            .map(|i| {
+                let off = i as f64 * 3.0;
+                seg(0.0 + off, 0.0 - off, 100.0 + off, 100.0 - off)
+            })
+            .collect();
+        let rep = representative_trajectory(&segs, 3, 10.0);
+        assert!(rep.len() >= 2);
+        let dir = *rep.last().unwrap() - rep[0];
+        // Direction ≈ (1, 1)/√2.
+        let cos = dir.dot(Point::new(1.0, 1.0)) / (dir.norm() * 2f64.sqrt());
+        assert!(cos > 0.99, "representative direction off: {dir}");
+    }
+
+    #[test]
+    fn partial_overlap_limits_representative_extent() {
+        // Three segments overlapping only in x ∈ [40, 60].
+        let segs = vec![
+            seg(0.0, 0.0, 60.0, 0.0),
+            seg(40.0, 5.0, 100.0, 5.0),
+            seg(20.0, 10.0, 80.0, 10.0),
+        ];
+        let rep = representative_trajectory(&segs, 3, 5.0);
+        for p in &rep {
+            assert!(p.x >= 35.0 && p.x <= 65.0, "point outside overlap: {p}");
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_direction_yields_empty() {
+        // Two segments cancelling out exactly; flipping makes them
+        // reinforce, so force true degeneracy with zero-length segments.
+        let segs = vec![seg(5.0, 5.0, 5.0, 5.0), seg(9.0, 9.0, 9.0, 9.0)];
+        assert!(representative_trajectory(&segs, 1, 1.0).is_empty());
+    }
+}

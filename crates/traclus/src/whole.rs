@@ -1,0 +1,189 @@
+//! Whole-trajectory clustering (Trajectory-OPTICS, Nanni & Pedreschi
+//! 2006 — reference \[24\] of the NEAT paper).
+//!
+//! The distance between two trajectories is the *time-averaged Euclidean
+//! distance* between the objects over their common time interval; OPTICS
+//! then orders the trajectories and a threshold extracts flat clusters.
+//! The NEAT paper cites this method as the representative
+//! whole-trajectory approach and motivates partial (sub-trajectory)
+//! clustering by its shortcomings — this implementation lets the harness
+//! demonstrate exactly that contrast.
+
+use crate::optics::{extract_clusters, optics_order, DistanceMatrix};
+use neat_rnet::Point;
+use neat_traj::{Dataset, Trajectory};
+
+/// Parameters for whole-trajectory OPTICS clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WholeConfig {
+    /// OPTICS generating distance (metres of time-averaged separation).
+    pub eps: f64,
+    /// OPTICS `MinPts`.
+    pub min_pts: usize,
+    /// Extraction threshold ε′ (usually ≤ `eps`).
+    pub eps_prime: f64,
+    /// Temporal sampling step (seconds) for the time-averaged distance.
+    pub time_step_s: f64,
+}
+
+impl Default for WholeConfig {
+    fn default() -> Self {
+        WholeConfig {
+            eps: 200.0,
+            min_pts: 3,
+            eps_prime: 200.0,
+            time_step_s: 10.0,
+        }
+    }
+}
+
+/// Result of whole-trajectory clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WholeResult {
+    /// Clusters as indices into the dataset's trajectory list.
+    pub clusters: Vec<Vec<usize>>,
+    /// Trajectories classified as noise.
+    pub noise: usize,
+}
+
+/// Position of the object at absolute time `t` (see
+/// [`neat_traj::ops::position_at`]); `None` outside the recorded interval.
+fn position_at(tr: &Trajectory, t: f64) -> Option<Point> {
+    neat_traj::ops::position_at(tr, t).map(|l| l.position)
+}
+
+/// Time-averaged Euclidean distance between two trajectories over their
+/// common time interval, sampled every `dt` seconds. Returns
+/// `f64::INFINITY` when the intervals do not overlap.
+pub fn time_averaged_distance(a: &Trajectory, b: &Trajectory, dt: f64) -> f64 {
+    let start = a.first().time.max(b.first().time);
+    let end = a.last().time.min(b.last().time);
+    if end < start {
+        return f64::INFINITY;
+    }
+    let steps = ((end - start) / dt.max(1e-9)).ceil() as usize;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for k in 0..=steps {
+        let t = (start + k as f64 * dt).min(end);
+        if let (Some(pa), Some(pb)) = (position_at(a, t), position_at(b, t)) {
+            sum += pa.distance(pb);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Clusters whole trajectories with OPTICS over the time-averaged
+/// distance.
+pub fn cluster_whole_trajectories(dataset: &Dataset, config: &WholeConfig) -> WholeResult {
+    let trs = dataset.trajectories();
+    let matrix = DistanceMatrix::build(trs.len(), |i, j| {
+        time_averaged_distance(&trs[i], &trs[j], config.time_step_s)
+    });
+    let order = optics_order(&matrix, config.eps, config.min_pts);
+    let (clusters, noise) = extract_clusters(&order, config.eps_prime);
+    WholeResult { clusters, noise }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::{RoadLocation, SegmentId};
+    use neat_traj::TrajectoryId;
+
+    /// A straight east-bound trajectory at altitude `y`, from t=0..90.
+    fn eastbound(id: u64, y: f64, t0: f64) -> Trajectory {
+        let pts = (0..10)
+            .map(|i| {
+                RoadLocation::new(
+                    SegmentId::new(0),
+                    Point::new(i as f64 * 100.0, y),
+                    t0 + i as f64 * 10.0,
+                )
+            })
+            .collect();
+        Trajectory::new(TrajectoryId::new(id), pts).unwrap()
+    }
+
+    #[test]
+    fn interpolation_at_times() {
+        let tr = eastbound(1, 0.0, 0.0);
+        assert_eq!(position_at(&tr, 0.0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(position_at(&tr, 5.0), Some(Point::new(50.0, 0.0)));
+        assert_eq!(position_at(&tr, 90.0), Some(Point::new(900.0, 0.0)));
+        assert_eq!(position_at(&tr, 91.0), None);
+        assert_eq!(position_at(&tr, -1.0), None);
+    }
+
+    #[test]
+    fn parallel_synchronous_trajectories_have_offset_distance() {
+        let a = eastbound(1, 0.0, 0.0);
+        let b = eastbound(2, 30.0, 0.0);
+        let d = time_averaged_distance(&a, &b, 10.0);
+        assert!((d - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_route_time_shifted_is_far_apart() {
+        // The whole-trajectory measure penalises temporal misalignment —
+        // the weakness the NEAT paper calls out: same route, shifted
+        // departure, large "distance".
+        let a = eastbound(1, 0.0, 0.0);
+        let b = eastbound(2, 0.0, 50.0);
+        let d = time_averaged_distance(&a, &b, 10.0);
+        assert!(d > 400.0, "time-shifted distance {d}");
+    }
+
+    #[test]
+    fn disjoint_time_intervals_are_incomparable() {
+        let a = eastbound(1, 0.0, 0.0);
+        let b = eastbound(2, 0.0, 1000.0);
+        assert_eq!(time_averaged_distance(&a, &b, 10.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn clusters_form_from_synchronous_bundles() {
+        let mut d = Dataset::new("w");
+        for i in 0..4 {
+            d.push(eastbound(i, i as f64 * 10.0, 0.0)); // bundle A
+        }
+        for i in 10..14 {
+            d.push(eastbound(i, 5000.0 + i as f64 * 10.0, 0.0)); // bundle B
+        }
+        let r = cluster_whole_trajectories(
+            &d,
+            &WholeConfig {
+                eps: 100.0,
+                min_pts: 2,
+                eps_prime: 100.0,
+                time_step_s: 10.0,
+            },
+        );
+        assert_eq!(r.clusters.len(), 2);
+        assert_eq!(r.noise, 0);
+    }
+
+    #[test]
+    fn lone_trajectory_is_noise() {
+        let mut d = Dataset::new("n");
+        d.push(eastbound(0, 0.0, 0.0));
+        d.push(eastbound(1, 10.0, 0.0));
+        d.push(eastbound(2, 9000.0, 0.0));
+        let r = cluster_whole_trajectories(
+            &d,
+            &WholeConfig {
+                eps: 50.0,
+                min_pts: 2,
+                eps_prime: 50.0,
+                time_step_s: 10.0,
+            },
+        );
+        assert_eq!(r.clusters.len(), 1);
+        assert_eq!(r.noise, 1);
+    }
+}

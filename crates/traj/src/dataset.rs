@@ -1,0 +1,343 @@
+//! Named trajectory datasets and their aggregate statistics.
+//!
+//! The paper's Table II reports the number of points of each dataset
+//! (e.g. ATL500 has 114 878 points); [`DatasetStats`] computes the same
+//! quantities for our synthetic datasets.
+
+use crate::error::TrajError;
+use crate::trajectory::{Trajectory, TrajectoryId};
+use serde::{Deserialize, Serialize};
+
+/// A named collection of trajectories, e.g. `ATL500`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    trajectories: Vec<Trajectory>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dataset {
+            name: name.into(),
+            trajectories: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset from parts.
+    pub fn from_trajectories(name: impl Into<String>, trajectories: Vec<Trajectory>) -> Self {
+        Dataset {
+            name: name.into(),
+            trajectories,
+        }
+    }
+
+    /// Dataset name (used in experiment labels, e.g. "ATL500").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The trajectories in insertion order.
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Whether the dataset holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Adds a trajectory.
+    pub fn push(&mut self, tr: Trajectory) {
+        self.trajectories.push(tr);
+    }
+
+    /// Looks up a trajectory by id (linear scan; datasets are iterated far
+    /// more often than point-queried).
+    pub fn get(&self, id: TrajectoryId) -> Option<&Trajectory> {
+        self.trajectories.iter().find(|t| t.id() == id)
+    }
+
+    /// Total number of location points across all trajectories — the
+    /// quantity reported in Table II.
+    pub fn total_points(&self) -> usize {
+        self.trajectories.iter().map(Trajectory::len).sum()
+    }
+
+    /// Computes the aggregate statistics of this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        let points = self.total_points();
+        let n = self.trajectories.len();
+        DatasetStats {
+            trajectories: n,
+            points,
+            avg_points_per_trajectory: if n == 0 {
+                0.0
+            } else {
+                points as f64 / n as f64
+            },
+            avg_duration_s: if n == 0 {
+                0.0
+            } else {
+                self.trajectories
+                    .iter()
+                    .map(Trajectory::duration)
+                    .sum::<f64>()
+                    / n as f64
+            },
+        }
+    }
+
+    /// Returns the sub-dataset of trajectories overlapping the time
+    /// window `[start, end]` (sliced to the window, boundary points
+    /// interpolated). Useful for replaying a recorded dataset into an
+    /// online clusterer batch by batch.
+    pub fn window(&self, start: f64, end: f64) -> Dataset {
+        Dataset {
+            name: format!("{}[{start:.0},{end:.0}]", self.name),
+            trajectories: self
+                .trajectories
+                .iter()
+                .filter_map(|t| crate::ops::slice_time(t, start, end))
+                .collect(),
+        }
+    }
+
+    /// Splits the dataset into `n` consecutive equal-duration windows
+    /// covering its full time span.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn split_windows(&self, n: usize) -> Vec<Dataset> {
+        assert!(n > 0, "need at least one window");
+        if self.trajectories.is_empty() {
+            return vec![Dataset::new(self.name.clone()); n];
+        }
+        let t0 = self
+            .trajectories
+            .iter()
+            .map(|t| t.first().time)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = self
+            .trajectories
+            .iter()
+            .map(|t| t.last().time)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let step = ((t1 - t0) / n as f64).max(f64::MIN_POSITIVE);
+        (0..n)
+            .map(|k| {
+                let lo = t0 + k as f64 * step;
+                // Last window absorbs rounding at the top end.
+                let hi = if k + 1 == n {
+                    t1
+                } else {
+                    t0 + (k + 1) as f64 * step
+                };
+                self.window(lo, hi)
+            })
+            .collect()
+    }
+
+    /// Keeps only trajectories satisfying the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Trajectory) -> bool) {
+        self.trajectories.retain(|t| keep(t));
+    }
+
+    /// Validates that all trajectory ids are distinct.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrajError::Parse`]-style error naming the duplicated id.
+    pub fn validate_unique_ids(&self) -> Result<(), TrajError> {
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.trajectories {
+            if !seen.insert(t.id()) {
+                return Err(TrajError::Parse {
+                    line: 0,
+                    message: format!("duplicate trajectory id {}", t.id()),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Trajectory> for Dataset {
+    fn extend<T: IntoIterator<Item = Trajectory>>(&mut self, iter: T) {
+        self.trajectories.extend(iter);
+    }
+}
+
+impl FromIterator<Trajectory> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Trajectory>>(iter: T) -> Self {
+        Dataset {
+            name: String::new(),
+            trajectories: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Dataset {
+    type Item = Trajectory;
+    type IntoIter = std::vec::IntoIter<Trajectory>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.trajectories.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Trajectory;
+    type IntoIter = std::slice::Iter<'a, Trajectory>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.trajectories.iter()
+    }
+}
+
+/// Aggregate statistics of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of trajectories.
+    pub trajectories: usize,
+    /// Total number of location points (Table II's quantity).
+    pub points: usize,
+    /// Mean points per trajectory.
+    pub avg_points_per_trajectory: f64,
+    /// Mean trip duration in seconds.
+    pub avg_duration_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::{Point, RoadLocation, SegmentId};
+
+    fn mk_traj(id: u64, n: usize) -> Trajectory {
+        let pts = (0..n)
+            .map(|i| RoadLocation::new(SegmentId::new(0), Point::new(i as f64, 0.0), i as f64))
+            .collect();
+        Trajectory::new(TrajectoryId::new(id), pts).unwrap()
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let mut d = Dataset::new("test");
+        assert!(d.is_empty());
+        d.push(mk_traj(1, 3));
+        d.push(mk_traj(2, 5));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.total_points(), 8);
+        assert_eq!(d.name(), "test");
+    }
+
+    #[test]
+    fn stats_computation() {
+        let mut d = Dataset::new("s");
+        d.push(mk_traj(1, 3)); // duration 2
+        d.push(mk_traj(2, 5)); // duration 4
+        let st = d.stats();
+        assert_eq!(st.trajectories, 2);
+        assert_eq!(st.points, 8);
+        assert!((st.avg_points_per_trajectory - 4.0).abs() < 1e-12);
+        assert!((st.avg_duration_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let st = Dataset::new("e").stats();
+        assert_eq!(st.points, 0);
+        assert_eq!(st.avg_points_per_trajectory, 0.0);
+        assert_eq!(st.avg_duration_s, 0.0);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let mut d = Dataset::new("g");
+        d.push(mk_traj(7, 2));
+        assert!(d.get(TrajectoryId::new(7)).is_some());
+        assert!(d.get(TrajectoryId::new(8)).is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_detected() {
+        let mut d = Dataset::new("dup");
+        d.push(mk_traj(1, 2));
+        d.push(mk_traj(1, 2));
+        assert!(d.validate_unique_ids().is_err());
+        let mut ok = Dataset::new("ok");
+        ok.push(mk_traj(1, 2));
+        ok.push(mk_traj(2, 2));
+        assert!(ok.validate_unique_ids().is_ok());
+    }
+
+    #[test]
+    fn window_slices_and_filters() {
+        let mut d = Dataset::new("w");
+        d.push(mk_traj(1, 11)); // t in [0, 10]
+        d.push(mk_traj(2, 3)); // t in [0, 2]
+        let w = d.window(4.0, 8.0);
+        // Trajectory 2 ends before the window: filtered out.
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.trajectories()[0].first().time, 4.0);
+        assert_eq!(w.trajectories()[0].last().time, 8.0);
+        assert!(w.name().contains("[4,8]"));
+    }
+
+    #[test]
+    fn split_windows_cover_the_span() {
+        let mut d = Dataset::new("s");
+        d.push(mk_traj(1, 13)); // t in [0, 12]
+        let parts = d.split_windows(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].trajectories()[0].first().time, 0.0);
+        assert_eq!(parts[2].trajectories()[0].last().time, 12.0);
+        // Boundaries line up.
+        assert!(
+            (parts[0].trajectories()[0].last().time - parts[1].trajectories()[0].first().time)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn split_windows_of_empty_dataset() {
+        let parts = Dataset::new("e").split_windows(4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(Dataset::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_panics() {
+        let _ = Dataset::new("z").split_windows(0);
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let mut d = Dataset::new("r");
+        d.push(mk_traj(1, 3));
+        d.push(mk_traj(2, 9));
+        d.retain(|t| t.len() > 5);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.trajectories()[0].id().value(), 2);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let d: Dataset = (1..4).map(|i| mk_traj(i, 2)).collect();
+        assert_eq!(d.len(), 3);
+        let mut d2 = Dataset::new("x");
+        d2.extend(d.trajectories().to_vec());
+        assert_eq!(d2.len(), 3);
+        // Borrowing iteration.
+        let ids: Vec<u64> = (&d2).into_iter().map(|t| t.id().value()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Owning iteration.
+        assert_eq!(d2.into_iter().count(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for trajectory construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, validating or parsing trajectories.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TrajError {
+    /// A trajectory must contain at least two points to describe movement.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+    },
+    /// Timestamps must be non-decreasing along a trajectory.
+    NonMonotonicTime {
+        /// Index of the offending point.
+        index: usize,
+        /// Timestamp of the previous point.
+        prev: f64,
+        /// Offending timestamp.
+        next: f64,
+    },
+    /// A dataset line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TrajError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajError::TooFewPoints { got } => {
+                write!(f, "trajectory needs at least 2 points, got {got}")
+            }
+            TrajError::NonMonotonicTime { index, prev, next } => write!(
+                f,
+                "timestamp at point {index} goes backwards ({next} < {prev})"
+            ),
+            TrajError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TrajError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for TrajError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrajError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TrajError {
+    fn from(e: std::io::Error) -> Self {
+        TrajError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            TrajError::TooFewPoints { got: 1 },
+            TrajError::NonMonotonicTime {
+                index: 3,
+                prev: 5.0,
+                next: 4.0,
+            },
+            TrajError::Parse {
+                line: 7,
+                message: "bad field".into(),
+            },
+            TrajError::Io(std::io::Error::other("boom")),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error as _;
+        let e = TrajError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrajError>();
+    }
+}

@@ -1,0 +1,181 @@
+//! T-fragments (Definition 1 of the paper).
+//!
+//! A t-fragment is a maximal run of consecutive trajectory points that lie
+//! on a single road segment. NEAT Phase 1 extracts t-fragments by splitting
+//! each trajectory at road junctions; this module provides the t-fragment
+//! type itself plus the pure splitting routine for trajectories that are
+//! already map-matched (junction insertion for non-contiguous samples lives
+//! in the `neat-mapmatch` crate).
+
+use crate::trajectory::{Trajectory, TrajectoryId};
+use neat_rnet::{RoadLocation, SegmentId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A maximal single-segment sub-trajectory
+/// (`tf = {trid, sid, lk … lk+m}`).
+///
+/// Only the endpoint locations and the point count are retained — the paper
+/// notes that after Phase 1 only the first/last points and inserted
+/// junction points play a role in clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TFragment {
+    /// Trajectory this fragment was extracted from.
+    pub trajectory: TrajectoryId,
+    /// Road segment on which every point of the fragment lies.
+    pub segment: SegmentId,
+    /// First location of the fragment (earliest time).
+    pub first: RoadLocation,
+    /// Last location of the fragment (latest time).
+    pub last: RoadLocation,
+    /// Number of original points collapsed into this fragment.
+    pub point_count: usize,
+}
+
+impl TFragment {
+    /// Time spent on the segment by this fragment, in seconds.
+    pub fn duration(&self) -> f64 {
+        self.last.time - self.first.time
+    }
+}
+
+impl fmt::Display for TFragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tf({}, {}, {} pts, {:.1}s)",
+            self.trajectory,
+            self.segment,
+            self.point_count,
+            self.duration()
+        )
+    }
+}
+
+/// Splits a map-matched trajectory into its t-fragments.
+///
+/// Consecutive points with equal segment ids are grouped into one fragment;
+/// the fragment boundary falls between points whose segment ids differ.
+/// The result covers every point of the trajectory exactly once and
+/// preserves visit order (so direction of movement is maintained, as the
+/// paper requires).
+///
+/// ```
+/// use neat_traj::{Trajectory, TrajectoryId};
+/// use neat_traj::fragment::split_into_fragments;
+/// use neat_rnet::{RoadLocation, SegmentId, Point};
+///
+/// # fn main() -> Result<(), neat_traj::TrajError> {
+/// let (s0, s1) = (SegmentId::new(0), SegmentId::new(1));
+/// let tr = Trajectory::new(TrajectoryId::new(9), vec![
+///     RoadLocation::new(s0, Point::new(0.0, 0.0), 0.0),
+///     RoadLocation::new(s0, Point::new(80.0, 0.0), 8.0),
+///     RoadLocation::new(s1, Point::new(120.0, 0.0), 12.0),
+/// ])?;
+/// let frags = split_into_fragments(&tr);
+/// assert_eq!(frags.len(), 2);
+/// assert_eq!(frags[0].segment, s0);
+/// assert_eq!(frags[0].point_count, 2);
+/// assert_eq!(frags[1].segment, s1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_into_fragments(tr: &Trajectory) -> Vec<TFragment> {
+    let pts = tr.points();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=pts.len() {
+        let boundary = i == pts.len() || pts[i].segment != pts[start].segment;
+        if boundary {
+            out.push(TFragment {
+                trajectory: tr.id(),
+                segment: pts[start].segment,
+                first: pts[start],
+                last: pts[i - 1],
+                point_count: i - start,
+            });
+            start = i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::Point;
+
+    fn loc(seg: usize, x: f64, t: f64) -> RoadLocation {
+        RoadLocation::new(SegmentId::new(seg), Point::new(x, 0.0), t)
+    }
+
+    fn tr(points: Vec<RoadLocation>) -> Trajectory {
+        Trajectory::new(TrajectoryId::new(1), points).unwrap()
+    }
+
+    #[test]
+    fn single_segment_single_fragment() {
+        let t = tr(vec![loc(0, 0.0, 0.0), loc(0, 10.0, 1.0), loc(0, 20.0, 2.0)]);
+        let f = split_into_fragments(&t);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].point_count, 3);
+        assert_eq!(f[0].first.time, 0.0);
+        assert_eq!(f[0].last.time, 2.0);
+        assert_eq!(f[0].duration(), 2.0);
+    }
+
+    #[test]
+    fn fragments_partition_points() {
+        let t = tr(vec![
+            loc(0, 0.0, 0.0),
+            loc(0, 10.0, 1.0),
+            loc(1, 20.0, 2.0),
+            loc(2, 30.0, 3.0),
+            loc(2, 40.0, 4.0),
+            loc(2, 50.0, 5.0),
+        ]);
+        let f = split_into_fragments(&t);
+        assert_eq!(f.len(), 3);
+        let total: usize = f.iter().map(|x| x.point_count).sum();
+        assert_eq!(total, t.len());
+        assert_eq!(f[0].segment, SegmentId::new(0));
+        assert_eq!(f[1].segment, SegmentId::new(1));
+        assert_eq!(f[1].point_count, 1);
+        assert_eq!(f[2].segment, SegmentId::new(2));
+    }
+
+    #[test]
+    fn revisiting_a_segment_creates_separate_fragments() {
+        // A → B → A (like driving around the block): two distinct fragments
+        // on segment A, preserving direction/visit order.
+        let t = tr(vec![
+            loc(0, 0.0, 0.0),
+            loc(1, 10.0, 1.0),
+            loc(0, 20.0, 2.0),
+            loc(0, 30.0, 3.0),
+        ]);
+        let f = split_into_fragments(&t);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0].segment, SegmentId::new(0));
+        assert_eq!(f[2].segment, SegmentId::new(0));
+        assert_eq!(f[2].point_count, 2);
+    }
+
+    #[test]
+    fn fragment_order_is_chronological() {
+        let t = tr(vec![loc(3, 0.0, 0.0), loc(4, 10.0, 5.0), loc(5, 20.0, 9.0)]);
+        let f = split_into_fragments(&t);
+        for w in f.windows(2) {
+            assert!(w[0].last.time <= w[1].first.time);
+        }
+    }
+
+    #[test]
+    fn display_mentions_ids() {
+        let t = tr(vec![loc(2, 0.0, 0.0), loc(2, 5.0, 1.5)]);
+        let f = split_into_fragments(&t);
+        let s = f[0].to_string();
+        assert!(s.contains("tr1"));
+        assert!(s.contains("s2"));
+    }
+}

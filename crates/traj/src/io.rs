@@ -1,0 +1,194 @@
+//! Plain-text dataset I/O.
+//!
+//! Datasets are stored as a simple line format, one location per line:
+//!
+//! ```text
+//! # comment lines and blank lines are skipped
+//! trid,sid,x,y,t
+//! 0,17,1032.5,88.0,0.0
+//! 0,17,1120.1,90.2,8.0
+//! ```
+//!
+//! Lines must be grouped by trajectory id (all points of a trajectory are
+//! contiguous, in time order), which is how the simulator emits them.
+
+use crate::dataset::Dataset;
+use crate::error::TrajError;
+use crate::trajectory::{Trajectory, TrajectoryId};
+use neat_rnet::{Point, RoadLocation, SegmentId};
+use std::io::{BufRead, Write};
+
+/// Writes a dataset in the line format described in the module docs.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from the writer.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), TrajError> {
+    writeln!(w, "# dataset: {}", dataset.name())?;
+    writeln!(w, "# trid,sid,x,y,t")?;
+    for tr in dataset.trajectories() {
+        for p in tr.points() {
+            writeln!(
+                w,
+                "{},{},{},{},{}",
+                tr.id().value(),
+                p.segment.index(),
+                p.position.x,
+                p.position.y,
+                p.time
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_dataset`]. A `&mut` reference to any
+/// `BufRead` can be passed.
+///
+/// # Errors
+///
+/// Returns [`TrajError::Parse`] with the 1-based line number for malformed
+/// lines, or the underlying I/O error.
+pub fn read_dataset<R: BufRead>(name: impl Into<String>, r: R) -> Result<Dataset, TrajError> {
+    let mut dataset = Dataset::new(name);
+    let mut current: Option<(TrajectoryId, Vec<RoadLocation>)> = None;
+
+    let flush = |cur: &mut Option<(TrajectoryId, Vec<RoadLocation>)>,
+                 ds: &mut Dataset,
+                 line: usize|
+     -> Result<(), TrajError> {
+        if let Some((id, pts)) = cur.take() {
+            let tr = Trajectory::new(id, pts).map_err(|e| TrajError::Parse {
+                line,
+                message: format!("invalid trajectory {id}: {e}"),
+            })?;
+            ds.push(tr);
+        }
+        Ok(())
+    };
+
+    for (lineno, line) in r.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next_field = |what: &str| -> Result<&str, TrajError> {
+            fields.next().ok_or_else(|| TrajError::Parse {
+                line: lineno,
+                message: format!("missing field `{what}`"),
+            })
+        };
+        let parse_f64 = |s: &str, what: &str| -> Result<f64, TrajError> {
+            s.parse().map_err(|_| TrajError::Parse {
+                line: lineno,
+                message: format!("bad {what}: `{s}`"),
+            })
+        };
+        let trid: u64 = {
+            let s = next_field("trid")?;
+            s.parse().map_err(|_| TrajError::Parse {
+                line: lineno,
+                message: format!("bad trid: `{s}`"),
+            })?
+        };
+        let sid: usize = {
+            let s = next_field("sid")?;
+            s.parse().map_err(|_| TrajError::Parse {
+                line: lineno,
+                message: format!("bad sid: `{s}`"),
+            })?
+        };
+        let x = parse_f64(next_field("x")?, "x")?;
+        let y = parse_f64(next_field("y")?, "y")?;
+        let t = parse_f64(next_field("t")?, "t")?;
+        let loc = RoadLocation::new(SegmentId::new(sid), Point::new(x, y), t);
+        let id = TrajectoryId::new(trid);
+        match &mut current {
+            Some((cur_id, pts)) if *cur_id == id => pts.push(loc),
+            _ => {
+                flush(&mut current, &mut dataset, lineno)?;
+                current = Some((id, vec![loc]));
+            }
+        }
+    }
+    flush(&mut current, &mut dataset, usize::MAX)?;
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::{Point, SegmentId};
+
+    fn sample_dataset() -> Dataset {
+        let mut d = Dataset::new("roundtrip");
+        for id in 0..3u64 {
+            let pts = (0..4)
+                .map(|i| {
+                    RoadLocation::new(
+                        SegmentId::new(i % 2),
+                        Point::new(i as f64 * 10.0 + id as f64, -(i as f64)),
+                        i as f64 * 2.0,
+                    )
+                })
+                .collect();
+            d.push(Trajectory::new(TrajectoryId::new(id), pts).unwrap());
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let d2 = read_dataset("roundtrip", buf.as_slice()).unwrap();
+        assert_eq!(d.trajectories(), d2.trajectories());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0,1,0.0,0.0,0.0\n0,1,5.0,0.0,1.0\n";
+        let d = read_dataset("c", text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.total_points(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = "0,1,0.0,0.0,0.0\n0,1,notanumber,0.0,1.0\n";
+        let err = read_dataset("bad", text.as_bytes()).unwrap_err();
+        match err {
+            TrajError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("x"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let text = "0,1,0.0\n";
+        assert!(matches!(
+            read_dataset("m", text.as_bytes()),
+            Err(TrajError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn single_point_trajectory_is_rejected() {
+        let text = "0,1,0.0,0.0,0.0\n1,1,0.0,0.0,0.0\n1,1,2.0,0.0,1.0\n";
+        let err = read_dataset("short", text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TrajError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_dataset() {
+        let d = read_dataset("empty", "".as_bytes()).unwrap();
+        assert!(d.is_empty());
+    }
+}

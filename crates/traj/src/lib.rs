@@ -1,0 +1,28 @@
+//! Trajectory model for the NEAT reproduction.
+//!
+//! A *trajectory* (Section II-B of the paper) is a time-ordered sequence of
+//! road-network locations recorded by one mobile object on one trip. A
+//! *t-fragment* (Definition 1) is a maximal sub-trajectory whose points all
+//! lie on the same road segment; t-fragments are the atomic clustering unit
+//! of NEAT.
+//!
+//! This crate provides:
+//!
+//! * [`Trajectory`] and [`TrajectoryId`] — validated time-ordered location
+//!   sequences ([`trajectory`]),
+//! * [`TFragment`] — the paper's t-fragment ([`fragment`]),
+//! * [`Dataset`] — a named collection of trajectories with aggregate
+//!   statistics matching Table II of the paper ([`dataset`]),
+//! * plain-text I/O for datasets ([`io`]).
+
+pub mod dataset;
+pub mod error;
+pub mod fragment;
+pub mod io;
+pub mod ops;
+pub mod trajectory;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use error::TrajError;
+pub use fragment::TFragment;
+pub use trajectory::{Trajectory, TrajectoryId};

@@ -1,0 +1,309 @@
+//! Trajectory transformations: time slicing, resampling and
+//! interpolation.
+//!
+//! Downstream consumers often need a uniform temporal view of a
+//! trajectory: the whole-trajectory baseline samples positions on a fixed
+//! clock, online clustering slices arriving data into time windows, and
+//! visual comparisons want equal-rate polylines. These operations keep
+//! every invariant of [`Trajectory`] (ordering, minimum length).
+
+use crate::error::TrajError;
+use crate::trajectory::Trajectory;
+use neat_rnet::{Point, RoadLocation};
+
+/// Position of the object at absolute time `t`, linearly interpolated
+/// between the surrounding samples; `None` outside the recorded interval.
+///
+/// The returned location carries the segment id of the sample *before*
+/// `t` (the object was still on that segment when interpolation starts).
+pub fn position_at(tr: &Trajectory, t: f64) -> Option<RoadLocation> {
+    let pts = tr.points();
+    if t < pts[0].time || t > pts[pts.len() - 1].time {
+        return None;
+    }
+    let idx = pts.partition_point(|p| p.time <= t);
+    if idx == 0 {
+        return Some(pts[0]);
+    }
+    if idx >= pts.len() {
+        return Some(pts[pts.len() - 1]);
+    }
+    let (a, b) = (&pts[idx - 1], &pts[idx]);
+    let span = b.time - a.time;
+    let frac = if span <= f64::EPSILON {
+        0.0
+    } else {
+        (t - a.time) / span
+    };
+    Some(RoadLocation::new(
+        a.segment,
+        a.position.lerp(b.position, frac),
+        t,
+    ))
+}
+
+/// Restricts a trajectory to the closed time window `[start, end]`,
+/// interpolating boundary points so the result spans exactly the
+/// intersection of the window and the recorded interval.
+///
+/// Returns `None` when the intersection is empty or degenerates to fewer
+/// than two points.
+pub fn slice_time(tr: &Trajectory, start: f64, end: f64) -> Option<Trajectory> {
+    let lo = start.max(tr.first().time);
+    let hi = end.min(tr.last().time);
+    if hi <= lo {
+        return None;
+    }
+    let mut pts: Vec<RoadLocation> = Vec::new();
+    pts.push(position_at(tr, lo)?);
+    for p in tr.points() {
+        if p.time > lo && p.time < hi {
+            pts.push(*p);
+        }
+    }
+    pts.push(position_at(tr, hi)?);
+    Trajectory::new(tr.id(), pts).ok()
+}
+
+/// Resamples a trajectory on a uniform clock of period `dt`, starting at
+/// the first sample. The final recorded point is always included.
+///
+/// # Errors
+///
+/// Returns [`TrajError::Parse`]-style invalid-argument errors when `dt`
+/// is not strictly positive.
+pub fn resample(tr: &Trajectory, dt: f64) -> Result<Trajectory, TrajError> {
+    if dt <= 0.0 {
+        return Err(TrajError::Parse {
+            line: 0,
+            message: format!("resample period must be positive, got {dt}"),
+        });
+    }
+    let (t0, t1) = (tr.first().time, tr.last().time);
+    let mut pts = Vec::new();
+    let mut t = t0;
+    while t < t1 {
+        pts.push(position_at(tr, t).expect("t within recorded interval"));
+        t += dt;
+    }
+    pts.push(*tr.last());
+    Trajectory::new(tr.id(), pts)
+}
+
+/// Simplifies a trajectory with the Douglas–Peucker algorithm: the
+/// returned trajectory keeps a subset of the original samples such that
+/// every dropped sample lies within `tolerance_m` of the simplified
+/// polyline. Endpoints are always kept.
+///
+/// Useful for thinning dense traces before storage or visualisation; the
+/// clustering pipeline itself never needs it (Phase 1 collapses samples
+/// into t-fragments anyway).
+///
+/// # Panics
+///
+/// Panics if `tolerance_m` is negative.
+pub fn simplify(tr: &Trajectory, tolerance_m: f64) -> Trajectory {
+    assert!(tolerance_m >= 0.0, "tolerance must be non-negative");
+    let pts = tr.points();
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (a, b) = (pts[lo].position, pts[hi].position);
+        let (mut worst, mut worst_d) = (lo, -1.0f64);
+        for (i, p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = neat_rnet::geometry::point_segment_distance(p.position, a, b);
+            if d > worst_d {
+                worst = i;
+                worst_d = d;
+            }
+        }
+        if worst_d > tolerance_m {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    let kept: Vec<RoadLocation> = pts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect();
+    Trajectory::new(tr.id(), kept).expect("subset of a valid trajectory is valid")
+}
+
+/// Total straight-line length of a point sequence in metres.
+pub fn polyline_length(points: &[Point]) -> f64 {
+    points.windows(2).map(|w| w[0].distance(w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::TrajectoryId;
+    use neat_rnet::SegmentId;
+
+    fn tr(coords: &[(f64, f64)]) -> Trajectory {
+        let pts = coords
+            .iter()
+            .map(|&(x, t)| RoadLocation::new(SegmentId::new(0), Point::new(x, 0.0), t))
+            .collect();
+        Trajectory::new(TrajectoryId::new(1), pts).unwrap()
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        let t = tr(&[(0.0, 0.0), (100.0, 10.0)]);
+        let p = position_at(&t, 5.0).unwrap();
+        assert_eq!(p.position, Point::new(50.0, 0.0));
+        assert_eq!(p.time, 5.0);
+        assert!(position_at(&t, -1.0).is_none());
+        assert!(position_at(&t, 11.0).is_none());
+    }
+
+    #[test]
+    fn slice_interpolates_boundaries() {
+        let t = tr(&[(0.0, 0.0), (100.0, 10.0), (200.0, 20.0)]);
+        let s = slice_time(&t, 5.0, 15.0).unwrap();
+        assert_eq!(s.first().position, Point::new(50.0, 0.0));
+        assert_eq!(s.last().position, Point::new(150.0, 0.0));
+        assert_eq!(s.len(), 3); // boundary, sample at t=10, boundary
+        assert_eq!(s.points()[1].time, 10.0);
+    }
+
+    #[test]
+    fn slice_outside_interval_is_none() {
+        let t = tr(&[(0.0, 0.0), (100.0, 10.0)]);
+        assert!(slice_time(&t, 20.0, 30.0).is_none());
+        assert!(slice_time(&t, 5.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn slice_covering_everything_is_identity_shape() {
+        let t = tr(&[(0.0, 0.0), (100.0, 10.0), (200.0, 20.0)]);
+        let s = slice_time(&t, -100.0, 100.0).unwrap();
+        assert_eq!(s.first().time, 0.0);
+        assert_eq!(s.last().time, 20.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn resample_uniform_clock() {
+        let t = tr(&[(0.0, 0.0), (100.0, 10.0)]);
+        let r = resample(&t, 2.5).unwrap();
+        let times: Vec<f64> = r.points().iter().map(|p| p.time).collect();
+        assert_eq!(times, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        // Positions advance uniformly.
+        assert_eq!(r.points()[2].position, Point::new(50.0, 0.0));
+    }
+
+    #[test]
+    fn resample_preserves_final_point() {
+        let t = tr(&[(0.0, 0.0), (100.0, 10.0)]);
+        let r = resample(&t, 3.0).unwrap();
+        assert_eq!(r.last().time, 10.0);
+        assert_eq!(r.last().position, Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn resample_rejects_bad_period() {
+        let t = tr(&[(0.0, 0.0), (100.0, 10.0)]);
+        assert!(resample(&t, 0.0).is_err());
+        assert!(resample(&t, -3.0).is_err());
+    }
+
+    fn xy(coords: &[(f64, f64)]) -> Trajectory {
+        let pts = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| RoadLocation::new(SegmentId::new(0), Point::new(x, y), i as f64))
+            .collect();
+        Trajectory::new(TrajectoryId::new(1), pts).unwrap()
+    }
+
+    #[test]
+    fn simplify_straight_line_keeps_endpoints_only() {
+        let t = xy(&[
+            (0.0, 0.0),
+            (25.0, 0.2),
+            (50.0, 0.0),
+            (75.0, -0.3),
+            (100.0, 0.0),
+        ]);
+        let s = simplify(&t, 1.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first().time, 0.0);
+        assert_eq!(s.last().time, 4.0);
+    }
+
+    #[test]
+    fn simplify_keeps_significant_corners() {
+        // An L-shape: the corner deviates far from the chord.
+        let pts = vec![
+            RoadLocation::new(SegmentId::new(0), Point::new(0.0, 0.0), 0.0),
+            RoadLocation::new(SegmentId::new(0), Point::new(100.0, 0.0), 1.0),
+            RoadLocation::new(SegmentId::new(0), Point::new(100.0, 100.0), 2.0),
+        ];
+        let t = Trajectory::new(TrajectoryId::new(1), pts).unwrap();
+        let s = simplify(&t, 5.0);
+        assert_eq!(s.len(), 3, "corner must survive");
+    }
+
+    #[test]
+    fn simplify_zero_tolerance_is_lossless_for_nonlinear_traces() {
+        let t = xy(&[(0.0, 0.0), (10.0, 5.0), (20.0, -3.0), (30.0, 0.0)]);
+        let s = simplify(&t, 0.0);
+        assert_eq!(s.len(), t.len());
+    }
+
+    #[test]
+    fn simplified_points_are_within_tolerance() {
+        // Wiggly trace; every original point must lie within tolerance of
+        // the simplified polyline.
+        let coords: Vec<(f64, f64)> = (0..40)
+            .map(|i| (i as f64 * 10.0, ((i * 7) % 11) as f64))
+            .collect();
+        let t = xy(&coords);
+        let tol = 3.0;
+        let s = simplify(&t, tol);
+        assert!(s.len() < t.len());
+        for p in t.points() {
+            let d = s
+                .points()
+                .windows(2)
+                .map(|w| {
+                    neat_rnet::geometry::point_segment_distance(
+                        p.position,
+                        w[0].position,
+                        w[1].position,
+                    )
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= tol + 1e-9, "point {p} off by {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn simplify_rejects_negative_tolerance() {
+        let t = tr(&[(0.0, 0.0), (10.0, 1.0)]);
+        let _ = simplify(&t, -1.0);
+    }
+
+    #[test]
+    fn polyline_length_sums() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 14.0),
+        ];
+        assert_eq!(polyline_length(&pts), 15.0);
+        assert_eq!(polyline_length(&pts[..1]), 0.0);
+        assert_eq!(polyline_length(&[]), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Trajectories: validated time-ordered location sequences.
+
+use crate::error::TrajError;
+use neat_rnet::RoadLocation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a trajectory (the paper's `trid`).
+///
+/// ```
+/// use neat_traj::TrajectoryId;
+/// let id = TrajectoryId::new(12);
+/// assert_eq!(id.value(), 12);
+/// assert_eq!(id.to_string(), "tr12");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TrajectoryId(u64);
+
+impl TrajectoryId {
+    /// Creates a trajectory id.
+    pub fn new(value: u64) -> Self {
+        TrajectoryId(value)
+    }
+
+    /// Returns the raw identifier value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TrajectoryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tr{}", self.0)
+    }
+}
+
+/// A time-ordered sequence of road-network locations for one trip
+/// (`TR = (trid, l0 l1 … ln)` in the paper).
+///
+/// Invariants enforced at construction:
+/// * at least two points,
+/// * non-decreasing timestamps.
+///
+/// ```
+/// use neat_traj::{Trajectory, TrajectoryId};
+/// use neat_rnet::{RoadLocation, SegmentId, Point};
+///
+/// # fn main() -> Result<(), neat_traj::TrajError> {
+/// let s = SegmentId::new(0);
+/// let tr = Trajectory::new(TrajectoryId::new(1), vec![
+///     RoadLocation::new(s, Point::new(0.0, 0.0), 0.0),
+///     RoadLocation::new(s, Point::new(50.0, 0.0), 5.0),
+/// ])?;
+/// assert_eq!(tr.len(), 2);
+/// assert_eq!(tr.duration(), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    id: TrajectoryId,
+    points: Vec<RoadLocation>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory, validating its invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajError::TooFewPoints`] for fewer than two points and
+    /// [`TrajError::NonMonotonicTime`] if a timestamp decreases.
+    pub fn new(id: TrajectoryId, points: Vec<RoadLocation>) -> Result<Self, TrajError> {
+        if points.len() < 2 {
+            return Err(TrajError::TooFewPoints { got: points.len() });
+        }
+        for (i, w) in points.windows(2).enumerate() {
+            if w[1].time < w[0].time {
+                return Err(TrajError::NonMonotonicTime {
+                    index: i + 1,
+                    prev: w[0].time,
+                    next: w[1].time,
+                });
+            }
+        }
+        Ok(Trajectory { id, points })
+    }
+
+    /// The trajectory identifier.
+    pub fn id(&self) -> TrajectoryId {
+        self.id
+    }
+
+    /// The location sequence.
+    pub fn points(&self) -> &[RoadLocation] {
+        &self.points
+    }
+
+    /// Number of recorded locations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: a valid trajectory has at least two points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First recorded location (trip origin).
+    pub fn first(&self) -> &RoadLocation {
+        &self.points[0]
+    }
+
+    /// Last recorded location (trip destination).
+    pub fn last(&self) -> &RoadLocation {
+        self.points.last().expect("trajectory is non-empty")
+    }
+
+    /// Trip duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.last().time - self.first().time
+    }
+
+    /// Sum of straight-line distances between consecutive samples, in
+    /// metres — a lower bound on the distance actually travelled.
+    pub fn sampled_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].position.distance(w[1].position))
+            .sum()
+    }
+
+    /// Iterates over the distinct segment ids in visit order, collapsing
+    /// consecutive repeats (`A A B A` → `A B A`).
+    pub fn segment_sequence(&self) -> Vec<neat_rnet::SegmentId> {
+        let mut out: Vec<neat_rnet::SegmentId> = Vec::new();
+        for p in &self.points {
+            if out.last() != Some(&p.segment) {
+                out.push(p.segment);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_rnet::{Point, SegmentId};
+
+    fn loc(seg: usize, x: f64, t: f64) -> RoadLocation {
+        RoadLocation::new(SegmentId::new(seg), Point::new(x, 0.0), t)
+    }
+
+    #[test]
+    fn valid_trajectory() {
+        let tr = Trajectory::new(
+            TrajectoryId::new(1),
+            vec![loc(0, 0.0, 0.0), loc(0, 10.0, 1.0), loc(1, 20.0, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.id().value(), 1);
+        assert_eq!(tr.first().time, 0.0);
+        assert_eq!(tr.last().time, 2.0);
+        assert_eq!(tr.duration(), 2.0);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(matches!(
+            Trajectory::new(TrajectoryId::new(1), vec![]),
+            Err(TrajError::TooFewPoints { got: 0 })
+        ));
+        assert!(matches!(
+            Trajectory::new(TrajectoryId::new(1), vec![loc(0, 0.0, 0.0)]),
+            Err(TrajError::TooFewPoints { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn time_going_backwards_rejected() {
+        let err = Trajectory::new(
+            TrajectoryId::new(1),
+            vec![loc(0, 0.0, 5.0), loc(0, 1.0, 4.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrajError::NonMonotonicTime { index: 1, .. }));
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        // Two samples in the same second are legal (GPS burst).
+        let tr = Trajectory::new(
+            TrajectoryId::new(1),
+            vec![loc(0, 0.0, 1.0), loc(0, 1.0, 1.0)],
+        );
+        assert!(tr.is_ok());
+    }
+
+    #[test]
+    fn sampled_length_sums_hops() {
+        let tr = Trajectory::new(
+            TrajectoryId::new(1),
+            vec![loc(0, 0.0, 0.0), loc(0, 30.0, 1.0), loc(0, 70.0, 2.0)],
+        )
+        .unwrap();
+        assert!((tr.sampled_length() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_sequence_collapses_repeats() {
+        let tr = Trajectory::new(
+            TrajectoryId::new(1),
+            vec![
+                loc(0, 0.0, 0.0),
+                loc(0, 10.0, 1.0),
+                loc(1, 20.0, 2.0),
+                loc(1, 30.0, 3.0),
+                loc(0, 40.0, 4.0),
+            ],
+        )
+        .unwrap();
+        let seq = tr.segment_sequence();
+        assert_eq!(
+            seq,
+            vec![SegmentId::new(0), SegmentId::new(1), SegmentId::new(0)]
+        );
+    }
+}

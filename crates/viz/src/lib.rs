@@ -1,0 +1,193 @@
+//! SVG visualisation of road networks, trajectories and clusters.
+//!
+//! The paper visualises its results with the GTMobiSIM GUI (Figures 3–4);
+//! this crate is the open-source equivalent: it renders networks,
+//! datasets, NEAT flow/trajectory clusters and TraClus results as
+//! standalone SVG documents, which the `fig3`/`fig4` experiment binaries
+//! write next to their numeric output.
+//!
+//! ```
+//! use neat_viz::{SvgCanvas, palette};
+//! use neat_rnet::Point;
+//!
+//! let mut canvas = SvgCanvas::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0), 400.0);
+//! canvas.polyline(&[Point::new(0.0, 0.0), Point::new(100.0, 100.0)], palette::color(0), 2.0);
+//! let svg = canvas.into_svg();
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+pub mod palette;
+pub mod render;
+
+use neat_rnet::Point;
+use std::fmt::Write as _;
+
+/// A fixed-scale SVG canvas mapping world (metre) coordinates to viewport
+/// pixels, with the y-axis flipped so north is up.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    min: Point,
+    max: Point,
+    width_px: f64,
+    height_px: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas covering the world rectangle `min`–`max`, scaled
+    /// to `width_px` pixels wide (height follows the aspect ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rectangle is degenerate or `width_px ≤ 0`.
+    pub fn new(min: Point, max: Point, width_px: f64) -> Self {
+        assert!(max.x > min.x && max.y > min.y, "degenerate world rect");
+        assert!(width_px > 0.0, "canvas width must be positive");
+        let height_px = width_px * (max.y - min.y) / (max.x - min.x);
+        SvgCanvas {
+            min,
+            max,
+            width_px,
+            height_px,
+            body: String::new(),
+        }
+    }
+
+    fn map(&self, p: Point) -> (f64, f64) {
+        let x = (p.x - self.min.x) / (self.max.x - self.min.x) * self.width_px;
+        let y = (1.0 - (p.y - self.min.y) / (self.max.y - self.min.y)) * self.height_px;
+        (x, y)
+    }
+
+    /// Draws a polyline through `points`.
+    pub fn polyline(&mut self, points: &[Point], color: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let coords: Vec<String> = points
+            .iter()
+            .map(|&p| {
+                let (x, y) = self.map(p);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{width}"/>"#,
+            coords.join(" ")
+        );
+    }
+
+    /// Draws a single line segment.
+    pub fn line(&mut self, a: Point, b: Point, color: &str, width: f64) {
+        let (x1, y1) = self.map(a);
+        let (x2, y2) = self.map(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Draws a filled circle of radius `r` pixels.
+    pub fn circle(&mut self, center: Point, r: f64, color: &str) {
+        let (cx, cy) = self.map(center);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r}" fill="{color}"/>"#
+        );
+    }
+
+    /// Draws an X-sign marker (the paper marks destinations this way in
+    /// Figure 3).
+    pub fn cross(&mut self, center: Point, size_px: f64, color: &str) {
+        let (cx, cy) = self.map(center);
+        let h = size_px / 2.0;
+        let _ = writeln!(
+            self.body,
+            r#"<path d="M {x0:.1} {y0:.1} L {x1:.1} {y1:.1} M {x0:.1} {y1:.1} L {x1:.1} {y0:.1}" stroke="{color}" stroke-width="2" fill="none"/>"#,
+            x0 = cx - h,
+            y0 = cy - h,
+            x1 = cx + h,
+            y1 = cy + h,
+        );
+    }
+
+    /// Draws a text label anchored at `at`.
+    pub fn text(&mut self, at: Point, label: &str, size_px: f64, color: &str) {
+        let (x, y) = self.map(at);
+        let escaped = label
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size_px}" fill="{color}" font-family="sans-serif">{escaped}</text>"#
+        );
+    }
+
+    /// Finalises the document.
+    pub fn into_svg(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width_px, self.height_px, self.width_px, self.height_px, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas() -> SvgCanvas {
+        SvgCanvas::new(Point::new(0.0, 0.0), Point::new(100.0, 50.0), 200.0)
+    }
+
+    #[test]
+    fn mapping_flips_y() {
+        let c = canvas();
+        let (x, y) = c.map(Point::new(0.0, 0.0));
+        assert_eq!((x, y), (0.0, 100.0)); // bottom-left → lower-left pixel
+        let (x, y) = c.map(Point::new(100.0, 50.0));
+        assert_eq!((x, y), (200.0, 0.0)); // top-right → upper-right pixel
+    }
+
+    #[test]
+    fn svg_structure() {
+        let mut c = canvas();
+        c.polyline(
+            &[Point::new(0.0, 0.0), Point::new(50.0, 25.0)],
+            "#ff0000",
+            2.0,
+        );
+        c.circle(Point::new(10.0, 10.0), 3.0, "blue");
+        c.text(Point::new(5.0, 5.0), "A<B", 10.0, "black");
+        let svg = c.into_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("A&lt;B"));
+    }
+
+    #[test]
+    fn cross_draws_two_strokes() {
+        let mut c = canvas();
+        c.cross(Point::new(50.0, 25.0), 10.0, "red");
+        let svg = c.into_svg();
+        assert!(svg.contains("<path"));
+        assert!(svg.matches(" M ").count() >= 1);
+    }
+
+    #[test]
+    fn single_point_polyline_is_skipped() {
+        let mut c = canvas();
+        c.polyline(&[Point::new(0.0, 0.0)], "red", 1.0);
+        assert!(!c.into_svg().contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_world_rect_panics() {
+        let _ = SvgCanvas::new(Point::new(0.0, 0.0), Point::new(0.0, 10.0), 100.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic categorical colour palette for cluster rendering.
+
+/// Base palette of well-separated hues (hex strings).
+const BASE: [&str; 12] = [
+    "#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400", "#16a085", "#2c3e50", "#f39c12",
+    "#7f8c8d", "#9b59b6", "#1abc9c", "#e74c3c",
+];
+
+/// Colour of the network background layer.
+pub const NETWORK: &str = "#d8d8d8";
+
+/// Colour of raw trajectory overlays (the paper plots inputs in green).
+pub const TRAJECTORY: &str = "#2ecc71";
+
+/// Returns the colour assigned to cluster `index` (cycled).
+pub fn color(index: usize) -> &'static str {
+    BASE[index % BASE.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_cycle() {
+        assert_eq!(color(0), color(BASE.len()));
+        assert_ne!(color(0), color(1));
+    }
+
+    #[test]
+    fn all_colors_are_hex() {
+        for i in 0..BASE.len() {
+            let c = color(i);
+            assert!(c.starts_with('#') && c.len() == 7);
+        }
+    }
+}

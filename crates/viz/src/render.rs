@@ -1,0 +1,269 @@
+//! High-level renderers: network, dataset, NEAT clusters, TraClus output.
+
+use crate::{palette, SvgCanvas};
+use neat_core::{FlowCluster, TrajectoryCluster};
+use neat_rnet::{Point, RoadNetwork};
+use neat_traclus::TraClusResult;
+use neat_traj::Dataset;
+
+/// Default rendered width in pixels.
+pub const DEFAULT_WIDTH_PX: f64 = 1000.0;
+
+fn canvas_for(net: &RoadNetwork) -> Option<SvgCanvas> {
+    let bb = net.bbox().ok()?;
+    let pad = 0.02 * bb.width().max(bb.height()).max(1.0);
+    Some(SvgCanvas::new(
+        Point::new(bb.min.x - pad, bb.min.y - pad),
+        Point::new(bb.max.x + pad, bb.max.y + pad),
+        DEFAULT_WIDTH_PX,
+    ))
+}
+
+fn draw_network(canvas: &mut SvgCanvas, net: &RoadNetwork) {
+    for seg in net.segments() {
+        canvas.line(
+            net.position(seg.a),
+            net.position(seg.b),
+            palette::NETWORK,
+            0.6,
+        );
+    }
+}
+
+/// Renders the bare road network.
+pub fn render_network(net: &RoadNetwork) -> String {
+    let mut canvas = match canvas_for(net) {
+        Some(c) => c,
+        None => return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n"),
+    };
+    draw_network(&mut canvas, net);
+    canvas.into_svg()
+}
+
+/// Renders a dataset's trajectories over the network (Figure 3(a) style).
+pub fn render_dataset(net: &RoadNetwork, dataset: &Dataset) -> String {
+    let mut canvas = match canvas_for(net) {
+        Some(c) => c,
+        None => return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n"),
+    };
+    draw_network(&mut canvas, net);
+    for tr in dataset.trajectories() {
+        let pts: Vec<Point> = tr.points().iter().map(|l| l.position).collect();
+        canvas.polyline(&pts, palette::TRAJECTORY, 0.8);
+    }
+    canvas.into_svg()
+}
+
+/// Renders a dataset with trip origins (dots) and destinations (X-signs)
+/// marked, like the paper's Figure 3(a) annotation of hotspots and the
+/// three destination sites.
+pub fn render_dataset_with_markers(net: &RoadNetwork, dataset: &Dataset) -> String {
+    let mut canvas = match canvas_for(net) {
+        Some(c) => c,
+        None => return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n"),
+    };
+    draw_network(&mut canvas, net);
+    for tr in dataset.trajectories() {
+        let pts: Vec<Point> = tr.points().iter().map(|l| l.position).collect();
+        canvas.polyline(&pts, palette::TRAJECTORY, 0.8);
+    }
+    // Distinct destination positions get X-signs; origins small dots.
+    let mut dests: Vec<(i64, i64)> = Vec::new();
+    for tr in dataset.trajectories() {
+        let p = tr.last().position;
+        let key = ((p.x * 10.0) as i64, (p.y * 10.0) as i64);
+        if !dests.contains(&key) {
+            dests.push(key);
+            canvas.cross(p, 14.0, "#c0392b");
+        }
+        canvas.circle(tr.first().position, 1.5, "#2c3e50");
+    }
+    canvas.into_svg()
+}
+
+/// Renders base clusters as a traffic-volume map: each segment drawn with
+/// stroke width proportional to the square root of its cluster density
+/// (classic flow-map cartography, no colour scale needed).
+pub fn render_density(net: &RoadNetwork, clusters: &[neat_core::BaseCluster]) -> String {
+    let mut canvas = match canvas_for(net) {
+        Some(c) => c,
+        None => return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n"),
+    };
+    draw_network(&mut canvas, net);
+    let max_density = clusters
+        .iter()
+        .map(neat_core::BaseCluster::density)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    for c in clusters {
+        let Ok(seg) = net.segment(c.segment()) else {
+            continue;
+        };
+        let w = 0.8 + 6.0 * (c.density() as f64 / max_density).sqrt();
+        canvas.line(net.position(seg.a), net.position(seg.b), "#1f5f8b", w);
+    }
+    canvas.into_svg()
+}
+
+fn flow_polyline(net: &RoadNetwork, flow: &FlowCluster) -> Vec<Point> {
+    flow.node_chain().iter().map(|&n| net.position(n)).collect()
+}
+
+/// Renders flow clusters as numbered coloured polylines (Figure 3(b)
+/// style).
+pub fn render_flow_clusters(net: &RoadNetwork, flows: &[FlowCluster]) -> String {
+    let mut canvas = match canvas_for(net) {
+        Some(c) => c,
+        None => return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n"),
+    };
+    draw_network(&mut canvas, net);
+    for (i, f) in flows.iter().enumerate() {
+        let pts = flow_polyline(net, f);
+        canvas.polyline(&pts, palette::color(i), 2.5);
+        if let Some(&mid) = pts.get(pts.len() / 2) {
+            canvas.text(mid, &format!("{i}"), 12.0, palette::color(i));
+        }
+    }
+    canvas.into_svg()
+}
+
+/// Renders final trajectory clusters, one colour per cluster (Figure 3(c)
+/// style).
+pub fn render_trajectory_clusters(net: &RoadNetwork, clusters: &[TrajectoryCluster]) -> String {
+    let mut canvas = match canvas_for(net) {
+        Some(c) => c,
+        None => return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n"),
+    };
+    draw_network(&mut canvas, net);
+    for (i, c) in clusters.iter().enumerate() {
+        for f in c.flows() {
+            let pts = flow_polyline(net, f);
+            canvas.polyline(&pts, palette::color(i), 2.5);
+        }
+    }
+    canvas.into_svg()
+}
+
+/// Renders TraClus clusters by their representative trajectories
+/// (Figure 4 style).
+pub fn render_traclus(net: &RoadNetwork, result: &TraClusResult) -> String {
+    let mut canvas = match canvas_for(net) {
+        Some(c) => c,
+        None => return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n"),
+    };
+    draw_network(&mut canvas, net);
+    for (i, c) in result.clusters.iter().enumerate() {
+        if c.representative.len() >= 2 {
+            canvas.polyline(&c.representative, palette::color(i), 2.0);
+            canvas.text(
+                c.representative[0],
+                &format!("{i}"),
+                10.0,
+                palette::color(i),
+            );
+        }
+    }
+    canvas.into_svg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_core::{Mode, Neat, NeatConfig};
+    use neat_mobisim::{generate_dataset, SimConfig};
+    use neat_rnet::netgen::{generate_grid_network, GridNetworkConfig};
+    use neat_traclus::{TraClus, TraClusConfig};
+
+    fn setup() -> (RoadNetwork, Dataset) {
+        let net = generate_grid_network(&GridNetworkConfig::small_test(8, 8), 3);
+        let data = generate_dataset(
+            &net,
+            &SimConfig {
+                num_objects: 12,
+                ..SimConfig::default()
+            },
+            5,
+            "viz",
+        );
+        (net, data)
+    }
+
+    #[test]
+    fn network_and_dataset_render() {
+        let (net, data) = setup();
+        let svg = render_network(&net);
+        assert!(svg.contains("<line"));
+        let svg = render_dataset(&net, &data);
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn neat_outputs_render() {
+        let (net, data) = setup();
+        let cfg = NeatConfig {
+            min_card: 1,
+            epsilon: 600.0,
+            ..NeatConfig::default()
+        };
+        let result = Neat::new(&net, cfg).run(&data, Mode::Opt).unwrap();
+        let svg = render_flow_clusters(&net, &result.flow_clusters);
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<text"));
+        let svg = render_trajectory_clusters(&net, &result.clusters);
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn density_map_scales_widths() {
+        let (net, data) = setup();
+        let result = Neat::new(
+            &net,
+            NeatConfig {
+                min_card: 1,
+                ..NeatConfig::default()
+            },
+        )
+        .run(&data, Mode::Base)
+        .unwrap();
+        let svg = render_density(&net, &result.base_clusters);
+        assert!(svg.contains("#1f5f8b"));
+        // Width attribute varies across densities.
+        let widths: std::collections::BTreeSet<&str> = svg
+            .match_indices("stroke-width=\"")
+            .map(|(i, _)| {
+                let rest = &svg[i + 14..];
+                &rest[..rest.find('"').unwrap()]
+            })
+            .collect();
+        assert!(widths.len() > 2, "expected varied stroke widths");
+    }
+
+    #[test]
+    fn markers_render() {
+        let (net, data) = setup();
+        let svg = render_dataset_with_markers(&net, &data);
+        assert!(svg.contains("<path"), "X-sign markers missing");
+        assert!(svg.contains("<circle"), "origin dots missing");
+    }
+
+    #[test]
+    fn traclus_output_renders() {
+        let (net, data) = setup();
+        let result = TraClus::new(TraClusConfig {
+            epsilon: 30.0,
+            min_lns: 2,
+            ..Default::default()
+        })
+        .run(&data);
+        let svg = render_traclus(&net, &result);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn empty_network_renders_placeholder() {
+        let net = neat_rnet::RoadNetworkBuilder::new().build().unwrap();
+        let svg = render_network(&net);
+        assert!(svg.starts_with("<svg"));
+    }
+}

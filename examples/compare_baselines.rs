@@ -1,0 +1,89 @@
+//! NEAT vs the TraClus baseline on the same traffic, with SVG output.
+//!
+//! Runs both algorithms on a mid-size dataset, prints the quality and
+//! runtime comparison of Section IV-C, and writes `compare_neat.svg` /
+//! `compare_traclus.svg` next to the binary for visual inspection.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use neat_repro::mobisim::noise::to_raw_traces;
+use neat_repro::mobisim::presets::DatasetPreset;
+use neat_repro::neat::{Mode, Neat, NeatConfig};
+use neat_repro::rnet::netgen::MapPreset;
+use neat_repro::traclus::{TraClus, TraClusConfig};
+use neat_repro::traj::{Dataset, Trajectory};
+use neat_repro::viz::render;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let preset = DatasetPreset::new(MapPreset::Atlanta, 200);
+    let (net, data) = preset.generate(42);
+    println!(
+        "dataset: {} trips, {} points",
+        data.len(),
+        data.total_points()
+    );
+
+    // NEAT consumes the map-matched signal.
+    let t0 = Instant::now();
+    let neat_result = Neat::new(
+        &net,
+        NeatConfig {
+            min_card: 5,
+            ..NeatConfig::default()
+        },
+    )
+    .run(&data, Mode::Opt)?;
+    let neat_time = t0.elapsed();
+    println!(
+        "NEAT: {} flows -> {} clusters in {:.3}s",
+        neat_result.flow_clusters.len(),
+        neat_result.clusters.len(),
+        neat_time.as_secs_f64()
+    );
+
+    // TraClus consumes the raw GPS signal (8 m noise), as in the paper.
+    let raw_traces = to_raw_traces(&data, 8.0, 1);
+    let mut raw = Dataset::new("raw");
+    for (tr, trace) in data.trajectories().iter().zip(&raw_traces) {
+        let pts = tr
+            .points()
+            .iter()
+            .zip(trace)
+            .map(|(p, s)| neat_repro::rnet::RoadLocation::new(p.segment, s.position, s.time))
+            .collect();
+        raw.push(Trajectory::new(tr.id(), pts)?);
+    }
+    let t0 = Instant::now();
+    let tc_result = TraClus::new(TraClusConfig {
+        epsilon: 10.0,
+        min_lns: 5,
+        ..TraClusConfig::default()
+    })
+    .run(&raw);
+    let tc_time = t0.elapsed();
+    println!(
+        "TraClus: {} line segments -> {} clusters ({} noise) in {:.3}s",
+        tc_result.total_segments,
+        tc_result.clusters.len(),
+        tc_result.noise,
+        tc_time.as_secs_f64()
+    );
+    println!(
+        "speedup: NEAT is {:.0}x faster",
+        tc_time.as_secs_f64() / neat_time.as_secs_f64().max(1e-9)
+    );
+
+    std::fs::write(
+        "compare_neat.svg",
+        render::render_trajectory_clusters(&net, &neat_result.clusters),
+    )?;
+    std::fs::write(
+        "compare_traclus.svg",
+        render::render_traclus(&net, &tc_result),
+    )?;
+    println!("wrote compare_neat.svg and compare_traclus.svg");
+    Ok(())
+}

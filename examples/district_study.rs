@@ -1,0 +1,109 @@
+//! District study: clip a city-scale map to one district, re-cluster the
+//! traffic that stays inside it, and analyse direction balance — the
+//! workflow a transportation planner would run on a corridor of interest.
+//!
+//! ```sh
+//! cargo run --release --example district_study
+//! ```
+
+use neat_repro::mobisim::presets::DatasetPreset;
+use neat_repro::neat::analysis::direction_split;
+use neat_repro::neat::{Mode, Neat, NeatConfig};
+use neat_repro::rnet::geometry::Bbox;
+use neat_repro::rnet::netgen::MapPreset;
+use neat_repro::rnet::SegmentId;
+use neat_repro::traj::{Dataset, Trajectory};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let preset = DatasetPreset::new(MapPreset::Atlanta, 400);
+    let (net, data) = preset.generate(42);
+    let bb = net.bbox()?;
+    println!(
+        "city: {} segments over {:.1} x {:.1} km; {} trips",
+        net.segment_count(),
+        bb.width() / 1000.0,
+        bb.height() / 1000.0,
+        data.len()
+    );
+
+    // Clip to the central district (middle third of the map).
+    let district = Bbox {
+        min: bb.min.lerp(bb.max, 1.0 / 3.0),
+        max: bb.min.lerp(bb.max, 2.0 / 3.0),
+    };
+    let (local_net, segment_map) = net.clip(district);
+    println!(
+        "district: {} junctions, {} segments",
+        local_net.node_count(),
+        local_net.segment_count()
+    );
+
+    // Remap the recorded traffic onto the district network: keep maximal
+    // runs of samples whose segment survived the clip.
+    let old_to_new: HashMap<SegmentId, SegmentId> = segment_map
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, SegmentId::new(new)))
+        .collect();
+    let mut local = Dataset::new("district");
+    let mut next_id = 0u64;
+    for tr in data.trajectories() {
+        let mut run = Vec::new();
+        for p in tr.points() {
+            match old_to_new.get(&p.segment) {
+                Some(&new_sid) => run.push(neat_repro::rnet::RoadLocation::new(
+                    new_sid, p.position, p.time,
+                )),
+                None => {
+                    if run.len() >= 2 {
+                        local.push(Trajectory::new(
+                            neat_repro::traj::TrajectoryId::new(next_id),
+                            std::mem::take(&mut run),
+                        )?);
+                        next_id += 1;
+                    } else {
+                        run.clear();
+                    }
+                }
+            }
+        }
+        if run.len() >= 2 {
+            local.push(Trajectory::new(
+                neat_repro::traj::TrajectoryId::new(next_id),
+                run,
+            )?);
+            next_id += 1;
+        }
+    }
+    println!(
+        "district traffic: {} sub-trips, {} points",
+        local.len(),
+        local.total_points()
+    );
+
+    // Cluster the district and analyse its busiest corridors.
+    let config = NeatConfig {
+        min_card: 5,
+        epsilon: 1500.0,
+        ..NeatConfig::default()
+    };
+    let result = Neat::new(&local_net, config).run(&local, Mode::Base)?;
+    println!("\nbusiest district segments (direction-split):");
+    for cluster in result.base_clusters.iter().take(5) {
+        let split = direction_split(&local_net, cluster);
+        println!(
+            "  {}: {} fragments, {:.0}% forward ({} fwd / {} bwd / {} flat)",
+            cluster.segment(),
+            cluster.density(),
+            100.0 * split.forward_fraction(),
+            split.forward,
+            split.backward,
+            split.undetermined
+        );
+    }
+
+    let flows = Neat::new(&local_net, config).run(&local, Mode::Opt)?;
+    print!("\n{}", flows.summary(&local_net));
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: simulate traffic on a small road network and cluster it
+//! with all three NEAT versions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{Mode, Neat, NeatConfig};
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 15x15 jittered-grid road network (~2 km across).
+    let net = generate_grid_network(&GridNetworkConfig::small_test(15, 15), 42);
+    let stats = net.stats();
+    println!(
+        "network: {} junctions, {} segments, {:.1} km",
+        stats.junctions, stats.segments, stats.total_length_km
+    );
+
+    // 2. 150 objects travelling from 2 hotspots to 3 destinations.
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: 150,
+            ..SimConfig::default()
+        },
+        7,
+        "quickstart",
+    );
+    println!(
+        "dataset: {} trajectories, {} points",
+        data.len(),
+        data.total_points()
+    );
+
+    // 3. Cluster with each NEAT version.
+    let config = NeatConfig {
+        min_card: 5,
+        epsilon: 400.0,
+        ..NeatConfig::default()
+    };
+    let neat = Neat::new(&net, config);
+
+    let base = neat.run(&data, Mode::Base)?;
+    println!(
+        "base-NEAT: {} t-fragments -> {} base clusters (dense-core density {})",
+        base.fragment_count,
+        base.base_clusters.len(),
+        base.base_clusters.first().map_or(0, |c| c.density()),
+    );
+
+    let flow = neat.run(&data, Mode::Flow)?;
+    println!(
+        "flow-NEAT: {} flow clusters (minCard={}), {} discarded",
+        flow.flow_clusters.len(),
+        neat.config().min_card,
+        flow.discarded_flows
+    );
+    for (i, f) in flow.flow_clusters.iter().take(5).enumerate() {
+        println!(
+            "  flow {}: {} segments, {:.0} m route, {} trajectories",
+            i,
+            f.members().len(),
+            f.route_length(&net),
+            f.trajectory_cardinality()
+        );
+    }
+
+    let opt = neat.run(&data, Mode::Opt)?;
+    println!(
+        "opt-NEAT: {} final clusters (eps={} m) in {:.1} ms",
+        opt.clusters.len(),
+        neat.config().epsilon,
+        opt.timings.total().as_secs_f64() * 1000.0
+    );
+    for (i, c) in opt.clusters.iter().enumerate() {
+        println!(
+            "  cluster {}: {} flows, {} trajectories, {:.1} km of routes",
+            i,
+            c.flows().len(),
+            c.trajectory_cardinality(),
+            c.total_route_length(&net) / 1000.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at full scale.
+set -e
+cd "$(dirname "$0")"
+BIN="cargo run --release -q -p neat-bench --bin"
+echo "=== table1 ===";          $BIN table1
+echo "=== table2 ===";          $BIN table2
+echo "=== table3 ===";          $BIN table3
+echo "=== fig3 ===";            $BIN fig3
+echo "=== fig4 ===";            $BIN fig4
+echo "=== traclus_sweep ===";   $BIN traclus_sweep
+echo "=== fig5 ===";            $BIN fig5
+echo "=== fig6 ===";            $BIN fig6
+echo "=== fig7 ===";            $BIN fig7
+echo "=== weights_ablation ==="; $BIN weights_ablation
+echo "=== optics_baseline ===";  $BIN optics_baseline -- --scale 0.3
+echo "=== accuracy ===";         $BIN accuracy
+echo "=== mapmatch_eval ===";    $BIN mapmatch_eval
+echo "=== gap_repair ===";       $BIN gap_repair
+echo "=== hybrid_variant ===";  $BIN hybrid_variant -- --scale 0.5
+echo "ALL EXPERIMENTS DONE"

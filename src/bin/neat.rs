@@ -1,0 +1,270 @@
+//! `neat` — command-line interface to the NEAT reproduction.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! neat gen-network --map atl|sj|mia | --grid RxC   [--seed N] --out net.txt
+//! neat simulate    --network net.txt --objects N   [--seed N] [--hotspots H]
+//!                  [--destinations D] [--period S] --out data.csv
+//! neat cluster     --network net.txt --dataset data.csv
+//!                  [--mode base|flow|opt] [--min-card N] [--epsilon M]
+//!                  [--weights q,k,v] [--beta B] [--no-elb] [--full-route]
+//!                  [--trace] [--svg out.svg] [--json out.json]
+//! neat stats       --network net.txt [--dataset data.csv]
+//! ```
+//!
+//! Everything is deterministic under `--seed` (default 42).
+
+use neat_repro::cli::{parse, parse_flags, required};
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{Mode, Neat, NeatConfig, Weights};
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig, MapPreset};
+use neat_repro::rnet::{io as netio, RoadNetwork};
+use neat_repro::traj::{io as trajio, Dataset};
+use neat_repro::viz::render;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  neat gen-network (--map atl|sj|mia | --grid RxC) [--seed N] --out FILE
+  neat simulate    --network FILE --objects N [--seed N] [--hotspots H]
+                   [--destinations D] [--period S] --out FILE
+  neat cluster     --network FILE --dataset FILE [--mode base|flow|opt]
+                   [--min-card N] [--epsilon M] [--weights q,k,v]
+                   [--beta B] [--no-elb] [--full-route] [--trace]
+                   [--threads N] [--svg FILE] [--json FILE]
+  neat stats       --network FILE [--dataset FILE]";
+
+fn load_network(path: &str) -> Result<RoadNetwork, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open network `{path}`: {e}"))?;
+    netio::read_network(BufReader::new(f)).map_err(|e| format!("cannot read network: {e}"))
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open dataset `{path}`: {e}"))?;
+    trajio::read_dataset(path, BufReader::new(f)).map_err(|e| format!("cannot read dataset: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("no subcommand given")?;
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gen-network" => gen_network(&flags),
+        "simulate" => simulate(&flags),
+        "cluster" => cluster(&flags),
+        "stats" => stats(&flags),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn gen_network(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let net = match (flags.get("map"), flags.get("grid")) {
+        (Some(map), None) => {
+            let preset = match map.to_lowercase().as_str() {
+                "atl" | "atlanta" => MapPreset::Atlanta,
+                "sj" | "sanjose" | "san-jose" => MapPreset::SanJose,
+                "mia" | "miami" => MapPreset::Miami,
+                other => return Err(format!("unknown map `{other}` (atl|sj|mia)")),
+            };
+            preset.generate(seed)
+        }
+        (None, Some(grid)) => {
+            let (r, c) = grid
+                .split_once(['x', 'X'])
+                .ok_or_else(|| format!("--grid expects RxC, got `{grid}`"))?;
+            let rows: usize = r.parse().map_err(|_| format!("bad rows `{r}`"))?;
+            let cols: usize = c.parse().map_err(|_| format!("bad cols `{c}`"))?;
+            generate_grid_network(&GridNetworkConfig::small_test(rows, cols), seed)
+        }
+        _ => return Err("give exactly one of --map or --grid".into()),
+    };
+    let out = required(flags, "out")?;
+    let f = File::create(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
+    netio::write_network(&net, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    let s = net.stats();
+    println!(
+        "wrote {out}: {} junctions, {} segments, {:.1} km",
+        s.junctions, s.segments, s.total_length_km
+    );
+    Ok(())
+}
+
+fn simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let net = load_network(required(flags, "network")?)?;
+    let config = SimConfig {
+        num_objects: parse(flags, "objects", 100)?,
+        num_hotspots: parse(flags, "hotspots", 2)?,
+        num_destinations: parse(flags, "destinations", 3)?,
+        sample_period_s: parse(flags, "period", 3.0)?,
+        ..SimConfig::default()
+    };
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let data = generate_dataset(&net, &config, seed, "cli");
+    let out = required(flags, "out")?;
+    let f = File::create(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
+    trajio::write_dataset(&data, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} trajectories, {} points",
+        data.len(),
+        data.total_points()
+    );
+    Ok(())
+}
+
+fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
+    let net = load_network(required(flags, "network")?)?;
+    let data = load_dataset(required(flags, "dataset")?)?;
+    let mode = match flags.get("mode").map(String::as_str).unwrap_or("opt") {
+        "base" => Mode::Base,
+        "flow" => Mode::Flow,
+        "opt" => Mode::Opt,
+        other => return Err(format!("unknown mode `{other}` (base|flow|opt)")),
+    };
+    let weights = match flags.get("weights") {
+        None => Weights::balanced(),
+        Some(spec) => {
+            let parts: Vec<&str> = spec.split(',').collect();
+            if parts.len() != 3 {
+                return Err(format!("--weights expects q,k,v — got `{spec}`"));
+            }
+            let p = |s: &str| -> Result<f64, String> {
+                s.parse().map_err(|_| format!("bad weight `{s}`"))
+            };
+            Weights::new(p(parts[0])?, p(parts[1])?, p(parts[2])?).map_err(|e| e.to_string())?
+        }
+    };
+    let config = NeatConfig {
+        weights,
+        min_card: parse(flags, "min-card", 5)?,
+        epsilon: parse(flags, "epsilon", 6500.0)?,
+        beta: parse(flags, "beta", f64::INFINITY)?,
+        use_elb: !flags.contains_key("no-elb"),
+        phase1_threads: parse(flags, "threads", 1)?,
+        route_distance: if flags.contains_key("full-route") {
+            neat_repro::neat::RouteDistance::FullRoute
+        } else {
+            neat_repro::neat::RouteDistance::Endpoints
+        },
+        ..NeatConfig::default()
+    };
+    if flags.contains_key("trace") && mode != Mode::Base {
+        // Re-run phases 1–2 with tracing to print the merge decisions.
+        let p1 = neat_repro::neat::phase1::form_base_clusters(&net, &data, config.insert_junctions)
+            .map_err(|e| e.to_string())?;
+        let mut trace = Some(Vec::new());
+        let _ = neat_repro::neat::phase2::form_flow_clusters_traced(
+            &net,
+            p1.base_clusters,
+            &config,
+            &mut trace,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("phase-2 merge trace:");
+        for e in trace.expect("collected") {
+            println!("  {e:?}");
+        }
+    }
+    let result = Neat::new(&net, config)
+        .run(&data, mode)
+        .map_err(|e| e.to_string())?;
+    print!("{}", result.summary(&net));
+    if mode != Mode::Base {
+        for (i, f) in result.flow_clusters.iter().enumerate() {
+            println!(
+                "  flow {i}: {} segments, {:.0} m, {} trajectories",
+                f.members().len(),
+                f.route_length(&net),
+                f.trajectory_cardinality()
+            );
+        }
+    }
+    if mode == Mode::Opt {
+        for (i, c) in result.clusters.iter().enumerate() {
+            println!(
+                "  cluster {i}: {} flows, {} trajectories, {:.1} km",
+                c.flows().len(),
+                c.trajectory_cardinality(),
+                c.total_route_length(&net) / 1000.0
+            );
+        }
+    }
+    if let Some(json_path) = flags.get("json") {
+        // Machine-readable result: flow clusters and final clusters with
+        // their routes and participating trajectories.
+        let doc = serde_json::json!({
+            "mode": mode.name(),
+            "fragment_count": result.fragment_count,
+            "base_cluster_count": result.base_cluster_count,
+            "flow_clusters": result.flow_clusters.iter().map(|f| {
+                serde_json::json!({
+                    "route": f.route().iter().map(|s| s.index()).collect::<Vec<_>>(),
+                    "trajectories": f.participating_trajectories().iter()
+                        .map(|t| t.value()).collect::<Vec<_>>(),
+                    "route_length_m": f.route_length(&net),
+                    "density": f.density(),
+                })
+            }).collect::<Vec<_>>(),
+            "clusters": result.clusters.iter().map(|c| {
+                serde_json::json!({
+                    "flows": c.flows().len(),
+                    "trajectory_cardinality": c.trajectory_cardinality(),
+                    "total_route_length_m": c.total_route_length(&net),
+                })
+            }).collect::<Vec<_>>(),
+        });
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(json_path, text).map_err(|e| format!("cannot write json: {e}"))?;
+        println!("wrote {json_path}");
+    }
+    if let Some(svg_path) = flags.get("svg") {
+        let svg = match mode {
+            Mode::Base => render::render_dataset(&net, &data),
+            Mode::Flow => render::render_flow_clusters(&net, &result.flow_clusters),
+            Mode::Opt => render::render_trajectory_clusters(&net, &result.clusters),
+        };
+        std::fs::write(svg_path, svg).map_err(|e| format!("cannot write svg: {e}"))?;
+        println!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+fn stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let net = load_network(required(flags, "network")?)?;
+    let s = net.stats();
+    println!(
+        "network: {} junctions, {} segments, {:.1} km total, avg segment {:.1} m, \
+         degree avg {:.2} / max {}",
+        s.junctions,
+        s.segments,
+        s.total_length_km,
+        s.avg_segment_length_m,
+        s.avg_degree,
+        s.max_degree
+    );
+    if let Some(path) = flags.get("dataset") {
+        let data = load_dataset(path)?;
+        let d = data.stats();
+        println!(
+            "dataset: {} trajectories, {} points, {:.1} points/trajectory, \
+             avg duration {:.0} s",
+            d.trajectories, d.points, d.avg_points_per_trajectory, d.avg_duration_s
+        );
+    }
+    Ok(())
+}

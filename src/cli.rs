@@ -1,0 +1,115 @@
+//! Flag parsing for the `neat` command-line binary — kept in the library
+//! so it is unit-testable.
+
+use std::collections::HashMap;
+
+/// Flags that take no value.
+pub const BARE_FLAGS: [&str; 3] = ["no-elb", "full-route", "trace"];
+
+/// Splits `args` into `--key value` / bare `--key` flags.
+///
+/// # Errors
+///
+/// Returns a human-readable message for non-flag arguments and missing
+/// values.
+pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        if BARE_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), String::from("true"));
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+/// Parses an optional flag with a default.
+///
+/// # Errors
+///
+/// Reports the flag name and offending value on parse failure.
+pub fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: `{v}`")),
+    }
+}
+
+/// Fetches a required flag.
+///
+/// # Errors
+///
+/// Names the missing flag.
+pub fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = parse_flags(&args(&["--seed", "7", "--out", "x.txt"])).unwrap();
+        assert_eq!(f.get("seed").map(String::as_str), Some("7"));
+        assert_eq!(f.get("out").map(String::as_str), Some("x.txt"));
+    }
+
+    #[test]
+    fn bare_flags_take_no_value() {
+        let f = parse_flags(&args(&["--trace", "--epsilon", "100", "--no-elb"])).unwrap();
+        assert!(f.contains_key("trace"));
+        assert!(f.contains_key("no-elb"));
+        assert_eq!(f.get("epsilon").map(String::as_str), Some("100"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_flags(&args(&["--seed"])).unwrap_err();
+        assert!(err.contains("--seed"));
+    }
+
+    #[test]
+    fn non_flag_is_an_error() {
+        let err = parse_flags(&args(&["bogus"])).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn typed_parse_with_default() {
+        let f = parse_flags(&args(&["--epsilon", "2.5"])).unwrap();
+        assert_eq!(parse(&f, "epsilon", 0.0).unwrap(), 2.5);
+        assert_eq!(parse(&f, "missing", 9usize).unwrap(), 9);
+        assert!(parse::<u64>(&f, "epsilon", 0).is_err());
+    }
+
+    #[test]
+    fn required_reports_missing() {
+        let f = parse_flags(&args(&["--out", "a"])).unwrap();
+        assert_eq!(required(&f, "out").unwrap(), "a");
+        assert!(required(&f, "network").unwrap_err().contains("network"));
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the NEAT reproduction workspace.
+//!
+//! Re-exports the public APIs of every subsystem crate so the examples and
+//! integration tests can use a single dependency. See the README for an
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub mod cli;
+
+pub use neat_core as neat;
+pub use neat_mapmatch as mapmatch;
+pub use neat_mobisim as mobisim;
+pub use neat_rnet as rnet;
+pub use neat_traclus as traclus;
+pub use neat_traj as traj;
+pub use neat_viz as viz;

@@ -1,0 +1,211 @@
+//! End-to-end tests of the `neat` CLI binary: the full
+//! gen-network → simulate → cluster → stats workflow through real process
+//! invocations (Cargo builds the binary and exposes its path via
+//! `CARGO_BIN_EXE_neat`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn neat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_neat"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("neat-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_workflow_round_trips() {
+    let net_path = tmp("wf_net.txt");
+    let data_path = tmp("wf_data.csv");
+    let svg_path = tmp("wf_out.svg");
+    let json_path = tmp("wf_out.json");
+
+    let out = neat()
+        .args([
+            "gen-network",
+            "--grid",
+            "10x10",
+            "--seed",
+            "5",
+            "--out",
+            net_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gen-network");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("junctions"));
+
+    let out = neat()
+        .args([
+            "simulate",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--objects",
+            "40",
+            "--out",
+            data_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = neat()
+        .args([
+            "cluster",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--mode",
+            "opt",
+            "--min-card",
+            "3",
+            "--epsilon",
+            "400",
+            "--svg",
+            svg_path.to_str().unwrap(),
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cluster");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("opt-NEAT"));
+    assert!(stdout.contains("clusters:"));
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.contains("\"flow_clusters\""));
+
+    let out = neat()
+        .args([
+            "stats",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--dataset",
+            data_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("network:"));
+    assert!(stdout.contains("dataset:"));
+}
+
+#[test]
+fn trace_flag_prints_merge_events() {
+    let net_path = tmp("tr_net.txt");
+    let data_path = tmp("tr_data.csv");
+    assert!(neat()
+        .args([
+            "gen-network",
+            "--grid",
+            "8x8",
+            "--out",
+            net_path.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(neat()
+        .args([
+            "simulate",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--objects",
+            "20",
+            "--out",
+            data_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = neat()
+        .args([
+            "cluster",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--mode",
+            "flow",
+            "--min-card",
+            "2",
+            "--trace",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("phase-2 merge trace:"));
+    assert!(stdout.contains("Seed {"));
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = neat().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("usage:"));
+
+    let out = neat()
+        .args(["gen-network", "--grid", "oops", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = neat()
+        .args([
+            "cluster",
+            "--network",
+            "/nonexistent",
+            "--dataset",
+            "/nonexistent",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn deterministic_outputs_for_same_seed() {
+    let a = tmp("det_a.txt");
+    let b = tmp("det_b.txt");
+    for p in [&a, &b] {
+        assert!(neat()
+            .args([
+                "gen-network",
+                "--map",
+                "atl",
+                "--seed",
+                "9",
+                "--out",
+                p.to_str().unwrap(),
+            ])
+            .status()
+            .unwrap()
+            .success());
+    }
+    let fa = std::fs::read(&a).unwrap();
+    let fb = std::fs::read(&b).unwrap();
+    assert_eq!(fa, fb, "same seed must produce identical network files");
+}

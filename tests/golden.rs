@@ -1,0 +1,173 @@
+//! Golden regression tests: a tiny fixed network and hand-written dataset
+//! with exact expected clustering output. Any behavioural change to the
+//! pipeline shows up here as a precise diff, not a vague statistic.
+
+use neat_repro::neat::{Mode, Neat, NeatConfig, Weights};
+use neat_repro::rnet::{Point, RoadLocation, RoadNetwork, RoadNetworkBuilder, SegmentId};
+use neat_repro::traj::{Dataset, Trajectory, TrajectoryId};
+
+/// The Figure-2-style example network: a main avenue (s0..s3 west→east),
+/// a northern branch (s4, s5) and a southern spur (s6).
+///
+/// ```text
+///             n5 --s5-- n6
+///             |
+///             s4
+///             |
+/// n0 -s0- n1 -s1- n2 -s2- n3 -s3- n4
+///                 |
+///                 s6
+///                 |
+///                 n7
+/// ```
+fn golden_network() -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    let n0 = b.add_node(Point::new(0.0, 0.0));
+    let n1 = b.add_node(Point::new(100.0, 0.0));
+    let n2 = b.add_node(Point::new(200.0, 0.0));
+    let n3 = b.add_node(Point::new(300.0, 0.0));
+    let n4 = b.add_node(Point::new(400.0, 0.0));
+    let n5 = b.add_node(Point::new(100.0, 100.0));
+    let n6 = b.add_node(Point::new(200.0, 100.0));
+    let n7 = b.add_node(Point::new(200.0, -100.0));
+    b.add_segment(n0, n1, 13.9).unwrap(); // s0
+    b.add_segment(n1, n2, 13.9).unwrap(); // s1
+    b.add_segment(n2, n3, 13.9).unwrap(); // s2
+    b.add_segment(n3, n4, 13.9).unwrap(); // s3
+    b.add_segment(n1, n5, 13.9).unwrap(); // s4
+    b.add_segment(n5, n6, 13.9).unwrap(); // s5
+    b.add_segment(n2, n7, 13.9).unwrap(); // s6
+    b.build().unwrap()
+}
+
+/// Traffic: 4 objects ride the full avenue, 2 turn onto the north branch,
+/// 1 takes the southern spur.
+fn golden_dataset() -> Dataset {
+    let mk = |id: u64, sids: &[usize]| {
+        let pts = sids
+            .iter()
+            .enumerate()
+            .flat_map(|(k, &s)| {
+                // Two samples per visited segment, mid-segment-ish.
+                let (x, y) = match s {
+                    0 => (50.0, 0.0),
+                    1 => (150.0, 0.0),
+                    2 => (250.0, 0.0),
+                    3 => (350.0, 0.0),
+                    4 => (100.0, 50.0),
+                    5 => (150.0, 100.0),
+                    _ => (200.0, -50.0),
+                };
+                [
+                    RoadLocation::new(SegmentId::new(s), Point::new(x - 5.0, y), k as f64 * 20.0),
+                    RoadLocation::new(
+                        SegmentId::new(s),
+                        Point::new(x + 5.0, y),
+                        k as f64 * 20.0 + 8.0,
+                    ),
+                ]
+            })
+            .collect();
+        Trajectory::new(TrajectoryId::new(id), pts).unwrap()
+    };
+    let mut d = Dataset::new("golden");
+    for id in 0..4 {
+        d.push(mk(id, &[0, 1, 2, 3])); // avenue riders
+    }
+    for id in 10..12 {
+        d.push(mk(id, &[0, 4, 5])); // north-branch riders
+    }
+    d.push(mk(20, &[1, 6])); // southern spur rider
+    d
+}
+
+fn config() -> NeatConfig {
+    NeatConfig {
+        weights: Weights::flow_only(),
+        min_card: 1,
+        epsilon: 150.0,
+        ..NeatConfig::default()
+    }
+}
+
+#[test]
+fn golden_phase1() {
+    let net = golden_network();
+    let r = Neat::new(&net, config())
+        .run(&golden_dataset(), Mode::Base)
+        .unwrap();
+    // Densities: s0: 4+2=6, s1: 4+1=5, s2: 4, s3: 4, s4: 2, s5: 2, s6: 1.
+    let got: Vec<(usize, usize)> = r
+        .base_clusters
+        .iter()
+        .map(|c| (c.segment().index(), c.density()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(0, 6), (1, 5), (2, 4), (3, 4), (4, 2), (5, 2), (6, 1)]
+    );
+}
+
+#[test]
+fn golden_phase2() {
+    let net = golden_network();
+    let r = Neat::new(&net, config())
+        .run(&golden_dataset(), Mode::Flow)
+        .unwrap();
+    // Dense-core s0 grows along maxFlow: s0→s1 (f=4) →s2→s3; the branch
+    // riders then form s4→s5; the spur rider forms s6.
+    let routes: Vec<Vec<usize>> = r
+        .flow_clusters
+        .iter()
+        .map(|f| f.route().iter().map(|s| s.index()).collect())
+        .collect();
+    assert_eq!(routes, vec![vec![0, 1, 2, 3], vec![4, 5], vec![6]]);
+    let cards: Vec<usize> = r
+        .flow_clusters
+        .iter()
+        .map(|f| f.trajectory_cardinality())
+        .collect();
+    assert_eq!(cards, vec![7, 2, 1]);
+}
+
+#[test]
+fn golden_phase3() {
+    let net = golden_network();
+    // Flow endpoints: avenue (n0,n4); branch (n1,n6); spur (n2,n7).
+    // Modified Hausdorff distances: avenue↔branch = 300 m (n4's nearest
+    // branch endpoint is n1, three segments away), branch↔spur = 300 m
+    // (n6→n2 runs n6-n5-n1-n2). So ε just below 300 keeps all three
+    // flows separate…
+    let r = Neat::new(&net, config())
+        .run(&golden_dataset(), Mode::Opt)
+        .unwrap();
+    assert_eq!(r.flow_clusters.len(), 3);
+    let sizes: Vec<usize> = r.clusters.iter().map(|c| c.flows().len()).collect();
+    assert_eq!(sizes, vec![1, 1, 1]);
+    // …and ε = 300 density-connects everything into one cluster.
+    let mut wide = config();
+    wide.epsilon = 300.0;
+    let r = Neat::new(&net, wide)
+        .run(&golden_dataset(), Mode::Opt)
+        .unwrap();
+    let sizes: Vec<usize> = r.clusters.iter().map(|c| c.flows().len()).collect();
+    assert_eq!(sizes, vec![3]);
+}
+
+#[test]
+fn golden_direction_analysis() {
+    let net = golden_network();
+    let r = Neat::new(&net, config())
+        .run(&golden_dataset(), Mode::Base)
+        .unwrap();
+    // All traffic flows west→east on s0 (a=n0, b=n1): 6 forward.
+    let s0 = r
+        .base_clusters
+        .iter()
+        .find(|c| c.segment() == SegmentId::new(0))
+        .unwrap();
+    let split = neat_repro::neat::analysis::direction_split(&net, s0);
+    assert_eq!(split.forward, 6);
+    assert_eq!(split.backward, 0);
+    assert_eq!(split.forward_fraction(), 1.0);
+}

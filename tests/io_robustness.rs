@@ -1,0 +1,93 @@
+//! Fuzz-style robustness tests for the text readers: arbitrary input must
+//! never panic — it either parses or returns a structured error — and
+//! valid files round-trip exactly.
+
+use neat_repro::rnet::io::read_network;
+use neat_repro::traj::io::read_dataset;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes (as lossy text lines) never panic the dataset
+    /// reader.
+    #[test]
+    fn dataset_reader_never_panics(input in "[ -~\n,]{0,400}") {
+        let _ = read_dataset("fuzz", input.as_bytes());
+    }
+
+    /// Arbitrary CSV-shaped garbage never panics the dataset reader.
+    #[test]
+    fn dataset_reader_handles_csv_shapes(
+        rows in proptest::collection::vec(
+            (0u64..5, 0usize..9, -1e6..1e6f64, -1e6..1e6f64, -1e3..1e3f64),
+            0..40,
+        )
+    ) {
+        let text: String = rows
+            .iter()
+            .map(|(id, sid, x, y, t)| format!("{id},{sid},{x},{y},{t}\n"))
+            .collect();
+        // May be Ok or Err (times can go backwards within an id), but
+        // never panics; on success the points are preserved.
+        if let Ok(d) = read_dataset("fuzz", text.as_bytes()) {
+            prop_assert!(d.total_points() <= rows.len());
+        }
+    }
+
+    /// Arbitrary text never panics the network reader.
+    #[test]
+    fn network_reader_never_panics(input in "[ -~\n,]{0,400}") {
+        let _ = read_network(input.as_bytes());
+    }
+
+    /// Structured node/segment garbage never panics the network reader.
+    #[test]
+    fn network_reader_handles_record_shapes(
+        nodes in proptest::collection::vec((-1e6..1e6f64, -1e6..1e6f64), 0..20),
+        segs in proptest::collection::vec((0usize..25, 0usize..25, 0.0..1e4f64, -5.0..50.0f64, 0u8..3), 0..30),
+    ) {
+        let mut text = String::new();
+        for (i, (x, y)) in nodes.iter().enumerate() {
+            text.push_str(&format!("node,{i},{x},{y}\n"));
+        }
+        for (i, (a, b, len, speed, oneway)) in segs.iter().enumerate() {
+            text.push_str(&format!("segment,{i},{a},{b},{len},{speed},{oneway}\n"));
+        }
+        if let Ok(net) = read_network(text.as_bytes()) {
+            prop_assert_eq!(net.node_count(), nodes.len());
+        }
+    }
+
+    /// Valid generated datasets always round-trip bit-exact through the
+    /// writer/reader pair (beyond the unit test's single fixed case).
+    #[test]
+    fn dataset_roundtrip_random(seed in 0u64..30, objects in 2usize..12) {
+        let net = neat_repro::rnet::netgen::generate_grid_network(
+            &neat_repro::rnet::netgen::GridNetworkConfig::small_test(6, 6),
+            seed,
+        );
+        let data = neat_repro::mobisim::generate_dataset(
+            &net,
+            &neat_repro::mobisim::SimConfig {
+                num_objects: objects,
+                ..neat_repro::mobisim::SimConfig::default()
+            },
+            seed.wrapping_add(1),
+            "rt",
+        );
+        let mut buf = Vec::new();
+        neat_repro::traj::io::write_dataset(&data, &mut buf).unwrap();
+        let back = read_dataset("rt", buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        for (a, b) in data.trajectories().iter().zip(back.trajectories()) {
+            prop_assert_eq!(a.id(), b.id());
+            prop_assert_eq!(a.len(), b.len());
+            for (pa, pb) in a.points().iter().zip(b.points()) {
+                prop_assert_eq!(pa.segment, pb.segment);
+                prop_assert!((pa.position.x - pb.position.x).abs() < 1e-12);
+                prop_assert!((pa.time - pb.time).abs() < 1e-12);
+            }
+        }
+    }
+}

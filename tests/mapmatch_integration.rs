@@ -1,0 +1,112 @@
+//! Integration tests for the raw-GPS pipeline: simulate → noise →
+//! map-match → NEAT, checking matcher accuracy and clustering stability.
+
+use neat_repro::mapmatch::{MapMatcher, MatchConfig};
+use neat_repro::mobisim::noise::to_raw_traces;
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{Mode, Neat, NeatConfig};
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig};
+
+fn setup() -> (neat_repro::rnet::RoadNetwork, neat_repro::traj::Dataset) {
+    let net = generate_grid_network(&GridNetworkConfig::small_test(14, 14), 21);
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: 60,
+            ..SimConfig::default()
+        },
+        22,
+        "mm",
+    );
+    (net, data)
+}
+
+#[test]
+fn matcher_recovers_most_segments_under_noise() {
+    let (net, truth) = setup();
+    let raw = to_raw_traces(&truth, 6.0, 5);
+    let matcher = MapMatcher::new(&net, MatchConfig::default());
+    let (matched, skipped) = matcher.match_traces(&raw, "matched").unwrap();
+    assert_eq!(skipped, 0);
+    assert_eq!(matched.len(), truth.len());
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (t, m) in truth.trajectories().iter().zip(matched.trajectories()) {
+        for (tp, mp) in t.points().iter().zip(m.points()) {
+            total += 1;
+            if tp.segment == mp.segment {
+                correct += 1;
+            }
+        }
+    }
+    let accuracy = correct as f64 / total as f64;
+    assert!(
+        accuracy > 0.75,
+        "matcher accuracy {accuracy:.3} below 75% ({correct}/{total})"
+    );
+}
+
+#[test]
+fn zero_noise_matching_is_near_perfect() {
+    let (net, truth) = setup();
+    let raw = to_raw_traces(&truth, 0.0, 5);
+    let matcher = MapMatcher::new(&net, MatchConfig::default());
+    let (matched, _) = matcher.match_traces(&raw, "matched").unwrap();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (t, m) in truth.trajectories().iter().zip(matched.trajectories()) {
+        for (tp, mp) in t.points().iter().zip(m.points()) {
+            total += 1;
+            if tp.segment == mp.segment {
+                correct += 1;
+            }
+        }
+    }
+    // Samples exactly at junctions are ambiguous between incident
+    // segments; everything else must match.
+    let accuracy = correct as f64 / total as f64;
+    assert!(accuracy > 0.9, "noise-free accuracy {accuracy:.3}");
+}
+
+#[test]
+fn clustering_on_matched_data_resembles_ground_truth() {
+    let (net, truth) = setup();
+    let raw = to_raw_traces(&truth, 6.0, 7);
+    let matcher = MapMatcher::new(&net, MatchConfig::default());
+    let (matched, _) = matcher.match_traces(&raw, "matched").unwrap();
+
+    let config = NeatConfig {
+        min_card: 5,
+        epsilon: 400.0,
+        ..NeatConfig::default()
+    };
+    let neat = Neat::new(&net, config);
+    let a = neat.run(&truth, Mode::Opt).unwrap();
+    let b = neat.run(&matched, Mode::Opt).unwrap();
+    // The dense-core should sit in the same neighbourhood: the top-5
+    // densest segments of both runs overlap.
+    let base_truth = neat.run(&truth, Mode::Base).unwrap();
+    let base_matched = neat.run(&matched, Mode::Base).unwrap();
+    let t5: std::collections::BTreeSet<_> = base_truth
+        .base_clusters
+        .iter()
+        .take(5)
+        .map(|c| c.segment())
+        .collect();
+    let m5: std::collections::BTreeSet<_> = base_matched
+        .base_clusters
+        .iter()
+        .take(5)
+        .map(|c| c.segment())
+        .collect();
+    assert!(
+        t5.intersection(&m5).count() >= 3,
+        "top dense segments diverge: {t5:?} vs {m5:?}"
+    );
+    // Cluster counts stay in the same ballpark.
+    let (fa, fb) = (a.flow_clusters.len(), b.flow_clusters.len());
+    assert!(
+        fb <= fa.saturating_mul(3) + 5 && fa <= fb.saturating_mul(3) + 5,
+        "flow counts diverge: truth {fa} vs matched {fb}"
+    );
+}

@@ -1,0 +1,99 @@
+//! Online-clustering replay: a recorded dataset is split into time
+//! windows and streamed through [`IncrementalNeat`], exercising the
+//! `Dataset::split_windows` + incremental ingestion path end to end.
+
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{IncrementalNeat, Mode, Neat, NeatConfig};
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig};
+
+fn setup() -> (neat_repro::rnet::RoadNetwork, neat_repro::traj::Dataset) {
+    let net = generate_grid_network(&GridNetworkConfig::small_test(14, 14), 31);
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: 80,
+            start_window_s: 900.0,
+            ..SimConfig::default()
+        },
+        32,
+        "replay",
+    );
+    (net, data)
+}
+
+fn config() -> NeatConfig {
+    NeatConfig {
+        min_card: 3,
+        epsilon: 500.0,
+        ..NeatConfig::default()
+    }
+}
+
+#[test]
+fn windows_partition_points_in_time() {
+    let (_, data) = setup();
+    let windows = data.split_windows(5);
+    assert_eq!(windows.len(), 5);
+    // Window boundaries are monotone and trajectories only hold samples
+    // inside their window.
+    let mut prev_hi = f64::NEG_INFINITY;
+    for w in &windows {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for tr in w.trajectories() {
+            lo = lo.min(tr.first().time);
+            hi = hi.max(tr.last().time);
+        }
+        if w.is_empty() {
+            continue;
+        }
+        assert!(lo >= prev_hi - 1e-6, "windows overlap: {lo} < {prev_hi}");
+        prev_hi = hi;
+    }
+}
+
+#[test]
+fn replay_through_incremental_clusterer() {
+    let (net, data) = setup();
+    let mut online = IncrementalNeat::new(&net, config());
+    let mut last = Vec::new();
+    for window in data.split_windows(4) {
+        if window.is_empty() {
+            continue;
+        }
+        last = online.ingest(&window).unwrap();
+    }
+    assert!(online.batches() >= 3);
+    assert!(!last.is_empty(), "replay should produce clusters");
+    // The retained flows partition into the final clusters.
+    let placed: usize = last.iter().map(|c| c.flows().len()).sum();
+    assert_eq!(placed, online.flow_clusters().len());
+}
+
+#[test]
+fn replay_covers_similar_roads_to_oneshot() {
+    let (net, data) = setup();
+    let mut online = IncrementalNeat::new(&net, config());
+    for window in data.split_windows(4) {
+        if !window.is_empty() {
+            online.ingest(&window).unwrap();
+        }
+    }
+    let oneshot = Neat::new(&net, config()).run(&data, Mode::Flow).unwrap();
+    let covered = |flows: &[neat_repro::neat::FlowCluster]| {
+        flows
+            .iter()
+            .flat_map(|f| f.route())
+            .collect::<std::collections::BTreeSet<_>>()
+    };
+    let online_set = covered(online.flow_clusters());
+    let oneshot_set = covered(&oneshot.flow_clusters);
+    // Streaming splits trips across windows, so coverage differs, but the
+    // backbone roads must agree: most one-shot flow segments reappear.
+    let overlap = oneshot_set.intersection(&online_set).count();
+    assert!(
+        overlap * 2 >= oneshot_set.len(),
+        "online coverage too different: {overlap}/{}",
+        oneshot_set.len()
+    );
+}

@@ -1,0 +1,249 @@
+//! Cross-crate integration tests: simulator → NEAT pipeline invariants.
+
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{Mode, Neat, NeatConfig, Weights};
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig};
+use neat_repro::rnet::RoadNetwork;
+use neat_repro::traj::Dataset;
+use std::collections::BTreeSet;
+
+fn setup(objects: usize, seed: u64) -> (RoadNetwork, Dataset) {
+    let net = generate_grid_network(&GridNetworkConfig::small_test(12, 12), seed);
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: objects,
+            ..SimConfig::default()
+        },
+        seed.wrapping_add(1),
+        "integration",
+    );
+    (net, data)
+}
+
+fn config(min_card: usize) -> NeatConfig {
+    NeatConfig {
+        min_card,
+        epsilon: 500.0,
+        ..NeatConfig::default()
+    }
+}
+
+#[test]
+fn base_clusters_partition_fragments() {
+    let (net, data) = setup(40, 1);
+    let r = Neat::new(&net, config(1)).run(&data, Mode::Base).unwrap();
+    // Every fragment is in exactly one base cluster; per-cluster segment
+    // ids are homogeneous.
+    let total: usize = r.base_clusters.iter().map(|c| c.density()).sum();
+    assert_eq!(total, r.fragment_count);
+    for c in &r.base_clusters {
+        for f in c.fragments() {
+            assert_eq!(f.segment, c.segment());
+        }
+    }
+    // Density ordering.
+    for w in r.base_clusters.windows(2) {
+        assert!(w[0].density() >= w[1].density());
+    }
+}
+
+#[test]
+fn flows_are_routes_and_respect_min_card() {
+    let (net, data) = setup(60, 2);
+    let min_card = 4;
+    let r = Neat::new(&net, config(min_card))
+        .run(&data, Mode::Flow)
+        .unwrap();
+    assert!(!r.flow_clusters.is_empty());
+    for f in &r.flow_clusters {
+        assert!(net.is_route(&f.route()), "flow route must be a route");
+        assert!(f.trajectory_cardinality() >= min_card);
+        // Node chain is consistent with the member segments.
+        assert_eq!(f.node_chain().len(), f.members().len() + 1);
+        for (i, m) in f.members().iter().enumerate() {
+            let seg = net.segment(m.segment()).unwrap();
+            let (a, b) = (f.node_chain()[i], f.node_chain()[i + 1]);
+            assert!(seg.has_endpoint(a) && seg.has_endpoint(b));
+        }
+    }
+}
+
+#[test]
+fn flows_do_not_share_base_clusters() {
+    let (net, data) = setup(60, 3);
+    let r = Neat::new(&net, config(1)).run(&data, Mode::Flow).unwrap();
+    let mut seen = BTreeSet::new();
+    for f in &r.flow_clusters {
+        for m in f.members() {
+            assert!(
+                seen.insert(m.segment()),
+                "segment {} appears in two flows",
+                m.segment()
+            );
+        }
+    }
+}
+
+#[test]
+fn opt_clusters_partition_flows() {
+    let (net, data) = setup(60, 4);
+    let r = Neat::new(&net, config(2)).run(&data, Mode::Opt).unwrap();
+    let flow_count: usize = r.clusters.iter().map(|c| c.flows().len()).sum();
+    assert_eq!(flow_count, r.flow_clusters.len());
+    assert!(r.clusters.len() <= r.flow_clusters.len().max(1));
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let (net, data) = setup(50, 5);
+    let neat = Neat::new(&net, config(2));
+    let a = neat.run(&data, Mode::Opt).unwrap();
+    let b = neat.run(&data, Mode::Opt).unwrap();
+    assert_eq!(a.base_cluster_count, b.base_cluster_count);
+    assert_eq!(a.flow_clusters, b.flow_clusters);
+    assert_eq!(a.clusters, b.clusters);
+}
+
+#[test]
+fn modes_agree_on_shared_phases() {
+    let (net, data) = setup(50, 6);
+    let neat = Neat::new(&net, config(2));
+    let base = neat.run(&data, Mode::Base).unwrap();
+    let flow = neat.run(&data, Mode::Flow).unwrap();
+    let opt = neat.run(&data, Mode::Opt).unwrap();
+    assert_eq!(base.base_cluster_count, flow.base_cluster_count);
+    assert_eq!(flow.base_cluster_count, opt.base_cluster_count);
+    assert_eq!(base.fragment_count, opt.fragment_count);
+    assert_eq!(flow.flow_clusters, opt.flow_clusters);
+}
+
+#[test]
+fn min_card_monotonically_reduces_flows() {
+    let (net, data) = setup(80, 7);
+    let mut prev = usize::MAX;
+    for min_card in [1usize, 3, 6, 12] {
+        let r = Neat::new(&net, config(min_card))
+            .run(&data, Mode::Flow)
+            .unwrap();
+        assert!(r.flow_clusters.len() <= prev);
+        prev = r.flow_clusters.len();
+    }
+}
+
+#[test]
+fn larger_epsilon_merges_more() {
+    let (net, data) = setup(80, 8);
+    let mut prev = usize::MAX;
+    for eps in [50.0, 300.0, 1000.0, 1e9] {
+        let mut c = config(2);
+        c.epsilon = eps;
+        let r = Neat::new(&net, c).run(&data, Mode::Opt).unwrap();
+        assert!(
+            r.clusters.len() <= prev,
+            "eps {eps} produced more clusters than smaller eps"
+        );
+        prev = r.clusters.len();
+    }
+    // With an effectively infinite epsilon on a connected network,
+    // everything merges into one cluster.
+    assert_eq!(prev, 1);
+}
+
+#[test]
+fn weight_presets_all_produce_valid_flows() {
+    let (net, data) = setup(50, 9);
+    for w in [
+        Weights::balanced(),
+        Weights::flow_only(),
+        Weights::density_only(),
+        Weights::speed_only(),
+        Weights::traffic_monitoring(),
+    ] {
+        let mut c = config(1);
+        c.weights = w;
+        let r = Neat::new(&net, c).run(&data, Mode::Flow).unwrap();
+        for f in &r.flow_clusters {
+            assert!(net.is_route(&f.route()));
+        }
+    }
+}
+
+#[test]
+fn beta_thresholds_preserve_invariants() {
+    let (net, data) = setup(50, 10);
+    for beta in [1.0, 2.0, 10.0, f64::INFINITY] {
+        let mut c = config(1);
+        c.beta = beta;
+        let r = Neat::new(&net, c).run(&data, Mode::Flow).unwrap();
+        // All base clusters still consumed exactly once.
+        let mut seen = BTreeSet::new();
+        for f in &r.flow_clusters {
+            for m in f.members() {
+                assert!(seen.insert(m.segment()));
+            }
+        }
+    }
+}
+
+#[test]
+fn elb_and_dijkstra_agree_on_final_clustering() {
+    let (net, data) = setup(60, 11);
+    let mut elb_cfg = config(2);
+    elb_cfg.use_elb = true;
+    let mut dij_cfg = config(2);
+    dij_cfg.use_elb = false;
+    dij_cfg.sp_strategy = neat_repro::neat::SpStrategy::Dijkstra;
+    let a = Neat::new(&net, elb_cfg).run(&data, Mode::Opt).unwrap();
+    let b = Neat::new(&net, dij_cfg).run(&data, Mode::Opt).unwrap();
+    let sizes = |r: &neat_repro::neat::NeatResult| {
+        let mut v: Vec<usize> = r.clusters.iter().map(|c| c.flows().len()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(sizes(&a), sizes(&b));
+}
+
+#[test]
+fn full_route_distance_produces_a_valid_partition() {
+    // The FullRoute measure changes which flows merge (its max spans
+    // every junction, but its min terms also get more candidates), so no
+    // ordering of cluster counts is guaranteed — only that both settings
+    // share Phase-2 output and partition the flows.
+    let (net, data) = setup(70, 13);
+    let mut ep = config(2);
+    ep.epsilon = 800.0;
+    let mut fr = ep;
+    fr.route_distance = neat_repro::neat::RouteDistance::FullRoute;
+    let a = Neat::new(&net, ep).run(&data, Mode::Opt).unwrap();
+    let b = Neat::new(&net, fr).run(&data, Mode::Opt).unwrap();
+    assert_eq!(a.flow_clusters.len(), b.flow_clusters.len());
+    for r in [&a, &b] {
+        let placed: usize = r.clusters.iter().map(|c| c.flows().len()).sum();
+        assert_eq!(placed, r.flow_clusters.len());
+    }
+}
+
+#[test]
+fn parallel_phase1_preserves_pipeline_output() {
+    let (net, data) = setup(60, 14);
+    let seq = Neat::new(&net, config(2)).run(&data, Mode::Opt).unwrap();
+    let mut par_cfg = config(2);
+    par_cfg.phase1_threads = 4;
+    let par = Neat::new(&net, par_cfg).run(&data, Mode::Opt).unwrap();
+    assert_eq!(seq.flow_clusters, par.flow_clusters);
+    assert_eq!(seq.clusters, par.clusters);
+}
+
+#[test]
+fn dataset_io_roundtrip_preserves_clustering() {
+    let (net, data) = setup(30, 12);
+    let mut buf = Vec::new();
+    neat_repro::traj::io::write_dataset(&data, &mut buf).unwrap();
+    let reloaded = neat_repro::traj::io::read_dataset("reload", buf.as_slice()).unwrap();
+    let neat = Neat::new(&net, config(2));
+    let a = neat.run(&data, Mode::Opt).unwrap();
+    let b = neat.run(&reloaded, Mode::Opt).unwrap();
+    assert_eq!(a.flow_clusters.len(), b.flow_clusters.len());
+    assert_eq!(a.clusters.len(), b.clusters.len());
+}

@@ -1,0 +1,85 @@
+//! NEAT must not overfit grid topology: the full pipeline is exercised on
+//! the radial (ring-and-spoke) generator and on degenerate topologies.
+
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{Mode, Neat, NeatConfig};
+use neat_repro::rnet::netgen::{chain_network, generate_radial_network, RadialNetworkConfig};
+
+fn config() -> NeatConfig {
+    NeatConfig {
+        min_card: 3,
+        epsilon: 600.0,
+        ..NeatConfig::default()
+    }
+}
+
+#[test]
+fn pipeline_works_on_radial_topology() {
+    let net = generate_radial_network(&RadialNetworkConfig::default(), 11);
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: 60,
+            ..SimConfig::default()
+        },
+        12,
+        "radial",
+    );
+    assert_eq!(data.len(), 60);
+    let r = Neat::new(&net, config()).run(&data, Mode::Opt).unwrap();
+    assert!(r.base_cluster_count > 0);
+    assert!(!r.flow_clusters.is_empty());
+    for f in &r.flow_clusters {
+        assert!(net.is_route(&f.route()), "radial flow must be a route");
+    }
+    let placed: usize = r.clusters.iter().map(|c| c.flows().len()).sum();
+    assert_eq!(placed, r.flow_clusters.len());
+}
+
+#[test]
+fn pipeline_works_on_a_single_corridor() {
+    // All traffic on one chain: NEAT should find essentially one flow.
+    let net = chain_network(30, 120.0, 13.9);
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: 40,
+            num_hotspots: 1,
+            num_destinations: 1,
+            hotspot_radius_m: 200.0,
+            ..SimConfig::default()
+        },
+        5,
+        "corridor",
+    );
+    let r = Neat::new(&net, config()).run(&data, Mode::Opt).unwrap();
+    assert_eq!(
+        r.flow_clusters.len(),
+        1,
+        "single corridor should produce one flow, got {}",
+        r.flow_clusters.len()
+    );
+    assert_eq!(r.clusters.len(), 1);
+}
+
+#[test]
+fn radial_and_grid_datasets_roundtrip_through_io() {
+    let net = generate_radial_network(&RadialNetworkConfig::default(), 2);
+    let mut net_buf = Vec::new();
+    neat_repro::rnet::io::write_network(&net, &mut net_buf).unwrap();
+    let net2 = neat_repro::rnet::io::read_network(net_buf.as_slice()).unwrap();
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: 20,
+            ..SimConfig::default()
+        },
+        9,
+        "io",
+    );
+    // Clustering on the reloaded network gives identical results.
+    let a = Neat::new(&net, config()).run(&data, Mode::Opt).unwrap();
+    let b = Neat::new(&net2, config()).run(&data, Mode::Opt).unwrap();
+    assert_eq!(a.flow_clusters, b.flow_clusters);
+    assert_eq!(a.clusters, b.clusters);
+}
