@@ -10,7 +10,7 @@ use neat_rnet::netgen::MapPreset;
 fn bench_mapmatch(c: &mut Criterion) {
     let net = network(MapPreset::Atlanta, 42);
     let data = dataset(MapPreset::Atlanta, &net, 25, 42);
-    let traces = to_raw_traces(&data, 8.0, 9);
+    let traces = to_raw_traces(&data, 8.0, 9).expect("valid noise std");
     let matcher = MapMatcher::new(&net, MatchConfig::default());
 
     let mut group = c.benchmark_group("mapmatch");

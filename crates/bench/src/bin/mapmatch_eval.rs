@@ -28,7 +28,7 @@ fn main() {
     let matcher = MapMatcher::new(&net, MatchConfig::default());
     let mut rows = Vec::new();
     for noise in [0.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
-        let raw = to_raw_traces(&truth, noise, seed ^ 77);
+        let raw = to_raw_traces(&truth, noise, seed ^ 77).expect("valid noise std");
         let ((matched, skipped), t) =
             time(|| matcher.match_traces(&raw, "eval").expect("matching"));
         let ev = evaluate(&net, &truth, &matched);

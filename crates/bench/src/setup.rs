@@ -46,7 +46,8 @@ pub const GPS_NOISE_STD_M: f64 = 10.0;
 /// positions perturbed by [`GPS_NOISE_STD_M`] Gaussian noise. Segment ids
 /// are carried over but TraClus never reads them.
 pub fn raw_gps_view(data: &Dataset, seed: u64) -> Dataset {
-    let traces = neat_mobisim::noise::to_raw_traces(data, GPS_NOISE_STD_M, seed ^ 0x5eed);
+    let traces = neat_mobisim::noise::to_raw_traces(data, GPS_NOISE_STD_M, seed ^ 0x5eed)
+        .expect("valid noise std");
     let mut out = Dataset::new(format!("{}-raw", data.name()));
     for (tr, trace) in data.trajectories().iter().zip(&traces) {
         let pts = tr

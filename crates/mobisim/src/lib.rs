@@ -21,6 +21,7 @@
 //! [`presets`] scales the simulation to the paper's fifteen datasets
 //! ({ATL, SJ, MIA} × {500, 1000, 2000, 3000, 5000}, Table II).
 
+pub mod faults;
 pub mod noise;
 pub mod presets;
 

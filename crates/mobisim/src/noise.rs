@@ -10,10 +10,30 @@ use neat_rnet::location::RawSample;
 use neat_traj::Dataset;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::fmt;
 
 /// A raw (unmatched) trace: the samples of one trajectory without segment
 /// associations, as a GPS receiver would log them.
 pub type RawTrace = Vec<RawSample>;
+
+/// Invalid noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseError {
+    /// The standard deviation was negative or not a number.
+    InvalidStd(f64),
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::InvalidStd(v) => {
+                write!(f, "noise std must be a non-negative number, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
 
 /// Draws one standard-normal variate via Box–Muller.
 fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
@@ -27,13 +47,20 @@ fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
 ///
 /// Deterministic for a given `(dataset, noise_std_m, seed)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `noise_std_m` is negative.
-pub fn to_raw_traces(dataset: &Dataset, noise_std_m: f64, seed: u64) -> Vec<RawTrace> {
-    assert!(noise_std_m >= 0.0, "noise std must be non-negative");
+/// Returns [`NoiseError::InvalidStd`] when `noise_std_m` is negative or
+/// NaN.
+pub fn to_raw_traces(
+    dataset: &Dataset,
+    noise_std_m: f64,
+    seed: u64,
+) -> Result<Vec<RawTrace>, NoiseError> {
+    if noise_std_m < 0.0 || noise_std_m.is_nan() {
+        return Err(NoiseError::InvalidStd(noise_std_m));
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    dataset
+    Ok(dataset
         .trajectories()
         .iter()
         .map(|tr| {
@@ -49,7 +76,7 @@ pub fn to_raw_traces(dataset: &Dataset, noise_std_m: f64, seed: u64) -> Vec<RawT
                 })
                 .collect()
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -74,7 +101,7 @@ mod tests {
     #[test]
     fn trace_shape_matches_dataset() {
         let d = dataset();
-        let raw = to_raw_traces(&d, 5.0, 1);
+        let raw = to_raw_traces(&d, 5.0, 1).unwrap();
         assert_eq!(raw.len(), d.len());
         for (trace, tr) in raw.iter().zip(d.trajectories()) {
             assert_eq!(trace.len(), tr.len());
@@ -87,7 +114,7 @@ mod tests {
     #[test]
     fn zero_noise_is_identity() {
         let d = dataset();
-        let raw = to_raw_traces(&d, 0.0, 1);
+        let raw = to_raw_traces(&d, 0.0, 1).unwrap();
         for (trace, tr) in raw.iter().zip(d.trajectories()) {
             for (s, p) in trace.iter().zip(tr.points()) {
                 assert_eq!(s.position, p.position);
@@ -99,7 +126,7 @@ mod tests {
     fn noise_magnitude_is_plausible() {
         let d = dataset();
         let std = 10.0;
-        let raw = to_raw_traces(&d, std, 7);
+        let raw = to_raw_traces(&d, std, 7).unwrap();
         let mut sum_sq = 0.0;
         let mut n = 0usize;
         for (trace, tr) in raw.iter().zip(d.trajectories()) {
@@ -119,14 +146,25 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let d = dataset();
-        assert_eq!(to_raw_traces(&d, 5.0, 9), to_raw_traces(&d, 5.0, 9));
-        assert_ne!(to_raw_traces(&d, 5.0, 9), to_raw_traces(&d, 5.0, 10));
+        assert_eq!(
+            to_raw_traces(&d, 5.0, 9).unwrap(),
+            to_raw_traces(&d, 5.0, 9).unwrap()
+        );
+        assert_ne!(
+            to_raw_traces(&d, 5.0, 9).unwrap(),
+            to_raw_traces(&d, 5.0, 10).unwrap()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn negative_noise_panics() {
+    fn invalid_noise_is_a_structured_error() {
         let d = dataset();
-        let _ = to_raw_traces(&d, -1.0, 0);
+        assert_eq!(
+            to_raw_traces(&d, -1.0, 0).unwrap_err(),
+            NoiseError::InvalidStd(-1.0)
+        );
+        assert!(to_raw_traces(&d, f64::NAN, 0).is_err());
+        let msg = to_raw_traces(&d, -1.0, 0).unwrap_err().to_string();
+        assert!(msg.contains("non-negative"));
     }
 }

@@ -14,10 +14,11 @@
 use crate::config::NeatConfig;
 use crate::error::NeatError;
 use crate::model::{FlowCluster, TrajectoryCluster};
-use crate::phase1::form_base_clusters;
+use crate::phase1::{form_base_clusters_with_policy, ResilienceCounters};
 use crate::phase2::form_flow_clusters;
 use crate::phase3::{refine_flow_clusters, Phase3Stats};
 use neat_rnet::RoadNetwork;
+use neat_traj::sanitize::ErrorPolicy;
 use neat_traj::Dataset;
 
 /// Online NEAT clusterer retaining flow clusters across batches.
@@ -50,6 +51,7 @@ pub struct IncrementalNeat<'a> {
     flows: Vec<FlowCluster>,
     batches: usize,
     last_stats: Phase3Stats,
+    resilience: ResilienceCounters,
 }
 
 impl<'a> IncrementalNeat<'a> {
@@ -61,6 +63,7 @@ impl<'a> IncrementalNeat<'a> {
             flows: Vec::new(),
             batches: 0,
             last_stats: Phase3Stats::default(),
+            resilience: ResilienceCounters::default(),
         }
     }
 
@@ -88,14 +91,40 @@ impl<'a> IncrementalNeat<'a> {
     /// Propagates configuration and unknown-segment errors from the
     /// underlying phases.
     pub fn ingest(&mut self, batch: &Dataset) -> Result<Vec<TrajectoryCluster>, NeatError> {
+        self.ingest_with_policy(batch, ErrorPolicy::Strict)
+    }
+
+    /// [`IncrementalNeat::ingest`] under an explicit [`ErrorPolicy`]:
+    /// with [`ErrorPolicy::Skip`] or [`ErrorPolicy::Repair`] a faulty
+    /// trajectory in the batch is isolated — and accumulated into
+    /// [`IncrementalNeat::resilience`] — instead of poisoning the whole
+    /// online session.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors always fail; data errors only under
+    /// [`ErrorPolicy::Strict`].
+    pub fn ingest_with_policy(
+        &mut self,
+        batch: &Dataset,
+        policy: ErrorPolicy,
+    ) -> Result<Vec<TrajectoryCluster>, NeatError> {
         self.config.validate()?;
-        let p1 = form_base_clusters(self.net, batch, self.config.insert_junctions)?;
+        let (p1, counters) =
+            form_base_clusters_with_policy(self.net, batch, self.config.insert_junctions, policy)?;
         let p2 = form_flow_clusters(self.net, p1.base_clusters, &self.config)?;
         self.flows.extend(p2.flow_clusters);
         self.batches += 1;
+        self.resilience.merge(&counters);
         let p3 = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
         self.last_stats = p3.stats;
         Ok(p3.clusters)
+    }
+
+    /// Trajectories isolated (skipped/repaired) across all batches
+    /// ingested so far under non-strict policies.
+    pub fn resilience(&self) -> &ResilienceCounters {
+        &self.resilience
     }
 
     /// Compacts the retained flow set: drops flows whose trajectory
@@ -114,6 +143,7 @@ impl<'a> IncrementalNeat<'a> {
         self.flows.clear();
         self.batches = 0;
         self.last_stats = Phase3Stats::default();
+        self.resilience = ResilienceCounters::default();
     }
 }
 
@@ -243,6 +273,44 @@ mod tests {
         assert_eq!(evicted, 1);
         assert_eq!(online.flow_clusters().len(), 1);
         assert!(online.flow_clusters()[0].trajectory_cardinality() >= 4);
+    }
+
+    #[test]
+    fn faulty_batch_degrades_without_poisoning_the_session() {
+        let net = chain_network(10, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(traverse(0, 3, &[0, 1]));
+        online.ingest(&b1).unwrap();
+
+        // Batch 2 carries a trajectory on a segment this network lacks.
+        let mut b2 = Dataset::new("b2");
+        b2.extend(traverse(100, 3, &[4, 5]));
+        b2.push(
+            Trajectory::new(
+                TrajectoryId::new(900),
+                vec![
+                    RoadLocation::new(SegmentId::new(77), Point::new(0.0, 0.0), 0.0),
+                    RoadLocation::new(SegmentId::new(77), Point::new(1.0, 0.0), 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        // Strict ingestion fails and does not advance the batch count.
+        assert!(online.ingest(&b2).is_err());
+        assert_eq!(online.batches(), 1);
+        // Skip ingests the clean part of the batch.
+        let clusters = online.ingest_with_policy(&b2, ErrorPolicy::Skip).unwrap();
+        assert_eq!(online.batches(), 2);
+        assert_eq!(online.flow_clusters().len(), 2);
+        assert!(!clusters.is_empty());
+        assert_eq!(online.resilience().skipped, 1);
+        assert_eq!(
+            online.resilience().skipped_ids,
+            vec![TrajectoryId::new(900)]
+        );
+        online.reset();
+        assert!(online.resilience().is_clean());
     }
 
     #[test]

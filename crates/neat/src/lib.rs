@@ -60,6 +60,8 @@ pub use error::NeatError;
 pub use evaluation::{assign_trajectories, pairwise_scores, PairwiseScores};
 pub use incremental::IncrementalNeat;
 pub use model::{BaseCluster, FlowCluster, TrajectoryCluster};
+pub use neat_traj::sanitize::ErrorPolicy;
+pub use phase1::ResilienceCounters;
 pub use phase2::MergeEvent;
 pub use phase3::Phase3Stats;
 pub use pipeline::{Mode, Neat, NeatResult, PhaseTimings};

@@ -18,7 +18,8 @@ use crate::error::NeatError;
 use crate::model::BaseCluster;
 use neat_rnet::path::TravelMode;
 use neat_rnet::{RoadLocation, RoadNetwork, SegmentId, ShortestPathEngine};
-use neat_traj::{Dataset, TFragment, Trajectory};
+use neat_traj::sanitize::ErrorPolicy;
+use neat_traj::{Dataset, TFragment, Trajectory, TrajectoryId};
 use std::collections::HashMap;
 
 /// Output of Phase 1.
@@ -40,6 +41,120 @@ impl Phase1Output {
     }
 }
 
+/// How many trajectories the pipeline isolated instead of aborting on,
+/// under [`ErrorPolicy::Skip`] or [`ErrorPolicy::Repair`]. Always zero
+/// under [`ErrorPolicy::Strict`], which errors out instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Trajectories dropped whole (unextractable even after repair).
+    pub skipped: usize,
+    /// Trajectories kept after dropping their offending points.
+    pub repaired: usize,
+    /// Ids of the skipped trajectories, in dataset order.
+    pub skipped_ids: Vec<TrajectoryId>,
+}
+
+impl ResilienceCounters {
+    /// `true` when every trajectory went through untouched.
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0 && self.repaired == 0
+    }
+
+    /// Folds another counter set into this one (batch accumulation).
+    pub fn merge(&mut self, other: &ResilienceCounters) {
+        self.skipped += other.skipped;
+        self.repaired += other.repaired;
+        self.skipped_ids.extend(other.skipped_ids.iter().copied());
+    }
+}
+
+/// Outcome of extracting one trajectory under a policy. `Failed` only
+/// occurs under [`ErrorPolicy::Strict`].
+enum TrajOutcome {
+    Ok(Vec<TFragment>),
+    Repaired(Vec<TFragment>),
+    Skipped(TrajectoryId),
+    Failed(NeatError),
+}
+
+/// Extracts one trajectory's fragments and validates every fragment's
+/// segment against the network.
+fn try_extract(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    tr: &Trajectory,
+    insert_junctions: bool,
+) -> Result<Vec<TFragment>, NeatError> {
+    let frags = if insert_junctions {
+        extract_fragments_with_junctions(net, engine, tr)?
+    } else {
+        neat_traj::fragment::split_into_fragments(tr)
+    };
+    for f in &frags {
+        if net.segment(f.segment).is_err() {
+            return Err(NeatError::UnknownSegment(f.segment));
+        }
+    }
+    Ok(frags)
+}
+
+fn extract_with_policy(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    tr: &Trajectory,
+    insert_junctions: bool,
+    policy: ErrorPolicy,
+) -> TrajOutcome {
+    match try_extract(net, engine, tr, insert_junctions) {
+        Ok(frags) => TrajOutcome::Ok(frags),
+        Err(e) => match policy {
+            ErrorPolicy::Strict => TrajOutcome::Failed(e),
+            ErrorPolicy::Skip => TrajOutcome::Skipped(tr.id()),
+            ErrorPolicy::Repair => {
+                // Drop the points the network cannot place; if enough
+                // remain to form a trajectory, extract from the rest.
+                let kept: Vec<RoadLocation> = tr
+                    .points()
+                    .iter()
+                    .filter(|p| net.segment(p.segment).is_ok())
+                    .copied()
+                    .collect();
+                if kept.len() >= 2 {
+                    if let Ok(repaired) = Trajectory::new(tr.id(), kept) {
+                        if let Ok(frags) = try_extract(net, engine, &repaired, insert_junctions) {
+                            return TrajOutcome::Repaired(frags);
+                        }
+                    }
+                }
+                TrajOutcome::Skipped(tr.id())
+            }
+        },
+    }
+}
+
+/// Groups fragments by segment into density-sorted base clusters.
+fn group_into_clusters(frags: impl IntoIterator<Item = TFragment>) -> Phase1Output {
+    let mut by_segment: HashMap<SegmentId, Vec<TFragment>> = HashMap::new();
+    let mut fragment_count = 0usize;
+    for f in frags {
+        fragment_count += 1;
+        by_segment.entry(f.segment).or_default().push(f);
+    }
+    let mut base_clusters: Vec<BaseCluster> = by_segment
+        .into_iter()
+        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment"))
+        .collect();
+    base_clusters.sort_by(|a, b| {
+        b.density()
+            .cmp(&a.density())
+            .then_with(|| a.segment().cmp(&b.segment()))
+    });
+    Phase1Output {
+        base_clusters,
+        fragment_count,
+    }
+}
+
 /// Runs Phase 1: extracts t-fragments from every trajectory and groups
 /// them into density-sorted base clusters.
 ///
@@ -57,36 +172,44 @@ pub fn form_base_clusters(
     dataset: &Dataset,
     insert_junctions: bool,
 ) -> Result<Phase1Output, NeatError> {
+    form_base_clusters_with_policy(net, dataset, insert_junctions, ErrorPolicy::Strict)
+        .map(|(out, _)| out)
+}
+
+/// Policy-aware variant of [`form_base_clusters`]: under
+/// [`ErrorPolicy::Skip`] or [`ErrorPolicy::Repair`] a trajectory the
+/// network cannot place is isolated (dropped or point-repaired, counted
+/// in the returned [`ResilienceCounters`]) instead of aborting the run.
+///
+/// # Errors
+///
+/// Under [`ErrorPolicy::Strict`], same as [`form_base_clusters`]; the
+/// other policies only fail on internal invariant violations (never on
+/// bad input data).
+pub fn form_base_clusters_with_policy(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+    policy: ErrorPolicy,
+) -> Result<(Phase1Output, ResilienceCounters), NeatError> {
     let mut engine = ShortestPathEngine::new(net);
-    let mut by_segment: HashMap<SegmentId, Vec<TFragment>> = HashMap::new();
-    let mut fragment_count = 0usize;
+    let mut counters = ResilienceCounters::default();
+    let mut all_frags: Vec<TFragment> = Vec::new();
     for tr in dataset.trajectories() {
-        let frags = if insert_junctions {
-            extract_fragments_with_junctions(net, &mut engine, tr)?
-        } else {
-            neat_traj::fragment::split_into_fragments(tr)
-        };
-        fragment_count += frags.len();
-        for f in frags {
-            if net.segment(f.segment).is_err() {
-                return Err(NeatError::UnknownSegment(f.segment));
+        match extract_with_policy(net, &mut engine, tr, insert_junctions, policy) {
+            TrajOutcome::Ok(frags) => all_frags.extend(frags),
+            TrajOutcome::Repaired(frags) => {
+                counters.repaired += 1;
+                all_frags.extend(frags);
             }
-            by_segment.entry(f.segment).or_default().push(f);
+            TrajOutcome::Skipped(id) => {
+                counters.skipped += 1;
+                counters.skipped_ids.push(id);
+            }
+            TrajOutcome::Failed(e) => return Err(e),
         }
     }
-    let mut base_clusters: Vec<BaseCluster> = by_segment
-        .into_iter()
-        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment"))
-        .collect();
-    base_clusters.sort_by(|a, b| {
-        b.density()
-            .cmp(&a.density())
-            .then_with(|| a.segment().cmp(&b.segment()))
-    });
-    Ok(Phase1Output {
-        base_clusters,
-        fragment_count,
-    })
+    Ok((group_into_clusters(all_frags), counters))
 }
 
 /// Parallel variant of [`form_base_clusters`]: trajectories are split
@@ -107,30 +230,53 @@ pub fn form_base_clusters_parallel(
     insert_junctions: bool,
     threads: usize,
 ) -> Result<Phase1Output, NeatError> {
+    form_base_clusters_parallel_with_policy(
+        net,
+        dataset,
+        insert_junctions,
+        threads,
+        ErrorPolicy::Strict,
+    )
+    .map(|(out, _)| out)
+}
+
+/// Policy-aware variant of [`form_base_clusters_parallel`]. Workers
+/// apply the policy per trajectory; outcomes are folded in dataset
+/// order, so the output (clusters *and* counters) is bit-identical to
+/// [`form_base_clusters_with_policy`] regardless of thread count.
+///
+/// # Errors
+///
+/// Same as [`form_base_clusters_with_policy`]; under
+/// [`ErrorPolicy::Strict`] the error of the earliest failing trajectory
+/// wins.
+pub fn form_base_clusters_parallel_with_policy(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+    threads: usize,
+    policy: ErrorPolicy,
+) -> Result<(Phase1Output, ResilienceCounters), NeatError> {
     let threads = threads.max(1);
     if threads == 1 || dataset.len() < 2 * threads {
-        return form_base_clusters(net, dataset, insert_junctions);
+        return form_base_clusters_with_policy(net, dataset, insert_junctions, policy);
     }
     let trajectories = dataset.trajectories();
     let chunk_size = trajectories.len().div_ceil(threads);
     let chunks: Vec<&[Trajectory]> = trajectories.chunks(chunk_size).collect();
 
-    let results: Vec<Result<Vec<TFragment>, NeatError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Vec<TrajOutcome>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move |_| {
                     let mut engine = ShortestPathEngine::new(net);
-                    let mut out = Vec::new();
-                    for tr in chunk {
-                        let frags = if insert_junctions {
-                            extract_fragments_with_junctions(net, &mut engine, tr)?
-                        } else {
-                            neat_traj::fragment::split_into_fragments(tr)
-                        };
-                        out.extend(frags);
-                    }
-                    Ok(out)
+                    chunk
+                        .iter()
+                        .map(|tr| {
+                            extract_with_policy(net, &mut engine, tr, insert_junctions, policy)
+                        })
+                        .collect::<Vec<TrajOutcome>>()
                 })
             })
             .collect();
@@ -141,30 +287,23 @@ pub fn form_base_clusters_parallel(
     })
     .expect("phase-1 scope panicked");
 
-    let mut by_segment: HashMap<SegmentId, Vec<TFragment>> = HashMap::new();
-    let mut fragment_count = 0usize;
-    for chunk in results {
-        for f in chunk? {
-            if net.segment(f.segment).is_err() {
-                return Err(NeatError::UnknownSegment(f.segment));
+    let mut counters = ResilienceCounters::default();
+    let mut all_frags: Vec<TFragment> = Vec::new();
+    for outcome in results.into_iter().flatten() {
+        match outcome {
+            TrajOutcome::Ok(frags) => all_frags.extend(frags),
+            TrajOutcome::Repaired(frags) => {
+                counters.repaired += 1;
+                all_frags.extend(frags);
             }
-            fragment_count += 1;
-            by_segment.entry(f.segment).or_default().push(f);
+            TrajOutcome::Skipped(id) => {
+                counters.skipped += 1;
+                counters.skipped_ids.push(id);
+            }
+            TrajOutcome::Failed(e) => return Err(e),
         }
     }
-    let mut base_clusters: Vec<BaseCluster> = by_segment
-        .into_iter()
-        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment"))
-        .collect();
-    base_clusters.sort_by(|a, b| {
-        b.density()
-            .cmp(&a.density())
-            .then_with(|| a.segment().cmp(&b.segment()))
-    });
-    Ok(Phase1Output {
-        base_clusters,
-        fragment_count,
-    })
+    Ok((group_into_clusters(all_frags), counters))
 }
 
 /// Extracts the t-fragments of one trajectory, inserting junction points at
@@ -500,6 +639,84 @@ mod tests {
         data.push(traj(99, vec![loc(77, 0.0, 0.0), loc(77, 1.0, 1.0)]));
         let err = form_base_clusters_parallel(&net, &data, true, 4).unwrap_err();
         assert!(matches!(err, NeatError::UnknownSegment(_)));
+    }
+
+    /// Mixed dataset: 3 clean trajectories, one entirely on an unknown
+    /// segment, one with a single unknown-segment point amid good ones.
+    fn mixed_dataset() -> Dataset {
+        let mut data = Dataset::new("mixed");
+        for id in 0..3 {
+            data.push(traj(id, vec![loc(0, 50.0, 0.0), loc(1, 150.0, 10.0)]));
+        }
+        data.push(traj(90, vec![loc(77, 0.0, 0.0), loc(77, 1.0, 1.0)]));
+        data.push(traj(
+            91,
+            vec![loc(0, 40.0, 0.0), loc(88, 999.0, 5.0), loc(1, 160.0, 12.0)],
+        ));
+        data
+    }
+
+    #[test]
+    fn skip_policy_isolates_bad_trajectories() {
+        let net = net5();
+        let data = mixed_dataset();
+        let (out, counters) =
+            form_base_clusters_with_policy(&net, &data, true, ErrorPolicy::Skip).unwrap();
+        assert_eq!(counters.skipped, 2);
+        assert_eq!(counters.repaired, 0);
+        assert_eq!(
+            counters.skipped_ids,
+            vec![TrajectoryId::new(90), TrajectoryId::new(91)]
+        );
+        // The clean trajectories still cluster.
+        assert_eq!(out.dense_core().unwrap().density(), 3);
+    }
+
+    #[test]
+    fn repair_policy_drops_unknown_points_and_keeps_the_rest() {
+        let net = net5();
+        let data = mixed_dataset();
+        let (out, counters) =
+            form_base_clusters_with_policy(&net, &data, true, ErrorPolicy::Repair).unwrap();
+        // 91 loses its unknown point but keeps 2 placeable ones; 90 has
+        // nothing left and is skipped.
+        assert_eq!(counters.repaired, 1);
+        assert_eq!(counters.skipped, 1);
+        assert_eq!(counters.skipped_ids, vec![TrajectoryId::new(90)]);
+        // 91's surviving points join the s0/s1 clusters: density 4.
+        assert_eq!(out.dense_core().unwrap().density(), 4);
+    }
+
+    #[test]
+    fn strict_policy_matches_legacy_failfast() {
+        let net = net5();
+        let data = mixed_dataset();
+        let err =
+            form_base_clusters_with_policy(&net, &data, true, ErrorPolicy::Strict).unwrap_err();
+        assert!(matches!(err, NeatError::UnknownSegment(_)));
+    }
+
+    #[test]
+    fn parallel_policy_matches_sequential_policy() {
+        let net = net5();
+        let mut data = Dataset::new("par-policy");
+        for id in 0..30 {
+            data.push(traj(id, vec![loc(0, 50.0, 0.0), loc(1, 150.0, 10.0)]));
+        }
+        data.push(traj(90, vec![loc(77, 0.0, 0.0), loc(77, 1.0, 1.0)]));
+        data.push(traj(
+            91,
+            vec![loc(0, 40.0, 0.0), loc(88, 999.0, 5.0), loc(1, 160.0, 12.0)],
+        ));
+        for policy in [ErrorPolicy::Skip, ErrorPolicy::Repair] {
+            let seq = form_base_clusters_with_policy(&net, &data, true, policy).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par =
+                    form_base_clusters_parallel_with_policy(&net, &data, true, threads, policy)
+                        .unwrap();
+                assert_eq!(par, seq, "{policy:?} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -119,6 +119,10 @@ pub fn form_flow_clusters_traced(
     trace: &mut Option<Vec<MergeEvent>>,
 ) -> Result<Phase2Output, NeatError> {
     config.validate()?;
+    // Invariant: every pool slot starts as `Some` and is only emptied by a
+    // `take()` when its cluster is merged into a flow. The `expect`s on pool
+    // entries below and in `expand_end` rely on this bookkeeping, never on
+    // caller input, so they are unreachable for malformed datasets.
     let mut pool: Vec<Option<BaseCluster>> = base_clusters.into_iter().map(Some).collect();
     let by_segment: HashMap<SegmentId, usize> = pool
         .iter()
@@ -196,6 +200,8 @@ fn expand_end(
     trace: &mut Option<Vec<MergeEvent>>,
 ) -> Result<(), NeatError> {
     loop {
+        // Invariant: a FlowCluster is created from a seed base cluster and
+        // only ever grows, so `members()` is never empty here.
         let (end_cluster, nu) = match end {
             End::Back => (
                 flow.members().last().expect("non-empty flow"),
@@ -211,6 +217,11 @@ fn expand_end(
         // f-neighbourhood Nf(S, nu): unmerged base clusters on segments
         // adjacent at nu with positive netflow (Definition 6). Sorted by
         // segment id for determinism.
+        //
+        // Invariant: `neigh` holds only indices whose pool slot was `Some`
+        // when filtered, and nothing is taken from the pool until `chosen`
+        // at the bottom of the loop — so every `expect("present")` below is
+        // internal bookkeeping, not input validation.
         let mut neigh: Vec<usize> = net
             .adjacent_segments_at(end_segment, nu)
             .into_iter()
@@ -312,6 +323,8 @@ fn expand_end(
                 best = Some((i, sf, f_flow));
             }
         }
+        // Invariant: the `neigh.is_empty()` early-return above guarantees
+        // the candidate loop ran at least once, so `best` is `Some`.
         let (chosen, sf, _) = best.expect("neighbourhood non-empty");
         let cluster = pool[chosen].take().expect("present");
         if let Some(t) = trace.as_mut() {

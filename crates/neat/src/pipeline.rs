@@ -9,10 +9,11 @@
 use crate::config::NeatConfig;
 use crate::error::NeatError;
 use crate::model::{BaseCluster, FlowCluster, TrajectoryCluster};
-use crate::phase1::form_base_clusters_parallel;
+use crate::phase1::{form_base_clusters_parallel_with_policy, ResilienceCounters};
 use crate::phase2::form_flow_clusters;
 use crate::phase3::{refine_flow_clusters, Phase3Stats};
 use neat_rnet::RoadNetwork;
+use neat_traj::sanitize::ErrorPolicy;
 use neat_traj::Dataset;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -81,6 +82,9 @@ pub struct NeatResult {
     pub phase3_stats: Phase3Stats,
     /// Per-phase wall-clock timings.
     pub timings: PhaseTimings,
+    /// Trajectories isolated instead of aborting the run (all zero under
+    /// [`ErrorPolicy::Strict`], the default).
+    pub resilience: ResilienceCounters,
 }
 
 impl NeatResult {
@@ -125,6 +129,13 @@ impl NeatResult {
                 self.timings.phase3.as_secs_f64()
             );
         }
+        if !self.resilience.is_clean() {
+            let _ = writeln!(
+                out,
+                "resilience: {} trajectories skipped, {} repaired",
+                self.resilience.skipped, self.resilience.repaired
+            );
+        }
         out
     }
 }
@@ -157,15 +168,35 @@ impl<'a> Neat<'a> {
     /// [`NeatError::UnknownSegment`] when the dataset references segments
     /// missing from the network.
     pub fn run(&self, dataset: &Dataset, mode: Mode) -> Result<NeatResult, NeatError> {
+        self.run_with_policy(dataset, mode, ErrorPolicy::Strict)
+    }
+
+    /// Runs the pipeline under an explicit [`ErrorPolicy`]. Under
+    /// [`ErrorPolicy::Skip`] or [`ErrorPolicy::Repair`], per-trajectory
+    /// data faults (e.g. samples on segments missing from the network)
+    /// isolate the offending trajectory — counted in
+    /// [`NeatResult::resilience`] — instead of aborting the run.
+    ///
+    /// # Errors
+    ///
+    /// [`NeatError::InvalidConfig`] always fails early; data errors only
+    /// propagate under [`ErrorPolicy::Strict`].
+    pub fn run_with_policy(
+        &self,
+        dataset: &Dataset,
+        mode: Mode,
+        policy: ErrorPolicy,
+    ) -> Result<NeatResult, NeatError> {
         self.config.validate()?;
         let mut timings = PhaseTimings::default();
 
         let t0 = Instant::now();
-        let p1 = form_base_clusters_parallel(
+        let (p1, resilience) = form_base_clusters_parallel_with_policy(
             self.net,
             dataset,
             self.config.insert_junctions,
             self.config.phase1_threads,
+            policy,
         )?;
         timings.phase1 = t0.elapsed();
         let base_cluster_count = p1.base_clusters.len();
@@ -182,6 +213,7 @@ impl<'a> Neat<'a> {
                 clusters: Vec::new(),
                 phase3_stats: Phase3Stats::default(),
                 timings,
+                resilience,
             });
         }
 
@@ -200,6 +232,7 @@ impl<'a> Neat<'a> {
                 clusters: Vec::new(),
                 phase3_stats: Phase3Stats::default(),
                 timings,
+                resilience,
             });
         }
 
@@ -218,6 +251,7 @@ impl<'a> Neat<'a> {
             clusters: p3.clusters,
             phase3_stats: p3.stats,
             timings,
+            resilience,
         })
     }
 }
@@ -352,6 +386,55 @@ mod tests {
         let opt = neat.run(&data, Mode::Opt).unwrap().summary(&net);
         assert!(opt.contains("clusters:"));
         assert!(opt.lines().count() >= 3);
+    }
+
+    #[test]
+    fn run_with_policy_degrades_instead_of_aborting() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(4, 0, &[0, 1, 2]));
+        // One trajectory entirely on a segment the network doesn't have.
+        data.push(
+            Trajectory::new(
+                TrajectoryId::new(900),
+                vec![
+                    RoadLocation::new(SegmentId::new(50), Point::new(0.0, 0.0), 0.0),
+                    RoadLocation::new(SegmentId::new(50), Point::new(1.0, 0.0), 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        let neat = Neat::new(&net, config(1));
+        // Strict (and plain run) abort.
+        assert!(neat.run(&data, Mode::Opt).is_err());
+        assert!(neat
+            .run_with_policy(&data, Mode::Opt, ErrorPolicy::Strict)
+            .is_err());
+        // Skip isolates the bad trajectory and still clusters the rest.
+        let r = neat
+            .run_with_policy(&data, Mode::Opt, ErrorPolicy::Skip)
+            .unwrap();
+        assert_eq!(r.resilience.skipped, 1);
+        assert_eq!(r.resilience.skipped_ids, vec![TrajectoryId::new(900)]);
+        assert!(!r.flow_clusters.is_empty());
+        assert!(r
+            .summary(&net)
+            .contains("resilience: 1 trajectories skipped"));
+    }
+
+    #[test]
+    fn clean_data_has_clean_resilience_under_every_policy() {
+        let net = chain_network(6, 100.0, 10.0);
+        let mut data = Dataset::new("d");
+        data.extend(traverse(4, 0, &[0, 1, 2]));
+        let neat = Neat::new(&net, config(1));
+        let strict = neat.run(&data, Mode::Flow).unwrap();
+        for policy in [ErrorPolicy::Skip, ErrorPolicy::Repair] {
+            let r = neat.run_with_policy(&data, Mode::Flow, policy).unwrap();
+            assert!(r.resilience.is_clean());
+            assert_eq!(r.flow_clusters, strict.flow_clusters, "{policy:?}");
+            assert!(!r.summary(&net).contains("resilience"));
+        }
     }
 
     #[test]

@@ -311,6 +311,9 @@ impl ShortestPathEngine {
         }
         nodes.reverse();
         segments.reverse();
+        // Invariant: every id in `segments` was written into `prev_seg` by
+        // the search itself from `net.incident_segments`, so the lookup in
+        // the same network cannot fail on any input.
         let length = segments
             .iter()
             .map(|&s| net.segment(s).expect("route segment exists").length)
@@ -400,6 +403,8 @@ impl ShortestPathEngine {
                 return Some(dist);
             }
             for &sid in net.incident_segments(NodeId::new(u)) {
+                // Invariant: `sid` comes from `net`'s own adjacency lists,
+                // so the segment is always present in the same network.
                 let seg = net.segment(sid).expect("incident segment exists");
                 if mode == TravelMode::Directed && !seg.traversable_from(NodeId::new(u)) {
                     continue;

@@ -14,6 +14,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::TrajError;
+use crate::sanitize::RawFix;
 use crate::trajectory::{Trajectory, TrajectoryId};
 use neat_rnet::{Point, RoadLocation, SegmentId};
 use std::io::{BufRead, Write};
@@ -118,6 +119,89 @@ pub fn read_dataset<R: BufRead>(name: impl Into<String>, r: R) -> Result<Dataset
     Ok(dataset)
 }
 
+/// Result of a lenient raw read: every parseable row, plus the lines
+/// that could not be parsed (1-based line number and reason).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawReadOutcome {
+    /// Parsed fixes in file order, not validated in any way.
+    pub fixes: Vec<RawFix>,
+    /// Malformed lines, skipped rather than fatal.
+    pub malformed: Vec<(usize, String)>,
+}
+
+/// Reads raw fixes from the same line format as [`read_dataset`], but
+/// leniently: malformed lines are recorded and skipped, and no
+/// trajectory invariants are enforced. This is the entry point for
+/// [`crate::sanitize`], which decides what to do with the damage.
+///
+/// # Errors
+///
+/// Only I/O failures are fatal.
+pub fn read_raw_fixes<R: BufRead>(r: R) -> Result<RawReadOutcome, TrajError> {
+    let mut out = RawReadOutcome::default();
+    for (lineno, line) in r.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_raw_line(line) {
+            Ok(fix) => out.fixes.push(fix),
+            Err(message) => out.malformed.push((lineno, message)),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_raw_line(line: &str) -> Result<RawFix, String> {
+    let mut fields = line.split(',');
+    let mut next_field = |what: &str| {
+        fields
+            .next()
+            .ok_or_else(|| format!("missing field `{what}`"))
+    };
+    let trid: u64 = {
+        let s = next_field("trid")?;
+        s.parse().map_err(|_| format!("bad trid: `{s}`"))?
+    };
+    let sid: usize = {
+        let s = next_field("sid")?;
+        s.parse().map_err(|_| format!("bad sid: `{s}`"))?
+    };
+    let parse_f64 = |s: &str, what: &str| -> Result<f64, String> {
+        s.parse().map_err(|_| format!("bad {what}: `{s}`"))
+    };
+    let x = parse_f64(next_field("x")?, "x")?;
+    let y = parse_f64(next_field("y")?, "y")?;
+    let t = parse_f64(next_field("t")?, "t")?;
+    Ok(RawFix::new(trid, SegmentId::new(sid), Point::new(x, y), t))
+}
+
+/// Writes raw fixes in the dataset line format (readable by both
+/// [`read_raw_fixes`] and — if the data happens to be valid —
+/// [`read_dataset`]).
+///
+/// # Errors
+///
+/// Propagates any I/O failure from the writer.
+pub fn write_raw_fixes<W: Write>(name: &str, fixes: &[RawFix], mut w: W) -> Result<(), TrajError> {
+    writeln!(w, "# dataset: {name}")?;
+    writeln!(w, "# trid,sid,x,y,t")?;
+    for fix in fixes {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            fix.trid,
+            fix.segment.index(),
+            fix.position.x,
+            fix.position.y,
+            fix.time
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +274,42 @@ mod tests {
     fn empty_input_gives_empty_dataset() {
         let d = read_dataset("empty", "".as_bytes()).unwrap();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn raw_read_keeps_invalid_rows_and_reports_malformed() {
+        // Backwards time and a single-fix trajectory: both fatal for
+        // read_dataset, both fine as raw fixes. One unparseable line.
+        let text = "3,1,0.0,0.0,9.0\n3,1,5.0,0.0,2.0\nbogus line\n7,2,1.0,1.0,0.0\n";
+        let out = read_raw_fixes(text.as_bytes()).unwrap();
+        assert_eq!(out.fixes.len(), 3);
+        assert_eq!(out.fixes[0].trid, 3);
+        assert_eq!(out.fixes[2].trid, 7);
+        assert_eq!(out.malformed.len(), 1);
+        assert_eq!(out.malformed[0].0, 3);
+    }
+
+    #[test]
+    fn raw_fixes_roundtrip() {
+        let fixes = vec![
+            RawFix::new(0, SegmentId::new(4), Point::new(1.5, -2.0), 0.0),
+            RawFix::new(0, SegmentId::new(4), Point::new(2.5, -2.0), 7.0),
+            RawFix::new(1, SegmentId::new(0), Point::new(0.0, 0.0), 3.0),
+        ];
+        let mut buf = Vec::new();
+        write_raw_fixes("raw", &fixes, &mut buf).unwrap();
+        let out = read_raw_fixes(buf.as_slice()).unwrap();
+        assert_eq!(out.fixes, fixes);
+        assert!(out.malformed.is_empty());
+    }
+
+    #[test]
+    fn raw_writer_output_is_readable_as_a_dataset_when_valid() {
+        let d = sample_dataset();
+        let fixes = crate::sanitize::dataset_fixes(&d);
+        let mut buf = Vec::new();
+        write_raw_fixes(d.name(), &fixes, &mut buf).unwrap();
+        let d2 = read_dataset(d.name(), buf.as_slice()).unwrap();
+        assert_eq!(d.trajectories(), d2.trajectories());
     }
 }

@@ -13,16 +13,21 @@
 //! * [`TFragment`] — the paper's t-fragment ([`fragment`]),
 //! * [`Dataset`] — a named collection of trajectories with aggregate
 //!   statistics matching Table II of the paper ([`dataset`]),
-//! * plain-text I/O for datasets ([`io`]).
+//! * plain-text I/O for datasets ([`io`]),
+//! * ingestion sanitization with configurable error policies
+//!   ([`sanitize`]): detect, repair or quarantine corrupt GPS feeds
+//!   instead of aborting.
 
 pub mod dataset;
 pub mod error;
 pub mod fragment;
 pub mod io;
 pub mod ops;
+pub mod sanitize;
 pub mod trajectory;
 
 pub use dataset::{Dataset, DatasetStats};
 pub use error::TrajError;
 pub use fragment::TFragment;
+pub use sanitize::{ErrorPolicy, SanitizeConfig, SanitizeOutput, SanitizeSummary, Sanitizer};
 pub use trajectory::{Trajectory, TrajectoryId};

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // TraClus consumes the raw GPS signal (8 m noise), as in the paper.
-    let raw_traces = to_raw_traces(&data, 8.0, 1);
+    let raw_traces = to_raw_traces(&data, 8.0, 1)?;
     let mut raw = Dataset::new("raw");
     for (tr, trace) in data.trajectories().iter().zip(&raw_traces) {
         let pts = tr

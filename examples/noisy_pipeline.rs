@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Degrade to raw GPS with 8 m noise, then match back onto the network.
-    let raw = to_raw_traces(&truth, 8.0, 99);
+    let raw = to_raw_traces(&truth, 8.0, 99)?;
     let matcher = MapMatcher::new(&net, MatchConfig::default());
     let (matched, skipped) = matcher.match_traces(&raw, "matched")?;
     println!(

@@ -5,10 +5,12 @@
 //! ```text
 //! neat gen-network --map atl|sj|mia | --grid RxC   [--seed N] --out net.txt
 //! neat simulate    --network net.txt --objects N   [--seed N] [--hotspots H]
-//!                  [--destinations D] [--period S] --out data.csv
+//!                  [--destinations D] [--period S]
+//!                  [--faults dropout=0.05,dup=0.02,...] --out data.csv
 //! neat cluster     --network net.txt --dataset data.csv
 //!                  [--mode base|flow|opt] [--min-card N] [--epsilon M]
 //!                  [--weights q,k,v] [--beta B] [--no-elb] [--full-route]
+//!                  [--on-error fail|skip|repair] [--quarantine FILE]
 //!                  [--trace] [--svg out.svg] [--json out.json]
 //! neat stats       --network net.txt [--dataset data.csv]
 //! ```
@@ -16,10 +18,12 @@
 //! Everything is deterministic under `--seed` (default 42).
 
 use neat_repro::cli::{parse, parse_flags, required};
+use neat_repro::mobisim::faults::{inject_faults, FaultConfig};
 use neat_repro::mobisim::{generate_dataset, SimConfig};
-use neat_repro::neat::{Mode, Neat, NeatConfig, Weights};
+use neat_repro::neat::{ErrorPolicy, Mode, Neat, NeatConfig, Weights};
 use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig, MapPreset};
 use neat_repro::rnet::{io as netio, RoadNetwork};
+use neat_repro::traj::sanitize::{write_quarantine, SanitizeOutput, Sanitizer};
 use neat_repro::traj::{io as trajio, Dataset};
 use neat_repro::viz::render;
 use std::collections::HashMap;
@@ -43,10 +47,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   neat gen-network (--map atl|sj|mia | --grid RxC) [--seed N] --out FILE
   neat simulate    --network FILE --objects N [--seed N] [--hotspots H]
-                   [--destinations D] [--period S] --out FILE
+                   [--destinations D] [--period S]
+                   [--faults dropout=R,dup=R,reorder=R,teleport=R,truncate=R]
+                   --out FILE
   neat cluster     --network FILE --dataset FILE [--mode base|flow|opt]
                    [--min-card N] [--epsilon M] [--weights q,k,v]
                    [--beta B] [--no-elb] [--full-route] [--trace]
+                   [--on-error fail|skip|repair] [--quarantine FILE]
                    [--threads N] [--svg FILE] [--json FILE]
   neat stats       --network FILE [--dataset FILE]";
 
@@ -118,18 +125,57 @@ fn simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let data = generate_dataset(&net, &config, seed, "cli");
     let out = required(flags, "out")?;
     let f = File::create(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
-    trajio::write_dataset(&data, BufWriter::new(f)).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {out}: {} trajectories, {} points",
-        data.len(),
-        data.total_points()
-    );
+    match flags.get("faults") {
+        None => {
+            trajio::write_dataset(&data, BufWriter::new(f)).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out}: {} trajectories, {} points",
+                data.len(),
+                data.total_points()
+            );
+        }
+        Some(spec) => {
+            let fault_config = FaultConfig::parse(spec)?;
+            let (fixes, log) = inject_faults(&data, &fault_config, seed);
+            trajio::write_raw_fixes(data.name(), &fixes, BufWriter::new(f))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out}: {} trajectories, {} fixes (faulted)",
+                data.len(),
+                fixes.len()
+            );
+            println!("faults: {}", log.digest());
+        }
+    }
     Ok(())
+}
+
+/// Loads the dataset for `cluster` under the active policy: `fail` uses
+/// the legacy strict reader path; `skip`/`repair` read leniently and
+/// sanitize, reporting what was done.
+fn load_sanitized(path: &str, policy: ErrorPolicy) -> Result<SanitizeOutput, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open dataset `{path}`: {e}"))?;
+    Sanitizer::with_policy(policy)
+        .read(path, BufReader::new(f))
+        .map_err(|e| format!("cannot read dataset: {e}"))
 }
 
 fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     let net = load_network(required(flags, "network")?)?;
-    let data = load_dataset(required(flags, "dataset")?)?;
+    let policy: ErrorPolicy = parse(flags, "on-error", ErrorPolicy::Strict)?;
+    let sanitized = load_sanitized(required(flags, "dataset")?, policy)?;
+    if !sanitized.summary.is_clean() {
+        println!("sanitize: {}", sanitized.summary.digest());
+    }
+    if let Some(qpath) = flags.get("quarantine") {
+        let qf = File::create(qpath).map_err(|e| format!("cannot create `{qpath}`: {e}"))?;
+        write_quarantine(&sanitized.quarantined, BufWriter::new(qf)).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {qpath}: {} quarantined trajectories",
+            sanitized.quarantined.len()
+        );
+    }
+    let data = sanitized.dataset;
     let mode = match flags.get("mode").map(String::as_str).unwrap_or("opt") {
         "base" => Mode::Base,
         "flow" => Mode::Flow,
@@ -165,8 +211,13 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     if flags.contains_key("trace") && mode != Mode::Base {
         // Re-run phases 1–2 with tracing to print the merge decisions.
-        let p1 = neat_repro::neat::phase1::form_base_clusters(&net, &data, config.insert_junctions)
-            .map_err(|e| e.to_string())?;
+        let (p1, _) = neat_repro::neat::phase1::form_base_clusters_with_policy(
+            &net,
+            &data,
+            config.insert_junctions,
+            policy,
+        )
+        .map_err(|e| e.to_string())?;
         let mut trace = Some(Vec::new());
         let _ = neat_repro::neat::phase2::form_flow_clusters_traced(
             &net,
@@ -181,7 +232,7 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     let result = Neat::new(&net, config)
-        .run(&data, mode)
+        .run_with_policy(&data, mode, policy)
         .map_err(|e| e.to_string())?;
     print!("{}", result.summary(&net));
     if mode != Mode::Base {

@@ -24,7 +24,7 @@ fn setup() -> (neat_repro::rnet::RoadNetwork, neat_repro::traj::Dataset) {
 #[test]
 fn matcher_recovers_most_segments_under_noise() {
     let (net, truth) = setup();
-    let raw = to_raw_traces(&truth, 6.0, 5);
+    let raw = to_raw_traces(&truth, 6.0, 5).expect("valid noise std");
     let matcher = MapMatcher::new(&net, MatchConfig::default());
     let (matched, skipped) = matcher.match_traces(&raw, "matched").unwrap();
     assert_eq!(skipped, 0);
@@ -49,7 +49,7 @@ fn matcher_recovers_most_segments_under_noise() {
 #[test]
 fn zero_noise_matching_is_near_perfect() {
     let (net, truth) = setup();
-    let raw = to_raw_traces(&truth, 0.0, 5);
+    let raw = to_raw_traces(&truth, 0.0, 5).expect("valid noise std");
     let matcher = MapMatcher::new(&net, MatchConfig::default());
     let (matched, _) = matcher.match_traces(&raw, "matched").unwrap();
     let mut correct = 0usize;
@@ -71,7 +71,7 @@ fn zero_noise_matching_is_near_perfect() {
 #[test]
 fn clustering_on_matched_data_resembles_ground_truth() {
     let (net, truth) = setup();
-    let raw = to_raw_traces(&truth, 6.0, 7);
+    let raw = to_raw_traces(&truth, 6.0, 7).expect("valid noise std");
     let matcher = MapMatcher::new(&net, MatchConfig::default());
     let (matched, _) = matcher.match_traces(&raw, "matched").unwrap();
 

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the API surface the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box`, `criterion_group!`, `criterion_main!` — and
+//! reports median wall-clock time per iteration. No statistics engine,
+//! no HTML reports, no CLI filtering: `cargo bench` runs every function
+//! and prints one line each.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How batched setup output is sized; the stand-in treats all variants
+/// identically (one setup per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn with_samples(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, one sample per call, keeping each return value
+    /// opaque to the optimizer.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass, unmeasured.
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::with_samples(self.sample_size);
+        f(&mut bencher);
+        match bencher.median() {
+            Some(t) => println!(
+                "{}/{}: median {:?} over {} samples",
+                self.name,
+                id,
+                t,
+                bencher.samples.len()
+            ),
+            None => println!("{}/{}: no samples recorded", self.name, id),
+        }
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; dropping the
+    /// group without calling this is equivalent).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Starts a named group; default sample count is 10.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::with_samples(10);
+        f(&mut bencher);
+        match bencher.median() {
+            Some(t) => println!(
+                "{}: median {:?} over {} samples",
+                id,
+                t,
+                bencher.samples.len()
+            ),
+            None => println!("{id}: no samples recorded"),
+        }
+        self.benchmarks_run += 1;
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_benchmarks() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    criterion_group!(sample_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .sample_size(2)
+            .bench_function("nothing", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        sample_group();
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam`: the `thread::scope` subset this
+//! workspace uses, implemented over `std::thread::scope` (stable since
+//! Rust 1.63, which makes the original dependency unnecessary here).
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention:
+    //! the spawn closure receives the scope, and `scope` returns a
+    //! `Result` capturing panics from the closure body.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to [`scope`] and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Handle to a scoped thread; joining returns the closure's value or
+    /// the panic payload.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope (crossbeam convention), so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before return. `Err` carries the panic
+    /// payload if `f` itself panics (panics of unjoined spawned threads
+    /// propagate through the implicit join, as in crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope(s)))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn body_panic_is_captured() {
+        let r = crate::thread::scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,540 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: numeric
+//! range strategies, char-class string strategies (`"[ -~\n,]{0,400}"`),
+//! tuple strategies, `collection::vec`, `ProptestConfig::with_cases`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` macros.
+//!
+//! Differences from the real crate, deliberate for an offline test rig:
+//! generation is fully deterministic (seeded from the test name, so a
+//! given test sees the same case sequence on every run), there is no
+//! shrinking (the failing case is printed verbatim), and
+//! `proptest-regressions` files are ignored.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator (splitmix64). Seeded from the test name so
+/// every run of a test replays the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (the test name).
+    pub fn from_label(label: &str) -> Self {
+        // FNV-1a over the label, then a splitmix step to spread it.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift reduction; bias is < 2^-64 per draw, which is
+        // irrelevant for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. The stand-in keeps the real crate's name so
+/// `use proptest::prelude::*` imports resolve, but the interface is a
+/// plain `generate` call with no shrinking machinery.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() - *self.start()) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                *self.start() + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (*self.start() as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let f = self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                f as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let lo = *self.start() as f64;
+                let hi = *self.end() as f64;
+                // 2^53 draws make hitting the endpoint vanishingly rare
+                // either way; treat inclusive as the closed interval.
+                let f = lo + rng.unit_f64() * (hi - lo);
+                f as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_float_range!(f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+);
+
+/// String strategy from a char-class pattern: `[class]{lo,hi}` where the
+/// class holds literal chars, `a-b` ranges, and `\n`/`\r`/`\t`/`\\`
+/// escapes. This covers the fuzz patterns used in the test suite; any
+/// other regex shape is rejected loudly so a silently-wrong generator
+/// never masquerades as coverage.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_char_class_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string strategy {self:?}: {e}"));
+        let span = (hi - lo + 1) as u64;
+        let len = lo + rng.below(span) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+type CharClass = (Vec<char>, usize, usize);
+
+fn parse_char_class_pattern(pat: &str) -> Result<CharClass, String> {
+    let mut it = pat.chars().peekable();
+    if it.next() != Some('[') {
+        return Err("expected pattern of the form [class]{lo,hi}".into());
+    }
+    let mut chars: Vec<char> = Vec::new();
+    loop {
+        let c = it.next().ok_or("unterminated char class")?;
+        let c = match c {
+            ']' => break,
+            '\\' => match it.next().ok_or("dangling escape")? {
+                'n' => '\n',
+                'r' => '\r',
+                't' => '\t',
+                other @ ('\\' | '-' | ']' | '[') => other,
+                other => return Err(format!("unsupported escape \\{other}")),
+            },
+            c => c,
+        };
+        // `a-b` range (a `-` immediately before `]` is a literal dash).
+        if it.peek() == Some(&'-') {
+            let mut ahead = it.clone();
+            ahead.next();
+            if ahead.peek().is_some_and(|&n| n != ']') {
+                it.next();
+                let hi = match it.next().ok_or("unterminated range")? {
+                    '\\' => match it.next().ok_or("dangling escape")? {
+                        'n' => '\n',
+                        other => other,
+                    },
+                    h => h,
+                };
+                if (hi as u32) < (c as u32) {
+                    return Err(format!("inverted range {c}-{hi}"));
+                }
+                let lo_u = c as u32;
+                let hi_u = hi as u32;
+                chars.extend((lo_u..=hi_u).filter_map(char::from_u32));
+                continue;
+            }
+        }
+        chars.push(c);
+    }
+    let rest: String = it.collect();
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or("expected {lo,hi} repetition")?;
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (
+            a.trim().parse::<usize>().map_err(|e| e.to_string())?,
+            b.trim().parse::<usize>().map_err(|e| e.to_string())?,
+        ),
+        None => {
+            let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+            (n, n)
+        }
+    };
+    if chars.is_empty() {
+        return Err("empty char class".into());
+    }
+    if hi < lo {
+        return Err(format!("inverted repetition {{{lo},{hi}}}"));
+    }
+    Ok((chars, lo, hi))
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` whose length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default; the heavy tests in this repo all set
+        // an explicit lower count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (carried by `prop_assert!` early returns).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs one property: `cases` iterations of generate-then-check,
+/// panicking with the offending inputs on the first failure.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<Option<String>, (String, TestCaseError)>,
+{
+    let mut rng = TestRng::from_label(name);
+    for case_no in 0..config.cases {
+        match case(&mut rng) {
+            Ok(_) => {}
+            Err((inputs, err)) => panic!(
+                "property `{name}` failed at case {case_no}/{}\n  inputs: {inputs}\n  {err}",
+                config.cases
+            ),
+        }
+    }
+}
+
+/// Defines property tests: an optional `#![proptest_config(...)]` inner
+/// attribute followed by `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}  ",)+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => ::std::result::Result::Ok(None),
+                    ::std::result::Result::Err(e) => ::std::result::Result::Err((__inputs, e)),
+                }
+            });
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; failure aborts the
+/// case with the generated inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case when an assumption fails. The stand-in has
+/// no rejection bookkeeping; the case simply passes vacuously.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_label("bounds");
+        for _ in 0..2000 {
+            let u = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&u));
+            let i = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+            let f = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let inc = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_label() {
+        let mut a = TestRng::from_label("same");
+        let mut b = TestRng::from_label("same");
+        let mut c = TestRng::from_label("different");
+        let seq_a: Vec<u64> = (0..8).map(|_| (0u64..1000).generate(&mut a)).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| (0u64..1000).generate(&mut b)).collect();
+        let seq_c: Vec<u64> = (0..8).map(|_| (0u64..1000).generate(&mut c)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn char_class_pattern_generates_within_class() {
+        let mut rng = TestRng::from_label("class");
+        let strat = "[ -~\n,]{0,40}";
+        let mut saw_nonempty = false;
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            saw_nonempty |= !s.is_empty();
+            for ch in s.chars() {
+                assert!(
+                    ch == '\n' || ch == ',' || (' '..='~').contains(&ch),
+                    "bad char {ch:?}"
+                );
+            }
+        }
+        assert!(saw_nonempty);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string strategy")]
+    fn unsupported_regex_is_rejected() {
+        let mut rng = TestRng::from_label("reject");
+        let _ = "(a|b)+".generate(&mut rng);
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::from_label("vec");
+        for _ in 0..200 {
+            let v = collection::vec((0u8..3, -1.0..1.0f64), 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_surface_compiles_and_runs(x in 0u64..100, y in -10i32..10,
+                                           s in "[a-c]{1,5}",
+                                           v in collection::vec(0usize..4, 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert!((-10..10).contains(&y));
+            prop_assert!(!s.is_empty() && s.len() <= 5);
+            prop_assert_eq!(v.len(), v.iter().copied().count());
+            prop_assert_ne!(s.len(), 0usize);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let failed = std::panic::catch_unwind(|| {
+            run_property("always_fails", &ProptestConfig::with_cases(4), |rng| {
+                let x = (0u64..10).generate(rng);
+                Err((format!("x = {x:?}"), TestCaseError("forced".into())))
+            });
+        });
+        assert!(failed.is_err());
+    }
+}

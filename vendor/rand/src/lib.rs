@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal, fully deterministic implementation of the
+//! API subset it actually uses:
+//!
+//! * [`RngCore`] / [`Rng::gen_range`] over integer and float ranges,
+//! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`],
+//! * [`seq::SliceRandom::shuffle`] and [`seq::SliceRandom::choose`].
+//!
+//! The uniform-sampling algorithms are simple and unbiased-enough for the
+//! simulator and tests (rejection sampling for integers, 53-bit mantissa
+//! scaling for floats), but they do **not** reproduce upstream `rand`'s
+//! exact value streams. Everything in this repository that depends on
+//! random values goes through a seed, so results are reproducible within
+//! this codebase.
+
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number-generator interface (matches `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)`; `hi` is exclusive unless
+    /// `inclusive` is set.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let (lo_w, hi_w) = (lo as $wide, hi as $wide);
+                let span = if inclusive {
+                    hi_w.wrapping_sub(lo_w).wrapping_add(1)
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    hi_w.wrapping_sub(lo_w)
+                };
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return rng.next_u64() as $t;
+                }
+                // Unbiased rejection sampling (Lemire-style threshold).
+                let zone = u64::MAX - (u64::MAX - (span as u64) + 1) % (span as u64);
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return lo.wrapping_add((v % span as u64) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                         i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                if !inclusive {
+                    assert!(lo < hi, "cannot sample empty range");
+                } else {
+                    assert!(lo <= hi, "cannot sample empty range");
+                }
+                // 53-bit uniform in [0, 1).
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                let v = lo + unit * (hi - lo);
+                // Exclusive upper bound can only be hit through rounding;
+                // nudge back inside.
+                if !inclusive && v >= hi {
+                    lo.max(<$t>::from_bits(hi.to_bits() - 1))
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// User-facing helpers layered over [`RngCore`] (matches `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_range(self, 0.0, 1.0, false) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from seeds (matches `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via splitmix64 expansion — the
+    /// same convenience upstream offers (values differ from upstream).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // splitmix64 step.
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Lcg(9);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+            let w: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = Lcg(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Lcg(13);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

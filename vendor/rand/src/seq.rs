@@ -1,0 +1,76 @@
+//! Slice sampling helpers (the `rand::seq` subset this workspace uses).
+
+use crate::{Rng, SampleUniform};
+
+/// Extension trait over slices (matches `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly random element, or `None` for an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[usize::sample_range(rng, 0, self.len(), false)])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_range(rng, 0, i + 1, false);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = Lcg(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_handles_empty_and_full() {
+        let mut rng = Lcg(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}

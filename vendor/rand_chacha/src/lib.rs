@@ -1,0 +1,153 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream RNG.
+//!
+//! Implements the ChaCha block function (D. J. Bernstein) with 8 rounds
+//! over the vendored [`rand`] traits. The keystream matches the ChaCha
+//! specification for a given 32-byte key (zero nonce), so values are
+//! stable across platforms and releases — the property the workspace's
+//! seeded determinism tests rely on. Note that `seed_from_u64` expands
+//! seeds with splitmix64 (see the vendored `rand`), so streams differ
+//! from upstream `rand_chacha` for the same `u64` seed.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// ChaCha with 8 rounds, the generator the whole workspace seeds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + constants + counter + nonce, in ChaCha state layout.
+    state: [u32; 16],
+    /// Current 64-byte keystream block, as sixteen u32 words.
+    block: [u32; 16],
+    /// Next unread word index in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (b, (xi, si)) in self.block.iter_mut().zip(x.iter().zip(&self.state)) {
+            *b = xi.wrapping_add(*si);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn words_are_not_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first = rng.next_u32();
+        assert!((0..100).any(|_| rng.next_u32() != first));
+    }
+
+    #[test]
+    fn stream_continues_across_blocks() {
+        // 16 words per block: word 17 must come from a fresh block.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let block1: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let w17 = rng.next_u32();
+        assert!(!block1.contains(&w17) || block1.iter().filter(|&&w| w == w17).count() < 16);
+    }
+
+    #[test]
+    fn clone_replays_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

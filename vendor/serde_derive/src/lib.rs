@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serialises through the `serde` data model —
+//! the only JSON produced is built explicitly with the vendored
+//! `serde_json::json!` macro — so the derives only need to *parse*:
+//! they accept `#[derive(Serialize, Deserialize)]` (including `#[serde]`
+//! helper attributes) and expand to nothing. Types stay annotated, so a
+//! future switch back to the real crates is a one-line Cargo change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

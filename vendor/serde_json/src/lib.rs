@@ -1,0 +1,241 @@
+//! Offline stand-in for `serde_json`: the explicit-construction subset the
+//! workspace uses — [`Value`], the [`json!`] macro and
+//! [`to_string_pretty`]. No serde-data-model serializer is included; JSON
+//! documents are built explicitly from fields, which is how every call
+//! site in this repository already works.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact, printed without a decimal point).
+    Int(i128),
+    /// A float (printed via Rust's shortest roundtrip formatting).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization errors. The explicit builder cannot fail structurally;
+/// the only representable failure is a non-finite float.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i128)
+            }
+        }
+    )*};
+}
+
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) -> Result<(), Error> {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("non-finite float {f}")));
+            }
+            let s = f.to_string();
+            out.push_str(&s);
+            // JSON floats keep a decimal point (serde_json prints 1.0).
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad_in);
+                    write_pretty(item, indent + 1, out)?;
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push('{');
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad_in);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    write_pretty(val, indent + 1, out)?;
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pretty-prints a [`Value`] with two-space indentation.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the document contains a non-finite float.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Builds a [`Value`] with JSON-literal syntax: objects
+/// (`{"key": expr, ...}`), arrays (`[expr, ...]`), `null`, or any
+/// expression convertible into a `Value`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::Value::from($val))),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from($elem)),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrip_shape() {
+        let doc = json!({
+            "name": "atl",
+            "count": 3usize,
+            "ratio": 0.5,
+            "ids": vec![1u64, 2, 3],
+            "nested": json!({"ok": true}),
+            "nothing": json!(null),
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        assert!(text.contains("\"name\": \"atl\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"ratio\": 0.5"));
+        assert!(text.contains("\"ok\": true"));
+        assert!(text.contains("\"nothing\": null"));
+        // Array elements are indented one level deeper than the key.
+        assert!(text.contains("\"ids\": [\n"));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string_pretty(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string_pretty(&json!(2.5)).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn non_finite_float_is_an_error() {
+        assert!(to_string_pretty(&json!(f64::NAN)).is_err());
+        assert!(to_string_pretty(&json!(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string_pretty(&json!("a\"b\\c\nd")).unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}
