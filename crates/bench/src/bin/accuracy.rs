@@ -198,5 +198,5 @@ fn main() {
         "shape check (paper): NEAT groups same-route traffic better than the Euclidean baselines",
     );
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

@@ -74,5 +74,5 @@ fn main() {
         report.line(format!("wrote {}", path.display()));
     }
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

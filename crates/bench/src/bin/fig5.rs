@@ -125,5 +125,5 @@ fn main() {
     );
     report.line("shape checks (paper): NEAT routes longer on average & max; NEAT fewer clusters; NEAT >1000x faster at scale");
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

@@ -76,5 +76,5 @@ fn main() {
     );
     report.line("shape checks (paper): near-linear scaling; opt ~= flow; phase1 > phase2");
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

@@ -68,5 +68,5 @@ fn main() {
     }
     report.line("shape checks (paper): Dijkstra phase-3 cost tracks #flows, ELB curve far below");
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

@@ -77,5 +77,5 @@ fn main() {
     );
     report.line("expectation: repair holds coverage near 100% of the reference while naive splitting loses the segments traversed between surviving samples");
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

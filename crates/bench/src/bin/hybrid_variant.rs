@@ -62,5 +62,5 @@ fn main() {
     ));
     report.line("shape check (paper): hybrid slower than NEAT by orders of magnitude, more fragmented clusters");
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

@@ -52,5 +52,5 @@ fn main() {
     );
     report.line("expectation: ~95% exact at GPS-grade noise (5 m), 100% within one segment, graceful degradation beyond");
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

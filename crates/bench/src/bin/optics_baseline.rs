@@ -78,5 +78,5 @@ fn main() {
     );
     report.line("shape check (paper §V): whole-trajectory clustering leaves most staggered traffic unclustered / coarse, and costs O(n^2) trajectory-pair distances");
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

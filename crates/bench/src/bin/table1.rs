@@ -47,5 +47,5 @@ fn main() {
         &rows,
     );
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

@@ -53,5 +53,5 @@ fn main() {
         &rows,
     );
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }

@@ -88,7 +88,7 @@ fn main() {
         &rows,
     );
     let path = report.save().expect("write results");
-    eprintln!("saved {}", path.display());
+    neat_bench::log::saved(&path);
 }
 
 fn stats_row(

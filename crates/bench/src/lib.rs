@@ -21,6 +21,7 @@
 //! `--scale <f>` to shrink the object counts (default 1.0 = the paper's
 //! scale) and writes both stdout and `results/<name>.txt`.
 
+pub mod log;
 pub mod report;
 pub mod setup;
 
@@ -64,25 +65,25 @@ pub fn parse_bench_args(args: &[String]) -> BenchArgs {
                 out.scale = args
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--scale needs a positive number"));
+                    .unwrap_or_else(|| panic!("--scale needs a positive number")); // lint:allow(L1) reason=CLI flag parsing for bench binaries; aborting on malformed flags is the intended UX
                 i += 2;
             }
             "--seed" => {
                 out.seed = args
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+                    .unwrap_or_else(|| panic!("--seed needs an integer")); // lint:allow(L1) reason=CLI flag parsing for bench binaries; aborting on malformed flags is the intended UX
                 i += 2;
             }
             "--cap" => {
                 out.cap = Some(
                     args.get(i + 1)
                         .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| panic!("--cap needs an integer")),
+                        .unwrap_or_else(|| panic!("--cap needs an integer")), // lint:allow(L1) reason=CLI flag parsing for bench binaries; aborting on malformed flags is the intended UX
                 );
                 i += 2;
             }
-            other => panic!("unknown flag `{other}` (supported: --scale, --seed, --cap)"),
+            other => panic!("unknown flag `{other}` (supported: --scale, --seed, --cap)"), // lint:allow(L1) reason=CLI flag parsing for bench binaries; aborting on malformed flags is the intended UX
         }
     }
     assert!(out.scale > 0.0, "--scale must be positive");

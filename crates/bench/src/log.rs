@@ -1,0 +1,75 @@
+//! Minimal log facade for the bench crate and its binaries.
+//!
+//! All user-visible output from bench code funnels through these two
+//! sinks instead of bare `println!`/`eprintln!`:
+//!
+//! * [`out`] — experiment *results* (report lines, tables) → stdout,
+//! * [`info`] — *progress* notes ("saved results/fig5.txt") → stderr,
+//!
+//! so results stay pipeable while progress stays visible, and the whole
+//! crate can be silenced with [`set_verbosity`]`(Verbosity::Quiet)`
+//! (used by tests that exercise bench helpers without spamming the
+//! harness output). Keeping stdio behind one module also keeps the
+//! `neat-lint` L5 rule meaningful: algorithm crates have *no* stdio,
+//! bench has exactly this file.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the facade writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verbosity {
+    /// Suppress everything (tests, embedding).
+    Quiet,
+    /// Results to stdout, progress to stderr (default).
+    Normal,
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the global verbosity for all bench output.
+pub fn set_verbosity(v: Verbosity) {
+    VERBOSITY.store(v as u8, Ordering::Relaxed);
+}
+
+fn enabled() -> bool {
+    VERBOSITY.load(Ordering::Relaxed) != Verbosity::Quiet as u8
+}
+
+/// Writes an experiment result line to stdout.
+///
+/// Write failures (e.g. a closed pipe downstream) are ignored rather
+/// than panicking: results are also persisted by `Report::save`.
+pub fn out(text: &str) {
+    if enabled() {
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(stdout, "{text}");
+    }
+}
+
+/// Writes a progress note to stderr.
+pub fn info(text: &str) {
+    if enabled() {
+        let mut stderr = std::io::stderr().lock();
+        let _ = writeln!(stderr, "{text}");
+    }
+}
+
+/// Standard progress note after persisting an artifact.
+pub fn saved(path: &std::path::Path) {
+    info(&format!("saved {}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_suppresses_everything() {
+        set_verbosity(Verbosity::Quiet);
+        out("must not appear");
+        info("must not appear");
+        saved(std::path::Path::new("results/nothing.txt"));
+        set_verbosity(Verbosity::Normal);
+    }
+}

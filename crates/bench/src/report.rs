@@ -25,7 +25,7 @@ impl Report {
     /// Appends one line.
     pub fn line(&mut self, text: impl Into<String>) {
         let text = text.into();
-        println!("{text}");
+        crate::log::out(&text);
         self.lines.push(text);
     }
 

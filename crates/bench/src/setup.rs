@@ -47,7 +47,7 @@ pub const GPS_NOISE_STD_M: f64 = 10.0;
 /// are carried over but TraClus never reads them.
 pub fn raw_gps_view(data: &Dataset, seed: u64) -> Dataset {
     let traces = neat_mobisim::noise::to_raw_traces(data, GPS_NOISE_STD_M, seed ^ 0x5eed)
-        .expect("valid noise std");
+        .expect("valid noise std"); // lint:allow(L1) reason=GPS_NOISE_STD_M is a positive compile-time constant
     let mut out = Dataset::new(format!("{}-raw", data.name()));
     for (tr, trace) in data.trajectories().iter().zip(&traces) {
         let pts = tr
@@ -56,6 +56,7 @@ pub fn raw_gps_view(data: &Dataset, seed: u64) -> Dataset {
             .zip(trace)
             .map(|(p, s)| neat_rnet::RoadLocation::new(p.segment, s.position, s.time))
             .collect();
+        // lint:allow(L1) reason=the noise model preserves per-trajectory timestamp order
         out.push(neat_traj::Trajectory::new(tr.id(), pts).expect("noise preserves timestamps"));
     }
     out

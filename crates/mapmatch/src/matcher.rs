@@ -134,7 +134,7 @@ impl<'a> MapMatcher<'a> {
         // Backtrack the optimal assignment.
         let mut idx = (0..cand[n - 1].len())
             .min_by(|&a, &b| cost[n - 1][a].total_cmp(&cost[n - 1][b]))
-            .expect("candidate sets are non-empty");
+            .expect("candidate sets are non-empty"); // lint:allow(L1) reason=candidate sets are checked non-empty when built
         let mut chosen = vec![0usize; n];
         chosen[n - 1] = idx;
         for i in (1..n).rev() {
@@ -147,7 +147,7 @@ impl<'a> MapMatcher<'a> {
             .enumerate()
             .map(|(i, s)| {
                 let sid = cand[i][chosen[i]].segment;
-                let seg = self.net.segment(sid).expect("candidate segment exists");
+                let seg = self.net.segment(sid).expect("candidate segment exists"); // lint:allow(L1) reason=candidates are drawn from this network's own index
                 let a = self.net.position(seg.a);
                 let b = self.net.position(seg.b);
                 let snapped = project_onto_segment(s.position, a, b).point;

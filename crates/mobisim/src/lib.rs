@@ -274,11 +274,11 @@ pub fn generate_dataset_labeled(
                 }
                 if points.len() >= 2 {
                     chain_origin = Some(dest);
-                    chain_time = points.last().expect("non-empty").time;
+                    chain_time = points.last().expect("non-empty").time; // lint:allow(L1) reason=points.len() >= 2 checked by the enclosing branch
                     labels.insert(TrajectoryId::new(next_id), (origin, dest));
                     dataset.push(
                         Trajectory::new(TrajectoryId::new(next_id), points)
-                            .expect("sampled points are time-ordered"),
+                            .expect("sampled points are time-ordered"), // lint:allow(L1) reason=the simulator emits strictly increasing sample times
                     );
                     next_id += 1;
                     placed = true;
@@ -319,7 +319,7 @@ fn sample_route(
     let mut seg_times = Vec::with_capacity(route.segments.len());
     let mut total_time = 0.0;
     for &sid in &route.segments {
-        let seg = net.segment(sid).expect("route segment exists");
+        let seg = net.segment(sid).expect("route segment exists"); // lint:allow(L1) reason=route segments come from this network's own router
         let t = seg.length / (seg.speed_limit * factor);
         seg_times.push((total_time, t));
         total_time += t;

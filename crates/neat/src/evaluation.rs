@@ -155,7 +155,7 @@ pub fn assign_trajectories(clusters: &[TrajectoryCluster]) -> HashMap<Trajectory
             let best = by_cluster
                 .into_iter()
                 .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
-                .expect("at least one vote");
+                .expect("at least one vote"); // lint:allow(L1) reason=a votes entry is only created when its first vote is inserted
             (tr, best.0)
         })
         .collect()

@@ -178,7 +178,7 @@ impl FlowCluster {
     /// `{a1, a2}` in Definition 11.
     pub fn endpoints(&self) -> (NodeId, NodeId) {
         (
-            *self.nodes.first().expect("flow has at least one member"),
+            *self.nodes.first().expect("flow has at least one member"), // lint:allow(L1) reason=FlowCluster construction guarantees at least one member node
             *self.nodes.last().expect("flow has at least one member"),
         )
     }
@@ -186,13 +186,13 @@ impl FlowCluster {
     /// Open endpoint at the back of the route (extension point for
     /// appending).
     pub fn back_endpoint(&self) -> NodeId {
-        *self.nodes.last().expect("non-empty")
+        *self.nodes.last().expect("non-empty") // lint:allow(L1) reason=FlowCluster nodes are non-empty by construction
     }
 
     /// Open endpoint at the front of the route (extension point for
     /// prepending).
     pub fn front_endpoint(&self) -> NodeId {
-        *self.nodes.first().expect("non-empty")
+        *self.nodes.first().expect("non-empty") // lint:allow(L1) reason=FlowCluster nodes are non-empty by construction
     }
 
     /// Total length of the representative route in metres.
@@ -243,7 +243,7 @@ impl FlowCluster {
         let join = self.back_endpoint();
         if !seg.has_endpoint(join) {
             return Err(NeatError::NotAdjacent {
-                end: self.members.last().expect("non-empty").segment(),
+                end: self.members.last().expect("non-empty").segment(), // lint:allow(L1) reason=members is non-empty whenever an extension is attempted
                 candidate: base.segment(),
             });
         }
@@ -266,7 +266,7 @@ impl FlowCluster {
         let join = self.front_endpoint();
         if !seg.has_endpoint(join) {
             return Err(NeatError::NotAdjacent {
-                end: self.members.first().expect("non-empty").segment(),
+                end: self.members.first().expect("non-empty").segment(), // lint:allow(L1) reason=members is non-empty whenever an extension is attempted
                 candidate: base.segment(),
             });
         }

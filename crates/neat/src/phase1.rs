@@ -142,7 +142,7 @@ fn group_into_clusters(frags: impl IntoIterator<Item = TFragment>) -> Phase1Outp
     }
     let mut base_clusters: Vec<BaseCluster> = by_segment
         .into_iter()
-        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment"))
+        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment")) // lint:allow(L1) reason=by_segment groups each fragment under its own segment key
         .collect();
     base_clusters.sort_by(|a, b| {
         b.density()
@@ -282,10 +282,10 @@ pub fn form_base_clusters_parallel_with_policy(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("phase-1 worker panicked"))
+            .map(|h| h.join().expect("phase-1 worker panicked")) // lint:allow(L1) reason=worker panics are deliberately propagated after joining
             .collect()
     })
-    .expect("phase-1 scope panicked");
+    .expect("phase-1 scope panicked"); // lint:allow(L1) reason=scope panics are deliberately propagated
 
     let mut counters = ResilienceCounters::default();
     let mut all_frags: Vec<TFragment> = Vec::new();
@@ -361,7 +361,7 @@ pub fn extract_fragments_with_junctions(
                 // Open the next fragment on q's segment at the last junction.
                 let jk = RoadLocation::new(
                     q.segment,
-                    *junctions.last().expect("chain non-empty"),
+                    *junctions.last().expect("chain non-empty"), // lint:allow(L1) reason=the chain loop pushes at least one junction/time first
                     *times.last().expect("chain non-empty"),
                 );
                 cur_first = jk;
@@ -442,7 +442,7 @@ fn junction_chain(
         if let Some(pn) = prev {
             let seg = net
                 .segment(route.segments[i - 1])
-                .expect("route segment exists");
+                .expect("route segment exists"); // lint:allow(L1) reason=route segments come from this network's own router
             debug_assert!(seg.has_endpoint(pn));
             travelled += seg.length;
         }

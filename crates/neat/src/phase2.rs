@@ -127,7 +127,7 @@ pub fn form_flow_clusters_traced(
     let by_segment: HashMap<SegmentId, usize> = pool
         .iter()
         .enumerate()
-        .map(|(i, c)| (c.as_ref().expect("fresh pool").segment(), i))
+        .map(|(i, c)| (c.as_ref().expect("fresh pool").segment(), i)) // lint:allow(L1) reason=pool slots start Some; see the invariant note above
         .collect();
 
     let mut flows = Vec::new();
@@ -204,11 +204,11 @@ fn expand_end(
         // only ever grows, so `members()` is never empty here.
         let (end_cluster, nu) = match end {
             End::Back => (
-                flow.members().last().expect("non-empty flow"),
+                flow.members().last().expect("non-empty flow"), // lint:allow(L1) reason=flows always contain at least one member cluster
                 flow.back_endpoint(),
             ),
             End::Front => (
-                flow.members().first().expect("non-empty flow"),
+                flow.members().first().expect("non-empty flow"), // lint:allow(L1) reason=flows always contain at least one member cluster
                 flow.front_endpoint(),
             ),
         };
@@ -228,7 +228,7 @@ fn expand_end(
             .filter_map(|sid| by_segment.get(&sid).copied())
             .filter(|&i| pool[i].as_ref().is_some_and(|c| end_cluster.netflow(c) > 0))
             .collect();
-        neigh.sort_by_key(|&i| pool[i].as_ref().expect("filtered above").segment());
+        neigh.sort_by_key(|&i| pool[i].as_ref().expect("filtered above").segment()); // lint:allow(L1) reason=the filter above keeps only populated slots
 
         // β-domination restarts (Section III-B2): while a netflow between
         // two f-neighbours dominates the end's maxFlow, drop that pair from
@@ -237,7 +237,7 @@ fn expand_end(
             loop {
                 let max_flow = neigh
                     .iter()
-                    .map(|&i| end_cluster.netflow(pool[i].as_ref().expect("present")))
+                    .map(|&i| end_cluster.netflow(pool[i].as_ref().expect("present"))) // lint:allow(L1) reason=neigh indices were filtered to populated slots
                     .max()
                     .unwrap_or(0);
                 if max_flow == 0 {
@@ -248,7 +248,7 @@ fn expand_end(
                     for &j in neigh.iter().skip(x + 1) {
                         let fij = pool[i]
                             .as_ref()
-                            .expect("present")
+                            .expect("present") // lint:allow(L1) reason=neigh indices were filtered to populated slots
                             .netflow(pool[j].as_ref().expect("present"));
                         if fij > 0 && fij as f64 / max_flow as f64 >= config.beta {
                             dominated = Some((i, j));
@@ -260,7 +260,7 @@ fn expand_end(
                     Some((i, j)) => {
                         if let Some(t) = trace.as_mut() {
                             let (si, sj) = (
-                                pool[i].as_ref().expect("present").segment(),
+                                pool[i].as_ref().expect("present").segment(), // lint:allow(L1) reason=neigh indices were filtered to populated slots
                                 pool[j].as_ref().expect("present").segment(),
                             );
                             t.push(MergeEvent::DominationRestart {
@@ -269,7 +269,7 @@ fn expand_end(
                                 removed: (si, sj),
                                 pair_netflow: pool[i]
                                     .as_ref()
-                                    .expect("present")
+                                    .expect("present") // lint:allow(L1) reason=neigh indices were filtered to populated slots
                                     .netflow(pool[j].as_ref().expect("present")),
                                 max_flow,
                             });
@@ -290,11 +290,11 @@ fn expand_end(
         let d_s = end_cluster.density() as f64;
         let sum_d: f64 = neigh
             .iter()
-            .map(|&i| pool[i].as_ref().expect("present").density() as f64)
+            .map(|&i| pool[i].as_ref().expect("present").density() as f64) // lint:allow(L1) reason=neigh indices were filtered to populated slots
             .sum();
         let sum_v: f64 = neigh
             .iter()
-            .map(|&i| segment_speed(net, pool[i].as_ref().expect("present")))
+            .map(|&i| segment_speed(net, pool[i].as_ref().expect("present"))) // lint:allow(L1) reason=neigh indices were filtered to populated slots
             .sum();
         let card_s = end_cluster.trajectory_cardinality() as f64;
 
@@ -302,7 +302,7 @@ fn expand_end(
         // ties by netflow with the whole flow, then by segment id.
         let mut best: Option<(usize, f64, usize)> = None; // (idx, sf, f(F,S))
         for &i in &neigh {
-            let cand = pool[i].as_ref().expect("present");
+            let cand = pool[i].as_ref().expect("present"); // lint:allow(L1) reason=neigh indices were filtered to populated slots
             let q = end_cluster.netflow(cand) as f64 / card_s.max(1.0);
             let k = cand.density() as f64 / (d_s + sum_d);
             let v = segment_speed(net, cand) / sum_v.max(f64::MIN_POSITIVE);
@@ -316,6 +316,7 @@ fn expand_end(
                             && (f_flow > *bf
                                 || (f_flow == *bf
                                     && cand.segment()
+                                        // lint:allow(L1) reason=neigh indices were filtered to populated slots
                                         < pool[*bi].as_ref().expect("present").segment())))
                 }
             };
@@ -325,7 +326,7 @@ fn expand_end(
         }
         // Invariant: the `neigh.is_empty()` early-return above guarantees
         // the candidate loop ran at least once, so `best` is `Some`.
-        let (chosen, sf, _) = best.expect("neighbourhood non-empty");
+        let (chosen, sf, _) = best.expect("neighbourhood non-empty"); // lint:allow(L1) reason=documented invariant above: the candidate loop ran at least once and the chosen slot is still populated
         let cluster = pool[chosen].take().expect("present");
         if let Some(t) = trace.as_mut() {
             t.push(MergeEvent::Merge {
@@ -337,7 +338,7 @@ fn expand_end(
                     End::Back => flow.members().last(),
                     End::Front => flow.members().first(),
                 }
-                .expect("non-empty")
+                .expect("non-empty") // lint:allow(L1) reason=a flow retains at least one member after merging
                 .netflow(&cluster),
             });
         }

@@ -251,7 +251,7 @@ pub fn refine_flow_clusters(
             TrajectoryCluster::new(
                 members
                     .into_iter()
-                    .map(|i| flows_opt[i].take().expect("each flow used once"))
+                    .map(|i| flows_opt[i].take().expect("each flow used once")) // lint:allow(L1) reason=each flow index appears in exactly one cluster's member list
                     .collect(),
             )
         })

@@ -86,7 +86,7 @@ impl FlowIndex {
             let Some(owners) = self.by_segment.get(&hit.segment) else {
                 continue;
             };
-            let seg = net.segment(hit.segment).expect("indexed segment");
+            let seg = net.segment(hit.segment).expect("indexed segment"); // lint:allow(L1) reason=index hits reference segments of the same network
             let d = point_segment_distance(point, net.position(seg.a), net.position(seg.b));
             for &f in owners {
                 let e = best.entry(f).or_insert(f64::INFINITY);

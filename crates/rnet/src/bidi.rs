@@ -108,7 +108,7 @@ impl BidirectionalDijkstra {
             self.dist[side][start.index()] = 0.0;
             heaps[side].push(Entry {
                 dist: 0.0,
-                node: start.index() as u32,
+                node: start.index() as u32, // lint:allow(L4) reason=node indices originate from NodeId(u32), so index() round-trips
             });
         }
 
@@ -133,14 +133,14 @@ impl BidirectionalDijkstra {
             if top0 + top1 >= best {
                 break;
             }
-            let Entry { dist, node } = heaps[side].pop().expect("side chosen non-empty");
+            let Entry { dist, node } = heaps[side].pop().expect("side chosen non-empty"); // lint:allow(L1) reason=the termination check above breaks before both heaps drain
             let u = node as usize;
             if dist > self.dist_of(side, u) {
                 continue; // stale
             }
             self.settled_total += 1;
             for &sid in net.incident_segments(NodeId::new(u)) {
-                let seg = net.segment(sid).expect("incident segment exists");
+                let seg = net.segment(sid).expect("incident segment exists"); // lint:allow(L1) reason=incident segment ids come from this network's adjacency lists
                 if mode == TravelMode::Directed {
                     // Forward ball follows direction; backward ball goes
                     // against it.
@@ -180,6 +180,28 @@ mod tests {
     use crate::graph::RoadNetworkBuilder;
     use crate::netgen::{generate_grid_network, GridNetworkConfig};
     use crate::path::ShortestPathEngine;
+
+    /// Regression (neat-lint L3): NaN distances must not panic or
+    /// mis-sort the frontier heap (`total_cmp` gives NaN a fixed place
+    /// after all finite distances in this min-heap ordering).
+    #[test]
+    fn frontier_entry_tolerates_nan_distances() {
+        let mut heap = std::collections::BinaryHeap::new();
+        for (i, dist) in [f64::NAN, 0.5, 2.5, f64::NAN, 1.5].into_iter().enumerate() {
+            heap.push(Entry {
+                dist,
+                node: i as u32,
+            });
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop()).map(|e| e.node).collect();
+        assert_eq!(order.len(), 5, "no entry lost to an inconsistent ordering");
+        assert_eq!(
+            &order[..3],
+            &[1, 4, 2],
+            "finite distances pop nearest-first"
+        );
+        assert_eq!(&order[3..], &[0, 3], "NaN entries drain last, by node id");
+    }
 
     #[test]
     fn agrees_with_unidirectional_on_grid() {

@@ -24,7 +24,8 @@ pub struct NodeId(u32);
 impl NodeId {
     /// Creates a node id from a dense index.
     pub fn new(index: usize) -> Self {
-        NodeId(index as u32)
+        debug_assert!(u32::try_from(index).is_ok(), "node index exceeds u32 range");
+        NodeId(index as u32) // lint:allow(L4) reason=debug-asserted above to fit in u32; the builder assigns dense indices sequentially
     }
 
     /// Returns the dense index backing this id.
@@ -58,7 +59,11 @@ pub struct SegmentId(u32);
 impl SegmentId {
     /// Creates a segment id from a dense index.
     pub fn new(index: usize) -> Self {
-        SegmentId(index as u32)
+        debug_assert!(
+            u32::try_from(index).is_ok(),
+            "segment index exceeds u32 range"
+        );
+        SegmentId(index as u32) // lint:allow(L4) reason=debug-asserted above to fit in u32; the builder assigns dense indices sequentially
     }
 
     /// Returns the dense index backing this id.

@@ -107,7 +107,7 @@ impl SegmentIndex {
                     if !seen.insert(sid) {
                         continue;
                     }
-                    let seg = net.segment(sid).expect("indexed segment exists");
+                    let seg = net.segment(sid).expect("indexed segment exists"); // lint:allow(L1) reason=grid cells only hold segment ids of the indexed network
                     let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
                     if d <= radius {
                         hits.push(SegmentHit {
@@ -157,7 +157,7 @@ impl SegmentIndex {
             candidates.sort();
             candidates.dedup();
             for sid in candidates {
-                let seg = net.segment(sid).expect("indexed segment exists");
+                let seg = net.segment(sid).expect("indexed segment exists"); // lint:allow(L1) reason=grid cells only hold segment ids of the indexed network
                 let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
                 let better = match best {
                     None => true,

@@ -270,9 +270,10 @@ pub fn generate_grid_network(config: &GridNetworkConfig, seed: u64) -> RoadNetwo
     let mut uf = UnionFind::new(n);
     let mut extras = Vec::new();
     for (a, c, arterial) in candidates {
+        // lint:allow(L4) reason=node ids wrap u32, so index() round-trips losslessly
         if uf.union(a.index() as u32, c.index() as u32) {
             b.add_segment(a, c, speed(arterial, config))
-                .expect("grid edge is valid");
+                .expect("grid edge is valid"); // lint:allow(L1) reason=grid edges connect distinct freshly created nodes
         } else {
             extras.push((a, c, arterial));
         }
@@ -297,7 +298,7 @@ pub fn generate_grid_network(config: &GridNetworkConfig, seed: u64) -> RoadNetwo
         for &(rr, cc) in diagonals.iter().take(config.hub_extra_degree) {
             if rr < config.rows && cc < config.cols && b.segment_count() < target {
                 b.add_segment(at(r, c), at(rr, cc), config.local_speed)
-                    .expect("diagonal edge is valid");
+                    .expect("diagonal edge is valid"); // lint:allow(L1) reason=diagonal edges connect distinct freshly created nodes
             }
         }
     }
@@ -309,10 +310,10 @@ pub fn generate_grid_network(config: &GridNetworkConfig, seed: u64) -> RoadNetwo
             break;
         }
         b.add_segment(a, c, speed(arterial, config))
-            .expect("grid edge is valid");
+            .expect("grid edge is valid"); // lint:allow(L1) reason=grid edges connect distinct freshly created nodes
     }
 
-    b.build().expect("generated network is valid")
+    b.build().expect("generated network is valid") // lint:allow(L1) reason=the generator always adds nodes and segments first
 }
 
 /// Configuration of the radial (ring-and-spoke) generator — a different
@@ -382,7 +383,7 @@ pub fn generate_radial_network(config: &RadialNetworkConfig, seed: u64) -> RoadN
     for ring in &rings {
         for i in 0..ring.len() {
             b.add_segment(ring[i], ring[(i + 1) % ring.len()], config.ring_speed)
-                .expect("ring segment valid");
+                .expect("ring segment valid"); // lint:allow(L1) reason=ring edges connect distinct freshly created nodes
         }
     }
     // Spokes: centre to the first ring, then ring to ring.
@@ -391,16 +392,16 @@ pub fn generate_radial_network(config: &RadialNetworkConfig, seed: u64) -> RoadN
         // centre's degree stays road-like rather than `spokes`.
         if i % 2 == 0 {
             b.add_segment(centre, n, config.spoke_speed)
-                .expect("spoke segment valid");
+                .expect("spoke segment valid"); // lint:allow(L1) reason=spoke edges connect distinct freshly created nodes
         }
     }
     for w in rings.windows(2) {
         for (inner, outer) in w[0].iter().zip(&w[1]) {
             b.add_segment(*inner, *outer, config.spoke_speed)
-                .expect("spoke segment valid");
+                .expect("spoke segment valid"); // lint:allow(L1) reason=spoke edges connect distinct freshly created nodes
         }
     }
-    b.build().expect("radial network valid")
+    b.build().expect("radial network valid") // lint:allow(L1) reason=the generator always adds nodes and segments first
 }
 
 /// Builds a simple linear chain network of `n` junctions spaced
@@ -416,9 +417,9 @@ pub fn chain_network(n: usize, spacing_m: f64, speed: f64) -> RoadNetwork {
         .map(|i| b.add_node(Point::new(i as f64 * spacing_m, 0.0)))
         .collect();
     for w in ids.windows(2) {
-        b.add_segment(w[0], w[1], speed).expect("chain edge valid");
+        b.add_segment(w[0], w[1], speed).expect("chain edge valid"); // lint:allow(L1) reason=chain edges connect consecutive distinct nodes
     }
-    b.build().expect("chain network valid")
+    b.build().expect("chain network valid") // lint:allow(L1) reason=the generator always adds nodes and segments first
 }
 
 #[cfg(test)]

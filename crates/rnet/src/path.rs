@@ -316,7 +316,7 @@ impl ShortestPathEngine {
         // the same network cannot fail on any input.
         let length = segments
             .iter()
-            .map(|&s| net.segment(s).expect("route segment exists").length)
+            .map(|&s| net.segment(s).expect("route segment exists").length) // lint:allow(L1) reason=route segments come from this network's own search
             .sum();
         Some((
             Route {
@@ -405,7 +405,7 @@ impl ShortestPathEngine {
             for &sid in net.incident_segments(NodeId::new(u)) {
                 // Invariant: `sid` comes from `net`'s own adjacency lists,
                 // so the segment is always present in the same network.
-                let seg = net.segment(sid).expect("incident segment exists");
+                let seg = net.segment(sid).expect("incident segment exists"); // lint:allow(L1) reason=documented invariant above: sid is from this network's adjacency lists
                 if mode == TravelMode::Directed && !seg.traversable_from(NodeId::new(u)) {
                     continue;
                 }
@@ -415,7 +415,7 @@ impl ShortestPathEngine {
                 if nd < self.dist[v] {
                     self.dist[v] = nd;
                     self.prev_node[v] = u as u32;
-                    self.prev_seg[v] = sid.index() as u32;
+                    self.prev_seg[v] = sid.index() as u32; // lint:allow(L4) reason=SegmentId wraps u32, so index() round-trips losslessly
                     self.heap.push(HeapEntry {
                         priority: nd + h(net, v),
                         dist: nd,
@@ -433,6 +433,25 @@ mod tests {
     use super::*;
     use crate::geometry::Point;
     use crate::graph::RoadNetworkBuilder;
+
+    /// Regression (neat-lint L3): a NaN priority must neither panic nor
+    /// destroy the heap's total order. `total_cmp` sorts NaN after every
+    /// finite priority, so poisoned entries drain last, deterministically.
+    #[test]
+    fn heap_entry_tolerates_nan_priorities() {
+        let mut heap = std::collections::BinaryHeap::new();
+        for (i, priority) in [3.0, f64::NAN, 1.0, 2.0, f64::NAN].into_iter().enumerate() {
+            heap.push(HeapEntry {
+                priority,
+                dist: priority,
+                node: i as u32,
+            });
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop()).map(|e| e.node).collect();
+        assert_eq!(order.len(), 5, "no entry lost to an inconsistent ordering");
+        assert_eq!(&order[..3], &[2, 3, 0], "finite priorities pop in order");
+        assert_eq!(&order[3..], &[1, 4], "NaN entries drain last, by node id");
+    }
 
     /// 3×3 grid with unit spacing 100 m.
     fn grid3() -> (RoadNetwork, Vec<NodeId>) {

@@ -186,7 +186,7 @@ impl SegmentRTree {
                 Item::Node(n) => match &self.nodes[*n] {
                     Node::Leaf { entries } => {
                         for (_, sid) in entries {
-                            let seg = net.segment(*sid).expect("indexed segment");
+                            let seg = net.segment(*sid).expect("indexed segment"); // lint:allow(L1) reason=tree leaves only hold segment ids of the indexed network
                             let d =
                                 point_segment_distance(p, net.position(seg.a), net.position(seg.b));
                             items.push(Item::Seg(*sid, d));
@@ -226,7 +226,7 @@ impl SegmentRTree {
                         if bbox_distance(bb, p) > radius {
                             continue;
                         }
-                        let seg = net.segment(*sid).expect("indexed segment");
+                        let seg = net.segment(*sid).expect("indexed segment"); // lint:allow(L1) reason=tree leaves only hold segment ids of the indexed network
                         let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
                         if d <= radius {
                             hits.push(SegmentHit {
@@ -263,6 +263,21 @@ mod tests {
 
     fn net() -> RoadNetwork {
         generate_grid_network(&GridNetworkConfig::small_test(9, 11), 4)
+    }
+
+    /// Regression (neat-lint L3): a NaN query point used to be able to
+    /// panic the traversal heap via `partial_cmp().unwrap()`; with
+    /// `total_cmp` ordering it must return without panicking.
+    #[test]
+    fn nan_query_point_does_not_panic() {
+        let net = net();
+        let tree = SegmentRTree::build(&net);
+        let poisoned = Point::new(f64::NAN, f64::NAN);
+        let _ = tree.nearest(&net, poisoned);
+        assert!(
+            tree.within(&net, poisoned, 100.0).is_empty(),
+            "no segment is within a finite radius of a NaN point"
+        );
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn estimate_parameters(
                 .total_cmp(&b.entropy)
                 .then_with(|| a.epsilon.total_cmp(&b.epsilon))
         })
-        .expect("non-empty candidates");
+        .expect("non-empty candidates"); // lint:allow(L1) reason=the empty-candidates early return above guards this reduction
     Some((
         best.epsilon,
         (best.avg_neighbourhood + 2.0).round() as usize,

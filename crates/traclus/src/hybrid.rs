@@ -169,7 +169,7 @@ pub fn cluster_base_clusters(
         .into_iter()
         .map(|g| {
             g.into_iter()
-                .map(|i| pool[i].take().expect("used once"))
+                .map(|i| pool[i].take().expect("used once")) // lint:allow(L1) reason=each pool index appears in exactly one group
                 .collect()
         })
         .collect();

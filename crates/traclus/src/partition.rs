@@ -76,6 +76,7 @@ pub fn characteristic_points(points: &[Point]) -> Vec<usize> {
             length += 1;
         }
     }
+    // lint:allow(L1) reason=cps receives the initial point before the loop
     if *cps.last().expect("non-empty") != points.len() - 1 {
         cps.push(points.len() - 1);
     }

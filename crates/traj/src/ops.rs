@@ -83,7 +83,7 @@ pub fn resample(tr: &Trajectory, dt: f64) -> Result<Trajectory, TrajError> {
     let mut pts = Vec::new();
     let mut t = t0;
     while t < t1 {
-        pts.push(position_at(tr, t).expect("t within recorded interval"));
+        pts.push(position_at(tr, t).expect("t within recorded interval")); // lint:allow(L1) reason=t stays in [t0, t1) inside the recorded interval
         t += dt;
     }
     pts.push(*tr.last());
@@ -134,6 +134,7 @@ pub fn simplify(tr: &Trajectory, tolerance_m: f64) -> Trajectory {
         .filter(|(_, &k)| k)
         .map(|(p, _)| *p)
         .collect();
+    // lint:allow(L1) reason=an ordered subset of a valid trajectory stays valid
     Trajectory::new(tr.id(), kept).expect("subset of a valid trajectory is valid")
 }
 

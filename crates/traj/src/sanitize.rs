@@ -447,7 +447,7 @@ impl Sanitizer {
         let n = fixes.len();
         if anomalies.is_empty() {
             let tr = Trajectory::new(id, fixes.iter().map(RawFix::location).collect())
-                .expect("fixes with no anomalies satisfy trajectory invariants");
+                .expect("fixes with no anomalies satisfy trajectory invariants"); // lint:allow(L1) reason=anomaly-free fixes satisfy the trajectory invariants by definition
             out.dataset.push(tr);
             out.summary.clean += 1;
             out.summary.points_out += n;
@@ -486,7 +486,7 @@ impl Sanitizer {
         let n = fixes.len();
         if anomalies.is_empty() {
             let tr = Trajectory::new(id, fixes.iter().map(RawFix::location).collect())
-                .expect("fixes with no anomalies satisfy trajectory invariants");
+                .expect("fixes with no anomalies satisfy trajectory invariants"); // lint:allow(L1) reason=anomaly-free fixes satisfy the trajectory invariants by definition
             out.dataset.push(tr);
             out.summary.clean += 1;
             out.summary.points_out += n;
@@ -533,7 +533,7 @@ impl Sanitizer {
             };
             points_out += part.len();
             let tr = Trajectory::new(part_id, part.iter().map(RawFix::location).collect())
-                .expect("repaired parts satisfy trajectory invariants");
+                .expect("repaired parts satisfy trajectory invariants"); // lint:allow(L1) reason=repair splits parts at every invariant violation
             out.dataset.push(tr);
         }
         out.summary.points_out += points_out;

@@ -114,7 +114,7 @@ impl Trajectory {
 
     /// Last recorded location (trip destination).
     pub fn last(&self) -> &RoadLocation {
-        self.points.last().expect("trajectory is non-empty")
+        self.points.last().expect("trajectory is non-empty") // lint:allow(L1) reason=the constructor rejects empty point lists
     }
 
     /// Trip duration in seconds.

@@ -1,0 +1,204 @@
+//! Count-based violation baseline.
+//!
+//! `lint-baseline.toml` records, per `(rule, file)`, how many violations
+//! existed when the baseline was written. A run fails only when a count
+//! *exceeds* its baseline entry, so pre-existing debt can be burned down
+//! incrementally while new debt is rejected immediately. Counts (not
+//! line numbers) make the baseline robust to unrelated line drift.
+//!
+//! The format is a strict TOML subset so the tool stays dependency-free:
+//!
+//! ```toml
+//! # neat-lint baseline — regenerate with `cargo xtask lint --write-baseline`
+//! [[violation]]
+//! rule = "L1"
+//! file = "crates/neat/src/phase2.rs"
+//! count = 3
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// Baseline: `(rule, file) -> allowed count`, ordered for stable output.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses the TOML-subset baseline format. Returns `Err` with a
+    /// line-numbered message on anything outside the subset.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+
+        fn flush(
+            cur: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
+            entries: &mut BTreeMap<(String, String), usize>,
+        ) -> Result<(), String> {
+            if let Some((rule, file, count)) = cur.take() {
+                match (rule, file, count) {
+                    (Some(r), Some(f), Some(c)) => {
+                        entries.insert((r, f), c);
+                        Ok(())
+                    }
+                    _ => Err("incomplete [[violation]] entry: need rule, file and count".into()),
+                }
+            } else {
+                Ok(())
+            }
+        }
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[violation]]" {
+                flush(&mut cur, &mut entries).map_err(|e| format!("line {lineno}: {e}"))?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let Some(entry) = cur.as_mut() else {
+                return Err(format!(
+                    "line {lineno}: `{}` outside a [[violation]] table",
+                    key.trim()
+                ));
+            };
+            let value = value.trim();
+            match key.trim() {
+                "rule" => entry.0 = Some(unquote(value, lineno)?),
+                "file" => entry.1 = Some(unquote(value, lineno)?),
+                "count" => {
+                    entry.2 = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| format!("line {lineno}: count must be an integer"))?,
+                    )
+                }
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        let mut out = Self { entries };
+        flush(&mut cur, &mut out.entries).map_err(|e| format!("at end of file: {e}"))?;
+        Ok(out)
+    }
+
+    /// Serializes in the same subset format, sorted by (rule, file).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# neat-lint baseline — allowed pre-existing violation counts.\n\
+             # Regenerate with `cargo xtask lint --write-baseline`; only shrink it.\n",
+        );
+        for ((rule, file), count) in &self.entries {
+            out.push_str(&format!(
+                "\n[[violation]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+
+    /// Builds a baseline that exactly covers `violations`.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.rule.to_string(), v.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Splits `violations` into (new, baselined). For each `(rule, file)`
+    /// bucket the first `allowed` violations (in position order) are
+    /// considered baselined; any excess is new.
+    pub fn apply(&self, violations: &[Violation]) -> (Vec<Violation>, usize) {
+        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut fresh = Vec::new();
+        let mut covered = 0usize;
+        for v in violations {
+            let key = (v.rule.to_string(), v.file.clone());
+            let allowed = self.entries.get(&key).copied().unwrap_or(0);
+            let seen = used.entry(key).or_insert(0);
+            if *seen < allowed {
+                *seen += 1;
+                covered += 1;
+            } else {
+                fresh.push(v.clone());
+            }
+        }
+        (fresh, covered)
+    }
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viol(rule: &'static str, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.into(),
+            line,
+            col: 1,
+            message: String::new(),
+            help: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline::from_violations(&[
+            viol("L1", "a.rs", 1),
+            viol("L1", "a.rs", 9),
+            viol("L5", "b.rs", 3),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.entries[&("L1".into(), "a.rs".into())], 2);
+    }
+
+    #[test]
+    fn apply_splits_new_from_baselined() {
+        let b = Baseline::from_violations(&[viol("L1", "a.rs", 1)]);
+        let now = [
+            viol("L1", "a.rs", 1),
+            viol("L1", "a.rs", 2),
+            viol("L3", "a.rs", 5),
+        ];
+        let (fresh, covered) = b.apply(&now);
+        assert_eq!(covered, 1);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(fresh[0].line, 2);
+        assert_eq!(fresh[1].rule, "L3");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("rule = \"L1\"").is_err());
+        assert!(Baseline::parse("[[violation]]\nrule = L1").is_err());
+        assert!(Baseline::parse("[[violation]]\nrule = \"L1\"").is_err());
+        assert!(Baseline::parse("[[violation]]\nrule = \"L1\"\nfile = \"a\"\ncount = x").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_marks_everything_new() {
+        let (fresh, covered) = Baseline::default().apply(&[viol("L2", "p.rs", 7)]);
+        assert_eq!((fresh.len(), covered), (1, 0));
+    }
+}

@@ -1,0 +1,490 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `neat-lint` needs just enough lexical structure to match token
+//! sequences like `. unwrap ( )` or `partial_cmp ( … ) . unwrap` without
+//! false positives from comments and string literals. The lexer therefore
+//! produces a flat token stream (identifiers, punctuation, literals,
+//! lifetimes) with line/column positions, and collects comments
+//! separately so `// lint:allow(...)` annotations can be parsed.
+//!
+//! It is *not* a full Rust lexer: tokens it does not care to distinguish
+//! (e.g. the many numeric literal forms) are folded into [`TokKind`]
+//! buckets. It does handle the constructs that would otherwise corrupt a
+//! naive scan: nested block comments, string/char/byte/raw-string
+//! literals, and the lifetime-vs-char-literal ambiguity.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `!`, …).
+    Punct,
+    /// String/char/numeric literal (text preserved for float detection).
+    Literal,
+    /// Lifetime (`'a`); kept distinct so `'a` is never a char literal.
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` when the token is punctuation equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// `true` when the token is an identifier equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` for numeric literals containing a fractional part or a
+    /// float suffix (`1.5`, `2.0e3`, `1f64`).
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokKind::Literal {
+            return false;
+        }
+        let t = &self.text;
+        t.starts_with(|c: char| c.is_ascii_digit())
+            && (t.contains('.') || t.ends_with("f32") || t.ends_with("f64"))
+    }
+}
+
+/// A comment with the line it starts on (`//` and `/* */` alike).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including its delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream plus the comments encountered.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b' ') as char);
+                }
+                comments.push(Comment { text, line });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let mut text = String::new();
+                let mut depth = 0usize;
+                loop {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            text.push(cur.bump().unwrap_or(b' ') as char);
+                            text.push(cur.bump().unwrap_or(b' ') as char);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            text.push(cur.bump().unwrap_or(b' ') as char);
+                            text.push(cur.bump().unwrap_or(b' ') as char);
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(_), _) => {
+                            let c = cur.bump().unwrap_or(b' ');
+                            if c.is_ascii() {
+                                text.push(c as char);
+                            }
+                        }
+                        (None, _) => break, // unterminated; tolerate
+                    }
+                }
+                comments.push(Comment { text, line });
+            }
+            b'"' => {
+                let text = lex_string(&mut cur);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
+                let text = lex_raw_or_byte(&mut cur);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime `'a` (identifier after the quote, no closing
+                // quote right after) vs char literal `'x'` / `'\n'`.
+                let next = cur.peek_at(1);
+                let after = cur.peek_at(2);
+                let is_lifetime = matches!(next, Some(n) if is_ident_start(n) && n != b'\\')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    let mut text = String::from("'");
+                    cur.bump();
+                    while let Some(c) = cur.peek() {
+                        if is_ident_continue(c) {
+                            text.push(cur.bump().unwrap_or(b' ') as char);
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                } else {
+                    let text = lex_char(&mut cur);
+                    tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(cur.bump().unwrap_or(b' ') as char);
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let text = lex_number(&mut cur);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+fn starts_raw_or_byte_literal(cur: &Cursor<'_>) -> bool {
+    // r"...", r#"..."#, b"...", br"...", b'x'
+    let b0 = cur.peek();
+    let b1 = cur.peek_at(1);
+    let b2 = cur.peek_at(2);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) if matches!(b2, Some(b'"' | b'#')) => true,
+        _ => false,
+    }
+}
+
+fn lex_raw_or_byte(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    // Consume the prefix letters.
+    while matches!(cur.peek(), Some(b'r' | b'b')) {
+        text.push(cur.bump().unwrap_or(b' ') as char);
+    }
+    if cur.peek() == Some(b'\'') {
+        // Byte char literal b'x'.
+        text.push_str(&lex_char(cur));
+        return text;
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        text.push(cur.bump().unwrap_or(b' ') as char);
+    }
+    if cur.peek() == Some(b'"') {
+        text.push(cur.bump().unwrap_or(b' ') as char);
+        if hashes == 0 && text.starts_with('b') && !text.contains('r') {
+            // Plain byte string: escapes apply.
+            text.push_str(&lex_string_body(cur));
+            return text;
+        }
+        // Raw string: scan for `"` followed by `hashes` hashes.
+        loop {
+            match cur.bump() {
+                None => break,
+                Some(b'"') => {
+                    text.push('"');
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek() == Some(b'#') {
+                        seen += 1;
+                        text.push(cur.bump().unwrap_or(b' ') as char);
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(c) => {
+                    if c.is_ascii() {
+                        text.push(c as char);
+                    }
+                }
+            }
+        }
+    }
+    text
+}
+
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::from("\"");
+    cur.bump(); // opening quote
+    text.push_str(&lex_string_body(cur));
+    text
+}
+
+/// Consumes a string body after the opening quote, including the closing
+/// quote, honouring backslash escapes.
+fn lex_string_body(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(b'\\') => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    if e.is_ascii() {
+                        text.push(e as char);
+                    }
+                }
+            }
+            Some(b'"') => {
+                text.push('"');
+                break;
+            }
+            Some(c) => {
+                if c.is_ascii() {
+                    text.push(c as char);
+                }
+            }
+        }
+    }
+    text
+}
+
+fn lex_char(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::from("'");
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(b'\\') => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    if e.is_ascii() {
+                        text.push(e as char);
+                    }
+                }
+            }
+            Some(b'\'') => {
+                text.push('\'');
+                break;
+            }
+            Some(c) => {
+                if c.is_ascii() {
+                    text.push(c as char);
+                }
+            }
+        }
+    }
+    text
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    // Integer part (also covers 0x/0b/0o since we take alphanumerics).
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            text.push(cur.bump().unwrap_or(b' ') as char);
+        } else {
+            break;
+        }
+    }
+    // Fraction — but not the `..` range operator.
+    if cur.peek() == Some(b'.') && matches!(cur.peek_at(1), Some(d) if d.is_ascii_digit()) {
+        text.push(cur.bump().unwrap_or(b' ') as char);
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                text.push(cur.bump().unwrap_or(b' ') as char);
+            } else {
+                break;
+            }
+        }
+    } else if cur.peek() == Some(b'.')
+        && cur.peek_at(1) != Some(b'.')
+        && !matches!(cur.peek_at(1), Some(c) if is_ident_start(c))
+    {
+        // Trailing-dot float like `1.` (not `1..x` or `1.method()`).
+        text.push(cur.bump().unwrap_or(b' ') as char);
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).0.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(texts("a.unwrap()"), vec!["a", ".", "unwrap", "(", ")"]);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let (toks, comments) = lex("x // lint:allow(L1) reason=ok\ny");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("lint:allow"));
+        assert_eq!(comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("a /* x /* y */ z */ b");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let (toks, _) = lex(r#"let s = "no.unwrap() here";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let (toks, _) = lex(r##"let s = r#"a "quoted" .unwrap()"# ; done"##);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_literals_detected() {
+        let (toks, _) = lex("let x = 1.5 + 2 + 3f64; let r = 0..4;");
+        let floats: Vec<_> = toks.iter().filter(|t| t.is_float_literal()).collect();
+        assert_eq!(floats.len(), 2, "{floats:?}");
+        // The range endpoints are plain ints.
+        assert!(toks.iter().any(|t| t.text == "0"));
+        assert!(toks.iter().any(|t| t.text == "4"));
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let (toks, _) = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,27 @@
+//! `neat-lint`: workspace-aware static analysis for the NEAT reproduction.
+//!
+//! The NEAT pipeline's headline property is determinism — Phase 3 is a
+//! *deterministic* DBSCAN adaptation over flow clusters — and the repo's
+//! robustness story (PR 1) hinges on library code not panicking. Both
+//! invariants are invisible to `rustc` and only partially visible to
+//! clippy, so this crate mechanizes them as five token-level rules:
+//!
+//! * [`rules`] — the `L1`–`L5` detectors and the `lint:allow` annotation
+//!   grammar,
+//! * [`lexer`] — a dependency-free Rust lexer feeding them,
+//! * [`baseline`] — count-based debt tracking (`lint-baseline.toml`),
+//! * [`runner`] — workspace walking and report/JSON assembly.
+//!
+//! Run as `cargo xtask lint` (see `.cargo/config.toml`) or
+//! `cargo run -p xtask-lint`.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod runner;
+
+pub use baseline::Baseline;
+pub use rules::{analyze_source, FileAnalysis, Violation, RULES};
+pub use runner::{collect_rs_files, rel_display, run, LintReport};

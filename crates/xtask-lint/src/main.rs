@@ -1,0 +1,198 @@
+//! `neat-lint` CLI.
+//!
+//! ```text
+//! cargo xtask lint [--format human|json] [--baseline PATH] [--root PATH]
+//! cargo xtask lint --write-baseline      # snapshot current debt
+//! ```
+//!
+//! Exit codes: 0 clean (or fully baselined), 1 new violations, 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask_lint::{run, Baseline};
+
+const USAGE: &str = "\
+neat-lint: static analysis for the NEAT workspace (rules L1-L5)
+
+USAGE:
+    cargo xtask lint [OPTIONS]
+    cargo run -p xtask-lint -- [OPTIONS]
+
+OPTIONS:
+    --format <human|json>   output format (default: human)
+    --baseline <PATH>       baseline file (default: <root>/lint-baseline.toml)
+    --write-baseline        rewrite the baseline to cover current violations
+    --root <PATH>           workspace root (default: auto-detected)
+    -h, --help              show this help
+";
+
+#[derive(Debug, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    baseline_path: Option<PathBuf>,
+    write_baseline: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Human,
+        baseline_path: None,
+        write_baseline: false,
+        root: None,
+    };
+    let mut it = args.iter().peekable();
+    // Tolerate a leading `lint` subcommand so the `cargo xtask` alias
+    // can be invoked as `cargo xtask lint`.
+    if it.peek().is_some_and(|a| a.as_str() == "lint") {
+        it.next();
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                opts.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Workspace root: `--root`, else the manifest dir's grandparent
+/// (`crates/xtask-lint` → repo root), else the current directory.
+fn find_root(opts: &Options) -> PathBuf {
+    if let Some(root) = &opts.root {
+        return root.clone();
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = manifest.parent().and_then(|p| p.parent()) {
+        if root.join("Cargo.toml").is_file() {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = find_root(&opts);
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let baseline = if opts.write_baseline {
+        // Writing: start from scratch so stale entries drop out.
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Baseline::default(), // no baseline file: everything is new
+        }
+    };
+
+    let report = match run(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.write_baseline {
+        let snapshot = Baseline::from_violations(&report.violations);
+        if let Err(e) = std::fs::write(&baseline_path, snapshot.render()) {
+            eprintln!("error: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} covering {} violation(s) across {} file(s)",
+            baseline_path.display(),
+            report.violations.len(),
+            snapshot
+                .entries
+                .keys()
+                .map(|(_, f)| f)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match opts.format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Human => {
+            for v in &report.fresh {
+                println!("{}", v.render());
+            }
+            if report.fresh.is_empty() {
+                println!(
+                    "neat-lint: clean — {} file(s) scanned, {} waived by lint:allow, \
+                     {} baselined",
+                    report.files_scanned, report.waived, report.baselined
+                );
+            } else {
+                let per_rule: Vec<String> = report
+                    .fresh_by_rule()
+                    .into_iter()
+                    .map(|(r, n)| format!("{r}: {n}"))
+                    .collect();
+                println!(
+                    "\nneat-lint: {} new violation(s) [{}] — {} file(s) scanned, \
+                     {} waived, {} baselined",
+                    report.fresh.len(),
+                    per_rule.join(", "),
+                    report.files_scanned,
+                    report.waived,
+                    report.baselined
+                );
+            }
+        }
+    }
+
+    if report.fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,813 @@
+//! The `neat-lint` rule set.
+//!
+//! Five repo-specific rules, each mechanizing an invariant that the NEAT
+//! reproduction needs but `rustc`/`clippy` cannot express:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `L1` | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in library crates |
+//! | `L2` | no hash-order iteration flowing into ordered output in the NEAT phases |
+//! | `L3` | no NaN-unsafe comparisons (`partial_cmp(..).unwrap()`, float `==` in comparators) |
+//! | `L4` | no lossy `as` casts of ID-carrying integers |
+//! | `L5` | no I/O, wall-clock or thread-count dependence in algorithm crates |
+//!
+//! A violating line can be waived with an annotation comment:
+//!
+//! ```text
+//! // lint:allow(L1) reason=pool slots are Some by construction
+//! ```
+//!
+//! The annotation covers its own line and the next line; the reason must
+//! be non-empty. A malformed annotation is itself reported (rule `L0`).
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// A single diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (`"L1"` … `"L5"`, or `"L0"` for bad annotations).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Violation {
+    /// Rustc-style rendering: `file:line:col: error[L1]: message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: error[{}]: {}\n    help: {}",
+            self.file, self.line, self.col, self.rule, self.message, self.help
+        )
+    }
+}
+
+/// All rule identifiers, in report order.
+pub const RULES: [&str; 6] = ["L0", "L1", "L2", "L3", "L4", "L5"];
+
+/// Library crates subject to `L1` (panic-freedom). Binaries under
+/// `src/bin/` are CLI surface and exempt.
+const LIBRARY_CRATES: [&str; 8] = [
+    "rnet", "traj", "mapmatch", "mobisim", "neat", "traclus", "viz", "bench",
+];
+
+/// Algorithm crates subject to `L5` (determinism hygiene).
+const ALGORITHM_CRATES: [&str; 5] = ["neat", "traclus", "rnet", "traj", "mapmatch"];
+
+/// `neat` modules subject to `L2` (hash-order iteration).
+const PHASE_MODULES: [&str; 5] = [
+    "crates/neat/src/phase1.rs",
+    "crates/neat/src/phase2.rs",
+    "crates/neat/src/phase3.rs",
+    "crates/neat/src/incremental.rs",
+    "crates/neat/src/pipeline.rs",
+];
+
+/// Identifier names treated as ID-carrying for `L4`'s cast heuristic.
+const ID_LIKE_NAMES: [&str; 8] = ["id", "sid", "nid", "tid", "idx", "index", "node", "seg"];
+
+/// Narrow integer targets: casting an ID-carrying value to one of these
+/// can silently truncate.
+const NARROW_INTS: [&str; 3] = ["u8", "u16", "u32"];
+
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+fn in_src_bin(path: &str) -> bool {
+    path.contains("/src/bin/") || path.starts_with("src/bin/")
+}
+
+/// `true` when `path` is library code subject to `L1`.
+pub fn is_library_code(path: &str) -> bool {
+    !in_src_bin(path) && crate_of(path).is_some_and(|c| LIBRARY_CRATES.contains(&c))
+}
+
+/// `true` when `path` is algorithm code subject to `L5`.
+pub fn is_algorithm_code(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| ALGORITHM_CRATES.contains(&c))
+}
+
+/// `true` when `path` is one of the NEAT phase modules subject to `L2`.
+pub fn is_phase_module(path: &str) -> bool {
+    PHASE_MODULES.contains(&path)
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Annotations {
+    /// (line, rules allowed on that line and the next).
+    allows: Vec<(u32, Vec<String>)>,
+    /// Malformed annotations: (line, col, problem).
+    malformed: Vec<(u32, String)>,
+}
+
+fn parse_annotations(comments: &[Comment]) -> Annotations {
+    let mut out = Annotations::default();
+    for c in comments {
+        // Anchored at the start of the comment (after `//`/`//!`/`/*`
+        // markers) so prose *mentions* of lint:allow are not parsed.
+        let trimmed = c
+            .text
+            .trim_start_matches(|ch: char| matches!(ch, '/' | '!' | '*') || ch.is_whitespace());
+        let Some(rest) = trimmed.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let Some(open) = rest.find('(') else {
+            out.malformed
+                .push((c.line, "missing `(` after lint:allow".into()));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.malformed
+                .push((c.line, "missing `)` in lint:allow".into()));
+            continue;
+        };
+        if close < open {
+            out.malformed
+                .push((c.line, "malformed lint:allow rule list".into()));
+            continue;
+        }
+        let rules: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            out.malformed
+                .push((c.line, "lint:allow names no rules".into()));
+            continue;
+        }
+        if let Some(bad) = rules.iter().find(|r| !RULES.contains(&r.as_str())) {
+            out.malformed
+                .push((c.line, format!("unknown rule `{bad}` in lint:allow")));
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let reason = after
+            .trim_start()
+            .strip_prefix("reason=")
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            out.malformed.push((
+                c.line,
+                "lint:allow requires a non-empty `reason=<why>`".into(),
+            ));
+            continue;
+        }
+        out.allows.push((c.line, rules));
+    }
+    out
+}
+
+impl Annotations {
+    /// `true` when `rule` is waived on `line` (annotation on the same
+    /// line or the line directly above).
+    fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|(aline, rules)| {
+            (line == *aline || line == *aline + 1) && rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] stripping
+// ---------------------------------------------------------------------------
+
+/// Removes tokens belonging to `#[cfg(test)]` items (the attribute, any
+/// stacked attributes after it, and the annotated item through its `;` or
+/// balanced `{ … }` body). Test-only code may panic freely.
+fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_punct('[')
+            && attr_is_cfg_test(tokens, i + 1)
+        {
+            i = skip_attributed_item(tokens, i);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Checks whether the attribute whose `[` is at `open` is `cfg(…test…)`.
+fn attr_is_cfg_test(tokens: &[Token], open: usize) -> bool {
+    let Some(close) = matching_bracket(tokens, open, '[', ']') else {
+        return false;
+    };
+    let inner = &tokens[open + 1..close];
+    inner.first().is_some_and(|t| t.is_ident("cfg")) && inner.iter().any(|t| t.is_ident("test"))
+}
+
+/// Skips an attribute at `hash` (its `#`), any further attributes, and
+/// the item they annotate. Returns the index just past the item.
+fn skip_attributed_item(tokens: &[Token], hash: usize) -> usize {
+    let mut i = hash;
+    // Skip stacked attributes.
+    while i + 1 < tokens.len() && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+        match matching_bracket(tokens, i + 1, '[', ']') {
+            Some(close) => i = close + 1,
+            None => return tokens.len(),
+        }
+    }
+    // Skip the item: ends at `;` with all brackets balanced, or at the
+    // `}` closing the first top-level `{`.
+    let mut depth = 0i64;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(' | b'[' | b'{') => depth += 1,
+                Some(b')' | b']' | b'}') => {
+                    depth -= 1;
+                    if depth == 0 && t.is_punct('}') {
+                        return i + 1;
+                    }
+                }
+                Some(b';') if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the bracket matching `tokens[open]` (which must be `open_c`).
+fn matching_bracket(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`, counting all paren kinds
+/// separately is unnecessary here — calls only nest parens.
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    matching_bracket(tokens, open, '(', ')')
+}
+
+// ---------------------------------------------------------------------------
+// Analysis entry point
+// ---------------------------------------------------------------------------
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Violations not waived by annotations.
+    pub violations: Vec<Violation>,
+    /// Number of violations waived by `lint:allow` annotations.
+    pub waived: usize,
+}
+
+/// Analyzes `src` as if it lived at workspace-relative `path`.
+///
+/// `path` determines which rules apply (library crate → `L1`, algorithm
+/// crate → `L5`, phase module → `L2`; `L3`/`L4` apply everywhere).
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
+    let (raw_tokens, comments) = lex(src);
+    let annotations = parse_annotations(&comments);
+    let tokens = strip_cfg_test(&raw_tokens);
+
+    let mut found: Vec<Violation> = Vec::new();
+    for (line, problem) in &annotations.malformed {
+        found.push(Violation {
+            rule: "L0",
+            file: path.to_string(),
+            line: *line,
+            col: 1,
+            message: problem.clone(),
+            help: "write `// lint:allow(<RULE>[,<RULE>]) reason=<non-empty why>`".into(),
+        });
+    }
+    if is_library_code(path) {
+        rule_l1(path, &tokens, &mut found);
+    }
+    if is_phase_module(path) {
+        rule_l2(path, &tokens, &mut found);
+    }
+    rule_l3(path, &tokens, &mut found);
+    rule_l4(path, &tokens, &mut found);
+    if is_algorithm_code(path) {
+        rule_l5(path, &tokens, &mut found);
+    }
+
+    let mut out = FileAnalysis::default();
+    for v in found {
+        // L0 cannot be waived: a broken annotation must be fixed.
+        if v.rule != "L0" && annotations.is_allowed(v.rule, v.line) {
+            out.waived += 1;
+        } else {
+            out.violations.push(v);
+        }
+    }
+    out.violations
+        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L1 — panic-freedom in library crates
+// ---------------------------------------------------------------------------
+
+fn rule_l1(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        // `.unwrap()` / `.expect(` — method position only, so local
+        // functions named `unwrap` or `Option::unwrap_or` never match.
+        if i >= 1
+            && tokens[i - 1].is_punct('.')
+            && (t.is_ident("unwrap") || t.is_ident("expect"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Violation {
+                rule: "L1",
+                file: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!("`.{}()` in library code can panic", t.text),
+                help: "return a Result, restructure to make the case impossible, or add \
+                       `// lint:allow(L1) reason=<invariant>`"
+                    .into(),
+            });
+        }
+        // `panic!` / `todo!` / `unimplemented!`.
+        if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Violation {
+                rule: "L1",
+                file: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!("`{}!` in library code aborts the caller", t.text),
+                help: "return an error instead, or add `// lint:allow(L1) reason=<invariant>`"
+                    .into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L2 — hash-order iteration in the NEAT phases
+// ---------------------------------------------------------------------------
+
+/// Iteration adapters whose order reflects the hash function.
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// How many following tokens to scan for an order-restoring `sort*` call
+/// before flagging a hash iteration.
+const SORT_LOOKAHEAD: usize = 120;
+
+fn rule_l2(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    let hash_names = collect_hash_typed_names(tokens);
+    let flag = |out: &mut Vec<Violation>, t: &Token, what: &str| {
+        out.push(Violation {
+            rule: "L2",
+            file: path.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!("{what} iterates in hash order inside a NEAT phase"),
+            help: "use BTreeMap/BTreeSet, or sort the results (`sort_unstable_by_key`) \
+                   before they reach ordered output"
+                .into(),
+        });
+    };
+
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        // `name.iter()` / `name.keys()` / … on a hash-typed binding.
+        if t.kind == TokKind::Ident
+            && hash_names.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|m| HASH_ITER_METHODS.iter().any(|h| m.is_ident(h)))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+            && !sorted_soon_after(tokens, i)
+        {
+            let method = &tokens[i + 2].text;
+            flag(out, &tokens[i + 2], &format!("`{}.{method}()`", t.text));
+        }
+        // `for x in <expr mentioning a hash binding> {`.
+        if t.is_ident("for") {
+            if let Some(in_idx) = (i..tokens.len().min(i + 24)).find(|&j| tokens[j].is_ident("in"))
+            {
+                let body_open = (in_idx..tokens.len()).find(|&j| tokens[j].is_punct('{'));
+                if let Some(open) = body_open {
+                    let header = &tokens[in_idx + 1..open];
+                    let mentions_hash = header.iter().any(|h| {
+                        h.kind == TokKind::Ident
+                            && (hash_names.contains(&h.text)
+                                || h.is_ident("HashMap")
+                                || h.is_ident("HashSet"))
+                    });
+                    // Direct `for … in map` has no chaining; an explicit
+                    // `.sorted()`-style rescue is impossible, so no
+                    // lookahead suppression here — but a sort-producing
+                    // adapter chain in the header suppresses.
+                    let header_sorts = header
+                        .iter()
+                        .any(|h| h.kind == TokKind::Ident && h.text.starts_with("sort"));
+                    if mentions_hash && !header_sorts {
+                        flag(out, t, "`for` loop");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects identifiers bound or declared with a `HashMap`/`HashSet`
+/// type: `let x: HashMap<…> = …`, struct fields, fn params, and
+/// `let x = HashMap::new()`.
+fn collect_hash_typed_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : <type tokens containing HashMap|HashSet>`. The scan
+        // stops at the end of *this* binding's type — `=`, `;`, `{`, or
+        // a `,`/`)` outside generic angle brackets — so a later fn
+        // parameter's hash type is not attributed to this name.
+        if tokens.get(i + 1).is_some_and(|c| c.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|c| c.is_punct(':'))
+        {
+            let mut angle_depth = 0i64;
+            for t in tokens.iter().skip(i + 2).take(24) {
+                if t.is_punct('<') {
+                    angle_depth += 1;
+                } else if t.is_punct('>') {
+                    angle_depth -= 1;
+                }
+                if t.is_punct('=')
+                    || t.is_punct(';')
+                    || t.is_punct('{')
+                    || (angle_depth <= 0 && (t.is_punct(',') || t.is_punct(')')))
+                {
+                    break;
+                }
+                if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                    names.push(tokens[i].text.clone());
+                    break;
+                }
+            }
+        }
+        // `name = HashMap::new()` / `name = HashSet::new()`
+        if tokens.get(i + 1).is_some_and(|c| c.is_punct('='))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+        {
+            names.push(tokens[i].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// `true` when a `sort*` identifier appears within the lookahead window —
+/// the iteration's order is re-established before use.
+fn sorted_soon_after(tokens: &[Token], from: usize) -> bool {
+    tokens
+        .iter()
+        .skip(from)
+        .take(SORT_LOOKAHEAD)
+        .any(|t| t.kind == TokKind::Ident && t.text.starts_with("sort"))
+}
+
+// ---------------------------------------------------------------------------
+// L3 — NaN-unsafe comparisons
+// ---------------------------------------------------------------------------
+
+/// Sort/ordering adaptors whose comparator closures must be total.
+const COMPARATOR_HOSTS: [&str; 6] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+    "partition_point",
+];
+
+fn rule_l3(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        // `partial_cmp(…).unwrap()` / `.expect(…)`.
+        if t.is_ident("partial_cmp") && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(close) = matching_paren(tokens, i + 1) {
+                if tokens.get(close + 1).is_some_and(|n| n.is_punct('.'))
+                    && tokens
+                        .get(close + 2)
+                        .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"))
+                {
+                    out.push(Violation {
+                        rule: "L3",
+                        file: path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: "`partial_cmp(..).unwrap()` panics on NaN".into(),
+                        help: "use `f64::total_cmp` (totally ordered, NaN-safe)".into(),
+                    });
+                }
+            }
+        }
+        // Float `==` / `!=` inside a comparator closure.
+        if t.kind == TokKind::Ident
+            && COMPARATOR_HOSTS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = matching_paren(tokens, i + 1) {
+                let body = &tokens[i + 2..close];
+                for (k, b) in body.iter().enumerate() {
+                    let is_eq = b.is_punct('=')
+                        && body.get(k + 1).is_some_and(|n| n.is_punct('='))
+                        && !body.get(k.wrapping_sub(1)).is_some_and(|p| {
+                            p.is_punct('=') || p.is_punct('!') || p.is_punct('<') || p.is_punct('>')
+                        });
+                    if is_eq {
+                        let float_near = body
+                            .get(k.wrapping_sub(1))
+                            .is_some_and(Token::is_float_literal)
+                            || body.get(k + 2).is_some_and(Token::is_float_literal);
+                        if float_near {
+                            out.push(Violation {
+                                rule: "L3",
+                                file: path.to_string(),
+                                line: b.line,
+                                col: b.col,
+                                message: "float `==` inside a sort comparator is not a total order"
+                                    .into(),
+                                help: "compare with `total_cmp` or an integer key".into(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L4 — lossy ID casts
+// ---------------------------------------------------------------------------
+
+fn rule_l4(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !NARROW_INTS.iter().any(|n| target.is_ident(n)) {
+            continue;
+        }
+        // `<expr>.index() as uN` — an ID's dense index is being narrowed.
+        let id_index_cast = i >= 4
+            && tokens[i - 1].is_punct(')')
+            && tokens[i - 2].is_punct('(')
+            && tokens[i - 3].is_ident("index")
+            && tokens[i - 4].is_punct('.');
+        // `<id-like ident> as uN`.
+        let id_name_cast = i >= 1
+            && tokens[i - 1].kind == TokKind::Ident
+            && ID_LIKE_NAMES.contains(&tokens[i - 1].text.as_str());
+        if id_index_cast || id_name_cast {
+            out.push(Violation {
+                rule: "L4",
+                file: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "lossy `as {}` cast of an ID-carrying integer can silently truncate",
+                    target.text
+                ),
+                help: "use `try_into()` with an explicit error, keep the wide type, or \
+                       annotate the enforced bound with `// lint:allow(L4) reason=<bound>`"
+                    .into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5 — determinism hygiene in algorithm crates
+// ---------------------------------------------------------------------------
+
+fn rule_l5(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        let mac_print = (t.is_ident("println")
+            || t.is_ident("eprintln")
+            || t.is_ident("print")
+            || t.is_ident("eprint"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if mac_print {
+            out.push(Violation {
+                rule: "L5",
+                file: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!("`{}!` writes to stdio from an algorithm crate", t.text),
+                help: "route output through the CLI layer or the bench Report/log facade".into(),
+            });
+            continue;
+        }
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            out.push(Violation {
+                rule: "L5",
+                file: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` makes algorithm output depend on wall-clock time",
+                    t.text
+                ),
+                help: "measure time in the caller/bench layer, or annotate instrumentation \
+                       that never feeds clustering decisions"
+                    .into(),
+            });
+        }
+        if t.is_ident("available_parallelism") || t.is_ident("num_cpus") {
+            out.push(Violation {
+                rule: "L5",
+                file: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "thread-count-dependent logic breaks run-to-run reproducibility".into(),
+                help: "take the thread count as explicit configuration".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/neat/src/model.rs";
+    const PHASE: &str = "crates/neat/src/phase2.rs";
+
+    fn rules_of(path: &str, src: &str) -> Vec<&'static str> {
+        analyze_source(path, src)
+            .violations
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn l1_flags_unwrap_in_library() {
+        assert_eq!(rules_of(LIB, "fn f() { x.unwrap(); }"), vec!["L1"]);
+        assert_eq!(rules_of(LIB, "fn f() { panic!(\"no\"); }"), vec!["L1"]);
+    }
+
+    #[test]
+    fn l1_skips_bins_and_foreign_paths() {
+        assert!(rules_of("crates/bench/src/bin/fig3.rs", "fn f() { x.unwrap(); }").is_empty());
+        assert!(rules_of("src/cli.rs", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn l1_skips_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); panic!(); } }\n";
+        assert!(rules_of(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l1_annotation_waives_with_reason() {
+        let src = "fn f() { x.unwrap(); // lint:allow(L1) reason=index checked above\n }";
+        let a = analyze_source(LIB, src);
+        assert!(a.violations.is_empty());
+        assert_eq!(a.waived, 1);
+    }
+
+    #[test]
+    fn empty_reason_is_malformed_and_does_not_waive() {
+        let src = "fn f() { x.unwrap(); // lint:allow(L1) reason=\n }";
+        let rules = rules_of(LIB, src);
+        assert!(rules.contains(&"L0"));
+        assert!(rules.contains(&"L1"));
+    }
+
+    #[test]
+    fn l2_flags_hash_iteration_in_phase_modules() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for (k, v) in m.iter() { out.push(k); } }";
+        let rules = rules_of(PHASE, src);
+        assert!(rules.contains(&"L2"), "{rules:?}");
+        // Same code outside a phase module is not L2's business.
+        assert!(!rules_of(LIB, src).contains(&"L2"));
+    }
+
+    #[test]
+    fn l2_fn_param_type_scan_stops_at_comma() {
+        // `pool` is a Vec; the HashMap belongs to the *next* parameter.
+        let src = "fn f(pool: &mut [Option<u32>], by_segment: &HashMap<u32, usize>) { \
+                   for x in pool.iter() { use_it(x); } }";
+        assert!(
+            !rules_of(PHASE, src).contains(&"L2"),
+            "Vec iteration is order-stable"
+        );
+    }
+
+    #[test]
+    fn l2_sort_after_iteration_suppresses() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); \
+                   let mut v: Vec<u32> = m.keys().copied().collect(); v.sort_unstable(); }";
+        assert!(!rules_of(PHASE, src).contains(&"L2"));
+    }
+
+    #[test]
+    fn l3_flags_partial_cmp_unwrap_everywhere() {
+        let src = "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(rules_of("src/cli.rs", src), vec!["L3"]);
+    }
+
+    #[test]
+    fn l3_total_cmp_is_fine() {
+        let src = "fn f() { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(rules_of(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l3_float_eq_in_comparator() {
+        let src = "fn f() { v.sort_by(|a, b| if a.0 == 0.5 { X } else { Y }); }";
+        assert_eq!(rules_of(LIB, src), vec!["L3"]);
+        // Plain integer equality in a comparator is fine.
+        let ok = "fn f() { v.sort_by(|a, b| if a.0 == 5 { X } else { Y }); }";
+        assert!(rules_of(LIB, ok).is_empty());
+    }
+
+    #[test]
+    fn l4_flags_index_narrowing() {
+        assert_eq!(
+            rules_of(LIB, "fn f() { let x = sid.index() as u32; }"),
+            vec!["L4"]
+        );
+        assert_eq!(
+            rules_of(LIB, "fn f(idx: usize) { let x = idx as u32; }"),
+            vec!["L4"]
+        );
+        // Widening to usize is fine.
+        assert!(rules_of(LIB, "fn f() { let x = node_u32 as usize; }").is_empty());
+    }
+
+    #[test]
+    fn l5_flags_stdio_and_clocks_in_algorithm_crates() {
+        assert_eq!(rules_of(LIB, "fn f() { println!(\"x\"); }"), vec!["L5"]);
+        assert_eq!(
+            rules_of(LIB, "fn f() { let t = Instant::now(); }"),
+            vec!["L5"]
+        );
+        // mobisim is not an algorithm crate.
+        assert!(rules_of(
+            "crates/mobisim/src/lib.rs",
+            "fn f() { let t = Instant::now(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn violations_sorted_by_position() {
+        let src = "fn f() {\n x.unwrap();\n y.expect(\"m\");\n}";
+        let a = analyze_source(LIB, src);
+        assert_eq!(a.violations.len(), 2);
+        assert!(a.violations[0].line < a.violations[1].line);
+    }
+}

@@ -1,0 +1,186 @@
+//! Workspace walker + report assembly.
+//!
+//! Walks every `.rs` file under the workspace root, skipping `vendor/`,
+//! `target/`, test trees (`tests/`, `benches/`, `examples/`,
+//! `lint_fixtures/`) and hidden directories, analyzes each file with the
+//! rule set and folds the results into a [`LintReport`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::rules::{analyze_source, Violation, RULES};
+
+/// Outcome of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every violation found, ordered by (file, line, col).
+    pub violations: Vec<Violation>,
+    /// Violations not covered by the baseline.
+    pub fresh: Vec<Violation>,
+    /// Violations absorbed by the baseline.
+    pub baselined: usize,
+    /// Violations waived by `lint:allow` annotations.
+    pub waived: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Per-rule counts over `fresh`, in rule order (skips zero rows).
+    pub fn fresh_by_rule(&self) -> Vec<(&'static str, usize)> {
+        RULES
+            .iter()
+            .map(|r| (*r, self.fresh.iter().filter(|v| v.rule == *r).count()))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+
+    /// JSON rendering for CI (`--format json`). Hand-rolled to stay
+    /// dependency-free; all strings are escaped.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.fresh.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"message\": {}, \"help\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                v.col,
+                json_str(&v.message),
+                json_str(&v.help),
+            ));
+        }
+        if !self.fresh.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"baselined\": {},\n  \"waived\": {},\n  \
+             \"new_violations\": {}\n}}\n",
+            self.files_scanned,
+            self.baselined,
+            self.waived,
+            self.fresh.len()
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 6] = [
+    "vendor",
+    "target",
+    "tests",
+    "benches",
+    "examples",
+    "lint_fixtures",
+];
+
+/// Collects workspace-relative paths of all lintable `.rs` files under
+/// `root`, sorted for deterministic report order.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix: {e}"))?;
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Normalizes a relative path to forward slashes for diagnostics and
+/// baseline keys (stable across platforms).
+pub fn rel_display(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans the workspace at `root` and applies `baseline`.
+pub fn run(root: &Path, baseline: &Baseline) -> Result<LintReport, String> {
+    let files = collect_rs_files(root)?;
+    let mut report = LintReport::default();
+    for rel in &files {
+        let display = rel_display(rel);
+        let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {display}: {e}"))?;
+        let analysis = analyze_source(&display, &src);
+        report.waived += analysis.waived;
+        report.violations.extend(analysis.violations);
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    let (fresh, covered) = baseline.apply(&report.violations);
+    report.fresh = fresh;
+    report.baselined = covered;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_json_is_valid_shape() {
+        let r = LintReport::default();
+        let j = r.to_json();
+        assert!(j.contains("\"violations\": []"));
+        assert!(j.contains("\"new_violations\": 0"));
+    }
+
+    #[test]
+    fn rel_display_uses_forward_slashes() {
+        let p = PathBuf::from("crates")
+            .join("neat")
+            .join("src")
+            .join("lib.rs");
+        assert_eq!(rel_display(&p), "crates/neat/src/lib.rs");
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixture tests: every rule must fire on its known-bad snippet at the
+//! exact expected lines, and stay silent on the known-good twin.
+//!
+//! Fixtures live in `tests/lint_fixtures/` (a directory the workspace
+//! walker deliberately skips) and are analyzed under synthetic
+//! workspace-relative paths so each fixture lands in exactly the scope
+//! its rule targets.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
+use xtask_lint::analyze_source;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// (rule, line) pairs of the violations found in `name`, analyzed at
+/// the synthetic path `at`.
+fn findings(name: &str, at: &str) -> Vec<(&'static str, u32)> {
+    analyze_source(at, &fixture(name))
+        .violations
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn l0_malformed_annotation_is_reported_and_does_not_waive() {
+    let got = findings("l0_bad.rs", "crates/neat/src/fixture.rs");
+    assert_eq!(got, vec![("L0", 1), ("L1", 3)]);
+}
+
+#[test]
+fn l1_bad_fires_on_unwrap_expect_and_panic() {
+    let got = findings("l1_bad.rs", "crates/neat/src/fixture.rs");
+    assert_eq!(got, vec![("L1", 2), ("L1", 6), ("L1", 10)]);
+}
+
+#[test]
+fn l1_good_is_clean_and_counts_the_waiver() {
+    let analysis = analyze_source("crates/neat/src/fixture.rs", &fixture("l1_good.rs"));
+    assert!(analysis.violations.is_empty(), "{:?}", analysis.violations);
+    assert_eq!(
+        analysis.waived, 1,
+        "the annotated expect is counted as waived"
+    );
+}
+
+#[test]
+fn l1_bad_is_ignored_outside_library_scope() {
+    assert!(
+        findings("l1_bad.rs", "crates/bench/src/bin/fixture.rs").is_empty(),
+        "binaries may panic on bad input"
+    );
+}
+
+#[test]
+fn l2_bad_fires_on_hash_iteration_in_a_phase_module() {
+    let got = findings("l2_bad.rs", "crates/neat/src/phase1.rs");
+    assert!(!got.is_empty());
+    assert!(
+        got.iter().all(|(rule, line)| *rule == "L2" && *line == 5),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn l2_bad_is_ignored_outside_the_phase_modules() {
+    assert!(findings("l2_bad.rs", "crates/rnet/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn l2_good_btreemap_and_sorted_rescue_are_clean() {
+    let got = findings("l2_good.rs", "crates/neat/src/phase1.rs");
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn l3_bad_fires_on_partial_cmp_unwrap_and_float_eq() {
+    // Analyzed at a CLI-layer path: L3 applies everywhere, and the
+    // non-library scope keeps L1 from also firing on the same lines.
+    let got = findings("l3_bad.rs", "src/fixture.rs");
+    assert_eq!(got, vec![("L3", 2), ("L3", 6)]);
+}
+
+#[test]
+fn l3_good_total_cmp_is_clean() {
+    assert!(findings("l3_good.rs", "src/fixture.rs").is_empty());
+}
+
+#[test]
+fn l4_bad_fires_on_lossy_id_casts() {
+    let got = findings("l4_bad.rs", "src/fixture.rs");
+    assert_eq!(got, vec![("L4", 2), ("L4", 6)]);
+}
+
+#[test]
+fn l4_good_widening_and_checked_casts_are_clean() {
+    assert!(findings("l4_good.rs", "src/fixture.rs").is_empty());
+}
+
+#[test]
+fn l5_bad_fires_on_stdio_clock_and_thread_count() {
+    let got = findings("l5_bad.rs", "crates/neat/src/fixture.rs");
+    assert_eq!(got, vec![("L5", 1), ("L5", 4), ("L5", 9), ("L5", 14)]);
+}
+
+#[test]
+fn l5_bad_is_ignored_outside_algorithm_crates() {
+    assert!(
+        !findings("l5_bad.rs", "crates/bench/src/fixture.rs")
+            .iter()
+            .any(|(rule, _)| *rule == "L5"),
+        "bench may print and time"
+    );
+}
+
+#[test]
+fn l5_good_is_clean() {
+    assert!(findings("l5_good.rs", "crates/neat/src/fixture.rs").is_empty());
+}

@@ -1,0 +1,4 @@
+// lint:allow(L1)
+fn annotated_without_reason(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,11 @@
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("always present")
+}
+
+pub fn boom() {
+    panic!("unreachable");
+}

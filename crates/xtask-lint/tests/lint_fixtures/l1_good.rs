@@ -1,0 +1,20 @@
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn audited(v: &[u32]) -> u32 {
+    *v.first().expect("caller guarantees non-empty") // lint:allow(L1) reason=documented caller contract
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn cluster_order(by_segment: &HashMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (sid, _frags) in by_segment.iter() {
+        out.push(*sid);
+    }
+    out
+}

@@ -1,0 +1,12 @@
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn cluster_order(by_segment: &BTreeMap<u32, Vec<u32>>) -> Vec<u32> {
+    by_segment.keys().copied().collect()
+}
+
+pub fn sorted_rescue(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

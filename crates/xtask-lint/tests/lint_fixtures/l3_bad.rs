@@ -1,0 +1,7 @@
+pub fn rank(v: &mut [(f64, u32)]) {
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+pub fn pick(v: &[(f64, u32)]) -> Option<&(f64, u32)> {
+    v.iter().max_by(|a, b| if a.0 == 0.5 { std::cmp::Ordering::Less } else { a.0.total_cmp(&b.0) })
+}

@@ -1,0 +1,7 @@
+pub fn rank(v: &mut [(f64, u32)]) {
+    v.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+pub fn rank_by_key(v: &mut [(f64, u32)]) {
+    v.sort_unstable_by_key(|e| e.1);
+}

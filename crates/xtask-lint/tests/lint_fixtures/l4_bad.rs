@@ -1,0 +1,7 @@
+pub fn narrow(sid: MySegmentId) -> u32 {
+    sid.index() as u32
+}
+
+pub fn shrink(idx: usize) -> u16 {
+    idx as u16
+}

@@ -1,0 +1,7 @@
+pub fn widen(id_bits: u32) -> usize {
+    id_bits as usize
+}
+
+pub fn checked(idx: usize) -> Result<u32, std::num::TryFromIntError> {
+    idx.try_into()
+}

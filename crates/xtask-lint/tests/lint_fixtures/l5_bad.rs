@@ -1,0 +1,15 @@
+use std::time::Instant;
+
+pub fn noisy(x: u32) -> u32 {
+    println!("x = {x}");
+    x
+}
+
+pub fn timed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

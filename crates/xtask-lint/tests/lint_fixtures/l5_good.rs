@@ -1,0 +1,7 @@
+pub fn pure(x: u32) -> u32 {
+    x.wrapping_mul(2)
+}
+
+pub fn configured_threads(requested: usize) -> usize {
+    requested.max(1)
+}

@@ -1,0 +1,80 @@
+//! Determinism regression tests: the property the `neat-lint` L2/L3
+//! rules protect. Running the same pipeline twice on the same inputs —
+//! fresh `HashMap` hasher seeds, fresh allocations, same process — must
+//! produce *byte-identical* cluster output.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{Mode, Neat, NeatConfig, NeatResult};
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig};
+use neat_repro::rnet::RoadNetwork;
+use neat_repro::traj::Dataset;
+
+fn setup(objects: usize, seed: u64) -> (RoadNetwork, Dataset) {
+    let net = generate_grid_network(&GridNetworkConfig::small_test(12, 12), seed);
+    let data = generate_dataset(
+        &net,
+        &SimConfig {
+            num_objects: objects,
+            ..SimConfig::default()
+        },
+        seed.wrapping_add(1),
+        "determinism",
+    );
+    (net, data)
+}
+
+/// Everything order-sensitive in a result, minus wall-clock timings
+/// (instrumentation is the one field allowed to differ between runs).
+fn fingerprint(r: &NeatResult) -> String {
+    format!(
+        "{:#?}\n{:#?}\n{:#?}\n{}/{}/{}",
+        r.base_clusters,
+        r.flow_clusters,
+        r.clusters,
+        r.base_cluster_count,
+        r.fragment_count,
+        r.discarded_flows
+    )
+}
+
+#[test]
+fn flow_neat_double_run_is_byte_identical() {
+    let (net, data) = setup(60, 42);
+    let config = NeatConfig {
+        min_card: 1,
+        epsilon: 500.0,
+        ..NeatConfig::default()
+    };
+    let first = Neat::new(&net, config)
+        .run(&data, Mode::Flow)
+        .expect("first run succeeds");
+    let second = Neat::new(&net, config)
+        .run(&data, Mode::Flow)
+        .expect("second run succeeds");
+    assert_eq!(
+        fingerprint(&first),
+        fingerprint(&second),
+        "flow-NEAT must be reproducible run-to-run"
+    );
+}
+
+#[test]
+fn opt_neat_double_run_is_byte_identical() {
+    let (net, data) = setup(60, 7);
+    let config = NeatConfig {
+        min_card: 2,
+        epsilon: 500.0,
+        ..NeatConfig::default()
+    };
+    let runs: Vec<String> = (0..2)
+        .map(|_| {
+            let r = Neat::new(&net, config)
+                .run(&data, Mode::Opt)
+                .expect("opt run succeeds");
+            fingerprint(&r)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "opt-NEAT must be reproducible run-to-run");
+}
