@@ -1,6 +1,11 @@
 //! Plain-text experiment reports: aligned tables written to stdout and to
 //! `results/<name>.txt` so EXPERIMENTS.md can quote them verbatim.
+//!
+//! All files land via [`neat_durability::write_atomic_std`] (temp file +
+//! rename), so an interrupted run never leaves a truncated report that a
+//! later diff against EXPERIMENTS.md would misread as a regression.
 
+use neat_durability::write_atomic_std;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -70,10 +75,11 @@ impl Report {
     /// Propagates filesystem errors.
     pub fn save(&self) -> std::io::Result<PathBuf> {
         let path = Self::results_dir().join(format!("{}.txt", self.name));
-        let mut f = fs::File::create(&path)?;
+        let mut buf = Vec::new();
         for l in &self.lines {
-            writeln!(f, "{l}")?;
+            writeln!(buf, "{l}")?;
         }
+        write_atomic_std(&path, &buf).map_err(std::io::Error::other)?;
         Ok(path)
     }
 
@@ -84,7 +90,7 @@ impl Report {
     /// Propagates filesystem errors.
     pub fn save_artifact(filename: &str, contents: &str) -> std::io::Result<PathBuf> {
         let path = Self::results_dir().join(filename);
-        fs::write(&path, contents)?;
+        write_atomic_std(&path, contents.as_bytes()).map_err(std::io::Error::other)?;
         Ok(path)
     }
 }

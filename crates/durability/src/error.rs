@@ -1,0 +1,209 @@
+//! Structured errors of the durability layer.
+//!
+//! Every storage defect — a checksum mismatch, a truncated record, an
+//! unknown format version — is reported as a dedicated variant carrying
+//! enough position information (path, byte offset) that an operator can
+//! inspect the damaged file. Corruption is *never* surfaced as a panic:
+//! the recovery state machine in `neat_core::checkpoint` keys off these
+//! variants to decide between falling back to an older snapshot and
+//! refusing to resume.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Errors produced by the durability primitives.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DurabilityError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Operation that failed (`"write"`, `"rename"`, …).
+        op: &'static str,
+        /// Path the operation targeted.
+        path: String,
+        /// The I/O error.
+        source: io::Error,
+    },
+    /// A file does not start with the expected magic bytes — it is not a
+    /// snapshot/journal at all, or its header was destroyed.
+    BadMagic {
+        /// Offending file.
+        path: String,
+        /// The bytes actually found (at most 8).
+        found: Vec<u8>,
+    },
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Offending file.
+        path: String,
+        /// Version recorded in the file.
+        got: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// A length or checksum check failed: the payload does not match its
+    /// header.
+    Corrupt {
+        /// Offending file.
+        path: String,
+        /// Byte offset of the damaged region (0 for whole-file checks).
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A buffer ended before a declared field; raised by the binary
+    /// decoder when a length prefix points past the end of the data.
+    Truncated {
+        /// What was being decoded.
+        context: String,
+        /// Bytes still available.
+        remaining: usize,
+        /// Bytes the field needed.
+        needed: usize,
+    },
+    /// A decoded value is structurally impossible (e.g. an element count
+    /// larger than the bytes that could hold it).
+    Malformed {
+        /// What was being decoded.
+        context: String,
+        /// Why the value is impossible.
+        detail: String,
+    },
+    /// No snapshot could be loaded from the store (directory empty, or
+    /// every candidate was corrupt — the per-file failures are listed).
+    NoSnapshot {
+        /// Store directory.
+        dir: String,
+        /// `(file, reason)` for every rejected candidate.
+        rejected: Vec<(String, String)>,
+    },
+}
+
+impl DurabilityError {
+    /// Convenience constructor for [`DurabilityError::Io`].
+    pub fn io(op: &'static str, path: &Path, source: io::Error) -> Self {
+        DurabilityError::Io {
+            op,
+            path: path.display().to_string(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io { op, path, source } => {
+                write!(f, "{op} `{path}`: {source}")
+            }
+            DurabilityError::BadMagic { path, found } => {
+                write!(f, "`{path}` has no snapshot magic (found {found:02x?})")
+            }
+            DurabilityError::UnsupportedVersion {
+                path,
+                got,
+                supported,
+            } => write!(
+                f,
+                "`{path}` is format version {got}, this build supports {supported}"
+            ),
+            DurabilityError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(f, "`{path}` corrupt at byte {offset}: {detail}"),
+            DurabilityError::Truncated {
+                context,
+                remaining,
+                needed,
+            } => write!(
+                f,
+                "truncated {context}: needed {needed} bytes, {remaining} left"
+            ),
+            DurabilityError::Malformed { context, detail } => {
+                write!(f, "malformed {context}: {detail}")
+            }
+            DurabilityError::NoSnapshot { dir, rejected } => {
+                if rejected.is_empty() {
+                    write!(f, "no snapshot in `{dir}`")
+                } else {
+                    write!(
+                        f,
+                        "no loadable snapshot in `{dir}` ({} rejected: {})",
+                        rejected.len(),
+                        rejected
+                            .iter()
+                            .map(|(file, why)| format!("{file}: {why}"))
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DurabilityError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let variants = [
+            DurabilityError::io("write", Path::new("/x"), io::Error::other("boom")),
+            DurabilityError::BadMagic {
+                path: "a".into(),
+                found: vec![1, 2],
+            },
+            DurabilityError::UnsupportedVersion {
+                path: "a".into(),
+                got: 9,
+                supported: 1,
+            },
+            DurabilityError::Corrupt {
+                path: "a".into(),
+                offset: 12,
+                detail: "crc".into(),
+            },
+            DurabilityError::Truncated {
+                context: "flow".into(),
+                remaining: 1,
+                needed: 8,
+            },
+            DurabilityError::Malformed {
+                context: "count".into(),
+                detail: "too large".into(),
+            },
+            DurabilityError::NoSnapshot {
+                dir: "d".into(),
+                rejected: vec![("f".into(), "crc".into())],
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_variant_has_source() {
+        let e = DurabilityError::io("read", Path::new("/x"), io::Error::other("eio"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DurabilityError>();
+    }
+}

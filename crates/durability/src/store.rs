@@ -1,0 +1,462 @@
+//! A checkpoint directory: numbered snapshots plus one batch journal.
+//!
+//! Layout inside the store directory:
+//!
+//! ```text
+//! snap-00000000000000000042.neatsnap   snapshot up to sequence 42
+//! snap-00000000000000000045.neatsnap   snapshot up to sequence 45
+//! journal.neatlog                      seq-tagged records since snapshot 42
+//! *.tmp                                in-flight atomic writes (ignored)
+//! ```
+//!
+//! Invariants the store maintains:
+//!
+//! * Snapshots are written atomically (temp + rename), so a crash never
+//!   leaves a half-written `snap-*.neatsnap` — at worst a `.tmp` stray.
+//! * The two most recent snapshots are retained. The journal is pruned
+//!   only up to the *previous* snapshot's sequence, so even if the
+//!   latest snapshot is silently corrupted (bit rot), the previous one
+//!   plus the journal still reconstructs the full state.
+//! * Journal records carry their sequence number in the payload; replay
+//!   filters on `seq > snapshot.seq`, which makes the
+//!   snapshot-then-prune pair crash-safe in any interleaving.
+
+use crate::error::DurabilityError;
+use crate::fs::{is_tmp, write_atomic, Fs};
+use crate::journal::{append_record, read_journal};
+use crate::snapshot::{decode_snapshot, encode_snapshot};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a store directory.
+pub const JOURNAL_FILE: &str = "journal.neatlog";
+
+/// Extension of snapshot files.
+pub const SNAPSHOT_EXT: &str = "neatsnap";
+
+/// How many snapshots [`Store::write_snapshot`] retains.
+pub const RETAIN_SNAPSHOTS: usize = 2;
+
+/// A store handle: a directory accessed through an [`Fs`].
+#[derive(Debug, Clone)]
+pub struct Store<F: Fs> {
+    fs: F,
+    dir: PathBuf,
+    version: u32,
+}
+
+/// One journal entry surfaced to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Sequence number the record was tagged with.
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: Vec<u8>,
+}
+
+/// What [`Store::load`] recovered from disk.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// Newest loadable snapshot, as `(sequence, payload)`.
+    pub snapshot: Option<(u64, Vec<u8>)>,
+    /// Journal entries with `seq` greater than the snapshot's sequence
+    /// (all entries when there is no snapshot), in sequence order.
+    pub journal: Vec<JournalEntry>,
+    /// Snapshot files that failed validation and were skipped, as
+    /// `(file name, reason)` — newest first.
+    pub rejected_snapshots: Vec<(String, String)>,
+    /// Bytes dropped from an incomplete final journal record.
+    pub torn_tail_bytes: usize,
+}
+
+impl<F: Fs> Store<F> {
+    /// Opens (creating if necessary) a store directory.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] when the directory cannot be created.
+    pub fn open(fs: F, dir: impl Into<PathBuf>, version: u32) -> Result<Self, DurabilityError> {
+        let dir = dir.into();
+        fs.create_dir_all(&dir)
+            .map_err(|e| DurabilityError::io("create_dir_all", &dir, e))?;
+        Ok(Store { fs, dir, version })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The filesystem handle.
+    pub fn fs(&self) -> &F {
+        &self.fs
+    }
+
+    /// Path of the journal file.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+
+    fn snapshot_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("snap-{seq:020}.{SNAPSHOT_EXT}"))
+    }
+
+    /// Parses `snap-<seq>.neatsnap` back into its sequence number.
+    fn parse_snapshot_name(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let stem = name
+            .strip_prefix("snap-")?
+            .strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+        stem.parse().ok()
+    }
+
+    /// Snapshot sequences currently on disk, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] when the directory cannot be listed.
+    pub fn snapshot_seqs(&self) -> Result<Vec<u64>, DurabilityError> {
+        let mut seqs: Vec<u64> = self
+            .fs
+            .list(&self.dir)
+            .map_err(|e| DurabilityError::io("list", &self.dir, e))?
+            .iter()
+            .filter(|p| !is_tmp(p))
+            .filter_map(|p| Self::parse_snapshot_name(p))
+            .collect();
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    /// Atomically writes a snapshot covering everything up to and
+    /// including sequence `seq`, then applies the retention policy:
+    /// snapshots older than the newest [`RETAIN_SNAPSHOTS`] are removed
+    /// and the journal is pruned to records with `seq` greater than the
+    /// *previous* retained snapshot.
+    ///
+    /// The write is crash-safe at every step: the snapshot lands via
+    /// temp + rename, pruning rewrites the journal atomically, and a
+    /// crash between the two leaves only already-snapshotted records in
+    /// the journal, which replay skips by sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError`] on I/O failure; the store is left no worse
+    /// than before the call (the previous snapshot and journal remain).
+    pub fn write_snapshot(&self, seq: u64, payload: &[u8]) -> Result<(), DurabilityError> {
+        let framed = encode_snapshot(self.version, payload);
+        write_atomic(&self.fs, &self.snapshot_path(seq), &framed)?;
+        self.apply_retention()?;
+        Ok(())
+    }
+
+    /// Removes surplus snapshots and prunes the journal. Failures here
+    /// are reported but leave only *extra* data behind, never less.
+    fn apply_retention(&self) -> Result<(), DurabilityError> {
+        let seqs = self.snapshot_seqs()?;
+        if seqs.len() > RETAIN_SNAPSHOTS {
+            for &old in &seqs[..seqs.len() - RETAIN_SNAPSHOTS] {
+                let path = self.snapshot_path(old);
+                self.fs
+                    .remove_file(&path)
+                    .map_err(|e| DurabilityError::io("remove_file", &path, e))?;
+            }
+        }
+        // Prune the journal to records newer than the *oldest retained*
+        // snapshot: even if the newest snapshot later turns out to be
+        // corrupt, the previous one plus the journal still covers
+        // everything.
+        let retained = &seqs[seqs.len().saturating_sub(RETAIN_SNAPSHOTS)..];
+        if let Some(&cutoff) = retained.first() {
+            self.prune_journal(cutoff)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the journal keeping only records with `seq > cutoff`.
+    fn prune_journal(&self, cutoff: u64) -> Result<(), DurabilityError> {
+        let path = self.journal_path();
+        let scan = read_journal(&self.fs, &path)?;
+        let mut kept = Vec::new();
+        let mut dropped = 0usize;
+        for payload in &scan.records {
+            match record_seq(payload) {
+                Some(seq) if seq <= cutoff => dropped += 1,
+                _ => kept.extend_from_slice(&crate::journal::encode_record(payload)),
+            }
+        }
+        if dropped == 0 && scan.torn_tail_bytes == 0 {
+            return Ok(()); // nothing to rewrite
+        }
+        write_atomic(&self.fs, &path, &kept)
+    }
+
+    /// Appends one journal record tagged with `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] on filesystem failure.
+    pub fn append_journal(&self, seq: u64, payload: &[u8]) -> Result<(), DurabilityError> {
+        let mut tagged = Vec::with_capacity(8 + payload.len());
+        tagged.extend_from_slice(&seq.to_le_bytes());
+        tagged.extend_from_slice(payload);
+        append_record(&self.fs, &self.journal_path(), &tagged)
+    }
+
+    /// Recovers the newest loadable snapshot and the journal records
+    /// that post-date it.
+    ///
+    /// Snapshots are tried newest-first; a corrupt candidate is recorded
+    /// in [`Recovery::rejected_snapshots`] and the scan falls back to
+    /// the next older one. Journal records are then filtered to
+    /// `seq > snapshot.seq`, sorted, and checked for duplicates.
+    ///
+    /// A torn final record (crash mid-append) is dropped *and truncated
+    /// away on disk*: leaving it in place would put the next append
+    /// behind garbage bytes, turning an expected torn tail into
+    /// unrecoverable interior corruption. The truncation is itself an
+    /// atomic rewrite, so a crash during recovery at worst leaves the
+    /// torn tail to be truncated again.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] on unreadable directory/journal,
+    /// [`DurabilityError::Corrupt`] on interior journal corruption or a
+    /// duplicated sequence, [`DurabilityError::Malformed`] on a record
+    /// too short to carry its sequence tag.
+    pub fn load(&self) -> Result<Recovery, DurabilityError> {
+        let mut recovery = Recovery::default();
+
+        let mut seqs = self.snapshot_seqs()?;
+        seqs.reverse(); // newest first
+        for seq in seqs {
+            let path = self.snapshot_path(seq);
+            let bytes = match self.fs.read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    recovery
+                        .rejected_snapshots
+                        .push((path.display().to_string(), e.to_string()));
+                    continue;
+                }
+            };
+            match decode_snapshot(&path, self.version, &bytes) {
+                Ok(payload) => {
+                    recovery.snapshot = Some((seq, payload.to_vec()));
+                    break;
+                }
+                Err(e) => {
+                    recovery
+                        .rejected_snapshots
+                        .push((path.display().to_string(), e.to_string()));
+                }
+            }
+        }
+
+        let journal_path = self.journal_path();
+        let scan = read_journal(&self.fs, &journal_path)?;
+        recovery.torn_tail_bytes = scan.torn_tail_bytes;
+        if scan.torn_tail_bytes > 0 {
+            let mut kept = Vec::new();
+            for payload in &scan.records {
+                kept.extend_from_slice(&crate::journal::encode_record(payload));
+            }
+            write_atomic(&self.fs, &journal_path, &kept)?;
+        }
+        let floor = recovery.snapshot.as_ref().map(|(s, _)| *s).unwrap_or(0);
+        for payload in scan.records {
+            if payload.len() < 8 {
+                return Err(DurabilityError::Malformed {
+                    context: "journal record".into(),
+                    detail: format!("{} bytes is too short for a sequence tag", payload.len()),
+                });
+            }
+            let seq = u64::from_le_bytes([
+                payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
+                payload[7],
+            ]);
+            if seq > floor {
+                recovery.journal.push(JournalEntry {
+                    seq,
+                    payload: payload[8..].to_vec(),
+                });
+            }
+        }
+        recovery.journal.sort_by_key(|e| e.seq);
+        for pair in recovery.journal.windows(2) {
+            if pair[0].seq == pair[1].seq {
+                return Err(DurabilityError::Corrupt {
+                    path: journal_path.display().to_string(),
+                    offset: 0,
+                    detail: format!("sequence {} recorded twice", pair[0].seq),
+                });
+            }
+        }
+        Ok(recovery)
+    }
+}
+
+/// Extracts the sequence tag [`Store::append_journal`] prefixed.
+fn record_seq(payload: &[u8]) -> Option<u64> {
+    let head: [u8; 8] = payload.get(..8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(head))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+
+    const V: u32 = 1;
+
+    fn store() -> Store<MemFs> {
+        Store::open(MemFs::new(), "/ckpt", V).unwrap()
+    }
+
+    #[test]
+    fn empty_store_recovers_to_nothing() {
+        let s = store();
+        let r = s.load().unwrap();
+        assert!(r.snapshot.is_none());
+        assert!(r.journal.is_empty());
+        assert!(r.rejected_snapshots.is_empty());
+    }
+
+    #[test]
+    fn snapshot_then_journal_recovery() {
+        let s = store();
+        s.append_journal(1, b"batch-1").unwrap();
+        s.append_journal(2, b"batch-2").unwrap();
+        s.write_snapshot(2, b"state@2").unwrap();
+        s.append_journal(3, b"batch-3").unwrap();
+        let r = s.load().unwrap();
+        assert_eq!(r.snapshot, Some((2, b"state@2".to_vec())));
+        assert_eq!(
+            r.journal,
+            vec![JournalEntry {
+                seq: 3,
+                payload: b"batch-3".to_vec()
+            }]
+        );
+    }
+
+    #[test]
+    fn journal_records_covered_by_snapshot_are_filtered() {
+        let s = store();
+        s.append_journal(1, b"b1").unwrap();
+        s.write_snapshot(1, b"state@1").unwrap();
+        // Crash-interleaving: journal still carries seq 1 (prune may not
+        // have run); replay must skip it.
+        s.append_journal(1, b"b1-duplicate-from-old-journal")
+            .unwrap();
+        s.append_journal(2, b"b2").unwrap();
+        let r = s.load().unwrap();
+        assert_eq!(r.snapshot.as_ref().unwrap().0, 1);
+        assert_eq!(r.journal.len(), 1);
+        assert_eq!(r.journal[0].seq, 2);
+    }
+
+    #[test]
+    fn retention_keeps_two_snapshots_and_prunes_journal() {
+        let s = store();
+        for seq in 1..=5u64 {
+            s.append_journal(seq, format!("batch-{seq}").as_bytes())
+                .unwrap();
+            s.write_snapshot(seq, format!("state@{seq}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(s.snapshot_seqs().unwrap(), vec![4, 5]);
+        // Journal was pruned to seq > 4 (the previous retained
+        // snapshot); a corrupt newest snapshot still recovers fully.
+        let r = s.load().unwrap();
+        assert_eq!(r.snapshot.as_ref().unwrap().0, 5);
+        assert!(r.journal.is_empty());
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous() {
+        let s = store();
+        s.append_journal(1, b"b1").unwrap();
+        s.write_snapshot(1, b"state@1").unwrap();
+        s.append_journal(2, b"b2").unwrap();
+        s.write_snapshot(2, b"state@2").unwrap();
+        // Bit-rot the newest snapshot in place.
+        let snap2 = s.dir().join(format!("snap-{:020}.{SNAPSHOT_EXT}", 2u64));
+        let mut bytes = s.fs().read(&snap2).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        s.fs().write(&snap2, &bytes).unwrap();
+
+        let r = s.load().unwrap();
+        assert_eq!(r.snapshot, Some((1, b"state@1".to_vec())));
+        assert_eq!(r.rejected_snapshots.len(), 1);
+        assert!(r.rejected_snapshots[0].1.contains("CRC"));
+        // The journal still holds batch 2 because pruning only goes up
+        // to the previous snapshot.
+        assert_eq!(r.journal.len(), 1);
+        assert_eq!(r.journal[0].seq, 2);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_ignored() {
+        let s = store();
+        s.write_snapshot(1, b"state@1").unwrap();
+        s.fs()
+            .write(
+                &s.dir().join("snap-00000000000000000002.neatsnap.tmp"),
+                b"torn",
+            )
+            .unwrap();
+        assert_eq!(s.snapshot_seqs().unwrap(), vec![1]);
+        let r = s.load().unwrap();
+        assert_eq!(r.snapshot.as_ref().unwrap().0, 1);
+    }
+
+    #[test]
+    fn duplicate_live_sequences_are_corrupt() {
+        let s = store();
+        s.append_journal(3, b"x").unwrap();
+        s.append_journal(3, b"y").unwrap();
+        assert!(matches!(
+            s.load().unwrap_err(),
+            DurabilityError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn torn_journal_tail_is_reported() {
+        let s = store();
+        s.append_journal(1, b"complete").unwrap();
+        // Torn second append: only 5 bytes of the record made it.
+        let rec = crate::journal::encode_record(b"\x02\0\0\0\0\0\0\0torn");
+        s.fs().append(&s.journal_path(), &rec[..5]).unwrap();
+        let r = s.load().unwrap();
+        assert_eq!(r.journal.len(), 1);
+        assert_eq!(r.torn_tail_bytes, 5);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_later_appends_stay_readable() {
+        let s = store();
+        s.append_journal(1, b"complete").unwrap();
+        let rec = crate::journal::encode_record(b"\x02\0\0\0\0\0\0\0torn");
+        // Every possible torn-tail length, including ones that leave a
+        // partial magic which the next append would otherwise complete
+        // into a mismatching one.
+        for cut in 1..rec.len() {
+            let s2 = store();
+            s2.fs()
+                .write(&s2.journal_path(), &s.fs().read(&s.journal_path()).unwrap())
+                .unwrap();
+            s2.fs().append(&s2.journal_path(), &rec[..cut]).unwrap();
+            let r = s2.load().unwrap();
+            assert_eq!(r.torn_tail_bytes, cut, "cut at {cut}");
+            // Recovery truncated the tail; a fresh append must now read
+            // back cleanly instead of tripping over the garbage bytes.
+            s2.append_journal(2, b"after-recovery").unwrap();
+            let r = s2.load().unwrap();
+            assert_eq!(r.torn_tail_bytes, 0, "cut at {cut}");
+            assert_eq!(r.journal.len(), 2, "cut at {cut}");
+            assert_eq!(r.journal[1].payload, b"after-recovery".to_vec());
+        }
+    }
+}

@@ -10,14 +10,24 @@
 //!
 //! Injection is fully deterministic under a seed: the same dataset,
 //! [`FaultConfig`] and seed always produce byte-identical output.
+//!
+//! Besides the GPS-stream faults, this module also injects *disk*
+//! faults: [`FaultFs`] wraps any [`neat_durability::fs::Fs`] and, at a
+//! chosen mutating operation, simulates a torn write, a short write, a
+//! silent bit flip, a full device or a failed rename — the failure modes
+//! the checkpoint layer in `neat_core::checkpoint` must survive.
 
+use neat_durability::fs::{Fs, MemFs};
 use neat_rnet::Point;
 use neat_traj::sanitize::RawFix;
 use neat_traj::Dataset;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 
 /// Per-fault-class rates, each a probability in `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -251,6 +261,271 @@ pub fn inject_faults(
     (out, log)
 }
 
+/// The disk fault [`FaultFs`] injects when its armed operation index is
+/// reached.
+///
+/// The first two model a *crash* (the process dies mid-operation; every
+/// later operation on the handle fails), the last three model faults a
+/// live process observes and must degrade gracefully under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Power loss before the syscall took effect: the operation is not
+    /// applied at all, and the process is dead afterwards.
+    Lost,
+    /// Torn/short write: only the first `keep` bytes reach the medium
+    /// (clamped to the payload length), then the process dies. With
+    /// `keep == 0` this is the classic short write of nothing.
+    Torn {
+        /// Bytes that survive.
+        keep: usize,
+    },
+    /// Silent media corruption: the operation is applied in full and
+    /// reports success, but one payload byte is flipped. The process
+    /// lives on, unaware — recovery must *detect* this via checksums.
+    BitFlip {
+        /// Payload offset to corrupt (taken modulo the length).
+        offset: usize,
+        /// XOR mask; `0` is promoted to `0x01` so the byte always
+        /// changes.
+        mask: u8,
+    },
+    /// The device is full: the operation is not applied, the caller
+    /// sees `StorageFull`, and the handle keeps working afterwards.
+    NoSpace,
+    /// `rename(2)` fails (quota, cross-device, permission): nothing
+    /// moves, the caller sees the error, the handle keeps working. When
+    /// the armed operation is not a rename this behaves like
+    /// [`DiskFault::NoSpace`].
+    RenameFail,
+}
+
+impl DiskFault {
+    /// `true` for faults after which the simulated process is dead.
+    fn is_fatal(self) -> bool {
+        matches!(self, DiskFault::Lost | DiskFault::Torn { .. })
+    }
+}
+
+#[derive(Debug)]
+struct FaultFsState {
+    /// Mutating operations observed so far.
+    ops: u64,
+    /// Index of the mutating operation to fault (0-based).
+    arm_at: Option<u64>,
+    fault: DiskFault,
+    /// Set once a fatal fault fired; every later call errors.
+    dead: bool,
+    /// Whether the armed fault has fired (fatal or not).
+    fired: bool,
+}
+
+/// A fault-injecting [`Fs`] over shared [`MemFs`] storage.
+///
+/// Counts every *mutating* operation (`write`, `append`, `rename`,
+/// `remove_file`); when the count reaches the armed index the configured
+/// [`DiskFault`] fires. Because [`MemFs`] clones share storage, a chaos
+/// harness "kills the process" by abandoning the `FaultFs` handle and
+/// "restarts" by reopening the surviving bytes via [`FaultFs::storage`].
+///
+/// Reads are never faulted (media read errors are a different failure
+/// class), but once a fatal fault fired *all* operations error — a dead
+/// process cannot observe the disk.
+#[derive(Debug, Clone)]
+pub struct FaultFs {
+    inner: MemFs,
+    state: Arc<Mutex<FaultFsState>>,
+}
+
+impl FaultFs {
+    /// Wraps `inner` with no fault armed — used to probe how many
+    /// mutating operations a workload performs.
+    pub fn unarmed(inner: MemFs) -> Self {
+        FaultFs {
+            inner,
+            state: Arc::new(Mutex::new(FaultFsState {
+                ops: 0,
+                arm_at: None,
+                fault: DiskFault::Lost,
+                dead: false,
+                fired: false,
+            })),
+        }
+    }
+
+    /// Wraps `inner` so that the `arm_at`-th mutating operation
+    /// (0-based) suffers `fault`.
+    pub fn armed(inner: MemFs, arm_at: u64, fault: DiskFault) -> Self {
+        FaultFs {
+            inner,
+            state: Arc::new(Mutex::new(FaultFsState {
+                ops: 0,
+                arm_at: Some(arm_at),
+                fault,
+                dead: false,
+                fired: false,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultFsState> {
+        self.state.lock().expect("FaultFs mutex poisoned") // lint:allow(L1) reason=a poisoned test-harness mutex means a panic already happened on another thread; propagating it is the only sound option
+    }
+
+    /// Mutating operations observed so far.
+    pub fn mutating_ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// `true` once a fatal fault fired (the simulated process is dead).
+    pub fn crashed(&self) -> bool {
+        self.lock().dead
+    }
+
+    /// `true` once the armed fault fired, fatal or not.
+    pub fn fault_fired(&self) -> bool {
+        self.lock().fired
+    }
+
+    /// The surviving storage: a handle sharing the same byte map,
+    /// unaffected by this wrapper's crash state — what a restarted
+    /// process finds on disk.
+    pub fn storage(&self) -> MemFs {
+        self.inner.clone()
+    }
+
+    /// Decides the fate of the current mutating operation and advances
+    /// the counter. Returns the fault to apply now, if any.
+    fn step(&self) -> io::Result<Option<DiskFault>> {
+        let mut s = self.lock();
+        if s.dead {
+            return Err(io::Error::other(
+                "simulated crash: process already dead (FaultFs)",
+            ));
+        }
+        let fire = s.arm_at == Some(s.ops);
+        s.ops += 1;
+        if !fire {
+            return Ok(None);
+        }
+        s.fired = true;
+        if s.fault.is_fatal() {
+            s.dead = true;
+        }
+        Ok(Some(s.fault))
+    }
+
+    fn ensure_alive(&self) -> io::Result<()> {
+        if self.lock().dead {
+            return Err(io::Error::other(
+                "simulated crash: process already dead (FaultFs)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("simulated crash (FaultFs fault injected)")
+    }
+
+    fn no_space_error() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::StorageFull,
+            "no space left on device (simulated)",
+        )
+    }
+
+    /// Applies a byte-payload fault for `write`/`append`.
+    fn faulted_payload(fault: DiskFault, bytes: &[u8]) -> Option<Vec<u8>> {
+        match fault {
+            DiskFault::Lost => None,
+            DiskFault::Torn { keep } => Some(bytes[..keep.min(bytes.len())].to_vec()),
+            DiskFault::BitFlip { offset, mask } => {
+                let mut out = bytes.to_vec();
+                if !out.is_empty() {
+                    let i = offset % out.len();
+                    out[i] ^= if mask == 0 { 0x01 } else { mask };
+                }
+                Some(out)
+            }
+            DiskFault::NoSpace | DiskFault::RenameFail => None,
+        }
+    }
+
+    fn apply_payload_op(
+        &self,
+        bytes: &[u8],
+        apply: impl Fn(&[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        match self.step()? {
+            None => apply(bytes),
+            Some(fault) => {
+                if let Some(payload) = Self::faulted_payload(fault, bytes) {
+                    apply(&payload)?;
+                }
+                match fault {
+                    // Silent corruption: the caller is told all is well.
+                    DiskFault::BitFlip { .. } => Ok(()),
+                    DiskFault::NoSpace | DiskFault::RenameFail => Err(Self::no_space_error()),
+                    DiskFault::Lost | DiskFault::Torn { .. } => Err(Self::crash_error()),
+                }
+            }
+        }
+    }
+}
+
+impl Fs for FaultFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.ensure_alive()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.apply_payload_op(bytes, |b| self.inner.write(path, b))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.apply_payload_op(bytes, |b| self.inner.append(path, b))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.step()? {
+            None | Some(DiskFault::BitFlip { .. }) => self.inner.rename(from, to),
+            Some(DiskFault::Lost | DiskFault::Torn { .. }) => Err(Self::crash_error()),
+            Some(DiskFault::RenameFail) => Err(io::Error::other(
+                "rename failed (simulated cross-device link)",
+            )),
+            Some(DiskFault::NoSpace) => Err(Self::no_space_error()),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.step()? {
+            None | Some(DiskFault::BitFlip { .. }) => self.inner.remove_file(path),
+            Some(DiskFault::Lost | DiskFault::Torn { .. }) => Err(Self::crash_error()),
+            Some(DiskFault::NoSpace | DiskFault::RenameFail) => Err(Self::no_space_error()),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.ensure_alive()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.ensure_alive()?;
+        self.inner.list(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.ensure_alive()?;
+        self.inner.sync_dir(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.lock().dead && self.inner.exists(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +660,102 @@ mod tests {
             let trid = tr.id().value();
             assert!(fixes.iter().filter(|f| f.trid == trid).count() < 2);
         }
+    }
+
+    #[test]
+    fn unarmed_faultfs_counts_ops_and_passes_through() {
+        let mem = MemFs::new();
+        let fs = FaultFs::unarmed(mem.clone());
+        fs.write(Path::new("/d/a"), b"one").unwrap();
+        fs.append(Path::new("/d/a"), b"two").unwrap();
+        fs.rename(Path::new("/d/a"), Path::new("/d/b")).unwrap();
+        fs.remove_file(Path::new("/d/b")).unwrap();
+        assert_eq!(fs.mutating_ops(), 4);
+        assert!(!fs.crashed());
+        assert!(!fs.fault_fired());
+        assert!(mem.list(Path::new("/d")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lost_write_kills_the_process_and_leaves_no_bytes() {
+        let mem = MemFs::new();
+        let fs = FaultFs::armed(mem.clone(), 1, DiskFault::Lost);
+        fs.write(Path::new("/d/a"), b"survives").unwrap();
+        let err = fs.write(Path::new("/d/b"), b"lost").unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        assert!(fs.crashed());
+        // Dead process: every further op fails, reads included.
+        assert!(fs.read(Path::new("/d/a")).is_err());
+        assert!(fs.write(Path::new("/d/c"), b"x").is_err());
+        // The surviving storage has the first file only.
+        assert_eq!(mem.read(Path::new("/d/a")).unwrap(), b"survives");
+        assert!(!mem.exists(Path::new("/d/b")));
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix() {
+        let mem = MemFs::new();
+        let fs = FaultFs::armed(mem.clone(), 0, DiskFault::Torn { keep: 3 });
+        assert!(fs.write(Path::new("/d/a"), b"0123456789").is_err());
+        assert!(fs.crashed());
+        assert_eq!(mem.read(Path::new("/d/a")).unwrap(), b"012");
+    }
+
+    #[test]
+    fn bit_flip_is_silent_and_changes_exactly_one_byte() {
+        let mem = MemFs::new();
+        let fs = FaultFs::armed(
+            mem.clone(),
+            0,
+            DiskFault::BitFlip {
+                offset: 12,
+                mask: 0,
+            },
+        );
+        fs.write(Path::new("/d/a"), b"0123456789").unwrap(); // reports success
+        assert!(!fs.crashed());
+        assert!(fs.fault_fired());
+        let stored = mem.read(Path::new("/d/a")).unwrap();
+        let diffs: Vec<usize> = stored
+            .iter()
+            .zip(b"0123456789")
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs, vec![12 % 10]);
+        // The handle keeps working afterwards.
+        fs.write(Path::new("/d/b"), b"later").unwrap();
+    }
+
+    #[test]
+    fn no_space_is_reported_and_recoverable() {
+        let mem = MemFs::new();
+        let fs = FaultFs::armed(mem.clone(), 0, DiskFault::NoSpace);
+        let err = fs.write(Path::new("/d/a"), b"data").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!fs.crashed());
+        assert!(!mem.exists(Path::new("/d/a")));
+        // Retry on the same handle succeeds (space was freed).
+        fs.write(Path::new("/d/a"), b"data").unwrap();
+        assert_eq!(mem.read(Path::new("/d/a")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn rename_failure_leaves_source_in_place() {
+        let mem = MemFs::new();
+        let fs = FaultFs::armed(mem.clone(), 1, DiskFault::RenameFail);
+        fs.write(Path::new("/d/a.tmp"), b"payload").unwrap();
+        let err = fs
+            .rename(Path::new("/d/a.tmp"), Path::new("/d/a"))
+            .unwrap_err();
+        assert!(err.to_string().contains("rename failed"));
+        assert!(!fs.crashed());
+        assert!(mem.exists(Path::new("/d/a.tmp")));
+        assert!(!mem.exists(Path::new("/d/a")));
+        // The retry goes through.
+        fs.rename(Path::new("/d/a.tmp"), Path::new("/d/a")).unwrap();
+        assert_eq!(mem.read(Path::new("/d/a")).unwrap(), b"payload");
     }
 
     #[test]

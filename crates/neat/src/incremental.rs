@@ -11,12 +11,14 @@
 //! only, appends the resulting flow clusters to the retained set and
 //! re-refines with the density-based Phase 3.
 
+use crate::checkpoint::{self, CheckpointError, CheckpointStore, ResumeReport};
 use crate::config::NeatConfig;
 use crate::error::NeatError;
 use crate::model::{FlowCluster, TrajectoryCluster};
 use crate::phase1::{form_base_clusters_with_policy, ResilienceCounters};
 use crate::phase2::form_flow_clusters;
 use crate::phase3::{refine_flow_clusters, Phase3Stats};
+use neat_durability::fs::Fs;
 use neat_rnet::RoadNetwork;
 use neat_traj::sanitize::ErrorPolicy;
 use neat_traj::Dataset;
@@ -125,6 +127,175 @@ impl<'a> IncrementalNeat<'a> {
     /// ingested so far under non-strict policies.
     pub fn resilience(&self) -> &ResilienceCounters {
         &self.resilience
+    }
+
+    /// The configuration this clusterer runs under.
+    pub fn config(&self) -> &NeatConfig {
+        &self.config
+    }
+
+    /// Re-runs Phase 3 on the retained flows and returns the current
+    /// trajectory clusters without ingesting anything — the view a
+    /// resumed session exposes before its first new batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the refinement phase.
+    pub fn current_clusters(&self) -> Result<Vec<TrajectoryCluster>, NeatError> {
+        let p3 = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
+        Ok(p3.clusters)
+    }
+
+    /// [`IncrementalNeat::ingest_with_policy`] plus durability: after the
+    /// batch is successfully applied, it is appended to `store`'s batch
+    /// journal so a crash before the next snapshot replays it.
+    ///
+    /// The append happens strictly *after* the apply. A crash between
+    /// the two loses only this batch's acknowledgement: resume reports
+    /// one batch fewer via [`IncrementalNeat::batches`] and the driver
+    /// re-feeds it, which is exactly once overall.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Neat`] when ingestion itself fails (nothing is
+    /// journaled), [`CheckpointError::Durability`] when the journal
+    /// append fails (the in-memory state is ahead of the durable state;
+    /// a subsequent [`IncrementalNeat::save_checkpoint`] repairs that).
+    pub fn ingest_logged<F: Fs>(
+        &mut self,
+        batch: &Dataset,
+        policy: ErrorPolicy,
+        store: &CheckpointStore<F>,
+    ) -> Result<Vec<TrajectoryCluster>, CheckpointError> {
+        let clusters = self
+            .ingest_with_policy(batch, policy)
+            .map_err(CheckpointError::Neat)?;
+        store.log_batch(self.batches as u64, batch, policy)?;
+        Ok(clusters)
+    }
+
+    /// Atomically snapshots the full retained state (flows, counters,
+    /// batch count, Phase-3 stats) into `store`, tagged with the current
+    /// configuration hash and road-network fingerprint. Older snapshots
+    /// and already-covered journal records are pruned per the store's
+    /// retention policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Durability`] on filesystem failure; the
+    /// previous snapshot and journal survive intact.
+    pub fn save_checkpoint<F: Fs>(
+        &self,
+        store: &CheckpointStore<F>,
+    ) -> Result<(), CheckpointError> {
+        let payload = checkpoint::encode_state(&checkpoint::StateParts {
+            config: &self.config,
+            net: self.net,
+            flows: &self.flows,
+            batches: self.batches,
+            last_stats: self.last_stats,
+            resilience: &self.resilience,
+        });
+        Ok(store
+            .store()
+            .write_snapshot(self.batches as u64, &payload)?)
+    }
+
+    /// Reconstructs an online clusterer from a checkpoint directory:
+    /// loads the newest valid snapshot (falling back to the previous one
+    /// on damage), validates its configuration hash and network
+    /// fingerprint against the arguments, then replays every journaled
+    /// batch newer than the snapshot.
+    ///
+    /// The resumed instance is state-identical to the one that wrote the
+    /// checkpoint — continuing the batch stream yields byte-identical
+    /// clusters to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NoCheckpoint`] when the directory holds
+    /// neither a snapshot nor journal records;
+    /// [`CheckpointError::ConfigMismatch`] /
+    /// [`CheckpointError::NetworkMismatch`] when the checkpoint belongs
+    /// to a different session; [`CheckpointError::JournalGap`] on lost
+    /// records; [`CheckpointError::Durability`] on storage damage beyond
+    /// what fallback can absorb.
+    pub fn resume<F: Fs>(
+        net: &'a RoadNetwork,
+        config: NeatConfig,
+        store: &CheckpointStore<F>,
+    ) -> Result<(Self, ResumeReport), CheckpointError> {
+        config.validate().map_err(CheckpointError::Neat)?;
+        let recovery = store.store().load()?;
+        if recovery.snapshot.is_none() {
+            if !recovery.rejected_snapshots.is_empty() {
+                // Snapshots exist but none loads — surface every
+                // rejection instead of quietly replaying from scratch
+                // (the journal alone no longer covers early batches once
+                // pruning has run).
+                return Err(CheckpointError::Durability(
+                    neat_durability::DurabilityError::NoSnapshot {
+                        dir: store.dir().display().to_string(),
+                        rejected: recovery.rejected_snapshots,
+                    },
+                ));
+            }
+            if recovery.journal.is_empty() {
+                return Err(CheckpointError::NoCheckpoint {
+                    dir: store.dir().display().to_string(),
+                });
+            }
+        }
+
+        let mut report = ResumeReport {
+            snapshot_seq: recovery.snapshot.as_ref().map(|(seq, _)| *seq),
+            replayed_batches: 0,
+            rejected_snapshots: recovery.rejected_snapshots,
+            torn_tail_bytes: recovery.torn_tail_bytes,
+        };
+
+        let mut session = match &recovery.snapshot {
+            Some((seq, payload)) => {
+                let state = checkpoint::decode_state(payload, net, &config)?;
+                if state.batches as u64 != *seq {
+                    return Err(CheckpointError::InvalidState {
+                        detail: format!(
+                            "snapshot file sequence {seq} disagrees with encoded \
+                             batch count {}",
+                            state.batches
+                        ),
+                    });
+                }
+                IncrementalNeat {
+                    net,
+                    config,
+                    flows: state.flows,
+                    batches: state.batches,
+                    last_stats: state.last_stats,
+                    resilience: state.resilience,
+                }
+            }
+            None => IncrementalNeat::new(net, config),
+        };
+
+        let first_seq = session.batches as u64 + 1;
+        for (expected, entry) in (first_seq..).zip(&recovery.journal) {
+            if entry.seq != expected {
+                return Err(CheckpointError::JournalGap {
+                    expected,
+                    got: entry.seq,
+                });
+            }
+            let (batch, policy) = checkpoint::decode_batch(&entry.payload)?;
+            session
+                .ingest_with_policy(&batch, policy)
+                .map_err(|source| CheckpointError::Replay {
+                    seq: entry.seq,
+                    source,
+                })?;
+            report.replayed_batches += 1;
+        }
+        Ok((session, report))
     }
 
     /// Compacts the retained flow set: drops flows whose trajectory
@@ -320,6 +491,135 @@ mod tests {
         let clusters = online.ingest(&Dataset::new("empty")).unwrap();
         assert!(clusters.is_empty());
         assert_eq!(online.batches(), 1);
+    }
+
+    #[test]
+    fn checkpoint_save_resume_round_trip() {
+        use neat_durability::MemFs;
+
+        let net = chain_network(10, 100.0, 10.0);
+        let store = CheckpointStore::open(MemFs::new(), "/ckpt").unwrap();
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(traverse(0, 3, &[0, 1, 2]));
+        online
+            .ingest_logged(&b1, ErrorPolicy::Strict, &store)
+            .unwrap();
+        online.save_checkpoint(&store).unwrap();
+        let mut b2 = Dataset::new("b2");
+        b2.extend(traverse(100, 3, &[6, 7, 8]));
+        let live = online
+            .ingest_logged(&b2, ErrorPolicy::Strict, &store)
+            .unwrap();
+
+        // "Crash": drop the instance, resume from the surviving bytes.
+        let (resumed, report) = IncrementalNeat::resume(&net, cfg(), &store).unwrap();
+        assert_eq!(report.snapshot_seq, Some(1));
+        assert_eq!(report.replayed_batches, 1);
+        assert_eq!(resumed.batches(), 2);
+        assert_eq!(resumed.flow_clusters(), online.flow_clusters());
+        let resumed_clusters = resumed.current_clusters().unwrap();
+        assert_eq!(
+            format!("{live:#?}"),
+            format!("{resumed_clusters:#?}"),
+            "resumed clusters must be identical to the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_other_config_and_network() {
+        use neat_durability::MemFs;
+
+        let net = chain_network(10, 100.0, 10.0);
+        let store = CheckpointStore::open(MemFs::new(), "/ckpt").unwrap();
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b = Dataset::new("b");
+        b.extend(traverse(0, 3, &[0, 1]));
+        online
+            .ingest_logged(&b, ErrorPolicy::Strict, &store)
+            .unwrap();
+        online.save_checkpoint(&store).unwrap();
+
+        let other_cfg = NeatConfig {
+            epsilon: 9.0,
+            ..cfg()
+        };
+        assert!(matches!(
+            IncrementalNeat::resume(&net, other_cfg, &store).unwrap_err(),
+            CheckpointError::ConfigMismatch { .. }
+        ));
+        let other_net = chain_network(11, 100.0, 10.0);
+        assert!(matches!(
+            IncrementalNeat::resume(&other_net, cfg(), &store).unwrap_err(),
+            CheckpointError::NetworkMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn resume_from_journal_alone_before_first_snapshot() {
+        use neat_durability::MemFs;
+
+        let net = chain_network(10, 100.0, 10.0);
+        let store = CheckpointStore::open(MemFs::new(), "/ckpt").unwrap();
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b = Dataset::new("b");
+        b.extend(traverse(0, 3, &[0, 1]));
+        online
+            .ingest_logged(&b, ErrorPolicy::Strict, &store)
+            .unwrap();
+        // No snapshot was ever written: resume replays the journal.
+        let (resumed, report) = IncrementalNeat::resume(&net, cfg(), &store).unwrap();
+        assert_eq!(report.snapshot_seq, None);
+        assert_eq!(report.replayed_batches, 1);
+        assert_eq!(resumed.batches(), 1);
+        assert_eq!(resumed.flow_clusters(), online.flow_clusters());
+    }
+
+    #[test]
+    fn resume_empty_dir_is_no_checkpoint() {
+        use neat_durability::MemFs;
+
+        let net = chain_network(4, 100.0, 10.0);
+        let store = CheckpointStore::open(MemFs::new(), "/ckpt").unwrap();
+        assert!(matches!(
+            IncrementalNeat::resume(&net, cfg(), &store).unwrap_err(),
+            CheckpointError::NoCheckpoint { .. }
+        ));
+    }
+
+    #[test]
+    fn resume_preserves_resilience_counters() {
+        use neat_durability::MemFs;
+
+        let net = chain_network(10, 100.0, 10.0);
+        let store = CheckpointStore::open(MemFs::new(), "/ckpt").unwrap();
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut bad = Dataset::new("bad");
+        bad.extend(traverse(0, 3, &[0, 1]));
+        bad.push(
+            Trajectory::new(
+                TrajectoryId::new(900),
+                vec![
+                    RoadLocation::new(SegmentId::new(77), Point::new(0.0, 0.0), 0.0),
+                    RoadLocation::new(SegmentId::new(77), Point::new(1.0, 0.0), 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        online
+            .ingest_logged(&bad, ErrorPolicy::Skip, &store)
+            .unwrap();
+        online.save_checkpoint(&store).unwrap();
+        let (resumed, _) = IncrementalNeat::resume(&net, cfg(), &store).unwrap();
+        assert_eq!(resumed.resilience().skipped, 1);
+        assert_eq!(
+            resumed.resilience().skipped_ids,
+            vec![TrajectoryId::new(900)]
+        );
+        assert_eq!(
+            resumed.last_refinement_stats(),
+            online.last_refinement_stats()
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod evaluation;
@@ -55,6 +56,10 @@ pub mod pipeline;
 pub mod query;
 
 pub use analysis::{ClusterStatistics, DirectionSplit, FlowStatistics};
+pub use checkpoint::{
+    config_hash, network_fingerprint, CheckpointError, CheckpointStore, ResumeReport,
+    CHECKPOINT_VERSION,
+};
 pub use config::{NeatConfig, RouteDistance, SpStrategy, Weights};
 pub use error::NeatError;
 pub use evaluation::{assign_trajectories, pairwise_scores, PairwiseScores};

@@ -158,6 +158,26 @@ impl FlowCluster {
         })
     }
 
+    /// Reassembles a flow cluster from checkpoint-decoded parts. The
+    /// participating-trajectory cache is recomputed; the caller (the
+    /// checkpoint decoder) has already validated the node chain against
+    /// the road network. Returns `None` when the chain length does not
+    /// match the member count or there are no members.
+    pub(crate) fn from_parts(members: Vec<BaseCluster>, nodes: Vec<NodeId>) -> Option<Self> {
+        if members.is_empty() || nodes.len() != members.len() + 1 {
+            return None;
+        }
+        let mut trajectories = BTreeSet::new();
+        for m in &members {
+            trajectories.extend(m.trajectories.iter().copied());
+        }
+        Some(FlowCluster {
+            members,
+            nodes,
+            trajectories,
+        })
+    }
+
     /// Member base clusters in route order.
     pub fn members(&self) -> &[BaseCluster] {
         &self.members

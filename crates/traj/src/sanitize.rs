@@ -753,6 +753,26 @@ pub fn write_quarantine<W: Write>(
     Ok(())
 }
 
+/// Atomically saves quarantined trajectories to `path` in the
+/// [`write_quarantine`] format: the file is staged in full, written to a
+/// temporary sibling and renamed into place, so a crash mid-save never
+/// leaves a truncated or half-written quarantine file behind.
+///
+/// # Errors
+///
+/// Propagates formatting and filesystem failures; on error the
+/// destination is either absent or still holds its previous contents.
+pub fn save_quarantine<P: AsRef<std::path::Path>>(
+    quarantined: &[QuarantinedTrajectory],
+    path: P,
+) -> Result<(), TrajError> {
+    let mut buf = Vec::new();
+    write_quarantine(quarantined, &mut buf)?;
+    neat_durability::write_atomic_std(path.as_ref(), &buf)
+        .map_err(|e| TrajError::Io(std::io::Error::other(e.to_string())))?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

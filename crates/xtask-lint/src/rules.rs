@@ -54,8 +54,16 @@ pub const RULES: [&str; 6] = ["L0", "L1", "L2", "L3", "L4", "L5"];
 
 /// Library crates subject to `L1` (panic-freedom). Binaries under
 /// `src/bin/` are CLI surface and exempt.
-const LIBRARY_CRATES: [&str; 8] = [
-    "rnet", "traj", "mapmatch", "mobisim", "neat", "traclus", "viz", "bench",
+const LIBRARY_CRATES: [&str; 9] = [
+    "rnet",
+    "traj",
+    "mapmatch",
+    "mobisim",
+    "neat",
+    "traclus",
+    "viz",
+    "bench",
+    "durability",
 ];
 
 /// Algorithm crates subject to `L5` (determinism hygiene).

@@ -12,23 +12,36 @@
 //!                  [--weights q,k,v] [--beta B] [--no-elb] [--full-route]
 //!                  [--on-error fail|skip|repair] [--quarantine FILE]
 //!                  [--trace] [--svg out.svg] [--json out.json]
+//!                  [--checkpoint-dir DIR] [--checkpoint-every N]
+//!                  [--batches N] [--resume]
 //! neat stats       --network net.txt [--dataset data.csv]
 //! ```
+//!
+//! With `--checkpoint-dir` the dataset is split into `--batches` time
+//! windows and clustered incrementally; after every `--checkpoint-every`
+//! batches a durable snapshot is written and each applied batch is
+//! journaled, so a killed run restarted with `--resume` continues from
+//! the last acknowledged batch and produces the same clusters as an
+//! uninterrupted run. All file outputs are written atomically
+//! (temp file + rename), so a crash never leaves a half-written artifact.
 //!
 //! Everything is deterministic under `--seed` (default 42).
 
 use neat_repro::cli::{parse, parse_flags, required};
+use neat_repro::durability::{write_atomic_std, StdFs};
 use neat_repro::mobisim::faults::{inject_faults, FaultConfig};
 use neat_repro::mobisim::{generate_dataset, SimConfig};
-use neat_repro::neat::{ErrorPolicy, Mode, Neat, NeatConfig, Weights};
+use neat_repro::neat::{
+    CheckpointError, CheckpointStore, ErrorPolicy, IncrementalNeat, Mode, Neat, NeatConfig, Weights,
+};
 use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig, MapPreset};
 use neat_repro::rnet::{io as netio, RoadNetwork};
-use neat_repro::traj::sanitize::{write_quarantine, SanitizeOutput, Sanitizer};
+use neat_repro::traj::sanitize::{save_quarantine, SanitizeOutput, Sanitizer};
 use neat_repro::traj::{io as trajio, Dataset};
 use neat_repro::viz::render;
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -55,6 +68,8 @@ const USAGE: &str = "usage:
                    [--beta B] [--no-elb] [--full-route] [--trace]
                    [--on-error fail|skip|repair] [--quarantine FILE]
                    [--threads N] [--svg FILE] [--json FILE]
+                   [--checkpoint-dir DIR] [--checkpoint-every N]
+                   [--batches N] [--resume]
   neat stats       --network FILE [--dataset FILE]";
 
 fn load_network(path: &str) -> Result<RoadNetwork, String> {
@@ -102,8 +117,9 @@ fn gen_network(flags: &HashMap<String, String>) -> Result<(), String> {
         _ => return Err("give exactly one of --map or --grid".into()),
     };
     let out = required(flags, "out")?;
-    let f = File::create(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
-    netio::write_network(&net, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    let mut buf = Vec::new();
+    netio::write_network(&net, &mut buf).map_err(|e| e.to_string())?;
+    write_atomic_std(out.as_ref(), &buf).map_err(|e| format!("cannot write `{out}`: {e}"))?;
     let s = net.stats();
     println!(
         "wrote {out}: {} junctions, {} segments, {:.1} km",
@@ -124,10 +140,12 @@ fn simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let seed: u64 = parse(flags, "seed", 42)?;
     let data = generate_dataset(&net, &config, seed, "cli");
     let out = required(flags, "out")?;
-    let f = File::create(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
     match flags.get("faults") {
         None => {
-            trajio::write_dataset(&data, BufWriter::new(f)).map_err(|e| e.to_string())?;
+            let mut buf = Vec::new();
+            trajio::write_dataset(&data, &mut buf).map_err(|e| e.to_string())?;
+            write_atomic_std(out.as_ref(), &buf)
+                .map_err(|e| format!("cannot write `{out}`: {e}"))?;
             println!(
                 "wrote {out}: {} trajectories, {} points",
                 data.len(),
@@ -137,8 +155,10 @@ fn simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(spec) => {
             let fault_config = FaultConfig::parse(spec)?;
             let (fixes, log) = inject_faults(&data, &fault_config, seed);
-            trajio::write_raw_fixes(data.name(), &fixes, BufWriter::new(f))
-                .map_err(|e| e.to_string())?;
+            let mut buf = Vec::new();
+            trajio::write_raw_fixes(data.name(), &fixes, &mut buf).map_err(|e| e.to_string())?;
+            write_atomic_std(out.as_ref(), &buf)
+                .map_err(|e| format!("cannot write `{out}`: {e}"))?;
             println!(
                 "wrote {out}: {} trajectories, {} fixes (faulted)",
                 data.len(),
@@ -168,8 +188,8 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("sanitize: {}", sanitized.summary.digest());
     }
     if let Some(qpath) = flags.get("quarantine") {
-        let qf = File::create(qpath).map_err(|e| format!("cannot create `{qpath}`: {e}"))?;
-        write_quarantine(&sanitized.quarantined, BufWriter::new(qf)).map_err(|e| e.to_string())?;
+        save_quarantine(&sanitized.quarantined, qpath)
+            .map_err(|e| format!("cannot write `{qpath}`: {e}"))?;
         println!(
             "wrote {qpath}: {} quarantined trajectories",
             sanitized.quarantined.len()
@@ -209,6 +229,17 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         },
         ..NeatConfig::default()
     };
+    if flags.contains_key("resume") && !flags.contains_key("checkpoint-dir") {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        if mode == Mode::Base {
+            return Err("--checkpoint-dir needs --mode flow or opt (incremental \
+                        clustering maintains flow clusters)"
+                .into());
+        }
+        return cluster_checkpointed(&net, &data, mode, config, policy, flags, dir);
+    }
     if flags.contains_key("trace") && mode != Mode::Base {
         // Re-run phases 1–2 with tracing to print the merge decisions.
         let (p1, _) = neat_repro::neat::phase1::form_base_clusters_with_policy(
@@ -280,7 +311,8 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
             }).collect::<Vec<_>>(),
         });
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
-        std::fs::write(json_path, text).map_err(|e| format!("cannot write json: {e}"))?;
+        write_atomic_std(json_path.as_ref(), text.as_bytes())
+            .map_err(|e| format!("cannot write json: {e}"))?;
         println!("wrote {json_path}");
     }
     if let Some(svg_path) = flags.get("svg") {
@@ -289,7 +321,161 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
             Mode::Flow => render::render_flow_clusters(&net, &result.flow_clusters),
             Mode::Opt => render::render_trajectory_clusters(&net, &result.clusters),
         };
-        std::fs::write(svg_path, svg).map_err(|e| format!("cannot write svg: {e}"))?;
+        write_atomic_std(svg_path.as_ref(), svg.as_bytes())
+            .map_err(|e| format!("cannot write svg: {e}"))?;
+        println!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+/// Incremental, crash-safe variant of `cluster`: the dataset is split
+/// into `--batches` time windows which are ingested one by one, each
+/// applied batch is journaled and a durable snapshot is written every
+/// `--checkpoint-every` batches (and at the end). A run killed part-way
+/// restarts with `--resume`, skips the batches already acknowledged by
+/// the checkpoint and produces the same clusters as an uninterrupted run.
+fn cluster_checkpointed(
+    net: &RoadNetwork,
+    data: &Dataset,
+    mode: Mode,
+    config: NeatConfig,
+    policy: ErrorPolicy,
+    flags: &HashMap<String, String>,
+    dir: &str,
+) -> Result<(), String> {
+    let every: usize = parse(flags, "checkpoint-every", 1)?;
+    if every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let batches: usize = parse(flags, "batches", 4)?;
+    if batches == 0 {
+        return Err("--batches must be at least 1".into());
+    }
+    let store = CheckpointStore::open(StdFs, dir)
+        .map_err(|e| format!("cannot open checkpoint dir `{dir}`: {e}"))?;
+    let mut session = if flags.contains_key("resume") {
+        match IncrementalNeat::resume(net, config, &store) {
+            Ok((session, report)) => {
+                println!(
+                    "resumed from {dir}: snapshot at batch {}, {} journaled batch(es) replayed",
+                    report
+                        .snapshot_seq
+                        .map_or_else(|| "none".to_string(), |s| s.to_string()),
+                    report.replayed_batches
+                );
+                for (name, why) in &report.rejected_snapshots {
+                    println!("  note: snapshot {name} rejected ({why}); used an older one");
+                }
+                if report.torn_tail_bytes > 0 {
+                    println!(
+                        "  note: dropped {} byte(s) of a journal append torn by the crash",
+                        report.torn_tail_bytes
+                    );
+                }
+                session
+            }
+            Err(CheckpointError::NoCheckpoint { .. }) => {
+                println!("nothing to resume in {dir}; starting fresh");
+                IncrementalNeat::new(net, config)
+            }
+            Err(e) => return Err(format!("cannot resume from `{dir}`: {e}")),
+        }
+    } else {
+        IncrementalNeat::new(net, config)
+    };
+    let windows = data.split_windows(batches);
+    let done = session.batches();
+    if done > windows.len() {
+        return Err(format!(
+            "checkpoint in `{dir}` already covers {done} batches but the dataset \
+             splits into only {}; re-run with the original --batches value",
+            windows.len()
+        ));
+    }
+    if done > 0 {
+        println!("skipping {done} already-applied batch(es)");
+    }
+    for window in windows.iter().skip(done) {
+        let seq = session.batches() + 1;
+        session
+            .ingest_logged(window, policy, &store)
+            .map_err(|e| format!("batch {seq} failed: {e}"))?;
+        if session.batches() % every == 0 {
+            session
+                .save_checkpoint(&store)
+                .map_err(|e| format!("checkpoint after batch {seq} failed: {e}"))?;
+        }
+    }
+    session
+        .save_checkpoint(&store)
+        .map_err(|e| format!("final checkpoint failed: {e}"))?;
+    let flows = session.flow_clusters();
+    let clusters = session.current_clusters().map_err(|e| e.to_string())?;
+    let r = session.resilience();
+    println!(
+        "{} batch(es) clustered incrementally: {} flow clusters, {} trajectory clusters",
+        session.batches(),
+        flows.len(),
+        clusters.len()
+    );
+    if r.skipped > 0 || r.repaired > 0 {
+        println!(
+            "  resilience: {} skipped, {} repaired trajectories",
+            r.skipped, r.repaired
+        );
+    }
+    for (i, f) in flows.iter().enumerate() {
+        println!(
+            "  flow {i}: {} segments, {:.0} m, {} trajectories",
+            f.members().len(),
+            f.route_length(net),
+            f.trajectory_cardinality()
+        );
+    }
+    if mode == Mode::Opt {
+        for (i, c) in clusters.iter().enumerate() {
+            println!(
+                "  cluster {i}: {} flows, {} trajectories, {:.1} km",
+                c.flows().len(),
+                c.trajectory_cardinality(),
+                c.total_route_length(net) / 1000.0
+            );
+        }
+    }
+    if let Some(json_path) = flags.get("json") {
+        let doc = serde_json::json!({
+            "mode": mode.name(),
+            "incremental": true,
+            "batches": session.batches(),
+            "flow_clusters": flows.iter().map(|f| {
+                serde_json::json!({
+                    "route": f.route().iter().map(|s| s.index()).collect::<Vec<_>>(),
+                    "trajectories": f.participating_trajectories().iter()
+                        .map(|t| t.value()).collect::<Vec<_>>(),
+                    "route_length_m": f.route_length(net),
+                    "density": f.density(),
+                })
+            }).collect::<Vec<_>>(),
+            "clusters": clusters.iter().map(|c| {
+                serde_json::json!({
+                    "flows": c.flows().len(),
+                    "trajectory_cardinality": c.trajectory_cardinality(),
+                    "total_route_length_m": c.total_route_length(net),
+                })
+            }).collect::<Vec<_>>(),
+        });
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        write_atomic_std(json_path.as_ref(), text.as_bytes())
+            .map_err(|e| format!("cannot write json: {e}"))?;
+        println!("wrote {json_path}");
+    }
+    if let Some(svg_path) = flags.get("svg") {
+        let svg = match mode {
+            Mode::Flow => render::render_flow_clusters(net, flows),
+            _ => render::render_trajectory_clusters(net, &clusters),
+        };
+        write_atomic_std(svg_path.as_ref(), svg.as_bytes())
+            .map_err(|e| format!("cannot write svg: {e}"))?;
         println!("wrote {svg_path}");
     }
     Ok(())

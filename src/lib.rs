@@ -7,6 +7,7 @@
 pub mod cli;
 
 pub use neat_core as neat;
+pub use neat_durability as durability;
 pub use neat_mapmatch as mapmatch;
 pub use neat_mobisim as mobisim;
 pub use neat_rnet as rnet;

@@ -187,6 +187,110 @@ fn bad_arguments_fail_with_usage() {
 }
 
 #[test]
+fn checkpointed_cluster_resumes_to_identical_output() {
+    let net_path = tmp("cp_net.txt");
+    let data_path = tmp("cp_data.csv");
+    let ckpt_dir = tmp("cp_store");
+    let json_a = tmp("cp_a.json");
+    let json_b = tmp("cp_b.json");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    assert!(neat()
+        .args([
+            "gen-network",
+            "--grid",
+            "6x6",
+            "--out",
+            net_path.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(neat()
+        .args([
+            "simulate",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--objects",
+            "30",
+            "--out",
+            data_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let cluster_args = |json: &PathBuf| {
+        vec![
+            "cluster".to_string(),
+            "--network".into(),
+            net_path.to_str().unwrap().into(),
+            "--dataset".into(),
+            data_path.to_str().unwrap().into(),
+            "--min-card".into(),
+            "3".into(),
+            "--epsilon".into(),
+            "500".into(),
+            "--checkpoint-dir".into(),
+            ckpt_dir.to_str().unwrap().into(),
+            "--batches".into(),
+            "4".into(),
+            "--json".into(),
+            json.to_str().unwrap().into(),
+        ]
+    };
+
+    let out = neat().args(cluster_args(&json_a)).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clustered incrementally"));
+    // The store holds a journal and at least one snapshot.
+    let names: Vec<String> = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(names.iter().any(|n| n == "journal.neatlog"), "{names:?}");
+    assert!(names.iter().any(|n| n.ends_with(".neatsnap")), "{names:?}");
+
+    // Resuming over a completed run skips every batch and reproduces the
+    // same machine-readable output byte for byte.
+    let mut args = cluster_args(&json_b);
+    args.push("--resume".into());
+    let out = neat().args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resumed from"), "{stdout}");
+    assert!(stdout.contains("skipping 4 already-applied"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&json_a).unwrap(),
+        std::fs::read(&json_b).unwrap(),
+        "resumed run must reproduce the original output"
+    );
+
+    // --resume without a store to resume from is a clean restart, and
+    // --resume without --checkpoint-dir is a usage error.
+    let out = neat()
+        .args([
+            "cluster",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume requires --checkpoint-dir"));
+}
+
+#[test]
 fn deterministic_outputs_for_same_seed() {
     let a = tmp("det_a.txt");
     let b = tmp("det_b.txt");
