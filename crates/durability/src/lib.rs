@@ -18,6 +18,9 @@
 //!   container frame; any single-bit flip is detected.
 //! * [`journal`] — an append-only record log that tolerates a torn tail
 //!   (crash mid-append) but treats interior corruption as a hard error.
+//! * [`retry::RetryFs`] — a decorator retrying transient I/O errors of
+//!   idempotent operations with injectable backoff (never `append`,
+//!   which could duplicate journal records).
 //! * [`store::Store`] — a checkpoint directory combining numbered
 //!   snapshots with a sequence-tagged journal, including retention and
 //!   fallback-to-previous-snapshot recovery.
@@ -44,10 +47,12 @@ pub mod codec;
 pub mod error;
 pub mod fs;
 pub mod journal;
+pub mod retry;
 pub mod snapshot;
 pub mod store;
 
 pub use codec::{crc32, fnv64, Dec, Enc};
 pub use error::DurabilityError;
 pub use fs::{write_atomic, write_atomic_std, Fs, MemFs, StdFs};
+pub use retry::{Backoff, NoBackoff, RetryFs, SleepBackoff};
 pub use store::{JournalEntry, Recovery, Store};

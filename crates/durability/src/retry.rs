@@ -1,0 +1,327 @@
+//! Retry decorator over [`Fs`] for transient I/O errors.
+//!
+//! Network filesystems and overloaded disks surface transient failures
+//! (`EINTR`, `EAGAIN`, timeouts) that succeed on a simple retry. Rather
+//! than teach every call site a retry loop, [`RetryFs`] wraps any [`Fs`]
+//! and replays *idempotent* operations a bounded number of times with an
+//! injectable backoff.
+//!
+//! `append` is deliberately **not** retried: a failed append may have
+//! landed partially, and replaying it could duplicate journal records.
+//! The journal layer already tolerates a torn tail, so the safe recovery
+//! for a failed append is the caller's (re-ingest after resume), not a
+//! blind replay.
+
+use crate::fs::Fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How to pause between retry attempts.
+///
+/// Injected so tests (and deterministic replay harnesses) never sleep:
+/// the durability layer is not an algorithm crate, but keeping wall-time
+/// behind a seam mirrors the `Clock` discipline used by `neat-runctl`.
+pub trait Backoff: Send + Sync {
+    /// Pauses before retry number `attempt` (1-based).
+    fn pause(&self, attempt: u32);
+}
+
+/// Exponential backoff that actually sleeps: `base * 2^(attempt-1)`,
+/// capped at `max`.
+#[derive(Debug, Clone)]
+pub struct SleepBackoff {
+    base: Duration,
+    max: Duration,
+}
+
+impl SleepBackoff {
+    /// Backoff starting at `base`, doubling per attempt, capped at `max`.
+    pub fn new(base: Duration, max: Duration) -> Self {
+        SleepBackoff { base, max }
+    }
+}
+
+impl Default for SleepBackoff {
+    /// 10 ms base, 500 ms cap — tuned for local-disk hiccups, not WAN.
+    fn default() -> Self {
+        SleepBackoff::new(Duration::from_millis(10), Duration::from_millis(500))
+    }
+}
+
+impl Backoff for SleepBackoff {
+    fn pause(&self, attempt: u32) {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        std::thread::sleep(self.base.saturating_mul(factor).min(self.max));
+    }
+}
+
+/// No pause at all — for tests and for callers that retry in a loop that
+/// already paces itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBackoff;
+
+impl Backoff for NoBackoff {
+    fn pause(&self, _attempt: u32) {}
+}
+
+/// `true` for error kinds that plausibly succeed on retry.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// An [`Fs`] decorator that retries transient failures of idempotent
+/// operations.
+///
+/// Retried: `read`, `write`, `rename`, `remove_file`, `create_dir_all`,
+/// `list`, `sync_dir`. Not retried: `append` (see module docs) and any
+/// error whose kind is not transient (`Interrupted` / `WouldBlock` /
+/// `TimedOut`).
+///
+/// ```
+/// use neat_durability::fs::{Fs, MemFs};
+/// use neat_durability::retry::{NoBackoff, RetryFs};
+/// use std::path::Path;
+///
+/// let fs = RetryFs::new(MemFs::new(), 3, NoBackoff);
+/// fs.write(Path::new("/d/a"), b"payload").unwrap();
+/// assert_eq!(fs.read(Path::new("/d/a")).unwrap(), b"payload");
+/// assert_eq!(fs.retries(), 0); // MemFs never fails transiently
+/// ```
+#[derive(Debug)]
+pub struct RetryFs<F, B = SleepBackoff> {
+    inner: F,
+    max_retries: u32,
+    backoff: B,
+    retries: AtomicU64,
+}
+
+impl<F: Fs> RetryFs<F> {
+    /// Wraps `inner` with the default [`SleepBackoff`].
+    pub fn with_default_backoff(inner: F, max_retries: u32) -> Self {
+        RetryFs::new(inner, max_retries, SleepBackoff::default())
+    }
+}
+
+impl<F: Fs, B: Backoff> RetryFs<F, B> {
+    /// Wraps `inner`, retrying each idempotent operation up to
+    /// `max_retries` extra times with `backoff` pauses in between.
+    pub fn new(inner: F, max_retries: u32, backoff: B) -> Self {
+        RetryFs {
+            inner,
+            max_retries,
+            backoff,
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Total retry attempts performed (across all operations) — an
+    /// observability counter for flaky-storage diagnostics.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped filesystem.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && attempt < self.max_retries => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff.pause(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<F: Fs, B: Backoff> Fs for RetryFs<F, B> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.run(|| self.inner.read(path))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.run(|| self.inner.write(path, bytes))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // Never retried: a partial landing would duplicate records.
+        self.inner.append(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.run(|| self.inner.rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.run(|| self.inner.remove_file(path))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.run(|| self.inner.create_dir_all(path))
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.run(|| self.inner.list(dir))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.run(|| self.inner.sync_dir(dir))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Mutex;
+
+    /// Fails each operation's first `fail_first` calls with `kind`.
+    #[derive(Debug)]
+    struct Flaky {
+        inner: MemFs,
+        fail_first: u32,
+        kind: io::ErrorKind,
+        calls: AtomicU32,
+    }
+
+    impl Flaky {
+        fn new(fail_first: u32, kind: io::ErrorKind) -> Self {
+            Flaky {
+                inner: MemFs::new(),
+                fail_first,
+                kind,
+                calls: AtomicU32::new(0),
+            }
+        }
+
+        fn gate(&self) -> io::Result<()> {
+            if self.calls.fetch_add(1, Ordering::SeqCst) < self.fail_first {
+                Err(io::Error::new(self.kind, "injected transient fault"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl Fs for Flaky {
+        fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+            self.gate()?;
+            self.inner.read(p)
+        }
+        fn write(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+            self.gate()?;
+            self.inner.write(p, b)
+        }
+        fn append(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+            self.gate()?;
+            self.inner.append(p, b)
+        }
+        fn rename(&self, f: &Path, t: &Path) -> io::Result<()> {
+            self.gate()?;
+            self.inner.rename(f, t)
+        }
+        fn remove_file(&self, p: &Path) -> io::Result<()> {
+            self.gate()?;
+            self.inner.remove_file(p)
+        }
+        fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+            self.gate()?;
+            self.inner.create_dir_all(p)
+        }
+        fn list(&self, d: &Path) -> io::Result<Vec<PathBuf>> {
+            self.gate()?;
+            self.inner.list(d)
+        }
+        fn sync_dir(&self, d: &Path) -> io::Result<()> {
+            self.gate()?;
+            self.inner.sync_dir(d)
+        }
+        fn exists(&self, p: &Path) -> bool {
+            self.inner.exists(p)
+        }
+    }
+
+    #[test]
+    fn transient_write_errors_are_retried() {
+        let fs = RetryFs::new(Flaky::new(2, io::ErrorKind::Interrupted), 3, NoBackoff);
+        fs.write(Path::new("/d/a"), b"ok").unwrap();
+        assert_eq!(fs.retries(), 2);
+        assert_eq!(fs.inner().inner.read(Path::new("/d/a")).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let fs = RetryFs::new(Flaky::new(10, io::ErrorKind::TimedOut), 3, NoBackoff);
+        let err = fs.write(Path::new("/d/a"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(fs.retries(), 3, "exactly max_retries attempts");
+    }
+
+    #[test]
+    fn non_transient_errors_fail_immediately() {
+        let fs = RetryFs::new(Flaky::new(5, io::ErrorKind::PermissionDenied), 3, NoBackoff);
+        let err = fs.write(Path::new("/d/a"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(fs.retries(), 0);
+    }
+
+    #[test]
+    fn append_is_never_retried() {
+        let fs = RetryFs::new(Flaky::new(1, io::ErrorKind::Interrupted), 3, NoBackoff);
+        let err = fs.append(Path::new("/d/log"), b"rec").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(fs.retries(), 0);
+        // The next append succeeds (fault consumed) and nothing doubled.
+        fs.append(Path::new("/d/log"), b"rec").unwrap();
+        assert_eq!(fs.inner().inner.read(Path::new("/d/log")).unwrap(), b"rec");
+    }
+
+    #[test]
+    fn backoff_sees_increasing_attempt_numbers() {
+        #[derive(Default)]
+        struct Recording(Mutex<Vec<u32>>);
+        impl Backoff for Recording {
+            fn pause(&self, attempt: u32) {
+                self.0
+                    .lock()
+                    .expect("test mutex") // lint:allow(L1) reason=test-only recorder; poisoning implies a prior panic
+                    .push(attempt);
+            }
+        }
+        let fs = RetryFs::new(
+            Flaky::new(3, io::ErrorKind::WouldBlock),
+            5,
+            Recording::default(),
+        );
+        fs.read(Path::new("/missing")).unwrap_err(); // NotFound after retries
+                                                     // Three transient faults, then the real NotFound surfaces.
+        assert_eq!(*fs.backoff.0.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn retryfs_composes_with_write_atomic() {
+        let fs = RetryFs::new(Flaky::new(2, io::ErrorKind::Interrupted), 4, NoBackoff);
+        crate::fs::write_atomic(&fs, Path::new("/d/snap"), b"payload").unwrap();
+        assert_eq!(
+            fs.inner().inner.read(Path::new("/d/snap")).unwrap(),
+            b"payload"
+        );
+    }
+}

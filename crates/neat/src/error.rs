@@ -1,6 +1,7 @@
 //! Error type for the NEAT pipeline.
 
 use neat_rnet::{RnetError, SegmentId};
+use neat_runctl::Interrupt;
 use std::error::Error;
 use std::fmt;
 
@@ -29,6 +30,13 @@ pub enum NeatError {
     },
     /// An underlying road-network error.
     Rnet(RnetError),
+    /// The run was stopped by its execution controller (deadline, budget
+    /// or cancellation). Controlled entry points such as
+    /// [`crate::Neat::run_controlled`] intercept this variant and convert
+    /// it into a graceful [`crate::control::Outcome`]; it can only escape
+    /// through the low-level phase functions when a
+    /// [`neat_runctl::Control`] is attached.
+    Interrupted(Interrupt),
 }
 
 impl fmt::Display for NeatError {
@@ -45,6 +53,7 @@ impl fmt::Display for NeatError {
                 write!(f, "segment {candidate} is not adjacent to flow end {end}")
             }
             NeatError::Rnet(e) => write!(f, "road network error: {e}"),
+            NeatError::Interrupted(i) => write!(f, "run interrupted: {}", i.name()),
         }
     }
 }
@@ -82,6 +91,7 @@ mod tests {
                 candidate: SegmentId::new(5),
             },
             NeatError::Rnet(RnetError::EmptyNetwork),
+            NeatError::Interrupted(Interrupt::Cancelled),
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

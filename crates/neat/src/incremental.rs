@@ -13,15 +13,45 @@
 
 use crate::checkpoint::{self, CheckpointError, CheckpointStore, ResumeReport};
 use crate::config::NeatConfig;
+use crate::control::{Completeness, Degradation, DegradationStep, PhaseStatus};
 use crate::error::NeatError;
 use crate::model::{FlowCluster, TrajectoryCluster};
-use crate::phase1::{form_base_clusters_with_policy, ResilienceCounters};
-use crate::phase2::form_flow_clusters;
-use crate::phase3::{refine_flow_clusters, Phase3Stats};
+use crate::phase1::{form_base_clusters_ctl, form_base_clusters_with_policy, ResilienceCounters};
+use crate::phase2::{form_flow_clusters, form_flow_clusters_ctl};
+use crate::phase3::{refine_flow_clusters, refine_flow_clusters_ctl, Phase3Stats};
+use crate::pipeline::Mode;
 use neat_durability::fs::Fs;
 use neat_rnet::RoadNetwork;
+use neat_runctl::{Control, Interrupt};
 use neat_traj::sanitize::ErrorPolicy;
 use neat_traj::Dataset;
+
+/// Result of [`IncrementalNeat::ingest_controlled`].
+///
+/// Ingestion under a [`Control`] is *atomic with respect to the retained
+/// state*: the batch's Phases 1–2 run to the side, and only when both
+/// complete uninterrupted is the state mutated (`applied == true`). An
+/// interrupt during the batch phases leaves the session exactly as it was
+/// — resuming with the same batch later reproduces the uninterrupted
+/// result, preserving the replay-determinism guarantees of the
+/// checkpoint journal.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// Current trajectory clusters. Empty when `applied` is false (the
+    /// pre-batch view is available via
+    /// [`IncrementalNeat::current_clusters`]); possibly produced by a
+    /// degraded refinement when `applied` is true.
+    pub clusters: Vec<TrajectoryCluster>,
+    /// Whether the batch was folded into the retained state. False only
+    /// when Phase 1 or Phase 2 of the batch was interrupted.
+    pub applied: bool,
+    /// Per-phase completion status for this ingest call.
+    pub completeness: Completeness,
+    /// Degradation ladder record (requested mode is always [`Mode::Opt`]).
+    pub degradation: Degradation,
+    /// The first interrupt observed, if any.
+    pub interrupt: Option<Interrupt>,
+}
 
 /// Online NEAT clusterer retaining flow clusters across batches.
 ///
@@ -121,6 +151,131 @@ impl<'a> IncrementalNeat<'a> {
         let p3 = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
         self.last_stats = p3.stats;
         Ok(p3.clusters)
+    }
+
+    /// [`IncrementalNeat::ingest_with_policy`] under a [`Control`]:
+    /// cooperative cancel points run through the batch's Phases 1–2 and
+    /// the combined refinement, and on interrupt the call degrades
+    /// gracefully instead of erroring.
+    ///
+    /// State mutation is atomic: an interrupt during the batch's Phase 1
+    /// or Phase 2 returns `applied == false` and leaves the retained
+    /// flows, batch count and counters untouched, so the caller can
+    /// simply retry the batch with a fresh budget. Once the batch is
+    /// applied, a refinement interrupt only degrades the *returned view*
+    /// (ELB-only distances or partial grouping) — the retained flow set
+    /// is already consistent.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IncrementalNeat::ingest_with_policy`]; interrupts are
+    /// reported inside the [`IngestOutcome`], never as errors.
+    pub fn ingest_controlled(
+        &mut self,
+        batch: &Dataset,
+        policy: ErrorPolicy,
+        ctl: &Control,
+    ) -> Result<IngestOutcome, NeatError> {
+        self.config.validate()?;
+        // Phases 1–2 run on the batch alone, without touching `self`.
+        let (p1, counters, s1) = form_base_clusters_ctl(
+            self.net,
+            batch,
+            self.config.insert_junctions,
+            1, // sequential: deterministic cut points for replay
+            policy,
+            ctl,
+        )?;
+        if !s1.is_complete() {
+            let why = s1.interrupt();
+            let mut steps = Vec::new();
+            if let PhaseStatus::Partial { done, total, .. } = s1 {
+                steps.push(DegradationStep::TruncatedPhase1 { done, total });
+            }
+            steps.push(DegradationStep::SkippedPhase2);
+            steps.push(DegradationStep::SkippedPhase3);
+            return Ok(IngestOutcome {
+                clusters: Vec::new(),
+                applied: false,
+                completeness: Completeness {
+                    phase1: s1,
+                    phase2: PhaseStatus::Skipped {
+                        why: why.unwrap_or(Interrupt::Cancelled),
+                    },
+                    phase3: PhaseStatus::Skipped {
+                        why: why.unwrap_or(Interrupt::Cancelled),
+                    },
+                },
+                degradation: Degradation {
+                    requested: Mode::Opt,
+                    delivered: Mode::Base,
+                    steps,
+                },
+                interrupt: why,
+            });
+        }
+        let (p2, s2) = form_flow_clusters_ctl(self.net, p1.base_clusters, &self.config, ctl)?;
+        if !s2.is_complete() {
+            let why = s2.interrupt();
+            let mut steps = Vec::new();
+            if let PhaseStatus::Partial { done, total, .. } = s2 {
+                steps.push(DegradationStep::TruncatedPhase2 { done, total });
+            }
+            steps.push(DegradationStep::SkippedPhase3);
+            return Ok(IngestOutcome {
+                clusters: Vec::new(),
+                applied: false,
+                completeness: Completeness {
+                    phase1: s1,
+                    phase2: s2,
+                    phase3: PhaseStatus::Skipped {
+                        why: why.unwrap_or(Interrupt::Cancelled),
+                    },
+                },
+                degradation: Degradation {
+                    requested: Mode::Opt,
+                    delivered: Mode::Flow,
+                    steps,
+                },
+                interrupt: why,
+            });
+        }
+
+        // Both batch phases completed: fold into the retained state.
+        self.flows.extend(p2.flow_clusters);
+        self.batches += 1;
+        self.resilience.merge(&counters);
+
+        // Refinement reads the retained flows but never mutates them, so
+        // a degraded or partial grouping here only affects this view.
+        let refined = refine_flow_clusters_ctl(self.net, self.flows.clone(), &self.config, ctl)?;
+        self.last_stats = refined.output.stats;
+        let s3 = refined.status;
+        let mut steps = Vec::new();
+        if refined.elb_only {
+            steps.push(DegradationStep::ElbOnlyPhase3);
+        }
+        if let PhaseStatus::Partial { done, total, .. } = s3 {
+            steps.push(DegradationStep::TruncatedPhase3 {
+                grouped: done,
+                total,
+            });
+        }
+        Ok(IngestOutcome {
+            clusters: refined.output.clusters,
+            applied: true,
+            completeness: Completeness {
+                phase1: s1,
+                phase2: s2,
+                phase3: s3,
+            },
+            degradation: Degradation {
+                requested: Mode::Opt,
+                delivered: Mode::Opt,
+                steps,
+            },
+            interrupt: s3.interrupt(),
+        })
     }
 
     /// Trajectories isolated (skipped/repaired) across all batches
@@ -619,6 +774,48 @@ mod tests {
         assert_eq!(
             resumed.last_refinement_stats(),
             online.last_refinement_stats()
+        );
+    }
+
+    #[test]
+    fn controlled_ingest_is_atomic_on_interrupt() {
+        use neat_runctl::{CancelToken, Control, Interrupt, RunBudget};
+
+        let net = chain_network(10, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(traverse(0, 3, &[0, 1, 2]));
+        online.ingest(&b1).unwrap();
+        let flows_before = online.flow_clusters().to_vec();
+
+        // A batch interrupted during its own phases must not touch state.
+        let mut b2 = Dataset::new("b2");
+        b2.extend(traverse(100, 3, &[6, 7, 8]));
+        let ctl = Control::new(RunBudget::unlimited(), CancelToken::armed_after(0));
+        let out = online
+            .ingest_controlled(&b2, ErrorPolicy::Strict, &ctl)
+            .unwrap();
+        assert!(!out.applied);
+        assert_eq!(out.interrupt, Some(Interrupt::Cancelled));
+        assert!(out.clusters.is_empty());
+        assert_eq!(online.batches(), 1);
+        assert_eq!(online.flow_clusters(), flows_before.as_slice());
+
+        // Retrying the same batch with a fresh budget applies it and
+        // matches the uncontrolled path exactly.
+        let mut reference = IncrementalNeat::new(&net, cfg());
+        reference.ingest(&b1).unwrap();
+        let expected = reference.ingest(&b2).unwrap();
+        let out = online
+            .ingest_controlled(&b2, ErrorPolicy::Strict, &Control::unlimited())
+            .unwrap();
+        assert!(out.applied);
+        assert!(out.interrupt.is_none());
+        assert_eq!(online.batches(), 2);
+        assert_eq!(
+            format!("{expected:?}"),
+            format!("{:?}", out.clusters),
+            "controlled retry must reproduce the uncontrolled ingest"
         );
     }
 

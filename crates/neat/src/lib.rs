@@ -45,6 +45,7 @@
 pub mod analysis;
 pub mod checkpoint;
 pub mod config;
+pub mod control;
 pub mod error;
 pub mod evaluation;
 pub mod incremental;
@@ -61,9 +62,10 @@ pub use checkpoint::{
     CHECKPOINT_VERSION,
 };
 pub use config::{NeatConfig, RouteDistance, SpStrategy, Weights};
+pub use control::{Completeness, Degradation, DegradationStep, Outcome, PhaseStatus};
 pub use error::NeatError;
 pub use evaluation::{assign_trajectories, pairwise_scores, PairwiseScores};
-pub use incremental::IncrementalNeat;
+pub use incremental::{IncrementalNeat, IngestOutcome};
 pub use model::{BaseCluster, FlowCluster, TrajectoryCluster};
 pub use neat_traj::sanitize::ErrorPolicy;
 pub use phase1::ResilienceCounters;

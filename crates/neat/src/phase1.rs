@@ -14,10 +14,12 @@
 //! clusters, which are returned sorted by density (descending) so the
 //! first cluster is the dense-core (Definition 4).
 
+use crate::control::PhaseStatus;
 use crate::error::NeatError;
 use crate::model::BaseCluster;
 use neat_rnet::path::TravelMode;
 use neat_rnet::{RoadLocation, RoadNetwork, SegmentId, ShortestPathEngine};
+use neat_runctl::{Control, Interrupt};
 use neat_traj::sanitize::ErrorPolicy;
 use neat_traj::{Dataset, TFragment, Trajectory, TrajectoryId};
 use std::collections::HashMap;
@@ -69,12 +71,14 @@ impl ResilienceCounters {
 }
 
 /// Outcome of extracting one trajectory under a policy. `Failed` only
-/// occurs under [`ErrorPolicy::Strict`].
+/// occurs under [`ErrorPolicy::Strict`]; `Interrupted` only with a
+/// [`Control`] attached.
 enum TrajOutcome {
     Ok(Vec<TFragment>),
     Repaired(Vec<TFragment>),
     Skipped(TrajectoryId),
     Failed(NeatError),
+    Interrupted(Interrupt),
 }
 
 /// Extracts one trajectory's fragments and validates every fragment's
@@ -84,9 +88,10 @@ fn try_extract(
     engine: &mut ShortestPathEngine,
     tr: &Trajectory,
     insert_junctions: bool,
+    ctl: Option<&Control>,
 ) -> Result<Vec<TFragment>, NeatError> {
     let frags = if insert_junctions {
-        extract_fragments_with_junctions(net, engine, tr)?
+        extract_fragments_ctl(net, engine, tr, ctl)?
     } else {
         neat_traj::fragment::split_into_fragments(tr)
     };
@@ -104,9 +109,20 @@ fn extract_with_policy(
     tr: &Trajectory,
     insert_junctions: bool,
     policy: ErrorPolicy,
+    ctl: Option<&Control>,
 ) -> TrajOutcome {
-    match try_extract(net, engine, tr, insert_junctions) {
+    // One cancel point per trajectory, plus the per-settled-node points
+    // inside the gap-repair shortest paths.
+    if let Some(c) = ctl {
+        if let Err(why) = c.check() {
+            return TrajOutcome::Interrupted(why);
+        }
+    }
+    match try_extract(net, engine, tr, insert_junctions, ctl) {
         Ok(frags) => TrajOutcome::Ok(frags),
+        // Interrupts must bypass the error policy: they are verdicts on
+        // the *run*, not on this trajectory's data.
+        Err(NeatError::Interrupted(why)) => TrajOutcome::Interrupted(why),
         Err(e) => match policy {
             ErrorPolicy::Strict => TrajOutcome::Failed(e),
             ErrorPolicy::Skip => TrajOutcome::Skipped(tr.id()),
@@ -121,8 +137,12 @@ fn extract_with_policy(
                     .collect();
                 if kept.len() >= 2 {
                     if let Ok(repaired) = Trajectory::new(tr.id(), kept) {
-                        if let Ok(frags) = try_extract(net, engine, &repaired, insert_junctions) {
-                            return TrajOutcome::Repaired(frags);
+                        match try_extract(net, engine, &repaired, insert_junctions, ctl) {
+                            Ok(frags) => return TrajOutcome::Repaired(frags),
+                            Err(NeatError::Interrupted(why)) => {
+                                return TrajOutcome::Interrupted(why)
+                            }
+                            Err(_) => {}
                         }
                     }
                 }
@@ -192,24 +212,52 @@ pub fn form_base_clusters_with_policy(
     insert_junctions: bool,
     policy: ErrorPolicy,
 ) -> Result<(Phase1Output, ResilienceCounters), NeatError> {
+    form_base_clusters_seq_ctl(net, dataset, insert_junctions, policy, None)
+        .map(|(out, counters, _)| (out, counters))
+}
+
+/// Sequential extraction under an optional [`Control`]: stops at the
+/// first interrupted trajectory and reports how far it got.
+fn form_base_clusters_seq_ctl(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+    policy: ErrorPolicy,
+    ctl: Option<&Control>,
+) -> Result<(Phase1Output, ResilienceCounters, PhaseStatus), NeatError> {
     let mut engine = ShortestPathEngine::new(net);
+    let total = dataset.len();
     let mut counters = ResilienceCounters::default();
     let mut all_frags: Vec<TFragment> = Vec::new();
+    let mut done = 0usize;
+    let mut status = PhaseStatus::Complete;
     for tr in dataset.trajectories() {
-        match extract_with_policy(net, &mut engine, tr, insert_junctions, policy) {
-            TrajOutcome::Ok(frags) => all_frags.extend(frags),
+        match extract_with_policy(net, &mut engine, tr, insert_junctions, policy, ctl) {
+            TrajOutcome::Ok(frags) => {
+                all_frags.extend(frags);
+                done += 1;
+            }
             TrajOutcome::Repaired(frags) => {
                 counters.repaired += 1;
                 all_frags.extend(frags);
+                done += 1;
             }
             TrajOutcome::Skipped(id) => {
                 counters.skipped += 1;
                 counters.skipped_ids.push(id);
+                done += 1;
             }
             TrajOutcome::Failed(e) => return Err(e),
+            TrajOutcome::Interrupted(why) => {
+                // Fragments of the interrupted trajectory are discarded
+                // whole, so the delivered base clusters cover exactly the
+                // `done`-trajectory prefix of the dataset.
+                status = PhaseStatus::Partial { done, total, why };
+                break;
+            }
         }
     }
-    Ok((group_into_clusters(all_frags), counters))
+    Ok((group_into_clusters(all_frags), counters, status))
 }
 
 /// Parallel variant of [`form_base_clusters`]: trajectories are split
@@ -257,11 +305,48 @@ pub fn form_base_clusters_parallel_with_policy(
     threads: usize,
     policy: ErrorPolicy,
 ) -> Result<(Phase1Output, ResilienceCounters), NeatError> {
+    form_base_clusters_par_ctl(net, dataset, insert_junctions, threads, policy, None)
+        .map(|(out, counters, _)| (out, counters))
+}
+
+/// Phase 1 under a [`Control`]: cooperative cancel points per trajectory
+/// and per settled node inside gap-repair shortest paths. On interrupt
+/// the clusters built from the completed trajectory prefix are returned
+/// with a [`PhaseStatus::Partial`] report instead of an error.
+///
+/// With `threads == 1` (the default) the cut point is deterministic for
+/// a given budget/arming; with more threads cancellation is safe but the
+/// cut point depends on scheduling.
+///
+/// # Errors
+///
+/// Same as [`form_base_clusters_parallel_with_policy`] — interrupts are
+/// reported in the returned status, never as errors.
+pub fn form_base_clusters_ctl(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+    threads: usize,
+    policy: ErrorPolicy,
+    ctl: &Control,
+) -> Result<(Phase1Output, ResilienceCounters, PhaseStatus), NeatError> {
+    form_base_clusters_par_ctl(net, dataset, insert_junctions, threads, policy, Some(ctl))
+}
+
+fn form_base_clusters_par_ctl(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+    threads: usize,
+    policy: ErrorPolicy,
+    ctl: Option<&Control>,
+) -> Result<(Phase1Output, ResilienceCounters, PhaseStatus), NeatError> {
     let threads = threads.max(1);
     if threads == 1 || dataset.len() < 2 * threads {
-        return form_base_clusters_with_policy(net, dataset, insert_junctions, policy);
+        return form_base_clusters_seq_ctl(net, dataset, insert_junctions, policy, ctl);
     }
     let trajectories = dataset.trajectories();
+    let total = trajectories.len();
     let chunk_size = trajectories.len().div_ceil(threads);
     let chunks: Vec<&[Trajectory]> = trajectories.chunks(chunk_size).collect();
 
@@ -271,10 +356,13 @@ pub fn form_base_clusters_parallel_with_policy(
             .map(|chunk| {
                 scope.spawn(move |_| {
                     let mut engine = ShortestPathEngine::new(net);
+                    // After an interrupt latches, every subsequent check
+                    // fails immediately, so the remaining trajectories of
+                    // each chunk drain at negligible cost.
                     chunk
                         .iter()
                         .map(|tr| {
-                            extract_with_policy(net, &mut engine, tr, insert_junctions, policy)
+                            extract_with_policy(net, &mut engine, tr, insert_junctions, policy, ctl)
                         })
                         .collect::<Vec<TrajOutcome>>()
                 })
@@ -289,21 +377,36 @@ pub fn form_base_clusters_parallel_with_policy(
 
     let mut counters = ResilienceCounters::default();
     let mut all_frags: Vec<TFragment> = Vec::new();
-    for outcome in results.into_iter().flatten() {
+    let mut done = 0usize;
+    let mut status = PhaseStatus::Complete;
+    'fold: for outcome in results.into_iter().flatten() {
         match outcome {
-            TrajOutcome::Ok(frags) => all_frags.extend(frags),
+            TrajOutcome::Ok(frags) => {
+                all_frags.extend(frags);
+                done += 1;
+            }
             TrajOutcome::Repaired(frags) => {
                 counters.repaired += 1;
                 all_frags.extend(frags);
+                done += 1;
             }
             TrajOutcome::Skipped(id) => {
                 counters.skipped += 1;
                 counters.skipped_ids.push(id);
+                done += 1;
             }
             TrajOutcome::Failed(e) => return Err(e),
+            TrajOutcome::Interrupted(why) => {
+                // Fold in dataset order and stop at the first interrupted
+                // trajectory: trailing chunks may have finished more work,
+                // but only the contiguous prefix is delivered so the
+                // partial output is a valid dataset prefix.
+                status = PhaseStatus::Partial { done, total, why };
+                break 'fold;
+            }
         }
     }
-    Ok((group_into_clusters(all_frags), counters))
+    Ok((group_into_clusters(all_frags), counters, status))
 }
 
 /// Extracts the t-fragments of one trajectory, inserting junction points at
@@ -316,6 +419,18 @@ pub fn extract_fragments_with_junctions(
     net: &RoadNetwork,
     engine: &mut ShortestPathEngine,
     tr: &Trajectory,
+) -> Result<Vec<TFragment>, NeatError> {
+    extract_fragments_ctl(net, engine, tr, None)
+}
+
+/// [`extract_fragments_with_junctions`] under an optional [`Control`]:
+/// the gap-repair shortest paths become interruptible, surfacing
+/// [`NeatError::Interrupted`] for the caller to convert into an outcome.
+fn extract_fragments_ctl(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    tr: &Trajectory,
+    ctl: Option<&Control>,
 ) -> Result<Vec<TFragment>, NeatError> {
     let pts = tr.points();
     let mut out: Vec<TFragment> = Vec::new();
@@ -342,7 +457,7 @@ pub fn extract_fragments_with_junctions(
             continue;
         }
         // Segment transition: recover the junction chain between p and q.
-        match junction_chain(net, engine, p, *q)? {
+        match junction_chain(net, engine, p, *q, ctl)? {
             Some(chain) => {
                 // chain: the traversed junctions j0..jk and the segments
                 // between them (len = k, may be empty when contiguous).
@@ -394,6 +509,7 @@ fn junction_chain(
     engine: &mut ShortestPathEngine,
     p: RoadLocation,
     q: RoadLocation,
+    ctl: Option<&Control>,
 ) -> Result<Option<Chain>, NeatError> {
     let ep = net
         .segment(p.segment)
@@ -419,7 +535,13 @@ fn junction_chain(
         for v in [eq.a, eq.b] {
             let d_pu = p.position.distance(net.position(u));
             let d_vq = net.position(v).distance(q.position);
-            if let Some(route) = engine.route(net, u, v, TravelMode::Directed) {
+            let found = match ctl {
+                Some(c) => engine
+                    .route_ctl(net, u, v, TravelMode::Directed, c)
+                    .map_err(NeatError::Interrupted)?,
+                None => engine.route(net, u, v, TravelMode::Directed),
+            };
+            if let Some(route) = found {
                 let cost = d_pu + route.length + d_vq;
                 if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
                     best = Some((cost, route, d_pu, d_vq));

@@ -11,9 +11,11 @@
 //! the next round starts from the densest remaining base cluster.
 
 use crate::config::NeatConfig;
+use crate::control::PhaseStatus;
 use crate::error::NeatError;
 use crate::model::{BaseCluster, FlowCluster};
 use neat_rnet::{RoadNetwork, SegmentId};
+use neat_runctl::{Control, Interrupt};
 use std::collections::HashMap;
 
 /// Output of Phase 2.
@@ -118,6 +120,37 @@ pub fn form_flow_clusters_traced(
     config: &NeatConfig,
     trace: &mut Option<Vec<MergeEvent>>,
 ) -> Result<Phase2Output, NeatError> {
+    form_flow_clusters_inner(net, base_clusters, config, trace, None).map(|(out, _)| out)
+}
+
+/// Phase 2 under a [`Control`]: one cancel point per seed, one per merge
+/// iteration, and a cluster-count cap applied after each kept flow.
+///
+/// On interrupt the flow being expanded is *finished* — it stays a valid
+/// contiguous route, just shorter than it would have grown — the
+/// `minCard` filter is applied to it, and no further seeds are processed.
+/// The kept flows are returned with a [`PhaseStatus::Partial`] report.
+///
+/// # Errors
+///
+/// Same as [`form_flow_clusters`] — interrupts are reported in the
+/// returned status, never as errors.
+pub fn form_flow_clusters_ctl(
+    net: &RoadNetwork,
+    base_clusters: Vec<BaseCluster>,
+    config: &NeatConfig,
+    ctl: &Control,
+) -> Result<(Phase2Output, PhaseStatus), NeatError> {
+    form_flow_clusters_inner(net, base_clusters, config, &mut None, Some(ctl))
+}
+
+fn form_flow_clusters_inner(
+    net: &RoadNetwork,
+    base_clusters: Vec<BaseCluster>,
+    config: &NeatConfig,
+    trace: &mut Option<Vec<MergeEvent>>,
+    ctl: Option<&Control>,
+) -> Result<(Phase2Output, PhaseStatus), NeatError> {
     config.validate()?;
     // Invariant: every pool slot starts as `Some` and is only emptied by a
     // `take()` when its cluster is merged into a flow. The `expect`s on pool
@@ -130,9 +163,21 @@ pub fn form_flow_clusters_traced(
         .map(|(i, c)| (c.as_ref().expect("fresh pool").segment(), i)) // lint:allow(L1) reason=pool slots start Some; see the invariant note above
         .collect();
 
+    let total = pool.len();
     let mut flows = Vec::new();
     let mut discarded = 0usize;
+    let mut status = PhaseStatus::Complete;
     for seed_idx in 0..pool.len() {
+        if let Some(c) = ctl {
+            if let Err(why) = c.check() {
+                status = PhaseStatus::Partial {
+                    done: seed_idx,
+                    total,
+                    why,
+                };
+                break;
+            }
+        }
         let seed = match pool[seed_idx].take() {
             Some(s) => s,
             None => continue, // already merged into an earlier flow
@@ -146,7 +191,7 @@ pub fn form_flow_clusters_traced(
             });
         }
         let mut flow = FlowCluster::from_base(net, seed)?;
-        expand_end(
+        let mut stopped = expand_end(
             net,
             &mut flow,
             &mut pool,
@@ -155,17 +200,23 @@ pub fn form_flow_clusters_traced(
             End::Back,
             flow_idx,
             trace,
+            ctl,
         )?;
-        expand_end(
-            net,
-            &mut flow,
-            &mut pool,
-            &by_segment,
-            config,
-            End::Front,
-            flow_idx,
-            trace,
-        )?;
+        if stopped.is_none() {
+            stopped = expand_end(
+                net,
+                &mut flow,
+                &mut pool,
+                &by_segment,
+                config,
+                End::Front,
+                flow_idx,
+                trace,
+                ctl,
+            )?;
+        }
+        // An interrupt mid-expansion leaves the flow a valid (shorter)
+        // contiguous route: finish it normally, then stop seeding.
         let kept = flow.trajectory_cardinality() >= config.min_card;
         if let Some(t) = trace.as_mut() {
             t.push(MergeEvent::Finished {
@@ -180,14 +231,39 @@ pub fn form_flow_clusters_traced(
         } else {
             discarded += 1;
         }
+        if let Some(why) = stopped {
+            status = PhaseStatus::Partial {
+                done: seed_idx + 1,
+                total,
+                why,
+            };
+            break;
+        }
+        if kept {
+            if let Some(c) = ctl {
+                if let Err(why) = c.check_clusters(flows.len()) {
+                    status = PhaseStatus::Partial {
+                        done: seed_idx + 1,
+                        total,
+                        why,
+                    };
+                    break;
+                }
+            }
+        }
     }
-    Ok(Phase2Output {
-        flow_clusters: flows,
-        discarded,
-    })
+    Ok((
+        Phase2Output {
+            flow_clusters: flows,
+            discarded,
+        },
+        status,
+    ))
 }
 
-/// Extends one end of `flow` until its f-neighbourhood is exhausted.
+/// Extends one end of `flow` until its f-neighbourhood is exhausted, or
+/// until the controller interrupts (returned as `Ok(Some(why))`; the
+/// flow remains a valid contiguous route either way).
 #[allow(clippy::too_many_arguments)]
 fn expand_end(
     net: &RoadNetwork,
@@ -198,8 +274,15 @@ fn expand_end(
     end: End,
     flow_idx: usize,
     trace: &mut Option<Vec<MergeEvent>>,
-) -> Result<(), NeatError> {
+    ctl: Option<&Control>,
+) -> Result<Option<Interrupt>, NeatError> {
     loop {
+        // One cancel point per merge iteration.
+        if let Some(c) = ctl {
+            if let Err(why) = c.check() {
+                return Ok(Some(why));
+            }
+        }
         // Invariant: a FlowCluster is created from a seed base cluster and
         // only ever grows, so `members()` is never empty here.
         let (end_cluster, nu) = match end {
@@ -282,7 +365,7 @@ fn expand_end(
         }
 
         if neigh.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
 
         // Definition 9 denominators over the (possibly reduced)

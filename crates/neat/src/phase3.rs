@@ -15,10 +15,12 @@
 //!   distance must too (Section III-C3).
 
 use crate::config::{NeatConfig, RouteDistance, SpStrategy};
+use crate::control::PhaseStatus;
 use crate::error::NeatError;
 use crate::model::{FlowCluster, TrajectoryCluster};
 use neat_rnet::path::TravelMode;
 use neat_rnet::{NodeId, RoadNetwork, ShortestPathEngine};
+use neat_runctl::{Control, Interrupt, OverrunMode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -74,32 +76,48 @@ impl<'a> DistanceOracle<'a> {
     /// its search at ε and returns `None` for anything farther (or
     /// unreachable); the Dijkstra strategy reproduces the paper's
     /// unbounded network-expansion baseline.
-    fn network_distance(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
+    fn network_distance(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ctl: Option<&Control>,
+    ) -> Result<Option<f64>, Interrupt> {
         if a == b {
-            return Some(0.0);
+            return Ok(Some(0.0));
         }
         let key = if a <= b { (a, b) } else { (b, a) };
         if let Some(&d) = self.cache.get(&key) {
             self.stats.sp_cache_hits += 1;
-            return d;
+            return Ok(d);
         }
         self.stats.sp_computations += 1;
-        let d = match self.strategy {
-            SpStrategy::AStar => self.engine.distance_bounded(
+        let d = match (self.strategy, ctl) {
+            (SpStrategy::AStar, None) => self.engine.distance_bounded(
                 self.net,
                 key.0,
                 key.1,
                 TravelMode::Undirected,
                 self.epsilon,
             ),
-            SpStrategy::Dijkstra => {
+            (SpStrategy::AStar, Some(c)) => self.engine.distance_bounded_ctl(
+                self.net,
+                key.0,
+                key.1,
+                TravelMode::Undirected,
+                self.epsilon,
+                c,
+            )?,
+            (SpStrategy::Dijkstra, None) => {
                 // Plain unbounded network expansion: the paper's
                 // opt-NEAT-Dijkstra baseline (Figure 7).
                 self.engine.distance_plain(self.net, key.0, key.1)
             }
+            (SpStrategy::Dijkstra, Some(c)) => {
+                self.engine.distance_plain_ctl(self.net, key.0, key.1, c)?
+            }
         };
         self.cache.insert(key, d);
-        d
+        Ok(d)
     }
 
     /// Modified Hausdorff distance between two representative routes:
@@ -112,7 +130,8 @@ impl<'a> DistanceOracle<'a> {
         fi: &FlowCluster,
         fj: &FlowCluster,
         points: RouteDistance,
-    ) -> Option<f64> {
+        ctl: Option<&Control>,
+    ) -> Result<Option<f64>, Interrupt> {
         let (xs, ys): (Vec<NodeId>, Vec<NodeId>) = match points {
             RouteDistance::Endpoints => {
                 let (a1, a2) = fi.endpoints();
@@ -123,26 +142,30 @@ impl<'a> DistanceOracle<'a> {
         };
         let mut h = 0.0f64;
         for &a in &xs {
-            let m = ys
-                .iter()
-                .filter_map(|&b| self.network_distance(a, b))
-                .fold(f64::INFINITY, f64::min);
+            let mut m = f64::INFINITY;
+            for &b in &ys {
+                if let Some(d) = self.network_distance(a, b, ctl)? {
+                    m = m.min(d);
+                }
+            }
             if !m.is_finite() {
-                return None;
+                return Ok(None);
             }
             h = h.max(m);
         }
         for &b in &ys {
-            let m = xs
-                .iter()
-                .filter_map(|&a| self.network_distance(b, a))
-                .fold(f64::INFINITY, f64::min);
+            let mut m = f64::INFINITY;
+            for &a in &xs {
+                if let Some(d) = self.network_distance(b, a, ctl)? {
+                    m = m.min(d);
+                }
+            }
             if !m.is_finite() {
-                return None;
+                return Ok(None);
             }
             h = h.max(m);
         }
-        Some(h)
+        Ok(Some(h))
     }
 
     /// Minimum Euclidean distance between the compared point sets — the
@@ -182,12 +205,73 @@ pub fn refine_flow_clusters(
     flows: Vec<FlowCluster>,
     config: &NeatConfig,
 ) -> Result<Phase3Output, NeatError> {
+    refine_inner(net, flows, config, None).map(|c| c.output)
+}
+
+/// Result of a controlled Phase 3.
+#[derive(Debug, Clone)]
+pub struct ControlledRefinement {
+    /// The refinement output: always covers *every* input flow (flows
+    /// not reached before a stop become singleton clusters).
+    pub output: Phase3Output,
+    /// How the phase ended.
+    pub status: PhaseStatus,
+    /// `true` when the ELB-only continuation decided some suffix of the
+    /// pair comparisons (degradation ladder rung between "exhaustive"
+    /// and "skip refinement").
+    pub elb_only: bool,
+}
+
+/// Phase 3 under a [`Control`], walking the in-phase degradation ladder:
+///
+/// 1. **Exhaustive** — exact network distances (with the ELB pre-filter
+///    when configured), one cancel point per candidate pair and per
+///    settled node inside each shortest path.
+/// 2. **ELB-only** — on budget exhaustion under [`OverrunMode::Degrade`]
+///    the remaining pairs are decided by the Euclidean lower bound alone
+///    (`d_E ≤ ε`), which costs no shortest paths. Only cancellation is
+///    polled from here on: the budget is knowingly spent.
+/// 3. **Stop** — on cancellation (any rung) or any interrupt under
+///    [`OverrunMode::Partial`], refinement stops; flows not yet grouped
+///    are emitted as singleton clusters so the output stays a valid
+///    partition of the input.
+///
+/// # Errors
+///
+/// Same as [`refine_flow_clusters`] — interrupts are reported in the
+/// returned status, never as errors.
+pub fn refine_flow_clusters_ctl(
+    net: &RoadNetwork,
+    flows: Vec<FlowCluster>,
+    config: &NeatConfig,
+    ctl: &Control,
+) -> Result<ControlledRefinement, NeatError> {
+    refine_inner(net, flows, config, Some(ctl))
+}
+
+/// `true` when interrupt `why` should switch the phase to the ELB-only
+/// continuation rather than stop it: budget-style interrupts under
+/// [`OverrunMode::Degrade`], and only if not already degraded.
+fn should_degrade(why: Interrupt, ctl: &Control, already_degraded: bool) -> bool {
+    !already_degraded && !why.is_cancellation() && ctl.overrun() == OverrunMode::Degrade
+}
+
+fn refine_inner(
+    net: &RoadNetwork,
+    flows: Vec<FlowCluster>,
+    config: &NeatConfig,
+    ctl: Option<&Control>,
+) -> Result<ControlledRefinement, NeatError> {
     config.validate()?;
     let n = flows.len();
     if n == 0 {
-        return Ok(Phase3Output {
-            clusters: Vec::new(),
-            stats: Phase3Stats::default(),
+        return Ok(ControlledRefinement {
+            output: Phase3Output {
+                clusters: Vec::new(),
+                stats: Phase3Stats::default(),
+            },
+            status: PhaseStatus::Complete,
+            elb_only: false,
         });
     }
 
@@ -205,8 +289,12 @@ pub fn refine_flow_clusters(
     let mut oracle = DistanceOracle::new(net, config.sp_strategy, config.epsilon);
     let mut label: Vec<Option<usize>> = vec![None; n];
     let mut groups: Vec<Vec<usize>> = Vec::new();
+    // Some(why) once the ELB-only continuation took over.
+    let mut degraded: Option<Interrupt> = None;
+    // Some(why) once refinement stopped outright.
+    let mut stopped: Option<Interrupt> = None;
 
-    for &seed in &order {
+    'outer: for &seed in &order {
         if label[seed].is_some() {
             continue;
         }
@@ -224,21 +312,92 @@ pub fn refine_flow_clusters(
                 if label[other].is_some() {
                     continue;
                 }
+                // One cancel point per candidate pair. Once degraded the
+                // budget is knowingly spent, so only cancellation polls.
+                if let Some(c) = ctl {
+                    let verdict = if degraded.is_some() {
+                        c.check_cancel()
+                    } else {
+                        c.check()
+                    };
+                    if let Err(why) = verdict {
+                        if should_degrade(why, c, degraded.is_some()) {
+                            degraded = Some(why);
+                            c.degrade("phase3: exact network distances -> ELB-only");
+                        } else {
+                            stopped = Some(why);
+                            // Flows still queued were already judged
+                            // ε-reachable: group them before stopping.
+                            for &rest in &queue {
+                                groups[gid].push(rest);
+                            }
+                            break 'outer;
+                        }
+                    }
+                }
                 oracle.stats.pairs_considered += 1;
-                if config.use_elb
+                let near = if degraded.is_some() {
+                    // ELB-only continuation: the Euclidean lower bound is
+                    // the distance — no further shortest paths.
+                    oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance)
+                        <= config.epsilon
+                } else if config.use_elb
                     && oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance)
                         > config.epsilon
                 {
                     oracle.stats.elb_skips += 1;
-                    continue;
-                }
-                match oracle.flow_distance(&flows[cur], &flows[other], config.route_distance) {
-                    Some(d) if d <= config.epsilon => {
-                        label[other] = Some(gid);
-                        queue.push_back(other);
+                    false
+                } else {
+                    match oracle.flow_distance(
+                        &flows[cur],
+                        &flows[other],
+                        config.route_distance,
+                        ctl,
+                    ) {
+                        Ok(Some(d)) => d <= config.epsilon,
+                        Ok(None) => false,
+                        Err(why) => {
+                            // A shortest path hit the budget mid-pair.
+                            // `ctl` must be Some for an interrupt to
+                            // surface; fall back to a stop if not.
+                            match ctl {
+                                Some(c) if should_degrade(why, c, false) => {
+                                    degraded = Some(why);
+                                    c.degrade("phase3: exact network distances -> ELB-only");
+                                    // Decide this pair by the lower bound.
+                                    oracle.min_euclidean(
+                                        &flows[cur],
+                                        &flows[other],
+                                        config.route_distance,
+                                    ) <= config.epsilon
+                                }
+                                _ => {
+                                    stopped = Some(why);
+                                    for &rest in &queue {
+                                        groups[gid].push(rest);
+                                    }
+                                    break 'outer;
+                                }
+                            }
+                        }
                     }
-                    _ => {}
+                };
+                if near {
+                    label[other] = Some(gid);
+                    queue.push_back(other);
                 }
+            }
+        }
+    }
+
+    // On a stop, flows never reached become singleton clusters (in
+    // seeding order) so the output remains a partition of the input.
+    let grouped: usize = groups.iter().map(Vec::len).sum();
+    if stopped.is_some() {
+        for &i in &order {
+            if label[i].is_none() {
+                label[i] = Some(groups.len());
+                groups.push(vec![i]);
             }
         }
     }
@@ -256,9 +415,22 @@ pub fn refine_flow_clusters(
             )
         })
         .collect();
-    Ok(Phase3Output {
-        clusters,
-        stats: oracle.stats,
+    let status = match (stopped, degraded) {
+        (Some(why), _) => PhaseStatus::Partial {
+            done: grouped,
+            total: n,
+            why,
+        },
+        (None, Some(why)) => PhaseStatus::Degraded { why },
+        (None, None) => PhaseStatus::Complete,
+    };
+    Ok(ControlledRefinement {
+        output: Phase3Output {
+            clusters,
+            stats: oracle.stats,
+        },
+        status,
+        elb_only: degraded.is_some(),
     })
 }
 

@@ -7,12 +7,16 @@
 //! ran.
 
 use crate::config::NeatConfig;
+use crate::control::{Completeness, Degradation, DegradationStep, Outcome, PhaseStatus};
 use crate::error::NeatError;
 use crate::model::{BaseCluster, FlowCluster, TrajectoryCluster};
-use crate::phase1::{form_base_clusters_parallel_with_policy, ResilienceCounters};
-use crate::phase2::form_flow_clusters;
-use crate::phase3::{refine_flow_clusters, Phase3Stats};
+use crate::phase1::{
+    form_base_clusters_ctl, form_base_clusters_parallel_with_policy, ResilienceCounters,
+};
+use crate::phase2::{form_flow_clusters, form_flow_clusters_ctl};
+use crate::phase3::{refine_flow_clusters, refine_flow_clusters_ctl, Phase3Stats};
 use neat_rnet::RoadNetwork;
+use neat_runctl::Control;
 use neat_traj::sanitize::ErrorPolicy;
 use neat_traj::Dataset;
 use serde::{Deserialize, Serialize};
@@ -254,6 +258,186 @@ impl<'a> Neat<'a> {
             resilience,
         })
     }
+
+    /// Runs the pipeline under a [`Control`]: cooperative cancel points
+    /// thread through every long loop, and on interrupt the run walks the
+    /// degradation ladder (`opt-NEAT → flow-NEAT → base-NEAT`; within
+    /// Phase 3 `exhaustive → ELB-only → skip refinement`) instead of
+    /// aborting, returning the best valid result computed so far.
+    ///
+    /// With an unlimited [`Control`] the result is bit-identical to
+    /// [`Neat::run_with_policy`]: every check is observation-only until a
+    /// limit fires.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Neat::run_with_policy`] — interrupts are *never* errors;
+    /// they are reported in the returned [`Outcome`].
+    pub fn run_controlled(
+        &self,
+        dataset: &Dataset,
+        mode: Mode,
+        policy: ErrorPolicy,
+        ctl: &Control,
+    ) -> Result<Outcome, NeatError> {
+        self.config.validate()?;
+        let requested = mode;
+        let mut timings = PhaseTimings::default();
+
+        ctl.phase_start("phase1");
+        let t0 = Instant::now(); // lint:allow(L5) reason=phase timing instrumentation only; never influences clustering
+        let (p1, resilience, s1) = form_base_clusters_ctl(
+            self.net,
+            dataset,
+            self.config.insert_junctions,
+            self.config.phase1_threads,
+            policy,
+            ctl,
+        )?;
+        timings.phase1 = t0.elapsed();
+        ctl.phase_end("phase1");
+        let base_cluster_count = p1.base_clusters.len();
+        let fragment_count = p1.fragment_count;
+
+        if requested == Mode::Base || !s1.is_complete() {
+            // Ladder bottom: deliver base-NEAT, possibly truncated.
+            let why = s1.interrupt();
+            let mut steps = Vec::new();
+            if let PhaseStatus::Partial { done, total, .. } = s1 {
+                steps.push(DegradationStep::TruncatedPhase1 { done, total });
+            }
+            let mut phase2 = PhaseStatus::NotRequested;
+            let mut phase3 = PhaseStatus::NotRequested;
+            if let Some(w) = why {
+                if requested != Mode::Base {
+                    phase2 = PhaseStatus::Skipped { why: w };
+                    steps.push(DegradationStep::SkippedPhase2);
+                    if requested == Mode::Opt {
+                        phase3 = PhaseStatus::Skipped { why: w };
+                        steps.push(DegradationStep::SkippedPhase3);
+                    }
+                }
+            }
+            return Ok(Outcome {
+                result: NeatResult {
+                    mode: Mode::Base,
+                    base_clusters: p1.base_clusters,
+                    base_cluster_count,
+                    fragment_count,
+                    flow_clusters: Vec::new(),
+                    discarded_flows: 0,
+                    clusters: Vec::new(),
+                    phase3_stats: Phase3Stats::default(),
+                    timings,
+                    resilience,
+                },
+                completeness: Completeness {
+                    phase1: s1,
+                    phase2,
+                    phase3,
+                },
+                degradation: Degradation {
+                    requested,
+                    delivered: Mode::Base,
+                    steps,
+                },
+                interrupt: why,
+            });
+        }
+
+        ctl.phase_start("phase2");
+        let t1 = Instant::now(); // lint:allow(L5) reason=phase timing instrumentation only; never influences clustering
+        let (p2, s2) = form_flow_clusters_ctl(self.net, p1.base_clusters, &self.config, ctl)?;
+        timings.phase2 = t1.elapsed();
+        ctl.phase_end("phase2");
+
+        if requested == Mode::Flow || !s2.is_complete() {
+            // Middle rung: deliver flow-NEAT, possibly with a truncated
+            // flow set (the flow being expanded at the interrupt was
+            // finished as a valid, shorter route).
+            let why = s2.interrupt();
+            let mut steps = Vec::new();
+            if let PhaseStatus::Partial { done, total, .. } = s2 {
+                steps.push(DegradationStep::TruncatedPhase2 { done, total });
+            }
+            let mut phase3 = PhaseStatus::NotRequested;
+            if requested == Mode::Opt {
+                if let Some(w) = why {
+                    phase3 = PhaseStatus::Skipped { why: w };
+                    steps.push(DegradationStep::SkippedPhase3);
+                }
+            }
+            return Ok(Outcome {
+                result: NeatResult {
+                    mode: Mode::Flow,
+                    base_clusters: Vec::new(),
+                    base_cluster_count,
+                    fragment_count,
+                    flow_clusters: p2.flow_clusters,
+                    discarded_flows: p2.discarded,
+                    clusters: Vec::new(),
+                    phase3_stats: Phase3Stats::default(),
+                    timings,
+                    resilience,
+                },
+                completeness: Completeness {
+                    phase1: s1,
+                    phase2: s2,
+                    phase3,
+                },
+                degradation: Degradation {
+                    requested,
+                    delivered: Mode::Flow,
+                    steps,
+                },
+                interrupt: why,
+            });
+        }
+
+        ctl.phase_start("phase3");
+        let t2 = Instant::now(); // lint:allow(L5) reason=phase timing instrumentation only; never influences clustering
+        let flow_clusters = p2.flow_clusters.clone();
+        let refined = refine_flow_clusters_ctl(self.net, p2.flow_clusters, &self.config, ctl)?;
+        timings.phase3 = t2.elapsed();
+        ctl.phase_end("phase3");
+
+        let s3 = refined.status;
+        let mut steps = Vec::new();
+        if refined.elb_only {
+            steps.push(DegradationStep::ElbOnlyPhase3);
+        }
+        if let PhaseStatus::Partial { done, total, .. } = s3 {
+            steps.push(DegradationStep::TruncatedPhase3 {
+                grouped: done,
+                total,
+            });
+        }
+        Ok(Outcome {
+            result: NeatResult {
+                mode: Mode::Opt,
+                base_clusters: Vec::new(),
+                base_cluster_count,
+                fragment_count,
+                flow_clusters,
+                discarded_flows: p2.discarded,
+                clusters: refined.output.clusters,
+                phase3_stats: refined.output.stats,
+                timings,
+                resilience,
+            },
+            completeness: Completeness {
+                phase1: s1,
+                phase2: s2,
+                phase3: s3,
+            },
+            degradation: Degradation {
+                requested,
+                delivered: Mode::Opt,
+                steps,
+            },
+            interrupt: s3.interrupt(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -445,5 +629,208 @@ mod tests {
         let r = Neat::new(&net, config(1)).run(&data, Mode::Opt).unwrap();
         assert!(r.timings.total() >= r.timings.phase1);
         assert!(r.timings.total() >= r.timings.phase3);
+    }
+
+    /// Fingerprint of everything in a [`NeatResult`] except the timings,
+    /// which legitimately differ between two runs.
+    fn fingerprint(r: &NeatResult) -> String {
+        format!(
+            "{:?}|{:?}|{}|{}|{:?}|{}|{:?}|{:?}|{:?}",
+            r.mode,
+            r.base_clusters,
+            r.base_cluster_count,
+            r.fragment_count,
+            r.flow_clusters,
+            r.discarded_flows,
+            r.clusters,
+            r.phase3_stats,
+            r.resilience,
+        )
+    }
+
+    fn two_population_dataset() -> Dataset {
+        let mut data = Dataset::new("d");
+        data.extend(traverse(4, 0, &[0, 1, 2]));
+        data.extend(traverse(3, 100, &[4, 5]));
+        data
+    }
+
+    #[test]
+    fn unlimited_control_is_bit_identical_to_uncontrolled() {
+        let net = chain_network(8, 100.0, 10.0);
+        let data = two_population_dataset();
+        let neat = Neat::new(&net, config(2));
+        for mode in [Mode::Base, Mode::Flow, Mode::Opt] {
+            let plain = neat.run(&data, mode).unwrap();
+            let ctl = neat_runctl::Control::unlimited();
+            let out = neat
+                .run_controlled(&data, mode, ErrorPolicy::Strict, &ctl)
+                .unwrap();
+            assert!(out.is_complete(), "{mode:?} must complete unlimited");
+            assert_eq!(
+                out.completeness,
+                crate::control::Completeness::complete_for(mode)
+            );
+            assert!(!out.degradation.is_degraded());
+            assert_eq!(
+                fingerprint(&plain),
+                fingerprint(&out.result),
+                "unlimited {mode:?} run must match the uncontrolled one"
+            );
+        }
+    }
+
+    #[test]
+    fn cancel_before_first_check_delivers_empty_base() {
+        use neat_runctl::{CancelToken, Control, Interrupt, RunBudget};
+        let net = chain_network(8, 100.0, 10.0);
+        let data = two_population_dataset();
+        let ctl = Control::new(RunBudget::unlimited(), CancelToken::armed_after(0));
+        let out = Neat::new(&net, config(2))
+            .run_controlled(&data, Mode::Opt, ErrorPolicy::Strict, &ctl)
+            .unwrap();
+        assert_eq!(out.interrupt, Some(Interrupt::Cancelled));
+        assert_eq!(out.degradation.requested, Mode::Opt);
+        assert_eq!(out.degradation.delivered, Mode::Base);
+        assert_eq!(out.result.mode, Mode::Base);
+        assert!(out.result.base_clusters.is_empty());
+        assert!(matches!(
+            out.completeness.phase1,
+            crate::control::PhaseStatus::Partial { done: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn op_budget_in_phase1_truncates_to_prefix() {
+        use neat_runctl::{CancelToken, Control, Interrupt, RunBudget};
+        let net = chain_network(8, 100.0, 10.0);
+        let data = two_population_dataset();
+        // Budget of 3 checks: a couple of trajectories clear their
+        // per-trajectory cancel point, then the budget fires.
+        let ctl = Control::new(RunBudget::unlimited().with_max_ops(3), CancelToken::new());
+        let out = Neat::new(&net, config(2))
+            .run_controlled(&data, Mode::Opt, ErrorPolicy::Strict, &ctl)
+            .unwrap();
+        assert_eq!(out.interrupt, Some(Interrupt::OpBudgetExhausted));
+        assert_eq!(out.degradation.delivered, Mode::Base);
+        let crate::control::PhaseStatus::Partial { done, total, .. } = out.completeness.phase1
+        else {
+            panic!(
+                "expected partial phase 1, got {:?}",
+                out.completeness.phase1
+            );
+        };
+        assert_eq!(total, data.len());
+        assert!(done < total);
+        // The delivered base clusters cover exactly the done-prefix: they
+        // match an uncontrolled run over the truncated dataset.
+        let mut prefix = Dataset::new("prefix");
+        prefix.extend(data.trajectories().iter().take(done).cloned());
+        let plain = Neat::new(&net, config(2)).run(&prefix, Mode::Base).unwrap();
+        assert_eq!(
+            format!("{:?}", plain.base_clusters),
+            format!("{:?}", out.result.base_clusters)
+        );
+    }
+
+    #[test]
+    fn cluster_cap_stops_phase2_at_cap() {
+        use neat_runctl::{CancelToken, Control, Interrupt, RunBudget};
+        let net = chain_network(8, 100.0, 10.0);
+        let data = two_population_dataset(); // two disjoint flows
+        let ctl = Control::new(
+            RunBudget::unlimited().with_max_clusters(1),
+            CancelToken::new(),
+        );
+        let out = Neat::new(&net, config(2))
+            .run_controlled(&data, Mode::Opt, ErrorPolicy::Strict, &ctl)
+            .unwrap();
+        assert_eq!(out.interrupt, Some(Interrupt::ClusterCapReached));
+        assert_eq!(out.degradation.delivered, Mode::Flow);
+        assert_eq!(out.result.flow_clusters.len(), 1);
+        assert!(out
+            .degradation
+            .steps
+            .iter()
+            .any(|s| matches!(s, DegradationStep::TruncatedPhase2 { .. })));
+    }
+
+    #[test]
+    fn budget_exhausted_in_phase3_degrades_to_elb_only() {
+        use neat_runctl::{CancelToken, Control, Interrupt, RunBudget};
+        let net = chain_network(8, 100.0, 10.0);
+        let data = two_population_dataset();
+        let neat = Neat::new(&net, config(2));
+        // Measure the ops phases 1–2 consume, then allow just one more:
+        // the budget fires on phase 3's first candidate-pair check.
+        let probe = Control::unlimited();
+        neat.run_controlled(&data, Mode::Flow, ErrorPolicy::Strict, &probe)
+            .unwrap();
+        let ctl = Control::new(
+            RunBudget::unlimited().with_max_ops(probe.ops() + 1),
+            CancelToken::new(),
+        );
+        let out = neat
+            .run_controlled(&data, Mode::Opt, ErrorPolicy::Strict, &ctl)
+            .unwrap();
+        assert_eq!(out.interrupt, Some(Interrupt::OpBudgetExhausted));
+        // Degrade (default overrun mode): phase 3 finishes on the
+        // Euclidean lower bound and still delivers opt-NEAT clusters.
+        assert_eq!(out.degradation.delivered, Mode::Opt);
+        assert!(out
+            .degradation
+            .steps
+            .contains(&DegradationStep::ElbOnlyPhase3));
+        assert!(matches!(
+            out.completeness.phase3,
+            crate::control::PhaseStatus::Degraded { .. }
+        ));
+        assert!(!out.result.clusters.is_empty());
+    }
+
+    #[test]
+    fn partial_overrun_in_phase3_returns_singletons() {
+        use neat_runctl::{CancelToken, Control, Interrupt, OverrunMode, RunBudget};
+        let net = chain_network(8, 100.0, 10.0);
+        let data = two_population_dataset();
+        let neat = Neat::new(&net, config(2));
+        let probe = Control::unlimited();
+        neat.run_controlled(&data, Mode::Flow, ErrorPolicy::Strict, &probe)
+            .unwrap();
+        let ctl = Control::new(
+            RunBudget::unlimited().with_max_ops(probe.ops() + 1),
+            CancelToken::new(),
+        )
+        .with_overrun(OverrunMode::Partial);
+        let out = neat
+            .run_controlled(&data, Mode::Opt, ErrorPolicy::Strict, &ctl)
+            .unwrap();
+        assert_eq!(out.interrupt, Some(Interrupt::OpBudgetExhausted));
+        assert!(matches!(
+            out.completeness.phase3,
+            crate::control::PhaseStatus::Partial { .. }
+        ));
+        // Every flow still lands in some cluster (ungrouped ones become
+        // singletons) so the outcome remains a valid clustering.
+        let flows_in_clusters: usize = out.result.clusters.iter().map(|c| c.flows().len()).sum();
+        assert_eq!(flows_in_clusters, out.result.flow_clusters.len());
+    }
+
+    #[test]
+    fn controlled_run_is_deterministic_for_fixed_arming() {
+        use neat_runctl::{CancelToken, Control, RunBudget};
+        let net = chain_network(8, 100.0, 10.0);
+        let data = two_population_dataset();
+        let neat = Neat::new(&net, config(2));
+        for armed in [0u64, 2, 5, 11, 40] {
+            let run = |armed| {
+                let ctl = Control::new(RunBudget::unlimited(), CancelToken::armed_after(armed));
+                let out = neat
+                    .run_controlled(&data, Mode::Opt, ErrorPolicy::Strict, &ctl)
+                    .unwrap();
+                fingerprint(&out.result)
+            };
+            assert_eq!(run(armed), run(armed), "cancel at op {armed} must replay");
+        }
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::graph::RoadNetwork;
 use crate::ids::{NodeId, SegmentId};
+use neat_runctl::{Control, Interrupt};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -215,6 +216,34 @@ impl ShortestPathEngine {
         )
     }
 
+    /// Budget-aware [`ShortestPathEngine::distance`]: charges every node
+    /// settlement against `ctl` and stops mid-expansion when a limit
+    /// fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched [`Interrupt`] when the control stops the
+    /// search; `Ok(None)` still means plain unreachability.
+    pub fn distance_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+        ctl: &Control,
+    ) -> Result<Option<f64>, Interrupt> {
+        self.search_ctl(
+            net,
+            from,
+            Some(to),
+            mode,
+            f64::INFINITY,
+            true,
+            CostModel::Distance,
+            Some(ctl),
+        )
+    }
+
     /// Undirected network distance computed with plain Dijkstra network
     /// expansion (no heuristic) — the paper's baseline for the Phase-3
     /// ablation (`opt-NEAT-Dijkstra`, Figure 7).
@@ -227,6 +256,30 @@ impl ShortestPathEngine {
             f64::INFINITY,
             false,
             CostModel::Distance,
+        )
+    }
+
+    /// Budget-aware [`ShortestPathEngine::distance_plain`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortestPathEngine::distance_ctl`].
+    pub fn distance_plain_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        ctl: &Control,
+    ) -> Result<Option<f64>, Interrupt> {
+        self.search_ctl(
+            net,
+            from,
+            Some(to),
+            TravelMode::Undirected,
+            f64::INFINITY,
+            false,
+            CostModel::Distance,
+            Some(ctl),
         )
     }
 
@@ -246,6 +299,32 @@ impl ShortestPathEngine {
         self.search(net, from, Some(to), mode, bound, true, CostModel::Distance)
     }
 
+    /// Budget-aware [`ShortestPathEngine::distance_bounded`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortestPathEngine::distance_ctl`].
+    pub fn distance_bounded_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+        bound: f64,
+        ctl: &Control,
+    ) -> Result<Option<f64>, Interrupt> {
+        self.search_ctl(
+            net,
+            from,
+            Some(to),
+            mode,
+            bound,
+            true,
+            CostModel::Distance,
+            Some(ctl),
+        )
+    }
+
     /// Full shortest route, or `None` if unreachable.
     pub fn route(
         &mut self,
@@ -263,6 +342,38 @@ impl ShortestPathEngine {
             true,
             CostModel::Distance,
         )?;
+        Some(self.rebuild_route(from, to, length))
+    }
+
+    /// Budget-aware [`ShortestPathEngine::route`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortestPathEngine::distance_ctl`].
+    pub fn route_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        mode: TravelMode,
+        ctl: &Control,
+    ) -> Result<Option<Route>, Interrupt> {
+        let length = self.search_ctl(
+            net,
+            from,
+            Some(to),
+            mode,
+            f64::INFINITY,
+            true,
+            CostModel::Distance,
+            Some(ctl),
+        )?;
+        Ok(length.map(|l| self.rebuild_route(from, to, l)))
+    }
+
+    /// Walks the predecessor arrays back from `to` after a successful
+    /// search that reached it.
+    fn rebuild_route(&self, from: NodeId, to: NodeId, length: f64) -> Route {
         let mut nodes = vec![to];
         let mut segments = Vec::new();
         let mut cur = to.index();
@@ -274,11 +385,11 @@ impl ShortestPathEngine {
         nodes.reverse();
         segments.reverse();
         debug_assert_eq!(nodes.first(), Some(&from));
-        Some(Route {
+        Route {
             nodes,
             segments,
             length,
-        })
+        }
     }
 
     /// Fastest route by free-flow travel time, returning the route (with
@@ -301,31 +412,16 @@ impl ShortestPathEngine {
             true,
             CostModel::TravelTime,
         )?;
-        let mut nodes = vec![to];
-        let mut segments = Vec::new();
-        let mut cur = to.index();
-        while self.prev_node[cur] != NO_PREV {
-            segments.push(SegmentId::new(self.prev_seg[cur] as usize));
-            cur = self.prev_node[cur] as usize;
-            nodes.push(NodeId::new(cur));
-        }
-        nodes.reverse();
-        segments.reverse();
+        let timed = self.rebuild_route(from, to, 0.0);
         // Invariant: every id in `segments` was written into `prev_seg` by
         // the search itself from `net.incident_segments`, so the lookup in
         // the same network cannot fail on any input.
-        let length = segments
+        let length = timed
+            .segments
             .iter()
             .map(|&s| net.segment(s).expect("route segment exists").length) // lint:allow(L1) reason=route segments come from this network's own search
             .sum();
-        Some((
-            Route {
-                nodes,
-                segments,
-                length,
-            },
-            seconds,
-        ))
+        Some((Route { length, ..timed }, seconds))
     }
 
     /// Single-source distances to every reachable node (plain Dijkstra, no
@@ -346,6 +442,37 @@ impl ShortestPathEngine {
             false,
             CostModel::Distance,
         );
+        self.collect_distances(net)
+    }
+
+    /// Budget-aware [`ShortestPathEngine::distances_from`]. An interrupt
+    /// abandons the expansion entirely rather than returning a partially
+    /// settled (and therefore misleading) distance table.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortestPathEngine::distance_ctl`].
+    pub fn distances_from_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        mode: TravelMode,
+        ctl: &Control,
+    ) -> Result<Vec<f64>, Interrupt> {
+        self.search_ctl(
+            net,
+            from,
+            None,
+            mode,
+            f64::INFINITY,
+            false,
+            CostModel::Distance,
+            Some(ctl),
+        )?;
+        Ok(self.collect_distances(net))
+    }
+
+    fn collect_distances(&self, net: &RoadNetwork) -> Vec<f64> {
         let mut out = vec![f64::INFINITY; net.node_count()];
         for (i, d) in out.iter_mut().enumerate() {
             if self.stamp[i] == self.generation {
@@ -355,8 +482,9 @@ impl ShortestPathEngine {
         out
     }
 
-    /// Core search. Returns the distance to `target` when given, otherwise
-    /// `None` after exhausting the graph.
+    /// Uncontrolled search core, kept infallible for the legacy entry
+    /// points: with no control attached, [`ShortestPathEngine::search_ctl`]
+    /// can never return an interrupt.
     #[allow(clippy::too_many_arguments)]
     fn search(
         &mut self,
@@ -368,6 +496,26 @@ impl ShortestPathEngine {
         use_heuristic: bool,
         cost: CostModel,
     ) -> Option<f64> {
+        self.search_ctl(net, from, target, mode, bound, use_heuristic, cost, None)
+            .unwrap_or(None)
+    }
+
+    /// Core search. Returns the distance to `target` when given, otherwise
+    /// `None` after exhausting the graph. When a control is attached,
+    /// every settlement is charged against it and the first interrupt
+    /// aborts the expansion; without one the checks cost a single branch.
+    #[allow(clippy::too_many_arguments)]
+    fn search_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        target: Option<NodeId>,
+        mode: TravelMode,
+        bound: f64,
+        use_heuristic: bool,
+        cost: CostModel,
+        ctl: Option<&Control>,
+    ) -> Result<Option<f64>, Interrupt> {
         self.begin(net);
         let goal_pos = target.map(|t| net.position(t));
         // Heuristic stays admissible under both cost models: straight-line
@@ -396,11 +544,14 @@ impl ShortestPathEngine {
                 continue; // stale entry
             }
             self.settled_total += 1;
+            if let Some(c) = ctl {
+                c.check_settled()?;
+            }
             if dist > bound {
-                return None;
+                return Ok(None);
             }
             if Some(NodeId::new(u)) == target {
-                return Some(dist);
+                return Ok(Some(dist));
             }
             for &sid in net.incident_segments(NodeId::new(u)) {
                 // Invariant: `sid` comes from `net`'s own adjacency lists,
@@ -424,7 +575,7 @@ impl ShortestPathEngine {
                 }
             }
         }
-        None
+        Ok(None)
     }
 }
 
@@ -657,5 +808,81 @@ mod tests {
         assert_eq!(r.length, 0.0);
         assert_eq!(r.segment_count(), 0);
         assert_eq!(r.nodes, vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn unlimited_control_matches_uncontrolled_search() {
+        use neat_runctl::Control;
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let ctl = Control::unlimited();
+        assert_eq!(
+            sp.distance_ctl(&net, ids[0], ids[8], TravelMode::Undirected, &ctl),
+            Ok(Some(400.0))
+        );
+        assert_eq!(
+            sp.distance_plain_ctl(&net, ids[0], ids[8], &ctl),
+            Ok(Some(400.0))
+        );
+        assert_eq!(
+            sp.distance_bounded_ctl(&net, ids[0], ids[8], TravelMode::Undirected, 200.0, &ctl),
+            Ok(None)
+        );
+        let route = sp
+            .route_ctl(&net, ids[0], ids[8], TravelMode::Undirected, &ctl)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            route,
+            sp.route(&net, ids[0], ids[8], TravelMode::Undirected)
+                .unwrap()
+        );
+        let table = sp
+            .distances_from_ctl(&net, ids[0], TravelMode::Undirected, &ctl)
+            .unwrap();
+        assert_eq!(
+            table,
+            sp.distances_from(&net, ids[0], TravelMode::Undirected)
+        );
+        assert!(ctl.settled() > 0, "settlements are charged to the control");
+    }
+
+    #[test]
+    fn settled_node_budget_interrupts_search() {
+        use neat_runctl::{CancelToken, Control, Interrupt, RunBudget};
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let ctl = Control::new(
+            RunBudget::unlimited().with_max_settled_nodes(2),
+            CancelToken::new(),
+        );
+        assert_eq!(
+            sp.distance_ctl(&net, ids[0], ids[8], TravelMode::Undirected, &ctl),
+            Err(Interrupt::SettledNodeBudgetExhausted)
+        );
+        // The interrupt is latched: a fresh query through the same control
+        // fails immediately…
+        assert!(sp
+            .distances_from_ctl(&net, ids[0], TravelMode::Undirected, &ctl)
+            .is_err());
+        // …but the engine itself stays healthy for uncontrolled queries.
+        assert_eq!(
+            sp.distance(&net, ids[0], ids[8], TravelMode::Undirected),
+            Some(400.0)
+        );
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_route() {
+        use neat_runctl::{CancelToken, Control, Interrupt, RunBudget};
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = Control::new(RunBudget::unlimited(), token);
+        assert_eq!(
+            sp.route_ctl(&net, ids[0], ids[8], TravelMode::Undirected, &ctl),
+            Err(Interrupt::Cancelled)
+        );
     }
 }

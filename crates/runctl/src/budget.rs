@@ -1,0 +1,83 @@
+//! Declarative resource limits for a pipeline run.
+
+/// Resource limits for one pipeline run. `None` means unlimited.
+///
+/// Budgets are *soft*: the pipeline never aborts when one is exhausted.
+/// It stops the expensive loop it is in, walks the degradation ladder
+/// (see `DESIGN.md` §11) and returns the best valid result computed so
+/// far, tagged with what was and was not finished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Wall-clock allowance in milliseconds, measured by the injected
+    /// [`Clock`](crate::Clock) from the moment the
+    /// [`Control`](crate::Control) is created. Consulted every
+    /// [`DEADLINE_STRIDE`](crate::DEADLINE_STRIDE) cooperative checks.
+    pub deadline_ms: Option<u64>,
+    /// Maximum number of cooperative check points. Every check —
+    /// trajectory extracted, merge step taken, pair refined, node
+    /// settled — counts as one op, so an op budget bounds total work
+    /// across all phases deterministically.
+    pub max_ops: Option<u64>,
+    /// Maximum number of nodes settled across all shortest-path
+    /// expansions (the dominant cost of opt-NEAT's phase 3).
+    pub max_settled_nodes: Option<u64>,
+    /// Maximum number of flow clusters phase 2 may form.
+    pub max_clusters: Option<usize>,
+}
+
+impl RunBudget {
+    /// No limits at all — a run under this budget is bit-identical to an
+    /// uncontrolled run.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == RunBudget::default()
+    }
+
+    /// Sets the wall-clock allowance in milliseconds.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the cooperative-check budget.
+    #[must_use]
+    pub fn with_max_ops(mut self, ops: u64) -> Self {
+        self.max_ops = Some(ops);
+        self
+    }
+
+    /// Sets the settled-node budget.
+    #[must_use]
+    pub fn with_max_settled_nodes(mut self, nodes: u64) -> Self {
+        self.max_settled_nodes = Some(nodes);
+        self
+    }
+
+    /// Caps the number of flow clusters phase 2 may form.
+    #[must_use]
+    pub fn with_max_clusters(mut self, clusters: usize) -> Self {
+        self.max_clusters = Some(clusters);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(RunBudget::unlimited().is_unlimited());
+        assert!(!RunBudget::unlimited().with_max_ops(5).is_unlimited());
+        assert!(!RunBudget::unlimited().with_deadline_ms(1).is_unlimited());
+        assert!(!RunBudget::unlimited()
+            .with_max_settled_nodes(1)
+            .is_unlimited());
+        assert!(!RunBudget::unlimited().with_max_clusters(1).is_unlimited());
+    }
+}

@@ -1,0 +1,119 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for a disarmed countdown fuse.
+const DISARMED: u64 = u64::MAX;
+
+/// A cloneable, thread-safe cancellation flag.
+///
+/// All clones share the same state: cancelling any of them cancels the
+/// run. Cancellation is *cooperative* — the pipeline polls the token at
+/// its check points and winds down gracefully, returning the best valid
+/// partial result computed so far.
+///
+/// Besides the manual [`CancelToken::cancel`], a token can carry a
+/// *countdown fuse* ([`CancelToken::armed_after`]) that trips after a
+/// given number of polls. The fuse exists for fault-injection tests: it
+/// turns "cancel at the n-th cooperative check point" into a
+/// deterministic, enumerable event, exactly like the crash-point matrix
+/// of the durability chaos harness.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    /// Remaining polls before the fuse trips; [`DISARMED`] when unused.
+    fuse: Arc<AtomicU64>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            fuse: Arc::new(AtomicU64::new(DISARMED)),
+        }
+    }
+
+    /// A token whose first `polls` calls to [`CancelToken::is_cancelled`]
+    /// report `false` and whose next call trips it (0 cancels on the
+    /// first poll).
+    pub fn armed_after(polls: u64) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            fuse: Arc::new(AtomicU64::new(polls)),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Polls the token. Counts down an armed fuse as a side effect.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self
+            .fuse
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| match left {
+                DISARMED => None,
+                0 => None,
+                n => Some(n - 1),
+            }) {
+            // The fuse ran out of grace polls: trip the flag.
+            Err(0) => {
+                self.flag.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_is_shared_by_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn fuse_trips_at_exact_poll() {
+        let t = CancelToken::armed_after(3);
+        assert!(!t.is_cancelled()); // poll 0
+        assert!(!t.is_cancelled()); // poll 1
+        assert!(!t.is_cancelled()); // poll 2
+        assert!(t.is_cancelled()); // poll 3 — fuse trips
+        assert!(t.is_cancelled()); // latched thereafter
+    }
+
+    #[test]
+    fn fuse_armed_at_zero_trips_immediately() {
+        let t = CancelToken::armed_after(0);
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn unarmed_token_never_trips_on_its_own() {
+        let t = CancelToken::new();
+        for _ in 0..10_000 {
+            assert!(!t.is_cancelled());
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! The shared control handle threaded through the pipeline.
+
+use crate::budget::RunBudget;
+use crate::cancel::CancelToken;
+use crate::clock::Clock;
+use crate::progress::Progress;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// How many cooperative checks pass between two clock consultations.
+///
+/// Reading even a monotonic clock is expensive next to one Dijkstra
+/// settlement, so the deadline is only consulted every `DEADLINE_STRIDE`
+/// checks. Consequence: a deadline can overshoot by at most one stride
+/// of work, and can never fire before the stride-th check.
+pub const DEADLINE_STRIDE: u64 = 256;
+
+/// Why a controlled run stopped early.
+///
+/// The first interrupt observed by a [`Control`] is *latched*: every
+/// later check reports the same value, so all phases agree on the cause
+/// and the degradation ladder descends monotonically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The wall-clock deadline passed (as measured by the injected
+    /// [`Clock`]).
+    DeadlineExceeded,
+    /// The cooperative-check budget ran out.
+    OpBudgetExhausted,
+    /// The shortest-path settled-node budget ran out.
+    SettledNodeBudgetExhausted,
+    /// Phase 2 reached the flow-cluster cap.
+    ClusterCapReached,
+}
+
+impl Interrupt {
+    /// Stable kebab-case name (used in JSON output and artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Interrupt::Cancelled => "cancelled",
+            Interrupt::DeadlineExceeded => "deadline-exceeded",
+            Interrupt::OpBudgetExhausted => "op-budget-exhausted",
+            Interrupt::SettledNodeBudgetExhausted => "settled-node-budget-exhausted",
+            Interrupt::ClusterCapReached => "cluster-cap-reached",
+        }
+    }
+
+    /// True for explicit cancellation — a *hard* stop: degraded
+    /// continuations are skipped too, not just the expensive loops.
+    pub fn is_cancellation(self) -> bool {
+        matches!(self, Interrupt::Cancelled)
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Interrupt::Cancelled => 1,
+            Interrupt::DeadlineExceeded => 2,
+            Interrupt::OpBudgetExhausted => 3,
+            Interrupt::SettledNodeBudgetExhausted => 4,
+            Interrupt::ClusterCapReached => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Interrupt> {
+        match code {
+            1 => Some(Interrupt::Cancelled),
+            2 => Some(Interrupt::DeadlineExceeded),
+            3 => Some(Interrupt::OpBudgetExhausted),
+            4 => Some(Interrupt::SettledNodeBudgetExhausted),
+            5 => Some(Interrupt::ClusterCapReached),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What to do with the work *remaining* when a budget is exhausted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverrunMode {
+    /// Walk the degradation ladder: replace the remaining expensive work
+    /// with a cheaper approximation (e.g. phase 3 falls back from
+    /// network distances to the Euclidean lower bound).
+    #[default]
+    Degrade,
+    /// Stop immediately and return the best result computed so far,
+    /// running no degraded continuation.
+    Partial,
+}
+
+/// The execution-control handle threaded through every long loop.
+///
+/// A `Control` bundles a [`CancelToken`], a [`RunBudget`], an optional
+/// injected [`Clock`] (required for deadlines to fire) and an optional
+/// [`Progress`] observer. It is `Sync`; phases share it by reference,
+/// including across the phase-1 worker threads.
+///
+/// Checks are observation-only until a limit fires: a run under
+/// [`Control::unlimited`] makes exactly the same decisions as an
+/// uncontrolled run.
+pub struct Control {
+    token: CancelToken,
+    budget: RunBudget,
+    clock: Option<Arc<dyn Clock>>,
+    /// Absolute clock reading after which the deadline has passed.
+    deadline_at_ms: Option<u64>,
+    overrun: OverrunMode,
+    ops: AtomicU64,
+    settled: AtomicU64,
+    /// First interrupt, encoded via [`Interrupt::code`]; 0 = none.
+    latched: AtomicU8,
+    progress: Option<Arc<dyn Progress>>,
+}
+
+impl fmt::Debug for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Control")
+            .field("budget", &self.budget)
+            .field("overrun", &self.overrun)
+            .field("ops", &self.ops.load(Ordering::SeqCst))
+            .field("settled", &self.settled.load(Ordering::SeqCst))
+            .field("interrupt", &self.interrupt())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Control {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Control {
+    /// A control with no limits and a fresh token: checks always pass.
+    pub fn unlimited() -> Self {
+        Control::new(RunBudget::unlimited(), CancelToken::new())
+    }
+
+    /// A control enforcing `budget` and observing `token`.
+    ///
+    /// Note: a `deadline_ms` in the budget is inert until a clock is
+    /// attached with [`Control::with_clock`].
+    pub fn new(budget: RunBudget, token: CancelToken) -> Self {
+        Control {
+            token,
+            budget,
+            clock: None,
+            deadline_at_ms: None,
+            overrun: OverrunMode::default(),
+            ops: AtomicU64::new(0),
+            settled: AtomicU64::new(0),
+            latched: AtomicU8::new(0),
+            progress: None,
+        }
+    }
+
+    /// Attaches the clock that measures the deadline. The budget's
+    /// allowance starts counting from this call.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        if let Some(allowance) = self.budget.deadline_ms {
+            self.deadline_at_ms = Some(clock.now_millis().saturating_add(allowance));
+        }
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Sets the overrun policy (default: [`OverrunMode::Degrade`]).
+    #[must_use]
+    pub fn with_overrun(mut self, overrun: OverrunMode) -> Self {
+        self.overrun = overrun;
+        self
+    }
+
+    /// Attaches a progress observer.
+    #[must_use]
+    pub fn with_progress(mut self, progress: Arc<dyn Progress>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// The cooperative check point. Counts one op, polls the token and
+    /// the op/deadline budgets; the first limit to fire is latched and
+    /// reported by every subsequent check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched [`Interrupt`] once the run should stop.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        if let Some(i) = self.interrupt() {
+            return Err(i);
+        }
+        let ops = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.token.is_cancelled() {
+            return Err(self.latch(Interrupt::Cancelled));
+        }
+        if let Some(max) = self.budget.max_ops {
+            if ops > max {
+                return Err(self.latch(Interrupt::OpBudgetExhausted));
+            }
+        }
+        if let (Some(at), Some(clock)) = (self.deadline_at_ms, self.clock.as_deref()) {
+            if ops.is_multiple_of(DEADLINE_STRIDE) && clock.now_millis() >= at {
+                return Err(self.latch(Interrupt::DeadlineExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Control::check`] plus one settled node against the settled-node
+    /// budget — called per shortest-path settlement.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Control::check`].
+    pub fn check_settled(&self) -> Result<(), Interrupt> {
+        let settled = self.settled.fetch_add(1, Ordering::Relaxed) + 1;
+        self.check()?;
+        if let Some(max) = self.budget.max_settled_nodes {
+            if settled > max {
+                return Err(self.latch(Interrupt::SettledNodeBudgetExhausted));
+            }
+        }
+        Ok(())
+    }
+
+    /// Polls only for cancellation. Degraded continuations run *after*
+    /// a budget has been exhausted, so they must keep honouring the
+    /// cancel token without instantly re-tripping over the spent budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched interrupt when the token is cancelled.
+    pub fn check_cancel(&self) -> Result<(), Interrupt> {
+        if self.token.is_cancelled() {
+            return Err(self.latch(Interrupt::Cancelled));
+        }
+        Ok(())
+    }
+
+    /// Reports the number of flow clusters formed so far; fires when the
+    /// cap is met.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Interrupt::ClusterCapReached`] (or an earlier latched
+    /// interrupt) once `formed` meets the cap.
+    pub fn check_clusters(&self, formed: usize) -> Result<(), Interrupt> {
+        if let Some(i) = self.interrupt() {
+            return Err(i);
+        }
+        if let Some(cap) = self.budget.max_clusters {
+            if formed >= cap {
+                return Err(self.latch(Interrupt::ClusterCapReached));
+            }
+        }
+        Ok(())
+    }
+
+    /// Latches `why` if nothing is latched yet; returns the latched
+    /// interrupt either way. The progress observer is notified exactly
+    /// once, by the latching call.
+    fn latch(&self, why: Interrupt) -> Interrupt {
+        match self
+            .latched
+            .compare_exchange(0, why.code(), Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                if let Some(p) = &self.progress {
+                    p.on_interrupt(why);
+                }
+                why
+            }
+            Err(prev) => Interrupt::from_code(prev).unwrap_or(why),
+        }
+    }
+
+    /// The latched interrupt, if any limit has fired.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        Interrupt::from_code(self.latched.load(Ordering::SeqCst))
+    }
+
+    /// True once any limit has fired.
+    pub fn is_interrupted(&self) -> bool {
+        self.interrupt().is_some()
+    }
+
+    /// Cooperative checks performed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Shortest-path nodes settled so far.
+    pub fn settled(&self) -> u64 {
+        self.settled.load(Ordering::SeqCst)
+    }
+
+    /// The budget this control enforces.
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    /// The overrun policy.
+    pub fn overrun(&self) -> OverrunMode {
+        self.overrun
+    }
+
+    /// The observed cancel token.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Notifies the progress observer that `phase` began.
+    pub fn phase_start(&self, phase: &str) {
+        if let Some(p) = &self.progress {
+            p.on_phase_start(phase);
+        }
+    }
+
+    /// Notifies the progress observer that `phase` ended.
+    pub fn phase_end(&self, phase: &str) {
+        if let Some(p) = &self.progress {
+            p.on_phase_end(phase);
+        }
+    }
+
+    /// Notifies the progress observer of a degradation step.
+    pub fn degrade(&self, what: &str) {
+        if let Some(p) = &self.progress {
+            p.on_degrade(what);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::OpClock;
+    use crate::progress::CollectingProgress;
+
+    #[test]
+    fn unlimited_control_never_interrupts() {
+        let c = Control::unlimited();
+        for _ in 0..10_000 {
+            assert!(c.check().is_ok());
+            assert!(c.check_settled().is_ok());
+        }
+        assert!(c.check_clusters(usize::MAX - 1).is_ok());
+        assert_eq!(c.interrupt(), None);
+        assert_eq!(c.ops(), 20_000);
+        assert_eq!(c.settled(), 10_000);
+    }
+
+    #[test]
+    fn op_budget_fires_at_exact_index() {
+        let c = Control::new(RunBudget::unlimited().with_max_ops(3), CancelToken::new());
+        assert!(c.check().is_ok());
+        assert!(c.check().is_ok());
+        assert!(c.check().is_ok());
+        assert_eq!(c.check(), Err(Interrupt::OpBudgetExhausted));
+        // Latched: every later check reports the same interrupt.
+        assert_eq!(c.check(), Err(Interrupt::OpBudgetExhausted));
+        assert_eq!(c.check_settled(), Err(Interrupt::OpBudgetExhausted));
+        assert_eq!(c.interrupt(), Some(Interrupt::OpBudgetExhausted));
+    }
+
+    #[test]
+    fn settled_budget_fires_and_latches() {
+        let c = Control::new(
+            RunBudget::unlimited().with_max_settled_nodes(2),
+            CancelToken::new(),
+        );
+        assert!(c.check_settled().is_ok());
+        assert!(c.check().is_ok()); // plain checks do not settle nodes
+        assert!(c.check_settled().is_ok());
+        assert_eq!(
+            c.check_settled(),
+            Err(Interrupt::SettledNodeBudgetExhausted)
+        );
+        assert_eq!(c.check(), Err(Interrupt::SettledNodeBudgetExhausted));
+    }
+
+    #[test]
+    fn cancellation_wins_and_sticks() {
+        let token = CancelToken::new();
+        let c = Control::new(RunBudget::unlimited().with_max_ops(1), token.clone());
+        token.cancel();
+        assert_eq!(c.check(), Err(Interrupt::Cancelled));
+        // First latch wins even though the op budget is also exhausted.
+        assert_eq!(c.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_fires_on_strided_clock_consultation() {
+        let clock = Arc::new(OpClock::new(1));
+        let c = Control::new(
+            RunBudget::unlimited().with_deadline_ms(2),
+            CancelToken::new(),
+        )
+        .with_clock(clock);
+        // Construction consumed observation 0 (now = 0); the deadline is
+        // at 2 ms. Consultations happen every DEADLINE_STRIDE checks and
+        // each advances the clock 1 ms, so the third consultation (check
+        // number 3 * DEADLINE_STRIDE) sees now = 3 >= 2... the second
+        // consultation already sees now = 2 >= 2.
+        let mut fired_at = None;
+        for i in 1..=(3 * DEADLINE_STRIDE) {
+            if c.check().is_err() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(2 * DEADLINE_STRIDE));
+        assert_eq!(c.interrupt(), Some(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn deadline_without_clock_is_inert() {
+        let c = Control::new(
+            RunBudget::unlimited().with_deadline_ms(0),
+            CancelToken::new(),
+        );
+        for _ in 0..2 * DEADLINE_STRIDE {
+            assert!(c.check().is_ok());
+        }
+    }
+
+    #[test]
+    fn cluster_cap_fires_at_cap() {
+        let c = Control::new(
+            RunBudget::unlimited().with_max_clusters(2),
+            CancelToken::new(),
+        );
+        assert!(c.check_clusters(0).is_ok());
+        assert!(c.check_clusters(1).is_ok());
+        assert_eq!(c.check_clusters(2), Err(Interrupt::ClusterCapReached));
+        assert_eq!(c.check(), Err(Interrupt::ClusterCapReached));
+    }
+
+    #[test]
+    fn check_cancel_ignores_spent_budgets() {
+        let token = CancelToken::new();
+        let c = Control::new(RunBudget::unlimited().with_max_ops(0), token.clone());
+        assert_eq!(c.check(), Err(Interrupt::OpBudgetExhausted));
+        // The degraded continuation keeps running…
+        assert!(c.check_cancel().is_ok());
+        // …until the user actually cancels.
+        token.cancel();
+        assert!(c.check_cancel().is_err());
+        // The first interrupt remains the reported cause.
+        assert_eq!(c.interrupt(), Some(Interrupt::OpBudgetExhausted));
+    }
+
+    #[test]
+    fn fused_token_trips_through_check() {
+        let c = Control::new(RunBudget::unlimited(), CancelToken::armed_after(2));
+        assert!(c.check().is_ok());
+        assert!(c.check().is_ok());
+        assert_eq!(c.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn progress_sees_interrupt_exactly_once() {
+        let progress = Arc::new(CollectingProgress::new());
+        let c = Control::new(RunBudget::unlimited().with_max_ops(0), CancelToken::new())
+            .with_progress(progress.clone());
+        c.phase_start("phase1");
+        let _ = c.check();
+        let _ = c.check();
+        c.degrade("phase3: elb-only");
+        c.phase_end("phase1");
+        assert_eq!(
+            progress.events(),
+            vec![
+                "start phase1",
+                "interrupt op-budget-exhausted",
+                "degrade phase3: elb-only",
+                "end phase1",
+            ]
+        );
+    }
+}

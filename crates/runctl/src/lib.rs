@@ -1,0 +1,42 @@
+//! Execution control for long-running NEAT pipelines.
+//!
+//! The clustering phases are open-ended graph computations — phase 3 in
+//! particular is dominated by network shortest-path expansions — so a
+//! production deployment needs a way to *bound* a run (wall-clock
+//! deadline, settled-node or operation budgets, cluster-count caps), to
+//! *cancel* it cooperatively from another thread, and to *observe* its
+//! progress, all without perturbing the computed result while the limits
+//! are not hit.
+//!
+//! This crate is the dependency-free kernel of that machinery:
+//!
+//! * [`CancelToken`] — a cloneable, thread-safe cancellation flag.
+//! * [`RunBudget`] — declarative resource limits.
+//! * [`Clock`] — the **only** sanctioned way for wall-clock time to reach
+//!   algorithm code. Production uses [`SystemClock`]; tests use the
+//!   deterministic [`OpClock`] so budgeted runs replay bit-identically.
+//!   The `neat-lint` L5 rule bans `Instant::now()` in algorithm crates
+//!   except inside the designated [`clock`] boundary module.
+//! * [`Control`] — the shared handle threaded through the pipeline's
+//!   loops. Each loop iteration calls [`Control::check`] (or
+//!   [`Control::check_settled`] per Dijkstra settlement); the first
+//!   exhausted limit or observed cancellation is *latched* and every
+//!   later check reports the same [`Interrupt`], so callers can walk a
+//!   degradation ladder deterministically.
+//! * [`Progress`] — an observer interface for phase transitions,
+//!   interrupts and degradations.
+//!
+//! Checks are observation-only until a limit actually fires: a run under
+//! [`Control::unlimited`] is bit-identical to an uncontrolled run.
+
+pub mod budget;
+pub mod cancel;
+pub mod clock;
+pub mod control;
+pub mod progress;
+
+pub use budget::RunBudget;
+pub use cancel::CancelToken;
+pub use clock::{Clock, OpClock, SystemClock};
+pub use control::{Control, Interrupt, OverrunMode, DEADLINE_STRIDE};
+pub use progress::{CollectingProgress, NullProgress, Progress};

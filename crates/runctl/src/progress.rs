@@ -1,0 +1,73 @@
+//! Progress observation.
+
+use crate::control::Interrupt;
+use std::sync::Mutex;
+
+/// Observer for pipeline progress, interrupts and degradations.
+///
+/// All methods default to no-ops so implementors subscribe only to what
+/// they need. Callbacks must be cheap and must not block: they run
+/// inline on the pipeline threads.
+pub trait Progress: Send + Sync {
+    /// A pipeline phase began.
+    fn on_phase_start(&self, _phase: &str) {}
+    /// A pipeline phase finished (completely or after an interrupt).
+    fn on_phase_end(&self, _phase: &str) {}
+    /// A limit fired or cancellation was observed; emitted exactly once,
+    /// when the interrupt is first latched.
+    fn on_interrupt(&self, _why: Interrupt) {}
+    /// The pipeline stepped down its degradation ladder.
+    fn on_degrade(&self, _what: &str) {}
+}
+
+/// The silent observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProgress;
+
+impl Progress for NullProgress {}
+
+/// A test observer that records every event as a formatted line.
+#[derive(Debug, Default)]
+pub struct CollectingProgress {
+    events: Mutex<Vec<String>>,
+}
+
+impl CollectingProgress {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> Vec<String> {
+        match self.events.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    fn push(&self, line: String) {
+        match self.events.lock() {
+            Ok(mut g) => g.push(line),
+            Err(poisoned) => poisoned.into_inner().push(line),
+        }
+    }
+}
+
+impl Progress for CollectingProgress {
+    fn on_phase_start(&self, phase: &str) {
+        self.push(format!("start {phase}"));
+    }
+
+    fn on_phase_end(&self, phase: &str) {
+        self.push(format!("end {phase}"));
+    }
+
+    fn on_interrupt(&self, why: Interrupt) {
+        self.push(format!("interrupt {why}"));
+    }
+
+    fn on_degrade(&self, what: &str) {
+        self.push(format!("degrade {what}"));
+    }
+}

@@ -753,6 +753,90 @@ pub fn write_quarantine<W: Write>(
     Ok(())
 }
 
+/// What a capped quarantine write actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuarantineWriteReport {
+    /// Trajectories written in full.
+    pub written: usize,
+    /// Trajectories dropped to honour the byte budget. Dropping happens
+    /// from the *end* of the list: the earliest rejects — usually the
+    /// ones being debugged — survive.
+    pub dropped: usize,
+    /// Bytes emitted (including the trailer noting any drops).
+    pub bytes: usize,
+}
+
+impl QuarantineWriteReport {
+    /// True when every quarantined trajectory landed in the file.
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+}
+
+/// [`write_quarantine`] under a byte budget: trajectory blocks are
+/// emitted in order until the next block would exceed `max_bytes`; the
+/// rest are dropped and counted, and a trailer comment records the drop
+/// so a truncated file is self-describing.
+///
+/// With `max_bytes = None` (or a budget every block fits under) the
+/// output is byte-identical to [`write_quarantine`].
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_quarantine_capped<W: Write>(
+    quarantined: &[QuarantinedTrajectory],
+    mut w: W,
+    max_bytes: Option<usize>,
+) -> Result<QuarantineWriteReport, TrajError> {
+    let mut header = Vec::new();
+    writeln!(header, "# quarantine: {} trajectories", quarantined.len())?;
+    writeln!(header, "# trid,sid,x,y,t")?;
+
+    let mut report = QuarantineWriteReport {
+        bytes: header.len(),
+        ..QuarantineWriteReport::default()
+    };
+    w.write_all(&header)?;
+
+    for q in quarantined {
+        let mut block = Vec::new();
+        writeln!(block, "# {}: {}", q.id, q.reason)?;
+        for fix in &q.fixes {
+            writeln!(
+                block,
+                "{},{},{},{},{}",
+                fix.trid,
+                fix.segment.index(),
+                fix.position.x,
+                fix.position.y,
+                fix.time
+            )?;
+        }
+        if let Some(cap) = max_bytes {
+            if report.bytes + block.len() > cap {
+                report.dropped = quarantined.len() - report.written;
+                break;
+            }
+        }
+        w.write_all(&block)?;
+        report.bytes += block.len();
+        report.written += 1;
+    }
+    if report.dropped > 0 {
+        let mut trailer = Vec::new();
+        writeln!(
+            trailer,
+            "# truncated: {} trajectories dropped (byte budget {})",
+            report.dropped,
+            max_bytes.unwrap_or(0)
+        )?;
+        w.write_all(&trailer)?;
+        report.bytes += trailer.len();
+    }
+    Ok(report)
+}
+
 /// Atomically saves quarantined trajectories to `path` in the
 /// [`write_quarantine`] format: the file is staged in full, written to a
 /// temporary sibling and renamed into place, so a crash mid-save never
@@ -771,6 +855,40 @@ pub fn save_quarantine<P: AsRef<std::path::Path>>(
     neat_durability::write_atomic_std(path.as_ref(), &buf)
         .map_err(|e| TrajError::Io(std::io::Error::other(e.to_string())))?;
     Ok(())
+}
+
+/// The path the previous quarantine generation is rotated to by
+/// [`save_quarantine_capped`]: `<path>.1`.
+pub fn rotated_quarantine_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".1");
+    std::path::PathBuf::from(name)
+}
+
+/// [`save_quarantine`] with a byte budget and single-generation
+/// rotation: an existing file at `path` is first renamed to `<path>.1`
+/// (replacing any older generation), then the capped content is written
+/// atomically. Long-running sessions that quarantine on every batch thus
+/// hold at most two bounded files instead of growing without limit.
+///
+/// # Errors
+///
+/// Propagates formatting and filesystem failures; the previous
+/// generation is preserved (at `path` or `<path>.1`) on failure.
+pub fn save_quarantine_capped<P: AsRef<std::path::Path>>(
+    quarantined: &[QuarantinedTrajectory],
+    path: P,
+    max_bytes: Option<usize>,
+) -> Result<QuarantineWriteReport, TrajError> {
+    let path = path.as_ref();
+    let mut buf = Vec::new();
+    let report = write_quarantine_capped(quarantined, &mut buf, max_bytes)?;
+    if path.exists() {
+        std::fs::rename(path, rotated_quarantine_path(path))?;
+    }
+    neat_durability::write_atomic_std(path, &buf)
+        .map_err(|e| TrajError::Io(std::io::Error::other(e.to_string())))?;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -1029,5 +1147,95 @@ mod tests {
         assert_eq!(out.summary.malformed_lines, 1);
         assert_eq!(out.dataset.len(), 1);
         assert_eq!(out.dataset.total_points(), 2);
+    }
+
+    fn many_quarantined(n: usize) -> Vec<QuarantinedTrajectory> {
+        (0..n)
+            .map(|i| QuarantinedTrajectory {
+                id: TrajectoryId::new(i as u64),
+                reason: format!("reject {i}"),
+                fixes: clean_run(i as u64, 3),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capped_writer_matches_uncapped_when_budget_fits() {
+        let qs = many_quarantined(5);
+        let mut plain = Vec::new();
+        write_quarantine(&qs, &mut plain).unwrap();
+        for cap in [None, Some(plain.len()), Some(plain.len() * 10)] {
+            let mut capped = Vec::new();
+            let report = write_quarantine_capped(&qs, &mut capped, cap).unwrap();
+            assert_eq!(capped, plain, "cap {cap:?} must be byte-identical");
+            assert_eq!(report.written, 5);
+            assert_eq!(report.dropped, 0);
+            assert!(report.is_complete());
+            assert_eq!(report.bytes, plain.len());
+        }
+    }
+
+    #[test]
+    fn capped_writer_drops_tail_and_records_it() {
+        let qs = many_quarantined(6);
+        let mut full = Vec::new();
+        write_quarantine(&qs, &mut full).unwrap();
+        // Budget for roughly half the file: the tail is dropped, the
+        // trailer says so, and every surviving block is intact.
+        let mut out = Vec::new();
+        let report = write_quarantine_capped(&qs, &mut out, Some(full.len() / 2)).unwrap();
+        assert!(report.dropped > 0);
+        assert_eq!(report.written + report.dropped, 6);
+        assert_eq!(report.bytes, out.len());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(&format!(
+            "# truncated: {} trajectories dropped",
+            report.dropped
+        )));
+        // Early rejects survive; the dropped ones are the latest.
+        assert!(text.contains("# tr0: reject 0"));
+        assert!(!text.contains("# tr5: reject 5"));
+    }
+
+    #[test]
+    fn tiny_budget_keeps_only_the_header() {
+        let qs = many_quarantined(3);
+        let mut out = Vec::new();
+        let report = write_quarantine_capped(&qs, &mut out, Some(0)).unwrap();
+        assert_eq!(report.written, 0);
+        assert_eq!(report.dropped, 3);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("# quarantine: 3 trajectories"));
+        assert!(text.contains("# truncated: 3 trajectories dropped"));
+    }
+
+    #[test]
+    fn capped_save_rotates_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("neat-traj-quarantine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.csv");
+
+        let gen1 = many_quarantined(2);
+        let r1 = save_quarantine_capped(&gen1, &path, Some(10_000)).unwrap();
+        assert!(r1.is_complete());
+        let first = std::fs::read(&path).unwrap();
+
+        let gen2 = many_quarantined(3);
+        save_quarantine_capped(&gen2, &path, Some(10_000)).unwrap();
+        let rotated = rotated_quarantine_path(&path);
+        assert_eq!(
+            std::fs::read(&rotated).unwrap(),
+            first,
+            "previous generation must move to <path>.1"
+        );
+        let current = String::from_utf8(std::fs::read(&path).unwrap()).unwrap();
+        assert!(current.starts_with("# quarantine: 3 trajectories"));
+
+        // A third save replaces the old generation: never more than two
+        // bounded files on disk.
+        save_quarantine_capped(&gen1, &path, Some(10_000)).unwrap();
+        let kept = String::from_utf8(std::fs::read(&rotated).unwrap()).unwrap();
+        assert!(kept.starts_with("# quarantine: 3 trajectories"));
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -54,7 +54,7 @@ pub const RULES: [&str; 6] = ["L0", "L1", "L2", "L3", "L4", "L5"];
 
 /// Library crates subject to `L1` (panic-freedom). Binaries under
 /// `src/bin/` are CLI surface and exempt.
-const LIBRARY_CRATES: [&str; 9] = [
+const LIBRARY_CRATES: [&str; 10] = [
     "rnet",
     "traj",
     "mapmatch",
@@ -64,10 +64,17 @@ const LIBRARY_CRATES: [&str; 9] = [
     "viz",
     "bench",
     "durability",
+    "runctl",
 ];
 
 /// Algorithm crates subject to `L5` (determinism hygiene).
-const ALGORITHM_CRATES: [&str; 5] = ["neat", "traclus", "rnet", "traj", "mapmatch"];
+const ALGORITHM_CRATES: [&str; 6] = ["neat", "traclus", "rnet", "traj", "mapmatch", "runctl"];
+
+/// The one sanctioned wall-clock site: the [`Clock`] injection boundary.
+/// `Instant`/`SystemTime` are allowed here and nowhere else in the
+/// algorithm crates — everything downstream sees time only through the
+/// injected trait object.
+const CLOCK_INJECTION_SITES: [&str; 1] = ["crates/runctl/src/clock.rs"];
 
 /// `neat` modules subject to `L2` (hash-order iteration).
 const PHASE_MODULES: [&str; 5] = [
@@ -106,6 +113,12 @@ pub fn is_algorithm_code(path: &str) -> bool {
 /// `true` when `path` is one of the NEAT phase modules subject to `L2`.
 pub fn is_phase_module(path: &str) -> bool {
     PHASE_MODULES.contains(&path)
+}
+
+/// `true` when `path` is the clock-injection boundary where `L5` permits
+/// wall-clock types.
+pub fn is_clock_injection_site(path: &str) -> bool {
+    CLOCK_INJECTION_SITES.contains(&path)
 }
 
 // ---------------------------------------------------------------------------
@@ -657,7 +670,7 @@ fn rule_l5(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
             });
             continue;
         }
-        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+        if (t.is_ident("Instant") || t.is_ident("SystemTime")) && !is_clock_injection_site(path) {
             out.push(Violation {
                 rule: "L5",
                 file: path.to_string(),
@@ -809,6 +822,37 @@ mod tests {
             "fn f() { let t = Instant::now(); }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn l5_applies_to_runctl_except_the_clock_injection_site() {
+        // runctl is an algorithm crate: wall clocks are banned...
+        assert_eq!(
+            rules_of(
+                "crates/runctl/src/control.rs",
+                "fn f() { let t = Instant::now(); }"
+            ),
+            vec!["L5"]
+        );
+        // ...except in the one module that implements the Clock trait.
+        assert!(rules_of(
+            "crates/runctl/src/clock.rs",
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); }"
+        )
+        .is_empty());
+        // The carve-out is for clocks only — stdio stays banned there.
+        assert_eq!(
+            rules_of("crates/runctl/src/clock.rs", "fn f() { println!(\"x\"); }"),
+            vec!["L5"]
+        );
+    }
+
+    #[test]
+    fn l1_applies_to_runctl() {
+        assert_eq!(
+            rules_of("crates/runctl/src/budget.rs", "fn f() { x.unwrap(); }"),
+            vec!["L1"]
+        );
     }
 
     #[test]

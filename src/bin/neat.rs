@@ -11,6 +11,9 @@
 //!                  [--mode base|flow|opt] [--min-card N] [--epsilon M]
 //!                  [--weights q,k,v] [--beta B] [--no-elb] [--full-route]
 //!                  [--on-error fail|skip|repair] [--quarantine FILE]
+//!                  [--quarantine-max-bytes N]
+//!                  [--deadline DUR] [--max-ops N] [--max-settled-nodes N]
+//!                  [--max-clusters N] [--on-overrun fail|degrade|partial]
 //!                  [--trace] [--svg out.svg] [--json out.json]
 //!                  [--checkpoint-dir DIR] [--checkpoint-every N]
 //!                  [--batches N] [--resume]
@@ -25,29 +28,45 @@
 //! uninterrupted run. All file outputs are written atomically
 //! (temp file + rename), so a crash never leaves a half-written artifact.
 //!
+//! With a budget flag (`--deadline`, `--max-ops`, `--max-settled-nodes`,
+//! `--max-clusters`) the run is executed under cooperative execution
+//! control: on overrun it degrades along the ladder documented in
+//! DESIGN.md §11 instead of aborting. Exit codes: 0 = complete,
+//! 3 = degraded/partial result delivered, 1 = error. `--on-overrun fail`
+//! turns an overrun into a hard error instead.
+//!
 //! Everything is deterministic under `--seed` (default 42).
 
-use neat_repro::cli::{parse, parse_flags, required};
+use neat_repro::cli::{parse, parse_duration_ms, parse_flags, required};
 use neat_repro::durability::{write_atomic_std, StdFs};
 use neat_repro::mobisim::faults::{inject_faults, FaultConfig};
 use neat_repro::mobisim::{generate_dataset, SimConfig};
 use neat_repro::neat::{
-    CheckpointError, CheckpointStore, ErrorPolicy, IncrementalNeat, Mode, Neat, NeatConfig, Weights,
+    CheckpointError, CheckpointStore, ErrorPolicy, IncrementalNeat, Mode, Neat, NeatConfig,
+    Outcome, Weights,
 };
 use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig, MapPreset};
 use neat_repro::rnet::{io as netio, RoadNetwork};
-use neat_repro::traj::sanitize::{save_quarantine, SanitizeOutput, Sanitizer};
+use neat_repro::runctl::{CancelToken, Control, OverrunMode, RunBudget, SystemClock};
+use neat_repro::traj::sanitize::{
+    save_quarantine, save_quarantine_capped, SanitizeOutput, Sanitizer,
+};
 use neat_repro::traj::{io as trajio, Dataset};
 use neat_repro::viz::render;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Exit code for a run that finished but delivered a degraded or partial
+/// result because a budget or deadline was exhausted.
+const EXIT_DEGRADED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -67,6 +86,9 @@ const USAGE: &str = "usage:
                    [--min-card N] [--epsilon M] [--weights q,k,v]
                    [--beta B] [--no-elb] [--full-route] [--trace]
                    [--on-error fail|skip|repair] [--quarantine FILE]
+                   [--quarantine-max-bytes N]
+                   [--deadline DUR] [--max-ops N] [--max-settled-nodes N]
+                   [--max-clusters N] [--on-overrun fail|degrade|partial]
                    [--threads N] [--svg FILE] [--json FILE]
                    [--checkpoint-dir DIR] [--checkpoint-every N]
                    [--batches N] [--resume]
@@ -82,16 +104,98 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
     trajio::read_dataset(path, BufReader::new(f)).map_err(|e| format!("cannot read dataset: {e}"))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, rest) = args.split_first().ok_or("no subcommand given")?;
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
-        "gen-network" => gen_network(&flags),
-        "simulate" => simulate(&flags),
+        "gen-network" => gen_network(&flags).map(|()| ExitCode::SUCCESS),
+        "simulate" => simulate(&flags).map(|()| ExitCode::SUCCESS),
         "cluster" => cluster(&flags),
-        "stats" => stats(&flags),
+        "stats" => stats(&flags).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// What `--on-overrun` asks for when a budget is exhausted.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OverrunPolicy {
+    /// Treat an overrun as a hard error (exit 1).
+    Fail,
+    /// Walk the degradation ladder (default; exit 3 when it triggers).
+    Degrade,
+    /// Stop immediately with the best result so far (exit 3).
+    Partial,
+}
+
+/// Builds the execution [`Control`] from the budget flags, or `None`
+/// when no budget flag was given (the run stays on the uncontrolled,
+/// bit-identical path).
+fn build_control(
+    flags: &HashMap<String, String>,
+) -> Result<Option<(Control, OverrunPolicy)>, String> {
+    let budget_flags = [
+        "deadline",
+        "max-ops",
+        "max-settled-nodes",
+        "max-clusters",
+        "on-overrun",
+    ];
+    if !budget_flags.iter().any(|k| flags.contains_key(*k)) {
+        return Ok(None);
+    }
+    let mut budget = RunBudget::unlimited();
+    if let Some(spec) = flags.get("deadline") {
+        budget = budget.with_deadline_ms(parse_duration_ms(spec)?);
+    }
+    if flags.contains_key("max-ops") {
+        budget = budget.with_max_ops(parse(flags, "max-ops", u64::MAX)?);
+    }
+    if flags.contains_key("max-settled-nodes") {
+        budget = budget.with_max_settled_nodes(parse(flags, "max-settled-nodes", u64::MAX)?);
+    }
+    if flags.contains_key("max-clusters") {
+        budget = budget.with_max_clusters(parse(flags, "max-clusters", usize::MAX)?);
+    }
+    let policy = match flags
+        .get("on-overrun")
+        .map(String::as_str)
+        .unwrap_or("degrade")
+    {
+        "fail" => OverrunPolicy::Fail,
+        "degrade" => OverrunPolicy::Degrade,
+        "partial" => OverrunPolicy::Partial,
+        other => {
+            return Err(format!(
+                "unknown --on-overrun `{other}` (fail|degrade|partial)"
+            ))
+        }
+    };
+    let overrun = match policy {
+        OverrunPolicy::Partial => OverrunMode::Partial,
+        _ => OverrunMode::Degrade,
+    };
+    let ctl = Control::new(budget, CancelToken::new())
+        .with_clock(Arc::new(SystemClock::new()))
+        .with_overrun(overrun);
+    Ok(Some((ctl, policy)))
+}
+
+/// JSON fields describing a controlled run's outcome.
+fn outcome_json(out: &Outcome) -> serde_json::Value {
+    serde_json::json!({
+        "completeness": serde_json::json!({
+            "phase1": out.completeness.phase1.label(),
+            "phase2": out.completeness.phase2.label(),
+            "phase3": out.completeness.phase3.label(),
+        }),
+        "degradation": serde_json::json!({
+            "requested": out.degradation.requested.name(),
+            "delivered": out.degradation.delivered.name(),
+            "steps": out.degradation.steps.iter()
+                .map(|s| s.label()).collect::<Vec<_>>(),
+        }),
+        "interrupt": out.interrupt.map(|i| i.name()),
+    })
 }
 
 fn gen_network(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -180,7 +284,7 @@ fn load_sanitized(path: &str, policy: ErrorPolicy) -> Result<SanitizeOutput, Str
         .map_err(|e| format!("cannot read dataset: {e}"))
 }
 
-fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cluster(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let net = load_network(required(flags, "network")?)?;
     let policy: ErrorPolicy = parse(flags, "on-error", ErrorPolicy::Strict)?;
     let sanitized = load_sanitized(required(flags, "dataset")?, policy)?;
@@ -188,12 +292,23 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("sanitize: {}", sanitized.summary.digest());
     }
     if let Some(qpath) = flags.get("quarantine") {
-        save_quarantine(&sanitized.quarantined, qpath)
-            .map_err(|e| format!("cannot write `{qpath}`: {e}"))?;
-        println!(
-            "wrote {qpath}: {} quarantined trajectories",
-            sanitized.quarantined.len()
-        );
+        if flags.contains_key("quarantine-max-bytes") {
+            let cap: usize = parse(flags, "quarantine-max-bytes", usize::MAX)?;
+            let report = save_quarantine_capped(&sanitized.quarantined, qpath, Some(cap))
+                .map_err(|e| format!("cannot write `{qpath}`: {e}"))?;
+            println!(
+                "wrote {qpath}: {} quarantined trajectories ({} dropped by \
+                 --quarantine-max-bytes, {} bytes)",
+                report.written, report.dropped, report.bytes
+            );
+        } else {
+            save_quarantine(&sanitized.quarantined, qpath)
+                .map_err(|e| format!("cannot write `{qpath}`: {e}"))?;
+            println!(
+                "wrote {qpath}: {} quarantined trajectories",
+                sanitized.quarantined.len()
+            );
+        }
     }
     let data = sanitized.dataset;
     let mode = match flags.get("mode").map(String::as_str).unwrap_or("opt") {
@@ -232,13 +347,22 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     if flags.contains_key("resume") && !flags.contains_key("checkpoint-dir") {
         return Err("--resume requires --checkpoint-dir".into());
     }
+    let control = build_control(flags)?;
     if let Some(dir) = flags.get("checkpoint-dir") {
         if mode == Mode::Base {
             return Err("--checkpoint-dir needs --mode flow or opt (incremental \
                         clustering maintains flow clusters)"
                 .into());
         }
-        return cluster_checkpointed(&net, &data, mode, config, policy, flags, dir);
+        if control.is_some() {
+            return Err("budget flags (--deadline/--max-ops/--max-settled-nodes/\
+                        --max-clusters/--on-overrun) are not supported with \
+                        --checkpoint-dir; bound each batch by splitting into more \
+                        --batches instead"
+                .into());
+        }
+        return cluster_checkpointed(&net, &data, mode, config, policy, flags, dir)
+            .map(|()| ExitCode::SUCCESS);
     }
     if flags.contains_key("trace") && mode != Mode::Base {
         // Re-run phases 1–2 with tracing to print the merge decisions.
@@ -262,9 +386,40 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("  {e:?}");
         }
     }
-    let result = Neat::new(&net, config)
-        .run_with_policy(&data, mode, policy)
-        .map_err(|e| e.to_string())?;
+    let neat = Neat::new(&net, config);
+    let (result, outcome_meta, exit) = match control {
+        None => {
+            let result = neat
+                .run_with_policy(&data, mode, policy)
+                .map_err(|e| e.to_string())?;
+            (result, None, ExitCode::SUCCESS)
+        }
+        Some((ctl, overrun_policy)) => {
+            let out = neat
+                .run_controlled(&data, mode, policy, &ctl)
+                .map_err(|e| e.to_string())?;
+            let exit = match out.interrupt {
+                None => ExitCode::SUCCESS,
+                Some(i) => {
+                    if overrun_policy == OverrunPolicy::Fail {
+                        return Err(format!("run interrupted: {} (--on-overrun fail)", i.name()));
+                    }
+                    println!(
+                        "overrun: {} — delivered {} (requested {})",
+                        i.name(),
+                        out.degradation.delivered.name(),
+                        out.degradation.requested.name()
+                    );
+                    for step in &out.degradation.steps {
+                        println!("  degradation: {}", step.label());
+                    }
+                    ExitCode::from(EXIT_DEGRADED)
+                }
+            };
+            let meta = outcome_json(&out);
+            (out.result, Some(meta), exit)
+        }
+    };
     print!("{}", result.summary(&net));
     if mode != Mode::Base {
         for (i, f) in result.flow_clusters.iter().enumerate() {
@@ -288,9 +443,10 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if let Some(json_path) = flags.get("json") {
         // Machine-readable result: flow clusters and final clusters with
-        // their routes and participating trajectories.
-        let doc = serde_json::json!({
-            "mode": mode.name(),
+        // their routes and participating trajectories. `mode` is the
+        // *delivered* mode — under a budget it may sit below the request.
+        let mut doc = serde_json::json!({
+            "mode": result.mode.name(),
             "fragment_count": result.fragment_count,
             "base_cluster_count": result.base_cluster_count,
             "flow_clusters": result.flow_clusters.iter().map(|f| {
@@ -310,6 +466,11 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
                 })
             }).collect::<Vec<_>>(),
         });
+        if let Some(serde_json::Value::Object(meta_fields)) = &outcome_meta {
+            if let serde_json::Value::Object(fields) = &mut doc {
+                fields.extend(meta_fields.iter().cloned());
+            }
+        }
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         write_atomic_std(json_path.as_ref(), text.as_bytes())
             .map_err(|e| format!("cannot write json: {e}"))?;
@@ -325,7 +486,7 @@ fn cluster(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("cannot write svg: {e}"))?;
         println!("wrote {svg_path}");
     }
-    Ok(())
+    Ok(exit)
 }
 
 /// Incremental, crash-safe variant of `cluster`: the dataset is split

@@ -63,6 +63,30 @@ pub fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a
         .ok_or_else(|| format!("missing required flag --{key}"))
 }
 
+/// Parses a human-friendly duration into milliseconds: `250ms`, `30s`,
+/// `5m`, `2h`, or a bare number meaning seconds (`30` → 30 s).
+///
+/// # Errors
+///
+/// Reports the offending spec.
+pub fn parse_duration_ms(spec: &str) -> Result<u64, String> {
+    let spec = spec.trim();
+    let bad = || format!("bad duration `{spec}` (expected e.g. 250ms, 30s, 5m, 2h)");
+    let (digits, scale) = if let Some(n) = spec.strip_suffix("ms") {
+        (n, 1)
+    } else if let Some(n) = spec.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = spec.strip_suffix('m') {
+        (n, 60_000)
+    } else if let Some(n) = spec.strip_suffix('h') {
+        (n, 3_600_000)
+    } else {
+        (spec, 1_000)
+    };
+    let n: u64 = digits.trim().parse().map_err(|_| bad())?;
+    n.checked_mul(scale).ok_or_else(bad)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +135,23 @@ mod tests {
         let f = parse_flags(&args(&["--out", "a"])).unwrap();
         assert_eq!(required(&f, "out").unwrap(), "a");
         assert!(required(&f, "network").unwrap_err().contains("network"));
+    }
+
+    #[test]
+    fn durations_parse_with_every_suffix() {
+        assert_eq!(parse_duration_ms("250ms").unwrap(), 250);
+        assert_eq!(parse_duration_ms("30s").unwrap(), 30_000);
+        assert_eq!(parse_duration_ms("5m").unwrap(), 300_000);
+        assert_eq!(parse_duration_ms("2h").unwrap(), 7_200_000);
+        assert_eq!(parse_duration_ms("30").unwrap(), 30_000, "bare = seconds");
+        assert_eq!(parse_duration_ms(" 10s ").unwrap(), 10_000);
+    }
+
+    #[test]
+    fn bad_durations_are_rejected() {
+        for bad in ["", "s", "10x", "-5s", "1.5s", "abc"] {
+            assert!(parse_duration_ms(bad).is_err(), "`{bad}` must not parse");
+        }
+        assert!(parse_duration_ms(&format!("{}h", u64::MAX)).is_err());
     }
 }

@@ -11,6 +11,7 @@ pub use neat_durability as durability;
 pub use neat_mapmatch as mapmatch;
 pub use neat_mobisim as mobisim;
 pub use neat_rnet as rnet;
+pub use neat_runctl as runctl;
 pub use neat_traclus as traclus;
 pub use neat_traj as traj;
 pub use neat_viz as viz;

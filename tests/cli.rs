@@ -291,6 +291,171 @@ fn checkpointed_cluster_resumes_to_identical_output() {
 }
 
 #[test]
+fn budgeted_cluster_degrades_with_exit_code_3() {
+    let net_path = tmp("bd_net.txt");
+    let data_path = tmp("bd_data.csv");
+    let json_path = tmp("bd_out.json");
+    assert!(neat()
+        .args([
+            "gen-network",
+            "--grid",
+            "8x8",
+            "--out",
+            net_path.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(neat()
+        .args([
+            "simulate",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--objects",
+            "30",
+            "--out",
+            data_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let cluster = |extra: &[&str], json: &PathBuf| {
+        let mut args = vec![
+            "cluster",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--mode",
+            "opt",
+            "--min-card",
+            "3",
+            "--epsilon",
+            "400",
+            "--json",
+            json.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        neat().args(&args).output().unwrap()
+    };
+
+    // A tiny op budget forces degradation: exit code 3, JSON says why.
+    let out = cluster(&["--max-ops", "2"], &json_path);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "degraded run must exit 3: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("overrun: op-budget-exhausted"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"completeness\""), "{json}");
+    assert!(
+        json.contains("\"interrupt\": \"op-budget-exhausted\""),
+        "{json}"
+    );
+    assert!(json.contains("\"requested\": \"opt-NEAT\""), "{json}");
+    assert!(json.contains("\"delivered\": \"base-NEAT\""), "{json}");
+
+    // --on-overrun fail turns the same overrun into a hard error.
+    let out = cluster(&["--max-ops", "2", "--on-overrun", "fail"], &json_path);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("run interrupted"));
+
+    // A generous deadline leaves the run complete: exit 0 and the JSON
+    // matches an uncontrolled run's payload plus the completeness block.
+    let json_free = tmp("bd_free.json");
+    let out = cluster(&[], &json_free);
+    assert_eq!(out.status.code(), Some(0));
+    let json_budgeted = tmp("bd_budgeted.json");
+    let out = cluster(
+        &["--deadline", "1h", "--max-settled-nodes", "100000000"],
+        &json_budgeted,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let budgeted = std::fs::read_to_string(&json_budgeted).unwrap();
+    assert!(budgeted.contains("\"phase3\": \"complete\""), "{budgeted}");
+    assert!(budgeted.contains("\"interrupt\": null"), "{budgeted}");
+    let free = std::fs::read_to_string(&json_free).unwrap();
+    // Everything before the added metadata is byte-identical.
+    assert!(budgeted.starts_with(free.trim_end_matches(['}', '\n'])));
+}
+
+#[test]
+fn quarantine_cap_is_honoured_by_the_cli() {
+    let net_path = tmp("qc_net.txt");
+    let data_path = tmp("qc_data.csv");
+    let q_path = tmp("qc_quarantine.csv");
+    assert!(neat()
+        .args([
+            "gen-network",
+            "--grid",
+            "6x6",
+            "--out",
+            net_path.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    // Inject faults so sanitization actually quarantines trajectories.
+    assert!(neat()
+        .args([
+            "simulate",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--objects",
+            "30",
+            "--faults",
+            "teleport=0.5",
+            "--out",
+            data_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = neat()
+        .args([
+            "cluster",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--mode",
+            "flow",
+            "--min-card",
+            "2",
+            "--on-error",
+            "skip",
+            "--quarantine",
+            q_path.to_str().unwrap(),
+            "--quarantine-max-bytes",
+            "200",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let q = std::fs::read(&q_path).unwrap();
+    assert!(
+        q.len() <= 300,
+        "quarantine file must respect the byte budget plus trailer, got {}",
+        q.len()
+    );
+    let text = String::from_utf8_lossy(&q);
+    assert!(text.starts_with("# quarantine:"), "{text}");
+}
+
+#[test]
 fn deterministic_outputs_for_same_seed() {
     let a = tmp("det_a.txt");
     let b = tmp("det_b.txt");
