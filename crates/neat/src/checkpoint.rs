@@ -177,9 +177,13 @@ impl From<DurabilityError> for CheckpointError {
 /// Stable 64-bit hash of every [`NeatConfig`] field that influences
 /// clustering output.
 ///
-/// `phase1_threads` is deliberately excluded: the parallel Phase-1 path
-/// is bit-identical to the sequential one, so a checkpoint taken with 4
-/// threads resumes cleanly on 1.
+/// `threads` is deliberately excluded: every parallel path is
+/// bit-identical to the sequential one, so a checkpoint taken with 4
+/// threads resumes cleanly on 1. `alt_landmarks` and `endpoint_tables`
+/// are excluded for the same reason — both are output-preserving
+/// Phase-3 accelerations (the ALT bound only skips pairs the exact
+/// distance would reject anyway, and endpoint tables answer the same
+/// bounded queries).
 pub fn config_hash(config: &NeatConfig) -> u64 {
     let mut e = Enc::with_capacity(64);
     e.f64(config.weights.wq());
@@ -314,6 +318,8 @@ pub(crate) fn encode_state(parts: &StateParts<'_>) -> Vec<u8> {
     e.u64(parts.last_stats.elb_skips);
     e.u64(parts.last_stats.sp_computations);
     e.u64(parts.last_stats.sp_cache_hits);
+    e.u64(parts.last_stats.alt_skips);
+    e.u64(parts.last_stats.one_to_many_scans);
     e.into_bytes()
 }
 
@@ -388,6 +394,8 @@ pub(crate) fn decode_state(
         elb_skips: d.u64("elb_skips")?,
         sp_computations: d.u64("sp_computations")?,
         sp_cache_hits: d.u64("sp_cache_hits")?,
+        alt_skips: d.u64("alt_skips")?,
+        one_to_many_scans: d.u64("one_to_many_scans")?,
     };
     d.expect_exhausted("checkpoint state")?;
 
@@ -607,8 +615,10 @@ mod tests {
             last_stats: Phase3Stats {
                 pairs_considered: 10,
                 elb_skips: 3,
+                alt_skips: 1,
                 sp_computations: 4,
                 sp_cache_hits: 2,
+                one_to_many_scans: 2,
             },
             resilience,
         }
@@ -668,13 +678,15 @@ mod tests {
     }
 
     #[test]
-    fn phase1_threads_do_not_change_the_config_hash() {
+    fn output_preserving_knobs_do_not_change_the_config_hash() {
         let base = NeatConfig::default();
-        let threaded = NeatConfig {
-            phase1_threads: 8,
+        let tuned = NeatConfig {
+            threads: 8,
+            alt_landmarks: base.alt_landmarks + 8,
+            endpoint_tables: !base.endpoint_tables,
             ..base
         };
-        assert_eq!(config_hash(&base), config_hash(&threaded));
+        assert_eq!(config_hash(&base), config_hash(&tuned));
         let different = NeatConfig {
             min_card: base.min_card + 1,
             ..base

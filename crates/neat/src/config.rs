@@ -172,9 +172,28 @@ pub struct NeatConfig {
     /// on different segments (including shortest-path gap repair for
     /// non-contiguous segments). Disable only for pre-fragmented input.
     pub insert_junctions: bool,
-    /// Worker threads for Phase-1 fragment extraction (1 = sequential).
-    /// The parallel path is bit-identical to the sequential one.
-    pub phase1_threads: usize,
+    /// Worker threads for the parallel phases (Phase-1 fragment
+    /// extraction, Phase-2 candidate scoring, Phase-3 neighbourhood
+    /// scans); `0` and `1` both mean sequential. Every parallel path is
+    /// bit-identical to the sequential one, for any thread count, even
+    /// under budget or cancellation interrupts.
+    pub threads: usize,
+    /// Number of ALT landmarks for the Phase-3 lower bound (0 disables).
+    /// Landmark bounds are layered on top of the Euclidean lower bound
+    /// (the filter is `max(euclidean, alt)`), so they only ever skip
+    /// *more* pairs and never change the clustering. Only used when
+    /// [`NeatConfig::use_elb`] is set. Preprocessing costs one full
+    /// Dijkstra per landmark, paid inside Phase 3: on Table-I-sized
+    /// networks a handful of landmarks captures most of the skips, so
+    /// the default stays small.
+    pub alt_landmarks: usize,
+    /// Whether Phase 3 answers endpoint distances from bounded
+    /// one-to-many Dijkstra tables (one expansion per scanned endpoint,
+    /// reused across every candidate pair of that scan) instead of one
+    /// bounded point-to-point search per node pair. Identical decisions,
+    /// far fewer searches; only applies to the
+    /// [`RouteDistance::Endpoints`] + [`SpStrategy::AStar`] combination.
+    pub endpoint_tables: bool,
 }
 
 impl Default for NeatConfig {
@@ -188,7 +207,9 @@ impl Default for NeatConfig {
             sp_strategy: SpStrategy::AStar,
             route_distance: RouteDistance::Endpoints,
             insert_junctions: true,
-            phase1_threads: 1,
+            threads: 1,
+            alt_landmarks: 4,
+            endpoint_tables: true,
         }
     }
 }

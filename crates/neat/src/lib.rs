@@ -44,6 +44,7 @@
 
 pub mod analysis;
 pub mod checkpoint;
+pub mod concache;
 pub mod config;
 pub mod control;
 pub mod error;

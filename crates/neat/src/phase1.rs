@@ -17,6 +17,7 @@
 use crate::control::PhaseStatus;
 use crate::error::NeatError;
 use crate::model::BaseCluster;
+use neat_exec::Executor;
 use neat_rnet::path::TravelMode;
 use neat_rnet::{RoadLocation, RoadNetwork, SegmentId, ShortestPathEngine};
 use neat_runctl::{Control, Interrupt};
@@ -314,9 +315,10 @@ pub fn form_base_clusters_parallel_with_policy(
 /// the clusters built from the completed trajectory prefix are returned
 /// with a [`PhaseStatus::Partial`] report instead of an error.
 ///
-/// With `threads == 1` (the default) the cut point is deterministic for
-/// a given budget/arming; with more threads cancellation is safe but the
-/// cut point depends on scheduling.
+/// The cut point is deterministic for a given budget/arming regardless
+/// of thread count: workers run speculatively against recorder controls
+/// and their op/settle charges are committed against the real budget in
+/// dataset order (see [`neat_exec::Executor::try_map_ctl`]).
 ///
 /// # Errors
 ///
@@ -341,45 +343,63 @@ fn form_base_clusters_par_ctl(
     policy: ErrorPolicy,
     ctl: Option<&Control>,
 ) -> Result<(Phase1Output, ResilienceCounters, PhaseStatus), NeatError> {
-    let threads = threads.max(1);
-    if threads == 1 || dataset.len() < 2 * threads {
+    let exec = Executor::new(threads);
+    let total = dataset.len();
+    if !exec.is_parallel_for(total) {
         return form_base_clusters_seq_ctl(net, dataset, insert_junctions, policy, ctl);
     }
     let trajectories = dataset.trajectories();
-    let total = trajectories.len();
-    let chunk_size = trajectories.len().div_ceil(threads);
-    let chunks: Vec<&[Trajectory]> = trajectories.chunks(chunk_size).collect();
 
-    let results: Vec<Vec<TrajOutcome>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    let mut engine = ShortestPathEngine::new(net);
-                    // After an interrupt latches, every subsequent check
-                    // fails immediately, so the remaining trajectories of
-                    // each chunk drain at negligible cost.
-                    chunk
-                        .iter()
-                        .map(|tr| {
-                            extract_with_policy(net, &mut engine, tr, insert_junctions, policy, ctl)
-                        })
-                        .collect::<Vec<TrajOutcome>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("phase-1 worker panicked")) // lint:allow(L1) reason=worker panics are deliberately propagated after joining
-            .collect()
-    })
-    .expect("phase-1 scope panicked"); // lint:allow(L1) reason=scope panics are deliberately propagated
+    // Each worker owns a private shortest-path engine; outcomes come back
+    // in dataset order, so folding below is identical to the sequential
+    // loop. Under a control, trajectories run speculatively against
+    // recorder controls and charge the real budget in dataset order — the
+    // interrupt cut point (and therefore the delivered prefix) is
+    // bit-identical to a single-threaded run.
+    let (outcomes, halted) = match ctl {
+        Some(c) => {
+            let run = exec.try_map_ctl(
+                total,
+                c,
+                || ShortestPathEngine::new(net),
+                |i, engine, cc| match extract_with_policy(
+                    net,
+                    engine,
+                    &trajectories[i],
+                    insert_junctions,
+                    policy,
+                    Some(cc),
+                ) {
+                    TrajOutcome::Interrupted(why) => Err(why),
+                    other => Ok(other),
+                },
+            );
+            (run.items, run.halted)
+        }
+        None => {
+            let items = exec.map_ctx(
+                total,
+                || ShortestPathEngine::new(net),
+                |i, engine| {
+                    extract_with_policy(
+                        net,
+                        engine,
+                        &trajectories[i],
+                        insert_junctions,
+                        policy,
+                        None,
+                    )
+                },
+            );
+            (items, None)
+        }
+    };
 
     let mut counters = ResilienceCounters::default();
     let mut all_frags: Vec<TFragment> = Vec::new();
     let mut done = 0usize;
     let mut status = PhaseStatus::Complete;
-    'fold: for outcome in results.into_iter().flatten() {
+    for outcome in outcomes {
         match outcome {
             TrajOutcome::Ok(frags) => {
                 all_frags.extend(frags);
@@ -396,15 +416,16 @@ fn form_base_clusters_par_ctl(
                 done += 1;
             }
             TrajOutcome::Failed(e) => return Err(e),
+            // Interrupts surface through `halted`; a stray outcome here is
+            // folded conservatively as the end of the delivered prefix.
             TrajOutcome::Interrupted(why) => {
-                // Fold in dataset order and stop at the first interrupted
-                // trajectory: trailing chunks may have finished more work,
-                // but only the contiguous prefix is delivered so the
-                // partial output is a valid dataset prefix.
                 status = PhaseStatus::Partial { done, total, why };
-                break 'fold;
+                break;
             }
         }
+    }
+    if let (PhaseStatus::Complete, Some(why)) = (&status, halted) {
+        status = PhaseStatus::Partial { done, total, why };
     }
     Ok((group_into_clusters(all_frags), counters, status))
 }

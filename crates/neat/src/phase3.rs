@@ -13,16 +13,39 @@
 //!   candidate pairs before any shortest-path computation: if the minimum
 //!   Euclidean distance between the endpoint sets exceeds ε, the network
 //!   distance must too (Section III-C3).
+//!
+//! On top of the paper's design this implementation layers three
+//! output-preserving optimisations:
+//!
+//! * **ALT landmark bounds** ([`AltLandmarks`]): the pre-filter becomes
+//!   `max(euclidean, alt)`, which is still a lower bound on the network
+//!   distance, so it only ever skips *more* pairs — never different ones.
+//! * **Endpoint one-to-many tables**: in the default
+//!   [`RouteDistance::Endpoints`] + [`SpStrategy::AStar`] configuration,
+//!   each neighbourhood scan runs one bounded one-to-many Dijkstra per
+//!   scanned endpoint and answers every candidate pair from the resulting
+//!   tables. A node absent from a table is provably farther than ε, so
+//!   the decisions equal the per-pair bounded searches they replace.
+//! * **Deterministic parallel scans** ([`Executor`]): candidate pairs of
+//!   one neighbourhood scan are independent, so they fan out across
+//!   `config.threads` workers. Results and statistics are folded in index
+//!   order, and under a [`Control`] the executor's speculative-charging
+//!   protocol lands interrupts at the exact op index the sequential loop
+//!   would — the clustering output is bit-identical for any thread count.
 
+use crate::concache::ShardedMap;
 use crate::config::{NeatConfig, RouteDistance, SpStrategy};
 use crate::control::PhaseStatus;
 use crate::error::NeatError;
 use crate::model::{FlowCluster, TrajectoryCluster};
-use neat_rnet::path::TravelMode;
+use neat_exec::Executor;
+use neat_rnet::alt::AltLandmarks;
+use neat_rnet::path::{NodeDistances, TravelMode};
 use neat_rnet::{NodeId, RoadNetwork, ShortestPathEngine};
 use neat_runctl::{Control, Interrupt, OverrunMode};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Instrumentation counters for the Figure-7 ablation (ELB vs Dijkstra).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -32,11 +55,32 @@ pub struct Phase3Stats {
     /// Pairs eliminated by the Euclidean lower bound before any
     /// shortest-path computation.
     pub elb_skips: u64,
-    /// Individual shortest-path computations performed (up to four per
-    /// surviving pair, minus cache hits).
+    /// Pairs that survived the Euclidean bound but were eliminated by
+    /// the ALT landmark bound (still before any shortest path).
+    pub alt_skips: u64,
+    /// Individual point-to-point shortest-path computations performed
+    /// (up to four per surviving pair, minus cache hits).
     pub sp_computations: u64,
-    /// Node-pair distance lookups answered by the memo table.
+    /// Node-pair distance lookups answered by a memo table — the
+    /// sharded pair cache or a one-to-many endpoint table.
     pub sp_cache_hits: u64,
+    /// Bounded one-to-many Dijkstra expansions run to build endpoint
+    /// distance tables (each replaces up to `4 × candidates` bounded
+    /// point-to-point searches).
+    pub one_to_many_scans: u64,
+}
+
+impl Phase3Stats {
+    /// Folds `other` into `self` (per-item deltas are accumulated in
+    /// item order by the scan loops).
+    pub fn absorb(&mut self, other: &Phase3Stats) {
+        self.pairs_considered += other.pairs_considered;
+        self.elb_skips += other.elb_skips;
+        self.alt_skips += other.alt_skips;
+        self.sp_computations += other.sp_computations;
+        self.sp_cache_hits += other.sp_cache_hits;
+        self.one_to_many_scans += other.one_to_many_scans;
+    }
 }
 
 /// Output of Phase 3.
@@ -48,28 +92,59 @@ pub struct Phase3Output {
     pub stats: Phase3Stats,
 }
 
-/// Network-distance oracle with memoisation and the ELB filter.
+/// Packs a symmetric node pair into one cache key (smaller index in the
+/// high half, so `(a, b)` and `(b, a)` collide by construction).
+fn pair_key(lo: NodeId, hi: NodeId) -> u64 {
+    debug_assert!(lo <= hi);
+    ((lo.index() as u64) << 32) | (hi.index() as u64)
+}
+
+/// The two point sets a flow-pair distance compares under `points`.
+fn point_sets(
+    fi: &FlowCluster,
+    fj: &FlowCluster,
+    points: RouteDistance,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    match points {
+        RouteDistance::Endpoints => {
+            let (a1, a2) = fi.endpoints();
+            let (b1, b2) = fj.endpoints();
+            (vec![a1, a2], vec![b1, b2])
+        }
+        RouteDistance::FullRoute => (fi.node_chain().to_vec(), fj.node_chain().to_vec()),
+    }
+}
+
+/// Network-distance oracle: sharded symmetric-pair memo, optional ALT
+/// landmark tables and optional per-endpoint one-to-many tables.
+///
+/// The oracle itself is shared (`&self`) across scan workers; mutable
+/// scratch state — the shortest-path engine and the statistics deltas —
+/// is supplied per call so each worker owns its own.
 struct DistanceOracle<'a> {
     net: &'a RoadNetwork,
-    engine: ShortestPathEngine,
     strategy: SpStrategy,
     epsilon: f64,
-    cache: HashMap<(NodeId, NodeId), Option<f64>>,
-    stats: Phase3Stats,
+    use_elb: bool,
+    /// Symmetric `(NodeId, NodeId) → Option<distance>` memo. Values are
+    /// computed under the shard lock, so concurrent scans compute each
+    /// pair exactly once and `sp_computations` stays exact.
+    pair_cache: ShardedMap<Option<f64>>,
+    /// `NodeId → bounded one-to-many table`, reused across scans that
+    /// share an endpoint.
+    tables: ShardedMap<Arc<NodeDistances>>,
+    /// Landmark tables for the ALT lower bound (`None` when disabled).
+    alt: Option<AltLandmarks>,
+}
+
+/// The one-to-many tables of one scanned flow's two endpoints.
+struct EndpointTables {
+    ends: (NodeId, NodeId),
+    t1: Arc<NodeDistances>,
+    t2: Arc<NodeDistances>,
 }
 
 impl<'a> DistanceOracle<'a> {
-    fn new(net: &'a RoadNetwork, strategy: SpStrategy, epsilon: f64) -> Self {
-        DistanceOracle {
-            net,
-            engine: ShortestPathEngine::new(net),
-            strategy,
-            epsilon,
-            cache: HashMap::new(),
-            stats: Phase3Stats::default(),
-        }
-    }
-
     /// Undirected network distance `d_N(a, b)`, memoised symmetrically.
     ///
     /// Phase 3 only needs to decide `d_N ≤ ε`, so the A* strategy bounds
@@ -77,46 +152,47 @@ impl<'a> DistanceOracle<'a> {
     /// unreachable); the Dijkstra strategy reproduces the paper's
     /// unbounded network-expansion baseline.
     fn network_distance(
-        &mut self,
+        &self,
+        engine: &mut ShortestPathEngine,
         a: NodeId,
         b: NodeId,
         ctl: Option<&Control>,
+        stats: &mut Phase3Stats,
     ) -> Result<Option<f64>, Interrupt> {
         if a == b {
             return Ok(Some(0.0));
         }
-        let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&d) = self.cache.get(&key) {
-            self.stats.sp_cache_hits += 1;
-            return Ok(d);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (d, fresh) = self
+            .pair_cache
+            .try_get_or_insert_with(pair_key(lo, hi), || match (self.strategy, ctl) {
+                (SpStrategy::AStar, None) => Ok(engine.distance_bounded(
+                    self.net,
+                    lo,
+                    hi,
+                    TravelMode::Undirected,
+                    self.epsilon,
+                )),
+                (SpStrategy::AStar, Some(c)) => engine.distance_bounded_ctl(
+                    self.net,
+                    lo,
+                    hi,
+                    TravelMode::Undirected,
+                    self.epsilon,
+                    c,
+                ),
+                (SpStrategy::Dijkstra, None) => {
+                    // Plain unbounded network expansion: the paper's
+                    // opt-NEAT-Dijkstra baseline (Figure 7).
+                    Ok(engine.distance_plain(self.net, lo, hi))
+                }
+                (SpStrategy::Dijkstra, Some(c)) => engine.distance_plain_ctl(self.net, lo, hi, c),
+            })?;
+        if fresh {
+            stats.sp_computations += 1;
+        } else {
+            stats.sp_cache_hits += 1;
         }
-        self.stats.sp_computations += 1;
-        let d = match (self.strategy, ctl) {
-            (SpStrategy::AStar, None) => self.engine.distance_bounded(
-                self.net,
-                key.0,
-                key.1,
-                TravelMode::Undirected,
-                self.epsilon,
-            ),
-            (SpStrategy::AStar, Some(c)) => self.engine.distance_bounded_ctl(
-                self.net,
-                key.0,
-                key.1,
-                TravelMode::Undirected,
-                self.epsilon,
-                c,
-            )?,
-            (SpStrategy::Dijkstra, None) => {
-                // Plain unbounded network expansion: the paper's
-                // opt-NEAT-Dijkstra baseline (Figure 7).
-                self.engine.distance_plain(self.net, key.0, key.1)
-            }
-            (SpStrategy::Dijkstra, Some(c)) => {
-                self.engine.distance_plain_ctl(self.net, key.0, key.1, c)?
-            }
-        };
-        self.cache.insert(key, d);
         Ok(d)
     }
 
@@ -126,25 +202,20 @@ impl<'a> DistanceOracle<'a> {
     /// ([`RouteDistance::FullRoute`]). `None` when some required distance
     /// exceeds ε (A* strategy) or is unreachable.
     fn flow_distance(
-        &mut self,
+        &self,
+        engine: &mut ShortestPathEngine,
         fi: &FlowCluster,
         fj: &FlowCluster,
         points: RouteDistance,
         ctl: Option<&Control>,
+        stats: &mut Phase3Stats,
     ) -> Result<Option<f64>, Interrupt> {
-        let (xs, ys): (Vec<NodeId>, Vec<NodeId>) = match points {
-            RouteDistance::Endpoints => {
-                let (a1, a2) = fi.endpoints();
-                let (b1, b2) = fj.endpoints();
-                (vec![a1, a2], vec![b1, b2])
-            }
-            RouteDistance::FullRoute => (fi.node_chain().to_vec(), fj.node_chain().to_vec()),
-        };
+        let (xs, ys) = point_sets(fi, fj, points);
         let mut h = 0.0f64;
         for &a in &xs {
             let mut m = f64::INFINITY;
             for &b in &ys {
-                if let Some(d) = self.network_distance(a, b, ctl)? {
+                if let Some(d) = self.network_distance(engine, a, b, ctl, stats)? {
                     m = m.min(d);
                 }
             }
@@ -156,7 +227,7 @@ impl<'a> DistanceOracle<'a> {
         for &b in &ys {
             let mut m = f64::INFINITY;
             for &a in &xs {
-                if let Some(d) = self.network_distance(b, a, ctl)? {
+                if let Some(d) = self.network_distance(engine, b, a, ctl, stats)? {
                     m = m.min(d);
                 }
             }
@@ -174,14 +245,7 @@ impl<'a> DistanceOracle<'a> {
     /// exceeds ε, every network distance does too, so every `min` term of
     /// the Hausdorff (and hence the Hausdorff itself) exceeds ε.
     fn min_euclidean(&self, fi: &FlowCluster, fj: &FlowCluster, points: RouteDistance) -> f64 {
-        let (xs, ys): (Vec<NodeId>, Vec<NodeId>) = match points {
-            RouteDistance::Endpoints => {
-                let (a1, a2) = fi.endpoints();
-                let (b1, b2) = fj.endpoints();
-                (vec![a1, a2], vec![b1, b2])
-            }
-            RouteDistance::FullRoute => (fi.node_chain().to_vec(), fj.node_chain().to_vec()),
-        };
+        let (xs, ys) = point_sets(fi, fj, points);
         let mut m = f64::INFINITY;
         for &a in &xs {
             for &b in &ys {
@@ -189,6 +253,171 @@ impl<'a> DistanceOracle<'a> {
             }
         }
         m
+    }
+
+    /// `true` when the lower-bound pre-filter proves the pair distance
+    /// exceeds ε, charging the skip to the right counter: `elb_skips`
+    /// when the Euclidean bound alone suffices, `alt_skips` when the
+    /// landmark-tightened bound `max(euclidean, alt)` was needed. Both
+    /// bounds never exceed the true network distance, so a filtered pair
+    /// could never have merged — filtering is output-preserving.
+    fn bound_filters_out(
+        &self,
+        fi: &FlowCluster,
+        fj: &FlowCluster,
+        points: RouteDistance,
+        stats: &mut Phase3Stats,
+    ) -> bool {
+        if !self.use_elb {
+            return false;
+        }
+        let (xs, ys) = point_sets(fi, fj, points);
+        let mut min_e = f64::INFINITY;
+        let mut min_combined = f64::INFINITY;
+        for &a in &xs {
+            for &b in &ys {
+                let e = self.net.euclidean_distance(a, b);
+                min_e = min_e.min(e);
+                let c = match &self.alt {
+                    Some(alt) => e.max(alt.lower_bound(a, b)),
+                    None => e,
+                };
+                min_combined = min_combined.min(c);
+            }
+        }
+        if min_e > self.epsilon {
+            stats.elb_skips += 1;
+            true
+        } else if min_combined > self.epsilon {
+            stats.alt_skips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Every flow endpoint a table from `src` may ever be asked about:
+    /// those whose combined lower bound (Euclidean, tightened by ALT
+    /// when landmarks are loaded) does not already prove `d > ε`. The
+    /// one-to-many expansion stops once all of them are settled, which
+    /// on large networks is far earlier than the full ε-ball. The set
+    /// depends only on `src` and the fixed flow list — never on which
+    /// scan requests the table — so cached tables stay coherent.
+    fn table_targets(&self, flows: &[FlowCluster], src: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for f in flows {
+            let (b1, b2) = f.endpoints();
+            for b in [b1, b2] {
+                let e = self.net.euclidean_distance(src, b);
+                let lb = match &self.alt {
+                    Some(alt) => e.max(alt.lower_bound(src, b)),
+                    None => e,
+                };
+                if lb <= self.epsilon {
+                    out.push(b);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|n| n.index());
+        out.dedup();
+        out
+    }
+
+    /// Fetches (building on miss) the bounded one-to-many tables for the
+    /// scanned flow's two endpoints. Table expansions are charged to
+    /// `ctl` one settlement per finalised node, exactly like the
+    /// point-to-point searches they replace.
+    fn endpoint_tables(
+        &self,
+        engine: &mut ShortestPathEngine,
+        flows: &[FlowCluster],
+        cur: usize,
+        ctl: Option<&Control>,
+        stats: &mut Phase3Stats,
+    ) -> Result<EndpointTables, Interrupt> {
+        let (a1, a2) = flows[cur].endpoints();
+        let t1 = self.table_for(engine, flows, a1, ctl, stats)?;
+        let t2 = if a2 == a1 {
+            Arc::clone(&t1)
+        } else {
+            self.table_for(engine, flows, a2, ctl, stats)?
+        };
+        Ok(EndpointTables {
+            ends: (a1, a2),
+            t1,
+            t2,
+        })
+    }
+
+    fn table_for(
+        &self,
+        engine: &mut ShortestPathEngine,
+        flows: &[FlowCluster],
+        src: NodeId,
+        ctl: Option<&Control>,
+        stats: &mut Phase3Stats,
+    ) -> Result<Arc<NodeDistances>, Interrupt> {
+        let (table, fresh) = self.tables.try_get_or_insert_with(src.index() as u64, || {
+            let targets = self.table_targets(flows, src);
+            engine
+                .distances_within_targets_ctl(
+                    self.net,
+                    src,
+                    TravelMode::Undirected,
+                    self.epsilon,
+                    Some(&targets),
+                    ctl,
+                )
+                .map(Arc::new)
+        })?;
+        if fresh {
+            stats.one_to_many_scans += 1;
+        }
+        Ok(table)
+    }
+
+    /// Endpoint-pair Hausdorff decision (`d ≤ ε`) answered entirely from
+    /// the scanned flow's one-to-many tables. A node absent from a table
+    /// is strictly farther than ε from its source: either its lower
+    /// bound already proved `d > ε` (so it was never a table target) or
+    /// the target-pruned expansion ran the full ε-ball. Either way the
+    /// decision is identical to the bounded point-to-point searches of
+    /// [`DistanceOracle::flow_distance`].
+    fn table_near(&self, tabs: &EndpointTables, fj: &FlowCluster, stats: &mut Phase3Stats) -> bool {
+        let (b1, b2) = fj.endpoints();
+        let mut look = |t: &NodeDistances, a: NodeId, b: NodeId| -> Option<f64> {
+            if a == b {
+                return Some(0.0);
+            }
+            stats.sp_cache_hits += 1;
+            t.get(b)
+        };
+        let d11 = look(&tabs.t1, tabs.ends.0, b1);
+        let d12 = look(&tabs.t1, tabs.ends.0, b2);
+        let d21 = look(&tabs.t2, tabs.ends.1, b1);
+        let d22 = look(&tabs.t2, tabs.ends.1, b2);
+        let min2 = |x: Option<f64>, y: Option<f64>| match (x, y) {
+            (Some(p), Some(q)) => Some(p.min(q)),
+            (Some(p), None) | (None, Some(p)) => Some(p),
+            (None, None) => None,
+        };
+        // Forward terms pair each endpoint of the scanned flow with its
+        // nearest endpoint of `fj`; backward terms are read from the same
+        // four distances (the undirected metric is symmetric).
+        let mut h = 0.0f64;
+        for term in [
+            min2(d11, d12),
+            min2(d21, d22),
+            min2(d11, d21),
+            min2(d12, d22),
+        ] {
+            match term {
+                Some(d) => h = h.max(d),
+                // Some min-term exceeds ε or is unreachable: not near.
+                None => return false,
+            }
+        }
+        h <= self.epsilon
     }
 }
 
@@ -224,9 +453,10 @@ pub struct ControlledRefinement {
 
 /// Phase 3 under a [`Control`], walking the in-phase degradation ladder:
 ///
-/// 1. **Exhaustive** — exact network distances (with the ELB pre-filter
-///    when configured), one cancel point per candidate pair and per
-///    settled node inside each shortest path.
+/// 1. **Exhaustive** — exact network distances (with the ELB/ALT
+///    pre-filter when configured), one cancel point per candidate pair
+///    and per settled node inside each shortest path or one-to-many
+///    expansion.
 /// 2. **ELB-only** — on budget exhaustion under [`OverrunMode::Degrade`]
 ///    the remaining pairs are decided by the Euclidean lower bound alone
 ///    (`d_E ≤ ε`), which costs no shortest paths. Only cancellation is
@@ -254,6 +484,133 @@ pub fn refine_flow_clusters_ctl(
 /// [`OverrunMode::Degrade`], and only if not already degraded.
 fn should_degrade(why: Interrupt, ctl: &Control, already_degraded: bool) -> bool {
     !already_degraded && !why.is_cancellation() && ctl.overrun() == OverrunMode::Degrade
+}
+
+/// Degradation note recorded when exact distances are abandoned.
+const DEGRADE_NOTE: &str = "phase3: exact network distances -> ELB-only";
+
+/// Decides candidate pairs with the Euclidean lower bound alone — the
+/// degraded continuation. `skip_first_poll` is set when the interrupt
+/// that triggered degradation already consumed the current pair's cancel
+/// point.
+///
+/// # Errors
+///
+/// Returns the interrupt on cancellation (the only poll left here).
+#[allow(clippy::too_many_arguments)]
+fn scan_elb_only(
+    oracle: &DistanceOracle,
+    flows: &[FlowCluster],
+    cur: usize,
+    cands: &[usize],
+    config: &NeatConfig,
+    ctl: Option<&Control>,
+    skip_first_poll: bool,
+    stats: &mut Phase3Stats,
+    label: &mut [Option<usize>],
+    queue: &mut VecDeque<usize>,
+    gid: usize,
+) -> Result<(), Interrupt> {
+    for (k, &other) in cands.iter().enumerate() {
+        if !(skip_first_poll && k == 0) {
+            if let Some(c) = ctl {
+                c.check_cancel()?;
+            }
+        }
+        stats.pairs_considered += 1;
+        if oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance) <= config.epsilon
+        {
+            label[other] = Some(gid);
+            queue.push_back(other);
+        }
+    }
+    Ok(())
+}
+
+/// One sequential exhaustive neighbourhood scan for the configurations
+/// whose per-pair shortest-path work is charged to `ctl` as it happens
+/// (full-route distances and the Dijkstra ablation). May flip the phase
+/// into the degraded continuation mid-scan.
+///
+/// # Errors
+///
+/// Returns the interrupt that stops refinement outright.
+#[allow(clippy::too_many_arguments)]
+fn scan_exact_sequential(
+    oracle: &DistanceOracle,
+    engine: &mut ShortestPathEngine,
+    flows: &[FlowCluster],
+    cur: usize,
+    cands: &[usize],
+    config: &NeatConfig,
+    ctl: Option<&Control>,
+    stats: &mut Phase3Stats,
+    degraded: &mut Option<Interrupt>,
+    label: &mut [Option<usize>],
+    queue: &mut VecDeque<usize>,
+    gid: usize,
+) -> Result<(), Interrupt> {
+    for &other in cands {
+        // One cancel point per candidate pair. Once degraded the budget
+        // is knowingly spent, so only cancellation polls.
+        if let Some(c) = ctl {
+            let verdict = if degraded.is_some() {
+                c.check_cancel()
+            } else {
+                c.check()
+            };
+            if let Err(why) = verdict {
+                if should_degrade(why, c, degraded.is_some()) {
+                    *degraded = Some(why);
+                    c.degrade(DEGRADE_NOTE);
+                } else {
+                    return Err(why);
+                }
+            }
+        }
+        stats.pairs_considered += 1;
+        let near = if degraded.is_some() {
+            // ELB-only continuation: the Euclidean lower bound is the
+            // distance — no further shortest paths.
+            oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance)
+                <= config.epsilon
+        } else if oracle.bound_filters_out(&flows[cur], &flows[other], config.route_distance, stats)
+        {
+            false
+        } else {
+            match oracle.flow_distance(
+                engine,
+                &flows[cur],
+                &flows[other],
+                config.route_distance,
+                ctl,
+                stats,
+            ) {
+                Ok(Some(d)) => d <= config.epsilon,
+                Ok(None) => false,
+                Err(why) => {
+                    // A shortest path hit the budget mid-pair. `ctl` must
+                    // be Some for an interrupt to surface; fall back to a
+                    // stop if not.
+                    match ctl {
+                        Some(c) if should_degrade(why, c, false) => {
+                            *degraded = Some(why);
+                            c.degrade(DEGRADE_NOTE);
+                            // Decide this pair by the lower bound.
+                            oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance)
+                                <= config.epsilon
+                        }
+                        _ => return Err(why),
+                    }
+                }
+            }
+        };
+        if near {
+            label[other] = Some(gid);
+            queue.push_back(other);
+        }
+    }
+    Ok(())
 }
 
 fn refine_inner(
@@ -286,105 +643,275 @@ fn refine_inner(
             .then_with(|| i.cmp(&j))
     });
 
-    let mut oracle = DistanceOracle::new(net, config.sp_strategy, config.epsilon);
-    let mut label: Vec<Option<usize>> = vec![None; n];
-    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut engine = ShortestPathEngine::new(net);
+    let mut stats = Phase3Stats::default();
     // Some(why) once the ELB-only continuation took over.
     let mut degraded: Option<Interrupt> = None;
     // Some(why) once refinement stopped outright.
     let mut stopped: Option<Interrupt> = None;
 
-    'outer: for &seed in &order {
-        if label[seed].is_some() {
-            continue;
+    // ALT landmark preprocessing: exactly `alt_landmarks` full Dijkstra
+    // expansions, charged to `ctl` like the query-time searches whose
+    // skips pay for them. Only worthwhile when the ELB filter runs.
+    let alt = if config.use_elb && config.alt_landmarks > 0 && n >= 2 {
+        match AltLandmarks::build_ctl(
+            net,
+            &mut engine,
+            config.alt_landmarks,
+            TravelMode::Undirected,
+            ctl,
+        ) {
+            Ok(a) => Some(a),
+            Err(why) => {
+                match ctl {
+                    Some(c) if should_degrade(why, c, false) => {
+                        degraded = Some(why);
+                        c.degrade(DEGRADE_NOTE);
+                    }
+                    _ => stopped = Some(why),
+                }
+                None
+            }
         }
-        let gid = groups.len();
-        groups.push(Vec::new());
-        // DBSCAN-style expansion with a FIFO frontier; no minPts — every
-        // ε-reachable flow joins the cluster (Section III-C2, mod. 3).
-        let mut queue = std::collections::VecDeque::from([seed]);
-        label[seed] = Some(gid);
-        while let Some(cur) = queue.pop_front() {
-            groups[gid].push(cur);
-            // ε-neighbourhood of `cur` among unlabelled flows, scanned in
-            // index order for determinism.
-            for other in 0..n {
-                if label[other].is_some() {
+    } else {
+        None
+    };
+
+    // Endpoint tables replace bounded point-to-point searches only where
+    // both are defined: endpoint distances under the bounded strategy.
+    let use_tables = config.endpoint_tables
+        && config.route_distance == RouteDistance::Endpoints
+        && config.sp_strategy == SpStrategy::AStar;
+    let oracle = DistanceOracle {
+        net,
+        strategy: config.sp_strategy,
+        epsilon: config.epsilon,
+        use_elb: config.use_elb,
+        pair_cache: ShardedMap::new(),
+        tables: ShardedMap::new(),
+        alt,
+    };
+    let exec = Executor::new(config.threads);
+
+    let mut label: Vec<Option<usize>> = vec![None; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+
+    if stopped.is_none() {
+        'outer: for &seed in &order {
+            if label[seed].is_some() {
+                continue;
+            }
+            let gid = groups.len();
+            groups.push(Vec::new());
+            // DBSCAN-style expansion with a FIFO frontier; no minPts — every
+            // ε-reachable flow joins the cluster (Section III-C2, mod. 3).
+            let mut queue = VecDeque::from([seed]);
+            label[seed] = Some(gid);
+            while let Some(cur) = queue.pop_front() {
+                groups[gid].push(cur);
+                // ε-neighbourhood of `cur` among unlabelled flows, scanned
+                // in index order for determinism (queued flows are already
+                // labelled, so each pair is examined at most once).
+                let cands: Vec<usize> = (0..n).filter(|&o| label[o].is_none()).collect();
+                if cands.is_empty() {
                     continue;
                 }
-                // One cancel point per candidate pair. Once degraded the
-                // budget is knowingly spent, so only cancellation polls.
-                if let Some(c) = ctl {
-                    let verdict = if degraded.is_some() {
-                        c.check_cancel()
-                    } else {
-                        c.check()
+
+                let scan: Result<(), Interrupt> = if degraded.is_some() {
+                    scan_elb_only(
+                        &oracle, &flows, cur, &cands, config, ctl, false, &mut stats, &mut label,
+                        &mut queue, gid,
+                    )
+                } else if use_tables {
+                    // Pass 1 — bound filter (ELB + ALT): pure geometry,
+                    // exactly one op per pair, parallelised by the
+                    // deterministic executor (results and charges fold
+                    // in index order, so interrupts land at the
+                    // sequential op index). The tables build *after*
+                    // the filter: a scan whose candidates are all
+                    // bound-filtered never pays for an expansion, which
+                    // is where the ALT skips turn into saved Dijkstras.
+                    let filter = |k: usize, ds: &mut Phase3Stats| {
+                        ds.pairs_considered = 1;
+                        !oracle.bound_filters_out(
+                            &flows[cur],
+                            &flows[cands[k]],
+                            config.route_distance,
+                            ds,
+                        )
                     };
-                    if let Err(why) = verdict {
-                        if should_degrade(why, c, degraded.is_some()) {
-                            degraded = Some(why);
-                            c.degrade("phase3: exact network distances -> ELB-only");
-                        } else {
-                            stopped = Some(why);
-                            // Flows still queued were already judged
-                            // ε-reachable: group them before stopping.
-                            for &rest in &queue {
-                                groups[gid].push(rest);
-                            }
-                            break 'outer;
+                    let (kept, halted) = match ctl {
+                        Some(c) => {
+                            let res = exec.try_map_ctl(
+                                cands.len(),
+                                c,
+                                || (),
+                                |k, (), cc| {
+                                    cc.check()?;
+                                    let mut ds = Phase3Stats::default();
+                                    let keep = filter(k, &mut ds);
+                                    Ok((keep, ds))
+                                },
+                            );
+                            (res.items, res.halted)
+                        }
+                        None => (
+                            exec.map(cands.len(), |k| {
+                                let mut ds = Phase3Stats::default();
+                                (filter(k, &mut ds), ds)
+                            }),
+                            None,
+                        ),
+                    };
+                    let done = kept.len();
+                    let mut survivors: Vec<usize> = Vec::new();
+                    for (k, (keep, ds)) in kept.into_iter().enumerate() {
+                        stats.absorb(&ds);
+                        if keep {
+                            survivors.push(k);
                         }
                     }
-                }
-                oracle.stats.pairs_considered += 1;
-                let near = if degraded.is_some() {
-                    // ELB-only continuation: the Euclidean lower bound is
-                    // the distance — no further shortest paths.
-                    oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance)
-                        <= config.epsilon
-                } else if config.use_elb
-                    && oracle.min_euclidean(&flows[cur], &flows[other], config.route_distance)
-                        > config.epsilon
-                {
-                    oracle.stats.elb_skips += 1;
-                    false
-                } else {
-                    match oracle.flow_distance(
-                        &flows[cur],
-                        &flows[other],
-                        config.route_distance,
-                        ctl,
-                    ) {
-                        Ok(Some(d)) => d <= config.epsilon,
-                        Ok(None) => false,
-                        Err(why) => {
-                            // A shortest path hit the budget mid-pair.
-                            // `ctl` must be Some for an interrupt to
-                            // surface; fall back to a stop if not.
-                            match ctl {
-                                Some(c) if should_degrade(why, c, false) => {
-                                    degraded = Some(why);
-                                    c.degrade("phase3: exact network distances -> ELB-only");
-                                    // Decide this pair by the lower bound.
-                                    oracle.min_euclidean(
-                                        &flows[cur],
-                                        &flows[other],
-                                        config.route_distance,
-                                    ) <= config.epsilon
+                    match halted {
+                        Some(why) => match ctl {
+                            Some(c) if should_degrade(why, c, false) => {
+                                degraded = Some(why);
+                                c.degrade(DEGRADE_NOTE);
+                                // Degraded decision = the bound itself:
+                                // prefix survivors join (their op is
+                                // already paid; the lower bound passing
+                                // is exactly the ELB-only policy, made
+                                // no looser by the ALT tightening). The
+                                // pair whose check fired consumed its
+                                // cancel point.
+                                for k in survivors {
+                                    label[cands[k]] = Some(gid);
+                                    queue.push_back(cands[k]);
                                 }
-                                _ => {
-                                    stopped = Some(why);
-                                    for &rest in &queue {
-                                        groups[gid].push(rest);
+                                scan_elb_only(
+                                    &oracle,
+                                    &flows,
+                                    cur,
+                                    &cands[done..],
+                                    config,
+                                    ctl,
+                                    true,
+                                    &mut stats,
+                                    &mut label,
+                                    &mut queue,
+                                    gid,
+                                )
+                            }
+                            _ => Err(why),
+                        },
+                        None if survivors.is_empty() => Ok(()),
+                        None => {
+                            match oracle.endpoint_tables(&mut engine, &flows, cur, ctl, &mut stats)
+                            {
+                                Err(why) => match ctl {
+                                    Some(c) if should_degrade(why, c, false) => {
+                                        // A one-to-many expansion hit the
+                                        // budget. Every pair this scan is
+                                        // already bound-decided; survivors
+                                        // join under the ELB-only policy.
+                                        degraded = Some(why);
+                                        c.degrade(DEGRADE_NOTE);
+                                        for k in survivors {
+                                            label[cands[k]] = Some(gid);
+                                            queue.push_back(cands[k]);
+                                        }
+                                        Ok(())
                                     }
-                                    break 'outer;
+                                    _ => Err(why),
+                                },
+                                Ok(tabs) => {
+                                    // Pass 2 — exact decisions for the
+                                    // survivors: pure table lookups, no
+                                    // cancel points left to consume.
+                                    for k in survivors {
+                                        if oracle.table_near(&tabs, &flows[cands[k]], &mut stats) {
+                                            label[cands[k]] = Some(gid);
+                                            queue.push_back(cands[k]);
+                                        }
+                                    }
+                                    Ok(())
                                 }
                             }
                         }
                     }
+                } else if ctl.is_some() || !exec.is_parallel_for(cands.len()) {
+                    // Controlled full-route / Dijkstra scans stay
+                    // sequential: their per-pair op counts depend on the
+                    // search, so live charging is the only exact protocol.
+                    scan_exact_sequential(
+                        &oracle,
+                        &mut engine,
+                        &flows,
+                        cur,
+                        &cands,
+                        config,
+                        ctl,
+                        &mut stats,
+                        &mut degraded,
+                        &mut label,
+                        &mut queue,
+                        gid,
+                    )
+                } else {
+                    // Uncontrolled exact scan: per-worker engines, shared
+                    // sharded memo. Decisions are order-independent, and
+                    // compute-under-lock keeps the counters exact.
+                    let res = exec.map_ctx(
+                        cands.len(),
+                        || ShortestPathEngine::new(net),
+                        |k, eng| {
+                            let mut ds = Phase3Stats {
+                                pairs_considered: 1,
+                                ..Phase3Stats::default()
+                            };
+                            let other = &flows[cands[k]];
+                            let near = if oracle.bound_filters_out(
+                                &flows[cur],
+                                other,
+                                config.route_distance,
+                                &mut ds,
+                            ) {
+                                false
+                            } else {
+                                match oracle.flow_distance(
+                                    eng,
+                                    &flows[cur],
+                                    other,
+                                    config.route_distance,
+                                    None,
+                                    &mut ds,
+                                ) {
+                                    Ok(Some(d)) => d <= config.epsilon,
+                                    // Uncontrolled searches cannot be
+                                    // interrupted; Err is unreachable.
+                                    Ok(None) | Err(_) => false,
+                                }
+                            };
+                            (near, ds)
+                        },
+                    );
+                    for (k, (near, ds)) in res.into_iter().enumerate() {
+                        stats.absorb(&ds);
+                        if near {
+                            label[cands[k]] = Some(gid);
+                            queue.push_back(cands[k]);
+                        }
+                    }
+                    Ok(())
                 };
-                if near {
-                    label[other] = Some(gid);
-                    queue.push_back(other);
+
+                if let Err(why) = scan {
+                    stopped = Some(why);
+                    // Flows still queued were already judged ε-reachable:
+                    // group them before stopping.
+                    for &rest in &queue {
+                        groups[gid].push(rest);
+                    }
+                    break 'outer;
                 }
             }
         }
@@ -425,10 +952,7 @@ fn refine_inner(
         (None, None) => PhaseStatus::Complete,
     };
     Ok(ControlledRefinement {
-        output: Phase3Output {
-            clusters,
-            stats: oracle.stats,
-        },
+        output: Phase3Output { clusters, stats },
         status,
         elb_only: degraded.is_some(),
     })
@@ -707,5 +1231,135 @@ mod tests {
         let a = refine_flow_clusters(&net, mk(), &cfg(300.0, true)).unwrap();
         let b = refine_flow_clusters(&net, mk(), &cfg(300.0, true)).unwrap();
         assert_eq!(a.clusters, b.clusters);
+    }
+
+    /// A ring network where Euclidean chords undercut path distances, so
+    /// the ALT bound has room to beat the ELB.
+    fn ring_net() -> (RoadNetwork, Vec<neat_rnet::SegmentId>) {
+        let mut b = neat_rnet::RoadNetworkBuilder::new();
+        let n: Vec<_> = (0..16)
+            .map(|i| {
+                let ang = std::f64::consts::TAU * i as f64 / 16.0;
+                b.add_node(neat_rnet::Point::new(400.0 * ang.cos(), 400.0 * ang.sin()))
+            })
+            .collect();
+        let mut segs = Vec::new();
+        for i in 0..16 {
+            segs.push(b.add_segment(n[i], n[(i + 1) % 16], 10.0).unwrap());
+        }
+        (b.build().unwrap(), segs)
+    }
+
+    fn ring_flow(
+        net: &RoadNetwork,
+        segs: &[neat_rnet::SegmentId],
+        range: std::ops::Range<usize>,
+        tr: u64,
+    ) -> FlowCluster {
+        let mut it = segs[range].iter();
+        let first = *it.next().unwrap();
+        let mut f = FlowCluster::from_base(
+            net,
+            BaseCluster::new(first, vec![frag2(tr, first)]).unwrap(),
+        )
+        .unwrap();
+        for &s in it {
+            f.push_back(net, BaseCluster::new(s, vec![frag2(tr, s)]).unwrap())
+                .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn alt_bound_skips_pairs_elb_cannot_without_changing_output() {
+        let (net, segs) = ring_net();
+        // Flows on opposite arcs: endpoint chords (Euclidean) are much
+        // shorter than the around-the-ring network distances. Per-hop
+        // chord ≈ 156 m, so the nearest endpoints (6 hops) are ≈ 936 m
+        // apart on the network while every straight-line chord is at most
+        // the diameter (800 m).
+        let a = ring_flow(&net, &segs, 0..2, 1);
+        let b = ring_flow(&net, &segs, 8..10, 2);
+        let flows = vec![a, b];
+        // ε above every chord but below the shortest path distance.
+        let eps = 900.0;
+        // With every node a landmark the ALT bound is exact, so any pair
+        // with network distance > ε ≥ its chord must be alt-skipped.
+        // Pairwise searches (no per-seed tables) so the saving is visible
+        // directly in `sp_computations`.
+        let mut with_alt = cfg(eps, true);
+        with_alt.alt_landmarks = 16;
+        with_alt.endpoint_tables = false;
+        let mut no_alt = cfg(eps, true);
+        no_alt.alt_landmarks = 0;
+        no_alt.endpoint_tables = false;
+        let out_alt = refine_flow_clusters(&net, flows.clone(), &with_alt).unwrap();
+        let out_plain = refine_flow_clusters(&net, flows, &no_alt).unwrap();
+        assert_eq!(
+            out_alt.clusters, out_plain.clusters,
+            "ALT must not change output"
+        );
+        assert!(out_alt.stats.alt_skips > 0, "stats: {:?}", out_alt.stats);
+        assert!(
+            out_alt.stats.sp_computations + out_alt.stats.one_to_many_scans
+                < out_plain.stats.sp_computations + out_plain.stats.one_to_many_scans,
+            "ALT skips must save searches: {:?} vs {:?}",
+            out_alt.stats,
+            out_plain.stats
+        );
+    }
+
+    #[test]
+    fn endpoint_tables_match_pairwise_searches() {
+        let net = chain_network(24, 100.0, 10.0);
+        let mk = || {
+            vec![
+                flow_on(&net, &[0, 1, 2], 1),
+                flow_on(&net, &[4, 5], 2),
+                flow_on(&net, &[8, 9, 10], 3),
+                flow_on(&net, &[13, 14], 4),
+                flow_on(&net, &[17, 18, 19], 5),
+            ]
+        };
+        let mut tab = cfg(450.0, true);
+        tab.endpoint_tables = true;
+        let mut pair = cfg(450.0, true);
+        pair.endpoint_tables = false;
+        let with_tables = refine_flow_clusters(&net, mk(), &tab).unwrap();
+        let pairwise = refine_flow_clusters(&net, mk(), &pair).unwrap();
+        assert_eq!(with_tables.clusters, pairwise.clusters);
+        // Tables fully replace point-to-point searches…
+        assert_eq!(with_tables.stats.sp_computations, 0);
+        assert!(with_tables.stats.one_to_many_scans > 0);
+        // …and the filter counters agree pair by pair.
+        assert_eq!(
+            with_tables.stats.pairs_considered,
+            pairwise.stats.pairs_considered
+        );
+        assert_eq!(with_tables.stats.elb_skips, pairwise.stats.elb_skips);
+        assert_eq!(with_tables.stats.alt_skips, pairwise.stats.alt_skips);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_clusters_and_stats() {
+        let net = chain_network(40, 100.0, 10.0);
+        let mk = || {
+            (0..12)
+                .map(|i| flow_on(&net, &[3 * i, 3 * i + 1], i as u64 + 1))
+                .collect::<Vec<_>>()
+        };
+        for endpoint_tables in [true, false] {
+            let mut seq = cfg(350.0, true);
+            seq.threads = 1;
+            seq.endpoint_tables = endpoint_tables;
+            let base = refine_flow_clusters(&net, mk(), &seq).unwrap();
+            for threads in [2, 8] {
+                let mut par = seq;
+                par.threads = threads;
+                let out = refine_flow_clusters(&net, mk(), &par).unwrap();
+                assert_eq!(out.clusters, base.clusters, "threads={threads}");
+                assert_eq!(out.stats, base.stats, "threads={threads}");
+            }
+        }
     }
 }

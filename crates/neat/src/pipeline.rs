@@ -199,7 +199,7 @@ impl<'a> Neat<'a> {
             self.net,
             dataset,
             self.config.insert_junctions,
-            self.config.phase1_threads,
+            self.config.threads,
             policy,
         )?;
         timings.phase1 = t0.elapsed();
@@ -290,7 +290,7 @@ impl<'a> Neat<'a> {
             self.net,
             dataset,
             self.config.insert_junctions,
-            self.config.phase1_threads,
+            self.config.threads,
             policy,
             ctl,
         )?;

@@ -25,6 +25,7 @@
 //! assert!(stats.avg_degree > 2.0);
 //! ```
 
+pub mod alt;
 pub mod bidi;
 pub mod error;
 pub mod geometry;

@@ -472,6 +472,148 @@ impl ShortestPathEngine {
         Ok(self.collect_distances(net))
     }
 
+    /// Bounded one-to-many Dijkstra: exact distances from `from` to
+    /// every node within `bound`, as a sparse table.
+    ///
+    /// One expansion answers *all* point queries `d(from, x) ≤ bound`
+    /// exactly: a node absent from the table is strictly farther than
+    /// `bound`. This replaces repeated point-to-point searches from a
+    /// shared source (phase 3 asks for the distance from one
+    /// representative-route endpoint to every candidate endpoint within
+    /// ε) at the cost of a single ε-ball expansion.
+    pub fn distances_within(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        mode: TravelMode,
+        bound: f64,
+    ) -> NodeDistances {
+        // Infallible without a control.
+        self.distances_within_ctl(net, from, mode, bound, None)
+            .unwrap_or_else(|_| NodeDistances::empty())
+    }
+
+    /// Budget-aware [`ShortestPathEngine::distances_within`]; charges one
+    /// settlement per finalised node, like every other search here. An
+    /// interrupt abandons the expansion entirely rather than returning a
+    /// partially settled table.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortestPathEngine::distance_ctl`].
+    pub fn distances_within_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        mode: TravelMode,
+        bound: f64,
+        ctl: Option<&Control>,
+    ) -> Result<NodeDistances, Interrupt> {
+        self.distances_within_targets_ctl(net, from, mode, bound, None, ctl)
+    }
+
+    /// Target-pruned bounded one-to-many Dijkstra: like
+    /// [`ShortestPathEngine::distances_within_ctl`], but the expansion
+    /// additionally stops as soon as every node in `targets` has been
+    /// settled — often long before the `bound`-ball is exhausted.
+    ///
+    /// The truncated table still answers `d(from, x) ≤ bound` **exactly
+    /// for every `x ∈ targets`**: either all targets settled (so each is
+    /// present with its exact distance), or some target is farther than
+    /// `bound` and the expansion ran the full ball (so absence proves
+    /// `> bound`, as in the unpruned variant). For nodes *outside*
+    /// `targets`, absence from a truncated table is inconclusive —
+    /// callers must only query targets, or nodes independently proven
+    /// farther than `bound`.
+    ///
+    /// Duplicate target entries are fine; `None` disables pruning.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortestPathEngine::distance_ctl`].
+    pub fn distances_within_targets_ctl(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        mode: TravelMode,
+        bound: f64,
+        targets: Option<&[NodeId]>,
+        ctl: Option<&Control>,
+    ) -> Result<NodeDistances, Interrupt> {
+        // Sorted, deduplicated target indices for binary-search
+        // membership tests; `remaining` counts how many are unsettled.
+        let mut wanted: Vec<usize> = targets
+            .map(|t| t.iter().map(|n| n.index()).collect())
+            .unwrap_or_default();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut remaining = if targets.is_some() {
+            wanted.len()
+        } else {
+            usize::MAX
+        };
+        if remaining == 0 {
+            // Nothing will ever be looked up: every absent node is
+            // already known (by the caller's own bound proof) to be
+            // farther than `bound`.
+            return Ok(NodeDistances::empty());
+        }
+        self.begin(net);
+        let src = from.index();
+        self.touch(src);
+        self.dist[src] = 0.0;
+        self.heap.push(HeapEntry {
+            priority: 0.0,
+            dist: 0.0,
+            node: src as u32,
+        });
+        let mut pairs: Vec<(NodeId, f64)> = Vec::new();
+        while let Some(HeapEntry { dist, node, .. }) = self.heap.pop() {
+            let u = node as usize;
+            if self.stamp[u] == self.generation && dist > self.dist[u] {
+                continue; // stale entry
+            }
+            self.settled_total += 1;
+            if let Some(c) = ctl {
+                c.check_settled()?;
+            }
+            if dist > bound {
+                break; // every remaining node is farther than the bound
+            }
+            pairs.push((NodeId::new(u), dist));
+            if wanted.binary_search(&u).is_ok() {
+                remaining -= 1;
+                if remaining == 0 {
+                    break; // every target is settled: the table is complete
+                }
+            }
+            for &sid in net.incident_segments(NodeId::new(u)) {
+                // Invariant: `sid` comes from `net`'s own adjacency lists,
+                // so the segment is always present in the same network.
+                let seg = net.segment(sid).expect("incident segment exists"); // lint:allow(L1) reason=documented invariant above: sid is from this network's adjacency lists
+                if mode == TravelMode::Directed && !seg.traversable_from(NodeId::new(u)) {
+                    continue;
+                }
+                let v = seg.other_endpoint(NodeId::new(u)).index();
+                let nd = dist + seg.length;
+                self.touch(v);
+                if nd < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.prev_node[v] = u as u32;
+                    self.prev_seg[v] = sid.index() as u32; // lint:allow(L4) reason=SegmentId wraps u32, so index() round-trips losslessly
+                    self.heap.push(HeapEntry {
+                        priority: nd,
+                        dist: nd,
+                        node: v as u32,
+                    });
+                }
+            }
+        }
+        self.heap.clear();
+        pairs.sort_by_key(|(n, _)| n.index());
+        Ok(NodeDistances { pairs })
+    }
+
     fn collect_distances(&self, net: &RoadNetwork) -> Vec<f64> {
         let mut out = vec![f64::INFINITY; net.node_count()];
         for (i, d) in out.iter_mut().enumerate() {
@@ -579,6 +721,50 @@ impl ShortestPathEngine {
     }
 }
 
+/// Sparse distance table from one source node: the exact network
+/// distance to every node inside the expansion bound, sorted by node id
+/// for binary-search lookups.
+///
+/// Produced by [`ShortestPathEngine::distances_within`]; a node absent
+/// from the table is strictly farther from the source than the bound
+/// the table was built with.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeDistances {
+    /// `(node, distance)` pairs sorted by node index.
+    pairs: Vec<(NodeId, f64)>,
+}
+
+impl NodeDistances {
+    /// A table with no entries (every lookup misses).
+    pub fn empty() -> Self {
+        NodeDistances { pairs: Vec::new() }
+    }
+
+    /// The exact distance to `node`, or `None` when `node` lies outside
+    /// the bound the table was built with.
+    pub fn get(&self, node: NodeId) -> Option<f64> {
+        self.pairs
+            .binary_search_by_key(&node.index(), |(n, _)| n.index())
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// Number of nodes inside the bound.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no node was within the bound.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The sorted `(node, distance)` pairs.
+    pub fn entries(&self) -> &[(NodeId, f64)] {
+        &self.pairs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,6 +811,45 @@ mod tests {
             }
         }
         (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn distances_within_matches_point_queries_exactly() {
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let bound = 250.0;
+        let table = sp.distances_within(&net, ids[0], TravelMode::Undirected, bound);
+        assert!(!table.is_empty());
+        for i in 0..net.node_count() {
+            let n = NodeId::new(i);
+            let direct = sp.distance(&net, ids[0], n, TravelMode::Undirected);
+            match table.get(n) {
+                Some(d) => assert_eq!(Some(d), direct, "node {i}"),
+                None => assert!(
+                    direct.is_none_or(|d| d > bound),
+                    "node {i} missing from table but within bound"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn distances_within_ctl_charges_settlements_and_aborts() {
+        use neat_runctl::{CancelToken, RunBudget};
+        let (net, ids) = grid3();
+        let mut sp = ShortestPathEngine::new(&net);
+        let ctl = Control::unlimited();
+        let t = sp
+            .distances_within_ctl(&net, ids[0], TravelMode::Undirected, 1e9, Some(&ctl))
+            .unwrap();
+        assert_eq!(t.len(), 9, "whole grid within a huge bound");
+        assert_eq!(ctl.settled(), 9, "one settlement charged per node");
+        let tight = Control::new(
+            RunBudget::unlimited().with_max_settled_nodes(3),
+            CancelToken::new(),
+        );
+        let r = sp.distances_within_ctl(&net, ids[0], TravelMode::Undirected, 1e9, Some(&tight));
+        assert!(r.is_err(), "budget aborts the expansion");
     }
 
     #[test]

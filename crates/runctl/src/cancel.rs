@@ -56,6 +56,49 @@ impl CancelToken {
         self.flag.store(true, Ordering::SeqCst);
     }
 
+    /// A token sharing this token's *flag* but carrying no fuse.
+    ///
+    /// Observer tokens exist for speculative parallel execution: worker
+    /// threads must notice a manual [`CancelToken::cancel`] promptly,
+    /// but their polls must not consume the countdown fuse — the fuse
+    /// models "cancel at the n-th *sequential* check point", and only
+    /// the deterministic index-ordered reduction may count it down.
+    pub fn observer(&self) -> Self {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            fuse: Arc::new(AtomicU64::new(DISARMED)),
+        }
+    }
+
+    /// True when the *next* `polls` polls would trip this token: either
+    /// the flag is already set, or an armed fuse has fewer than `polls`
+    /// grace polls left. Does not mutate any state.
+    pub fn would_trip_within(&self, polls: u64) -> bool {
+        if self.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.fuse.load(Ordering::SeqCst) {
+            DISARMED => false,
+            left => left < polls,
+        }
+    }
+
+    /// Counts an armed fuse down by `n` polls in one step, exactly as
+    /// `n` calls to [`CancelToken::is_cancelled`] would when none of
+    /// them trips. Callers must have established via
+    /// [`CancelToken::would_trip_within`] that the fuse survives.
+    pub fn consume_polls(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let _ = self
+            .fuse
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| match left {
+                DISARMED => None,
+                l => Some(l.saturating_sub(n)),
+            });
+    }
+
     /// Polls the token. Counts down an armed fuse as a side effect.
     pub fn is_cancelled(&self) -> bool {
         if self.flag.load(Ordering::SeqCst) {
@@ -114,6 +157,56 @@ mod tests {
         let t = CancelToken::new();
         for _ in 0..10_000 {
             assert!(!t.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn observer_shares_flag_but_not_fuse() {
+        let t = CancelToken::armed_after(2);
+        let o = t.observer();
+        // Observer polls never count against the original fuse.
+        for _ in 0..100 {
+            assert!(!o.is_cancelled());
+        }
+        assert!(!t.is_cancelled()); // poll 0
+        assert!(!t.is_cancelled()); // poll 1
+        assert!(t.is_cancelled()); // fuse trips
+        assert!(o.is_cancelled()); // flag is shared
+    }
+
+    #[test]
+    fn observer_sees_manual_cancel() {
+        let t = CancelToken::new();
+        let o = t.observer();
+        assert!(!o.is_cancelled());
+        t.cancel();
+        assert!(o.is_cancelled());
+    }
+
+    #[test]
+    fn would_trip_within_matches_poll_by_poll_behaviour() {
+        let t = CancelToken::armed_after(3);
+        assert!(!t.would_trip_within(3)); // 3 grace polls survive 3 polls
+        assert!(t.would_trip_within(4)); // the 4th poll trips
+        let u = CancelToken::new();
+        assert!(!u.would_trip_within(u64::MAX));
+        u.cancel();
+        assert!(u.would_trip_within(0));
+    }
+
+    #[test]
+    fn consume_polls_equals_repeated_single_polls() {
+        let bulk = CancelToken::armed_after(5);
+        bulk.consume_polls(3);
+        let single = CancelToken::armed_after(5);
+        for _ in 0..3 {
+            assert!(!single.is_cancelled());
+        }
+        // Both have 2 grace polls left: two more succeed, the third trips.
+        for t in [&bulk, &single] {
+            assert!(!t.is_cancelled());
+            assert!(!t.is_cancelled());
+            assert!(t.is_cancelled());
         }
     }
 }

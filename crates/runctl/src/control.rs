@@ -337,6 +337,94 @@ impl Control {
             p.on_degrade(what);
         }
     }
+
+    /// A side control for speculative execution: unlimited budget, no
+    /// clock and an [observer token](CancelToken::observer), so its
+    /// checks count ops and settled nodes without consuming this
+    /// control's budget or fuse, and fail only on a manual cancel.
+    ///
+    /// A worker runs one work item against a recorder, then the
+    /// deterministic reduction replays the recorded `(ops, settled)`
+    /// totals into the real control with [`Control::try_charge`].
+    pub fn recorder(&self) -> Control {
+        Control {
+            token: self.token.observer(),
+            budget: RunBudget::unlimited(),
+            clock: None,
+            deadline_at_ms: None,
+            overrun: self.overrun,
+            ops: AtomicU64::new(0),
+            settled: AtomicU64::new(0),
+            latched: AtomicU8::new(0),
+            progress: None,
+        }
+    }
+
+    /// Applies a work item's recorded check-point activity in one step,
+    /// exactly as `ops_delta` live checks (of which `settled_delta`
+    /// were settlements) would have.
+    ///
+    /// Returns [`Charge::Committed`] when no limit fires anywhere inside
+    /// the item: the op/settled counters advance and an armed fuse is
+    /// counted down, with no interrupt latched. Returns
+    /// [`Charge::Replay`] — mutating *nothing* — when any limit would
+    /// fire at some check inside the item, or when a deadline clock
+    /// would be consulted (a stride boundary falls inside the item):
+    /// the caller must re-run the item live against this control so the
+    /// interrupt latches at exactly the op index the sequential run
+    /// would have latched it at.
+    ///
+    /// The caller must hold the only mutating reference for the
+    /// duration of the call (the executor folds on a single thread); a
+    /// concurrent manual cancel is picked up no later than the next
+    /// charge.
+    pub fn try_charge(&self, ops_delta: u64, settled_delta: u64) -> Charge {
+        if ops_delta == 0 && settled_delta == 0 {
+            // An item that never checked in cannot observe any limit.
+            return Charge::Committed;
+        }
+        if self.is_interrupted() {
+            return Charge::Replay;
+        }
+        let ops = self.ops.load(Ordering::SeqCst);
+        let settled = self.settled.load(Ordering::SeqCst);
+        if self.token.would_trip_within(ops_delta) {
+            return Charge::Replay;
+        }
+        if let Some(max) = self.budget.max_ops {
+            if ops + ops_delta > max {
+                return Charge::Replay;
+            }
+        }
+        if let Some(max) = self.budget.max_settled_nodes {
+            if settled + settled_delta > max {
+                return Charge::Replay;
+            }
+        }
+        if self.deadline_at_ms.is_some()
+            && self.clock.is_some()
+            && (ops + ops_delta) / DEADLINE_STRIDE > ops / DEADLINE_STRIDE
+        {
+            // A live run would consult the clock inside this item; replay
+            // so the consultation count and any deadline latch match the
+            // sequential run exactly.
+            return Charge::Replay;
+        }
+        self.token.consume_polls(ops_delta);
+        self.ops.fetch_add(ops_delta, Ordering::SeqCst);
+        self.settled.fetch_add(settled_delta, Ordering::SeqCst);
+        Charge::Committed
+    }
+}
+
+/// Outcome of [`Control::try_charge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Charge {
+    /// The bulk charge was applied; the item's recorded result stands.
+    Committed,
+    /// Some limit fires inside the item (or a deadline consultation is
+    /// due); nothing was mutated and the item must re-run live.
+    Replay,
 }
 
 #[cfg(test)]
@@ -464,6 +552,108 @@ mod tests {
         assert!(c.check().is_ok());
         assert!(c.check().is_ok());
         assert_eq!(c.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn recorder_counts_without_spending_the_real_budget() {
+        let c = Control::new(
+            RunBudget::unlimited().with_max_ops(2),
+            CancelToken::armed_after(5),
+        );
+        let r = c.recorder();
+        for _ in 0..100 {
+            assert!(r.check().is_ok());
+            assert!(r.check_settled().is_ok());
+        }
+        assert_eq!(r.ops(), 200);
+        assert_eq!(r.settled(), 100);
+        assert_eq!(c.ops(), 0);
+        // The real control's fuse and budget are untouched.
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn recorder_fails_on_manual_cancel_only() {
+        let token = CancelToken::new();
+        let c = Control::new(RunBudget::unlimited().with_max_ops(0), token.clone());
+        let r = c.recorder();
+        assert!(r.check().is_ok()); // the real op budget does not apply
+        token.cancel();
+        assert_eq!(r.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn try_charge_commits_exactly_like_live_checks() {
+        let bulk = Control::new(
+            RunBudget::unlimited()
+                .with_max_ops(10)
+                .with_max_settled_nodes(4),
+            CancelToken::armed_after(20),
+        );
+        assert_eq!(bulk.try_charge(6, 3), Charge::Committed);
+        let live = Control::new(
+            RunBudget::unlimited()
+                .with_max_ops(10)
+                .with_max_settled_nodes(4),
+            CancelToken::armed_after(20),
+        );
+        for i in 0..6 {
+            if i < 3 {
+                assert!(live.check_settled().is_ok());
+            } else {
+                assert!(live.check().is_ok());
+            }
+        }
+        assert_eq!(bulk.ops(), live.ops());
+        assert_eq!(bulk.settled(), live.settled());
+        // Both controls now fail at the same future check index.
+        for c in [&bulk, &live] {
+            for _ in 0..4 {
+                assert!(c.check().is_ok(), "ops 7..=10 fit the budget");
+            }
+            assert_eq!(c.check(), Err(Interrupt::OpBudgetExhausted));
+        }
+    }
+
+    #[test]
+    fn try_charge_replays_on_any_crossing_without_mutation() {
+        // Op budget crossing.
+        let c = Control::new(RunBudget::unlimited().with_max_ops(5), CancelToken::new());
+        assert_eq!(c.try_charge(3, 0), Charge::Committed);
+        assert_eq!(c.try_charge(3, 0), Charge::Replay);
+        assert_eq!(c.ops(), 3, "a replayed charge must not mutate counters");
+        assert_eq!(c.interrupt(), None);
+        // Settled budget crossing.
+        let s = Control::new(
+            RunBudget::unlimited().with_max_settled_nodes(2),
+            CancelToken::new(),
+        );
+        assert_eq!(s.try_charge(3, 3), Charge::Replay);
+        // Fuse crossing.
+        let f = Control::new(RunBudget::unlimited(), CancelToken::armed_after(2));
+        assert_eq!(f.try_charge(3, 0), Charge::Replay);
+        assert_eq!(f.try_charge(2, 0), Charge::Committed);
+        assert_eq!(f.try_charge(1, 0), Charge::Replay, "next poll trips");
+        // Latched control always replays (the live first check reports it).
+        let l = Control::new(RunBudget::unlimited().with_max_ops(0), CancelToken::new());
+        assert!(l.check().is_err());
+        assert_eq!(l.try_charge(1, 0), Charge::Replay);
+        // Zero-delta items commit even then: they never observe checks.
+        assert_eq!(l.try_charge(0, 0), Charge::Committed);
+    }
+
+    #[test]
+    fn try_charge_replays_across_deadline_strides() {
+        let clock = Arc::new(OpClock::new(0)); // clock never advances: deadline never fires
+        let c = Control::new(
+            RunBudget::unlimited().with_deadline_ms(1_000_000),
+            CancelToken::new(),
+        )
+        .with_clock(clock);
+        // No stride boundary inside the item: commit.
+        assert_eq!(c.try_charge(DEADLINE_STRIDE - 1, 0), Charge::Committed);
+        // ops is now STRIDE-1; one more op lands exactly on the boundary.
+        assert_eq!(c.try_charge(1, 0), Charge::Replay);
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub mod progress;
 pub use budget::RunBudget;
 pub use cancel::CancelToken;
 pub use clock::{Clock, OpClock, SystemClock};
-pub use control::{Control, Interrupt, OverrunMode, DEADLINE_STRIDE};
+pub use control::{Charge, Control, Interrupt, OverrunMode, DEADLINE_STRIDE};
 pub use progress::{CollectingProgress, NullProgress, Progress};

@@ -54,7 +54,7 @@ pub const RULES: [&str; 6] = ["L0", "L1", "L2", "L3", "L4", "L5"];
 
 /// Library crates subject to `L1` (panic-freedom). Binaries under
 /// `src/bin/` are CLI surface and exempt.
-const LIBRARY_CRATES: [&str; 10] = [
+const LIBRARY_CRATES: [&str; 11] = [
     "rnet",
     "traj",
     "mapmatch",
@@ -65,10 +65,13 @@ const LIBRARY_CRATES: [&str; 10] = [
     "bench",
     "durability",
     "runctl",
+    "exec",
 ];
 
 /// Algorithm crates subject to `L5` (determinism hygiene).
-const ALGORITHM_CRATES: [&str; 6] = ["neat", "traclus", "rnet", "traj", "mapmatch", "runctl"];
+const ALGORITHM_CRATES: [&str; 7] = [
+    "neat", "traclus", "rnet", "traj", "mapmatch", "runctl", "exec",
+];
 
 /// The one sanctioned wall-clock site: the [`Clock`] injection boundary.
 /// `Instant`/`SystemTime` are allowed here and nowhere else in the

@@ -14,7 +14,7 @@
 //!                  [--quarantine-max-bytes N]
 //!                  [--deadline DUR] [--max-ops N] [--max-settled-nodes N]
 //!                  [--max-clusters N] [--on-overrun fail|degrade|partial]
-//!                  [--trace] [--svg out.svg] [--json out.json]
+//!                  [--threads N] [--trace] [--svg out.svg] [--json out.json]
 //!                  [--checkpoint-dir DIR] [--checkpoint-every N]
 //!                  [--batches N] [--resume]
 //! neat stats       --network net.txt [--dataset data.csv]
@@ -34,6 +34,12 @@
 //! DESIGN.md §11 instead of aborting. Exit codes: 0 = complete,
 //! 3 = degraded/partial result delivered, 1 = error. `--on-overrun fail`
 //! turns an overrun into a hard error instead.
+//!
+//! With `--threads N` the clustering phases fan out across `N` workers;
+//! the output is bit-identical to a sequential run for any `N`, budgets
+//! included. `--threads 0` resolves to one worker per hardware thread —
+//! that resolution happens only here in the binary, never in library
+//! code.
 //!
 //! Everything is deterministic under `--seed` (default 42).
 
@@ -89,7 +95,8 @@ const USAGE: &str = "usage:
                    [--quarantine-max-bytes N]
                    [--deadline DUR] [--max-ops N] [--max-settled-nodes N]
                    [--max-clusters N] [--on-overrun fail|degrade|partial]
-                   [--threads N] [--svg FILE] [--json FILE]
+                   [--threads N (0 = one per hardware thread)]
+                   [--svg FILE] [--json FILE]
                    [--checkpoint-dir DIR] [--checkpoint-every N]
                    [--batches N] [--resume]
   neat stats       --network FILE [--dataset FILE]";
@@ -330,13 +337,21 @@ fn cluster(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
             Weights::new(p(parts[0])?, p(parts[1])?, p(parts[2])?).map_err(|e| e.to_string())?
         }
     };
+    // `--threads 0` means "one worker per hardware thread". The machine
+    // is consulted only here, in the binary: library crates take the
+    // resolved count as plain config, so clustering output never depends
+    // on the host (and is bit-identical for any thread count anyway).
+    let threads = match parse(flags, "threads", 1)? {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        t => t,
+    };
     let config = NeatConfig {
         weights,
         min_card: parse(flags, "min-card", 5)?,
         epsilon: parse(flags, "epsilon", 6500.0)?,
         beta: parse(flags, "beta", f64::INFINITY)?,
         use_elb: !flags.contains_key("no-elb"),
-        phase1_threads: parse(flags, "threads", 1)?,
+        threads,
         route_distance: if flags.contains_key("full-route") {
             neat_repro::neat::RouteDistance::FullRoute
         } else {
@@ -517,6 +532,16 @@ fn cluster_checkpointed(
     let mut session = if flags.contains_key("resume") {
         match IncrementalNeat::resume(net, config, &store) {
             Ok((session, report)) => {
+                if config.threads > 1 && report.replayed_batches > 0 {
+                    return Err(format!(
+                        "--threads {} cannot be combined with --resume while `{dir}` is \
+                         mid-migration: {} journaled batch(es) are still pending replay \
+                         into a snapshot. Finish the replay first by re-running with \
+                         --threads 1 (this writes a fresh snapshot), then resume in \
+                         parallel.",
+                        config.threads, report.replayed_batches
+                    ));
+                }
                 println!(
                     "resumed from {dir}: snapshot at batch {}, {} journaled batch(es) replayed",
                     report

@@ -1,0 +1,261 @@
+//! Thread-count invariance matrix: the contract of the deterministic
+//! executor (`neat-exec`). Running any pipeline version with
+//! `threads ∈ {2, 8}` must produce *byte-identical* output to the
+//! sequential run — clean runs, cancelled runs, budget-exhausted runs,
+//! and the persisted checkpoint/journal bytes alike.
+//!
+//! Interrupted runs are the hard case: workers race speculatively, but
+//! op/settle charges are committed against the real budget in item
+//! order, so the interrupt cut point — and with it the delivered
+//! partial result and degradation report — must not depend on the
+//! thread count.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use neat_repro::durability::MemFs;
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::{
+    CheckpointStore, ErrorPolicy, IncrementalNeat, Mode, Neat, NeatConfig, NeatResult, Outcome,
+};
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig, MapPreset};
+use neat_repro::rnet::RoadNetwork;
+use neat_repro::runctl::{CancelToken, Control, OverrunMode, RunBudget};
+use neat_repro::traj::Dataset;
+use std::sync::OnceLock;
+
+const MODES: [Mode; 3] = [Mode::Base, Mode::Flow, Mode::Opt];
+const THREADS: [usize; 2] = [2, 8];
+
+/// The `crash_chaos`/`budget_chaos` fixture: 4×4 grid, 18 objects.
+fn chaos_fixture() -> &'static (RoadNetwork, Dataset) {
+    static FIXTURE: OnceLock<(RoadNetwork, Dataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let net = generate_grid_network(&GridNetworkConfig::small_test(4, 4), 7);
+        let config = SimConfig {
+            num_objects: 18,
+            num_hotspots: 2,
+            num_destinations: 2,
+            sample_period_s: 4.0,
+            ..SimConfig::default()
+        };
+        let data = generate_dataset(&net, &config, 7, "chaos");
+        (net, data)
+    })
+}
+
+fn neat_config(threads: usize) -> NeatConfig {
+    NeatConfig {
+        min_card: 3,
+        epsilon: 600.0,
+        threads,
+        ..NeatConfig::default()
+    }
+}
+
+/// `Debug` fingerprint of everything observable except wall-clock
+/// timings (the only field allowed to differ between identical runs).
+fn result_fingerprint(r: &NeatResult) -> String {
+    format!(
+        "mode={:?}\nbase={:#?}\nbase_count={}\nfragments={}\nflows={:#?}\ndiscarded={}\n\
+         clusters={:#?}\nstats={:#?}\nresilience={:#?}",
+        r.mode,
+        r.base_clusters,
+        r.base_cluster_count,
+        r.fragment_count,
+        r.flow_clusters,
+        r.discarded_flows,
+        r.clusters,
+        r.phase3_stats,
+        r.resilience,
+    )
+}
+
+fn outcome_fingerprint(out: &Outcome) -> String {
+    format!(
+        "{}\ncompleteness={:#?}\ndegradation={:#?}\ninterrupt={:?}",
+        result_fingerprint(&out.result),
+        out.completeness,
+        out.degradation,
+        out.interrupt,
+    )
+}
+
+/// Clean (uninterrupted) runs: every mode, every thread count, on the
+/// chaos fixture.
+#[test]
+fn thread_matrix_is_byte_identical_on_the_chaos_fixture() {
+    let (net, data) = chaos_fixture();
+    for mode in MODES {
+        let reference = Neat::new(net, neat_config(1))
+            .run(data, mode)
+            .expect("sequential run");
+        let want = result_fingerprint(&reference);
+        for threads in THREADS {
+            let got = Neat::new(net, neat_config(threads))
+                .run(data, mode)
+                .expect("parallel run");
+            assert_eq!(
+                result_fingerprint(&got),
+                want,
+                "{} diverged at threads={threads}",
+                mode.name()
+            );
+        }
+    }
+}
+
+/// How the interrupt matrix arms a run at check point `at`.
+#[derive(Clone, Copy)]
+enum Arming {
+    /// External cancellation via a fused token: trips on the `at+1`-th
+    /// poll. Fuse polls are consumed in item order by the executor's
+    /// commit protocol, so the trip point is thread-invariant.
+    Cancel,
+    /// Op-budget exhaustion (`max_ops = at`) under the given overrun
+    /// policy.
+    OpBudget(OverrunMode),
+}
+
+impl Arming {
+    fn control(self, at: u64) -> Control {
+        match self {
+            Arming::Cancel => Control::new(RunBudget::unlimited(), CancelToken::armed_after(at)),
+            Arming::OpBudget(overrun) => {
+                Control::new(RunBudget::unlimited().with_max_ops(at), CancelToken::new())
+                    .with_overrun(overrun)
+            }
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Arming::Cancel => "cancel",
+            Arming::OpBudget(OverrunMode::Degrade) => "ops-degrade",
+            Arming::OpBudget(OverrunMode::Partial) => "ops-partial",
+        }
+    }
+}
+
+/// Interrupted runs: the cut point, partial result, and degradation
+/// report must all be thread-invariant. Covers cancellation and both
+/// op-budget overrun policies at a spread of arming points.
+#[test]
+fn interrupted_runs_are_byte_identical_across_thread_counts() {
+    let (net, data) = chaos_fixture();
+    // Total check points of a clean opt run, for scaling the arming
+    // points into the interesting range.
+    let probe = Control::unlimited();
+    Neat::new(net, neat_config(1))
+        .run_controlled(data, Mode::Opt, ErrorPolicy::Strict, &probe)
+        .expect("probe run");
+    let total = probe.ops();
+    let points: Vec<u64> = [0, 1, 2, 3, 5, 8]
+        .into_iter()
+        .chain([total / 4, total / 2, (3 * total) / 4, total - 1, total + 2])
+        .collect();
+
+    for arming in [
+        Arming::Cancel,
+        Arming::OpBudget(OverrunMode::Degrade),
+        Arming::OpBudget(OverrunMode::Partial),
+    ] {
+        for &at in &points {
+            let run = |threads: usize| {
+                let ctl = arming.control(at);
+                let out = Neat::new(net, neat_config(threads))
+                    .run_controlled(data, Mode::Opt, ErrorPolicy::Strict, &ctl)
+                    .expect("armed run");
+                outcome_fingerprint(&out)
+            };
+            let want = run(1);
+            for threads in THREADS {
+                assert_eq!(
+                    run(threads),
+                    want,
+                    "{}-at{at} diverged at threads={threads}",
+                    arming.label()
+                );
+            }
+        }
+    }
+}
+
+/// The persisted state is thread-invariant too: checkpoint snapshots
+/// and journal segments written by a threaded incremental session are
+/// byte-for-byte the files a sequential session writes.
+#[test]
+fn checkpoint_and_journal_bytes_are_thread_invariant() {
+    let net = generate_grid_network(&GridNetworkConfig::small_test(5, 5), 42);
+    let sim = SimConfig {
+        num_objects: 30,
+        num_hotspots: 2,
+        num_destinations: 3,
+        sample_period_s: 3.0,
+        ..SimConfig::default()
+    };
+    let windows = generate_dataset(&net, &sim, 42, "par-det").split_windows(4);
+
+    let persist = |threads: usize| -> Vec<(std::path::PathBuf, Vec<u8>)> {
+        let fs = MemFs::new();
+        let store = CheckpointStore::open(fs.clone(), "/det/par").expect("open store");
+        let mut s = IncrementalNeat::new(&net, neat_config(threads));
+        for w in &windows {
+            s.ingest_logged(w, ErrorPolicy::Strict, &store)
+                .expect("ingest");
+        }
+        s.save_checkpoint(&store).expect("checkpoint");
+        let mut dump = fs.dump();
+        dump.sort();
+        dump
+    };
+
+    let want = persist(1);
+    assert!(!want.is_empty(), "checkpoint store stayed empty");
+    for threads in THREADS {
+        let got = persist(threads);
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "file set differs at threads={threads}"
+        );
+        for ((wp, wb), (gp, gb)) in want.iter().zip(&got) {
+            assert_eq!(wp, gp, "path set differs at threads={threads}");
+            assert_eq!(
+                wb,
+                gb,
+                "bytes of {} differ at threads={threads}",
+                wp.display()
+            );
+        }
+    }
+}
+
+/// Release-only: the same clean-run invariance on the seeded San-Jose
+/// style network of Table I (≈11k nodes) — run by CI via `-- --ignored`.
+#[test]
+#[ignore = "heavy: run in release via the CI bench-smoke job"]
+fn thread_matrix_is_byte_identical_on_the_san_jose_preset() {
+    let net = MapPreset::SanJose.generate(7);
+    let sim = SimConfig {
+        num_objects: 8,
+        num_hotspots: 2,
+        num_destinations: 2,
+        sample_period_s: 4.0,
+        ..SimConfig::default()
+    };
+    let data = generate_dataset(&net, &sim, 7, "sj");
+    let reference = Neat::new(&net, neat_config(1))
+        .run(&data, Mode::Opt)
+        .expect("sequential run");
+    let want = result_fingerprint(&reference);
+    for threads in THREADS {
+        let got = Neat::new(&net, neat_config(threads))
+            .run(&data, Mode::Opt)
+            .expect("parallel run");
+        assert_eq!(
+            result_fingerprint(&got),
+            want,
+            "opt-NEAT diverged on SJ at threads={threads}"
+        );
+    }
+}

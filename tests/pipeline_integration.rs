@@ -225,11 +225,11 @@ fn full_route_distance_produces_a_valid_partition() {
 }
 
 #[test]
-fn parallel_phase1_preserves_pipeline_output() {
+fn parallel_threads_preserve_pipeline_output() {
     let (net, data) = setup(60, 14);
     let seq = Neat::new(&net, config(2)).run(&data, Mode::Opt).unwrap();
     let mut par_cfg = config(2);
-    par_cfg.phase1_threads = 4;
+    par_cfg.threads = 4;
     let par = Neat::new(&net, par_cfg).run(&data, Mode::Opt).unwrap();
     assert_eq!(seq.flow_clusters, par.flow_clusters);
     assert_eq!(seq.clusters, par.clusters);

@@ -128,18 +128,18 @@ fn resume_deterministic_without_elb_and_full_route() {
 
 #[test]
 fn resume_deterministic_under_parallel_phase1() {
-    // phase1_threads is excluded from the config hash by design: the
+    // threads is excluded from the config hash by design: the
     // parallel path is bit-identical, so a checkpoint written by a
     // single-threaded run must resume cleanly into a threaded one.
     let (net, windows) = fixture(42);
     let serial = NeatConfig {
         min_card: 3,
         epsilon: 600.0,
-        phase1_threads: 1,
+        threads: 1,
         ..NeatConfig::default()
     };
     let threaded = NeatConfig {
-        phase1_threads: 4,
+        threads: 4,
         ..serial
     };
     let reference = straight_through(&net, serial, &windows, ErrorPolicy::Strict);

@@ -1,8 +1,10 @@
-//! Offline stand-in for `serde_json`: the explicit-construction subset the
-//! workspace uses — [`Value`], the [`json!`] macro and
-//! [`to_string_pretty`]. No serde-data-model serializer is included; JSON
-//! documents are built explicitly from fields, which is how every call
-//! site in this repository already works.
+//! Offline stand-in for `serde_json`: the subset the workspace uses —
+//! [`Value`], the [`json!`] macro, [`to_string_pretty`], and a small
+//! recursive-descent parser ([`from_str`]) with [`Value::get`]-style
+//! accessors for reading documents back. No serde-data-model
+//! serializer/deserializer is included; JSON documents are built and
+//! read explicitly from fields, which is how every call site in this
+//! repository already works.
 
 use std::fmt;
 
@@ -89,6 +91,256 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
 impl<T: Into<Value>> From<Option<T>> for Value {
     fn from(v: Option<T>) -> Value {
         v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants or a
+    /// missing key. The first occurrence wins, as in `serde_json`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input (including trailing garbage).
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogates are not paired — the writer never
+                            // emits them; reject rather than mis-decode.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                            );
+                        }
+                        _ => return Err(Error(format!("invalid escape at byte {}", self.pos))),
+                    }
+                }
+                None => return Err(Error("unterminated string".into())),
+                _ => unreachable!("loop exits only on quote, backslash or EOF"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
     }
 }
 
@@ -237,5 +489,61 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parser_round_trips_the_writer() {
+        let doc = json!({
+            "name": "a\"b\\c\nd",
+            "count": 3usize,
+            "ratio": -0.5,
+            "big": 1e6,
+            "ids": vec![1u64, 2, 3],
+            "nested": json!({"ok": true, "nothing": json!(null)}),
+            "empty_arr": Value::Array(vec![]),
+            "empty_obj": Value::Object(vec![]),
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        assert_eq!(from_str(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn accessors_read_nested_fields() {
+        let doc = from_str(r#"{"a": {"b": 7, "c": 2.5, "s": "x", "t": true}}"#).unwrap();
+        let a = doc.get("a").unwrap();
+        assert_eq!(a.get("b").unwrap().as_u64(), Some(7));
+        assert_eq!(a.get("b").unwrap().as_f64(), Some(7.0));
+        assert_eq!(a.get("c").unwrap().as_f64(), Some(2.5));
+        assert_eq!(a.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(a.get("t").unwrap().as_bool(), Some(true));
+        assert!(a.get("missing").is_none());
+        assert!(doc.get("a").unwrap().get("c").unwrap().as_u64().is_none());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\": }",
+            "nul",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[01x]",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            from_str(r#""a\u00e9b""#).unwrap(),
+            Value::String("a\u{e9}b".into())
+        );
+        // Raw UTF-8 passes through unchanged.
+        assert_eq!(from_str("\"aéb\"").unwrap(), Value::String("aéb".into()));
     }
 }
