@@ -16,6 +16,7 @@ use crate::fs::Fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// How to pause between retry attempts.
@@ -66,6 +67,118 @@ impl Backoff for NoBackoff {
     fn pause(&self, _attempt: u32) {}
 }
 
+/// How a [`JitterBackoff`] actually spends its computed delay.
+///
+/// Injected so deterministic harnesses never sleep: the schedule (which
+/// is the part that matters for contention) is reproducible from the
+/// seed alone, while wall-time only enters through this seam.
+pub trait Sleep: Send + Sync {
+    /// Spends `delay` (or records it, in tests).
+    fn sleep(&self, delay: Duration);
+}
+
+/// Really sleeps the thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadSleep;
+
+impl Sleep for ThreadSleep {
+    fn sleep(&self, delay: Duration) {
+        std::thread::sleep(delay);
+    }
+}
+
+/// Discards the delay — for tests and self-pacing callers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSleep;
+
+impl Sleep for NoSleep {
+    fn sleep(&self, _delay: Duration) {}
+}
+
+/// `splitmix64` step — a tiny, dependency-free deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic full-jitter exponential backoff.
+///
+/// Attempt `n` draws uniformly from `[0, min(max, base * 2^(n-1))]`
+/// using a seeded `splitmix64` stream — the classic full-jitter schedule
+/// that decorrelates retry storms, but reproducible: the same seed
+/// yields the same delay sequence, so chaos harnesses can assert on it.
+/// Clones share the generator state (and therefore the stream), mirroring
+/// how [`RetryFs`] clones share their counters.
+///
+/// The sleeper is injectable; use [`NoSleep`] in tests to keep the
+/// schedule observable without wall-time.
+#[derive(Debug)]
+pub struct JitterBackoff<S: Sleep = ThreadSleep> {
+    base: Duration,
+    max: Duration,
+    state: Arc<Mutex<u64>>,
+    sleeper: S,
+}
+
+impl JitterBackoff<ThreadSleep> {
+    /// Seeded full-jitter schedule that really sleeps; 10 ms base,
+    /// 500 ms cap unless overridden with [`JitterBackoff::with_sleeper`].
+    pub fn seeded(seed: u64) -> Self {
+        JitterBackoff::with_sleeper(
+            seed,
+            Duration::from_millis(10),
+            Duration::from_millis(500),
+            ThreadSleep,
+        )
+    }
+}
+
+impl<S: Sleep> JitterBackoff<S> {
+    /// Full control: seed, exponential envelope, and sleeper.
+    pub fn with_sleeper(seed: u64, base: Duration, max: Duration, sleeper: S) -> Self {
+        JitterBackoff {
+            base,
+            max,
+            state: Arc::new(Mutex::new(seed)),
+            sleeper,
+        }
+    }
+
+    /// Draws the next delay for retry `attempt` (1-based) and advances
+    /// the deterministic stream.
+    pub fn next_delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        let cap = self.base.saturating_mul(factor).min(self.max);
+        let cap_nanos = cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let draw = splitmix64(&mut state);
+        Duration::from_nanos(match cap_nanos {
+            0 => 0,
+            n => draw % (n + 1),
+        })
+    }
+}
+
+impl<S: Sleep + Clone> Clone for JitterBackoff<S> {
+    fn clone(&self) -> Self {
+        JitterBackoff {
+            base: self.base,
+            max: self.max,
+            state: Arc::clone(&self.state),
+            sleeper: self.sleeper.clone(),
+        }
+    }
+}
+
+impl<S: Sleep> Backoff for JitterBackoff<S> {
+    fn pause(&self, attempt: u32) {
+        self.sleeper.sleep(self.next_delay(attempt));
+    }
+}
+
 /// `true` for error kinds that plausibly succeed on retry.
 fn is_transient(e: &io::Error) -> bool {
     matches!(
@@ -97,7 +210,34 @@ pub struct RetryFs<F, B = SleepBackoff> {
     inner: F,
     max_retries: u32,
     backoff: B,
-    retries: AtomicU64,
+    retries: Arc<AtomicU64>,
+    exhausted: Arc<AtomicU64>,
+}
+
+/// Snapshot of a [`RetryFs`]'s observability counters, surfaced through
+/// service health reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Transient failures that were retried.
+    pub retries: u64,
+    /// Operations that kept failing transiently until the retry budget
+    /// ran out — the error reached the caller.
+    pub exhausted: u64,
+}
+
+impl<F: Clone, B: Clone> Clone for RetryFs<F, B> {
+    /// Clones share the counters (and, for seeded backoffs, the jitter
+    /// stream), so a service holding one handle and a store holding
+    /// another report one combined tally.
+    fn clone(&self) -> Self {
+        RetryFs {
+            inner: self.inner.clone(),
+            max_retries: self.max_retries,
+            backoff: self.backoff.clone(),
+            retries: Arc::clone(&self.retries),
+            exhausted: Arc::clone(&self.exhausted),
+        }
+    }
 }
 
 impl<F: Fs> RetryFs<F> {
@@ -115,7 +255,8 @@ impl<F: Fs, B: Backoff> RetryFs<F, B> {
             inner,
             max_retries,
             backoff,
-            retries: AtomicU64::new(0),
+            retries: Arc::new(AtomicU64::new(0)),
+            exhausted: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -123,6 +264,20 @@ impl<F: Fs, B: Backoff> RetryFs<F, B> {
     /// observability counter for flaky-storage diagnostics.
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Operations whose transient failure survived every allowed retry
+    /// and surfaced to the caller.
+    pub fn retries_exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Both counters as one snapshot for health reporting.
+    pub fn stats(&self) -> RetryStats {
+        RetryStats {
+            retries: self.retries(),
+            exhausted: self.retries_exhausted(),
+        }
     }
 
     /// The wrapped filesystem.
@@ -140,7 +295,15 @@ impl<F: Fs, B: Backoff> RetryFs<F, B> {
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     self.backoff.pause(attempt);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if is_transient(&e) {
+                        // Still transient after every allowed retry: the
+                        // caller sees the failure, and the health report
+                        // sees that retrying stopped helping.
+                        self.exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -193,12 +356,12 @@ mod tests {
     use std::sync::Mutex;
 
     /// Fails each operation's first `fail_first` calls with `kind`.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Flaky {
         inner: MemFs,
         fail_first: u32,
         kind: io::ErrorKind,
-        calls: AtomicU32,
+        calls: Arc<AtomicU32>,
     }
 
     impl Flaky {
@@ -207,7 +370,7 @@ mod tests {
                 inner: MemFs::new(),
                 fail_first,
                 kind,
-                calls: AtomicU32::new(0),
+                calls: Arc::new(AtomicU32::new(0)),
             }
         }
 
@@ -313,6 +476,78 @@ mod tests {
         fs.read(Path::new("/missing")).unwrap_err(); // NotFound after retries
                                                      // Three transient faults, then the real NotFound surfaces.
         assert_eq!(*fs.backoff.0.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn exhausted_counter_tracks_giving_up() {
+        let fs = RetryFs::new(Flaky::new(10, io::ErrorKind::TimedOut), 2, NoBackoff);
+        fs.write(Path::new("/d/a"), b"x").unwrap_err();
+        assert_eq!(
+            fs.stats(),
+            RetryStats {
+                retries: 2,
+                exhausted: 1
+            }
+        );
+        // Non-transient failures never count as exhausted.
+        let fs = RetryFs::new(Flaky::new(5, io::ErrorKind::PermissionDenied), 2, NoBackoff);
+        fs.write(Path::new("/d/a"), b"x").unwrap_err();
+        assert_eq!(fs.retries_exhausted(), 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let fs = RetryFs::new(Flaky::new(2, io::ErrorKind::Interrupted), 3, NoBackoff);
+        let other = fs.clone();
+        fs.write(Path::new("/d/a"), b"ok").unwrap();
+        assert_eq!(other.retries(), 2, "clone must see the same tally");
+    }
+
+    #[test]
+    fn jitter_schedule_is_deterministic_and_enveloped() {
+        #[derive(Default, Clone)]
+        struct Recording(Arc<Mutex<Vec<Duration>>>);
+        impl Sleep for Recording {
+            fn sleep(&self, d: Duration) {
+                self.0
+                    .lock()
+                    .expect("test mutex") // lint:allow(L1) reason=test-only recorder; poisoning implies a prior panic
+                    .push(d);
+            }
+        }
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(80);
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let rec = Recording::default();
+            let b = JitterBackoff::with_sleeper(seed, base, max, rec.clone());
+            for attempt in 1..=6 {
+                b.pause(attempt);
+            }
+            let delays = rec.0.lock().unwrap().clone();
+            delays
+        };
+        let a = schedule(42);
+        assert_eq!(a, schedule(42), "same seed, same schedule");
+        assert_ne!(a, schedule(43), "different seed decorrelates");
+        for (i, d) in a.iter().enumerate() {
+            let cap = base.saturating_mul(1 << i).min(max);
+            assert!(*d <= cap, "attempt {} delay {d:?} over cap {cap:?}", i + 1);
+        }
+    }
+
+    #[test]
+    fn jitter_clones_share_the_stream() {
+        let a = JitterBackoff::with_sleeper(
+            7,
+            Duration::from_millis(10),
+            Duration::from_secs(1),
+            NoSleep,
+        );
+        let b = a.clone();
+        let first = a.next_delay(1);
+        let second = b.next_delay(1);
+        // The clone continued the stream rather than replaying it.
+        assert_ne!(first, second);
     }
 
     #[test]

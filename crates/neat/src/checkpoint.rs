@@ -550,6 +550,51 @@ impl<F: Fs> CheckpointStore<F> {
             .append_journal(seq, &encode_batch(batch, policy))?)
     }
 
+    /// Batch IDs (journaled dataset names) of **every** record currently
+    /// in the journal, with their sequence numbers, in on-disk order —
+    /// including records already covered by a snapshot that pruning has
+    /// not yet dropped.
+    ///
+    /// This is the service layer's idempotent-replay index: a spool file
+    /// whose name appears here was applied and journaled, so finding it
+    /// again after a crash (the append-succeeded-but-ack-was-lost
+    /// window) means *skip*, not *re-ingest*. Because pruning only runs
+    /// when a snapshot is written, reconciling the spool against this
+    /// list before writing any new checkpoint sees every applied-but-
+    /// unacknowledged batch.
+    ///
+    /// A torn final record is ignored (by the journal protocol its batch
+    /// was never acknowledged).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Durability`] on an unreadable journal,
+    /// [`CheckpointError::InvalidState`] on a record too short to carry
+    /// its tag or an undecodable batch header.
+    pub fn journaled_batch_ids(&self) -> Result<Vec<(u64, String)>, CheckpointError> {
+        let scan =
+            neat_durability::journal::read_journal(self.store.fs(), &self.store.journal_path())?;
+        let mut ids = Vec::with_capacity(scan.records.len());
+        for payload in &scan.records {
+            let tagged = payload.get(8..).ok_or_else(|| {
+                invalid(format!(
+                    "journal record of {} bytes is too short for a sequence tag",
+                    payload.len()
+                ))
+            })?;
+            let head: [u8; 8] = payload[..8]
+                .try_into()
+                .map_err(|_| invalid("journal sequence tag unreadable".to_string()))?;
+            let seq = u64::from_le_bytes(head);
+            // Only the header (policy byte + name) is needed; skip the
+            // trajectory payload.
+            let mut d = Dec::new(tagged);
+            policy_from_code(d.u8("policy code")?)?;
+            ids.push((seq, d.str("dataset name")?.to_string()));
+        }
+        Ok(ids)
+    }
+
     /// The underlying durability store.
     pub(crate) fn store(&self) -> &Store<F> {
         &self.store

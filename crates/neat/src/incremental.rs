@@ -310,12 +310,35 @@ impl<'a> IncrementalNeat<'a> {
     /// one batch fewer via [`IncrementalNeat::batches`] and the driver
     /// re-feeds it, which is exactly once overall.
     ///
+    /// # Divergence-window invariant
+    ///
+    /// When the **append itself fails** (`Err(Durability)`) the call
+    /// returns an error but the batch *was* applied: from that instant
+    /// until the next successful [`IncrementalNeat::save_checkpoint`],
+    /// in-memory state is ahead of durable state by exactly this batch.
+    /// The invariant callers must preserve is:
+    ///
+    /// * **Crash inside the window** → safe. The journal has no record
+    ///   for the batch, so resume reconstructs the pre-batch state and
+    ///   re-feeding the batch reproduces the uninterrupted result
+    ///   byte-for-byte (regression-tested by
+    ///   `journal_append_crash_window_recovers_exactly_once` in
+    ///   `tests/service_chaos.rs`).
+    /// * **Continue inside the window** → the caller must either repair
+    ///   immediately (take a checkpoint, which persists the applied
+    ///   batch and empties the window — what `neat-svc` does, counting
+    ///   it as a `journal_repair`) or treat the session as un-acknowledged
+    ///   and restart from the store. It must **not** journal any later
+    ///   batch first: a subsequent append would create a sequence gap
+    ///   ([`CheckpointError::JournalGap`]) because this batch consumed a
+    ///   sequence number that never reached disk.
+    ///
     /// # Errors
     ///
     /// [`CheckpointError::Neat`] when ingestion itself fails (nothing is
-    /// journaled), [`CheckpointError::Durability`] when the journal
-    /// append fails (the in-memory state is ahead of the durable state;
-    /// a subsequent [`IncrementalNeat::save_checkpoint`] repairs that).
+    /// journaled and nothing was applied — the session is unchanged),
+    /// [`CheckpointError::Durability`] when the journal append fails
+    /// (the divergence window above is open; repair or restart).
     pub fn ingest_logged<F: Fs>(
         &mut self,
         batch: &Dataset,

@@ -1,0 +1,76 @@
+//! Service configuration.
+
+use neat_core::NeatConfig;
+use neat_traj::sanitize::ErrorPolicy;
+use std::path::PathBuf;
+
+/// Everything a [`Service`](crate::service::Service) needs to run.
+///
+/// The three directories live on the same [`Fs`](neat_durability::fs::Fs)
+/// handle the service is opened with:
+///
+/// * `spool_dir` — producers drop batch files here via atomic rename;
+///   the service removes a file only after the batch is journaled.
+/// * `state_dir` — the checkpoint store (snapshots + batch journal).
+/// * `quarantine_dir` — shed and poison batches are moved here, never
+///   deleted.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Watched directory batch files arrive in.
+    pub spool_dir: PathBuf,
+    /// Checkpoint store directory.
+    pub state_dir: PathBuf,
+    /// Where shed and poison batches are moved.
+    pub quarantine_dir: PathBuf,
+    /// Clustering configuration (validated at service open).
+    pub neat: NeatConfig,
+    /// Error policy for batch ingestion.
+    pub policy: ErrorPolicy,
+    /// Bounded admission queue capacity; a full queue defers arrivals.
+    pub queue_capacity: usize,
+    /// Deferrals tolerated per spool scan before further arrivals are
+    /// shed to quarantine.
+    pub shed_backlog: usize,
+    /// Checkpoint after this many applied batches (`N` of the cadence).
+    pub checkpoint_every_batches: usize,
+    /// Checkpoint after this many accumulated control op-ticks (`T` of
+    /// the cadence). `u64::MAX` disables the op-tick trigger.
+    pub checkpoint_every_ops: u64,
+    /// Per-batch op budget for the controlled worker (None = unlimited).
+    pub batch_max_ops: Option<u64>,
+    /// Per-batch deadline in clock milliseconds (needs an injected
+    /// clock to fire; None = no deadline).
+    pub batch_deadline_ms: Option<u64>,
+    /// A batch that fails this many times is quarantined as poison.
+    pub poison_after: u32,
+    /// Worker restarts the supervisor performs before declaring the
+    /// service unrecoverable.
+    pub max_restarts: u32,
+}
+
+impl SvcConfig {
+    /// A configuration with conservative defaults: queue of 8, shed
+    /// after 64 deferrals, checkpoint every 4 batches, no per-batch
+    /// budget, poison after 2 failures, up to 8 supervised restarts.
+    pub fn new(
+        spool_dir: impl Into<PathBuf>,
+        state_dir: impl Into<PathBuf>,
+        quarantine_dir: impl Into<PathBuf>,
+    ) -> Self {
+        SvcConfig {
+            spool_dir: spool_dir.into(),
+            state_dir: state_dir.into(),
+            quarantine_dir: quarantine_dir.into(),
+            neat: NeatConfig::default(),
+            policy: ErrorPolicy::Strict,
+            queue_capacity: 8,
+            shed_backlog: 64,
+            checkpoint_every_batches: 4,
+            checkpoint_every_ops: u64::MAX,
+            batch_max_ops: None,
+            batch_deadline_ms: None,
+            poison_after: 2,
+            max_restarts: 8,
+        }
+    }
+}

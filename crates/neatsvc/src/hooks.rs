@@ -1,0 +1,88 @@
+//! Fault-injection hooks: the seams the chaos harness drives.
+//!
+//! The service calls [`FaultHook::at`] at every state-machine edge. The
+//! production hook ([`NoFaults`]) does nothing; a test hook can panic
+//! (simulating a worker crash at exactly that edge), cancel a token, or
+//! record the visit order. The hook lives *outside* the library's
+//! panic-freedom obligation — the service never panics itself, it only
+//! survives panics injected through this seam (or through a faulty
+//! [`Fs`](neat_durability::fs::Fs)).
+
+/// One edge of the worker state machine, in tick order.
+///
+/// The supervisor guarantees that a crash *between* any two edges
+/// recovers to a state byte-identical to an uninterrupted run (see
+/// `tests/service_chaos.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Before the spool directory is scanned.
+    SpoolScan,
+    /// After admission decisions (accept/defer/shed) for this scan.
+    Admit,
+    /// Before `ingest_controlled` runs on the popped batch.
+    IngestStart,
+    /// After the batch was folded into in-memory state, before the
+    /// journal append — the divergence window documented on
+    /// `IncrementalNeat::ingest_logged`.
+    Applied,
+    /// After the journal append, before the spool file is removed — a
+    /// crash here must not double-apply the batch on restart.
+    Journaled,
+    /// After the spool file was removed.
+    SpoolRemoved,
+    /// After the query snapshot swapped to the new epoch.
+    Published,
+    /// Before a cadence (or final) checkpoint is written.
+    CheckpointStart,
+    /// After the checkpoint landed.
+    CheckpointDone,
+    /// After recovery (resume + spool reconciliation) completed.
+    Recovered,
+}
+
+impl Edge {
+    /// Every edge, in tick order — the chaos matrix iterates this.
+    pub const ALL: [Edge; 10] = [
+        Edge::SpoolScan,
+        Edge::Admit,
+        Edge::IngestStart,
+        Edge::Applied,
+        Edge::Journaled,
+        Edge::SpoolRemoved,
+        Edge::Published,
+        Edge::CheckpointStart,
+        Edge::CheckpointDone,
+        Edge::Recovered,
+    ];
+
+    /// Stable kebab-case name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Edge::SpoolScan => "spool-scan",
+            Edge::Admit => "admit",
+            Edge::IngestStart => "ingest-start",
+            Edge::Applied => "applied",
+            Edge::Journaled => "journaled",
+            Edge::SpoolRemoved => "spool-removed",
+            Edge::Published => "published",
+            Edge::CheckpointStart => "checkpoint-start",
+            Edge::CheckpointDone => "checkpoint-done",
+            Edge::Recovered => "recovered",
+        }
+    }
+}
+
+/// Observer of state-machine edges; the chaos harness's injection seam.
+pub trait FaultHook: Send + Sync {
+    /// Called at each [`Edge`]. May panic (the supervisor catches it)
+    /// or trigger cancellation as a side effect.
+    fn at(&self, edge: Edge);
+}
+
+/// The production hook: does nothing at every edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn at(&self, _edge: Edge) {}
+}

@@ -1,0 +1,48 @@
+//! `neat-svc` — a single-process supervised streaming clustering service.
+//!
+//! The NEAT paper motivates its phase split with "online processing of
+//! moving-object trajectories"; this crate assembles the workspace's
+//! robustness pieces into the continuously ingesting daemon that claim
+//! implies:
+//!
+//! * **Spool ingestion** ([`spool`]): trajectory batches arrive as files
+//!   in a watched directory, handed over by atomic rename per the
+//!   `durability::Fs` conventions (`*.tmp` strays are ignored).
+//! * **Admission control** ([`queue`]): a bounded queue with explicit
+//!   backpressure states — accept → defer → shed-to-quarantine.
+//! * **Controlled worker** ([`service`]): each admitted batch runs
+//!   through [`IncrementalNeat::ingest_controlled`] under a per-batch
+//!   deadline/op budget; overload degrades along the opt→flow→base
+//!   ladder instead of stalling the queue.
+//! * **Durability**: applied batches are journaled (the batch ID is the
+//!   journaled dataset name), snapshots land on a configurable cadence,
+//!   and duplicate spool files are recognised and skipped after a crash.
+//! * **Query snapshots** ([`snapshot`]): cluster queries are answered
+//!   from an epoch-tagged view that swaps atomically, so readers never
+//!   observe a half-applied batch.
+//! * **Supervision** ([`service::Service`]): worker panics and
+//!   infrastructure errors trigger recovery from the latest checkpoint +
+//!   journal; batches that fail repeatedly are quarantined as poison
+//!   instead of wedging the queue.
+//!
+//! Everything is driven through injected `Fs`/`Clock`/fault hooks, so
+//! the kill-restart chaos harness (`tests/service_chaos.rs` at the
+//! workspace root) can murder the service at every state-machine edge
+//! and assert byte-identical recovery.
+//!
+//! [`IncrementalNeat::ingest_controlled`]: neat_core::incremental::IncrementalNeat::ingest_controlled
+
+pub mod config;
+pub mod health;
+pub mod hooks;
+pub mod queue;
+pub mod service;
+pub mod snapshot;
+pub mod spool;
+
+pub use config::SvcConfig;
+pub use health::{Health, ServiceStatus};
+pub use hooks::{Edge, FaultHook, NoFaults};
+pub use queue::{Admission, AdmissionQueue, Backpressure};
+pub use service::{DrainOutcome, Service, SvcError, TickOutcome};
+pub use snapshot::{QueryView, SnapshotCell};

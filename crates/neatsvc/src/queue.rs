@@ -1,0 +1,188 @@
+//! Bounded admission queue with explicit backpressure states.
+//!
+//! Arrivals flow through three states as pressure mounts:
+//!
+//! ```text
+//! accept ──queue full──▶ defer ──backlog over limit──▶ shed
+//! ```
+//!
+//! *Accept* enqueues the batch. *Defer* leaves it in the spool — it
+//! costs nothing to keep on disk and the next scan retries it. *Shed*
+//! gives up on it: the caller moves the file to quarantine so the data
+//! is never silently dropped, and the producer-visible backlog stays
+//! bounded.
+
+use std::collections::VecDeque;
+
+/// The backpressure state the last admission scan ended in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Queue has room; arrivals are admitted.
+    #[default]
+    Accept,
+    /// Queue is full; arrivals wait in the spool.
+    Defer,
+    /// Deferral limit exceeded; arrivals are shed to quarantine.
+    Shed,
+}
+
+impl Backpressure {
+    /// Stable kebab-case name for health reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backpressure::Accept => "accept",
+            Backpressure::Defer => "defer",
+            Backpressure::Shed => "shed",
+        }
+    }
+}
+
+/// Decision for one offered batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued for the worker.
+    Accepted,
+    /// Left in the spool for a later scan.
+    Deferred,
+    /// To be moved to quarantine by the caller.
+    Shed,
+}
+
+/// FIFO admission queue over batch IDs, bounded by capacity, with a
+/// per-scan deferral allowance before shedding starts.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    items: VecDeque<String>,
+    capacity: usize,
+    shed_backlog: usize,
+    deferred_this_scan: usize,
+    state: Backpressure,
+}
+
+impl AdmissionQueue {
+    /// A queue holding at most `capacity` batches, tolerating
+    /// `shed_backlog` deferrals per scan before shedding.
+    pub fn new(capacity: usize, shed_backlog: usize) -> Self {
+        AdmissionQueue {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+            shed_backlog,
+            deferred_this_scan: 0,
+            state: Backpressure::Accept,
+        }
+    }
+
+    /// Starts a new spool scan: resets the per-scan deferral allowance
+    /// and the reported backpressure state.
+    pub fn begin_scan(&mut self) {
+        self.deferred_this_scan = 0;
+        self.state = if self.items.len() < self.capacity {
+            Backpressure::Accept
+        } else {
+            Backpressure::Defer
+        };
+    }
+
+    /// Offers one batch ID; on [`Admission::Accepted`] it is enqueued.
+    pub fn offer(&mut self, id: &str) -> Admission {
+        if self.items.len() < self.capacity {
+            self.items.push_back(id.to_string());
+            return Admission::Accepted;
+        }
+        if self.deferred_this_scan < self.shed_backlog {
+            self.deferred_this_scan += 1;
+            if self.state == Backpressure::Accept {
+                self.state = Backpressure::Defer;
+            }
+            return Admission::Deferred;
+        }
+        self.state = Backpressure::Shed;
+        Admission::Shed
+    }
+
+    /// Pops the oldest admitted batch.
+    pub fn pop(&mut self) -> Option<String> {
+        self.items.pop_front()
+    }
+
+    /// Whether `id` is currently enqueued.
+    pub fn contains(&self, id: &str) -> bool {
+        self.items.iter().any(|q| q == id)
+    }
+
+    /// Admitted batches waiting for the worker.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drops every queued batch (recovery re-admits from the spool).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.deferred_this_scan = 0;
+        self.state = Backpressure::Accept;
+    }
+
+    /// The backpressure state of the current/last scan.
+    pub fn state(&self) -> Backpressure {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_until_capacity_then_defers_then_sheds() {
+        let mut q = AdmissionQueue::new(2, 2);
+        q.begin_scan();
+        assert_eq!(q.offer("a"), Admission::Accepted);
+        assert_eq!(q.offer("b"), Admission::Accepted);
+        assert_eq!(q.state(), Backpressure::Accept);
+        assert_eq!(q.offer("c"), Admission::Deferred);
+        assert_eq!(q.state(), Backpressure::Defer);
+        assert_eq!(q.offer("d"), Admission::Deferred);
+        assert_eq!(q.offer("e"), Admission::Shed);
+        assert_eq!(q.state(), Backpressure::Shed);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn scan_reset_restores_deferral_allowance() {
+        let mut q = AdmissionQueue::new(1, 1);
+        q.begin_scan();
+        assert_eq!(q.offer("a"), Admission::Accepted);
+        assert_eq!(q.offer("b"), Admission::Deferred);
+        assert_eq!(q.offer("c"), Admission::Shed);
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        q.begin_scan();
+        assert_eq!(q.state(), Backpressure::Accept);
+        assert_eq!(q.offer("b"), Admission::Accepted);
+        assert_eq!(q.offer("c"), Admission::Deferred);
+    }
+
+    #[test]
+    fn pop_is_fifo_and_contains_tracks_membership() {
+        let mut q = AdmissionQueue::new(3, 0);
+        q.begin_scan();
+        q.offer("x");
+        q.offer("y");
+        assert!(q.contains("x") && q.contains("y") && !q.contains("z"));
+        assert_eq!(q.pop().as_deref(), Some("x"));
+        assert_eq!(q.pop().as_deref(), Some("y"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut q = AdmissionQueue::new(0, 0);
+        q.begin_scan();
+        assert_eq!(q.offer("a"), Admission::Accepted);
+        assert_eq!(q.offer("b"), Admission::Shed);
+    }
+}

@@ -1,0 +1,853 @@
+//! The supervised service: spool → admission → controlled ingest →
+//! journal → checkpoint → published snapshot, with crash recovery.
+//!
+//! # Execution model
+//!
+//! [`Service`] is a deterministic, single-threaded state machine driven
+//! by [`Service::tick`]. One tick scans the spool, makes admission
+//! decisions, processes at most one batch end-to-end and takes any due
+//! checkpoint. The `neatd` binary wraps it in a poll loop; the chaos
+//! harness calls it directly so every interleaving is enumerable.
+//!
+//! # Exactly-once pipeline
+//!
+//! Per batch, the order is *apply → journal → remove spool file*. The
+//! batch ID (spool file name) doubles as the journaled dataset name, so
+//! each crash window resolves safely:
+//!
+//! * crash before the journal append — the journal has no record, the
+//!   spool file survives, and the batch is simply re-ingested;
+//! * crash after the append but before the spool removal — recovery
+//!   reconciles the spool against
+//!   [`CheckpointStore::journaled_batch_ids`] and *skips* the file
+//!   (counted as `duplicates_skipped`), so no batch is applied twice;
+//! * a journal append that fails outright (the divergence window
+//!   documented on `IncrementalNeat::ingest_logged`) is repaired on the
+//!   spot with an emergency checkpoint (counted as `journal_repairs`).
+//!
+//! # Supervision
+//!
+//! [`Service::tick`] wraps the worker in `catch_unwind`: a panic — its
+//! own or one injected through a [`FaultHook`] — or an infrastructure
+//! error triggers [recovery](Service::tick) from the latest checkpoint
+//! plus journal. Restarts are budgeted
+//! ([`max_restarts`](SvcConfig::max_restarts)); exhausting the budget
+//! (or failing recovery itself) parks the service in
+//! [`ServiceStatus::Failed`]. Failures attributable to a single batch
+//! (parse errors, strict-policy data errors, per-batch budget
+//! overruns) do not consume restarts: the batch is retried and, after
+//! [`poison_after`](SvcConfig::poison_after) failures, moved to the
+//! quarantine directory as poison.
+
+use crate::config::SvcConfig;
+use crate::health::{Health, ServiceStatus};
+use crate::hooks::{Edge, FaultHook, NoFaults};
+use crate::queue::{Admission, AdmissionQueue};
+use crate::snapshot::{QueryView, SnapshotCell};
+use crate::spool;
+use neat_core::checkpoint::{CheckpointError, CheckpointStore};
+use neat_core::incremental::IncrementalNeat;
+use neat_durability::fs::Fs;
+use neat_durability::retry::RetryStats;
+use neat_rnet::RoadNetwork;
+use neat_runctl::{CancelToken, Clock, Control, Interrupt, OverrunMode, RunBudget};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Infrastructure-level service failure (never a single bad batch —
+/// those go down the poison path instead).
+#[derive(Debug)]
+pub enum SvcError {
+    /// Checkpoint store failure (open, journal, snapshot or resume).
+    Checkpoint(CheckpointError),
+    /// Spool or quarantine filesystem failure.
+    Io {
+        /// What the service was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Pipeline failure outside any single batch (e.g. an invalid
+    /// configuration, or rebuilding the query view after recovery).
+    Pipeline(String),
+}
+
+impl fmt::Display for SvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvcError::Checkpoint(e) => write!(f, "checkpoint store: {e}"),
+            SvcError::Io { context, source } => write!(f, "{context}: {source}"),
+            SvcError::Pipeline(msg) => write!(f, "pipeline: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SvcError::Checkpoint(e) => Some(e),
+            SvcError::Io { source, .. } => Some(source),
+            SvcError::Pipeline(_) => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for SvcError {
+    fn from(e: CheckpointError) -> Self {
+        SvcError::Checkpoint(e)
+    }
+}
+
+impl SvcError {
+    fn io(context: &str, source: std::io::Error) -> Self {
+        SvcError::Io {
+            context: context.to_string(),
+            source,
+        }
+    }
+}
+
+/// What one supervised [`Service::tick`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// Progress was made: a batch processed, a failure handled, a
+    /// checkpoint written, or a supervised recovery performed.
+    Worked,
+    /// Spool empty, queue empty, nothing pending — all state durable.
+    Idle,
+    /// Cancellation observed; pending state was checkpointed and the
+    /// remaining spool is left for the next run.
+    Cancelled,
+    /// The restart budget is exhausted (or recovery failed); the
+    /// service no longer processes batches.
+    Failed,
+}
+
+/// Terminal state of [`Service::run_drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// The spool was fully drained and all state checkpointed.
+    Drained,
+    /// Cancellation stopped the drain early.
+    Cancelled,
+    /// The service became unrecoverable.
+    Failed,
+    /// The tick allowance ran out before the spool drained.
+    TicksExhausted,
+}
+
+/// The supervised streaming clustering service. See the
+/// [module docs](self) for the execution model.
+pub struct Service<'n, F: Fs + Clone> {
+    net: &'n RoadNetwork,
+    cfg: SvcConfig,
+    fs: F,
+    store: CheckpointStore<F>,
+    session: IncrementalNeat<'n>,
+    queue: AdmissionQueue,
+    cell: SnapshotCell,
+    hooks: Arc<dyn FaultHook>,
+    clock: Option<Arc<dyn Clock>>,
+    cancel: CancelToken,
+    health: Health,
+    status: ServiceStatus,
+    /// Batch IDs present in the journal — the idempotent-replay index.
+    applied_ids: BTreeSet<String>,
+    /// Failure counts per batch ID, kept across supervised restarts so
+    /// a batch that keeps crashing the worker still reaches the poison
+    /// threshold.
+    attempts: HashMap<String, u32>,
+    /// The batch being ingested, for failure attribution on panic.
+    current: Option<String>,
+    batches_since_ckpt: usize,
+    ops_since_ckpt: u64,
+    retry_probe: Option<Arc<dyn Fn() -> RetryStats + Send + Sync>>,
+}
+
+impl<'n, F: Fs + Clone> Service<'n, F> {
+    /// Opens a service with no fault hooks, no injected clock and a
+    /// fresh cancellation token.
+    ///
+    /// # Errors
+    ///
+    /// See [`Service::open_with`].
+    pub fn open(net: &'n RoadNetwork, cfg: SvcConfig, fs: F) -> Result<Self, SvcError> {
+        Service::open_with(net, cfg, fs, Arc::new(NoFaults), None, CancelToken::new())
+    }
+
+    /// Opens a service over `fs`: creates the spool and quarantine
+    /// directories, opens the checkpoint store and performs the same
+    /// recovery a supervised restart would (resume from checkpoint +
+    /// journal if one exists, reload the replay index, reconcile the
+    /// spool, publish the recovered view). The [`Edge::Recovered`] hook
+    /// fires before this returns, so an injected fault there models a
+    /// crash during boot — callers of the chaos harness treat a panic
+    /// out of `open_with` as death-at-boot and construct again.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Pipeline`] on an invalid clustering configuration;
+    /// [`SvcError::Checkpoint`] when the state directory cannot be
+    /// opened or holds a checkpoint from a different session
+    /// (configuration or network mismatch); [`SvcError::Io`] on spool
+    /// setup failure.
+    pub fn open_with(
+        net: &'n RoadNetwork,
+        cfg: SvcConfig,
+        fs: F,
+        hooks: Arc<dyn FaultHook>,
+        clock: Option<Arc<dyn Clock>>,
+        cancel: CancelToken,
+    ) -> Result<Self, SvcError> {
+        cfg.neat
+            .validate()
+            .map_err(|e| SvcError::Pipeline(format!("invalid clustering config: {e}")))?;
+        fs.create_dir_all(&cfg.spool_dir)
+            .map_err(|e| SvcError::io("create spool dir", e))?;
+        fs.create_dir_all(&cfg.quarantine_dir)
+            .map_err(|e| SvcError::io("create quarantine dir", e))?;
+        let store = CheckpointStore::open(fs.clone(), cfg.state_dir.clone())?;
+        let session = IncrementalNeat::new(net, cfg.neat);
+        let queue = AdmissionQueue::new(cfg.queue_capacity, cfg.shed_backlog);
+        let mut svc = Service {
+            net,
+            cfg,
+            fs,
+            store,
+            session,
+            queue,
+            cell: SnapshotCell::new(),
+            hooks,
+            clock,
+            cancel,
+            health: Health::default(),
+            status: ServiceStatus::Running,
+            applied_ids: BTreeSet::new(),
+            attempts: HashMap::new(),
+            current: None,
+            batches_since_ckpt: 0,
+            ops_since_ckpt: 0,
+            retry_probe: None,
+        };
+        svc.recover()?;
+        Ok(svc)
+    }
+
+    /// Installs a probe the health report pulls filesystem retry
+    /// statistics from (typically `RetryFs::stats` on the handle the
+    /// service writes through).
+    pub fn with_retry_probe(mut self, probe: Arc<dyn Fn() -> RetryStats + Send + Sync>) -> Self {
+        self.retry_probe = Some(probe);
+        self
+    }
+
+    /// One supervised step of the worker state machine.
+    ///
+    /// Never panics and never returns an error: worker panics and
+    /// infrastructure failures are caught here, charged against the
+    /// restart budget and answered with recovery. The return value says
+    /// whether progress was made, the service is idle (all state
+    /// durable), cancellation was observed, or the service is failed.
+    pub fn tick(&mut self) -> TickOutcome {
+        if self.status == ServiceStatus::Failed {
+            return TickOutcome::Failed;
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.tick_inner())) {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(e)) => self.worker_failed(format!("worker error: {e}")),
+            Err(payload) => {
+                self.worker_failed(format!("worker panic: {}", panic_text(payload.as_ref())))
+            }
+        }
+    }
+
+    /// Ticks until the spool drains ([`DrainOutcome::Drained`]), the
+    /// run is cancelled, the service fails, or `max_ticks` supervised
+    /// steps have run.
+    pub fn run_drain(&mut self, max_ticks: u64) -> DrainOutcome {
+        for _ in 0..max_ticks {
+            match self.tick() {
+                TickOutcome::Worked => {}
+                TickOutcome::Idle => return DrainOutcome::Drained,
+                TickOutcome::Cancelled => return DrainOutcome::Cancelled,
+                TickOutcome::Failed => return DrainOutcome::Failed,
+            }
+        }
+        DrainOutcome::TicksExhausted
+    }
+
+    /// The current query snapshot. Cheap; safe to call from other
+    /// threads holding a reference to the cell via [`Service::queries`].
+    pub fn query(&self) -> Arc<QueryView> {
+        self.cell.load()
+    }
+
+    /// The snapshot cell itself, for handing to reader threads.
+    pub fn queries(&self) -> &SnapshotCell {
+        &self.cell
+    }
+
+    /// Current coarse status.
+    pub fn status(&self) -> ServiceStatus {
+        self.status
+    }
+
+    /// A health report: counters plus, when a probe is installed,
+    /// storage retry statistics.
+    pub fn health(&self) -> Health {
+        let mut h = self.health.clone();
+        h.retry = self.retry_probe.as_ref().map(|p| p());
+        h
+    }
+
+    /// The cancellation token the service polls; cancel it (or any
+    /// clone) to request a graceful shutdown.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The underlying clustering session (read-only).
+    pub fn session(&self) -> &IncrementalNeat<'n> {
+        &self.session
+    }
+
+    /// A deterministic digest of the retained clustering state — what
+    /// the chaos harness compares between an interrupted-and-recovered
+    /// run and an uninterrupted one.
+    pub fn state_fingerprint(&self) -> String {
+        format!(
+            "batches={};flows={:?};resilience={:?}",
+            self.session.batches(),
+            self.session.flow_clusters(),
+            self.session.resilience()
+        )
+    }
+
+    /// The worker body. Any `Err` or panic escaping this is handled by
+    /// the supervisor in [`Service::tick`].
+    fn tick_inner(&mut self) -> Result<TickOutcome, SvcError> {
+        if self.cancel.is_cancelled() {
+            // Graceful shutdown: make pending applied state durable,
+            // leave the rest of the spool for the next run.
+            if self.batches_since_ckpt > 0 {
+                self.checkpoint_now()?;
+            }
+            return Ok(TickOutcome::Cancelled);
+        }
+
+        self.hooks.at(Edge::SpoolScan);
+        let pending = spool::scan(&self.fs, &self.cfg.spool_dir)
+            .map_err(|e| SvcError::io("scan spool", e))?;
+        self.queue.begin_scan();
+        for id in &pending {
+            if self.queue.contains(id) {
+                continue;
+            }
+            if self.applied_ids.contains(id) {
+                // Already journaled: the acknowledgement (spool file
+                // removal) was lost in a crash. Skip, never re-apply.
+                spool::remove(&self.fs, &self.cfg.spool_dir, id)
+                    .map_err(|e| SvcError::io("remove duplicate batch", e))?;
+                self.health.duplicates_skipped += 1;
+                continue;
+            }
+            match self.queue.offer(id) {
+                Admission::Accepted => self.health.accepted += 1,
+                Admission::Deferred => self.health.deferred += 1,
+                Admission::Shed => {
+                    spool::quarantine(
+                        &self.fs,
+                        &self.cfg.spool_dir,
+                        &self.cfg.quarantine_dir,
+                        id,
+                        "shed: deferral backlog over limit",
+                    )
+                    .map_err(|e| SvcError::io("quarantine shed batch", e))?;
+                    self.health.shed += 1;
+                    self.mark_degraded();
+                }
+            }
+        }
+        self.health.backpressure = self.queue.state();
+        self.hooks.at(Edge::Admit);
+
+        let Some(id) = self.queue.pop() else {
+            if self.batches_since_ckpt > 0 {
+                // Idle with undurable batches: take the final
+                // checkpoint inside the supervised tick so a crash here
+                // is part of the chaos matrix too.
+                self.checkpoint_now()?;
+                return Ok(TickOutcome::Worked);
+            }
+            return Ok(TickOutcome::Idle);
+        };
+
+        let batch = match spool::load(&self.fs, &self.cfg.spool_dir, &id) {
+            Ok(b) => b,
+            Err(detail) => {
+                self.batch_failure(&id, &detail);
+                return Ok(TickOutcome::Worked);
+            }
+        };
+
+        self.current = Some(id.clone());
+        self.hooks.at(Edge::IngestStart);
+        let ctl = self.batch_control();
+        let outcome = self
+            .session
+            .ingest_controlled(&batch, self.cfg.policy, &ctl);
+        self.current = None;
+        self.ops_since_ckpt = self.ops_since_ckpt.saturating_add(ctl.ops());
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                // Config was validated at open; this is a strict-policy
+                // data error attributable to the batch.
+                self.batch_failure(&id, &format!("ingest: {e}"));
+                return Ok(TickOutcome::Worked);
+            }
+        };
+
+        if !outcome.applied {
+            if outcome.interrupt.is_some_and(|i| i == Interrupt::Cancelled) {
+                // Shutdown request mid-batch; state untouched, the
+                // batch stays in the spool for the next run.
+                if self.batches_since_ckpt > 0 {
+                    self.checkpoint_now()?;
+                }
+                return Ok(TickOutcome::Cancelled);
+            }
+            let why = outcome
+                .interrupt
+                .map_or("interrupted before apply", Interrupt::name);
+            self.batch_failure(&id, &format!("budget: {why}"));
+            return Ok(TickOutcome::Worked);
+        }
+
+        self.hooks.at(Edge::Applied);
+        // Apply → journal. A failed append opens the divergence window
+        // documented on `IncrementalNeat::ingest_logged`: memory is
+        // ahead of disk. Repair immediately with an emergency
+        // checkpoint; if that also fails, the supervisor restores from
+        // the store (the batch is still in the spool and is retried).
+        if let Err(e) = self
+            .store
+            .log_batch(self.session.batches() as u64, &batch, self.cfg.policy)
+        {
+            self.health.journal_repairs += 1;
+            self.health.last_error = Some(format!(
+                "journal append for `{id}` failed ({e}); repairing via checkpoint"
+            ));
+            self.mark_degraded();
+            self.checkpoint_now()?;
+        }
+        self.hooks.at(Edge::Journaled);
+
+        self.applied_ids.insert(id.clone());
+        self.attempts.remove(&id);
+        spool::remove(&self.fs, &self.cfg.spool_dir, &id)
+            .map_err(|e| SvcError::io("remove acknowledged batch", e))?;
+        self.hooks.at(Edge::SpoolRemoved);
+
+        let degraded = outcome.interrupt.is_some() || !outcome.degradation.steps.is_empty();
+        if degraded {
+            self.health.degraded_batches += 1;
+            self.mark_degraded();
+        }
+        self.cell.publish(QueryView {
+            epoch: 0, // stamped by the cell
+            batches: self.session.batches(),
+            flows: self.session.flow_clusters().len(),
+            clusters: outcome.clusters,
+            degraded,
+        });
+        self.hooks.at(Edge::Published);
+        self.health.applied += 1;
+        self.batches_since_ckpt += 1;
+
+        if self.batches_since_ckpt >= self.cfg.checkpoint_every_batches
+            || self.ops_since_ckpt >= self.cfg.checkpoint_every_ops
+        {
+            self.checkpoint_now()?;
+        }
+        Ok(TickOutcome::Worked)
+    }
+
+    /// Builds the per-batch [`Control`] from the configured budget,
+    /// deadline and injected clock, observing the service token.
+    fn batch_control(&self) -> Control {
+        let mut budget = RunBudget::unlimited();
+        if let Some(ops) = self.cfg.batch_max_ops {
+            budget = budget.with_max_ops(ops);
+        }
+        if let Some(ms) = self.cfg.batch_deadline_ms {
+            budget = budget.with_deadline_ms(ms);
+        }
+        let mut ctl =
+            Control::new(budget, self.cancel.observer()).with_overrun(OverrunMode::Degrade);
+        if let Some(clock) = &self.clock {
+            ctl = ctl.with_clock(Arc::clone(clock));
+        }
+        ctl
+    }
+
+    /// Writes a snapshot of the full retained state and resets the
+    /// cadence counters.
+    fn checkpoint_now(&mut self) -> Result<(), SvcError> {
+        self.hooks.at(Edge::CheckpointStart);
+        self.session.save_checkpoint(&self.store)?;
+        self.hooks.at(Edge::CheckpointDone);
+        self.health.checkpoints += 1;
+        self.batches_since_ckpt = 0;
+        self.ops_since_ckpt = 0;
+        Ok(())
+    }
+
+    /// Supervisor response to a worker panic or infrastructure error:
+    /// charge the restart budget, recover from the store, then account
+    /// the failure to the in-flight batch (if any) for poison tracking.
+    fn worker_failed(&mut self, msg: String) -> TickOutcome {
+        self.health.last_error = Some(msg);
+        let failed_batch = self.current.take();
+        loop {
+            if self.health.restarts >= u64::from(self.cfg.max_restarts) {
+                self.status = ServiceStatus::Failed;
+                return TickOutcome::Failed;
+            }
+            self.health.restarts += 1;
+            match catch_unwind(AssertUnwindSafe(|| self.recover())) {
+                Ok(Ok(())) => break,
+                Ok(Err(e)) => {
+                    self.health.last_error = Some(format!("recovery failed: {e}"));
+                }
+                Err(payload) => {
+                    self.health.last_error =
+                        Some(format!("recovery panic: {}", panic_text(payload.as_ref())));
+                }
+            }
+        }
+        if let Some(id) = failed_batch {
+            self.batch_failure(&id, "crashed the worker");
+        }
+        TickOutcome::Worked
+    }
+
+    /// Restores in-memory state from the checkpoint store (snapshot +
+    /// journal replay; a store with no checkpoint yet yields a fresh
+    /// session), reloads the idempotent-replay index, republishes the
+    /// query view and fires [`Edge::Recovered`].
+    fn recover(&mut self) -> Result<(), SvcError> {
+        self.queue.clear();
+        self.current = None;
+        self.session = match IncrementalNeat::resume(self.net, self.cfg.neat, &self.store) {
+            Ok((session, _report)) => session,
+            Err(CheckpointError::NoCheckpoint { .. }) => {
+                IncrementalNeat::new(self.net, self.cfg.neat)
+            }
+            Err(e) => return Err(SvcError::Checkpoint(e)),
+        };
+        self.applied_ids = self
+            .store
+            .journaled_batch_ids()?
+            .into_iter()
+            .map(|(_seq, id)| id)
+            .collect();
+        // Resume replays the journal, so memory and disk agree again.
+        self.batches_since_ckpt = 0;
+        self.ops_since_ckpt = 0;
+        let clusters = self
+            .session
+            .current_clusters()
+            .map_err(|e| SvcError::Pipeline(format!("rebuild query view: {e}")))?;
+        self.cell.publish(QueryView {
+            epoch: 0, // stamped by the cell
+            batches: self.session.batches(),
+            flows: self.session.flow_clusters().len(),
+            clusters,
+            degraded: false,
+        });
+        self.hooks.at(Edge::Recovered);
+        Ok(())
+    }
+
+    /// Counts a batch-attributable failure; at
+    /// [`poison_after`](SvcConfig::poison_after) the batch is moved to
+    /// quarantine so it cannot wedge the queue.
+    fn batch_failure(&mut self, id: &str, why: &str) {
+        if self.applied_ids.contains(id) {
+            // The batch actually landed (e.g. a crash after the journal
+            // append); reconciliation skips it, nothing failed.
+            return;
+        }
+        let n = {
+            let e = self.attempts.entry(id.to_string()).or_insert(0);
+            *e += 1;
+            *e
+        };
+        self.health.last_error = Some(format!("batch `{id}` failed (attempt {n}): {why}"));
+        if n >= self.cfg.poison_after {
+            match spool::quarantine(
+                &self.fs,
+                &self.cfg.spool_dir,
+                &self.cfg.quarantine_dir,
+                id,
+                &format!("poison after {n} failures: {why}"),
+            ) {
+                Ok(()) => {
+                    self.attempts.remove(id);
+                    self.health.poisoned += 1;
+                    self.mark_degraded();
+                }
+                Err(e) => {
+                    // Leave the file and the count; the next failure
+                    // retries the quarantine move.
+                    self.health.last_error =
+                        Some(format!("quarantining poison batch `{id}` failed: {e}"));
+                }
+            }
+        }
+    }
+
+    fn mark_degraded(&mut self) {
+        if self.status == ServiceStatus::Running {
+            self.status = ServiceStatus::Degraded;
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_core::NeatConfig;
+    use neat_durability::fs::MemFs;
+    use neat_rnet::netgen::chain_network;
+    use neat_rnet::{Point, RoadLocation, SegmentId};
+    use neat_traj::{Dataset, Trajectory, TrajectoryId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn net() -> RoadNetwork {
+        chain_network(6, 100.0, 13.9)
+    }
+
+    fn cfg() -> SvcConfig {
+        let mut c = SvcConfig::new("/spool", "/state", "/quarantine");
+        c.neat = NeatConfig {
+            min_card: 1,
+            ..NeatConfig::default()
+        };
+        c.checkpoint_every_batches = 2;
+        c
+    }
+
+    fn batch(seed: u64) -> Dataset {
+        let mut d = Dataset::new("b");
+        let off = (seed % 40) as f64;
+        d.push(
+            Trajectory::new(
+                TrajectoryId::new(seed),
+                vec![
+                    RoadLocation::new(SegmentId::new(0), Point::new(10.0 + off, 0.0), 0.0),
+                    RoadLocation::new(SegmentId::new(1), Point::new(150.0, 0.0), 30.0),
+                    RoadLocation::new(SegmentId::new(2), Point::new(250.0, 0.0), 60.0),
+                ],
+            )
+            .unwrap(),
+        );
+        d
+    }
+
+    fn seed_spool(fs: &MemFs, n: u64) {
+        fs.create_dir_all(Path::new("/spool")).unwrap();
+        for i in 0..n {
+            spool::submit(
+                fs,
+                Path::new("/spool"),
+                &format!("b-{i:03}.batch"),
+                &batch(i),
+            )
+            .unwrap();
+        }
+    }
+
+    use std::path::Path;
+
+    #[test]
+    fn drains_spool_and_checkpoints() {
+        let network = net();
+        let fs = MemFs::new();
+        seed_spool(&fs, 3);
+        let mut svc = Service::open(&network, cfg(), fs.clone()).unwrap();
+        assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+        let h = svc.health();
+        assert_eq!(h.applied, 3);
+        assert_eq!(h.accepted, 3);
+        assert_eq!(h.poisoned, 0);
+        assert!(h.checkpoints >= 1, "cadence + final checkpoint expected");
+        assert_eq!(svc.status(), ServiceStatus::Running);
+        assert_eq!(svc.query().batches, 3);
+        assert!(spool::scan(&fs, Path::new("/spool")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn restart_resumes_identical_state() {
+        let network = net();
+        let fs = MemFs::new();
+        seed_spool(&fs, 4);
+        let reference = {
+            let mut svc = Service::open(&network, cfg(), fs.clone()).unwrap();
+            assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+            svc.state_fingerprint()
+        };
+        // A second service over the same store sees the drained spool
+        // and resumes to the exact same state.
+        let svc = Service::open(&network, cfg(), fs).unwrap();
+        assert_eq!(svc.state_fingerprint(), reference);
+        assert_eq!(svc.query().batches, 4);
+    }
+
+    #[test]
+    fn malformed_batch_is_poisoned_after_two_attempts() {
+        let network = net();
+        let fs = MemFs::new();
+        fs.create_dir_all(Path::new("/spool")).unwrap();
+        fs.write(Path::new("/spool/garbage.batch"), b"not,a,real\nbatch")
+            .unwrap();
+        let mut svc = Service::open(&network, cfg(), fs.clone()).unwrap();
+        assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+        let h = svc.health();
+        assert_eq!(h.poisoned, 1);
+        assert_eq!(svc.status(), ServiceStatus::Degraded);
+        assert_eq!(
+            spool::scan(&fs, Path::new("/quarantine")).unwrap(),
+            vec!["garbage.batch".to_string()]
+        );
+        let log = String::from_utf8(
+            fs.read(&Path::new("/quarantine").join(spool::QUARANTINE_LOG))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(
+            log.contains("garbage.batch\tpoison after 2 failures"),
+            "{log}"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_to_quarantine() {
+        let network = net();
+        let fs = MemFs::new();
+        seed_spool(&fs, 6);
+        let mut c = cfg();
+        c.queue_capacity = 2;
+        c.shed_backlog = 1;
+        let mut svc = Service::open(&network, c, fs.clone()).unwrap();
+        // First tick: 2 accepted, 1 deferred, 3 shed.
+        assert_eq!(svc.tick(), TickOutcome::Worked);
+        let h = svc.health();
+        assert_eq!(h.accepted, 2);
+        assert_eq!(h.deferred, 1);
+        assert_eq!(h.shed, 3);
+        assert_eq!(svc.status(), ServiceStatus::Degraded);
+        assert_eq!(spool::scan(&fs, Path::new("/quarantine")).unwrap().len(), 3);
+        // Draining still applies everything that was not shed.
+        assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+        assert_eq!(svc.health().applied, 3);
+    }
+
+    #[test]
+    fn cancel_checkpoints_and_stops() {
+        let network = net();
+        let fs = MemFs::new();
+        seed_spool(&fs, 3);
+        let mut c = cfg();
+        c.checkpoint_every_batches = 100; // only the cancel flush
+        let mut svc = Service::open(&network, c.clone(), fs.clone()).unwrap();
+        assert_eq!(svc.tick(), TickOutcome::Worked);
+        svc.cancel_token().cancel();
+        assert_eq!(svc.tick(), TickOutcome::Cancelled);
+        assert_eq!(svc.health().checkpoints, 1, "cancel flushed a checkpoint");
+        // A fresh service (new token) finishes the job with no loss.
+        let mut svc2 = Service::open(&network, c, fs).unwrap();
+        assert_eq!(svc2.run_drain(64), DrainOutcome::Drained);
+        assert_eq!(svc2.query().batches, 3);
+    }
+
+    /// Hook that panics the first time it sees the configured edge.
+    struct PanicOnce {
+        edge: Edge,
+        left: AtomicU64,
+    }
+
+    impl FaultHook for PanicOnce {
+        fn at(&self, edge: Edge) {
+            if edge == self.edge
+                && self
+                    .left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("injected fault at {}", edge.name());
+            }
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_after_injected_panic() {
+        let network = net();
+        let fs = MemFs::new();
+        seed_spool(&fs, 3);
+        let reference = {
+            let mut svc = Service::open(&network, cfg(), fs.clone()).unwrap();
+            assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+            svc.state_fingerprint()
+        };
+
+        let fs2 = MemFs::new();
+        seed_spool(&fs2, 3);
+        let hook = Arc::new(PanicOnce {
+            edge: Edge::Journaled,
+            left: AtomicU64::new(1),
+        });
+        let mut svc =
+            Service::open_with(&network, cfg(), fs2, hook, None, CancelToken::new()).unwrap();
+        assert_eq!(svc.run_drain(128), DrainOutcome::Drained);
+        let h = svc.health();
+        assert_eq!(h.restarts, 1);
+        assert_eq!(h.poisoned, 0, "applied batch must not be poisoned");
+        assert_eq!(svc.state_fingerprint(), reference);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_fails_the_service() {
+        let network = net();
+        let fs = MemFs::new();
+        seed_spool(&fs, 2);
+        let mut c = cfg();
+        c.max_restarts = 0;
+        let hook = Arc::new(PanicOnce {
+            edge: Edge::Applied,
+            left: AtomicU64::new(1),
+        });
+        let mut svc = Service::open_with(&network, c, fs, hook, None, CancelToken::new()).unwrap();
+        assert_eq!(svc.run_drain(64), DrainOutcome::Failed);
+        assert_eq!(svc.status(), ServiceStatus::Failed);
+        assert_eq!(
+            svc.tick(),
+            TickOutcome::Failed,
+            "failed service stays failed"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Epoch-tagged query snapshots with atomic swap.
+//!
+//! The worker publishes a fully built [`QueryView`] after each applied
+//! batch; readers load the current [`std::sync::Arc`] and keep a
+//! consistent view for as long as they hold it — a concurrent swap never
+//! mutates a view in place, so a query can never observe a half-applied
+//! batch. This is the classic double-buffer: the next view is
+//! constructed entirely off to the side, then swapped in one pointer
+//! store under a short critical section.
+
+use neat_core::TrajectoryCluster;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One immutable, consistent answer to "what are the clusters right now".
+#[derive(Debug, Clone, Default)]
+pub struct QueryView {
+    /// Monotonic publish counter; bumps exactly once per swap.
+    pub epoch: u64,
+    /// Batches folded into this view.
+    pub batches: usize,
+    /// Retained flow clusters backing the view.
+    pub flows: usize,
+    /// Current trajectory clusters.
+    pub clusters: Vec<TrajectoryCluster>,
+    /// Whether the refinement producing this view was degraded
+    /// (opt→flow→base ladder or truncation).
+    pub degraded: bool,
+}
+
+/// The swap cell readers and the worker share.
+#[derive(Debug, Default)]
+pub struct SnapshotCell {
+    current: Mutex<Arc<QueryView>>,
+}
+
+impl SnapshotCell {
+    /// An empty cell at epoch 0.
+    pub fn new() -> Self {
+        SnapshotCell::default()
+    }
+
+    /// Atomically swaps in `view`, stamping it with the next epoch.
+    /// Returns the epoch assigned.
+    pub fn publish(&self, mut view: QueryView) -> u64 {
+        let mut cur = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        view.epoch = cur.epoch + 1;
+        let epoch = view.epoch;
+        *cur = Arc::new(view);
+        epoch
+    }
+
+    /// The current view; the returned handle stays consistent even if a
+    /// newer epoch is published while it is held.
+    pub fn load(&self) -> Arc<QueryView> {
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_increment_per_publish() {
+        let cell = SnapshotCell::new();
+        assert_eq!(cell.load().epoch, 0);
+        assert_eq!(cell.publish(QueryView::default()), 1);
+        assert_eq!(
+            cell.publish(QueryView {
+                batches: 2,
+                ..QueryView::default()
+            }),
+            2
+        );
+        let v = cell.load();
+        assert_eq!((v.epoch, v.batches), (2, 2));
+    }
+
+    #[test]
+    fn held_view_survives_later_publishes() {
+        let cell = SnapshotCell::new();
+        cell.publish(QueryView {
+            batches: 1,
+            ..QueryView::default()
+        });
+        let held = cell.load();
+        cell.publish(QueryView {
+            batches: 9,
+            ..QueryView::default()
+        });
+        assert_eq!(held.batches, 1, "reader's view must not mutate underfoot");
+        assert_eq!(cell.load().batches, 9);
+    }
+}

@@ -1238,4 +1238,61 @@ mod tests {
         assert!(kept.starts_with("# quarantine: 3 trajectories"));
         let _ = std::fs::remove_dir_all(dir);
     }
+
+    #[test]
+    fn sustained_capped_saves_stay_bounded_and_keep_newest() {
+        let dir = std::env::temp_dir().join(format!(
+            "neat-traj-quarantine-sustained-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.csv");
+        let rotated = rotated_quarantine_path(&path);
+        // Small enough that most generations overflow it.
+        let cap = 400usize;
+        // The cap bounds the record blocks; the header and the
+        // one-line truncation trailer ride on top.
+        let slack = 128usize;
+
+        for generation in 1..=12usize {
+            let qs = many_quarantined(generation);
+            let report = save_quarantine_capped(&qs, &path, Some(cap)).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(bytes.len(), report.bytes, "gen {generation}: report lies");
+            assert!(
+                report.bytes <= cap + slack,
+                "gen {generation}: {} bytes exceeds cap {cap} (+{slack} slack)",
+                report.bytes
+            );
+            let current = String::from_utf8(bytes).unwrap();
+            // Rotation never loses the newest generation: `path` always
+            // holds it, complete with its earliest records.
+            assert!(
+                current.starts_with(&format!("# quarantine: {generation} trajectories")),
+                "gen {generation}: current file is not the newest generation"
+            );
+            assert!(current.contains("# tr0: reject 0"), "gen {generation}");
+            if generation >= 2 {
+                let prev = String::from_utf8(std::fs::read(&rotated).unwrap()).unwrap();
+                assert!(
+                    prev.starts_with(&format!("# quarantine: {} trajectories", generation - 1)),
+                    "gen {generation}: rotated file is not the previous generation"
+                );
+            }
+            // Never more than two bounded files, no matter how long the
+            // session runs.
+            let mut names: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            let expected = if generation == 1 {
+                vec!["quarantine.csv".to_string()]
+            } else {
+                vec!["quarantine.csv".to_string(), "quarantine.csv.1".to_string()]
+            };
+            assert_eq!(names, expected, "gen {generation}");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }

@@ -54,7 +54,7 @@ pub const RULES: [&str; 6] = ["L0", "L1", "L2", "L3", "L4", "L5"];
 
 /// Library crates subject to `L1` (panic-freedom). Binaries under
 /// `src/bin/` are CLI surface and exempt.
-const LIBRARY_CRATES: [&str; 11] = [
+const LIBRARY_CRATES: [&str; 12] = [
     "rnet",
     "traj",
     "mapmatch",
@@ -66,11 +66,12 @@ const LIBRARY_CRATES: [&str; 11] = [
     "durability",
     "runctl",
     "exec",
+    "neatsvc",
 ];
 
 /// Algorithm crates subject to `L5` (determinism hygiene).
-const ALGORITHM_CRATES: [&str; 7] = [
-    "neat", "traclus", "rnet", "traj", "mapmatch", "runctl", "exec",
+const ALGORITHM_CRATES: [&str; 8] = [
+    "neat", "traclus", "rnet", "traj", "mapmatch", "runctl", "exec", "neatsvc",
 ];
 
 /// The one sanctioned wall-clock site: the [`Clock`] injection boundary.

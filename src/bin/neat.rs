@@ -18,7 +18,14 @@
 //!                  [--checkpoint-dir DIR] [--checkpoint-every N]
 //!                  [--batches N] [--resume]
 //! neat stats       --network net.txt [--dataset data.csv]
+//! neat serve       --network net.txt --spool DIR --state DIR [...]
 //! ```
+//!
+//! `neat serve` runs the supervised streaming service (`neatd` is the
+//! same loop as a standalone binary): batches renamed into `--spool`
+//! are clustered incrementally, journaled and checkpointed into
+//! `--state`, and shed/poison batches are quarantined. Exit codes:
+//! 0 = clean, 3 = degraded-but-served, 4 = unrecoverable.
 //!
 //! With `--checkpoint-dir` the dataset is split into `--batches` time
 //! windows and clustered incrementally; after every `--checkpoint-every`
@@ -99,7 +106,14 @@ const USAGE: &str = "usage:
                    [--svg FILE] [--json FILE]
                    [--checkpoint-dir DIR] [--checkpoint-every N]
                    [--batches N] [--resume]
-  neat stats       --network FILE [--dataset FILE]";
+  neat stats       --network FILE [--dataset FILE]
+  neat serve       --network FILE --spool DIR --state DIR [--quarantine DIR]
+                   [--drain] [--max-ticks N] [--poll-ms N] [--seed N]
+                   [--queue-cap N] [--shed-backlog N]
+                   [--checkpoint-every N] [--checkpoint-ops N]
+                   [--batch-max-ops N] [--batch-deadline DUR]
+                   [--on-error fail|skip|repair] [--min-card N] [--epsilon M]
+                   [--poison-after N] [--max-restarts N]";
 
 fn load_network(path: &str) -> Result<RoadNetwork, String> {
     let f = File::open(path).map_err(|e| format!("cannot open network `{path}`: {e}"))?;
@@ -119,6 +133,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "simulate" => simulate(&flags).map(|()| ExitCode::SUCCESS),
         "cluster" => cluster(&flags),
         "stats" => stats(&flags).map(|()| ExitCode::SUCCESS),
+        "serve" => neat_repro::serve::serve(&flags),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }

@@ -1,0 +1,30 @@
+//! `neatd` — the supervised NEAT streaming clustering daemon.
+//!
+//! A standalone entry point for the service behind `neat serve`: watch
+//! a spool directory for trajectory batches (handed over by atomic
+//! rename), cluster them incrementally under per-batch budgets,
+//! journal and checkpoint every applied batch, and answer `kill -9` at
+//! any instant with a byte-identical resume on restart. See
+//! `neat_repro::serve` for the flag reference and exit-code scheme.
+
+use neat_repro::cli::parse_flags;
+use neat_repro::serve::{serve, SERVE_USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{SERVE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_flags(&args).and_then(|flags| serve(&flags));
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{SERVE_USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

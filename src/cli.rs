@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 /// Flags that take no value.
-pub const BARE_FLAGS: [&str; 4] = ["no-elb", "full-route", "trace", "resume"];
+pub const BARE_FLAGS: [&str; 5] = ["no-elb", "full-route", "trace", "resume", "drain"];
 
 /// Splits `args` into `--key value` / bare `--key` flags.
 ///

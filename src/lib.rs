@@ -5,6 +5,7 @@
 //! architecture overview and `DESIGN.md` for the per-experiment index.
 
 pub mod cli;
+pub mod serve;
 
 pub use neat_core as neat;
 pub use neat_durability as durability;
@@ -12,6 +13,7 @@ pub use neat_mapmatch as mapmatch;
 pub use neat_mobisim as mobisim;
 pub use neat_rnet as rnet;
 pub use neat_runctl as runctl;
+pub use neat_svc as svc;
 pub use neat_traclus as traclus;
 pub use neat_traj as traj;
 pub use neat_viz as viz;

@@ -1,0 +1,168 @@
+//! Shared implementation of the `neatd` daemon and `neat serve`.
+//!
+//! Wraps [`neat_svc::Service`] in a production poll loop over a real
+//! filesystem: batches dropped into `--spool` (by atomic rename) are
+//! clustered incrementally, journaled and checkpointed into `--state`,
+//! and shed/poison batches land in `--quarantine`. All storage goes
+//! through a [`RetryFs`] with deterministic jittered backoff; its retry
+//! counters surface in the health digest printed on exit.
+//!
+//! Exit codes (`neatd` and `neat serve` alike):
+//!
+//! * `0` — clean shutdown, nothing lost or degraded;
+//! * `3` — served, but degraded: a shed or poisoned batch, a degraded
+//!   refinement, or a journal repair ([`EXIT_DEGRADED`]);
+//! * `4` — unrecoverable: the restart budget is exhausted, recovery
+//!   failed, or the state directory belongs to a different
+//!   configuration/network ([`EXIT_UNRECOVERABLE`]);
+//! * `1` — usage or startup error (bad flags, unreadable network).
+//!
+//! The daemon is crash-safe by construction: `kill -9` at any instant
+//! and a restart with the same flags resumes from the latest checkpoint
+//! plus journal, skips spool files that were already applied, and
+//! continues byte-identically (see `tests/service_chaos.rs`).
+
+use crate::cli::{parse, parse_duration_ms, required};
+use neat_durability::retry::{JitterBackoff, RetryFs};
+use neat_durability::StdFs;
+use neat_rnet::{io as netio, RoadNetwork};
+use neat_svc::{DrainOutcome, Service, ServiceStatus, SvcConfig, SvcError};
+use neat_traj::sanitize::ErrorPolicy;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Exit code for a shutdown that served but lost or reduced something.
+pub const EXIT_DEGRADED: u8 = 3;
+/// Exit code when the service could not be recovered by restarting.
+pub const EXIT_UNRECOVERABLE: u8 = 4;
+
+/// Usage text for the serve surface (also printed by `neatd --help`).
+pub const SERVE_USAGE: &str = "usage:
+  neatd --network FILE --spool DIR --state DIR [--quarantine DIR]
+        [--drain] [--max-ticks N] [--poll-ms N] [--seed N]
+        [--queue-cap N] [--shed-backlog N]
+        [--checkpoint-every N] [--checkpoint-ops N]
+        [--batch-max-ops N] [--batch-deadline DUR]
+        [--on-error fail|skip|repair] [--min-card N] [--epsilon M]
+        [--poison-after N] [--max-restarts N]
+  (same flags as `neat serve`)
+
+exit codes: 0 = clean, 3 = degraded-but-served, 4 = unrecoverable, 1 = usage error";
+
+fn load_network(path: &str) -> Result<RoadNetwork, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open network `{path}`: {e}"))?;
+    netio::read_network(BufReader::new(f)).map_err(|e| format!("cannot read network: {e}"))
+}
+
+/// Builds the service configuration from parsed flags.
+fn build_config(flags: &HashMap<String, String>) -> Result<SvcConfig, String> {
+    let spool = required(flags, "spool")?;
+    let state = required(flags, "state")?;
+    let quarantine = match flags.get("quarantine") {
+        Some(q) => q.clone(),
+        None => format!("{state}/quarantine"),
+    };
+    let mut cfg = SvcConfig::new(spool, state, quarantine);
+    cfg.neat.min_card = parse(flags, "min-card", cfg.neat.min_card)?;
+    cfg.neat.epsilon = parse(flags, "epsilon", cfg.neat.epsilon)?;
+    cfg.policy = match flags.get("on-error").map(String::as_str) {
+        None | Some("fail") => ErrorPolicy::Strict,
+        Some("skip") => ErrorPolicy::Skip,
+        Some("repair") => ErrorPolicy::Repair,
+        Some(other) => return Err(format!("unknown --on-error `{other}`")),
+    };
+    cfg.queue_capacity = parse(flags, "queue-cap", cfg.queue_capacity)?;
+    cfg.shed_backlog = parse(flags, "shed-backlog", cfg.shed_backlog)?;
+    cfg.checkpoint_every_batches = parse(flags, "checkpoint-every", cfg.checkpoint_every_batches)?;
+    cfg.checkpoint_every_ops = parse(flags, "checkpoint-ops", cfg.checkpoint_every_ops)?;
+    if let Some(ops) = flags.get("batch-max-ops") {
+        cfg.batch_max_ops = Some(
+            ops.parse()
+                .map_err(|e| format!("invalid --batch-max-ops `{ops}`: {e}"))?,
+        );
+    }
+    if let Some(spec) = flags.get("batch-deadline") {
+        cfg.batch_deadline_ms = Some(parse_duration_ms(spec)?);
+    }
+    cfg.poison_after = parse(flags, "poison-after", cfg.poison_after)?;
+    cfg.max_restarts = parse(flags, "max-restarts", cfg.max_restarts)?;
+    Ok(cfg)
+}
+
+/// Runs the service loop. Shared by `neatd` and `neat serve`.
+///
+/// # Errors
+///
+/// `Err(String)` for usage/startup problems (exit 1 at the callers);
+/// service-level failures are reported through the exit code instead.
+pub fn serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let net = load_network(required(flags, "network")?)?;
+    let cfg = build_config(flags)?;
+    let drain = flags.contains_key("drain");
+    let max_ticks: u64 = parse(flags, "max-ticks", u64::MAX)?;
+    let poll_ms: u64 = parse(flags, "poll-ms", 200)?;
+    let seed: u64 = parse(flags, "seed", 42)?;
+
+    // All storage goes through the retrying decorator; the probe feeds
+    // its counters into the health report.
+    let fs = RetryFs::new(StdFs, 3, JitterBackoff::seeded(seed));
+    let probe_fs = fs.clone();
+    let mut svc = match Service::open(&net, cfg, fs) {
+        Ok(svc) => svc,
+        Err(SvcError::Checkpoint(e)) => {
+            // A state directory from a different session (config or
+            // network mismatch) or beyond-repair storage damage is not
+            // recoverable by restarting with the same flags.
+            eprintln!("neatd: unrecoverable state directory: {e}");
+            return Ok(ExitCode::from(EXIT_UNRECOVERABLE));
+        }
+        Err(e) => return Err(format!("cannot start service: {e}")),
+    };
+    svc = svc.with_retry_probe(Arc::new(move || probe_fs.stats()));
+
+    eprintln!(
+        "neatd: serving (spool={}, state={}, mode={})",
+        required(flags, "spool")?,
+        required(flags, "state")?,
+        if drain { "drain" } else { "watch" }
+    );
+
+    if drain {
+        let outcome = svc.run_drain(max_ticks);
+        eprintln!("neatd: {:?}; {}", outcome, svc.health().digest());
+        return Ok(exit_for(&svc, outcome == DrainOutcome::Failed));
+    }
+
+    let mut ticks: u64 = 0;
+    let failed = loop {
+        if ticks >= max_ticks {
+            break false;
+        }
+        ticks += 1;
+        match svc.tick() {
+            neat_svc::TickOutcome::Worked => {}
+            neat_svc::TickOutcome::Idle => {
+                std::thread::sleep(Duration::from_millis(poll_ms));
+            }
+            neat_svc::TickOutcome::Cancelled => break false,
+            neat_svc::TickOutcome::Failed => break true,
+        }
+    };
+    eprintln!("neatd: stopped; {}", svc.health().digest());
+    Ok(exit_for(&svc, failed))
+}
+
+/// Maps the final service status onto the exit-code scheme.
+fn exit_for<F: neat_durability::Fs + Clone>(svc: &Service<'_, F>, failed: bool) -> ExitCode {
+    if failed || svc.status() == ServiceStatus::Failed {
+        return ExitCode::from(EXIT_UNRECOVERABLE);
+    }
+    match svc.status() {
+        ServiceStatus::Running => ExitCode::SUCCESS,
+        _ => ExitCode::from(EXIT_DEGRADED),
+    }
+}

@@ -478,3 +478,204 @@ fn deterministic_outputs_for_same_seed() {
     let fb = std::fs::read(&b).unwrap();
     assert_eq!(fa, fb, "same seed must produce identical network files");
 }
+
+/// A scratch directory tree for one serve test, wiped up front so
+/// reruns start clean.
+fn serve_dirs(name: &str) -> (PathBuf, PathBuf, PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join("neat-cli-tests").join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    let spool = root.join("spool");
+    let state = root.join("state");
+    let quarantine = root.join("quarantine");
+    std::fs::create_dir_all(&spool).expect("create spool dir");
+    (root, spool, state, quarantine)
+}
+
+fn serve_network(root: &std::path::Path) -> PathBuf {
+    let net_path = root.join("net.txt");
+    assert!(neat()
+        .args([
+            "gen-network",
+            "--grid",
+            "6x6",
+            "--seed",
+            "11",
+            "--out",
+            net_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    net_path
+}
+
+/// Drops a simulated batch file into the spool (simulate writes
+/// atomically — temp file + rename — which is exactly the producer-side
+/// handoff convention the daemon expects).
+fn submit_batch(net: &std::path::Path, spool: &std::path::Path, id: &str, seed: &str) {
+    assert!(neat()
+        .args([
+            "simulate",
+            "--network",
+            net.to_str().unwrap(),
+            "--objects",
+            "12",
+            "--seed",
+            seed,
+            "--out",
+            spool.join(id).to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+}
+
+#[test]
+fn serve_drains_spool_and_exits_clean() {
+    let (root, spool, state, quarantine) = serve_dirs("serve_clean");
+    let net = serve_network(&root);
+    submit_batch(&net, &spool, "b-001.batch", "21");
+    submit_batch(&net, &spool, "b-002.batch", "22");
+
+    let serve_args = |extra: &[&str]| {
+        let mut v = vec![
+            "serve".to_string(),
+            "--network".into(),
+            net.to_str().unwrap().into(),
+            "--spool".into(),
+            spool.to_str().unwrap().into(),
+            "--state".into(),
+            state.to_str().unwrap().into(),
+            "--quarantine".into(),
+            quarantine.to_str().unwrap().into(),
+            "--min-card".into(),
+            "2".into(),
+            "--drain".into(),
+            "--max-ticks".into(),
+            "200".into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+
+    let out = neat().args(serve_args(&[])).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean drain must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Both batches consumed, state checkpointed, nothing quarantined.
+    assert!(std::fs::read_dir(&spool).unwrap().next().is_none());
+    assert!(std::fs::read_dir(&state).unwrap().next().is_some());
+    assert!(!quarantine.join("reasons.log").exists());
+
+    // A second drain over the same state dir resumes and exits clean
+    // (kill -9 between runs is indistinguishable from this).
+    let out = neat().args(serve_args(&[])).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resumed drain must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_poisons_garbage_batch_and_exits_degraded() {
+    let (root, spool, state, quarantine) = serve_dirs("serve_poison");
+    let net = serve_network(&root);
+    submit_batch(&net, &spool, "b-001.batch", "31");
+    std::fs::write(spool.join("b-900.garbage"), "definitely,not\na batch\n").unwrap();
+
+    let out = neat()
+        .args([
+            "serve",
+            "--network",
+            net.to_str().unwrap(),
+            "--spool",
+            spool.to_str().unwrap(),
+            "--state",
+            state.to_str().unwrap(),
+            "--quarantine",
+            quarantine.to_str().unwrap(),
+            "--min-card",
+            "2",
+            "--drain",
+            "--max-ticks",
+            "200",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "poisoned batch must exit degraded (3): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(quarantine.join("b-900.garbage").exists());
+    let reasons = std::fs::read_to_string(quarantine.join("reasons.log")).unwrap();
+    assert!(reasons.contains("b-900.garbage\tpoison"), "{reasons}");
+}
+
+#[test]
+fn serve_mismatched_state_dir_exits_unrecoverable() {
+    let (root, spool, state, quarantine) = serve_dirs("serve_mismatch");
+    let net = serve_network(&root);
+    submit_batch(&net, &spool, "b-001.batch", "41");
+
+    // First run writes a checkpoint bound to this network + config.
+    let mut base = vec![
+        "serve".to_string(),
+        "--network".into(),
+        net.to_str().unwrap().into(),
+        "--spool".into(),
+        spool.to_str().unwrap().into(),
+        "--state".into(),
+        state.to_str().unwrap().into(),
+        "--quarantine".into(),
+        quarantine.to_str().unwrap().into(),
+        "--min-card".into(),
+        "2".into(),
+        "--drain".into(),
+        "--max-ticks".into(),
+        "200".into(),
+    ];
+    let out = neat().args(&base).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Restarting against the same state dir with a different road
+    // network is unrecoverable-by-restart: exit 4, not a crash loop.
+    let other_net = root.join("other_net.txt");
+    assert!(neat()
+        .args([
+            "gen-network",
+            "--grid",
+            "5x5",
+            "--seed",
+            "12",
+            "--out",
+            other_net.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    base[2] = other_net.to_str().unwrap().into();
+    let out = neat().args(&base).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "mismatched state dir must exit 4: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unrecoverable"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

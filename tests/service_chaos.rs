@@ -1,0 +1,573 @@
+//! Kill-restart chaos harness for the `neat-svc` supervised service.
+//!
+//! The service is a deterministic tick-driven state machine, so every
+//! interleaving of work and death is enumerable:
+//!
+//! * **panic matrix** — a fault hook panics at each state-machine
+//!   [`Edge`]; the in-process supervisor must restart from checkpoint +
+//!   journal and finish byte-identically;
+//! * **process-kill matrix** — same edges with a zero restart budget,
+//!   so the service dies; a *new* service over the surviving storage
+//!   must finish byte-identically;
+//! * **cancel matrix** — a hook cancels the token at each edge; the
+//!   drain stops gracefully and a fresh run finishes the job;
+//! * **disk-fault matrix** — a fatal [`DiskFault::Lost`] at every
+//!   single mutating filesystem operation of the whole run; the
+//!   restarted process must recover byte-identically with no batch
+//!   applied twice.
+//!
+//! Plus the regression pinned by the rustdoc on
+//! `IncrementalNeat::ingest_logged`: a crash inside the divergence
+//! window (applied in memory, journal append failed) recovers with the
+//! batch applied exactly once.
+
+use neat_repro::durability::{Fs, MemFs};
+use neat_repro::mobisim::faults::{DiskFault, FaultFs};
+use neat_repro::neat::NeatConfig;
+use neat_repro::rnet::netgen::chain_network;
+use neat_repro::rnet::{Point, RoadLocation, RoadNetwork, SegmentId};
+use neat_repro::runctl::CancelToken;
+use neat_repro::svc::{
+    spool, DrainOutcome, Edge, FaultHook, Service, ServiceStatus, SvcConfig, TickOutcome,
+};
+use neat_repro::traj::{Dataset, Trajectory, TrajectoryId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const N_BATCHES: u64 = 4;
+
+fn net() -> RoadNetwork {
+    chain_network(6, 100.0, 13.9)
+}
+
+fn cfg() -> SvcConfig {
+    let mut c = SvcConfig::new("/spool", "/state", "/quarantine");
+    c.neat = NeatConfig {
+        min_card: 1,
+        ..NeatConfig::default()
+    };
+    c.checkpoint_every_batches = 2;
+    c
+}
+
+fn batch(seed: u64) -> Dataset {
+    let mut d = Dataset::new("b");
+    for t in 0..2u64 {
+        let off = ((seed * 2 + t) % 40) as f64;
+        d.push(
+            Trajectory::new(
+                TrajectoryId::new(seed * 10 + t),
+                vec![
+                    RoadLocation::new(SegmentId::new(0), Point::new(10.0 + off, 0.0), 0.0),
+                    RoadLocation::new(SegmentId::new(1), Point::new(150.0, 0.0), 30.0),
+                    RoadLocation::new(SegmentId::new(2), Point::new(250.0 + off, 0.0), 60.0),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    d
+}
+
+fn seed_spool(fs: &MemFs) {
+    fs.create_dir_all(Path::new("/spool")).unwrap();
+    for i in 0..N_BATCHES {
+        spool::submit(
+            fs,
+            Path::new("/spool"),
+            &format!("b-{i:03}.batch"),
+            &batch(i),
+        )
+        .unwrap();
+    }
+}
+
+/// Fingerprint of an uninterrupted run over the same batches.
+fn reference_fingerprint(network: &RoadNetwork) -> String {
+    let fs = MemFs::new();
+    seed_spool(&fs);
+    let mut svc = Service::open(network, cfg(), fs.clone()).unwrap();
+    assert_eq!(svc.run_drain(256), DrainOutcome::Drained);
+    assert_eq!(svc.status(), ServiceStatus::Running);
+    assert!(spool::scan(&fs, Path::new("/quarantine"))
+        .unwrap()
+        .is_empty());
+    svc.state_fingerprint()
+}
+
+/// Panics the first `times` visits of `edge`.
+struct PanicAt {
+    edge: Edge,
+    left: AtomicU64,
+}
+
+impl PanicAt {
+    fn once(edge: Edge) -> Arc<Self> {
+        Arc::new(PanicAt {
+            edge,
+            left: AtomicU64::new(1),
+        })
+    }
+}
+
+impl FaultHook for PanicAt {
+    fn at(&self, edge: Edge) {
+        if edge == self.edge
+            && self
+                .left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            panic!("injected panic at edge {}", edge.name());
+        }
+    }
+}
+
+/// Cancels the shared token the first time it sees `edge`.
+struct CancelAt {
+    edge: Edge,
+    token: CancelToken,
+}
+
+impl FaultHook for CancelAt {
+    fn at(&self, edge: Edge) {
+        if edge == self.edge {
+            self.token.cancel();
+        }
+    }
+}
+
+/// Opens the service, treating an injected panic during boot recovery
+/// (the [`Edge::Recovered`] hook fires inside `open_with`) as
+/// death-at-boot: the process is simply started again over the same
+/// storage.
+fn open_or_reboot<'n, F: neat_repro::durability::Fs + Clone>(
+    network: &'n RoadNetwork,
+    config: SvcConfig,
+    fs: F,
+    hook: Arc<dyn FaultHook>,
+    cancel: CancelToken,
+) -> Service<'n, F> {
+    for _ in 0..4 {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            Service::open_with(
+                network,
+                config.clone(),
+                fs.clone(),
+                Arc::clone(&hook),
+                None,
+                cancel.clone(),
+            )
+        }));
+        match attempt {
+            Ok(Ok(svc)) => return svc,
+            Ok(Err(e)) => panic!("service open failed: {e}"),
+            Err(_) => continue, // died at boot; start the process again
+        }
+    }
+    panic!("service never survived boot");
+}
+
+#[test]
+fn panic_at_every_edge_supervisor_recovers_identically() {
+    let network = net();
+    let reference = reference_fingerprint(&network);
+    for edge in Edge::ALL {
+        let fs = MemFs::new();
+        seed_spool(&fs);
+        let mut svc = open_or_reboot(
+            &network,
+            cfg(),
+            fs.clone(),
+            PanicAt::once(edge),
+            CancelToken::new(),
+        );
+        assert_eq!(
+            svc.run_drain(256),
+            DrainOutcome::Drained,
+            "edge {}",
+            edge.name()
+        );
+        let h = svc.health();
+        assert_eq!(
+            svc.state_fingerprint(),
+            reference,
+            "state diverged after panic at {} (health: {})",
+            edge.name(),
+            h.digest()
+        );
+        assert!(h.restarts <= 1, "edge {}: {}", edge.name(), h.digest());
+        assert_eq!(h.poisoned, 0, "edge {}: {}", edge.name(), h.digest());
+        assert!(
+            spool::scan(&fs, Path::new("/spool")).unwrap().is_empty(),
+            "spool not drained after panic at {}",
+            edge.name()
+        );
+        assert!(
+            spool::scan(&fs, Path::new("/quarantine"))
+                .unwrap()
+                .is_empty(),
+            "quarantine not empty after panic at {}",
+            edge.name()
+        );
+    }
+}
+
+#[test]
+fn process_kill_at_every_edge_restart_recovers_identically() {
+    let network = net();
+    let reference = reference_fingerprint(&network);
+    for edge in Edge::ALL {
+        let fs = MemFs::new();
+        seed_spool(&fs);
+        // Zero restart budget: the first injected panic is fatal to
+        // this "process".
+        let mut dying_cfg = cfg();
+        dying_cfg.max_restarts = 0;
+        let mut svc = open_or_reboot(
+            &network,
+            dying_cfg,
+            fs.clone(),
+            PanicAt::once(edge),
+            CancelToken::new(),
+        );
+        let first_life = svc.run_drain(256);
+        assert!(
+            first_life == DrainOutcome::Failed || first_life == DrainOutcome::Drained,
+            "edge {}: unexpected {first_life:?}",
+            edge.name()
+        );
+        drop(svc);
+
+        // Restart: a brand-new service over the surviving bytes.
+        let mut svc2 = Service::open(&network, cfg(), fs.clone()).unwrap();
+        assert_eq!(
+            svc2.run_drain(256),
+            DrainOutcome::Drained,
+            "edge {}",
+            edge.name()
+        );
+        assert_eq!(
+            svc2.state_fingerprint(),
+            reference,
+            "state diverged after kill at {} (health: {})",
+            edge.name(),
+            svc2.health().digest()
+        );
+        assert_eq!(
+            svc2.session().batches() as u64,
+            N_BATCHES,
+            "batch lost or double-applied after kill at {}",
+            edge.name()
+        );
+        assert!(
+            spool::scan(&fs, Path::new("/quarantine"))
+                .unwrap()
+                .is_empty(),
+            "edge {}",
+            edge.name()
+        );
+    }
+}
+
+#[test]
+fn cancel_at_every_edge_then_fresh_run_finishes_identically() {
+    let network = net();
+    let reference = reference_fingerprint(&network);
+    for edge in Edge::ALL {
+        let fs = MemFs::new();
+        seed_spool(&fs);
+        let token = CancelToken::new();
+        let hook = Arc::new(CancelAt {
+            edge,
+            token: token.clone(),
+        });
+        let mut svc = open_or_reboot(&network, cfg(), fs.clone(), hook, token);
+        let outcome = svc.run_drain(256);
+        assert_eq!(outcome, DrainOutcome::Cancelled, "edge {}", edge.name());
+        assert_ne!(
+            svc.status(),
+            ServiceStatus::Failed,
+            "cancel must not fail the service (edge {})",
+            edge.name()
+        );
+        drop(svc);
+
+        // The next run (fresh token) picks up whatever was left.
+        let mut svc2 = Service::open(&network, cfg(), fs.clone()).unwrap();
+        assert_eq!(
+            svc2.run_drain(256),
+            DrainOutcome::Drained,
+            "edge {}",
+            edge.name()
+        );
+        assert_eq!(
+            svc2.state_fingerprint(),
+            reference,
+            "state diverged after cancel at {}",
+            edge.name()
+        );
+        assert_eq!(
+            svc2.session().batches() as u64,
+            N_BATCHES,
+            "edge {}",
+            edge.name()
+        );
+    }
+}
+
+/// Counts the mutating filesystem operations of an uninterrupted run.
+fn probe_mutating_ops(network: &RoadNetwork) -> u64 {
+    let mem = MemFs::new();
+    seed_spool(&mem);
+    let fs = FaultFs::unarmed(mem);
+    let mut svc = Service::open(network, cfg(), fs.clone()).unwrap();
+    assert_eq!(svc.run_drain(256), DrainOutcome::Drained);
+    fs.mutating_ops()
+}
+
+#[test]
+fn disk_fault_at_every_mutating_op_recovers_identically() {
+    let network = net();
+    let reference = reference_fingerprint(&network);
+    let total_ops = probe_mutating_ops(&network);
+    assert!(
+        total_ops > 4,
+        "probe looks broken: {total_ops} mutating ops"
+    );
+
+    for k in 0..total_ops {
+        let mem = MemFs::new();
+        seed_spool(&mem);
+        let fs = FaultFs::armed(mem.clone(), k, DiskFault::Lost);
+
+        // First life: run until the fault kills the process. Both
+        // failure shapes are legal — death during open (the fault hit a
+        // boot-time write) or a drain ending in `Failed` once the
+        // restart budget meets a dead disk.
+        if let Ok(mut svc) = Service::open(&network, cfg(), fs.clone()) {
+            let _ = svc.run_drain(512);
+        }
+        assert!(fs.fault_fired(), "op {k}: fault never fired");
+
+        // Restart over the surviving bytes.
+        let mut svc2 = Service::open(&network, cfg(), mem.clone()).unwrap();
+        assert_eq!(
+            svc2.run_drain(256),
+            DrainOutcome::Drained,
+            "op {k}: restarted service did not drain"
+        );
+        assert_eq!(
+            svc2.state_fingerprint(),
+            reference,
+            "op {k}: state diverged after disk fault (health: {})",
+            svc2.health().digest()
+        );
+        assert_eq!(
+            svc2.session().batches() as u64,
+            N_BATCHES,
+            "op {k}: batch lost or double-applied"
+        );
+        assert!(
+            spool::scan(&mem, Path::new("/quarantine"))
+                .unwrap()
+                .is_empty(),
+            "op {k}: disk fault must not poison batches"
+        );
+    }
+}
+
+/// The regression pinned by the `ingest_logged` rustdoc: the crash
+/// window between a successful in-memory apply and its journal append.
+///
+/// The first mutating filesystem operation of a drain over clean
+/// batches is the journal append of batch one (spool scans and loads
+/// are reads), so arming a fatal fault there kills the "process" with
+/// the batch applied in memory but absent from the journal. The
+/// restarted service must re-ingest it from the spool — exactly once —
+/// and converge on the uninterrupted run's state.
+#[test]
+fn journal_append_crash_window_recovers_exactly_once() {
+    let network = net();
+    let reference = reference_fingerprint(&network);
+
+    // Locate the first journal append: run a probe until exactly one
+    // batch is applied; the last two mutating ops are its journal
+    // append and its spool-file removal.
+    let probe_mem = MemFs::new();
+    seed_spool(&probe_mem);
+    let probe = FaultFs::unarmed(probe_mem);
+    let mut svc = Service::open(&network, cfg(), probe.clone()).unwrap();
+    while svc.health().applied < 1 {
+        svc.tick();
+    }
+    let append_idx = probe.mutating_ops() - 2;
+    drop(svc);
+
+    let mem = MemFs::new();
+    seed_spool(&mem);
+    let fs = FaultFs::armed(mem.clone(), append_idx, DiskFault::Lost);
+    let mut dying_cfg = cfg();
+    dying_cfg.max_restarts = 0;
+    let mut svc = Service::open(&network, dying_cfg, fs.clone()).unwrap();
+    let outcome = svc.run_drain(256);
+    assert_eq!(
+        outcome,
+        DrainOutcome::Failed,
+        "the lost append must be fatal"
+    );
+    let h = svc.health();
+    assert_eq!(
+        h.journal_repairs,
+        1,
+        "the failed append must be answered with a repair attempt: {}",
+        h.digest()
+    );
+    // The divergence window is open: memory has the batch...
+    assert_eq!(svc.session().batches(), 1);
+    drop(svc);
+    // ...but the surviving journal does not, and the spool still holds
+    // the batch file.
+    assert!(
+        spool::scan(&mem, Path::new("/spool"))
+            .unwrap()
+            .contains(&"b-000.batch".to_string()),
+        "unacknowledged batch must survive in the spool"
+    );
+
+    let mut svc2 = Service::open(&network, cfg(), mem.clone()).unwrap();
+    assert_eq!(
+        svc2.query().batches,
+        0,
+        "recovered state must not contain the unjournaled batch"
+    );
+    assert_eq!(svc2.run_drain(256), DrainOutcome::Drained);
+    assert_eq!(svc2.state_fingerprint(), reference);
+    assert_eq!(
+        svc2.session().batches() as u64,
+        N_BATCHES,
+        "exactly-once violated"
+    );
+    assert_eq!(svc2.health().duplicates_skipped, 0);
+}
+
+/// Kill between the journal append and the spool acknowledgement: the
+/// restarted service must recognise the leftover spool file by its
+/// journaled ID and skip it instead of applying it twice.
+#[test]
+fn crash_between_journal_append_and_ack_skips_duplicate() {
+    let network = net();
+    let reference = reference_fingerprint(&network);
+
+    let probe_mem = MemFs::new();
+    seed_spool(&probe_mem);
+    let probe = FaultFs::unarmed(probe_mem);
+    let mut svc = Service::open(&network, cfg(), probe.clone()).unwrap();
+    while svc.health().applied < 1 {
+        svc.tick();
+    }
+    let remove_idx = probe.mutating_ops() - 1;
+    drop(svc);
+
+    let mem = MemFs::new();
+    seed_spool(&mem);
+    let fs = FaultFs::armed(mem.clone(), remove_idx, DiskFault::Lost);
+    let mut dying_cfg = cfg();
+    dying_cfg.max_restarts = 0;
+    let mut svc = Service::open(&network, dying_cfg, fs.clone()).unwrap();
+    let _ = svc.run_drain(256);
+    assert!(fs.crashed());
+    drop(svc);
+
+    let mut svc2 = Service::open(&network, cfg(), mem.clone()).unwrap();
+    assert_eq!(svc2.run_drain(256), DrainOutcome::Drained);
+    assert_eq!(
+        svc2.health().duplicates_skipped,
+        1,
+        "the journaled-but-unacknowledged batch must be skipped: {}",
+        svc2.health().digest()
+    );
+    assert_eq!(svc2.state_fingerprint(), reference);
+    assert_eq!(
+        svc2.session().batches() as u64,
+        N_BATCHES,
+        "exactly-once violated"
+    );
+}
+
+/// Shed and poison batches both end up in quarantine — even when the
+/// service is also being killed and restarted around them.
+#[test]
+fn shed_and_poison_batches_survive_kill_into_quarantine() {
+    let network = net();
+    let fs = MemFs::new();
+    fs.create_dir_all(Path::new("/spool")).unwrap();
+    // One malformed (poison) batch among good ones.
+    for i in 0..3u64 {
+        spool::submit(
+            &fs,
+            Path::new("/spool"),
+            &format!("b-{i:03}.batch"),
+            &batch(i),
+        )
+        .unwrap();
+    }
+    fs.write(
+        Path::new("/spool/b-900.garbage"),
+        b"definitely,not\na batch",
+    )
+    .unwrap();
+
+    // Kill the worker once mid-stream, then let it finish.
+    let mut svc = open_or_reboot(
+        &network,
+        cfg(),
+        fs.clone(),
+        PanicAt::once(Edge::Applied),
+        CancelToken::new(),
+    );
+    assert_eq!(svc.run_drain(256), DrainOutcome::Drained);
+    let h = svc.health();
+    assert_eq!(h.poisoned, 1, "{}", h.digest());
+    assert_eq!(h.applied, 3, "{}", h.digest());
+    assert_eq!(svc.status(), ServiceStatus::Degraded);
+    assert_eq!(
+        spool::scan(&fs, Path::new("/quarantine")).unwrap(),
+        vec!["b-900.garbage".to_string()]
+    );
+    let log = String::from_utf8(
+        fs.read(&Path::new("/quarantine").join(spool::QUARANTINE_LOG))
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(log.contains("b-900.garbage\tpoison"), "{log}");
+}
+
+/// The published query snapshot swaps atomically with monotonically
+/// increasing epochs, across recoveries too.
+#[test]
+fn query_epochs_stay_monotonic_across_recovery() {
+    let network = net();
+    let fs = MemFs::new();
+    seed_spool(&fs);
+    let mut svc = open_or_reboot(
+        &network,
+        cfg(),
+        fs.clone(),
+        PanicAt::once(Edge::Published),
+        CancelToken::new(),
+    );
+    let mut last = svc.query().epoch;
+    loop {
+        let t = svc.tick();
+        let now = svc.query().epoch;
+        assert!(now >= last, "epoch went backwards: {now} < {last}");
+        last = now;
+        if t == TickOutcome::Idle {
+            break;
+        }
+    }
+    assert_eq!(svc.query().batches as u64, N_BATCHES);
+}
