@@ -170,7 +170,7 @@ impl MemFs {
     /// by tests to diff and hex-dump post-crash disk state.
     pub fn dump(&self) -> Vec<(PathBuf, Vec<u8>)> {
         self.files
-            .lock()
+            .lock() // lint:allow(L6) reason=MemFs deliberately propagates poison (its map mutates in multi-step operations), opting out of the ride-through Lock::enter policy
             .expect("MemFs mutex poisoned") // lint:allow(L1) reason=a poisoned test-fs mutex means a panic already happened on another thread; propagating it is the only sound option
             .iter()
             .map(|(p, b)| (p.clone(), b.clone()))
@@ -178,7 +178,7 @@ impl MemFs {
     }
 
     fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<PathBuf, Vec<u8>>) -> R) -> R {
-        f(&mut self.files.lock().expect("MemFs mutex poisoned")) // lint:allow(L1) reason=a poisoned test-fs mutex means a panic already happened on another thread; propagating it is the only sound option
+        f(&mut self.files.lock().expect("MemFs mutex poisoned")) // lint:allow(L1,L6) reason=MemFs deliberately propagates poison (a panicked multi-step fs operation leaves the map suspect), opting out of the ride-through Lock::enter policy
     }
 }
 

@@ -153,6 +153,7 @@ impl<S: Sleep> JitterBackoff<S> {
         let factor = 1u32 << attempt.saturating_sub(1).min(16);
         let cap = self.base.saturating_mul(factor).min(self.max);
         let cap_nanos = cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // lint:allow(L6) reason=neat-durability sits below neat-runctl in the crate graph, so it inlines the same ride-through policy Lock::enter provides
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let draw = splitmix64(&mut state);
         Duration::from_nanos(match cap_nanos {

@@ -36,9 +36,9 @@
 //! L5 this crate never consults `available_parallelism()` — resolving
 //! `0 = auto` is the binary's job.
 
-use neat_runctl::{Charge, Control, Interrupt};
+use neat_runctl::{Charge, Control, Interrupt, Lock};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, PoisonError};
+use std::sync::{Barrier, Mutex};
 
 /// Result of a controlled map: the completed prefix plus the interrupt
 /// that stopped it, if any.
@@ -161,7 +161,7 @@ impl Executor {
                         let rec_ctl = ctl.recorder();
                         let out = f(i, &mut ctx, &rec_ctl);
                         let stop = out.is_err();
-                        lock(&slots[w]).push((
+                        slots[w].enter().push((
                             i,
                             Rec {
                                 out,
@@ -189,7 +189,7 @@ impl Executor {
 
                 let mut round: Vec<Option<Rec<T>>> = (start..end).map(|_| None).collect();
                 for slot in &slots {
-                    for (i, rec) in lock(slot).drain(..) {
+                    for (i, rec) in slot.enter().drain(..) {
                         round[i - start] = Some(rec);
                     }
                 }
@@ -320,12 +320,6 @@ fn run_sequential<C, T>(
         items,
         halted: None,
     }
-}
-
-/// Locks a mutex, riding through poisoning (a poisoned lock means a
-/// worker panicked; the panic itself propagates through the scope join).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]

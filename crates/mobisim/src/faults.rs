@@ -367,23 +367,23 @@ impl FaultFs {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, FaultFsState> {
-        self.state.lock().expect("FaultFs mutex poisoned") // lint:allow(L1) reason=a poisoned test-harness mutex means a panic already happened on another thread; propagating it is the only sound option
+    fn state(&self) -> std::sync::MutexGuard<'_, FaultFsState> {
+        self.state.lock().expect("FaultFs mutex poisoned") // lint:allow(L1,L6) reason=fault-injection state is a multi-step simulation, so poison must propagate rather than ride through the sanctioned Lock::enter policy
     }
 
     /// Mutating operations observed so far.
     pub fn mutating_ops(&self) -> u64 {
-        self.lock().ops
+        self.state().ops
     }
 
     /// `true` once a fatal fault fired (the simulated process is dead).
     pub fn crashed(&self) -> bool {
-        self.lock().dead
+        self.state().dead
     }
 
     /// `true` once the armed fault fired, fatal or not.
     pub fn fault_fired(&self) -> bool {
-        self.lock().fired
+        self.state().fired
     }
 
     /// The surviving storage: a handle sharing the same byte map,
@@ -396,7 +396,7 @@ impl FaultFs {
     /// Decides the fate of the current mutating operation and advances
     /// the counter. Returns the fault to apply now, if any.
     fn step(&self) -> io::Result<Option<DiskFault>> {
-        let mut s = self.lock();
+        let mut s = self.state();
         if s.dead {
             return Err(io::Error::other(
                 "simulated crash: process already dead (FaultFs)",
@@ -415,7 +415,7 @@ impl FaultFs {
     }
 
     fn ensure_alive(&self) -> io::Result<()> {
-        if self.lock().dead {
+        if self.state().dead {
             return Err(io::Error::other(
                 "simulated crash: process already dead (FaultFs)",
             ));
@@ -522,7 +522,7 @@ impl Fs for FaultFs {
     }
 
     fn exists(&self, path: &Path) -> bool {
-        !self.lock().dead && self.inner.exists(path)
+        !self.state().dead && self.inner.exists(path)
     }
 }
 

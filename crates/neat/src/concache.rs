@@ -14,9 +14,10 @@
 //! `sp_computations` counter equal to the number of distinct keys, the
 //! same total a sequential run reports.
 
+use neat_runctl::Lock;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard};
 
 /// Multiply-xor hasher for already-compact integer keys.
 ///
@@ -93,21 +94,12 @@ impl<V> ShardedMap<V> {
         // A poisoned shard means another worker panicked; that panic
         // propagates through the executor join, so riding through here
         // never hides a failure.
-        self.shards[idx]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.shards[idx].enter()
     }
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        (0..SHARDS)
-            .map(|i| {
-                self.shards[i]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .len()
-            })
-            .sum()
+        (0..SHARDS).map(|i| self.shards[i].enter().len()).sum()
     }
 
     /// True when no shard holds an entry.
@@ -218,12 +210,7 @@ mod tests {
             m.get_or_insert_with(k << 32 | (k + 1), || k);
         }
         let occupied = (0..SHARDS)
-            .filter(|&i| {
-                !m.shards[i]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .is_empty()
-            })
+            .filter(|&i| !m.shards[i].enter().is_empty())
             .count();
         assert!(occupied > SHARDS / 4, "keys clumped into {occupied} shards");
     }

@@ -1,0 +1,82 @@
+//! Loom models for [`neat_core::concache::ShardedMap`].
+//!
+//! Run with `cargo test -p neat-core --features loom`. The property
+//! under test is the one the distance oracle's `sp_computations`
+//! counter depends on: a value is computed exactly once per key no
+//! matter how many threads race for it.
+#![cfg(feature = "loom")]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use neat_core::concache::ShardedMap;
+
+/// Two threads racing `get_or_insert_with` on the same keys: the
+/// compute closure runs exactly once per key (it executes under the
+/// shard lock), and both threads observe the same value afterwards.
+#[test]
+fn racing_inserts_compute_exactly_once_per_key() {
+    loom::model(|| {
+        let map: Arc<ShardedMap<u64>> = Arc::new(ShardedMap::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let map = Arc::clone(&map);
+                let computes = Arc::clone(&computes);
+                thread::spawn(move || {
+                    for k in 0..4u64 {
+                        let (v, _) = map.get_or_insert_with(k, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            k * 10
+                        });
+                        assert_eq!(v, k * 10, "both racers must see the winner's value");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("racer thread");
+        }
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            4,
+            "each key must be computed exactly once across all threads"
+        );
+        assert_eq!(map.len(), 4);
+        for k in 0..4 {
+            assert_eq!(map.get(k), Some(k * 10));
+        }
+    });
+}
+
+/// A failing fallible compute racing a succeeding one never caches a
+/// partial result: whatever the interleaving, the key ends up holding
+/// the successful computation and nothing else.
+#[test]
+fn failed_compute_never_poisons_the_cache() {
+    loom::model(|| {
+        let map: Arc<ShardedMap<u64>> = Arc::new(ShardedMap::new());
+        let failer = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                // Err inserts nothing; Ok means the other thread won and
+                // the cached value is served without running `compute`.
+                let r = map.try_get_or_insert_with(3, || Err("interrupted"));
+                if let Ok((v, fresh)) = r {
+                    assert_eq!((v, fresh), (30, false), "a hit must be the winner's value");
+                }
+            })
+        };
+        let winner = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                let (v, _) = map.get_or_insert_with(3, || 30);
+                assert_eq!(v, 30);
+            })
+        };
+        failer.join().expect("failing thread");
+        winner.join().expect("winning thread");
+        assert_eq!(map.get(3), Some(30), "only the successful compute may land");
+        assert_eq!(map.len(), 1);
+    });
+}

@@ -254,6 +254,7 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
         if self.status == ServiceStatus::Failed {
             return TickOutcome::Failed;
         }
+        // lint:allow(L8) reason=invariants restored by worker_failed -> recover(), which rebuilds worker state from the durable store before the next tick
         match catch_unwind(AssertUnwindSafe(|| self.tick_inner())) {
             Ok(Ok(outcome)) => outcome,
             Ok(Err(e)) => self.worker_failed(format!("worker error: {e}")),
@@ -517,6 +518,7 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
                 return TickOutcome::Failed;
             }
             self.health.restarts += 1;
+            // lint:allow(L8) reason=invariants restored by retrying recover() under the restart budget; recover rebuilds all worker state from the durable store
             match catch_unwind(AssertUnwindSafe(|| self.recover())) {
                 Ok(Ok(())) => break,
                 Ok(Err(e)) => {

@@ -9,7 +9,8 @@
 //! store under a short critical section.
 
 use neat_core::TrajectoryCluster;
-use std::sync::{Arc, Mutex, PoisonError};
+use neat_runctl::Lock;
+use std::sync::{Arc, Mutex};
 
 /// One immutable, consistent answer to "what are the clusters right now".
 #[derive(Debug, Clone, Default)]
@@ -42,7 +43,7 @@ impl SnapshotCell {
     /// Atomically swaps in `view`, stamping it with the next epoch.
     /// Returns the epoch assigned.
     pub fn publish(&self, mut view: QueryView) -> u64 {
-        let mut cur = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut cur = self.current.enter();
         view.epoch = cur.epoch + 1;
         let epoch = view.epoch;
         *cur = Arc::new(view);
@@ -52,7 +53,7 @@ impl SnapshotCell {
     /// The current view; the returned handle stays consistent even if a
     /// newer epoch is published while it is held.
     pub fn load(&self) -> Arc<QueryView> {
-        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+        Arc::clone(&self.current.enter())
     }
 }
 

@@ -1,0 +1,129 @@
+//! Loom models for [`neat_svc::SnapshotCell`] and
+//! [`neat_svc::AdmissionQueue`].
+//!
+//! Run with `cargo test -p neat-svc --features loom`. The snapshot
+//! models check the double-buffer contract the query path relies on
+//! (held views never mutate, epochs never tear); the queue model checks
+//! FIFO/no-loss when the state machine is shared behind a lock, which
+//! is how a future multi-threaded scanner would have to hold it.
+#![cfg(feature = "loom")]
+
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use neat_svc::{Admission, AdmissionQueue, QueryView, SnapshotCell};
+
+/// Writer publishes views whose `batches` field always equals the epoch
+/// the publish assigns; a racing reader must never observe a view where
+/// the two disagree (that would be a torn snapshot) and must see epochs
+/// move monotonically.
+#[test]
+fn readers_never_observe_torn_or_regressing_snapshots() {
+    loom::model(|| {
+        let cell = Arc::new(SnapshotCell::new());
+        let writer = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                for i in 1..=4u64 {
+                    // Single writer: the i-th publish is assigned epoch i,
+                    // so a consistent view always has batches == epoch.
+                    let epoch = cell.publish(QueryView {
+                        batches: i as usize,
+                        ..QueryView::default()
+                    });
+                    assert_eq!(epoch, i);
+                }
+            })
+        };
+        let reader = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                for _ in 0..8 {
+                    let view = cell.load();
+                    assert_eq!(
+                        view.batches as u64, view.epoch,
+                        "view is torn: fields from different publishes"
+                    );
+                    assert!(view.epoch >= last_epoch, "epochs regressed underfoot");
+                    last_epoch = view.epoch;
+                }
+            })
+        };
+        writer.join().expect("writer thread");
+        reader.join().expect("reader thread");
+        assert_eq!(cell.load().epoch, 4);
+    });
+}
+
+/// A view handed out before a publish keeps its contents after the
+/// publish lands on another thread — a swap replaces the pointer, never
+/// the pointee.
+#[test]
+fn held_view_is_immutable_across_a_concurrent_publish() {
+    loom::model(|| {
+        let cell = Arc::new(SnapshotCell::new());
+        cell.publish(QueryView {
+            batches: 1,
+            flows: 7,
+            ..QueryView::default()
+        });
+        let held = cell.load();
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.publish(QueryView {
+                    batches: 2,
+                    flows: 99,
+                    ..QueryView::default()
+                })
+            })
+        };
+        assert_eq!((held.batches, held.flows), (1, 7), "held view mutated");
+        publisher.join().expect("publisher thread");
+        assert_eq!((held.batches, held.flows), (1, 7), "held view mutated");
+        assert_eq!(cell.load().flows, 99);
+    });
+}
+
+/// Producer and consumer sharing an [`AdmissionQueue`] behind a mutex:
+/// everything accepted is popped exactly once, in offer order.
+#[test]
+fn shared_queue_preserves_fifo_without_loss_or_duplication() {
+    loom::model(|| {
+        const BATCHES: usize = 6;
+        let queue = Arc::new(Mutex::new(AdmissionQueue::new(BATCHES, 0)));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                for i in 0..BATCHES {
+                    let admitted = queue
+                        .lock()
+                        .expect("queue lock")
+                        .offer(&format!("batch-{i}"));
+                    assert_eq!(admitted, Admission::Accepted, "capacity covers every offer");
+                }
+            })
+        };
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                let mut popped = Vec::new();
+                while popped.len() < BATCHES {
+                    match queue.lock().expect("queue lock").pop() {
+                        Some(id) => popped.push(id),
+                        None => thread::yield_now(),
+                    }
+                }
+                popped
+            })
+        };
+        producer.join().expect("producer thread");
+        let popped = consumer.join().expect("consumer thread");
+        let expected: Vec<String> = (0..BATCHES).map(|i| format!("batch-{i}")).collect();
+        assert_eq!(
+            popped, expected,
+            "pops must be FIFO with no loss or duplication"
+        );
+        assert!(queue.lock().expect("queue lock").is_empty());
+    });
+}

@@ -197,6 +197,7 @@ impl Control {
         if let Some(i) = self.interrupt() {
             return Err(i);
         }
+        // lint:allow(L7) reason=ops is a monotonic check counter; each thread only compares against its own increment result, so no cross-thread ordering is needed
         let ops = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
         if self.token.is_cancelled() {
             return Err(self.latch(Interrupt::Cancelled));
@@ -221,6 +222,7 @@ impl Control {
     ///
     /// Same contract as [`Control::check`].
     pub fn check_settled(&self) -> Result<(), Interrupt> {
+        // lint:allow(L7) reason=settled is a monotonic budget counter; the budget bound is approximate across threads by design, so no cross-thread ordering is needed
         let settled = self.settled.fetch_add(1, Ordering::Relaxed) + 1;
         self.check()?;
         if let Some(max) = self.budget.max_settled_nodes {

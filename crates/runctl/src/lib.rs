@@ -34,9 +34,11 @@ pub mod cancel;
 pub mod clock;
 pub mod control;
 pub mod progress;
+pub mod sync;
 
 pub use budget::RunBudget;
 pub use cancel::CancelToken;
 pub use clock::{Clock, OpClock, SystemClock};
 pub use control::{Charge, Control, Interrupt, OverrunMode, DEADLINE_STRIDE};
 pub use progress::{CollectingProgress, NullProgress, Progress};
+pub use sync::Lock;

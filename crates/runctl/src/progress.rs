@@ -1,6 +1,7 @@
 //! Progress observation.
 
 use crate::control::Interrupt;
+use crate::sync::Lock;
 use std::sync::Mutex;
 
 /// Observer for pipeline progress, interrupts and degradations.
@@ -40,17 +41,11 @@ impl CollectingProgress {
 
     /// The recorded events, in order.
     pub fn events(&self) -> Vec<String> {
-        match self.events.lock() {
-            Ok(g) => g.clone(),
-            Err(poisoned) => poisoned.into_inner().clone(),
-        }
+        self.events.enter().clone()
     }
 
     fn push(&self, line: String) {
-        match self.events.lock() {
-            Ok(mut g) => g.push(line),
-            Err(poisoned) => poisoned.into_inner().push(line),
-        }
+        self.events.enter().push(line);
     }
 }
 

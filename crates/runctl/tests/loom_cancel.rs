@@ -1,0 +1,98 @@
+//! Loom models for [`neat_runctl::CancelToken`].
+//!
+//! Run with `cargo test -p neat-runctl --features loom`. Each model
+//! body is replayed across sampled interleavings (see `vendor/loom`);
+//! every assertion must hold on all of them.
+#![cfg(feature = "loom")]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use neat_runctl::CancelToken;
+
+/// An armed fuse grants *exactly* its poll budget even under contention:
+/// `armed_after(2)` with four concurrent polls must hand out precisely
+/// two `false` results, regardless of which threads win the race. The
+/// fuse countdown is a single `fetch_update`, so two threads can never
+/// both consume the same grace poll.
+#[test]
+fn fuse_grants_exactly_n_grace_polls_under_contention() {
+    loom::model(|| {
+        let token = CancelToken::armed_after(2);
+        let grace = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let token = token.clone();
+                let grace = Arc::clone(&grace);
+                thread::spawn(move || {
+                    for _ in 0..2 {
+                        if !token.is_cancelled() {
+                            grace.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("poller thread");
+        }
+        assert_eq!(
+            grace.load(Ordering::SeqCst),
+            2,
+            "4 polls against armed_after(2) must yield exactly 2 grace polls"
+        );
+        assert!(
+            token.is_cancelled(),
+            "fuse must be latched after exhaustion"
+        );
+    });
+}
+
+/// A manual cancel is visible to every clone: once `cancel()` returns
+/// on one thread, no later poll on any clone may report `false`.
+#[test]
+fn manual_cancel_is_visible_to_concurrent_clones() {
+    loom::model(|| {
+        let token = CancelToken::new();
+        let poller = {
+            let token = token.clone();
+            thread::spawn(move || {
+                // Spin until the cancel lands; the canceller runs to
+                // completion, so this terminates on every interleaving.
+                while !token.is_cancelled() {
+                    thread::yield_now();
+                }
+            })
+        };
+        let canceller = {
+            let token = token.clone();
+            thread::spawn(move || token.cancel())
+        };
+        canceller.join().expect("canceller thread");
+        poller.join().expect("poller thread");
+        assert!(token.is_cancelled(), "cancel must latch");
+    });
+}
+
+/// Observer polls racing the owner never consume the owner's fuse: the
+/// fuse models "cancel at the n-th *sequential* check point", so a
+/// speculative worker hammering its observer must not change when the
+/// owner trips.
+#[test]
+fn observer_polls_never_consume_the_fuse() {
+    loom::model(|| {
+        let token = CancelToken::armed_after(2);
+        let observer = token.observer();
+        let watcher = thread::spawn(move || {
+            for _ in 0..16 {
+                // The flag only sets once the *owner* exhausts its fuse,
+                // which happens strictly after this thread joins.
+                assert!(!observer.is_cancelled(), "observer must not trip the fuse");
+            }
+        });
+        watcher.join().expect("observer thread");
+        assert!(!token.is_cancelled()); // grace poll 1 of 2
+        assert!(!token.is_cancelled()); // grace poll 2 of 2
+        assert!(token.is_cancelled(), "fuse intact after observer traffic");
+    });
+}

@@ -4,14 +4,22 @@
 //! sequences like `. unwrap ( )` or `partial_cmp ( … ) . unwrap` without
 //! false positives from comments and string literals. The lexer therefore
 //! produces a flat token stream (identifiers, punctuation, literals,
-//! lifetimes) with line/column positions, and collects comments
-//! separately so `// lint:allow(...)` annotations can be parsed.
+//! lifetimes) with line/column positions *and byte spans*, and collects
+//! comments separately so `// lint:allow(...)` annotations can be parsed.
 //!
 //! It is *not* a full Rust lexer: tokens it does not care to distinguish
 //! (e.g. the many numeric literal forms) are folded into [`TokKind`]
 //! buckets. It does handle the constructs that would otherwise corrupt a
 //! naive scan: nested block comments, string/char/byte/raw-string
-//! literals, and the lifetime-vs-char-literal ambiguity.
+//! literals, raw identifiers (`r#match`), and the
+//! lifetime-vs-char-literal ambiguity.
+//!
+//! Every token and comment carries `[lo, hi)` byte offsets into the
+//! source, and `text == src[lo..hi]` — the round-trip property the
+//! structural layer (per-function bodies, guard regions) relies on and
+//! the lexer proptest enforces. Between consecutive spans there is only
+//! whitespace; a literal containing braces or quotes can therefore never
+//! desync bracket matching.
 
 /// Kind of a lexed token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,17 +34,22 @@ pub enum TokKind {
     Lifetime,
 }
 
-/// One lexed token with its source position (1-based line and column).
+/// One lexed token with its source position (1-based line and column)
+/// and byte span (`src[lo..hi]`).
 #[derive(Debug, Clone)]
 pub struct Token {
     /// The token kind.
     pub kind: TokKind,
-    /// Source text of the token.
+    /// Source text of the token (exactly `src[lo..hi]`).
     pub text: String,
     /// 1-based line.
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Byte offset of the token's first byte.
+    pub lo: usize,
+    /// Byte offset one past the token's last byte.
+    pub hi: usize,
 }
 
 impl Token {
@@ -65,10 +78,14 @@ impl Token {
 /// A comment with the line it starts on (`//` and `/* */` alike).
 #[derive(Debug, Clone)]
 pub struct Comment {
-    /// Comment text including its delimiters.
+    /// Comment text including its delimiters (exactly `src[lo..hi]`).
     pub text: String,
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// Byte offset of the comment's first byte.
+    pub lo: usize,
+    /// Byte offset one past the comment's last byte.
+    pub hi: usize,
 }
 
 struct Cursor<'a> {
@@ -102,11 +119,17 @@ impl<'a> Cursor<'a> {
         if b == b'\n' {
             self.line += 1;
             self.col = 1;
-        } else {
+        } else if !is_utf8_continuation(b) {
+            // Count characters, not bytes, so columns stay meaningful in
+            // lines containing multi-byte text.
             self.col += 1;
         }
         Some(b)
     }
+}
+
+fn is_utf8_continuation(b: u8) -> bool {
+    (b & 0xC0) == 0x80
 }
 
 fn is_ident_start(b: u8) -> bool {
@@ -117,6 +140,17 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
+/// `src[lo..hi]` as an owned string. All consumption loops end on ASCII
+/// delimiters or whole multi-byte sequences, so the span is a valid char
+/// boundary pair; the lossy fallback only guards against pathological
+/// inputs the proptest may invent.
+fn slice(src: &str, lo: usize, hi: usize) -> String {
+    match src.get(lo..hi) {
+        Some(s) => s.to_string(),
+        None => String::from_utf8_lossy(&src.as_bytes()[lo..hi]).into_owned(),
+    }
+}
+
 /// Lexes `src` into a token stream plus the comments encountered.
 pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
     let mut cur = Cursor::new(src);
@@ -124,67 +158,85 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
     let mut comments = Vec::new();
 
     while let Some(b) = cur.peek() {
-        let (line, col) = (cur.line, cur.col);
+        let (line, col, lo) = (cur.line, cur.col, cur.pos);
+        let push = |kind: TokKind, cur: &Cursor<'_>, tokens: &mut Vec<Token>| {
+            tokens.push(Token {
+                kind,
+                text: slice(src, lo, cur.pos),
+                line,
+                col,
+                lo,
+                hi: cur.pos,
+            });
+        };
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 cur.bump();
             }
             b'/' if cur.peek_at(1) == Some(b'/') => {
-                let mut text = String::new();
                 while let Some(c) = cur.peek() {
                     if c == b'\n' {
                         break;
                     }
-                    text.push(cur.bump().unwrap_or(b' ') as char);
+                    cur.bump();
                 }
-                comments.push(Comment { text, line });
+                comments.push(Comment {
+                    text: slice(src, lo, cur.pos),
+                    line,
+                    lo,
+                    hi: cur.pos,
+                });
             }
             b'/' if cur.peek_at(1) == Some(b'*') => {
-                let mut text = String::new();
                 let mut depth = 0usize;
                 loop {
                     match (cur.peek(), cur.peek_at(1)) {
                         (Some(b'/'), Some(b'*')) => {
                             depth += 1;
-                            text.push(cur.bump().unwrap_or(b' ') as char);
-                            text.push(cur.bump().unwrap_or(b' ') as char);
+                            cur.bump();
+                            cur.bump();
                         }
                         (Some(b'*'), Some(b'/')) => {
-                            depth -= 1;
-                            text.push(cur.bump().unwrap_or(b' ') as char);
-                            text.push(cur.bump().unwrap_or(b' ') as char);
+                            depth = depth.saturating_sub(1);
+                            cur.bump();
+                            cur.bump();
                             if depth == 0 {
                                 break;
                             }
                         }
                         (Some(_), _) => {
-                            let c = cur.bump().unwrap_or(b' ');
-                            if c.is_ascii() {
-                                text.push(c as char);
-                            }
+                            cur.bump();
                         }
                         (None, _) => break, // unterminated; tolerate
                     }
                 }
-                comments.push(Comment { text, line });
+                comments.push(Comment {
+                    text: slice(src, lo, cur.pos),
+                    line,
+                    lo,
+                    hi: cur.pos,
+                });
             }
             b'"' => {
-                let text = lex_string(&mut cur);
-                tokens.push(Token {
-                    kind: TokKind::Literal,
-                    text,
-                    line,
-                    col,
-                });
+                cur.bump(); // opening quote
+                lex_string_body(&mut cur);
+                push(TokKind::Literal, &cur, &mut tokens);
+            }
+            // Raw identifier `r#match`: the `#` is part of the name, not
+            // a raw-string opener (`r#"` has a quote after the hash).
+            b'r' if cur.peek_at(1) == Some(b'#')
+                && matches!(cur.peek_at(2), Some(c) if is_ident_start(c)) =>
+            {
+                cur.bump(); // r
+                cur.bump(); // #
+                while matches!(cur.peek(), Some(c) if is_ident_continue(c)) {
+                    cur.bump();
+                }
+                push(TokKind::Ident, &cur, &mut tokens);
             }
             b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
-                let text = lex_raw_or_byte(&mut cur);
-                tokens.push(Token {
-                    kind: TokKind::Literal,
-                    text,
-                    line,
-                    col,
-                });
+                lex_raw_or_byte(&mut cur);
+                push(TokKind::Literal, &cur, &mut tokens);
             }
             b'\'' => {
                 // Lifetime `'a` (identifier after the quote, no closing
@@ -194,64 +246,29 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 let is_lifetime = matches!(next, Some(n) if is_ident_start(n) && n != b'\\')
                     && after != Some(b'\'');
                 if is_lifetime {
-                    let mut text = String::from("'");
                     cur.bump();
-                    while let Some(c) = cur.peek() {
-                        if is_ident_continue(c) {
-                            text.push(cur.bump().unwrap_or(b' ') as char);
-                        } else {
-                            break;
-                        }
+                    while matches!(cur.peek(), Some(c) if is_ident_continue(c)) {
+                        cur.bump();
                     }
-                    tokens.push(Token {
-                        kind: TokKind::Lifetime,
-                        text,
-                        line,
-                        col,
-                    });
+                    push(TokKind::Lifetime, &cur, &mut tokens);
                 } else {
-                    let text = lex_char(&mut cur);
-                    tokens.push(Token {
-                        kind: TokKind::Literal,
-                        text,
-                        line,
-                        col,
-                    });
+                    lex_char(&mut cur);
+                    push(TokKind::Literal, &cur, &mut tokens);
                 }
             }
             _ if is_ident_start(b) => {
-                let mut text = String::new();
-                while let Some(c) = cur.peek() {
-                    if is_ident_continue(c) {
-                        text.push(cur.bump().unwrap_or(b' ') as char);
-                    } else {
-                        break;
-                    }
+                while matches!(cur.peek(), Some(c) if is_ident_continue(c)) {
+                    cur.bump();
                 }
-                tokens.push(Token {
-                    kind: TokKind::Ident,
-                    text,
-                    line,
-                    col,
-                });
+                push(TokKind::Ident, &cur, &mut tokens);
             }
             _ if b.is_ascii_digit() => {
-                let text = lex_number(&mut cur);
-                tokens.push(Token {
-                    kind: TokKind::Literal,
-                    text,
-                    line,
-                    col,
-                });
+                lex_number(&mut cur);
+                push(TokKind::Literal, &cur, &mut tokens);
             }
             _ => {
                 cur.bump();
-                tokens.push(Token {
-                    kind: TokKind::Punct,
-                    text: (b as char).to_string(),
-                    line,
-                    col,
-                });
+                push(TokKind::Punct, &cur, &mut tokens);
             }
         }
     }
@@ -271,147 +288,97 @@ fn starts_raw_or_byte_literal(cur: &Cursor<'_>) -> bool {
     }
 }
 
-fn lex_raw_or_byte(cur: &mut Cursor<'_>) -> String {
-    let mut text = String::new();
+fn lex_raw_or_byte(cur: &mut Cursor<'_>) {
     // Consume the prefix letters.
+    let mut saw_r = false;
     while matches!(cur.peek(), Some(b'r' | b'b')) {
-        text.push(cur.bump().unwrap_or(b' ') as char);
+        saw_r |= cur.peek() == Some(b'r');
+        cur.bump();
     }
     if cur.peek() == Some(b'\'') {
-        // Byte char literal b'x'.
-        text.push_str(&lex_char(cur));
-        return text;
+        // Byte char literal b'x' (possibly b'{' or b'\'').
+        lex_char(cur);
+        return;
     }
     let mut hashes = 0usize;
     while cur.peek() == Some(b'#') {
         hashes += 1;
-        text.push(cur.bump().unwrap_or(b' ') as char);
+        cur.bump();
     }
     if cur.peek() == Some(b'"') {
-        text.push(cur.bump().unwrap_or(b' ') as char);
-        if hashes == 0 && text.starts_with('b') && !text.contains('r') {
+        cur.bump();
+        if hashes == 0 && !saw_r {
             // Plain byte string: escapes apply.
-            text.push_str(&lex_string_body(cur));
-            return text;
+            lex_string_body(cur);
+            return;
         }
         // Raw string: scan for `"` followed by `hashes` hashes.
         loop {
             match cur.bump() {
                 None => break,
                 Some(b'"') => {
-                    text.push('"');
                     let mut seen = 0usize;
                     while seen < hashes && cur.peek() == Some(b'#') {
                         seen += 1;
-                        text.push(cur.bump().unwrap_or(b' ') as char);
+                        cur.bump();
                     }
                     if seen == hashes {
                         break;
                     }
                 }
-                Some(c) => {
-                    if c.is_ascii() {
-                        text.push(c as char);
-                    }
-                }
+                Some(_) => {}
             }
         }
     }
-    text
-}
-
-fn lex_string(cur: &mut Cursor<'_>) -> String {
-    let mut text = String::from("\"");
-    cur.bump(); // opening quote
-    text.push_str(&lex_string_body(cur));
-    text
 }
 
 /// Consumes a string body after the opening quote, including the closing
 /// quote, honouring backslash escapes.
-fn lex_string_body(cur: &mut Cursor<'_>) -> String {
-    let mut text = String::new();
+fn lex_string_body(cur: &mut Cursor<'_>) {
     loop {
         match cur.bump() {
             None => break,
             Some(b'\\') => {
-                text.push('\\');
-                if let Some(e) = cur.bump() {
-                    if e.is_ascii() {
-                        text.push(e as char);
-                    }
-                }
+                cur.bump();
             }
-            Some(b'"') => {
-                text.push('"');
-                break;
-            }
-            Some(c) => {
-                if c.is_ascii() {
-                    text.push(c as char);
-                }
-            }
+            Some(b'"') => break,
+            Some(_) => {}
         }
     }
-    text
 }
 
-fn lex_char(cur: &mut Cursor<'_>) -> String {
-    let mut text = String::from("'");
+fn lex_char(cur: &mut Cursor<'_>) {
     cur.bump(); // opening quote
     loop {
         match cur.bump() {
             None => break,
             Some(b'\\') => {
-                text.push('\\');
-                if let Some(e) = cur.bump() {
-                    if e.is_ascii() {
-                        text.push(e as char);
-                    }
-                }
+                cur.bump();
             }
-            Some(b'\'') => {
-                text.push('\'');
-                break;
-            }
-            Some(c) => {
-                if c.is_ascii() {
-                    text.push(c as char);
-                }
-            }
+            Some(b'\'') => break,
+            Some(_) => {}
         }
     }
-    text
 }
 
-fn lex_number(cur: &mut Cursor<'_>) -> String {
-    let mut text = String::new();
+fn lex_number(cur: &mut Cursor<'_>) {
     // Integer part (also covers 0x/0b/0o since we take alphanumerics).
-    while let Some(c) = cur.peek() {
-        if c.is_ascii_alphanumeric() || c == b'_' {
-            text.push(cur.bump().unwrap_or(b' ') as char);
-        } else {
-            break;
-        }
+    while matches!(cur.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+        cur.bump();
     }
     // Fraction — but not the `..` range operator.
     if cur.peek() == Some(b'.') && matches!(cur.peek_at(1), Some(d) if d.is_ascii_digit()) {
-        text.push(cur.bump().unwrap_or(b' ') as char);
-        while let Some(c) = cur.peek() {
-            if c.is_ascii_alphanumeric() || c == b'_' {
-                text.push(cur.bump().unwrap_or(b' ') as char);
-            } else {
-                break;
-            }
+        cur.bump();
+        while matches!(cur.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            cur.bump();
         }
     } else if cur.peek() == Some(b'.')
         && cur.peek_at(1) != Some(b'.')
         && !matches!(cur.peek_at(1), Some(c) if is_ident_start(c))
     {
         // Trailing-dot float like `1.` (not `1..x` or `1.method()`).
-        text.push(cur.bump().unwrap_or(b' ') as char);
+        cur.bump();
     }
-    text
 }
 
 #[cfg(test)]
@@ -420,6 +387,35 @@ mod tests {
 
     fn texts(src: &str) -> Vec<String> {
         lex(src).0.into_iter().map(|t| t.text).collect()
+    }
+
+    /// Spans are sorted, disjoint, reproduce the text, and the gaps
+    /// between them hold only whitespace — the invariant the proptest
+    /// in `tests/lexer_roundtrip.rs` fuzzes at scale.
+    fn assert_round_trip(src: &str) {
+        let (toks, comments) = lex(src);
+        let mut spans: Vec<(usize, usize, &str)> = toks
+            .iter()
+            .map(|t| (t.lo, t.hi, t.text.as_str()))
+            .chain(comments.iter().map(|c| (c.lo, c.hi, c.text.as_str())))
+            .collect();
+        spans.sort_by_key(|s| s.0);
+        let mut prev = 0usize;
+        for (lo, hi, text) in spans {
+            assert!(lo >= prev, "overlapping spans in {src:?}");
+            assert!(
+                src[prev..lo].chars().all(char::is_whitespace),
+                "non-whitespace gap {:?} in {src:?}",
+                &src[prev..lo]
+            );
+            assert_eq!(&src[lo..hi], text, "span/text mismatch in {src:?}");
+            prev = hi;
+        }
+        assert!(
+            src[prev..].chars().all(char::is_whitespace),
+            "trailing non-whitespace {:?} in {src:?}",
+            &src[prev..]
+        );
     }
 
     #[test]
@@ -441,6 +437,7 @@ mod tests {
         let (toks, comments) = lex("a /* x /* y */ z */ b");
         assert_eq!(toks.len(), 2);
         assert_eq!(comments.len(), 1);
+        assert_round_trip("a /* x /* y */ z */ b");
     }
 
     #[test]
@@ -451,9 +448,44 @@ mod tests {
 
     #[test]
     fn raw_strings() {
-        let (toks, _) = lex(r##"let s = r#"a "quoted" .unwrap()"# ; done"##);
+        let src = r##"let s = r#"a "quoted" .unwrap()"# ; done"##;
+        let (toks, _) = lex(src);
         assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
         assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let (toks, _) = lex("let r#match = r#fn + 1;");
+        assert!(toks.iter().any(|t| t.is_ident("r#match")));
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+        // No stray Literal token from a mis-lexed raw-string prefix.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "r#"));
+        assert_round_trip("let r#match = r#fn + 1;");
+    }
+
+    #[test]
+    fn brace_bearing_literals_do_not_desync_brackets() {
+        // Braces inside char/byte/raw-string literals must not count as
+        // block delimiters: the `{`/`}` Punct tokens must balance.
+        let src = "fn f() { let a = '{'; let b = b'}'; let c = r#\"{ \"x\" }\"#; }";
+        let (toks, _) = lex(src);
+        let opens = toks.iter().filter(|t| t.is_punct('{')).count();
+        let closes = toks.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!((opens, closes), (1, 1), "{toks:?}");
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn non_ascii_text_survives() {
+        let src = "let größe = \"déjà\"; // ünïcode";
+        let (toks, comments) = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("größe")));
+        assert!(comments[0].text.contains("ünïcode"));
+        assert_round_trip(src);
     }
 
     #[test]
@@ -486,5 +518,7 @@ mod tests {
         let (toks, _) = lex("ab\n  cd");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[0].lo, toks[0].hi), (0, 2));
+        assert_eq!((toks[1].lo, toks[1].hi), (5, 7));
     }
 }

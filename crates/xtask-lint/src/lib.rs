@@ -2,15 +2,21 @@
 //!
 //! The NEAT pipeline's headline property is determinism — Phase 3 is a
 //! *deterministic* DBSCAN adaptation over flow clusters — and the repo's
-//! robustness story (PR 1) hinges on library code not panicking. Both
-//! invariants are invisible to `rustc` and only partially visible to
-//! clippy, so this crate mechanizes them as five token-level rules:
+//! robustness story (PR 1) hinges on library code not panicking. Since
+//! PR 5 the guarantees also include bit-identical parallel output and
+//! exactly-once crash recovery, which rest on lock/atomic/unwind
+//! conventions `rustc` cannot check. This crate mechanizes all of them:
 //!
-//! * [`rules`] — the `L1`–`L5` detectors and the `lint:allow` annotation
-//!   grammar,
-//! * [`lexer`] — a dependency-free Rust lexer feeding them,
+//! * [`rules`] — the `L1`–`L5` detectors, the `lint:allow` annotation
+//!   grammar, and the per-file analysis entry points,
+//! * [`concurrency`] — the `L6`–`L9` concurrency/determinism rules,
+//! * [`structure`] — the lightweight structural layer (function bodies,
+//!   guard regions) those rules need,
+//! * [`locks`] — the lock-order manifest (`lint-locks.toml`),
+//! * [`lexer`] — a dependency-free, span-accurate Rust lexer,
 //! * [`baseline`] — count-based debt tracking (`lint-baseline.toml`),
-//! * [`runner`] — workspace walking and report/JSON assembly.
+//! * [`runner`] — workspace walking, manifest coverage, report/JSON
+//!   assembly.
 //!
 //! Run as `cargo xtask lint` (see `.cargo/config.toml`) or
 //! `cargo run -p xtask-lint`.
@@ -18,10 +24,14 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
+pub mod concurrency;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 pub mod runner;
+pub mod structure;
 
 pub use baseline::Baseline;
-pub use rules::{analyze_source, FileAnalysis, Violation, RULES};
-pub use runner::{collect_rs_files, rel_display, run, LintReport};
+pub use locks::{LockEntry, LockManifest};
+pub use rules::{analyze_source, analyze_source_with, FileAnalysis, Violation, RULES};
+pub use runner::{collect_rs_files, rel_display, run, run_with_manifest, LintReport};

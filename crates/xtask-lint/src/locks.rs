@@ -1,0 +1,255 @@
+//! The lock-order manifest (`lint-locks.toml`).
+//!
+//! Every `Mutex`/`RwLock` in a library crate must be declared here with
+//! a total-order *rank*; the L6 pass checks that nested acquisitions
+//! strictly increase in rank, that `leaf` locks never have another lock
+//! acquired under them, and (at the workspace level) that no declared
+//! lock is missing from the manifest and no manifest entry is stale.
+//!
+//! Like the baseline, the format is a strict TOML subset so the tool
+//! stays dependency-free:
+//!
+//! ```toml
+//! [[lock]]
+//! crate = "exec"
+//! name = "Bin"
+//! aliases = ["slots", "slot"]
+//! rank = 10
+//! leaf = true
+//! about = "per-worker result bins; never nested"
+//! ```
+//!
+//! `name` is the field or type identifier the lock is declared with;
+//! `aliases` lists the local binding names acquisition sites use (the
+//! token scanner sees `slots[w].enter()`, not the field path).
+
+use std::collections::BTreeSet;
+
+/// One declared lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEntry {
+    /// Crate directory name under `crates/` (e.g. `"exec"`).
+    pub krate: String,
+    /// Declaration-site identifier (field or type name).
+    pub name: String,
+    /// Additional receiver names acquisition sites use.
+    pub aliases: Vec<String>,
+    /// Position in the global acquisition order; nested acquisitions
+    /// must strictly increase.
+    pub rank: u32,
+    /// A leaf lock: no other lock may be acquired while it is held.
+    pub leaf: bool,
+    /// Human rationale (not interpreted).
+    pub about: String,
+    /// 1-based line of the `[[lock]]` header in the manifest file
+    /// (0 for programmatically built entries).
+    pub line: usize,
+}
+
+impl LockEntry {
+    /// `true` when `receiver` refers to this lock in `krate`.
+    pub fn matches(&self, krate: &str, receiver: &str) -> bool {
+        self.krate == krate && (self.name == receiver || self.aliases.iter().any(|a| a == receiver))
+    }
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockManifest {
+    /// Declared locks in file order.
+    pub entries: Vec<LockEntry>,
+}
+
+impl LockManifest {
+    /// `true` when no locks are declared (rule L6's manifest-dependent
+    /// checks are skipped; file-local checks still run).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry `receiver` resolves to inside `krate`, if any.
+    pub fn resolve(&self, krate: &str, receiver: &str) -> Option<&LockEntry> {
+        self.entries.iter().find(|e| e.matches(krate, receiver))
+    }
+
+    /// Parses the TOML-subset manifest format. Returns `Err` with a
+    /// line-numbered message on anything outside the subset.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        #[derive(Default)]
+        struct Partial {
+            krate: Option<String>,
+            name: Option<String>,
+            aliases: Vec<String>,
+            rank: Option<u32>,
+            leaf: bool,
+            about: String,
+            line: usize,
+        }
+
+        fn flush(cur: &mut Option<Partial>, entries: &mut Vec<LockEntry>) -> Result<(), String> {
+            if let Some(p) = cur.take() {
+                let (Some(krate), Some(name), Some(rank)) = (p.krate, p.name, p.rank) else {
+                    return Err("incomplete [[lock]] entry: need crate, name and rank".into());
+                };
+                entries.push(LockEntry {
+                    krate,
+                    name,
+                    aliases: p.aliases,
+                    rank,
+                    leaf: p.leaf,
+                    about: p.about,
+                    line: p.line,
+                });
+            }
+            Ok(())
+        }
+
+        let mut entries = Vec::new();
+        let mut cur: Option<Partial> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[lock]]" {
+                flush(&mut cur, &mut entries).map_err(|e| format!("line {lineno}: {e}"))?;
+                cur = Some(Partial {
+                    line: lineno,
+                    ..Partial::default()
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let Some(entry) = cur.as_mut() else {
+                return Err(format!(
+                    "line {lineno}: `{}` outside a [[lock]] table",
+                    key.trim()
+                ));
+            };
+            let value = value.trim();
+            match key.trim() {
+                "crate" => entry.krate = Some(unquote(value, lineno)?),
+                "name" => entry.name = Some(unquote(value, lineno)?),
+                "aliases" => entry.aliases = parse_string_list(value, lineno)?,
+                "rank" => {
+                    entry.rank = Some(
+                        value
+                            .parse::<u32>()
+                            .map_err(|_| format!("line {lineno}: rank must be an integer"))?,
+                    )
+                }
+                "leaf" => {
+                    entry.leaf = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(format!("line {lineno}: leaf must be true or false")),
+                    }
+                }
+                "about" => entry.about = unquote(value, lineno)?,
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        flush(&mut cur, &mut entries).map_err(|e| format!("at end of file: {e}"))?;
+
+        // Duplicate receiver names within a crate would make resolution
+        // ambiguous; reject them outright.
+        let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+        for e in &entries {
+            for name in std::iter::once(&e.name).chain(e.aliases.iter()) {
+                if !seen.insert((e.krate.clone(), name.clone())) {
+                    return Err(format!(
+                        "duplicate lock receiver `{name}` in crate `{}`",
+                        e.krate
+                    ));
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string"))
+}
+
+fn parse_string_list(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected `[\"a\", \"b\"]`"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| unquote(item.trim(), lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[[lock]]
+crate = "exec"
+name = "Bin"
+aliases = ["slots", "slot"]
+rank = 10
+leaf = true
+about = "per-worker result bins"
+
+[[lock]]
+crate = "neat"
+name = "shards"
+rank = 20
+leaf = true
+"#;
+
+    #[test]
+    fn parses_entries_and_resolves_aliases() {
+        let m = LockManifest::parse(SAMPLE).unwrap();
+        assert_eq!(m.entries.len(), 2);
+        assert_eq!(m.resolve("exec", "slot").unwrap().rank, 10);
+        assert_eq!(m.resolve("exec", "Bin").unwrap().rank, 10);
+        assert!(m.resolve("exec", "shards").is_none(), "crate-scoped");
+        assert!(m.resolve("neat", "shards").unwrap().leaf);
+        assert_eq!(m.entries[1].aliases, Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_incomplete_and_garbage() {
+        assert!(LockManifest::parse("[[lock]]\ncrate = \"x\"").is_err());
+        assert!(LockManifest::parse("crate = \"x\"").is_err());
+        assert!(LockManifest::parse("[[lock]]\ncrate = \"x\"\nname = \"n\"\nrank = z").is_err());
+        assert!(
+            LockManifest::parse("[[lock]]\ncrate = \"x\"\nname = \"n\"\nrank = 1\nleaf = yes")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_ambiguous_receivers() {
+        let dup = "[[lock]]\ncrate = \"x\"\nname = \"m\"\nrank = 1\n\
+                   [[lock]]\ncrate = \"x\"\naliases = [\"m\"]\nname = \"n\"\nrank = 2\n";
+        let err = LockManifest::parse(dup).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn empty_manifest_is_fine() {
+        let m = LockManifest::parse("# nothing declared yet\n").unwrap();
+        assert!(m.is_empty());
+    }
+}

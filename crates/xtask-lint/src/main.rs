@@ -11,10 +11,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask_lint::{run, Baseline};
+use xtask_lint::{run_with_manifest, Baseline};
 
 const USAGE: &str = "\
-neat-lint: static analysis for the NEAT workspace (rules L1-L5)
+neat-lint: static analysis for the NEAT workspace (rules L1-L9)
 
 USAGE:
     cargo xtask lint [OPTIONS]
@@ -24,6 +24,7 @@ OPTIONS:
     --format <human|json>   output format (default: human)
     --baseline <PATH>       baseline file (default: <root>/lint-baseline.toml)
     --write-baseline        rewrite the baseline to cover current violations
+    --locks <PATH>          lock-order manifest (default: <root>/lint-locks.toml)
     --root <PATH>           workspace root (default: auto-detected)
     -h, --help              show this help
 ";
@@ -37,6 +38,7 @@ enum Format {
 struct Options {
     format: Format,
     baseline_path: Option<PathBuf>,
+    locks_path: Option<PathBuf>,
     write_baseline: bool,
     root: Option<PathBuf>,
 }
@@ -45,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         format: Format::Human,
         baseline_path: None,
+        locks_path: None,
         write_baseline: false,
         root: None,
     };
@@ -67,6 +70,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--baseline" => {
                 let v = it.next().ok_or("--baseline needs a path")?;
                 opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--locks" => {
+                let v = it.next().ok_or("--locks needs a path")?;
+                opts.locks_path = Some(PathBuf::from(v));
             }
             "--write-baseline" => opts.write_baseline = true,
             "--root" => {
@@ -131,7 +138,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run(&root, &baseline) {
+    let locks_path = opts
+        .locks_path
+        .clone()
+        .unwrap_or_else(|| xtask_lint::runner::default_manifest_path(&root));
+    let manifest = match xtask_lint::runner::load_manifest(&locks_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_with_manifest(&root, &baseline, &manifest) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,6 +1,6 @@
 //! The `neat-lint` rule set.
 //!
-//! Five repo-specific rules, each mechanizing an invariant that the NEAT
+//! Nine repo-specific rules, each mechanizing an invariant that the NEAT
 //! reproduction needs but `rustc`/`clippy` cannot express:
 //!
 //! | rule | invariant |
@@ -10,6 +10,14 @@
 //! | `L3` | no NaN-unsafe comparisons (`partial_cmp(..).unwrap()`, float `==` in comparators) |
 //! | `L4` | no lossy `as` casts of ID-carrying integers |
 //! | `L5` | no I/O, wall-clock or thread-count dependence in algorithm crates |
+//! | `L6` | lock discipline against the `lint-locks.toml` rank manifest |
+//! | `L7` | no bare `Ordering::Relaxed` outside designated counter modules |
+//! | `L8` | every `catch_unwind` site names its invariant-restoration path |
+//! | `L9` | parallel-fold closures stay pure of shared mutation |
+//!
+//! L1–L5 are token-pattern rules defined in this module; L6–L9 live in
+//! [`crate::concurrency`] and use the structural layer
+//! ([`crate::structure`]) on top of the same token stream.
 //!
 //! A violating line can be waived with an annotation comment:
 //!
@@ -20,7 +28,10 @@
 //! The annotation covers its own line and the next line; the reason must
 //! be non-empty. A malformed annotation is itself reported (rule `L0`).
 
+use crate::concurrency::{self, ConcurrencySummary};
 use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::locks::LockManifest;
+use crate::structure::{matching_bracket, matching_paren};
 
 /// A single diagnostic produced by the analyzer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +61,7 @@ impl Violation {
 }
 
 /// All rule identifiers, in report order.
-pub const RULES: [&str; 6] = ["L0", "L1", "L2", "L3", "L4", "L5"];
+pub const RULES: [&str; 10] = ["L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
 
 /// Library crates subject to `L1` (panic-freedom). Binaries under
 /// `src/bin/` are CLI surface and exempt.
@@ -274,28 +285,6 @@ fn skip_attributed_item(tokens: &[Token], hash: usize) -> usize {
     tokens.len()
 }
 
-/// Index of the bracket matching `tokens[open]` (which must be `open_c`).
-fn matching_bracket(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
-    let mut depth = 0i64;
-    for (j, t) in tokens.iter().enumerate().skip(open) {
-        if t.is_punct(open_c) {
-            depth += 1;
-        } else if t.is_punct(close_c) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
-}
-
-/// Index of the `)` matching the `(` at `open`, counting all paren kinds
-/// separately is unnecessary here — calls only nest parens.
-fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
-    matching_bracket(tokens, open, '(', ')')
-}
-
 // ---------------------------------------------------------------------------
 // Analysis entry point
 // ---------------------------------------------------------------------------
@@ -307,13 +296,26 @@ pub struct FileAnalysis {
     pub violations: Vec<Violation>,
     /// Number of violations waived by `lint:allow` annotations.
     pub waived: usize,
+    /// Lock/atomic site index for the runner's workspace-level manifest
+    /// coverage checks (empty outside library crates). `waived` is set
+    /// on declarations covered by a `lint:allow(L6)` annotation.
+    pub concurrency: ConcurrencySummary,
+}
+
+/// Analyzes `src` as if it lived at workspace-relative `path`, with no
+/// lock manifest (L6's manifest-dependent checks are skipped; its
+/// file-local checks — raw `.lock()`, nesting, guard-across-I/O — still
+/// run).
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
+    analyze_source_with(path, src, &LockManifest::default())
 }
 
 /// Analyzes `src` as if it lived at workspace-relative `path`.
 ///
-/// `path` determines which rules apply (library crate → `L1`, algorithm
-/// crate → `L5`, phase module → `L2`; `L3`/`L4` apply everywhere).
-pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
+/// `path` determines which rules apply (library crate → `L1`/`L6`–`L9`,
+/// algorithm crate → `L5`, phase module → `L2`; `L3`/`L4` apply
+/// everywhere).
+pub fn analyze_source_with(path: &str, src: &str, manifest: &LockManifest) -> FileAnalysis {
     let (raw_tokens, comments) = lex(src);
     let annotations = parse_annotations(&comments);
     let tokens = strip_cfg_test(&raw_tokens);
@@ -329,8 +331,14 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
             help: "write `// lint:allow(<RULE>[,<RULE>]) reason=<non-empty why>`".into(),
         });
     }
+    let mut summary = ConcurrencySummary::default();
     if is_library_code(path) {
         rule_l1(path, &tokens, &mut found);
+        let krate = crate_of(path).unwrap_or("");
+        summary = concurrency::rule_l6(path, krate, &tokens, manifest, &mut found);
+        concurrency::rule_l7(path, &tokens, &mut found);
+        concurrency::rule_l8(path, &tokens, &mut found);
+        concurrency::rule_l9(path, &tokens, &mut found);
     }
     if is_phase_module(path) {
         rule_l2(path, &tokens, &mut found);
@@ -342,6 +350,10 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
     }
 
     let mut out = FileAnalysis::default();
+    for d in &mut summary.declared_locks {
+        d.waived = annotations.is_allowed("L6", d.line);
+    }
+    out.concurrency = summary;
     for v in found {
         // L0 cannot be waived: a broken annotation must be fixed.
         if v.rule != "L0" && annotations.is_allowed(v.rule, v.line) {

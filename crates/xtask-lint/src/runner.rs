@@ -9,7 +9,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::Baseline;
-use crate::rules::{analyze_source, Violation, RULES};
+use crate::locks::LockManifest;
+use crate::rules::{analyze_source_with, Violation, RULES};
 
 /// Outcome of a full workspace scan.
 #[derive(Debug, Default)]
@@ -137,17 +138,97 @@ pub fn rel_display(rel: &Path) -> String {
         .join("/")
 }
 
-/// Scans the workspace at `root` and applies `baseline`.
+/// Default manifest location: `<root>/lint-locks.toml`.
+pub fn default_manifest_path(root: &Path) -> PathBuf {
+    root.join("lint-locks.toml")
+}
+
+/// Loads the lock manifest at `path`; a missing file yields an empty
+/// manifest (a parse error does not).
+pub fn load_manifest(path: &Path) -> Result<LockManifest, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => LockManifest::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(_) => Ok(LockManifest::default()),
+    }
+}
+
+/// Scans the workspace at `root` with the manifest at its default
+/// location, and applies `baseline`.
 pub fn run(root: &Path, baseline: &Baseline) -> Result<LintReport, String> {
+    let manifest = load_manifest(&default_manifest_path(root))?;
+    run_with_manifest(root, baseline, &manifest)
+}
+
+/// Scans the workspace at `root` with an explicit lock manifest.
+///
+/// Beyond the per-file rules this performs the two workspace-level L6
+/// checks: every un-waived `Mutex`/`RwLock` declared in a library crate
+/// must have a manifest entry, and every manifest entry must correspond
+/// to a declared or acquired lock (no stale entries).
+pub fn run_with_manifest(
+    root: &Path,
+    baseline: &Baseline,
+    manifest: &LockManifest,
+) -> Result<LintReport, String> {
     let files = collect_rs_files(root)?;
     let mut report = LintReport::default();
+    // (crate, file, decl) for coverage; (crate, receiver/decl names) for
+    // staleness.
+    let mut decls: Vec<(String, String, crate::concurrency::LockDecl)> = Vec::new();
+    let mut used: std::collections::BTreeSet<(String, String)> = std::collections::BTreeSet::new();
     for rel in &files {
         let display = rel_display(rel);
         let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {display}: {e}"))?;
-        let analysis = analyze_source(&display, &src);
+        let analysis = analyze_source_with(&display, &src, manifest);
         report.waived += analysis.waived;
         report.violations.extend(analysis.violations);
         report.files_scanned += 1;
+        if let Some(krate) = display
+            .strip_prefix("crates/")
+            .and_then(|p| p.split('/').next())
+        {
+            for d in analysis.concurrency.declared_locks {
+                used.insert((krate.to_string(), d.name.clone()));
+                decls.push((krate.to_string(), display.clone(), d));
+            }
+            for r in analysis.concurrency.receivers {
+                used.insert((krate.to_string(), r));
+            }
+        }
+    }
+    // Coverage: every declared lock needs a manifest entry.
+    for (krate, file, d) in &decls {
+        if !d.waived && manifest.resolve(krate, &d.name).is_none() {
+            report.violations.push(Violation {
+                rule: "L6",
+                file: file.clone(),
+                line: d.line,
+                col: d.col,
+                message: format!("Mutex/RwLock `{}` has no entry in lint-locks.toml", d.name),
+                help: "declare it with a rank (and `leaf`/`aliases` as appropriate), or \
+                       annotate the declaration with `// lint:allow(L6) reason=<policy>`"
+                    .into(),
+            });
+        }
+    }
+    // Staleness: every manifest entry must match something real.
+    for e in &manifest.entries {
+        let hit = std::iter::once(&e.name)
+            .chain(e.aliases.iter())
+            .any(|n| used.contains(&(e.krate.clone(), n.clone())));
+        if !hit {
+            report.violations.push(Violation {
+                rule: "L6",
+                file: "lint-locks.toml".into(),
+                line: e.line as u32,
+                col: 1,
+                message: format!(
+                    "stale manifest entry `{}/{}`: no such lock is declared or acquired",
+                    e.krate, e.name
+                ),
+                help: "remove the entry, or fix its crate/name/aliases".into(),
+            });
+        }
     }
     report
         .violations

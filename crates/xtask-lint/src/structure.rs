@@ -1,0 +1,272 @@
+//! Lightweight structural layer over the flat token stream.
+//!
+//! The concurrency rules (L6–L9) need more than token patterns: they
+//! reason about *regions* — "from this lock acquisition to the end of
+//! its guard's scope" — and about which function a site lives in. This
+//! module recovers just enough structure from the lexer's token stream
+//! to support that: per-function body ranges, bracket matching, and
+//! statement/block extent helpers. It deliberately stops short of a
+//! parse tree: brace matching over a literal-safe token stream (the
+//! lexer hides braces inside strings/chars) is sufficient and keeps the
+//! tool dependency-free.
+
+use crate::lexer::{TokKind, Token};
+
+/// A `fn` item's body as a token range: `tokens[open]` is the `{` and
+/// `tokens[close]` the matching `}`.
+#[derive(Debug, Clone)]
+pub struct FnBody {
+    /// The function's name (the identifier after `fn`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's opening `{`.
+    pub open: usize,
+    /// Token index of the body's closing `}`.
+    pub close: usize,
+}
+
+/// Index of the bracket matching `tokens[open]` (which must be `open_c`).
+pub fn matching_bracket(
+    tokens: &[Token],
+    open: usize,
+    open_c: char,
+    close_c: char,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+pub fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    matching_bracket(tokens, open, '(', ')')
+}
+
+/// Discovers every `fn` item body in the stream, including nested fns
+/// and fns inside `impl`/`trait` blocks. Trait method *declarations*
+/// (ending in `;`) have no body and are skipped.
+pub fn fn_bodies(tokens: &[Token]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i].line;
+            // Scan the signature for the body `{` (or a `;` for bodiless
+            // declarations). Parens/brackets in parameter and return
+            // types are skipped via depth counting; `{` at depth 0 is
+            // the body.
+            let mut j = i + 2;
+            let mut depth = 0i64;
+            let mut open = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_bytes().first() {
+                        Some(b'(' | b'[') => depth += 1,
+                        Some(b')' | b']') => depth -= 1,
+                        Some(b'{') if depth == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        Some(b'{') => depth += 1,
+                        Some(b'}') => depth -= 1,
+                        Some(b';') if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                if let Some(close) = matching_bracket(tokens, open, '{', '}') {
+                    out.push(FnBody {
+                        name,
+                        line,
+                        open,
+                        close,
+                    });
+                }
+            }
+            // Continue from just past the name so nested fns are found.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extent of the statement containing token `i`: the index of the `;`
+/// that ends it at the same nesting depth, or of the closing bracket
+/// that ends the enclosing expression, bounded by `limit` (exclusive).
+///
+/// Because nested brackets are skipped as units, a statement like
+/// `for x in guard.drain(..) { … }` extends through the loop body —
+/// exactly the region a temporary guard in the loop header lives for.
+pub fn statement_end(tokens: &[Token], i: usize, limit: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < limit {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(' | b'[' | b'{') => depth += 1,
+                Some(b')' | b']' | b'}') => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                Some(b';') if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// Index of the `}` closing the innermost block that contains token `i`,
+/// scanning within the body range `[start, end]` (typically a fn body's
+/// `{`/`}` pair). Returns `end` when `i` sits directly in the outermost
+/// block.
+pub fn enclosing_block_end(tokens: &[Token], start: usize, end: usize, i: usize) -> usize {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut target: Option<usize> = None;
+    for (j, t) in tokens.iter().enumerate().take(end + 1).skip(start) {
+        if j == i {
+            target = stack.last().copied();
+        }
+        if t.is_punct('{') {
+            stack.push(j);
+        } else if t.is_punct('}') {
+            let open = stack.pop();
+            if j >= i {
+                if let (Some(t_open), Some(popped)) = (target, open) {
+                    if popped == t_open {
+                        return j;
+                    }
+                }
+            }
+        }
+    }
+    end
+}
+
+/// `true` when token `i` lies inside a `use …;` statement — import lists
+/// mention names like `catch_unwind` without being call sites.
+pub fn in_use_statement(tokens: &[Token], i: usize) -> bool {
+    // Walk back to the nearest statement boundary and check for `use`.
+    // A `::{` import-group brace is not a boundary (`use a::{b, c};`);
+    // a block brace is.
+    let mut j = i;
+    while j > 0 {
+        let t = &tokens[j - 1];
+        if t.is_punct(';') || t.is_punct('}') {
+            break;
+        }
+        if t.is_punct('{') {
+            if j >= 2 && tokens[j - 2].is_punct(':') {
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        j -= 1;
+    }
+    tokens.get(j).is_some_and(|t| t.is_ident("use"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).0
+    }
+
+    #[test]
+    fn finds_fn_bodies_including_nested() {
+        let src = "impl S { fn a(&self) -> u32 { fn b() {} 1 } } fn c();";
+        let t = toks(src);
+        let bodies = fn_bodies(&t);
+        let names: Vec<_> = bodies.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"], "decl-only `c` has no body");
+        // `a`'s body strictly contains `b`'s.
+        assert!(bodies[0].open < bodies[1].open && bodies[1].close < bodies[0].close);
+    }
+
+    #[test]
+    fn signature_brackets_do_not_confuse_body_detection() {
+        let src = "fn f(x: [u32; 2], g: impl Fn(u32) -> u32) -> (u32, u32) { (g(x[0]), 1) }";
+        let t = toks(src);
+        let bodies = fn_bodies(&t);
+        assert_eq!(bodies.len(), 1);
+        assert!(t[bodies[0].open].is_punct('{'));
+        assert_eq!(bodies[0].close, t.len() - 1);
+    }
+
+    #[test]
+    fn statement_end_stops_at_semicolon_or_block_close() {
+        let src = "fn f() { let a = g().h(); k() }";
+        let t = toks(src);
+        let a = t.iter().position(|t| t.is_ident("a")).unwrap();
+        let semi = statement_end(&t, a, t.len());
+        assert!(t[semi].is_punct(';'));
+        let k = t.iter().position(|t| t.is_ident("k")).unwrap();
+        let end = statement_end(&t, k, t.len());
+        assert!(t[end].is_punct('}'), "tail expr ends at block close");
+    }
+
+    #[test]
+    fn statement_end_spans_a_for_loop_body() {
+        let src = "fn f() { for x in m.drain(..) { use_it(x); } after(); }";
+        let t = toks(src);
+        let d = t.iter().position(|t| t.is_ident("drain")).unwrap();
+        let end = statement_end(&t, d, t.len());
+        let after = t.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(end > after - 2, "loop-header guard lives through the body");
+        assert!(end < t.len() - 1);
+    }
+
+    #[test]
+    fn enclosing_block_end_finds_innermost() {
+        let src = "fn f() { if c { let x = 1; y(); } z(); }";
+        let t = toks(src);
+        let bodies = fn_bodies(&t);
+        let x = t.iter().position(|t| t.is_ident("x")).unwrap();
+        let end = enclosing_block_end(&t, bodies[0].open, bodies[0].close, x);
+        let z = t.iter().position(|t| t.is_ident("z")).unwrap();
+        assert!(t[end].is_punct('}'));
+        assert!(end < z, "x's block closes before z runs");
+        // A token directly in the fn body maps to the body close.
+        let end_z = enclosing_block_end(&t, bodies[0].open, bodies[0].close, z);
+        assert_eq!(end_z, bodies[0].close);
+    }
+
+    #[test]
+    fn use_statements_are_recognized() {
+        let src = "use std::panic::{catch_unwind, AssertUnwindSafe}; fn f() { catch_unwind(g); }";
+        let t = toks(src);
+        let sites: Vec<usize> = t
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("catch_unwind"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(sites.len(), 2);
+        assert!(in_use_statement(&t, sites[0]));
+        assert!(!in_use_statement(&t, sites[1]));
+    }
+}

@@ -1,0 +1,50 @@
+//! Golden-file test for `--format json`: a scan of a tiny synthetic
+//! workspace must render byte-identically to the checked-in golden
+//! report, so CI consumers can rely on the shape not drifting.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+
+use xtask_lint::{run_with_manifest, Baseline, LockManifest};
+
+/// Builds a throwaway workspace with one library file that trips L7 and
+/// L8 deterministically.
+fn synthetic_workspace() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("neat-lint-golden-{}", std::process::id()));
+    let src_dir = root.join("crates/neat/src");
+    std::fs::create_dir_all(&src_dir).expect("create synthetic workspace");
+    std::fs::write(
+        src_dir.join("fixture.rs"),
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         \n\
+         pub fn tick(ops: &AtomicU64) -> u64 {\n\
+         \x20   ops.fetch_add(1, Ordering::Relaxed)\n\
+         }\n\
+         \n\
+         pub fn swallow(step: fn()) {\n\
+         \x20   let _ = std::panic::catch_unwind(step);\n\
+         }\n",
+    )
+    .expect("write fixture source");
+    root
+}
+
+#[test]
+fn json_report_matches_golden_file() {
+    let root = synthetic_workspace();
+    let report = run_with_manifest(&root, &Baseline::default(), &LockManifest::default())
+        .expect("scan synthetic workspace");
+    std::fs::remove_dir_all(&root).ok();
+
+    let got = report.to_json();
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures/golden_report.json");
+    let want = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+    assert_eq!(
+        got, want,
+        "JSON report shape drifted from the golden file; if the change is \
+         intentional, update tests/lint_fixtures/golden_report.json"
+    );
+}

@@ -1,0 +1,121 @@
+//! Property test: the lexer's byte spans reconstruct the input exactly.
+//!
+//! Every token and comment carries `lo`/`hi` byte offsets with
+//! `text == src[lo..hi]`; the spans are sorted, disjoint, and the gaps
+//! between them are whitespace-only. Holding that for arbitrary
+//! near-Rust soup (including unterminated literals, stray quotes, raw
+//! strings and nested comments) is what lets the structural layer trust
+//! the token stream.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use xtask_lint::lexer::lex;
+
+/// Asserts the span round-trip invariant for `src`. Returns an error
+/// string on the first violated clause so `proptest!` reports the input.
+fn round_trip_error(src: &str) -> Option<String> {
+    let (tokens, comments) = lex(src);
+    let mut spans: Vec<(usize, usize, &str)> = tokens
+        .iter()
+        .map(|t| (t.lo, t.hi, t.text.as_str()))
+        .chain(comments.iter().map(|c| (c.lo, c.hi, c.text.as_str())))
+        .collect();
+    spans.sort_by_key(|s| (s.0, s.1));
+    let mut cursor = 0usize;
+    for (lo, hi, text) in spans {
+        if lo < cursor {
+            return Some(format!("overlapping span at {lo} (cursor {cursor})"));
+        }
+        if hi > src.len() || lo > hi {
+            return Some(format!("span {lo}..{hi} out of bounds (len {})", src.len()));
+        }
+        let gap = &src[cursor..lo];
+        if !gap.chars().all(char::is_whitespace) {
+            return Some(format!("non-whitespace gap {gap:?} before {lo}"));
+        }
+        if &src[lo..hi] != text {
+            return Some(format!(
+                "span text mismatch at {lo}..{hi}: {:?} != {text:?}",
+                &src[lo..hi]
+            ));
+        }
+        cursor = hi;
+    }
+    let tail = &src[cursor..];
+    if !tail.chars().all(char::is_whitespace) {
+        return Some(format!("non-whitespace tail {tail:?}"));
+    }
+    None
+}
+
+fn assert_round_trip(src: &str) {
+    if let Some(err) = round_trip_error(src) {
+        panic!("round-trip failed on {src:?}: {err}");
+    }
+}
+
+#[test]
+fn hard_cases_round_trip() {
+    for src in [
+        "",
+        "fn main() {}",
+        "let s = \"brace { in string }\";",
+        "let c = '{'; let b = b'}'; let e = '\\'';",
+        "let r = r#\"raw { \"quoted\" } body\"#; let r2 = r\"plain\";",
+        "let br = br#\"byte raw\"#;",
+        "let id = r#match; let n = 0x1f_u64;",
+        "/* outer /* nested */ still comment */ fn f() {}",
+        "// line comment with \"quote\n let x = 1;",
+        "let unterminated = \"no close",
+        "let stray = '",
+        "r#\"unterminated raw",
+        "let uni = \"héllo wörld\"; // ünïcödé",
+        "b'x' b'\\'' 'a' '\\\\'",
+        "#![doc = \"inner\"] #[cfg(test)] mod t { }",
+    ] {
+        assert_round_trip(src);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Printable-ASCII soup with the characters that drive the lexer's
+    /// literal/comment state machine over-represented.
+    #[test]
+    fn ascii_soup_round_trips(s in "[ -~\n\t\"'/*#r{}b\\\\]{0,80}") {
+        if let Some(err) = round_trip_error(&s) {
+            prop_assert!(false, "round-trip failed on {s:?}: {err}");
+        }
+    }
+
+    /// Rust-ish fragments assembled from a fixed alphabet of tokens, so
+    /// raw strings, char literals and comments appear in well-formed
+    /// *and* truncated combinations.
+    #[test]
+    fn fragment_soup_round_trips(picks in proptest::collection::vec(0usize..16, 0..24)) {
+        const FRAGMENTS: [&str; 16] = [
+            "fn f() { ",
+            "}",
+            "let s = \"a{b}\"; ",
+            "let c = '{'; ",
+            "b'}' ",
+            "r#\"raw { body }\"# ",
+            "r#match ",
+            "// comment {\n",
+            "/* blk /* nest */ */ ",
+            "\"",
+            "'",
+            "r#\"",
+            "0x2a ",
+            "ident_one ",
+            "#[cfg(test)] ",
+            "\\",
+        ];
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        if let Some(err) = round_trip_error(&src) {
+            prop_assert!(false, "round-trip failed on {src:?}: {err}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! L6 fixture: every lock-discipline check fires here.
+
+pub fn raw_acquire(low: &LockedVec) {
+    low.lock();
+}
+
+pub fn rank_inversion(low: &LockedVec, high: &LockedVec) {
+    let a = high.enter();
+    let b = low.enter();
+    drop((a, b));
+}
+
+pub fn leaf_nesting(tip: &LockedVec, high: &LockedVec) {
+    let t = tip.enter();
+    let h = high.enter();
+    drop((t, h));
+}
+
+pub fn double_acquire(low: &LockedVec) {
+    let a = low.enter();
+    let b = low.enter();
+    drop((a, b));
+}
+
+pub fn io_under_guard(low: &LockedVec, fs: &Disk) {
+    let g = low.enter();
+    fs.write(&g.path, &g.bytes);
+}
+
+pub fn undeclared(rogue: &LockedVec) {
+    let g = rogue.enter();
+    drop(g);
+}

@@ -1,0 +1,23 @@
+//! L6 fixture twin: disciplined acquisitions stay silent.
+
+pub fn ascending(low: &LockedVec, high: &LockedVec) {
+    let a = low.enter();
+    let b = high.enter();
+    drop((a, b));
+}
+
+pub fn statement_scoped(high: &LockedVec, low: &LockedVec) {
+    high.enter().push(1);
+    low.enter().push(2);
+}
+
+pub fn io_after_guard(low: &LockedVec, fs: &Disk) {
+    let bytes = low.enter().snapshot();
+    fs.write(&bytes);
+}
+
+pub fn annotated_local_policy(special: &LockedVec) {
+    // lint:allow(L6) reason=fixture demonstrates a justified local acquisition policy
+    let g = special.lock();
+    drop(g);
+}

@@ -1,0 +1,7 @@
+//! L7 fixture: bare `Ordering::Relaxed` outside a counter module.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(ops: &AtomicU64) -> u64 {
+    ops.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,17 @@
+//! L7 fixture twin: strong orderings, `cmp::Ordering`, and one
+//! justified `Relaxed`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(ops: &AtomicU64) -> u64 {
+    // lint:allow(L7) reason=pure statistics counter feeding no control decision
+    ops.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn observe(ops: &AtomicU64) -> u64 {
+    ops.load(Ordering::Acquire)
+}
+
+pub fn smallest(a: u32, b: u32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Less
+}

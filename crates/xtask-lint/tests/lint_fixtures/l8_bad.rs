@@ -1,0 +1,7 @@
+//! L8 fixture: an unwind boundary with no named restoration path.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn swallow(step: fn()) {
+    let _ = catch_unwind(AssertUnwindSafe(step));
+}

@@ -1,0 +1,8 @@
+//! L8 fixture twin: the boundary names its invariant-restoration path.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn supervised(step: fn()) {
+    // lint:allow(L8) reason=recover() rebuilds all worker state from the durable store before the next tick
+    let _ = catch_unwind(AssertUnwindSafe(step));
+}

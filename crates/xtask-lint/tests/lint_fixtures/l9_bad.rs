@@ -1,0 +1,19 @@
+//! L9 fixture: parallel folds touching shared mutable state.
+
+pub fn counting_fold(exec: &Executor, total: &AtomicU64) {
+    exec.map(8, |i| {
+        total.fetch_add(i, Ordering::SeqCst);
+        i
+    });
+}
+
+pub fn cell_fold(exec: &Executor, cell: &RefCell<u64>, ctl: &Control) {
+    exec.try_map_ctl(4, ctl, || (), |i, _scratch, _ctl| {
+        *cell.borrow_mut() += i;
+        Ok(i)
+    });
+}
+
+pub fn unsafe_fold(exec: &Executor) {
+    exec.map_ctx(2, || (), |i, _scratch| unsafe { wild(i) });
+}

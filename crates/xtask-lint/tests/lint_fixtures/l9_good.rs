@@ -1,0 +1,14 @@
+//! L9 fixture twin: folds stay pure; shared effects go through the
+//! sanctioned APIs (Control::check, ShardedMap compute-under-shard).
+
+pub fn pure_fold(exec: &Executor, memo: &ShardedMap, ctl: &Control) {
+    exec.try_map_ctl(8, ctl, || (), |i, _scratch, c| {
+        c.check()?;
+        let (v, _fresh) = memo.get_or_insert_with(i, || expensive(i));
+        Ok(v)
+    });
+}
+
+pub fn iterator_map_is_not_a_fold(xs: &[u64], total: &AtomicU64) -> u64 {
+    xs.iter().map(|x| total.fetch_add(*x, Ordering::SeqCst)).sum()
+}

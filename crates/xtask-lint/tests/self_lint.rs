@@ -1,0 +1,71 @@
+//! The linter holds itself — and the whole workspace — to its own
+//! standard: a full scan from the repo root with the real manifest and
+//! an *empty* baseline must come back clean. This is the same gate CI
+//! runs, expressed as a test so `cargo test` alone catches regressions.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+
+use xtask_lint::runner::{self, default_manifest_path};
+use xtask_lint::{run_with_manifest, Baseline};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask-lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_scan_is_clean_with_empty_baseline() {
+    let root = workspace_root();
+    let manifest = runner::load_manifest(&default_manifest_path(&root)).expect("manifest parses");
+    assert!(
+        !manifest.is_empty(),
+        "lint-locks.toml must declare the workspace's locks"
+    );
+    let report = run_with_manifest(&root, &Baseline::default(), &manifest).expect("scan runs");
+    assert!(
+        report.fresh.is_empty(),
+        "workspace must lint clean with an empty baseline:\n{}",
+        report
+            .fresh
+            .iter()
+            .map(|v| v.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.baselined, 0, "nothing may hide in the baseline");
+}
+
+#[test]
+fn linter_sources_lint_clean() {
+    let root = workspace_root();
+    let manifest = runner::load_manifest(&default_manifest_path(&root)).expect("manifest parses");
+    let dir = root.join("crates/xtask-lint/src");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("read xtask-lint src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let rel = format!(
+            "crates/xtask-lint/src/{}",
+            path.file_name().unwrap().to_string_lossy()
+        );
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let analysis = xtask_lint::analyze_source_with(&rel, &src, &manifest);
+        assert!(
+            analysis.violations.is_empty(),
+            "{rel} must lint clean: {:?}",
+            analysis.violations
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 8,
+        "expected to self-lint all modules, saw {checked}"
+    );
+}

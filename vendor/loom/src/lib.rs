@@ -1,0 +1,111 @@
+//! Offline stand-in for `loom`.
+//!
+//! The real crate replaces `std::sync`/`std::thread` with instrumented
+//! versions and exhaustively explores every legal interleaving of a
+//! bounded concurrent program under the C11 memory model. This stand-in
+//! keeps the *API* — `loom::model`, `loom::thread::spawn`,
+//! `loom::sync::{Arc, Mutex, atomic}` — so model tests are written
+//! exactly as they would be against real loom, but implements it as a
+//! bounded stress runner over the plain std primitives: the model body
+//! runs [`iterations`] times on real threads, re-sampling the OS
+//! scheduler's interleavings each round.
+//!
+//! That is strictly weaker than loom (it samples interleavings instead
+//! of enumerating them, and observes only SC-consistent executions),
+//! but it is deterministic in *what it asserts*: any invariant the
+//! tests check must hold on every sampled interleaving, and the suite
+//! runs with no registry access. Swapping in the real crate is a
+//! one-line Cargo change away because the surface matches; the Miri CI
+//! job covers the weak-memory/UB angle the stand-in cannot.
+//!
+//! The iteration bound is read from `NEAT_LOOM_ITERS` (default 200) so
+//! CI can pin a small bound while local soak runs crank it up.
+
+/// Re-exports of the std synchronization primitives under the paths
+/// loom models. Code under test written against `loom::sync` therefore
+/// compiles against the real std types here.
+pub mod sync {
+    pub use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Atomic types under loom's path.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Thread spawning under loom's path.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Number of times [`model`] replays its body: `NEAT_LOOM_ITERS` when
+/// set and parseable, 200 otherwise (clamped to at least 1).
+pub fn iterations() -> usize {
+    std::env::var("NEAT_LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(200)
+        .max(1)
+}
+
+/// Runs `body` once per [`iterations`] round. Real loom explores every
+/// interleaving of one logical execution; the stand-in re-executes the
+/// body so each round samples a fresh OS-scheduler interleaving. A
+/// panic in any round (a violated model assertion) fails the test with
+/// the round number attached.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let rounds = iterations();
+    for round in 0..rounds {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&body));
+        if let Err(payload) = result {
+            eprintln!("loom model failed on sampled interleaving {round}/{rounds}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_the_body_the_configured_number_of_times() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = Arc::clone(&runs);
+        super::model(move || {
+            runs2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), super::iterations());
+    }
+
+    #[test]
+    fn model_propagates_assertion_failures() {
+        let failed = std::panic::catch_unwind(|| {
+            super::model(|| panic!("violated invariant"));
+        });
+        assert!(failed.is_err());
+    }
+
+    #[test]
+    fn threads_and_arcs_resolve_through_loom_paths() {
+        super::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    super::thread::spawn(move || v.fetch_add(1, Ordering::SeqCst))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model thread");
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+    }
+}
