@@ -104,6 +104,14 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Shared mutable core of a [`JitterBackoff`]: the generator plus the
+/// cumulative delay it has handed out (for the max-elapsed cap).
+#[derive(Debug)]
+struct BackoffState {
+    seed: u64,
+    scheduled: Duration,
+}
+
 /// Deterministic full-jitter exponential backoff.
 ///
 /// Attempt `n` draws uniformly from `[0, min(max, base * 2^(n-1))]`
@@ -113,13 +121,22 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// Clones share the generator state (and therefore the stream), mirroring
 /// how [`RetryFs`] clones share their counters.
 ///
+/// Growth is optionally bounded with [`JitterBackoff::with_caps`]: a
+/// maximum attempt count and/or a maximum cumulative scheduled delay.
+/// [`JitterBackoff::next_delay_checked`] enforces both and returns
+/// `None` once the budget is spent — the shared give-up signal for
+/// `neat push` retries and the server's `Defer{retry_after_ms}` hints,
+/// which are drawn from this same schedule.
+///
 /// The sleeper is injectable; use [`NoSleep`] in tests to keep the
 /// schedule observable without wall-time.
 #[derive(Debug)]
 pub struct JitterBackoff<S: Sleep = ThreadSleep> {
     base: Duration,
     max: Duration,
-    state: Arc<Mutex<u64>>,
+    max_attempts: Option<u32>,
+    max_elapsed: Option<Duration>,
+    state: Arc<Mutex<BackoffState>>,
     sleeper: S,
 }
 
@@ -142,24 +159,81 @@ impl<S: Sleep> JitterBackoff<S> {
         JitterBackoff {
             base,
             max,
-            state: Arc::new(Mutex::new(seed)),
+            max_attempts: None,
+            max_elapsed: None,
+            state: Arc::new(Mutex::new(BackoffState {
+                seed,
+                scheduled: Duration::ZERO,
+            })),
             sleeper,
         }
     }
 
-    /// Draws the next delay for retry `attempt` (1-based) and advances
-    /// the deterministic stream.
-    pub fn next_delay(&self, attempt: u32) -> Duration {
+    /// Bounds the schedule: at most `max_attempts` retries and/or at
+    /// most `max_elapsed` of cumulative scheduled delay. `None` leaves
+    /// the respective dimension unbounded (the pre-cap behavior).
+    pub fn with_caps(mut self, max_attempts: Option<u32>, max_elapsed: Option<Duration>) -> Self {
+        self.max_attempts = max_attempts;
+        self.max_elapsed = max_elapsed;
+        self
+    }
+
+    /// The envelope-capped draw for `attempt`, advancing the stream.
+    /// Runs under the state lock held by the caller.
+    fn draw(&self, state: &mut BackoffState, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.saturating_sub(1).min(16);
         let cap = self.base.saturating_mul(factor).min(self.max);
         let cap_nanos = cap.as_nanos().min(u128::from(u64::MAX)) as u64;
-        // lint:allow(L6) reason=neat-durability sits below neat-runctl in the crate graph, so it inlines the same ride-through policy Lock::enter provides
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        let draw = splitmix64(&mut state);
+        let draw = splitmix64(&mut state.seed);
         Duration::from_nanos(match cap_nanos {
             0 => 0,
             n => draw % (n + 1),
         })
+    }
+
+    /// Draws the next delay for retry `attempt` (1-based) and advances
+    /// the deterministic stream. Ignores the caps — see
+    /// [`JitterBackoff::next_delay_checked`] for the bounded draw.
+    pub fn next_delay(&self, attempt: u32) -> Duration {
+        // lint:allow(L6) reason=neat-durability sits below neat-runctl in the crate graph, so it inlines the same ride-through policy Lock::enter provides
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let d = self.draw(&mut state, attempt);
+        state.scheduled = state.scheduled.saturating_add(d);
+        d
+    }
+
+    /// The bounded draw: `None` once `attempt` exceeds the attempt cap
+    /// or the cumulative scheduled delay has reached the elapsed cap;
+    /// otherwise the next delay, clamped so the cumulative total never
+    /// overshoots the elapsed cap.
+    pub fn next_delay_checked(&self, attempt: u32) -> Option<Duration> {
+        if self.max_attempts.is_some_and(|n| attempt > n) {
+            return None;
+        }
+        // lint:allow(L6) reason=neat-durability sits below neat-runctl in the crate graph, so it inlines the same ride-through policy Lock::enter provides
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let remaining = match self.max_elapsed {
+            Some(cap) => {
+                if state.scheduled >= cap {
+                    return None;
+                }
+                Some(cap - state.scheduled)
+            }
+            None => None,
+        };
+        let mut d = self.draw(&mut state, attempt);
+        if let Some(r) = remaining {
+            d = d.min(r);
+        }
+        state.scheduled = state.scheduled.saturating_add(d);
+        Some(d)
+    }
+
+    /// Cumulative delay the schedule has handed out so far.
+    pub fn scheduled(&self) -> Duration {
+        // lint:allow(L6) reason=neat-durability sits below neat-runctl in the crate graph, so it inlines the same ride-through policy Lock::enter provides
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.scheduled
     }
 }
 
@@ -168,6 +242,8 @@ impl<S: Sleep + Clone> Clone for JitterBackoff<S> {
         JitterBackoff {
             base: self.base,
             max: self.max,
+            max_attempts: self.max_attempts,
+            max_elapsed: self.max_elapsed,
             state: Arc::clone(&self.state),
             sleeper: self.sleeper.clone(),
         }
@@ -549,6 +625,57 @@ mod tests {
         let second = b.next_delay(1);
         // The clone continued the stream rather than replaying it.
         assert_ne!(first, second);
+    }
+
+    #[test]
+    fn attempt_cap_ends_the_checked_schedule() {
+        let b = JitterBackoff::with_sleeper(
+            9,
+            Duration::from_millis(10),
+            Duration::from_millis(100),
+            NoSleep,
+        )
+        .with_caps(Some(3), None);
+        assert!(b.next_delay_checked(1).is_some());
+        assert!(b.next_delay_checked(2).is_some());
+        assert!(b.next_delay_checked(3).is_some());
+        assert!(b.next_delay_checked(4).is_none(), "attempt cap exhausted");
+    }
+
+    #[test]
+    fn elapsed_cap_clamps_then_ends_the_schedule() {
+        let cap = Duration::from_millis(25);
+        let b = JitterBackoff::with_sleeper(
+            11,
+            Duration::from_millis(20),
+            Duration::from_secs(1),
+            NoSleep,
+        )
+        .with_caps(None, Some(cap));
+        let mut total = Duration::ZERO;
+        let mut attempts = 0u32;
+        while let Some(d) = b.next_delay_checked(attempts + 1) {
+            attempts += 1;
+            total += d;
+            assert!(total <= cap, "cumulative {total:?} overshot cap {cap:?}");
+            assert!(attempts < 10_000, "schedule must terminate");
+        }
+        assert_eq!(b.scheduled(), total);
+        assert!(total <= cap);
+    }
+
+    #[test]
+    fn uncapped_draws_match_the_legacy_schedule() {
+        // next_delay (uncapped) and next_delay_checked with no caps must
+        // produce the same stream for the same seed: one schedule shared
+        // by server Defer hints and client retries.
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(500);
+        let a = JitterBackoff::with_sleeper(77, base, max, NoSleep);
+        let b = JitterBackoff::with_sleeper(77, base, max, NoSleep).with_caps(None, None);
+        for attempt in 1..=8 {
+            assert_eq!(Some(a.next_delay(attempt)), b.next_delay_checked(attempt));
+        }
     }
 
     #[test]

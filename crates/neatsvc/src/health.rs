@@ -52,6 +52,10 @@ pub struct Health {
     ///
     /// [`poison_after`]: crate::config::SvcConfig::poison_after
     pub poisoned: u64,
+    /// Spool files that vanished between the directory scan and the
+    /// open — a racing writer renamed or removed them. Benign; counted
+    /// for observability only.
+    pub spool_races: u64,
     /// Checkpoints written (cadence + final).
     pub checkpoints: u64,
     /// Emergency checkpoints taken because a journal append failed
@@ -78,13 +82,14 @@ impl Health {
             None => String::new(),
         };
         format!(
-            "applied={} accepted={} deferred={} shed={} poisoned={} dup-skipped={} \
+            "applied={} accepted={} deferred={} shed={} poisoned={} spool-races={} dup-skipped={} \
              degraded={} checkpoints={} journal-repairs={} restarts={} backpressure={}{}",
             self.applied,
             self.accepted,
             self.deferred,
             self.shed,
             self.poisoned,
+            self.spool_races,
             self.duplicates_skipped,
             self.degraded_batches,
             self.checkpoints,

@@ -33,16 +33,22 @@
 //! [`IncrementalNeat::ingest_controlled`]: neat_core::incremental::IncrementalNeat::ingest_controlled
 
 pub mod config;
+pub mod frame;
 pub mod health;
 pub mod hooks;
+pub mod net;
 pub mod queue;
 pub mod service;
 pub mod snapshot;
 pub mod spool;
+pub mod tenant;
 
 pub use config::SvcConfig;
+pub use frame::{FrameError, FrameReader, Reply, Request, StatusReport};
 pub use health::{Health, ServiceStatus};
 pub use hooks::{Edge, FaultHook, NoFaults};
+pub use net::{NetConfig, NetServer};
 pub use queue::{Admission, AdmissionQueue, Backpressure};
 pub use service::{DrainOutcome, Service, SvcError, TickOutcome};
 pub use snapshot::{QueryView, SnapshotCell};
+pub use tenant::{BreakerState, CircuitBreaker, TenantConfig, TenantRouter};

@@ -1,0 +1,263 @@
+//! Framed TCP ingestion front end for the multi-tenant service.
+//!
+//! Std-only (threads, blocking sockets, no async): [`NetServer`] owns
+//! a [`TenantRouter`] behind one lock and serves the
+//! [`frame`](crate::frame) protocol — length-prefixed, CRC-checked
+//! request frames answered by typed replies. The listener accepts in a
+//! non-blocking poll loop (so shutdown is observed promptly), spawns
+//! one scoped handler thread per connection, and drives background
+//! tenant ticks while idle.
+//!
+//! # Bulkheads: why a slow client cannot stall a tenant
+//!
+//! Every connection gets its own handler thread, and the router lock is
+//! held only for the duration of one dispatched request — never across
+//! a socket read or write. A slowloris client (drip-feeding a frame
+//! byte by byte) therefore occupies only its own thread: each `read` is
+//! bounded by `read_timeout_ms`, partial progress accumulates in the
+//! connection's [`FrameReader`], and once the per-connection idle
+//! deadline (through the injected [`Clock`]) expires with no complete
+//! frame, the connection is told off and closed. Other tenants' pushes
+//! proceed the whole time. A connection cap (`max_conns`) bounds the
+//! thread pool; connections over the cap are refused with a `Shed`
+//! reply so well-behaved clients back off and retry.
+//!
+//! # Drain
+//!
+//! Cancelling the shared token (SIGTERM in the daemon, or a `Drain`
+//! frame) stops the accept loop; in-flight connections finish their
+//! current request, new pushes answer `Defer`, handlers close at their
+//! next timeout tick, and the caller then takes the router back
+//! ([`NetServer::into_router`]) to flush every tenant to a checkpoint.
+
+use crate::frame::{write_frame, FrameReader, Poll, Reply, Request, DEFAULT_MAX_FRAME};
+use crate::tenant::TenantRouter;
+use neat_durability::fs::Fs;
+use neat_runctl::sync::Lock;
+use neat_runctl::{CancelToken, Clock, Deadline};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Tuning for the network front end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Socket read timeout per `read` call (milliseconds) — the
+    /// granularity at which handlers notice cancellation and idle
+    /// deadlines. Clamped to at least 1.
+    pub read_timeout_ms: u64,
+    /// Per-connection idle deadline (milliseconds): a connection that
+    /// completes no frame for this long is closed (the slowloris
+    /// guard). Measured on the injected [`Clock`].
+    pub idle_timeout_ms: u64,
+    /// Largest accepted frame body, in bytes.
+    pub max_frame_bytes: usize,
+    /// Concurrent-connection cap (the bulkhead width); connections over
+    /// the cap are refused with `Shed`.
+    pub max_conns: usize,
+    /// Accept-loop poll interval while no connection is pending
+    /// (milliseconds); also the cadence of background tenant ticks.
+    pub accept_poll_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            read_timeout_ms: 100,
+            idle_timeout_ms: 30_000,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            max_conns: 64,
+            accept_poll_ms: 25,
+        }
+    }
+}
+
+/// The TCP front end; see the [module docs](self).
+pub struct NetServer<'n, F: Fs + Clone + Send> {
+    router: Mutex<TenantRouter<'n, F>>,
+    cfg: NetConfig,
+    clock: Arc<dyn Clock>,
+    cancel: CancelToken,
+    active: AtomicUsize,
+}
+
+impl<'n, F: Fs + Clone + Send> NetServer<'n, F> {
+    /// A server over `router`. `cancel` must be (an observer of) the
+    /// same token the router's tenants watch, so one cancellation
+    /// drains the listener and every tenant together.
+    pub fn new(
+        router: TenantRouter<'n, F>,
+        cfg: NetConfig,
+        clock: Arc<dyn Clock>,
+        cancel: CancelToken,
+    ) -> Self {
+        NetServer {
+            router: Mutex::new(router),
+            cfg,
+            clock,
+            cancel,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes the router back after [`serve`](Self::serve) returns — the
+    /// shutdown path drains tenants through it. Rides through poison
+    /// like [`Lock::enter`]: a handler panic cannot brick shutdown.
+    pub fn into_router(self) -> TenantRouter<'n, F> {
+        self.router
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Connections currently being served (diagnostics/tests).
+    pub fn active_conns(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Serves `listener` until the cancel token trips: accepts
+    /// connections into scoped handler threads, refuses connections
+    /// over the bulkhead cap with `Shed`, and drives one background
+    /// tenant tick per idle poll so deferred batches drain without
+    /// traffic. Returns after every handler thread has exited.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures (the accept loop tolerates
+    /// `WouldBlock`/`Interrupted`/connection-reset races).
+    pub fn serve(&self, listener: &TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        thread::scope(|s| -> io::Result<()> {
+            loop {
+                if self.cancel.is_cancelled() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if self.active.load(Ordering::SeqCst) >= self.cfg.max_conns {
+                            Self::refuse(stream);
+                            continue;
+                        }
+                        self.active.fetch_add(1, Ordering::SeqCst);
+                        s.spawn(move || {
+                            self.handle_conn(stream);
+                            self.active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        let worked = self.router.enter().tick_all();
+                        if !worked {
+                            thread::sleep(Duration::from_millis(self.cfg.accept_poll_ms));
+                        }
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::Interrupted
+                                | io::ErrorKind::ConnectionAborted
+                                | io::ErrorKind::ConnectionReset
+                        ) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+
+    /// Best-effort `Shed` to a connection refused by the bulkhead cap.
+    fn refuse(mut stream: TcpStream) {
+        let _ = write_frame(&mut stream, &Reply::Shed.encode_body());
+    }
+
+    /// Serves one connection until EOF, idle expiry, drain, or a
+    /// framing error. Never holds the router lock across socket I/O.
+    fn handle_conn(&self, mut stream: TcpStream) {
+        let read_timeout = Duration::from_millis(self.cfg.read_timeout_ms.max(1));
+        if stream.set_read_timeout(Some(read_timeout)).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let mut reader = FrameReader::new(self.cfg.max_frame_bytes);
+        let mut idle = Deadline::after(self.clock.as_ref(), self.cfg.idle_timeout_ms);
+        loop {
+            match reader.poll(&mut stream) {
+                Ok(Poll::Frame(body)) => {
+                    idle = Deadline::after(self.clock.as_ref(), self.cfg.idle_timeout_ms);
+                    let reply = match Request::decode_body(&body) {
+                        Ok(req) => self.dispatch(req),
+                        Err(e) => {
+                            // The frame was intact but the body wasn't a
+                            // request; reject and close — request/reply
+                            // pairing can no longer be trusted.
+                            let reject = Reply::Reject {
+                                reason: format!("malformed request: {e}"),
+                            };
+                            let _ = write_frame(&mut stream, &reject.encode_body());
+                            return;
+                        }
+                    };
+                    if write_frame(&mut stream, &reply.encode_body()).is_err() {
+                        return;
+                    }
+                }
+                Ok(Poll::Pending) => {
+                    // Bytes arrived: the peer is making progress, even
+                    // if slowly. The idle deadline is *frame* progress,
+                    // so a drip-feeding client still trips it.
+                }
+                Ok(Poll::TimedOut) => {
+                    if self.cancel.is_cancelled() {
+                        // Draining and the peer has nothing in flight:
+                        // close so the listener can finish.
+                        return;
+                    }
+                    if idle.expired(self.clock.as_ref()) {
+                        let reject = Reply::Reject {
+                            reason: "idle timeout: no complete frame within deadline".to_string(),
+                        };
+                        let _ = write_frame(&mut stream, &reject.encode_body());
+                        return;
+                    }
+                }
+                Ok(Poll::Eof { .. }) => return,
+                Err(e) => {
+                    // Torn/corrupt framing: the stream is desynchronized.
+                    let reject = Reply::Reject {
+                        reason: format!("framing error: {e}"),
+                    };
+                    let _ = write_frame(&mut stream, &reject.encode_body());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Routes one decoded request through the tenant layer. Each arm
+    /// holds the router lock only while the router call runs — all
+    /// socket I/O happens outside.
+    fn dispatch(&self, req: Request) -> Reply {
+        match req {
+            Request::Push {
+                tenant,
+                batch_id,
+                payload,
+            } => {
+                let reply = self.router.enter().push(&tenant, &batch_id, &payload);
+                reply
+            }
+            Request::Status { tenant } => {
+                let reply = self.router.enter().status(&tenant);
+                reply
+            }
+            Request::Drain => {
+                // Ack with the highest published epoch, then trip the
+                // token: the listener stops accepting and the daemon
+                // flushes every tenant.
+                let epoch = self.router.enter().max_epoch();
+                self.cancel.cancel();
+                Reply::Ack { epoch }
+            }
+        }
+    }
+}

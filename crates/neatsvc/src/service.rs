@@ -47,7 +47,8 @@ use crate::snapshot::{QueryView, SnapshotCell};
 use crate::spool;
 use neat_core::checkpoint::{CheckpointError, CheckpointStore};
 use neat_core::incremental::IncrementalNeat;
-use neat_durability::fs::Fs;
+use neat_durability::fs::{write_atomic, Fs};
+use neat_durability::journal;
 use neat_durability::retry::RetryStats;
 use neat_rnet::RoadNetwork;
 use neat_runctl::{CancelToken, Clock, Control, Interrupt, OverrunMode, RunBudget};
@@ -295,6 +296,13 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
         self.status
     }
 
+    /// Whether `id` is already journaled — the idempotent-replay index
+    /// the network layer consults to acknowledge duplicate sends
+    /// without re-applying.
+    pub fn is_applied(&self, id: &str) -> bool {
+        self.applied_ids.contains(id)
+    }
+
     /// A health report: counters plus, when a probe is installed,
     /// storage retry statistics.
     pub fn health(&self) -> Health {
@@ -358,16 +366,22 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
                 Admission::Accepted => self.health.accepted += 1,
                 Admission::Deferred => self.health.deferred += 1,
                 Admission::Shed => {
-                    spool::quarantine(
+                    if spool::quarantine(
                         &self.fs,
                         &self.cfg.spool_dir,
                         &self.cfg.quarantine_dir,
                         id,
                         "shed: deferral backlog over limit",
                     )
-                    .map_err(|e| SvcError::io("quarantine shed batch", e))?;
-                    self.health.shed += 1;
-                    self.mark_degraded();
+                    .map_err(|e| SvcError::io("quarantine shed batch", e))?
+                    {
+                        self.health.shed += 1;
+                        self.mark_degraded();
+                    } else {
+                        // A racing writer withdrew the file between the
+                        // scan and the move; nothing was shed.
+                        self.health.spool_races += 1;
+                    }
                 }
             }
         }
@@ -387,7 +401,15 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
 
         let batch = match spool::load(&self.fs, &self.cfg.spool_dir, &id) {
             Ok(b) => b,
-            Err(detail) => {
+            Err(spool::LoadError::Vanished) => {
+                // ENOENT between readdir and open: the writer renamed or
+                // removed the file after the scan. Not a batch failure —
+                // drop any attempt count and move on.
+                self.attempts.remove(&id);
+                self.health.spool_races += 1;
+                return Ok(TickOutcome::Worked);
+            }
+            Err(spool::LoadError::Bad(detail)) => {
                 self.batch_failure(&id, &detail);
                 return Ok(TickOutcome::Worked);
             }
@@ -494,10 +516,60 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
         ctl
     }
 
+    /// Path of the durable applied-ID index (see
+    /// [`persist_applied_ids`](Self::persist_applied_ids)).
+    fn applied_ids_path(&self) -> std::path::PathBuf {
+        std::path::Path::new(&self.cfg.state_dir).join("applied.ids")
+    }
+
+    /// Persists the full idempotent-replay index.
+    ///
+    /// The checkpoint journal alone cannot carry it: retention prunes
+    /// journal records older than the retained snapshots, and with them
+    /// the batch IDs a network client may re-send arbitrarily later
+    /// (`kill -9` the daemon, restart, replay your whole outbox). This
+    /// index is rewritten atomically *before* every snapshot — and
+    /// therefore before any pruning — so at every crash point the union
+    /// of journal IDs and this file covers every batch ever applied.
+    /// One journal-framed record per ID, torn tails tolerated.
+    fn persist_applied_ids(&self) -> Result<(), SvcError> {
+        let mut buf = Vec::new();
+        for id in &self.applied_ids {
+            buf.extend_from_slice(&journal::encode_record(id.as_bytes()));
+        }
+        write_atomic(&self.fs, &self.applied_ids_path(), &buf)
+            .map_err(|e| SvcError::Checkpoint(CheckpointError::Durability(e)))
+    }
+
+    /// Reloads the applied-ID index persisted by
+    /// [`persist_applied_ids`](Self::persist_applied_ids); IDs that are
+    /// not valid UTF-8 cannot match any batch and are impossible to
+    /// write, so they are reported as corruption.
+    fn load_applied_ids(&self) -> Result<Vec<String>, SvcError> {
+        let scan = journal::read_journal(&self.fs, &self.applied_ids_path())
+            .map_err(|e| SvcError::Checkpoint(CheckpointError::Durability(e)))?;
+        let mut ids = Vec::with_capacity(scan.records.len());
+        for rec in scan.records {
+            match String::from_utf8(rec) {
+                Ok(id) => ids.push(id),
+                Err(_) => {
+                    return Err(SvcError::Pipeline(
+                        "applied-id index record is not UTF-8".to_string(),
+                    ))
+                }
+            }
+        }
+        Ok(ids)
+    }
+
     /// Writes a snapshot of the full retained state and resets the
     /// cadence counters.
     fn checkpoint_now(&mut self) -> Result<(), SvcError> {
         self.hooks.at(Edge::CheckpointStart);
+        // Index first: `save_checkpoint` prunes the journal, and every
+        // pruned ID must already be durable here (or the batch could be
+        // applied twice on a post-restart duplicate send).
+        self.persist_applied_ids()?;
         self.session.save_checkpoint(&self.store)?;
         self.hooks.at(Edge::CheckpointDone);
         self.health.checkpoints += 1;
@@ -550,12 +622,17 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
             }
             Err(e) => return Err(SvcError::Checkpoint(e)),
         };
+        // The replay index is the union of the journal (everything
+        // since the oldest retained snapshot) and the persisted index
+        // (everything pruned before it) — together, every batch ever
+        // applied, so duplicate sends stay duplicates across restarts.
         self.applied_ids = self
             .store
             .journaled_batch_ids()?
             .into_iter()
             .map(|(_seq, id)| id)
             .collect();
+        self.applied_ids.extend(self.load_applied_ids()?);
         // Resume replays the journal, so memory and disk agree again.
         self.batches_since_ckpt = 0;
         self.ops_since_ckpt = 0;
@@ -597,10 +674,16 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
                 id,
                 &format!("poison after {n} failures: {why}"),
             ) {
-                Ok(()) => {
+                Ok(true) => {
                     self.attempts.remove(id);
                     self.health.poisoned += 1;
                     self.mark_degraded();
+                }
+                Ok(false) => {
+                    // The file vanished before the move — a racing
+                    // writer took it back; nothing poisoned.
+                    self.attempts.remove(id);
+                    self.health.spool_races += 1;
                 }
                 Err(e) => {
                     // Leave the file and the count; the next failure
@@ -721,6 +804,44 @@ mod tests {
     }
 
     #[test]
+    fn replay_index_survives_journal_pruning_across_restarts() {
+        // Regression: checkpoint retention prunes the journal past the
+        // oldest retained snapshot, and `journaled_batch_ids` alone
+        // then forgets early batches — a duplicate send after restart
+        // would re-apply them. The persisted applied-id index must keep
+        // every ID alive forever.
+        let network = net();
+        let fs = MemFs::new();
+        let mut cfg_tight = cfg();
+        cfg_tight.checkpoint_every_batches = 1; // checkpoint (and prune) per batch
+        seed_spool(&fs, 5);
+        let reference = {
+            let mut svc = Service::open(&network, cfg_tight.clone(), fs.clone()).unwrap();
+            assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+            for i in 0..5 {
+                assert!(svc.is_applied(&format!("b-{i:03}.batch")));
+            }
+            svc.state_fingerprint()
+        };
+        // Re-submit every batch to the spool of a restarted service —
+        // the network layer's "replay your whole outbox" pattern. All
+        // must be recognized as duplicates; none may re-apply.
+        let mut svc = Service::open(&network, cfg_tight, fs.clone()).unwrap();
+        for i in 0..5 {
+            assert!(
+                svc.is_applied(&format!("b-{i:03}.batch")),
+                "batch b-{i:03} forgotten after pruning + restart"
+            );
+        }
+        seed_spool(&fs, 5);
+        assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+        assert_eq!(svc.health().applied, 0, "a pruned-id batch re-applied");
+        assert_eq!(svc.health().duplicates_skipped, 5);
+        assert_eq!(svc.state_fingerprint(), reference);
+        assert_eq!(svc.query().batches, 5);
+    }
+
+    #[test]
     fn malformed_batch_is_poisoned_after_two_attempts() {
         let network = net();
         let fs = MemFs::new();
@@ -830,6 +951,69 @@ mod tests {
         assert_eq!(h.restarts, 1);
         assert_eq!(h.poisoned, 0, "applied batch must not be poisoned");
         assert_eq!(svc.state_fingerprint(), reference);
+    }
+
+    /// Injected racing writer: removes one spool file right after the
+    /// admission scan — modelling a producer that renames/withdraws the
+    /// file between the service's `readdir` and `open`.
+    struct StealOnce {
+        fs: MemFs,
+        victim: std::path::PathBuf,
+        left: AtomicU64,
+    }
+
+    impl FaultHook for StealOnce {
+        fn at(&self, edge: Edge) {
+            if edge == Edge::Admit
+                && self
+                    .left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                self.fs.remove_file(&self.victim).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn racing_writer_removal_is_tolerated_not_poisoned() {
+        let network = net();
+        let fs = MemFs::new();
+        seed_spool(&fs, 3);
+        // Partial handoffs and dotfiles sit in the spool the whole time;
+        // they must never be treated as batches.
+        fs.write(Path::new("/spool/b-009.batch.tmp"), b"half-written")
+            .unwrap();
+        fs.write(Path::new("/spool/.lock"), b"editor droppings")
+            .unwrap();
+        let hook = Arc::new(StealOnce {
+            fs: fs.clone(),
+            victim: Path::new("/spool").join("b-000.batch"),
+            left: AtomicU64::new(1),
+        });
+        let mut svc =
+            Service::open_with(&network, cfg(), fs.clone(), hook, None, CancelToken::new())
+                .unwrap();
+        assert_eq!(svc.run_drain(64), DrainOutcome::Drained);
+        let h = svc.health();
+        assert_eq!(h.applied, 2, "the two surviving batches are applied");
+        assert_eq!(h.spool_races, 1, "the vanished file is counted as a race");
+        assert_eq!(h.poisoned, 0, "a race is not poison");
+        assert_eq!(h.restarts, 0, "a race is not a worker failure");
+        assert_eq!(
+            svc.status(),
+            ServiceStatus::Running,
+            "a race does not degrade the service"
+        );
+        assert!(
+            spool::scan(&fs, Path::new("/quarantine"))
+                .unwrap()
+                .is_empty(),
+            "nothing reaches quarantine"
+        );
+        // The partials were left untouched.
+        assert!(fs.exists(Path::new("/spool/b-009.batch.tmp")));
+        assert!(fs.exists(Path::new("/spool/.lock")));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use neat_durability::fs::{is_tmp, write_atomic, Fs};
 use neat_traj::{io as trajio, Dataset};
+use std::fmt;
 use std::io;
 use std::path::Path;
 
@@ -48,35 +49,70 @@ pub fn submit<F: Fs>(fs: &F, dir: &Path, id: &str, batch: &Dataset) -> Result<()
     write_atomic(fs, &dir.join(id), &buf).map_err(|e| format!("submit batch `{id}`: {e}"))
 }
 
+/// Why a spool batch could not be loaded.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file disappeared between the directory scan and the open — a
+    /// racing writer renamed or removed it (or an operator withdrew it).
+    /// Benign: the batch was never really there; skip it.
+    Vanished,
+    /// Unreadable or malformed batch data — the poison path.
+    Bad(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Vanished => write!(f, "batch vanished before load"),
+            LoadError::Bad(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
 /// Loads and parses the spool batch `id`; the dataset is named after
 /// the batch ID so the journal records it.
 ///
 /// # Errors
 ///
-/// `Err(String)` for unreadable or malformed batch files — the caller
-/// treats this as a batch failure (poison path), not an infrastructure
-/// failure.
-pub fn load<F: Fs>(fs: &F, dir: &Path, id: &str) -> Result<Dataset, String> {
-    let bytes = fs
-        .read(&dir.join(id))
-        .map_err(|e| format!("read batch `{id}`: {e}"))?;
-    trajio::read_dataset(id, io::Cursor::new(bytes)).map_err(|e| format!("parse batch `{id}`: {e}"))
+/// [`LoadError::Vanished`] when the file no longer exists (a racing
+/// writer won between `readdir` and `open` — tolerated, not a failure);
+/// [`LoadError::Bad`] for unreadable or malformed batch files — the
+/// caller treats those as a batch failure (poison path), not an
+/// infrastructure failure.
+pub fn load<F: Fs>(fs: &F, dir: &Path, id: &str) -> Result<Dataset, LoadError> {
+    let bytes = match fs.read(&dir.join(id)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(LoadError::Vanished),
+        Err(e) => return Err(LoadError::Bad(format!("read batch `{id}`: {e}"))),
+    };
+    trajio::read_dataset(id, io::Cursor::new(bytes))
+        .map_err(|e| LoadError::Bad(format!("parse batch `{id}`: {e}")))
 }
 
-/// Removes an acknowledged batch file from the spool.
+/// Removes an acknowledged batch file from the spool. A file that is
+/// already gone (`ENOENT`) is success: someone else won the race, and
+/// the goal — the file not being in the spool — holds.
 ///
 /// # Errors
 ///
-/// Propagates filesystem failure; recovery reconciles a leftover file
-/// by its journaled ID, so the caller may simply restart.
+/// Propagates other filesystem failure; recovery reconciles a leftover
+/// file by its journaled ID, so the caller may simply restart.
 pub fn remove<F: Fs>(fs: &F, dir: &Path, id: &str) -> io::Result<()> {
-    fs.remove_file(&dir.join(id))?;
+    match fs.remove_file(&dir.join(id)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    }
     fs.sync_dir(dir)
 }
 
 /// Moves the spool batch `id` into the quarantine directory and appends
 /// a reason line to [`QUARANTINE_LOG`]. Quarantined data is never
 /// deleted — an operator can inspect, fix and resubmit it.
+///
+/// Returns `Ok(false)` when the source file vanished before the move (a
+/// racing writer took it back) — there is nothing to quarantine and no
+/// reason line is written.
 ///
 /// # Errors
 ///
@@ -87,15 +123,20 @@ pub fn quarantine<F: Fs>(
     qdir: &Path,
     id: &str,
     reason: &str,
-) -> io::Result<()> {
+) -> io::Result<bool> {
     fs.create_dir_all(qdir)?;
-    fs.rename(&spool.join(id), &qdir.join(id))?;
+    match fs.rename(&spool.join(id), &qdir.join(id)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    }
     fs.sync_dir(qdir)?;
     fs.sync_dir(spool)?;
     fs.append(
         &qdir.join(QUARANTINE_LOG),
         format!("{id}\t{reason}\n").as_bytes(),
-    )
+    )?;
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -170,5 +211,38 @@ mod tests {
         submit(&fs, &dir, "b.batch", &batch("b")).unwrap();
         remove(&fs, &dir, "a.batch").unwrap();
         assert_eq!(scan(&fs, &dir).unwrap(), vec!["b.batch".to_string()]);
+    }
+
+    #[test]
+    fn load_of_a_vanished_file_is_the_race_not_poison() {
+        let fs = MemFs::new();
+        let dir = PathBuf::from("/spool");
+        fs.create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            load(&fs, &dir, "gone.batch"),
+            Err(LoadError::Vanished)
+        ));
+        fs.write(&dir.join("junk.batch"), b"not a dataset").unwrap();
+        assert!(matches!(
+            load(&fs, &dir, "junk.batch"),
+            Err(LoadError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn remove_tolerates_an_already_gone_file() {
+        let fs = MemFs::new();
+        let dir = PathBuf::from("/spool");
+        fs.create_dir_all(&dir).unwrap();
+        remove(&fs, &dir, "never-there.batch").unwrap();
+    }
+
+    #[test]
+    fn quarantine_of_a_vanished_file_reports_false_and_logs_nothing() {
+        let fs = MemFs::new();
+        let (spool, qdir) = (PathBuf::from("/spool"), PathBuf::from("/quarantine"));
+        fs.create_dir_all(&spool).unwrap();
+        assert!(!quarantine(&fs, &spool, &qdir, "gone.batch", "why").unwrap());
+        assert!(!fs.exists(&qdir.join(QUARANTINE_LOG)));
     }
 }

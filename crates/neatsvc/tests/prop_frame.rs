@@ -1,0 +1,177 @@
+//! Property-based coverage of the network frame codec: arbitrary bodies
+//! and messages must round-trip byte for byte, every single-bit
+//! corruption of a frame must be detected as a structured error (never
+//! silently accepted), and truncation at every byte boundary must
+//! neither panic nor yield a frame.
+
+use neat_svc::frame::{
+    frame, split_frame, unframe, FrameError, Reply, Request, StatusReport, DEFAULT_MAX_FRAME,
+    HEADER_LEN,
+};
+use proptest::prelude::*;
+
+/// Exhaustive (not property-based) single-bit sweep over a fixed frame:
+/// all `8 * len` flips must be rejected. The length prefix, the CRC and
+/// the body are all covered — a flipped length either truncates,
+/// overruns or leaves trailing bytes; a flipped CRC or body fails the
+/// checksum.
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let body = b"tenant=sj batch=b-042 payload \x00\xff\x7f";
+    let encoded = frame(body);
+    for i in 0..encoded.len() {
+        for bit in 0..8u8 {
+            let mut corrupt = encoded.clone();
+            corrupt[i] ^= 1 << bit;
+            let got = unframe(&corrupt, DEFAULT_MAX_FRAME);
+            assert!(
+                got.is_err(),
+                "flip of byte {i} bit {bit} was accepted: {got:?}"
+            );
+        }
+    }
+}
+
+/// Truncation at every byte boundary: `unframe` reports it, and the
+/// incremental `split_frame` reports "no frame yet" — neither panics.
+#[test]
+fn truncation_at_every_byte_never_panics_or_yields_a_frame() {
+    let body = b"torn mid-send";
+    let encoded = frame(body);
+    for cut in 0..encoded.len() {
+        let prefix = &encoded[..cut];
+        assert!(
+            unframe(prefix, DEFAULT_MAX_FRAME).is_err(),
+            "truncation at {cut} produced a frame"
+        );
+        let split = split_frame(prefix, DEFAULT_MAX_FRAME)
+            .unwrap_or_else(|e| panic!("truncation at {cut} errored in split_frame: {e}"));
+        assert!(split.is_none(), "truncation at {cut} yielded a frame");
+    }
+}
+
+/// Builds one of the three request shapes from generated primitives
+/// (the stand-in proptest has no `prop_oneof`, so selection is by
+/// index).
+fn make_request(pick: u8, tenant: String, batch_id: String, payload: Vec<u8>) -> Request {
+    match pick % 3 {
+        0 => Request::Push {
+            tenant,
+            batch_id,
+            payload,
+        },
+        1 => Request::Status { tenant },
+        _ => Request::Drain,
+    }
+}
+
+/// Builds one of the five reply shapes from generated primitives.
+fn make_reply(pick: u8, n: u64, text: String, counters: [u64; 4]) -> Reply {
+    match pick % 5 {
+        0 => Reply::Ack { epoch: n },
+        1 => Reply::Defer { retry_after_ms: n },
+        2 => Reply::Shed,
+        3 => Reply::Reject { reason: text },
+        _ => Reply::Report(StatusReport {
+            tenant: text,
+            status: "running".to_string(),
+            breaker: "half-open".to_string(),
+            breaker_trips: n,
+            accepted: counters[0],
+            deferred: counters[1],
+            shed: counters[2],
+            poisoned: counters[3],
+            applied: counters[0].wrapping_mul(3),
+            batches: counters[0] ^ counters[2],
+            duplicates: counters[1] ^ n,
+            restarts: counters[2].rotate_left(7),
+            last_epoch: n.wrapping_add(counters[3]),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_body_round_trips(body in proptest::collection::vec(0u8..=255, 0..2048)) {
+        let encoded = frame(&body);
+        prop_assert_eq!(encoded.len(), HEADER_LEN + body.len());
+        prop_assert_eq!(unframe(&encoded, DEFAULT_MAX_FRAME).unwrap(), body);
+    }
+
+    #[test]
+    fn any_single_bit_flip_on_any_body_is_detected(
+        body in proptest::collection::vec(0u8..=255, 0..512),
+        offset in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut encoded = frame(&body);
+        let i = offset % encoded.len();
+        encoded[i] ^= 1 << bit;
+        prop_assert!(unframe(&encoded, DEFAULT_MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn any_truncation_is_rejected_without_panic(
+        body in proptest::collection::vec(0u8..=255, 0..512),
+        cut in 0usize..1_000_000,
+    ) {
+        let encoded = frame(&body);
+        let prefix = &encoded[..cut % encoded.len()];
+        prop_assert!(unframe(prefix, DEFAULT_MAX_FRAME).is_err());
+        prop_assert!(split_frame(prefix, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire(
+        pick in 0u8..=255,
+        tenant in "[a-zA-Z0-9._-]{1,40}",
+        batch_id in "[a-zA-Z0-9._-]{1,40}",
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let req = make_request(pick, tenant, batch_id, payload);
+        let framed = req.encode();
+        let body = unframe(&framed, DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(Request::decode_body(&body).unwrap(), req);
+    }
+
+    #[test]
+    fn replies_round_trip_through_the_wire(
+        pick in 0u8..=255,
+        n in 0u64..=u64::MAX,
+        text in "[a-zA-Z0-9 ._:-]{0,120}",
+        a in 0u64..=u64::MAX,
+        b in 0u64..=u64::MAX,
+        c in 0u64..=u64::MAX,
+        d in 0u64..=u64::MAX,
+    ) {
+        let reply = make_reply(pick, n, text, [a, b, c, d]);
+        let framed = reply.encode();
+        let body = unframe(&framed, DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(Reply::decode_body(&body).unwrap(), reply);
+    }
+
+    #[test]
+    fn a_reply_body_never_decodes_as_a_request(
+        pick in 0u8..=255,
+        n in 0u64..=u64::MAX,
+        text in "[a-zA-Z0-9 ._:-]{0,120}",
+    ) {
+        // Kind ranges are disjoint (requests low, replies high), so a
+        // desynchronized peer cannot mistake one for the other.
+        let body = make_reply(pick, n, text, [n, n, n, n]).encode_body();
+        prop_assert!(matches!(
+            Request::decode_body(&body),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_bodies_never_panic_the_decoders(
+        body in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = Request::decode_body(&body);
+        let _ = Reply::decode_body(&body);
+    }
+}

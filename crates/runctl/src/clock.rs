@@ -84,6 +84,41 @@ impl Clock for OpClock {
     }
 }
 
+/// A fixed point in a [`Clock`]'s timeline, for idle/read deadlines.
+///
+/// Captures `clock.now_millis() + budget` at construction; `expired`
+/// and `remaining_ms` consult the same injected clock, so deadline
+/// behaviour is deterministic under [`OpClock`] — a slowloris test can
+/// arm a deadline and know exactly which observation trips it.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget_ms` after the clock's current time.
+    pub fn after(clock: &dyn Clock, budget_ms: u64) -> Self {
+        Deadline {
+            at_ms: clock.now_millis().saturating_add(budget_ms),
+        }
+    }
+
+    /// A deadline at the absolute clock time `at_ms`.
+    pub fn at(at_ms: u64) -> Self {
+        Deadline { at_ms }
+    }
+
+    /// Whether the clock has reached the deadline.
+    pub fn expired(&self, clock: &dyn Clock) -> bool {
+        clock.now_millis() >= self.at_ms
+    }
+
+    /// Milliseconds left before expiry (0 once expired).
+    pub fn remaining_ms(&self, clock: &dyn Clock) -> u64 {
+        self.at_ms.saturating_sub(clock.now_millis())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +130,16 @@ mod tests {
         assert_eq!(c.now_millis(), 10);
         assert_eq!(c.now_millis(), 20);
         assert_eq!(c.observations(), 3);
+    }
+
+    #[test]
+    fn deadline_expiry_is_deterministic_under_op_clock() {
+        let c = OpClock::new(10);
+        let d = Deadline::after(&c, 25); // armed at t=0 → expires at 25
+        assert!(!d.expired(&c)); // t=10
+        assert_eq!(d.remaining_ms(&c), 5); // t=20
+        assert!(d.expired(&c)); // t=30
+        assert_eq!(d.remaining_ms(&c), 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod sync;
 
 pub use budget::RunBudget;
 pub use cancel::CancelToken;
-pub use clock::{Clock, OpClock, SystemClock};
+pub use clock::{Clock, Deadline, OpClock, SystemClock};
 pub use control::{Charge, Control, Interrupt, OverrunMode, DEADLINE_STRIDE};
 pub use progress::{CollectingProgress, NullProgress, Progress};
 pub use sync::Lock;

@@ -107,7 +107,13 @@ const USAGE: &str = "usage:
                    [--checkpoint-dir DIR] [--checkpoint-every N]
                    [--batches N] [--resume]
   neat stats       --network FILE [--dataset FILE]
+  neat push        --addr HOST:PORT --tenant NAME
+                   (--dataset FILE [--batch-id ID] | --status | --drain)
+                   [--retries N] [--retry-base DUR] [--retry-max DUR]
+                   [--max-elapsed DUR] [--timeout DUR] [--seed N]
   neat serve       --network FILE --spool DIR --state DIR [--quarantine DIR]
+                   [--listen HOST:PORT] [--max-tenants N] [--push-ticks N]
+                   [--max-conns N] [--idle-timeout DUR] [--read-timeout DUR]
                    [--drain] [--max-ticks N] [--poll-ms N] [--seed N]
                    [--queue-cap N] [--shed-backlog N]
                    [--checkpoint-every N] [--checkpoint-ops N]
@@ -133,6 +139,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "simulate" => simulate(&flags).map(|()| ExitCode::SUCCESS),
         "cluster" => cluster(&flags),
         "stats" => stats(&flags).map(|()| ExitCode::SUCCESS),
+        "push" => neat_repro::push::push(&flags),
         "serve" => neat_repro::serve::serve(&flags),
         other => Err(format!("unknown subcommand `{other}`")),
     }

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 /// Flags that take no value.
-pub const BARE_FLAGS: [&str; 5] = ["no-elb", "full-route", "trace", "resume", "drain"];
+pub const BARE_FLAGS: [&str; 6] = ["no-elb", "full-route", "trace", "resume", "drain", "status"];
 
 /// Splits `args` into `--key value` / bare `--key` flags.
 ///

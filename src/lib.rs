@@ -5,6 +5,7 @@
 //! architecture overview and `DESIGN.md` for the per-experiment index.
 
 pub mod cli;
+pub mod push;
 pub mod serve;
 
 pub use neat_core as neat;

@@ -1,0 +1,184 @@
+//! `neat push` — network client for a `neatd --listen` daemon.
+//!
+//! Sends one framed request (a batch push, a status query, or a drain
+//! order) and honors the server's backpressure replies: `Defer` waits
+//! at least the server's `retry_after_ms` hint, `Shed` and connection
+//! failures wait the client's own [`JitterBackoff`] schedule, and the
+//! retry budget is bounded by `--retries` / `--max-elapsed` through
+//! [`JitterBackoff::next_delay_checked`] — the same capped schedule the
+//! server derives its hints from. `Reject` is terminal.
+//!
+//! Exit codes: `0` — acknowledged (or status `running`); `3` — retries
+//! exhausted without an ack, or status `degraded`; `4` — rejected, or
+//! status `failed`; `1` — usage/local error.
+
+use crate::cli::{parse, parse_duration_ms, required};
+use neat_durability::retry::JitterBackoff;
+use neat_svc::frame::{write_frame, FrameReader, Poll, Reply, Request, DEFAULT_MAX_FRAME};
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code when the retry budget ran out before an ack.
+const EXIT_EXHAUSTED: u8 = 3;
+/// Exit code for a terminal rejection.
+const EXIT_REJECTED: u8 = 4;
+
+/// Usage text for `neat push`.
+pub const PUSH_USAGE: &str = "usage:
+  neat push --addr HOST:PORT --tenant NAME --dataset FILE [--batch-id ID]
+  neat push --addr HOST:PORT --tenant NAME --status
+  neat push --addr HOST:PORT --tenant NAME --drain
+  common:  [--retries N] [--retry-base DUR] [--retry-max DUR]
+           [--max-elapsed DUR] [--timeout DUR] [--seed N]
+
+Pushes one trajectory batch to a `neatd --listen` daemon. The batch ID
+is the idempotency key (default: the dataset file name): re-sending an
+already-applied batch is acknowledged without re-applying it. `Defer`
+and `Shed` replies are retried on a capped jittered schedule honoring
+the server's retry hints; `Reject` is terminal.
+
+exit codes: 0 = acked / status running, 3 = retries exhausted / status
+            degraded, 4 = rejected / status failed, 1 = usage error";
+
+/// Runs the push client.
+///
+/// # Errors
+///
+/// `Err(String)` for usage and local-file problems (exit 1 at the
+/// caller); protocol outcomes map onto the exit code instead.
+pub fn push(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let addr = required(flags, "addr")?.to_string();
+    let tenant = required(flags, "tenant")?.to_string();
+    let retries: u32 = parse(flags, "retries", 8)?;
+    let retry_base = match flags.get("retry-base") {
+        Some(spec) => parse_duration_ms(spec)?,
+        None => 50,
+    };
+    let retry_max = match flags.get("retry-max") {
+        Some(spec) => parse_duration_ms(spec)?,
+        None => 2_000,
+    };
+    let max_elapsed = match flags.get("max-elapsed") {
+        Some(spec) => Some(Duration::from_millis(parse_duration_ms(spec)?)),
+        None => None,
+    };
+    let timeout_ms = match flags.get("timeout") {
+        Some(spec) => parse_duration_ms(spec)?,
+        None => 30_000,
+    };
+    let seed: u64 = parse(flags, "seed", 42)?;
+
+    let request = if flags.contains_key("status") {
+        Request::Status { tenant }
+    } else if flags.contains_key("drain") {
+        Request::Drain
+    } else {
+        let dataset = required(flags, "dataset")?;
+        let payload =
+            std::fs::read(dataset).map_err(|e| format!("cannot read dataset `{dataset}`: {e}"))?;
+        let batch_id = match flags.get("batch-id") {
+            Some(id) => id.clone(),
+            None => Path::new(dataset)
+                .file_name()
+                .and_then(|n| n.to_str())
+                .ok_or_else(|| format!("cannot derive a batch id from `{dataset}`"))?
+                .to_string(),
+        };
+        Request::Push {
+            tenant,
+            batch_id,
+            payload,
+        }
+    };
+
+    // The same capped full-jitter schedule the server's Defer hints are
+    // drawn from; next_delay_checked returning None is the give-up
+    // signal for both dimensions of the budget.
+    let backoff = JitterBackoff::with_sleeper(
+        seed,
+        Duration::from_millis(retry_base),
+        Duration::from_millis(retry_max),
+        neat_durability::retry::ThreadSleep,
+    )
+    .with_caps(Some(retries), max_elapsed);
+
+    let mut attempt: u32 = 0;
+    loop {
+        attempt = attempt.saturating_add(1);
+        let hint_ms = match try_once(&addr, &request, timeout_ms) {
+            Ok(Reply::Ack { epoch }) => {
+                println!("ack epoch={epoch}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            Ok(Reply::Report(rep)) => {
+                println!("{}", rep.digest());
+                return Ok(match rep.status.as_str() {
+                    "running" => ExitCode::SUCCESS,
+                    "failed" => ExitCode::from(EXIT_REJECTED),
+                    _ => ExitCode::from(EXIT_EXHAUSTED),
+                });
+            }
+            Ok(Reply::Reject { reason }) => {
+                eprintln!("neat push: rejected: {reason}");
+                return Ok(ExitCode::from(EXIT_REJECTED));
+            }
+            Ok(Reply::Defer { retry_after_ms }) => {
+                eprintln!("neat push: deferred (server hint {retry_after_ms} ms)");
+                retry_after_ms
+            }
+            Ok(Reply::Shed) => {
+                eprintln!("neat push: shed by server backpressure");
+                0
+            }
+            Err(e) => {
+                eprintln!("neat push: attempt {attempt}: {e}");
+                0
+            }
+        };
+        match backoff.next_delay_checked(attempt) {
+            None => {
+                eprintln!("neat push: retry budget exhausted after {attempt} attempt(s)");
+                return Ok(ExitCode::from(EXIT_EXHAUSTED));
+            }
+            Some(delay) => {
+                // Never retry sooner than the server asked us to.
+                std::thread::sleep(delay.max(Duration::from_millis(hint_ms)));
+            }
+        }
+    }
+}
+
+/// One connect → send → reply round trip.
+fn try_once(addr: &str, request: &Request, timeout_ms: u64) -> Result<Reply, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let timeout = Some(Duration::from_millis(timeout_ms.max(1)));
+    stream
+        .set_read_timeout(timeout)
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    stream
+        .set_write_timeout(timeout)
+        .map_err(|e| format!("cannot set write timeout: {e}"))?;
+    write_frame(&mut stream, &request.encode_body()).map_err(|e| format!("send failed: {e}"))?;
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(Poll::Frame(body)) => {
+                return Reply::decode_body(&body).map_err(|e| format!("bad reply: {e}"))
+            }
+            Ok(Poll::Pending) => {}
+            Ok(Poll::TimedOut) => return Err(format!("no reply within {timeout_ms} ms")),
+            Ok(Poll::Eof { mid_frame }) => {
+                return Err(if mid_frame {
+                    "connection closed mid-reply".to_string()
+                } else {
+                    "connection closed before reply".to_string()
+                })
+            }
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+    }
+}

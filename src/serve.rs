@@ -26,11 +26,16 @@ use crate::cli::{parse, parse_duration_ms, required};
 use neat_durability::retry::{JitterBackoff, RetryFs};
 use neat_durability::StdFs;
 use neat_rnet::{io as netio, RoadNetwork};
-use neat_svc::{DrainOutcome, Service, ServiceStatus, SvcConfig, SvcError};
+use neat_runctl::{CancelToken, Clock, SystemClock};
+use neat_svc::{
+    DrainOutcome, NetConfig, NetServer, Service, ServiceStatus, SvcConfig, SvcError, TenantConfig,
+    TenantRouter,
+};
 use neat_traj::sanitize::ErrorPolicy;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,9 +54,19 @@ pub const SERVE_USAGE: &str = "usage:
         [--batch-max-ops N] [--batch-deadline DUR]
         [--on-error fail|skip|repair] [--min-card N] [--epsilon M]
         [--poison-after N] [--max-restarts N]
+  neatd --listen HOST:PORT --network FILE --spool DIR --state DIR
+        [--quarantine DIR] [--max-tenants N] [--push-ticks N]
+        [--max-conns N] [--idle-timeout DUR] [--read-timeout DUR]
+        [--max-frame-bytes N] [... service flags as above]
   (same flags as `neat serve`)
 
-exit codes: 0 = clean, 3 = degraded-but-served, 4 = unrecoverable, 1 = usage error";
+With --listen the daemon serves the framed TCP ingestion protocol
+(`neat push`); the three directories become per-tenant roots. SIGTERM
+or SIGINT (or a Drain frame) triggers a graceful drain: stop
+accepting, flush in-flight batches, checkpoint every tenant, exit.
+
+exit codes: 0 = clean, 3 = degraded-but-served (any tenant),
+            4 = unrecoverable (any tenant), 1 = usage error";
 
 fn load_network(path: &str) -> Result<RoadNetwork, String> {
     let f = File::open(path).map_err(|e| format!("cannot open network `{path}`: {e}"))?;
@@ -100,6 +115,9 @@ fn build_config(flags: &HashMap<String, String>) -> Result<SvcConfig, String> {
 /// `Err(String)` for usage/startup problems (exit 1 at the callers);
 /// service-level failures are reported through the exit code instead.
 pub fn serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    if let Some(addr) = flags.get("listen") {
+        return serve_net(flags, addr);
+    }
     let net = load_network(required(flags, "network")?)?;
     let cfg = build_config(flags)?;
     let drain = flags.contains_key("drain");
@@ -155,6 +173,110 @@ pub fn serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     eprintln!("neatd: stopped; {}", svc.health().digest());
     Ok(exit_for(&svc, failed))
 }
+
+/// Runs the framed TCP ingestion daemon: a [`TenantRouter`] behind a
+/// [`NetServer`], drained gracefully on SIGTERM/SIGINT or a `Drain`
+/// frame. The spool/state/quarantine flags become per-tenant roots.
+fn serve_net(flags: &HashMap<String, String>, addr: &str) -> Result<ExitCode, String> {
+    let net = load_network(required(flags, "network")?)?;
+    let svc_cfg = build_config(flags)?;
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let max_ticks: u64 = parse(flags, "max-ticks", u64::MAX)?;
+
+    let mut tcfg = TenantConfig::new(svc_cfg);
+    tcfg.seed = seed;
+    tcfg.max_tenants = parse(flags, "max-tenants", tcfg.max_tenants)?;
+    tcfg.push_tick_budget = parse(flags, "push-ticks", tcfg.push_tick_budget)?;
+
+    let mut ncfg = NetConfig::default();
+    ncfg.max_conns = parse(flags, "max-conns", ncfg.max_conns)?;
+    ncfg.max_frame_bytes = parse(flags, "max-frame-bytes", ncfg.max_frame_bytes)?;
+    if let Some(spec) = flags.get("idle-timeout") {
+        ncfg.idle_timeout_ms = parse_duration_ms(spec)?;
+    }
+    if let Some(spec) = flags.get("read-timeout") {
+        ncfg.read_timeout_ms = parse_duration_ms(spec)?;
+    }
+
+    let fs = RetryFs::new(StdFs, 3, JitterBackoff::seeded(seed));
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let cancel = CancelToken::new();
+    install_signal_drain(&cancel);
+
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("cannot bind listener `{addr}`: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listener address: {e}"))?;
+    // Machine-parseable: tests bind port 0 and read the real port here.
+    eprintln!("neatd: listening on {local}");
+
+    let router = TenantRouter::new(&net, fs, tcfg, Arc::clone(&clock), cancel.observer());
+    let server = NetServer::new(router, ncfg, clock, cancel.observer());
+    server
+        .serve(&listener)
+        .map_err(|e| format!("listener failed: {e}"))?;
+
+    // Drain: the accept loop has stopped and every handler has exited;
+    // flush what remains and checkpoint each tenant.
+    eprintln!("neatd: draining");
+    let mut router = server.into_router();
+    let mut failed = false;
+    for (tenant, outcome) in router.drain_all(max_ticks) {
+        failed |= outcome == DrainOutcome::Failed;
+        eprintln!("neatd: tenant {tenant}: {outcome:?}");
+    }
+    for tenant in router.tenant_names() {
+        if let Some(h) = router.health_of(&tenant) {
+            eprintln!("neatd: tenant {tenant}: {}", h.digest());
+        }
+    }
+    let status = router.worst_status();
+    eprintln!("neatd: stopped ({})", status.name());
+    if failed || status == ServiceStatus::Failed {
+        return Ok(ExitCode::from(EXIT_UNRECOVERABLE));
+    }
+    Ok(match status {
+        ServiceStatus::Running => ExitCode::SUCCESS,
+        _ => ExitCode::from(EXIT_DEGRADED),
+    })
+}
+
+/// Cancels `cancel` when SIGTERM or SIGINT arrives, turning the signal
+/// into the same graceful-drain path a `Drain` frame takes. The watcher
+/// thread is detached; it dies with the process.
+#[cfg(unix)]
+fn install_signal_drain(cancel: &CancelToken) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: installing a handler that only stores to a static atomic
+    // (async-signal-safe); the previous handler is discarded on purpose.
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+    let observer = cancel.observer();
+    std::thread::spawn(move || loop {
+        if SIGNALED.load(Ordering::SeqCst) {
+            observer.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_signal_drain(_cancel: &CancelToken) {}
 
 /// Maps the final service status onto the exit-code scheme.
 fn exit_for<F: neat_durability::Fs + Clone>(svc: &Service<'_, F>, failed: bool) -> ExitCode {

@@ -1,0 +1,684 @@
+//! Network chaos harness for the framed TCP ingestion front end.
+//!
+//! In-process matrix (real sockets, `MemFs` storage, deterministic
+//! assertions):
+//!
+//! * **protocol abuse** — torn frames, truncated sends, CRC corruption,
+//!   mid-frame connection kills, reply-kind confusion: the server
+//!   answers `Reject` or closes, never crashes, and keeps serving;
+//! * **idempotency** — duplicate sends of an applied batch return `Ack`
+//!   without re-applying;
+//! * **bulkheads** — a slowloris connection on tenant A never delays
+//!   tenant B's acks; the connection cap refuses extras with `Shed`;
+//! * **interleaving** — concurrent pushes across tenants produce
+//!   byte-identical per-tenant states to solo sequential runs;
+//! * **abrupt-stop recovery** — a server dropped without drain loses
+//!   nothing durable: a fresh router over the same storage re-acks
+//!   duplicates and converges to the uninterrupted reference state.
+//!
+//! Process matrix (real `neatd` subprocess, real disk): `kill -9` mid
+//! push storm, restart on the same directories, re-push everything —
+//! every batch acknowledged, applied exactly once, clean drain exit.
+
+use neat_repro::durability::MemFs;
+use neat_repro::neat::NeatConfig;
+use neat_repro::rnet::netgen::chain_network;
+use neat_repro::rnet::{io as netio, Point, RoadLocation, RoadNetwork, SegmentId};
+use neat_repro::runctl::{CancelToken, Clock, SystemClock};
+use neat_repro::svc::frame::{
+    frame, write_frame, FrameReader, Poll, Reply, Request, DEFAULT_MAX_FRAME,
+};
+use neat_repro::svc::{DrainOutcome, NetConfig, NetServer, SvcConfig, TenantConfig, TenantRouter};
+use neat_repro::traj::{io as trajio, Dataset, Trajectory, TrajectoryId};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn net() -> RoadNetwork {
+    chain_network(6, 100.0, 13.9)
+}
+
+fn roots() -> SvcConfig {
+    let mut c = SvcConfig::new("/spool", "/state", "/quarantine");
+    c.neat = NeatConfig {
+        min_card: 1,
+        ..NeatConfig::default()
+    };
+    c.checkpoint_every_batches = 2;
+    c
+}
+
+fn tenant_cfg() -> TenantConfig {
+    TenantConfig::new(roots())
+}
+
+fn payload(seed: u64) -> Vec<u8> {
+    let mut d = Dataset::new("b");
+    for t in 0..2u64 {
+        let off = ((seed * 2 + t) % 40) as f64;
+        d.push(
+            Trajectory::new(
+                TrajectoryId::new(seed * 10 + t),
+                vec![
+                    RoadLocation::new(SegmentId::new(0), Point::new(10.0 + off, 0.0), 0.0),
+                    RoadLocation::new(SegmentId::new(1), Point::new(150.0, 0.0), 30.0),
+                    RoadLocation::new(SegmentId::new(2), Point::new(250.0 + off, 0.0), 60.0),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let mut buf = Vec::new();
+    trajio::write_dataset(&d, &mut buf).unwrap();
+    buf
+}
+
+/// Runs `body` against a served `NetServer` over `fs`, then cancels,
+/// joins every handler, and returns the router for post-mortem
+/// assertions.
+fn with_server<R>(
+    fs: MemFs,
+    tcfg: TenantConfig,
+    ncfg: NetConfig,
+    body: impl FnOnce(SocketAddr, &CancelToken) -> R,
+) -> (R, TenantRouter<'static, MemFs>) {
+    // The network must outlive the returned router; tests run to
+    // completion and exit, so leaking one small network per test is the
+    // simplest sound lifetime.
+    let net: &'static RoadNetwork = Box::leak(Box::new(net()));
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let cancel = CancelToken::new();
+    let router = TenantRouter::new(net, fs, tcfg, Arc::clone(&clock), cancel.observer());
+    let server = NetServer::new(router, ncfg, clock, cancel.observer());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let out = std::thread::scope(|s| {
+        let serving = s.spawn(|| server.serve(&listener));
+        let out = body(addr, &cancel);
+        cancel.cancel();
+        serving.join().unwrap().unwrap();
+        out
+    });
+    (out, server.into_router())
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream
+}
+
+fn read_reply(stream: &mut TcpStream) -> Result<Reply, String> {
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    read_reply_from(&mut reader, stream)
+}
+
+/// Reads one reply through a caller-owned reader — required when
+/// several replies are pipelined on one connection (a fresh reader per
+/// reply could buffer and discard the bytes of the next one).
+fn read_reply_from(reader: &mut FrameReader, stream: &mut TcpStream) -> Result<Reply, String> {
+    loop {
+        match reader.poll(stream) {
+            Ok(Poll::Frame(body)) => return Reply::decode_body(&body).map_err(|e| e.to_string()),
+            Ok(Poll::Pending) => {}
+            Ok(Poll::TimedOut) => return Err("timed out".to_string()),
+            Ok(Poll::Eof { mid_frame }) => return Err(format!("eof (mid_frame={mid_frame})")),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+fn roundtrip(addr: SocketAddr, req: &Request) -> Result<Reply, String> {
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &req.encode_body()).map_err(|e| e.to_string())?;
+    read_reply(&mut stream)
+}
+
+fn push_req(tenant: &str, batch_id: &str, seed: u64) -> Request {
+    Request::Push {
+        tenant: tenant.to_string(),
+        batch_id: batch_id.to_string(),
+        payload: payload(seed),
+    }
+}
+
+/// Pushes until `Ack`, tolerating `Defer` (honoring the hint).
+fn push_until_acked(addr: SocketAddr, tenant: &str, batch_id: &str, seed: u64) -> u64 {
+    for _ in 0..50 {
+        match roundtrip(addr, &push_req(tenant, batch_id, seed)) {
+            Ok(Reply::Ack { epoch }) => return epoch,
+            Ok(Reply::Defer { retry_after_ms }) => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(100)));
+            }
+            Ok(other) => panic!("push of {tenant}/{batch_id} got {other:?}"),
+            Err(e) => panic!("push of {tenant}/{batch_id} failed: {e}"),
+        }
+    }
+    panic!("push of {tenant}/{batch_id} never acked");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol abuse
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_truncated_and_corrupt_frames_never_take_the_server_down() {
+    let (_, router) = with_server(
+        MemFs::new(),
+        tenant_cfg(),
+        NetConfig::default(),
+        |addr, _cancel| {
+            let encoded = frame(&push_req("sj", "b-1", 1).encode_body());
+
+            // Truncation at several cuts, connection killed mid-frame.
+            for cut in [1, 4, 7, 8, 9, encoded.len() - 1] {
+                let mut s = connect(addr);
+                s.write_all(&encoded[..cut]).unwrap();
+                drop(s); // mid-frame kill
+            }
+            // CRC corruption in the body: the server must reject.
+            let mut corrupt = encoded.clone();
+            let last = corrupt.len() - 1;
+            corrupt[last] ^= 0x40;
+            let mut s = connect(addr);
+            s.write_all(&corrupt).unwrap();
+            match read_reply(&mut s) {
+                Ok(Reply::Reject { reason }) => {
+                    assert!(reason.contains("framing"), "{reason}");
+                }
+                other => panic!("corrupt frame got {other:?}"),
+            }
+            // A frame whose *body* is garbage (valid CRC) is rejected too.
+            let mut s = connect(addr);
+            s.write_all(&frame(b"\xff\xfe not a request")).unwrap();
+            assert!(matches!(read_reply(&mut s), Ok(Reply::Reject { .. })));
+
+            // A reply kind sent as a request is rejected (kind ranges
+            // are disjoint).
+            let mut s = connect(addr);
+            s.write_all(&frame(&Reply::Shed.encode_body())).unwrap();
+            assert!(matches!(read_reply(&mut s), Ok(Reply::Reject { .. })));
+
+            // After all that abuse, an honest push still works.
+            assert!(push_until_acked(addr, "sj", "b-1", 1) >= 1);
+        },
+    );
+    assert_eq!(router.health_of("sj").unwrap().applied, 1);
+}
+
+#[test]
+fn duplicate_sends_ack_without_reapplying() {
+    let (_, router) = with_server(
+        MemFs::new(),
+        tenant_cfg(),
+        NetConfig::default(),
+        |addr, _| {
+            let first = push_until_acked(addr, "sj", "b-1", 1);
+            for _ in 0..3 {
+                match roundtrip(addr, &push_req("sj", "b-1", 1)) {
+                    Ok(Reply::Ack { epoch }) => assert!(epoch >= first),
+                    other => panic!("duplicate got {other:?}"),
+                }
+            }
+            // Pipelined duplicates on one connection work too.
+            let mut s = connect(addr);
+            let encoded = frame(&push_req("sj", "b-1", 1).encode_body());
+            s.write_all(&encoded).unwrap();
+            s.write_all(&encoded).unwrap();
+            let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+            assert!(matches!(
+                read_reply_from(&mut reader, &mut s),
+                Ok(Reply::Ack { .. })
+            ));
+            assert!(matches!(
+                read_reply_from(&mut reader, &mut s),
+                Ok(Reply::Ack { .. })
+            ));
+        },
+    );
+    assert_eq!(
+        router.health_of("sj").unwrap().applied,
+        1,
+        "duplicates must not re-apply"
+    );
+}
+
+#[test]
+fn status_frames_report_per_tenant_health() {
+    let (_, _router) = with_server(
+        MemFs::new(),
+        tenant_cfg(),
+        NetConfig::default(),
+        |addr, _| {
+            push_until_acked(addr, "sj", "b-1", 1);
+            push_until_acked(addr, "sj", "b-2", 2);
+            let reply = roundtrip(
+                addr,
+                &Request::Status {
+                    tenant: "sj".to_string(),
+                },
+            )
+            .unwrap();
+            let Reply::Report(rep) = reply else {
+                panic!("expected report, got {reply:?}");
+            };
+            assert_eq!(rep.tenant, "sj");
+            assert_eq!(rep.applied, 2);
+            assert_eq!(rep.status, "running");
+            assert_eq!(rep.breaker, "closed");
+            assert_eq!(rep.poisoned, 0);
+            assert!(rep.last_epoch >= 2);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Bulkheads
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slowloris_on_tenant_a_never_blocks_tenant_b() {
+    let mut ncfg = NetConfig::default();
+    ncfg.read_timeout_ms = 20;
+    ncfg.idle_timeout_ms = 1_500;
+    let (elapsed_b, router) = with_server(MemFs::new(), tenant_cfg(), ncfg, |addr, _| {
+        // Tenant A's client drips one byte of a push frame at a time.
+        let torn = frame(&push_req("atl", "slow-1", 9).encode_body());
+        let slow = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            for b in torn.iter().take(torn.len() / 2) {
+                if s.write_all(&[*b]).is_err() {
+                    break; // server gave up on us — expected
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            // The server must eventually reject the idle connection.
+            read_reply(&mut s)
+        });
+        // Meanwhile tenant B pushes a full workload and must be served
+        // promptly — well before the slowloris connection resolves.
+        let start = std::time::Instant::now();
+        for i in 0..4u64 {
+            push_until_acked(addr, "sj", &format!("b-{i}"), i);
+        }
+        let elapsed_b = start.elapsed();
+        match slow.join().unwrap() {
+            // Best case the Reject lands before the close; a drip-feed
+            // racing the server's teardown may instead see the
+            // connection torn (EOF or reset). Both prove the server
+            // gave up on the idler rather than waiting forever.
+            Ok(Reply::Reject { reason }) => assert!(reason.contains("idle"), "{reason}"),
+            Err(_) => {}
+            other => panic!("slowloris got {other:?}"),
+        }
+        elapsed_b
+    });
+    assert_eq!(router.health_of("sj").unwrap().applied, 4);
+    assert!(router.health_of("atl").is_none(), "torn push never routed");
+    // B's four acks landed while A's connection was still mid-drip
+    // (the drip alone takes > 1s; B must not have waited for it).
+    assert!(
+        elapsed_b < Duration::from_secs(1),
+        "tenant B stalled behind the slowloris: {elapsed_b:?}"
+    );
+}
+
+#[test]
+fn connection_cap_sheds_the_excess() {
+    let mut ncfg = NetConfig::default();
+    ncfg.max_conns = 1;
+    let (_, _router) = with_server(MemFs::new(), tenant_cfg(), ncfg, |addr, _| {
+        let parked = connect(addr);
+        std::thread::sleep(Duration::from_millis(300)); // let the handler spawn
+        let mut second = connect(addr);
+        match read_reply(&mut second) {
+            Ok(Reply::Shed) => {}
+            other => panic!("over-cap connection got {other:?}"),
+        }
+        drop(parked);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving and recovery
+// ---------------------------------------------------------------------------
+
+const TENANTS: [&str; 2] = ["atl", "sj"];
+const BATCHES_PER_TENANT: u64 = 3;
+
+fn fingerprints(router: &TenantRouter<'_, MemFs>) -> Vec<(String, String, u64)> {
+    TENANTS
+        .iter()
+        .map(|t| {
+            let svc = router.service_of(t).unwrap();
+            let h = router.health_of(t).unwrap();
+            ((*t).to_string(), svc.state_fingerprint(), h.applied)
+        })
+        .collect()
+}
+
+/// Reference: each tenant's batches pushed sequentially, one tenant at
+/// a time, no concurrency anywhere.
+fn solo_reference() -> Vec<(String, String, u64)> {
+    let (_, router) = with_server(
+        MemFs::new(),
+        tenant_cfg(),
+        NetConfig::default(),
+        |addr, _| {
+            for t in TENANTS {
+                for i in 0..BATCHES_PER_TENANT {
+                    push_until_acked(addr, t, &format!("b-{i:03}"), i);
+                }
+            }
+        },
+    );
+    fingerprints(&router)
+}
+
+#[test]
+fn interleaved_tenants_match_the_solo_reference_byte_for_byte() {
+    let reference = solo_reference();
+    let (_, router) = with_server(
+        MemFs::new(),
+        tenant_cfg(),
+        NetConfig::default(),
+        |addr, _| {
+            std::thread::scope(|s| {
+                for t in TENANTS {
+                    s.spawn(move || {
+                        for i in 0..BATCHES_PER_TENANT {
+                            push_until_acked(addr, t, &format!("b-{i:03}"), i);
+                        }
+                    });
+                }
+            });
+        },
+    );
+    assert_eq!(fingerprints(&router), reference);
+}
+
+#[test]
+fn abrupt_stop_recovers_byte_identically_with_no_double_apply() {
+    let reference = solo_reference();
+    let fs = MemFs::new();
+
+    // Phase 1: push everything, then stop WITHOUT draining — the router
+    // is dropped as-is, simulating an abrupt process death after the
+    // last ack (anything durable must survive; nothing may re-apply).
+    let (_, router) = with_server(fs.clone(), tenant_cfg(), NetConfig::default(), |addr, _| {
+        for t in TENANTS {
+            for i in 0..BATCHES_PER_TENANT {
+                push_until_acked(addr, t, &format!("b-{i:03}"), i);
+            }
+        }
+    });
+    drop(router); // no drain_all, no final checkpoint
+
+    // Phase 2: a fresh server over the surviving storage. Every batch
+    // re-pushed is a duplicate and must ack without re-applying.
+    let (_, router) = with_server(fs, tenant_cfg(), NetConfig::default(), |addr, _| {
+        for t in TENANTS {
+            for i in 0..BATCHES_PER_TENANT {
+                match roundtrip(addr, &push_req(t, &format!("b-{i:03}"), i)) {
+                    Ok(Reply::Ack { .. }) => {}
+                    other => panic!("re-push of {t}/b-{i:03} got {other:?}"),
+                }
+            }
+        }
+    });
+    let recovered = fingerprints(&router);
+    for ((tenant, fp, applied), (_, ref_fp, _)) in recovered.iter().zip(reference.iter()) {
+        // The fingerprint embeds the batch count, so equality with the
+        // uninterrupted reference is the byte-identical, exactly-once
+        // check in one shot.
+        assert_eq!(fp, ref_fp, "tenant {tenant} diverged after recovery");
+        // `applied` is session-local: the recovered session must have
+        // applied NOTHING — every re-push was a recognized duplicate.
+        assert_eq!(*applied, 0, "tenant {tenant} re-applied a batch");
+    }
+}
+
+#[test]
+fn drain_frame_acks_stops_the_listener_and_flushes() {
+    let fs = MemFs::new();
+    let ((), router) = with_server(fs, tenant_cfg(), NetConfig::default(), |addr, cancel| {
+        push_until_acked(addr, "sj", "b-1", 1);
+        let reply = roundtrip(addr, &Request::Drain).unwrap();
+        let Reply::Ack { epoch } = reply else {
+            panic!("drain got {reply:?}");
+        };
+        assert!(epoch >= 1);
+        // The token tripped: new pushes are deferred, not applied.
+        for _ in 0..50 {
+            if cancel.is_cancelled() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(cancel.is_cancelled());
+        // A late push races listener teardown: it may land on a still-
+        // draining handler (Defer), sit unanswered in the accept
+        // backlog, or fail to connect. Probe with a short timeout.
+        let probe = (|| -> Result<Reply, String> {
+            let mut s = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .map_err(|e| e.to_string())?;
+            write_frame(&mut s, &push_req("sj", "b-2", 2).encode_body())
+                .map_err(|e| e.to_string())?;
+            read_reply(&mut s)
+        })();
+        match probe {
+            Ok(Reply::Defer { .. }) | Err(_) => {}
+            other => panic!("push during drain got {other:?}"),
+        }
+    });
+    let mut router = router;
+    for (tenant, outcome) in router.drain_all(256) {
+        assert_ne!(outcome, DrainOutcome::Failed, "tenant {tenant} failed");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// kill -9 subprocess matrix
+// ---------------------------------------------------------------------------
+
+struct TempDirs {
+    root: PathBuf,
+}
+
+impl TempDirs {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("neat-netchaos-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        TempDirs { root }
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Drop for TempDirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Spawns `neatd --listen 127.0.0.1:0 ...` and parses the bound address
+/// off its stderr.
+fn spawn_daemon(dirs: &TempDirs, network: &PathBuf) -> (std::process::Child, SocketAddr) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_neatd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--network",
+            network.to_str().unwrap(),
+            "--spool",
+            dirs.path("spool").to_str().unwrap(),
+            "--state",
+            dirs.path("state").to_str().unwrap(),
+            "--quarantine",
+            dirs.path("quarantine").to_str().unwrap(),
+            "--min-card",
+            "1",
+            "--checkpoint-every",
+            "2",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before announcing its address")
+            .unwrap();
+        if let Some(rest) = line.strip_prefix("neatd: listening on ") {
+            break rest.trim().parse::<SocketAddr>().unwrap();
+        }
+    };
+    // Keep draining stderr so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn kill_dash_nine_mid_push_storm_recovers_exactly_once() {
+    let dirs = TempDirs::new("kill9");
+    let network_path = dirs.path("net.txt");
+    {
+        let f = std::fs::File::create(&network_path).unwrap();
+        netio::write_network(&net(), std::io::BufWriter::new(f)).unwrap();
+    }
+
+    const STORM: u64 = 6;
+    let (mut child, addr) = spawn_daemon(&dirs, &network_path);
+
+    // A storm of concurrent pushes across two tenants, with the daemon
+    // SIGKILLed mid-storm. Clients tolerate every connection fate.
+    std::thread::scope(|s| {
+        for (w, tenant) in TENANTS.iter().enumerate() {
+            s.spawn(move || {
+                for i in 0..STORM {
+                    let req = push_req(tenant, &format!("k-{i:03}"), i);
+                    let outcome = (|| -> Result<Reply, String> {
+                        let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+                        stream
+                            .set_read_timeout(Some(Duration::from_secs(5)))
+                            .map_err(|e| e.to_string())?;
+                        write_frame(&mut stream, &req.encode_body()).map_err(|e| e.to_string())?;
+                        read_reply(&mut stream)
+                    })();
+                    // Acks, defers, errors, torn connections: all fine —
+                    // the daemon is being murdered underneath us.
+                    drop(outcome);
+                    std::thread::sleep(Duration::from_millis(10 + 5 * w as u64));
+                }
+            });
+        }
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(80));
+            child.kill().unwrap(); // SIGKILL — no drain, no checkpoint
+            child.wait().unwrap();
+        });
+    });
+
+    // Restart on the same directories; re-push the full storm. Every
+    // batch must end acknowledged, applied exactly once.
+    let (mut child, addr) = spawn_daemon(&dirs, &network_path);
+    for tenant in TENANTS {
+        for i in 0..STORM {
+            push_until_acked(addr, tenant, &format!("k-{i:03}"), i);
+        }
+    }
+    for tenant in TENANTS {
+        let reply = roundtrip(
+            addr,
+            &Request::Status {
+                tenant: tenant.to_string(),
+            },
+        )
+        .unwrap();
+        let Reply::Report(rep) = reply else {
+            panic!("status got {reply:?}");
+        };
+        // `batches` survives restarts via journal replay: a lost batch
+        // leaves it short, a double-apply pushes it over.
+        assert_eq!(
+            rep.batches,
+            STORM,
+            "tenant {tenant} must apply each batch exactly once, got {}",
+            rep.digest()
+        );
+        assert_eq!(rep.status, "running", "tenant {tenant}: {}", rep.digest());
+        assert_eq!(rep.poisoned, 0, "tenant {tenant}: {}", rep.digest());
+    }
+
+    // The real client binary sees a duplicate ack too (exit 0).
+    let batch_file = dirs.path("replay.batch");
+    std::fs::write(&batch_file, payload(0)).unwrap();
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_neat"))
+        .args([
+            "push",
+            "--addr",
+            &addr.to_string(),
+            "--tenant",
+            "sj",
+            "--dataset",
+            batch_file.to_str().unwrap(),
+            "--batch-id",
+            "k-000",
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success(), "neat push exited {status:?}");
+
+    // Graceful drain via the wire; the daemon must exit cleanly.
+    assert!(matches!(
+        roundtrip(addr, &Request::Drain),
+        Ok(Reply::Ack { .. })
+    ));
+    let exit = child.wait().unwrap();
+    assert_eq!(exit.code(), Some(0), "drained daemon exited {exit:?}");
+}
+
+#[test]
+fn sigterm_drains_the_daemon_cleanly() {
+    let dirs = TempDirs::new("sigterm");
+    let network_path = dirs.path("net.txt");
+    {
+        let f = std::fs::File::create(&network_path).unwrap();
+        netio::write_network(&net(), std::io::BufWriter::new(f)).unwrap();
+    }
+    let (mut child, addr) = spawn_daemon(&dirs, &network_path);
+    push_until_acked(addr, "sj", "b-1", 1);
+
+    // SIGTERM (15): the daemon stops accepting, flushes, checkpoints
+    // and exits 0.
+    unsafe {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        assert_eq!(kill(child.id() as i32, 15), 0);
+    }
+    let exit = child.wait().unwrap();
+    assert_eq!(exit.code(), Some(0), "SIGTERM exit was {exit:?}");
+
+    // Everything acked before the signal survived on disk.
+    let (mut child, addr) = spawn_daemon(&dirs, &network_path);
+    match roundtrip(addr, &push_req("sj", "b-1", 1)) {
+        Ok(Reply::Ack { .. }) => {}
+        other => panic!("post-restart duplicate got {other:?}"),
+    }
+    assert!(matches!(
+        roundtrip(addr, &Request::Drain),
+        Ok(Reply::Ack { .. })
+    ));
+    child.wait().unwrap();
+}
