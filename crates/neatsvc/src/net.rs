@@ -26,8 +26,9 @@
 //!
 //! Cancelling the shared token (SIGTERM in the daemon, or a `Drain`
 //! frame) stops the accept loop; in-flight connections finish their
-//! current request, new pushes answer `Defer`, handlers close at their
-//! next timeout tick, and the caller then takes the router back
+//! current request, new pushes are spooled durably and answer `Defer`,
+//! handlers close at their next timeout tick, and the caller then takes
+//! the router back
 //! ([`NetServer::into_router`]) to flush every tenant to a checkpoint.
 
 use crate::frame::{write_frame, FrameReader, Poll, Reply, Request, DEFAULT_MAX_FRAME};
@@ -119,9 +120,11 @@ impl<'n, F: Fs + Clone + Send> NetServer<'n, F> {
 
     /// Serves `listener` until the cancel token trips: accepts
     /// connections into scoped handler threads, refuses connections
-    /// over the bulkhead cap with `Shed`, and drives one background
-    /// tenant tick per idle poll so deferred batches drain without
-    /// traffic. Returns after every handler thread has exited.
+    /// over the bulkhead cap with `Shed`, and drives background tenant
+    /// ticks at least every `accept_poll_ms` (on the injected clock,
+    /// whether or not connections keep arriving) so deferred batches
+    /// drain without traffic. Returns after every handler thread has
+    /// exited.
     ///
     /// # Errors
     ///
@@ -130,9 +133,19 @@ impl<'n, F: Fs + Clone + Send> NetServer<'n, F> {
     pub fn serve(&self, listener: &TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
         thread::scope(|s| -> io::Result<()> {
+            // Background ticks run on a deadline, not only when accept
+            // comes up empty: under a sustained connection stream the
+            // WouldBlock arm may never be reached, and idle work
+            // (batches dropped straight into spool directories,
+            // deferred retries) must still make progress.
+            let mut next_tick = Deadline::after(self.clock.as_ref(), self.cfg.accept_poll_ms);
             loop {
                 if self.cancel.is_cancelled() {
                     return Ok(());
+                }
+                if next_tick.expired(self.clock.as_ref()) {
+                    self.router.enter().tick_all();
+                    next_tick = Deadline::after(self.clock.as_ref(), self.cfg.accept_poll_ms);
                 }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
@@ -148,6 +161,7 @@ impl<'n, F: Fs + Clone + Send> NetServer<'n, F> {
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         let worked = self.router.enter().tick_all();
+                        next_tick = Deadline::after(self.clock.as_ref(), self.cfg.accept_poll_ms);
                         if !worked {
                             thread::sleep(Duration::from_millis(self.cfg.accept_poll_ms));
                         }
@@ -201,14 +215,15 @@ impl<'n, F: Fs + Clone + Send> NetServer<'n, F> {
                         return;
                     }
                 }
-                Ok(Poll::Pending) => {
-                    // Bytes arrived: the peer is making progress, even
-                    // if slowly. The idle deadline is *frame* progress,
-                    // so a drip-feeding client still trips it.
-                }
-                Ok(Poll::TimedOut) => {
+                // The idle deadline is *frame* progress, so both
+                // non-frame outcomes fall through to the same guards:
+                // a client dripping bytes faster than the socket
+                // timeout (every poll returns `Pending`, `TimedOut`
+                // never fires) must trip the idle deadline and release
+                // its bulkhead slot exactly like a silent one.
+                Ok(Poll::Pending) | Ok(Poll::TimedOut) => {
                     if self.cancel.is_cancelled() {
-                        // Draining and the peer has nothing in flight:
+                        // Draining: nothing complete is in flight, so
                         // close so the listener can finish.
                         return;
                     }

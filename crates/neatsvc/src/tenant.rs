@@ -370,14 +370,6 @@ impl<'n, F: Fs + Clone> TenantRouter<'n, F> {
                 epoch: t.svc.query().epoch,
             };
         }
-        if draining {
-            // Graceful drain: stop accepting new work; the client
-            // retries against the restarted server.
-            let hint = Self::defer_hint_ms(t);
-            return Reply::Defer {
-                retry_after_ms: hint,
-            };
-        }
         // Wire-edge backpressure, mirroring the admission ladder over
         // the spool backlog so a flooding producer cannot grow the
         // spool without bound.
@@ -401,6 +393,17 @@ impl<'n, F: Fs + Clone> TenantRouter<'n, F> {
         if let Err(e) = write_atomic(&fs, &t.spool_dir.join(batch_id), payload) {
             return Reply::Reject {
                 reason: format!("spool write failed: {e}"),
+            };
+        }
+        if draining {
+            // Graceful drain: the batch is spooled first, so the
+            // `Defer` durability contract holds — it survives the
+            // shutdown and the restarted server applies it — but no
+            // new drive work starts; the client's retry gets its `Ack`
+            // (from the restart, or as a journaled duplicate).
+            let hint = Self::defer_hint_ms(t);
+            return Reply::Defer {
+                retry_after_ms: hint,
             };
         }
 
@@ -773,9 +776,10 @@ mod tests {
     }
 
     #[test]
-    fn drain_mode_defers_new_pushes() {
+    fn drain_mode_defers_new_pushes_durably() {
         let net = network();
-        let mut r = router(&net, MemFs::new());
+        let fs = MemFs::new();
+        let mut r = router(&net, fs.clone());
         assert!(matches!(
             r.push("sj", "b-1", &payload(1)),
             Reply::Ack { .. }
@@ -783,8 +787,19 @@ mod tests {
         r.cancel_token().cancel();
         let reply = r.push("sj", "b-2", &payload(2));
         assert!(matches!(reply, Reply::Defer { .. }), "{reply:?}");
+        // Defer promises durability: the payload is already spooled…
+        assert!(fs.exists(std::path::Path::new("/spool/sj/b-2")));
         // Duplicate acks still work during drain (pure read).
         assert!(matches!(r.push("sj", "b-1", &[]), Reply::Ack { .. }));
+        drop(r);
+        // …so a restarted router applies it without a re-push, and the
+        // client's retry is acknowledged as a journaled duplicate.
+        let mut restarted = router(&net, fs);
+        assert!(matches!(
+            restarted.push("sj", "b-2", &payload(2)),
+            Reply::Ack { .. }
+        ));
+        assert_eq!(restarted.health_of("sj").unwrap().applied, 1);
     }
 
     #[test]

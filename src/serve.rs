@@ -245,25 +245,73 @@ fn serve_net(flags: &HashMap<String, String>, addr: &str) -> Result<ExitCode, St
 /// Cancels `cancel` when SIGTERM or SIGINT arrives, turning the signal
 /// into the same graceful-drain path a `Drain` frame takes. The watcher
 /// thread is detached; it dies with the process.
-#[cfg(unix)]
+///
+/// Installed through `sigaction(2)` from the platform C library (the
+/// workspace builds offline with no `libc` crate, so the binding is
+/// declared here against the 64-bit Linux layout that glibc and musl
+/// share). `SA_RESTART` is set explicitly: no syscall in the daemon
+/// relies on `EINTR` — every loop observes the cancel token — so
+/// unrelated blocking calls should not spuriously fail. A previously
+/// installed non-default handler is replaced with a notice on stderr,
+/// and an installation failure degrades to draining via a `Drain`
+/// frame instead of aborting startup.
+#[cfg(target_os = "linux")]
 fn install_signal_drain(cancel: &CancelToken) {
+    use std::os::raw::{c_int, c_ulong};
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static SIGNALED: AtomicBool = AtomicBool::new(false);
-    extern "C" fn on_signal(_signum: i32) {
+    extern "C" fn on_signal(_signum: c_int) {
         SIGNALED.store(true, Ordering::SeqCst);
     }
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
+
+    /// `struct sigaction` as glibc and musl lay it out on 64-bit Linux:
+    /// handler union, 1024-bit signal mask, flags, restorer. The
+    /// handler slot is address-sized (the C `sighandler_t` is an
+    /// address), which also lets it hold `SIG_DFL`/`SIG_IGN`.
+    #[repr(C)]
+    struct SigactionC {
+        sa_handler: usize,
+        sa_mask: [c_ulong; 16],
+        sa_flags: c_int,
+        sa_restorer: usize,
     }
-    const SIGINT: i32 = 2;
-    const SIGTERM: i32 = 15;
-    // SAFETY: installing a handler that only stores to a static atomic
-    // (async-signal-safe); the previous handler is discarded on purpose.
-    let handler = on_signal as extern "C" fn(i32) as usize;
-    unsafe {
-        signal(SIGTERM, handler);
-        signal(SIGINT, handler);
+
+    extern "C" {
+        fn sigaction(signum: c_int, act: *const SigactionC, oldact: *mut SigactionC) -> c_int;
+    }
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+    const SA_RESTART: c_int = 0x1000_0000;
+    const SIG_DFL: usize = 0;
+    const SIG_IGN: usize = 1;
+
+    for (signum, name) in [(SIGTERM, "SIGTERM"), (SIGINT, "SIGINT")] {
+        let act = SigactionC {
+            sa_handler: on_signal as extern "C" fn(c_int) as usize,
+            sa_mask: [0; 16],
+            sa_flags: SA_RESTART,
+            sa_restorer: 0,
+        };
+        let mut old = SigactionC {
+            sa_handler: SIG_DFL,
+            sa_mask: [0; 16],
+            sa_flags: 0,
+            sa_restorer: 0,
+        };
+        // SAFETY: `SigactionC` matches the platform `struct sigaction`
+        // layout (see above), the handler only stores to a static
+        // atomic (async-signal-safe), and this runs once at startup
+        // before the listener threads exist.
+        let rc = unsafe { sigaction(signum, &act, &mut old) };
+        if rc != 0 {
+            eprintln!(
+                "neatd: warning: cannot install {name} handler; use a Drain frame to stop gracefully"
+            );
+        } else if old.sa_handler != SIG_DFL && old.sa_handler != SIG_IGN {
+            eprintln!("neatd: note: replaced a previously installed {name} handler");
+        }
     }
     let observer = cancel.observer();
     std::thread::spawn(move || loop {
@@ -275,7 +323,9 @@ fn install_signal_drain(cancel: &CancelToken) {
     });
 }
 
-#[cfg(not(unix))]
+/// Off Linux there is no signal hook (the `sigaction` binding above is
+/// layout-specific); stop the daemon gracefully with a `Drain` frame.
+#[cfg(not(target_os = "linux"))]
 fn install_signal_drain(_cancel: &CancelToken) {}
 
 /// Maps the final service status onto the exit-code scheme.

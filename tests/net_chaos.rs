@@ -329,6 +329,51 @@ fn slowloris_on_tenant_a_never_blocks_tenant_b() {
 }
 
 #[test]
+fn fast_drip_slowloris_is_cut_by_the_idle_guard() {
+    // Drip interval (10 ms) well under the socket read timeout (60 ms):
+    // every poll returns `Pending`, never `TimedOut`, so only the
+    // frame-progress idle check on the `Pending` arm can end this
+    // connection. Regression: the guard used to live only on the
+    // `TimedOut` arm, letting such a client hold a bulkhead slot
+    // forever and hang graceful drain.
+    let mut ncfg = NetConfig::default();
+    ncfg.read_timeout_ms = 60;
+    ncfg.idle_timeout_ms = 250;
+    // Asserted outside `with_server` so a regression fails the test
+    // instead of deadlocking the serve thread inside the scope.
+    let ((cut, verdict), _router) = with_server(MemFs::new(), tenant_cfg(), ncfg, |addr, _| {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // A header promising a 64 KiB body, then body bytes that never
+        // complete it — the frame stays forever pending.
+        let mut wire = (64 * 1024u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.resize(wire.len() + 4096, 0xAB);
+        let start = std::time::Instant::now();
+        let mut cut = false;
+        for b in wire {
+            if s.write_all(&[b]).is_err() {
+                cut = true; // server tore the connection down — expected
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            if start.elapsed() > Duration::from_secs(8) {
+                break;
+            }
+        }
+        (cut, read_reply(&mut s))
+    });
+    assert!(cut, "server kept reading the drip for 8 s without giving up");
+    match verdict {
+        // Best case the idle Reject is still readable; a drip racing
+        // the teardown may instead see the reset.
+        Ok(Reply::Reject { reason }) => assert!(reason.contains("idle"), "{reason}"),
+        Err(_) => {}
+        other => panic!("fast drip got {other:?}"),
+    }
+}
+
+#[test]
 fn connection_cap_sheds_the_excess() {
     let mut ncfg = NetConfig::default();
     ncfg.max_conns = 1;
