@@ -22,7 +22,9 @@
 //!   idempotent operations with injectable backoff (never `append`,
 //!   which could duplicate journal records).
 //! * [`store::Store`] — a checkpoint directory combining numbered
-//!   snapshots with a sequence-tagged journal, including retention and
+//!   snapshots with a segmented, sequence-tagged journal, including
+//!   retention, crash-safe journal compaction (rewrite live records
+//!   into a fresh segment, fsync, rename, then prune the old ones) and
 //!   fallback-to-previous-snapshot recovery.
 //!
 //! The NEAT-specific state encoding lives in `neat_core::checkpoint`;
@@ -36,7 +38,8 @@
 //! # fn main() -> Result<(), neat_durability::DurabilityError> {
 //! let store = Store::open(MemFs::new(), "/ckpt", 1)?;
 //! store.append_journal(1, b"batch one")?;
-//! store.write_snapshot(1, b"state after batch one")?;
+//! let retention = store.write_snapshot(1, b"state after batch one")?;
+//! assert!(retention.error.is_none());
 //! let recovered = store.load()?;
 //! assert_eq!(recovered.snapshot.unwrap().1, b"state after batch one");
 //! # Ok(())
@@ -55,4 +58,4 @@ pub use codec::{crc32, fnv64, Dec, Enc};
 pub use error::DurabilityError;
 pub use fs::{write_atomic, write_atomic_std, Fs, MemFs, StdFs};
 pub use retry::{Backoff, JitterBackoff, NoBackoff, RetryFs, RetryStats, SleepBackoff};
-pub use store::{JournalEntry, Recovery, Store};
+pub use store::{CompactionOutcome, JournalEntry, Recovery, RetentionReport, Store};

@@ -1,11 +1,13 @@
-//! A checkpoint directory: numbered snapshots plus one batch journal.
+//! A checkpoint directory: numbered snapshots plus a segmented journal.
 //!
 //! Layout inside the store directory:
 //!
 //! ```text
 //! snap-00000000000000000042.neatsnap   snapshot up to sequence 42
 //! snap-00000000000000000045.neatsnap   snapshot up to sequence 45
-//! journal.neatlog                      seq-tagged records since snapshot 42
+//! journal.neatlog                      journal segment 0 (legacy name)
+//! journal-00000000000000000001.neatlog journal segment 1
+//! journal-00000000000000000002.neatlog journal segment 2 (append target)
 //! *.tmp                                in-flight atomic writes (ignored)
 //! ```
 //!
@@ -13,21 +15,31 @@
 //!
 //! * Snapshots are written atomically (temp + rename), so a crash never
 //!   leaves a half-written `snap-*.neatsnap` — at worst a `.tmp` stray.
-//! * The two most recent snapshots are retained. The journal is pruned
-//!   only up to the *previous* snapshot's sequence, so even if the
-//!   latest snapshot is silently corrupted (bit rot), the previous one
-//!   plus the journal still reconstructs the full state.
+//! * The two most recent snapshots are retained. The journal is
+//!   compacted only past the *previous* retained snapshot's sequence, so
+//!   even if the latest snapshot is silently corrupted (bit rot), the
+//!   previous one plus the journal still reconstructs the full state.
 //! * Journal records carry their sequence number in the payload; replay
 //!   filters on `seq > snapshot.seq`, which makes the
-//!   snapshot-then-prune pair crash-safe in any interleaving.
+//!   snapshot-then-compact pair crash-safe in any interleaving.
+//! * The journal is a list of **segments**: appends go to the
+//!   highest-numbered segment, rolling to a fresh one past a size
+//!   threshold. [`Store::compact_journal`] rewrites the live records
+//!   into a brand-new segment (temp + fsync + atomic rename) and only
+//!   then removes the old segment files — a crash at any step leaves
+//!   either the old segments, both (duplicates resolved on load: the
+//!   newer segment wins when the payloads agree byte-for-byte), or the
+//!   compacted one. No step ever rewrites a file appends go to.
 
 use crate::error::DurabilityError;
 use crate::fs::{is_tmp, write_atomic, Fs};
-use crate::journal::{append_record, read_journal};
+use crate::journal::{append_record, encode_record, read_journal, JournalScan};
 use crate::snapshot::{decode_snapshot, encode_snapshot};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-/// File name of the journal inside a store directory.
+/// File name of journal segment 0 (the pre-segmentation journal name,
+/// kept so existing store directories need no migration).
 pub const JOURNAL_FILE: &str = "journal.neatlog";
 
 /// Extension of snapshot files.
@@ -36,12 +48,17 @@ pub const SNAPSHOT_EXT: &str = "neatsnap";
 /// How many snapshots [`Store::write_snapshot`] retains.
 pub const RETAIN_SNAPSHOTS: usize = 2;
 
+/// Default size past which [`Store::append_journal`] rolls to a fresh
+/// journal segment.
+pub const DEFAULT_JOURNAL_ROLL_BYTES: usize = 256 * 1024;
+
 /// A store handle: a directory accessed through an [`Fs`].
 #[derive(Debug, Clone)]
 pub struct Store<F: Fs> {
     fs: F,
     dir: PathBuf,
     version: u32,
+    roll_bytes: usize,
 }
 
 /// One journal entry surfaced to the caller.
@@ -51,6 +68,36 @@ pub struct JournalEntry {
     pub seq: u64,
     /// The caller's payload.
     pub payload: Vec<u8>,
+}
+
+/// What one [`Store::compact_journal`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Records carried over into the new segment.
+    pub live_records: usize,
+    /// Records dropped because their sequence was at or below the cutoff.
+    pub dropped_records: usize,
+    /// Old segment files removed after the rewrite landed.
+    pub segments_removed: usize,
+    /// Index of the freshly written segment, when one was written.
+    pub new_segment: Option<u64>,
+}
+
+/// What [`Store::write_snapshot`] did *after* the snapshot itself
+/// landed: snapshot retention and journal compaction.
+///
+/// The snapshot write is the durability-critical step and failing it is
+/// a hard error; retention only reclaims space, so its failure is
+/// reported here instead of unwinding the caller — the store keeps
+/// serving from the old segments and the caller retries later.
+#[derive(Debug, Default)]
+pub struct RetentionReport {
+    /// Surplus snapshot files removed.
+    pub snapshots_removed: usize,
+    /// Journal compaction outcome, when compaction ran.
+    pub compaction: Option<CompactionOutcome>,
+    /// First error retention hit, if any; earlier steps still applied.
+    pub error: Option<DurabilityError>,
 }
 
 /// What [`Store::load`] recovered from disk.
@@ -78,7 +125,19 @@ impl<F: Fs> Store<F> {
         let dir = dir.into();
         fs.create_dir_all(&dir)
             .map_err(|e| DurabilityError::io("create_dir_all", &dir, e))?;
-        Ok(Store { fs, dir, version })
+        Ok(Store {
+            fs,
+            dir,
+            version,
+            roll_bytes: DEFAULT_JOURNAL_ROLL_BYTES,
+        })
+    }
+
+    /// Overrides the journal segment roll threshold (bytes).
+    #[must_use]
+    pub fn with_journal_roll_bytes(mut self, roll_bytes: usize) -> Self {
+        self.roll_bytes = roll_bytes.max(1);
+        self
     }
 
     /// The store directory.
@@ -91,9 +150,68 @@ impl<F: Fs> Store<F> {
         &self.fs
     }
 
-    /// Path of the journal file.
+    /// Path of journal segment 0 (the legacy single-file journal).
     pub fn journal_path(&self) -> PathBuf {
-        self.dir.join(JOURNAL_FILE)
+        self.segment_path(0)
+    }
+
+    /// Path of journal segment `idx`. Segment 0 keeps the historical
+    /// `journal.neatlog` name so pre-segmentation stores load unchanged.
+    pub fn segment_path(&self, idx: u64) -> PathBuf {
+        if idx == 0 {
+            self.dir.join(JOURNAL_FILE)
+        } else {
+            self.dir.join(format!("journal-{idx:020}.neatlog"))
+        }
+    }
+
+    /// Parses a journal segment file name back into its index.
+    fn parse_segment_name(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        if name == JOURNAL_FILE {
+            return Some(0);
+        }
+        name.strip_prefix("journal-")?
+            .strip_suffix(".neatlog")?
+            .parse()
+            .ok()
+    }
+
+    /// Journal segment indices currently on disk, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] when the directory cannot be listed.
+    pub fn journal_segments(&self) -> Result<Vec<u64>, DurabilityError> {
+        let mut idxs: Vec<u64> = self
+            .fs
+            .list(&self.dir)
+            .map_err(|e| DurabilityError::io("list", &self.dir, e))?
+            .iter()
+            .filter(|p| !is_tmp(p))
+            .filter_map(|p| Self::parse_segment_name(p))
+            .collect();
+        idxs.sort_unstable();
+        Ok(idxs)
+    }
+
+    /// Total bytes across all journal segments — the number a bounded
+    /// retention loop keeps O(window).
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] on filesystem failure.
+    pub fn journal_bytes(&self) -> Result<usize, DurabilityError> {
+        let mut total = 0usize;
+        for idx in self.journal_segments()? {
+            let path = self.segment_path(idx);
+            match self.fs.read(&path) {
+                Ok(bytes) => total += bytes.len(),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(DurabilityError::io("read", &path, e)),
+            }
+        }
+        Ok(total)
     }
 
     fn snapshot_path(&self, seq: u64) -> PathBuf {
@@ -130,67 +248,160 @@ impl<F: Fs> Store<F> {
     /// Atomically writes a snapshot covering everything up to and
     /// including sequence `seq`, then applies the retention policy:
     /// snapshots older than the newest [`RETAIN_SNAPSHOTS`] are removed
-    /// and the journal is pruned to records with `seq` greater than the
-    /// *previous* retained snapshot.
+    /// and the journal is compacted to records with `seq` greater than
+    /// the *previous* retained snapshot.
     ///
     /// The write is crash-safe at every step: the snapshot lands via
-    /// temp + rename, pruning rewrites the journal atomically, and a
-    /// crash between the two leaves only already-snapshotted records in
-    /// the journal, which replay skips by sequence.
+    /// temp + rename, compaction writes a fresh segment before removing
+    /// old ones, and a crash between the two leaves only
+    /// already-snapshotted records in the journal, which replay skips by
+    /// sequence.
     ///
     /// # Errors
     ///
-    /// [`DurabilityError`] on I/O failure; the store is left no worse
-    /// than before the call (the previous snapshot and journal remain).
-    pub fn write_snapshot(&self, seq: u64, payload: &[u8]) -> Result<(), DurabilityError> {
+    /// [`DurabilityError`] only when the snapshot itself failed to land
+    /// — the store is then no worse than before the call. Retention
+    /// failures (e.g. disk full while compacting) are *not* errors: the
+    /// snapshot is durable, the old segments keep the store loadable,
+    /// and the failure is surfaced in [`RetentionReport::error`] for the
+    /// caller to count and retry.
+    pub fn write_snapshot(
+        &self,
+        seq: u64,
+        payload: &[u8],
+    ) -> Result<RetentionReport, DurabilityError> {
         let framed = encode_snapshot(self.version, payload);
         write_atomic(&self.fs, &self.snapshot_path(seq), &framed)?;
-        self.apply_retention()?;
-        Ok(())
+        Ok(self.apply_retention())
     }
 
-    /// Removes surplus snapshots and prunes the journal. Failures here
-    /// are reported but leave only *extra* data behind, never less.
-    fn apply_retention(&self) -> Result<(), DurabilityError> {
-        let seqs = self.snapshot_seqs()?;
+    /// Removes surplus snapshots and compacts the journal. Failures
+    /// here leave only *extra* data behind, never less, so they are
+    /// reported in the returned [`RetentionReport`] instead of unwound.
+    fn apply_retention(&self) -> RetentionReport {
+        let mut report = RetentionReport::default();
+        let seqs = match self.snapshot_seqs() {
+            Ok(seqs) => seqs,
+            Err(e) => {
+                report.error = Some(e);
+                return report;
+            }
+        };
         if seqs.len() > RETAIN_SNAPSHOTS {
             for &old in &seqs[..seqs.len() - RETAIN_SNAPSHOTS] {
                 let path = self.snapshot_path(old);
-                self.fs
-                    .remove_file(&path)
-                    .map_err(|e| DurabilityError::io("remove_file", &path, e))?;
+                if let Err(e) = self.fs.remove_file(&path) {
+                    report.error = Some(DurabilityError::io("remove_file", &path, e));
+                    return report;
+                }
+                report.snapshots_removed += 1;
             }
         }
-        // Prune the journal to records newer than the *oldest retained*
-        // snapshot: even if the newest snapshot later turns out to be
-        // corrupt, the previous one plus the journal still covers
-        // everything.
+        // Compact the journal to records newer than the *oldest
+        // retained* snapshot: even if the newest snapshot later turns
+        // out to be corrupt, the previous one plus the journal still
+        // covers everything.
         let retained = &seqs[seqs.len().saturating_sub(RETAIN_SNAPSHOTS)..];
         if let Some(&cutoff) = retained.first() {
-            self.prune_journal(cutoff)?;
-        }
-        Ok(())
-    }
-
-    /// Rewrites the journal keeping only records with `seq > cutoff`.
-    fn prune_journal(&self, cutoff: u64) -> Result<(), DurabilityError> {
-        let path = self.journal_path();
-        let scan = read_journal(&self.fs, &path)?;
-        let mut kept = Vec::new();
-        let mut dropped = 0usize;
-        for payload in &scan.records {
-            match record_seq(payload) {
-                Some(seq) if seq <= cutoff => dropped += 1,
-                _ => kept.extend_from_slice(&crate::journal::encode_record(payload)),
+            match self.compact_journal(cutoff) {
+                Ok(outcome) => report.compaction = Some(outcome),
+                Err(e) => report.error = Some(e),
             }
         }
-        if dropped == 0 && scan.torn_tail_bytes == 0 {
-            return Ok(()); // nothing to rewrite
-        }
-        write_atomic(&self.fs, &path, &kept)
+        report
     }
 
-    /// Appends one journal record tagged with `seq`.
+    /// Compacts the journal: records with `seq > cutoff` are rewritten
+    /// into one fresh segment (temp file, fsync, atomic rename), and
+    /// only after that rename lands are the old segment files removed.
+    ///
+    /// Crash-safety, step by step:
+    ///
+    /// * before the rename — only a `.tmp` stray exists; the old
+    ///   segments are untouched.
+    /// * between the rename and the removes — live records exist twice,
+    ///   byte-identical; [`Store::load`] resolves the duplicate in the
+    ///   newer segment's favour and the next compaction removes the
+    ///   leftovers (the layout is self-healing).
+    /// * mid-removes — same as above for whichever old segments remain.
+    ///
+    /// The rewrite never targets the append path: the new segment index
+    /// is one past the current maximum, so a concurrent crash cannot
+    /// interleave appended records with compacted ones.
+    ///
+    /// Skipped (returning a default outcome) when there is a single
+    /// segment with nothing to drop — compacting then would only churn
+    /// segment indices.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] on filesystem failure (the store stays
+    /// loadable from the old segments), [`DurabilityError::Corrupt`] /
+    /// [`DurabilityError::Malformed`] on unreadable records.
+    pub fn compact_journal(&self, cutoff: u64) -> Result<CompactionOutcome, DurabilityError> {
+        let segments = self.scan_segments()?;
+        let mut live: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut dropped = 0usize;
+        let mut total = 0usize;
+        for (idx, scan) in &segments {
+            for payload in &scan.records {
+                total += 1;
+                match record_seq(payload) {
+                    Some(seq) if seq <= cutoff => dropped += 1,
+                    Some(seq) => {
+                        live.insert(seq, payload.clone());
+                    }
+                    None => {
+                        return Err(DurabilityError::Malformed {
+                            context: format!(
+                                "journal record in {}",
+                                self.segment_path(*idx).display()
+                            ),
+                            detail: format!(
+                                "{} bytes is too short for a sequence tag",
+                                payload.len()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let duplicates = total - dropped - live.len();
+        if segments.len() <= 1 && dropped == 0 && duplicates == 0 {
+            return Ok(CompactionOutcome::default()); // nothing worth rewriting
+        }
+
+        let max_idx = segments.last().map(|(idx, _)| *idx).unwrap_or(0);
+        let mut removed = 0usize;
+        let new_segment = if live.is_empty() {
+            None
+        } else {
+            let idx = max_idx + 1;
+            let mut bytes = Vec::new();
+            for payload in live.values() {
+                bytes.extend_from_slice(&encode_record(payload));
+            }
+            write_atomic(&self.fs, &self.segment_path(idx), &bytes)?;
+            Some(idx)
+        };
+        for (idx, _) in &segments {
+            let path = self.segment_path(*idx);
+            self.fs
+                .remove_file(&path)
+                .map_err(|e| DurabilityError::io("remove_file", &path, e))?;
+            removed += 1;
+        }
+        Ok(CompactionOutcome {
+            live_records: live.len(),
+            dropped_records: dropped,
+            segments_removed: removed,
+            new_segment,
+        })
+    }
+
+    /// Appends one journal record tagged with `seq` to the current
+    /// (highest-numbered) segment, rolling to a fresh segment once the
+    /// current one exceeds the roll threshold.
     ///
     /// # Errors
     ///
@@ -199,7 +410,64 @@ impl<F: Fs> Store<F> {
         let mut tagged = Vec::with_capacity(8 + payload.len());
         tagged.extend_from_slice(&seq.to_le_bytes());
         tagged.extend_from_slice(payload);
-        append_record(&self.fs, &self.journal_path(), &tagged)
+        let path = self.append_target()?;
+        append_record(&self.fs, &path, &tagged)
+    }
+
+    /// Picks the segment the next append goes to.
+    fn append_target(&self) -> Result<PathBuf, DurabilityError> {
+        let idxs = self.journal_segments()?;
+        let current = idxs.last().copied().unwrap_or(0);
+        let path = self.segment_path(current);
+        let size = match self.fs.read(&path) {
+            Ok(bytes) => bytes.len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(DurabilityError::io("read", &path, e)),
+        };
+        if size >= self.roll_bytes {
+            Ok(self.segment_path(current + 1))
+        } else {
+            Ok(path)
+        }
+    }
+
+    /// Reads every journal segment ascending, truncating torn tails on
+    /// disk as they are found (same atomic-rewrite repair [`Store::load`]
+    /// documents). Returns `(segment index, scan)` pairs with the
+    /// tails already dropped from the scans.
+    fn scan_segments(&self) -> Result<Vec<(u64, JournalScan)>, DurabilityError> {
+        let mut segments = Vec::new();
+        for idx in self.journal_segments()? {
+            let path = self.segment_path(idx);
+            let scan = read_journal(&self.fs, &path)?;
+            if scan.torn_tail_bytes > 0 {
+                let mut kept = Vec::new();
+                for payload in &scan.records {
+                    kept.extend_from_slice(&encode_record(payload));
+                }
+                write_atomic(&self.fs, &path, &kept)?;
+            }
+            segments.push((idx, scan));
+        }
+        Ok(segments)
+    }
+
+    /// Every journal record across all segments, deduplicated and
+    /// sorted by sequence — *not* filtered against any snapshot floor.
+    ///
+    /// Cross-segment duplicates (a crash between compaction's rename
+    /// and its removes) are resolved in favour of the newer segment.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Store::load`] for the journal half.
+    pub fn journal_records(&self) -> Result<Vec<JournalEntry>, DurabilityError> {
+        let segments = self.scan_segments()?;
+        let merged = merge_segments(&segments, u64::MAX, |idx| self.segment_path(idx))?;
+        Ok(merged
+            .into_iter()
+            .map(|(seq, (_, payload))| JournalEntry { seq, payload })
+            .collect())
     }
 
     /// Recovers the newest loadable snapshot and the journal records
@@ -252,47 +520,68 @@ impl<F: Fs> Store<F> {
             }
         }
 
-        let journal_path = self.journal_path();
-        let scan = read_journal(&self.fs, &journal_path)?;
-        recovery.torn_tail_bytes = scan.torn_tail_bytes;
-        if scan.torn_tail_bytes > 0 {
-            let mut kept = Vec::new();
-            for payload in &scan.records {
-                kept.extend_from_slice(&crate::journal::encode_record(payload));
-            }
-            write_atomic(&self.fs, &journal_path, &kept)?;
-        }
+        let segments = self.scan_segments()?;
+        recovery.torn_tail_bytes = segments.iter().map(|(_, s)| s.torn_tail_bytes).sum();
         let floor = recovery.snapshot.as_ref().map(|(s, _)| *s).unwrap_or(0);
-        for payload in scan.records {
-            if payload.len() < 8 {
-                return Err(DurabilityError::Malformed {
-                    context: "journal record".into(),
-                    detail: format!("{} bytes is too short for a sequence tag", payload.len()),
-                });
-            }
-            let seq = u64::from_le_bytes([
-                payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
-                payload[7],
-            ]);
-            if seq > floor {
-                recovery.journal.push(JournalEntry {
-                    seq,
-                    payload: payload[8..].to_vec(),
-                });
-            }
-        }
-        recovery.journal.sort_by_key(|e| e.seq);
-        for pair in recovery.journal.windows(2) {
-            if pair[0].seq == pair[1].seq {
-                return Err(DurabilityError::Corrupt {
-                    path: journal_path.display().to_string(),
-                    offset: 0,
-                    detail: format!("sequence {} recorded twice", pair[0].seq),
-                });
-            }
-        }
+        let merged = merge_segments(&segments, floor, |idx| self.segment_path(idx))?;
+        recovery.journal = merged
+            .into_iter()
+            .filter(|(seq, _)| *seq > floor)
+            .map(|(seq, (_, payload))| JournalEntry { seq, payload })
+            .collect();
         Ok(recovery)
     }
+}
+
+/// Merges per-segment journal scans into a `seq -> (segment, payload)`
+/// map, enforcing the duplicate rules:
+///
+/// * same segment, `seq > floor` — [`DurabilityError::Corrupt`]: a live
+///   sequence was genuinely recorded twice.
+/// * same segment, `seq <= floor` — tolerated, last wins: a crash
+///   between snapshot and prune can legitimately re-append a covered
+///   sequence, and replay skips it anyway.
+/// * different segments, byte-identical payload — tolerated, the newer
+///   segment wins: this is the signature of a crash between
+///   compaction's rename and its removes.
+/// * different segments, differing payloads — [`DurabilityError::Corrupt`]:
+///   two histories disagree and neither can be trusted.
+fn merge_segments(
+    segments: &[(u64, JournalScan)],
+    floor: u64,
+    segment_path: impl Fn(u64) -> PathBuf,
+) -> Result<BTreeMap<u64, (u64, Vec<u8>)>, DurabilityError> {
+    let mut by_seq: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new();
+    for (idx, scan) in segments {
+        for payload in &scan.records {
+            let Some(seq) = record_seq(payload) else {
+                return Err(DurabilityError::Malformed {
+                    context: format!("journal record in {}", segment_path(*idx).display()),
+                    detail: format!("{} bytes is too short for a sequence tag", payload.len()),
+                });
+            };
+            let body = payload[8..].to_vec();
+            if let Some((prev_idx, prev_body)) = by_seq.get(&seq) {
+                if prev_idx == idx {
+                    if seq > floor {
+                        return Err(DurabilityError::Corrupt {
+                            path: segment_path(*idx).display().to_string(),
+                            offset: 0,
+                            detail: format!("sequence {seq} recorded twice"),
+                        });
+                    }
+                } else if *prev_body != body {
+                    return Err(DurabilityError::Corrupt {
+                        path: segment_path(*idx).display().to_string(),
+                        offset: 0,
+                        detail: format!("sequence {seq} differs across journal segments"),
+                    });
+                }
+            }
+            by_seq.insert(seq, (*idx, body));
+        }
+    }
+    Ok(by_seq)
 }
 
 /// Extracts the sequence tag [`Store::append_journal`] prefixed.
@@ -432,6 +721,147 @@ mod tests {
         let r = s.load().unwrap();
         assert_eq!(r.journal.len(), 1);
         assert_eq!(r.torn_tail_bytes, 5);
+    }
+
+    #[test]
+    fn appends_roll_to_new_segments_past_threshold() {
+        let s = store().with_journal_roll_bytes(64);
+        for seq in 1..=20u64 {
+            s.append_journal(seq, format!("batch-{seq}").as_bytes())
+                .unwrap();
+        }
+        let segments = s.journal_segments().unwrap();
+        assert!(
+            segments.len() > 1,
+            "expected rolling, got segments {segments:?}"
+        );
+        let r = s.load().unwrap();
+        assert_eq!(r.journal.len(), 20);
+        assert_eq!(r.journal[0].seq, 1);
+        assert_eq!(r.journal[19].seq, 20);
+    }
+
+    #[test]
+    fn compaction_merges_segments_and_drops_covered_records() {
+        let s = store().with_journal_roll_bytes(32);
+        for seq in 1..=10u64 {
+            s.append_journal(seq, format!("batch-{seq}").as_bytes())
+                .unwrap();
+        }
+        assert!(s.journal_segments().unwrap().len() > 1);
+        let outcome = s.compact_journal(6).unwrap();
+        assert_eq!(outcome.live_records, 4);
+        assert_eq!(outcome.dropped_records, 6);
+        assert!(outcome.new_segment.is_some());
+        // All old segments replaced by exactly one compacted segment.
+        assert_eq!(
+            s.journal_segments().unwrap(),
+            vec![outcome.new_segment.unwrap()]
+        );
+        let r = s.load().unwrap();
+        assert_eq!(
+            r.journal.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+    }
+
+    #[test]
+    fn compaction_to_empty_removes_all_segments() {
+        let s = store();
+        s.append_journal(1, b"b1").unwrap();
+        s.append_journal(2, b"b2").unwrap();
+        let outcome = s.compact_journal(2).unwrap();
+        assert_eq!(outcome.live_records, 0);
+        assert_eq!(outcome.new_segment, None);
+        assert!(s.journal_segments().unwrap().is_empty());
+        assert!(s.load().unwrap().journal.is_empty());
+    }
+
+    #[test]
+    fn single_clean_segment_is_not_rewritten() {
+        let s = store();
+        s.append_journal(5, b"b5").unwrap();
+        let before = s.fs().read(&s.journal_path()).unwrap();
+        let outcome = s.compact_journal(2).unwrap();
+        assert_eq!(outcome, CompactionOutcome::default());
+        assert_eq!(s.fs().read(&s.journal_path()).unwrap(), before);
+    }
+
+    #[test]
+    fn crash_between_compaction_rename_and_prune_self_heals() {
+        let s = store().with_journal_roll_bytes(32);
+        for seq in 1..=6u64 {
+            s.append_journal(seq, format!("batch-{seq}").as_bytes())
+                .unwrap();
+        }
+        // Keep a copy of a pre-compaction segment holding *live*
+        // records, compact, then put the copy back — exactly the
+        // on-disk state a crash between the compacted segment's rename
+        // and the old segments' removal leaves behind: the same live
+        // sequences present byte-identically in two segments.
+        let live_segment = s.segment_path(1);
+        let old = s.fs().read(&live_segment).unwrap();
+        let outcome = s.compact_journal(2).unwrap();
+        s.fs().write(&live_segment, &old).unwrap();
+
+        // Load resolves the byte-identical duplicates (newer segment
+        // wins) instead of declaring corruption.
+        let r = s.load().unwrap();
+        assert_eq!(
+            r.journal.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        // And the next compaction sweeps the leftover segment away.
+        let outcome2 = s.compact_journal(2).unwrap();
+        assert!(outcome2.segments_removed >= 2);
+        assert_ne!(outcome2.new_segment, outcome.new_segment);
+        let r = s.load().unwrap();
+        assert_eq!(
+            r.journal.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn conflicting_payloads_across_segments_are_corrupt() {
+        let s = store();
+        s.append_journal(7, b"history-a").unwrap();
+        // Forge a second segment claiming a different payload for the
+        // same live sequence.
+        let mut tagged = 7u64.to_le_bytes().to_vec();
+        tagged.extend_from_slice(b"history-b");
+        s.fs()
+            .append(&s.segment_path(1), &crate::journal::encode_record(&tagged))
+            .unwrap();
+        let err = s.load().unwrap_err();
+        assert!(
+            matches!(&err, DurabilityError::Corrupt { detail, .. } if detail.contains("differs across")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn journal_records_ignores_the_snapshot_floor() {
+        let s = store().with_journal_roll_bytes(32);
+        for seq in 1..=5u64 {
+            s.append_journal(seq, format!("batch-{seq}").as_bytes())
+                .unwrap();
+        }
+        // Two snapshots: compaction's cutoff is the *oldest retained*
+        // (1), while load()'s replay floor is the newest (5).
+        let report = s.write_snapshot(1, b"state@1").unwrap();
+        assert!(report.error.is_none());
+        let report = s.write_snapshot(5, b"state@5").unwrap();
+        assert!(report.error.is_none());
+        // load() filters to seq > 5 …
+        assert!(s.load().unwrap().journal.is_empty());
+        // … while journal_records() reports everything still on disk,
+        // which is what the replay-dedup index must be derived from.
+        let all = s.journal_records().unwrap();
+        assert_eq!(
+            all.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
     }
 
     #[test]

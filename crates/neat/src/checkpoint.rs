@@ -61,7 +61,10 @@ use std::path::{Path, PathBuf};
 /// Version of the checkpoint state payload. Bump on any wire-format
 /// change; older snapshots are rejected with a structured error rather
 /// than misparsed.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial format; 2 — retention watermark added to
+/// the state payload and expiry operations added to the journal.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Everything that can go wrong saving or resuming a checkpoint.
 ///
@@ -235,6 +238,7 @@ pub(crate) struct StateParts<'s> {
     pub batches: usize,
     pub last_stats: Phase3Stats,
     pub resilience: &'s ResilienceCounters,
+    pub watermark: Option<f64>,
 }
 
 /// Decoded snapshot state, ready to rebuild the online clusterer.
@@ -244,6 +248,7 @@ pub(crate) struct DecodedState {
     pub batches: usize,
     pub last_stats: Phase3Stats,
     pub resilience: ResilienceCounters,
+    pub watermark: Option<f64>,
 }
 
 fn enc_location(e: &mut Enc, loc: &RoadLocation) {
@@ -293,6 +298,13 @@ pub(crate) fn encode_state(parts: &StateParts<'_>) -> Vec<u8> {
     e.u64(config_hash(parts.config));
     e.u64(network_fingerprint(parts.net));
     e.usize(parts.batches);
+    match parts.watermark {
+        Some(w) => {
+            e.u8(1);
+            e.f64(w);
+        }
+        None => e.u8(0),
+    }
     e.usize(parts.flows.len());
     for flow in parts.flows {
         e.usize(flow.members().len());
@@ -354,6 +366,11 @@ pub(crate) fn decode_state(
         });
     }
     let batches = d.usize("batch count")?;
+    let watermark = match d.u8("watermark flag")? {
+        0 => None,
+        1 => Some(d.f64("watermark")?),
+        other => return Err(invalid(format!("unknown watermark flag {other}"))),
+    };
 
     let flow_count = d.count("flow cluster count", 8)?;
     let mut flows = Vec::with_capacity(flow_count);
@@ -408,6 +425,7 @@ pub(crate) fn decode_state(
             repaired,
             skipped_ids,
         },
+        watermark,
     })
 }
 
@@ -448,6 +466,38 @@ fn rebuild_flow(
     }
     FlowCluster::from_parts(members, nodes)
         .ok_or_else(|| invalid(format!("flow {fi}: could not reassemble members")))
+}
+
+/// First payload byte of a journaled expiry operation. Disjoint from
+/// every [`policy_code`] (0–2), so the two record kinds are told apart
+/// by peeking one byte.
+pub(crate) const EXPIRY_MARKER: u8 = 0xE0;
+
+/// Whether a journal payload is an expiry operation rather than a batch.
+pub(crate) fn is_expiry_record(payload: &[u8]) -> bool {
+    payload.first() == Some(&EXPIRY_MARKER)
+}
+
+/// Encodes a journaled watermark advance.
+pub(crate) fn encode_expiry(watermark: f64) -> Vec<u8> {
+    let mut e = Enc::with_capacity(9);
+    e.u8(EXPIRY_MARKER);
+    e.f64(watermark);
+    e.into_bytes()
+}
+
+/// Decodes a journaled watermark advance.
+pub(crate) fn decode_expiry(payload: &[u8]) -> Result<f64, CheckpointError> {
+    let mut d = Dec::new(payload);
+    let marker = d.u8("expiry marker")?;
+    if marker != EXPIRY_MARKER {
+        return Err(invalid(format!(
+            "expected expiry marker {EXPIRY_MARKER:#04x}, found {marker:#04x}"
+        )));
+    }
+    let w = d.f64("expiry watermark")?;
+    d.expect_exhausted("expiry record")?;
+    Ok(w)
 }
 
 fn policy_code(policy: ErrorPolicy) -> u8 {
@@ -550,10 +600,20 @@ impl<F: Fs> CheckpointStore<F> {
             .append_journal(seq, &encode_batch(batch, policy))?)
     }
 
+    /// Appends one applied watermark advance to the journal, tagged with
+    /// its operation sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Durability`] on filesystem failure.
+    pub fn log_expiry(&self, seq: u64, watermark: f64) -> Result<(), CheckpointError> {
+        Ok(self.store.append_journal(seq, &encode_expiry(watermark))?)
+    }
+
     /// Batch IDs (journaled dataset names) of **every** record currently
-    /// in the journal, with their sequence numbers, in on-disk order —
-    /// including records already covered by a snapshot that pruning has
-    /// not yet dropped.
+    /// in the journal, with their sequence numbers, in sequence order —
+    /// including records already covered by a snapshot that compaction
+    /// has not yet dropped, across all journal segments.
     ///
     /// This is the service layer's idempotent-replay index: a spool file
     /// whose name appears here was applied and journaled, so finding it
@@ -572,27 +632,85 @@ impl<F: Fs> CheckpointStore<F> {
     /// [`CheckpointError::InvalidState`] on a record too short to carry
     /// its tag or an undecodable batch header.
     pub fn journaled_batch_ids(&self) -> Result<Vec<(u64, String)>, CheckpointError> {
-        let scan =
-            neat_durability::journal::read_journal(self.store.fs(), &self.store.journal_path())?;
-        let mut ids = Vec::with_capacity(scan.records.len());
-        for payload in &scan.records {
-            let tagged = payload.get(8..).ok_or_else(|| {
-                invalid(format!(
-                    "journal record of {} bytes is too short for a sequence tag",
-                    payload.len()
-                ))
-            })?;
-            let head: [u8; 8] = payload[..8]
-                .try_into()
-                .map_err(|_| invalid("journal sequence tag unreadable".to_string()))?;
-            let seq = u64::from_le_bytes(head);
+        let records = self.store.journal_records()?;
+        let mut ids = Vec::with_capacity(records.len());
+        for entry in &records {
+            // Expiry operations carry no batch id; they are not
+            // replayable pushes, so the index skips them.
+            if is_expiry_record(&entry.payload) {
+                continue;
+            }
             // Only the header (policy byte + name) is needed; skip the
             // trajectory payload.
-            let mut d = Dec::new(tagged);
+            let mut d = Dec::new(&entry.payload);
             policy_from_code(d.u8("policy code")?)?;
-            ids.push((seq, d.str("dataset name")?.to_string()));
+            ids.push((entry.seq, d.str("dataset name")?.to_string()));
         }
         Ok(ids)
+    }
+
+    /// Like [`CheckpointStore::journaled_batch_ids`], but with each
+    /// batch's maximum point time attached — the service layer's
+    /// bounded replay index: an ID may be dropped from the durable
+    /// index once its journal records are compacted away **and** its
+    /// `max_time` is below the watermark, because re-ingesting such a
+    /// batch is provably a state no-op (every flow it could form is
+    /// filtered by watermark admission).
+    ///
+    /// An empty batch reports `f64::NEG_INFINITY` — vacuously below any
+    /// watermark, which is correct: replaying it changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CheckpointStore::journaled_batch_ids`], plus
+    /// [`CheckpointError::InvalidState`] on an undecodable batch body.
+    pub fn journaled_batch_index(&self) -> Result<Vec<(u64, String, f64)>, CheckpointError> {
+        let records = self.store.journal_records()?;
+        let mut index = Vec::with_capacity(records.len());
+        for entry in &records {
+            if is_expiry_record(&entry.payload) {
+                continue;
+            }
+            let (batch, _policy) = decode_batch(&entry.payload)?;
+            let max_time = batch
+                .trajectories()
+                .iter()
+                .map(|t| t.last().time)
+                .fold(f64::NEG_INFINITY, f64::max);
+            index.push((entry.seq, batch.name().to_string(), max_time));
+        }
+        Ok(index)
+    }
+
+    /// The sequence floor journal compaction prunes up to: the oldest
+    /// *retained* snapshot (zero with no snapshot on disk). Records at
+    /// or below this floor may disappear from the journal at any
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Durability`] when the directory cannot be
+    /// listed.
+    pub fn retained_floor(&self) -> Result<u64, CheckpointError> {
+        let seqs = self.store.snapshot_seqs()?;
+        let retained = &seqs[seqs
+            .len()
+            .saturating_sub(neat_durability::store::RETAIN_SNAPSHOTS)..];
+        Ok(retained.first().copied().unwrap_or(0))
+    }
+
+    /// Compacts the journal past the oldest retained snapshot — the
+    /// same reclamation a checkpoint performs, callable on its own so a
+    /// service can retry a failed compaction (or force one on a cadence)
+    /// without writing a new snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Durability`] on filesystem failure; the
+    /// journal stays loadable from the old segments.
+    pub fn compact_journal(&self) -> Result<neat_durability::CompactionOutcome, CheckpointError> {
+        let cutoff = self.retained_floor()?;
+        Ok(self.store.compact_journal(cutoff)?)
     }
 
     /// The underlying durability store.
@@ -666,6 +784,7 @@ mod tests {
                 one_to_many_scans: 2,
             },
             resilience,
+            watermark: Some(123.5),
         }
     }
 
@@ -683,6 +802,7 @@ mod tests {
         let state = decode_state(&payload, &net, &config).unwrap();
         assert_eq!(state.flows, flows);
         assert_eq!(state.batches, 7);
+        assert_eq!(state.watermark, Some(123.5));
         assert_eq!(state.last_stats.pairs_considered, 10);
         assert_eq!(state.resilience.skipped, 2);
         assert_eq!(state.resilience.skipped_ids, res.skipped_ids);
@@ -800,6 +920,23 @@ mod tests {
         let mut payload = encode_batch(&batch, ErrorPolicy::Skip);
         payload.push(0);
         assert!(decode_batch(&payload).is_err());
+    }
+
+    #[test]
+    fn expiry_record_round_trips_and_is_distinguishable() {
+        let payload = encode_expiry(98.25);
+        assert!(is_expiry_record(&payload));
+        assert_eq!(decode_expiry(&payload).unwrap(), 98.25);
+        // Batch records never look like expiry records: their first byte
+        // is a policy code, disjoint from the marker.
+        for policy in [ErrorPolicy::Strict, ErrorPolicy::Skip, ErrorPolicy::Repair] {
+            assert!(!is_expiry_record(&encode_batch(&Dataset::new("b"), policy)));
+        }
+        // Truncated or padded expiry records are rejected.
+        assert!(decode_expiry(&payload[..5]).is_err());
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_expiry(&padded).is_err());
     }
 
     #[test]

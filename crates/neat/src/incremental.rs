@@ -20,6 +20,7 @@ use crate::phase1::{form_base_clusters_ctl, form_base_clusters_with_policy, Resi
 use crate::phase2::{form_flow_clusters, form_flow_clusters_ctl};
 use crate::phase3::{refine_flow_clusters, refine_flow_clusters_ctl, Phase3Stats};
 use crate::pipeline::Mode;
+use crate::retention::{self, ExpiryOutcome};
 use neat_durability::fs::Fs;
 use neat_rnet::RoadNetwork;
 use neat_runctl::{Control, Interrupt};
@@ -84,6 +85,9 @@ pub struct IncrementalNeat<'a> {
     batches: usize,
     last_stats: Phase3Stats,
     resilience: ResilienceCounters,
+    /// Logical-time retention watermark: every retained t-fragment has
+    /// `last.time >= watermark`. `None` until the first expiry.
+    watermark: Option<f64>,
 }
 
 impl<'a> IncrementalNeat<'a> {
@@ -96,12 +100,26 @@ impl<'a> IncrementalNeat<'a> {
             batches: 0,
             last_stats: Phase3Stats::default(),
             resilience: ResilienceCounters::default(),
+            watermark: None,
         }
     }
 
-    /// Number of batches ingested so far.
+    /// Number of state-changing operations applied so far. Every ingest
+    /// *and* every watermark advance counts one: this is the sequence
+    /// domain of the checkpoint journal, so replay stays contiguous when
+    /// expiry records are interleaved with batches.
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// The current retention watermark, if any expiry has run.
+    pub fn watermark(&self) -> Option<f64> {
+        self.watermark
+    }
+
+    /// Number of t-fragments currently retained across all flows.
+    pub fn live_fragments(&self) -> usize {
+        self.flows.iter().map(FlowCluster::density).sum()
     }
 
     /// The retained flow clusters (across all batches).
@@ -145,7 +163,7 @@ impl<'a> IncrementalNeat<'a> {
         let (p1, counters) =
             form_base_clusters_with_policy(self.net, batch, self.config.insert_junctions, policy)?;
         let p2 = form_flow_clusters(self.net, p1.base_clusters, &self.config)?;
-        self.flows.extend(p2.flow_clusters);
+        self.flows.extend(self.admit_flows(p2.flow_clusters));
         self.batches += 1;
         self.resilience.merge(&counters);
         let p3 = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
@@ -242,7 +260,8 @@ impl<'a> IncrementalNeat<'a> {
         }
 
         // Both batch phases completed: fold into the retained state.
-        self.flows.extend(p2.flow_clusters);
+        let admitted = self.admit_flows(p2.flow_clusters);
+        self.flows.extend(admitted);
         self.batches += 1;
         self.resilience.merge(&counters);
 
@@ -301,6 +320,98 @@ impl<'a> IncrementalNeat<'a> {
         Ok(p3.clusters)
     }
 
+    /// Filters freshly formed batch flows through the current watermark
+    /// before they join the retained set. Running the *same* per-flow
+    /// expiry at ingest time is what makes expiry commute with ingestion
+    /// (`ingest(A); expire(w); ingest(B)` ≡
+    /// `ingest(A); ingest(B); expire(w)`): both orders leave exactly
+    /// `expire(flows_A) ++ expire(flows_B)` retained.
+    fn admit_flows(&self, fresh: Vec<FlowCluster>) -> Vec<FlowCluster> {
+        match self.watermark {
+            None => fresh,
+            Some(w) => retention::expire_flows(fresh, w).0,
+        }
+    }
+
+    /// Advances the retention watermark to `watermark` and expires every
+    /// retained t-fragment observed strictly before it
+    /// (`fragment.last.time < watermark`). Flows whose interior members
+    /// empty out are split into contiguous runs; fully expired flows are
+    /// dropped. The state is re-refined and the cluster-level changes are
+    /// reported as typed [`retention::DriftEvent`]s.
+    ///
+    /// The watermark is monotonic: a `watermark` at or below the current
+    /// one is an idempotent no-op (`advanced == false`, no state change,
+    /// no operation counted). An advance counts one operation in
+    /// [`IncrementalNeat::batches`] — the journal sequence domain — even
+    /// when nothing expires, because the new watermark itself changes how
+    /// future batches are admitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the refinement phase.
+    pub fn expire_before(&mut self, watermark: f64) -> Result<ExpiryOutcome, NeatError> {
+        self.config.validate()?;
+        if let Some(current) = self.watermark {
+            if watermark <= current {
+                let p3 = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
+                return Ok(ExpiryOutcome {
+                    watermark: current,
+                    advanced: false,
+                    expired_fragments: 0,
+                    expired_flows: 0,
+                    split_flows: 0,
+                    events: Vec::new(),
+                    clusters: p3.clusters,
+                });
+            }
+        }
+        let before = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
+        let (kept, stats) = retention::expire_flows(std::mem::take(&mut self.flows), watermark);
+        self.flows = kept;
+        self.watermark = Some(watermark);
+        self.batches += 1;
+        let after = refine_flow_clusters(self.net, self.flows.clone(), &self.config)?;
+        self.last_stats = after.stats;
+        let events = retention::diff_drift(&before.clusters, &after.clusters);
+        Ok(ExpiryOutcome {
+            watermark,
+            advanced: true,
+            expired_fragments: stats.expired_fragments,
+            expired_flows: stats.expired_flows,
+            split_flows: stats.split_flows,
+            events,
+            clusters: after.clusters,
+        })
+    }
+
+    /// [`IncrementalNeat::expire_before`] plus durability: a watermark
+    /// advance is appended to `store`'s journal as an expiry operation so
+    /// a crash before the next snapshot replays it at the same point in
+    /// the operation stream. No-op expiries journal nothing.
+    ///
+    /// The same divergence-window invariant as
+    /// [`IncrementalNeat::ingest_logged`] applies when the append fails.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Neat`] when refinement fails (nothing applied),
+    /// [`CheckpointError::Durability`] when the journal append fails (the
+    /// expiry *was* applied; repair with a checkpoint or restart).
+    pub fn expire_logged<F: Fs>(
+        &mut self,
+        watermark: f64,
+        store: &CheckpointStore<F>,
+    ) -> Result<ExpiryOutcome, CheckpointError> {
+        let outcome = self
+            .expire_before(watermark)
+            .map_err(CheckpointError::Neat)?;
+        if outcome.advanced {
+            store.log_expiry(self.batches as u64, watermark)?;
+        }
+        Ok(outcome)
+    }
+
     /// [`IncrementalNeat::ingest_with_policy`] plus durability: after the
     /// batch is successfully applied, it is appended to `store`'s batch
     /// journal so a crash before the next snapshot replays it.
@@ -353,19 +464,25 @@ impl<'a> IncrementalNeat<'a> {
     }
 
     /// Atomically snapshots the full retained state (flows, counters,
-    /// batch count, Phase-3 stats) into `store`, tagged with the current
-    /// configuration hash and road-network fingerprint. Older snapshots
-    /// and already-covered journal records are pruned per the store's
-    /// retention policy.
+    /// batch count, watermark, Phase-3 stats) into `store`, tagged with
+    /// the current configuration hash and road-network fingerprint.
+    /// Older snapshots and already-covered journal records are then
+    /// reclaimed per the store's retention policy.
+    ///
+    /// Retention is best-effort: the returned
+    /// [`RetentionReport`](neat_durability::RetentionReport) carries the
+    /// compaction outcome and any non-fatal reclamation error (e.g.
+    /// disk full while compacting) — the snapshot itself is durable
+    /// either way and the store keeps serving from the old segments.
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::Durability`] on filesystem failure; the
-    /// previous snapshot and journal survive intact.
+    /// [`CheckpointError::Durability`] only when the snapshot itself
+    /// failed to land; the previous snapshot and journal survive intact.
     pub fn save_checkpoint<F: Fs>(
         &self,
         store: &CheckpointStore<F>,
-    ) -> Result<(), CheckpointError> {
+    ) -> Result<neat_durability::RetentionReport, CheckpointError> {
         let payload = checkpoint::encode_state(&checkpoint::StateParts {
             config: &self.config,
             net: self.net,
@@ -373,6 +490,7 @@ impl<'a> IncrementalNeat<'a> {
             batches: self.batches,
             last_stats: self.last_stats,
             resilience: &self.resilience,
+            watermark: self.watermark,
         });
         Ok(store
             .store()
@@ -451,6 +569,7 @@ impl<'a> IncrementalNeat<'a> {
                     batches: state.batches,
                     last_stats: state.last_stats,
                     resilience: state.resilience,
+                    watermark: state.watermark,
                 }
             }
             None => IncrementalNeat::new(net, config),
@@ -464,13 +583,26 @@ impl<'a> IncrementalNeat<'a> {
                     got: entry.seq,
                 });
             }
-            let (batch, policy) = checkpoint::decode_batch(&entry.payload)?;
-            session
-                .ingest_with_policy(&batch, policy)
-                .map_err(|source| CheckpointError::Replay {
-                    seq: entry.seq,
-                    source,
-                })?;
+            // The journal is an *operation* log: a record is either an
+            // ingested batch or a watermark advance, told apart by the
+            // first payload byte (expiry marker vs. error-policy code).
+            if checkpoint::is_expiry_record(&entry.payload) {
+                let w = checkpoint::decode_expiry(&entry.payload)?;
+                session
+                    .expire_before(w)
+                    .map_err(|source| CheckpointError::Replay {
+                        seq: entry.seq,
+                        source,
+                    })?;
+            } else {
+                let (batch, policy) = checkpoint::decode_batch(&entry.payload)?;
+                session
+                    .ingest_with_policy(&batch, policy)
+                    .map_err(|source| CheckpointError::Replay {
+                        seq: entry.seq,
+                        source,
+                    })?;
+            }
             report.replayed_batches += 1;
         }
         Ok((session, report))
@@ -493,6 +625,7 @@ impl<'a> IncrementalNeat<'a> {
         self.batches = 0;
         self.last_stats = Phase3Stats::default();
         self.resilience = ResilienceCounters::default();
+        self.watermark = None;
     }
 }
 
@@ -504,6 +637,10 @@ mod tests {
     use neat_traj::{Trajectory, TrajectoryId};
 
     fn traverse(id0: u64, count: u64, segs: &[usize]) -> Vec<Trajectory> {
+        traverse_at(id0, count, segs, 0.0)
+    }
+
+    fn traverse_at(id0: u64, count: u64, segs: &[usize], t0: f64) -> Vec<Trajectory> {
         (0..count)
             .map(|i| {
                 let pts = segs
@@ -513,7 +650,7 @@ mod tests {
                         RoadLocation::new(
                             SegmentId::new(s),
                             Point::new(s as f64 * 100.0 + 50.0, 0.0),
-                            k as f64 * 10.0,
+                            t0 + k as f64 * 10.0,
                         )
                     })
                     .collect();
@@ -840,6 +977,115 @@ mod tests {
             format!("{:?}", out.clusters),
             "controlled retry must reproduce the uncontrolled ingest"
         );
+    }
+
+    #[test]
+    fn expire_before_removes_old_state_and_emits_drift() {
+        use crate::retention::DriftEvent;
+
+        let net = chain_network(12, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut old = Dataset::new("old");
+        old.extend(traverse_at(0, 3, &[0, 1, 2], 0.0));
+        online.ingest(&old).unwrap();
+        let mut fresh = Dataset::new("fresh");
+        fresh.extend(traverse_at(100, 3, &[8, 9, 10], 1000.0));
+        online.ingest(&fresh).unwrap();
+        assert_eq!(online.current_clusters().unwrap().len(), 2);
+        let live_before = online.live_fragments();
+
+        let out = online.expire_before(500.0).unwrap();
+        assert!(out.advanced);
+        assert_eq!(online.watermark(), Some(500.0));
+        assert_eq!(out.expired_flows, 1);
+        assert!(out.expired_fragments > 0);
+        assert!(online.live_fragments() < live_before);
+        assert_eq!(out.clusters.len(), 1);
+        // The old population's cluster died; the fresh one is untouched.
+        assert_eq!(out.events, vec![DriftEvent::Died { key: 0, size: 3 }]);
+        // Expiry counts one operation in the journal sequence domain.
+        assert_eq!(online.batches(), 3);
+
+        // Idempotent: re-expiring at or below the watermark is a no-op.
+        let noop = online.expire_before(500.0).unwrap();
+        assert!(!noop.advanced);
+        assert!(noop.events.is_empty());
+        assert_eq!(online.batches(), 3);
+        assert_eq!(noop.clusters.len(), 1);
+    }
+
+    #[test]
+    fn ingest_respects_the_watermark() {
+        let net = chain_network(12, 100.0, 10.0);
+        let mut online = IncrementalNeat::new(&net, cfg());
+        online.expire_before(500.0).unwrap();
+        // A batch entirely behind the watermark is admitted as nothing.
+        let mut stale = Dataset::new("stale");
+        stale.extend(traverse_at(0, 3, &[0, 1, 2], 0.0));
+        online.ingest(&stale).unwrap();
+        assert_eq!(online.live_fragments(), 0);
+        assert_eq!(online.batches(), 2);
+        // A batch ahead of it is admitted whole.
+        let mut fresh = Dataset::new("fresh");
+        fresh.extend(traverse_at(100, 3, &[8, 9, 10], 1000.0));
+        online.ingest(&fresh).unwrap();
+        assert!(online.live_fragments() > 0);
+    }
+
+    #[test]
+    fn expiry_checkpoint_resume_round_trip() {
+        use neat_durability::MemFs;
+
+        let net = chain_network(12, 100.0, 10.0);
+        let store = CheckpointStore::open(MemFs::new(), "/ckpt").unwrap();
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let mut b1 = Dataset::new("b1");
+        b1.extend(traverse_at(0, 3, &[0, 1, 2], 0.0));
+        online
+            .ingest_logged(&b1, ErrorPolicy::Strict, &store)
+            .unwrap();
+        online.save_checkpoint(&store).unwrap();
+        // Expiry and a later batch live only in the journal.
+        online.expire_logged(500.0, &store).unwrap();
+        let mut b2 = Dataset::new("b2");
+        b2.extend(traverse_at(100, 3, &[8, 9, 10], 1000.0));
+        let live = online
+            .ingest_logged(&b2, ErrorPolicy::Strict, &store)
+            .unwrap();
+
+        let (resumed, report) = IncrementalNeat::resume(&net, cfg(), &store).unwrap();
+        assert_eq!(report.snapshot_seq, Some(1));
+        assert_eq!(report.replayed_batches, 2); // expiry op + batch
+        assert_eq!(resumed.batches(), 3);
+        assert_eq!(resumed.watermark(), Some(500.0));
+        assert_eq!(resumed.flow_clusters(), online.flow_clusters());
+        let resumed_clusters = resumed.current_clusters().unwrap();
+        assert_eq!(format!("{live:#?}"), format!("{resumed_clusters:#?}"));
+
+        // A checkpoint after the expiry persists the watermark too.
+        online.save_checkpoint(&store).unwrap();
+        let (resumed2, report2) = IncrementalNeat::resume(&net, cfg(), &store).unwrap();
+        assert_eq!(report2.snapshot_seq, Some(3));
+        assert_eq!(report2.replayed_batches, 0);
+        assert_eq!(resumed2.watermark(), Some(500.0));
+        assert_eq!(resumed2.flow_clusters(), online.flow_clusters());
+    }
+
+    #[test]
+    fn noop_expiry_journals_nothing() {
+        use neat_durability::MemFs;
+
+        let net = chain_network(6, 100.0, 10.0);
+        let store = CheckpointStore::open(MemFs::new(), "/ckpt").unwrap();
+        let mut online = IncrementalNeat::new(&net, cfg());
+        let out = online.expire_logged(100.0, &store).unwrap();
+        assert!(out.advanced);
+        let noop = online.expire_logged(50.0, &store).unwrap();
+        assert!(!noop.advanced);
+        assert_eq!(online.batches(), 1);
+        let (resumed, report) = IncrementalNeat::resume(&net, cfg(), &store).unwrap();
+        assert_eq!(report.replayed_batches, 1);
+        assert_eq!(resumed.watermark(), Some(100.0));
     }
 
     #[test]

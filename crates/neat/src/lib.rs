@@ -56,6 +56,7 @@ pub mod phase2;
 pub mod phase3;
 pub mod pipeline;
 pub mod query;
+pub mod retention;
 
 pub use analysis::{ClusterStatistics, DirectionSplit, FlowStatistics};
 pub use checkpoint::{
@@ -74,3 +75,4 @@ pub use phase2::MergeEvent;
 pub use phase3::Phase3Stats;
 pub use pipeline::{Mode, Neat, NeatResult, PhaseTimings};
 pub use query::{FlowHit, FlowIndex};
+pub use retention::{diff_drift, DriftCounts, DriftEvent, ExpiryOutcome};

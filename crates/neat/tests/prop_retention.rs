@@ -1,0 +1,136 @@
+//! Property-based coverage of the retention algebra on the public
+//! `IncrementalNeat` API.
+//!
+//! The load-bearing law is *expiry/ingest commutativity*: for a fresh
+//! batch `B` (every observation at or after the watermark `w`),
+//!
+//! ```text
+//! ingest(A); expire(w); ingest(B)  ≡  ingest(A); ingest(B); expire(w)
+//! ```
+//!
+//! must hold on the retained state. This is what makes a windowed
+//! stream deterministic regardless of *when* the service interleaves
+//! watermark ticks with batches — the chaos and soak harnesses lean on
+//! it. The second law is idempotence: re-expiring at the same (or an
+//! older) watermark must change nothing and report `advanced = false`.
+
+use neat_core::{ErrorPolicy, IncrementalNeat, NeatConfig};
+use neat_rnet::netgen::chain_network;
+use neat_rnet::{Point, RoadLocation, RoadNetwork, SegmentId};
+use neat_traj::{Dataset, Trajectory, TrajectoryId};
+use proptest::prelude::*;
+
+/// Deterministic random walks along a chain network, with every
+/// timestamp offset by `t0` — the knob that makes a batch "old"
+/// (entirely behind a watermark) or "fresh" (entirely at/after it).
+fn walk_dataset(net: &RoadNetwork, walks: &[(usize, usize)], t0: f64, id_base: u64) -> Dataset {
+    let nsegs = net.segments().count();
+    let mut data = Dataset::new("prop");
+    for (i, &(start, len)) in walks.iter().enumerate() {
+        let s0 = start % nsegs;
+        let len = 1 + len % (nsegs - s0);
+        let mut points = Vec::new();
+        let mut t = t0 + i as f64 * 1000.0;
+        for seg in s0..s0 + len {
+            for j in 0..3u32 {
+                let x = seg as f64 * 100.0 + f64::from(j) * 30.0;
+                points.push(RoadLocation::new(
+                    SegmentId::new(seg),
+                    Point::new(x, 0.0),
+                    t,
+                ));
+                t += 5.0;
+            }
+        }
+        if points.len() >= 2 {
+            data.push(
+                Trajectory::new(TrajectoryId::new(id_base + i as u64), points).expect("valid walk"),
+            );
+        }
+    }
+    data
+}
+
+fn config() -> NeatConfig {
+    NeatConfig {
+        min_card: 2,
+        epsilon: 500.0,
+        ..NeatConfig::default()
+    }
+}
+
+/// Retained-state fingerprint: watermark, flows and resilience (the
+/// exact state a checkpoint would persist, minus the op counter, which
+/// both interleavings advance identically anyway).
+fn fingerprint(s: &IncrementalNeat<'_>) -> String {
+    format!(
+        "{:?}|{:#?}|{:#?}",
+        s.watermark(),
+        s.flow_clusters(),
+        s.resilience()
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `A` is old traffic, `B` fresh traffic entirely after `w`
+    /// (`w` may fall inside `A`, expiring it partially, or past it,
+    /// expiring it wholly — both sides of "entirely inside/outside the
+    /// window" are generated).
+    #[test]
+    fn expiry_commutes_with_fresh_ingest(
+        walks_a in proptest::collection::vec((0usize..6, 0usize..6), 1..10),
+        walks_b in proptest::collection::vec((0usize..6, 0usize..6), 1..10),
+        w in 500.0f64..90_000.0,
+    ) {
+        let net = chain_network(8, 100.0, 10.0);
+        // A's timestamps live in [0, ~10_500); B's start at 100_000,
+        // strictly after every generated watermark.
+        let a = walk_dataset(&net, &walks_a, 0.0, 0);
+        let b = walk_dataset(&net, &walks_b, 100_000.0, 1000);
+        prop_assume!(!a.is_empty() && !b.is_empty());
+
+        let mut early = IncrementalNeat::new(&net, config());
+        early.ingest_with_policy(&a, ErrorPolicy::Strict).unwrap();
+        early.expire_before(w).unwrap();
+        early.ingest_with_policy(&b, ErrorPolicy::Strict).unwrap();
+
+        let mut late = IncrementalNeat::new(&net, config());
+        late.ingest_with_policy(&a, ErrorPolicy::Strict).unwrap();
+        late.ingest_with_policy(&b, ErrorPolicy::Strict).unwrap();
+        late.expire_before(w).unwrap();
+
+        prop_assert_eq!(fingerprint(&early), fingerprint(&late));
+        prop_assert_eq!(early.batches(), late.batches());
+    }
+
+    /// Expiring twice at the same watermark — or again at any older
+    /// one — is a no-op that reports `advanced = false`.
+    #[test]
+    fn expiry_is_idempotent(
+        walks in proptest::collection::vec((0usize..6, 0usize..6), 1..10),
+        w in 500.0f64..20_000.0,
+        back in 0.0f64..5_000.0,
+    ) {
+        let net = chain_network(8, 100.0, 10.0);
+        let data = walk_dataset(&net, &walks, 0.0, 0);
+        prop_assume!(!data.is_empty());
+
+        let mut s = IncrementalNeat::new(&net, config());
+        s.ingest_with_policy(&data, ErrorPolicy::Strict).unwrap();
+        s.expire_before(w).unwrap();
+        let once = fingerprint(&s);
+        let ops = s.batches();
+
+        let again = s.expire_before(w).unwrap();
+        prop_assert!(!again.advanced, "same watermark must not re-advance");
+        prop_assert_eq!(again.expired_fragments, 0);
+        let older = s.expire_before(w - back).unwrap();
+        prop_assert!(!older.advanced, "older watermark must not regress");
+        prop_assert_eq!(older.expired_fragments, 0);
+
+        prop_assert_eq!(fingerprint(&s), once);
+        prop_assert_eq!(s.batches(), ops, "no-op expiry must not consume sequence numbers");
+    }
+}

@@ -46,6 +46,15 @@ pub struct SvcConfig {
     /// Worker restarts the supervisor performs before declaring the
     /// service unrecoverable.
     pub max_restarts: u32,
+    /// Retention window in trajectory-time units. After each applied
+    /// batch the watermark advances to `batch_max_time - window` and
+    /// t-fragments wholly behind it are expired. `None` (the default)
+    /// keeps everything forever — the pre-retention behavior.
+    pub window: Option<f64>,
+    /// Force a journal compaction every this many applied batches, in
+    /// addition to the compaction every checkpoint performs as part of
+    /// retention. `None` relies on checkpoint-time compaction alone.
+    pub compact_every_batches: Option<usize>,
 }
 
 impl SvcConfig {
@@ -71,6 +80,8 @@ impl SvcConfig {
             batch_deadline_ms: None,
             poison_after: 2,
             max_restarts: 8,
+            window: None,
+            compact_every_batches: None,
         }
     }
 }

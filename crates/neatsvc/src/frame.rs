@@ -30,6 +30,7 @@
 //! partial progress, which is what lets the connection handler enforce
 //! idle deadlines against a slowloris client.
 
+use neat_core::DriftCounts;
 use neat_durability::{crc32, Dec, DurabilityError, Enc};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -412,14 +413,35 @@ pub struct StatusReport {
     pub restarts: u64,
     /// Epoch of the tenant's current query view.
     pub last_epoch: u64,
+    /// Retention watermark as IEEE-754 bits (`f64::to_bits`), so the
+    /// report stays `Eq`; `None` until the first expiry (or when no
+    /// window is configured).
+    pub watermark_bits: Option<u64>,
+    /// T-fragments currently retained across all flows.
+    pub live_fragments: u64,
+    /// Watermark advances that actually expired state.
+    pub expiries: u64,
+    /// Cluster-drift lifecycle totals.
+    pub drift: DriftCounts,
+    /// Journal compactions completed.
+    pub compactions: u64,
+    /// Journal compactions failed (service keeps serving and retries).
+    pub compaction_failures: u64,
 }
 
 impl StatusReport {
     /// One-line operator rendering.
     pub fn digest(&self) -> String {
+        let watermark = match self.watermark_bits {
+            Some(bits) => format!("{}", f64::from_bits(bits)),
+            None => "none".to_string(),
+        };
         format!(
             "tenant={} status={} breaker={} trips={} applied={} batches={} accepted={} \
-             deferred={} shed={} poisoned={} duplicates={} restarts={} epoch={}",
+             deferred={} shed={} poisoned={} duplicates={} restarts={} epoch={} \
+             watermark={} live-fragments={} expiries={} \
+             drift=born:{},grew:{},shrank:{},merged:{},died:{} \
+             compactions={} compaction-failures={}",
             self.tenant,
             self.status,
             self.breaker,
@@ -432,7 +454,17 @@ impl StatusReport {
             self.poisoned,
             self.duplicates,
             self.restarts,
-            self.last_epoch
+            self.last_epoch,
+            watermark,
+            self.live_fragments,
+            self.expiries,
+            self.drift.born,
+            self.drift.grew,
+            self.drift.shrank,
+            self.drift.merged,
+            self.drift.died,
+            self.compactions,
+            self.compaction_failures
         )
     }
 }
@@ -461,8 +493,9 @@ pub enum Reply {
         /// Human-readable cause.
         reason: String,
     },
-    /// Answer to a [`Request::Status`] query.
-    Report(StatusReport),
+    /// Answer to a [`Request::Status`] query (boxed: the report is by
+    /// far the widest reply and would otherwise bloat every `Reply`).
+    Report(Box<StatusReport>),
 }
 
 impl Reply {
@@ -498,6 +531,22 @@ impl Reply {
                 e.u64(r.duplicates);
                 e.u64(r.restarts);
                 e.u64(r.last_epoch);
+                match r.watermark_bits {
+                    Some(bits) => {
+                        e.u8(1);
+                        e.u64(bits);
+                    }
+                    None => e.u8(0),
+                }
+                e.u64(r.live_fragments);
+                e.u64(r.expiries);
+                e.u64(r.drift.born);
+                e.u64(r.drift.grew);
+                e.u64(r.drift.shrank);
+                e.u64(r.drift.merged);
+                e.u64(r.drift.died);
+                e.u64(r.compactions);
+                e.u64(r.compaction_failures);
             }
         }
         e.into_bytes()
@@ -527,7 +576,7 @@ impl Reply {
             KIND_REJECT => Reply::Reject {
                 reason: d.str("reject reason")?.to_string(),
             },
-            KIND_REPORT => Reply::Report(StatusReport {
+            KIND_REPORT => Reply::Report(Box::new(StatusReport {
                 tenant: d.str("report tenant")?.to_string(),
                 status: d.str("report status")?.to_string(),
                 breaker: d.str("report breaker")?.to_string(),
@@ -541,7 +590,27 @@ impl Reply {
                 duplicates: d.u64("report duplicates")?,
                 restarts: d.u64("report restarts")?,
                 last_epoch: d.u64("report epoch")?,
-            }),
+                watermark_bits: match d.u8("report watermark flag")? {
+                    0 => None,
+                    1 => Some(d.u64("report watermark bits")?),
+                    other => {
+                        return Err(FrameError::Malformed(format!(
+                            "bad watermark flag {other:#04x}"
+                        )))
+                    }
+                },
+                live_fragments: d.u64("report live fragments")?,
+                expiries: d.u64("report expiries")?,
+                drift: DriftCounts {
+                    born: d.u64("report drift born")?,
+                    grew: d.u64("report drift grew")?,
+                    shrank: d.u64("report drift shrank")?,
+                    merged: d.u64("report drift merged")?,
+                    died: d.u64("report drift died")?,
+                },
+                compactions: d.u64("report compactions")?,
+                compaction_failures: d.u64("report compaction failures")?,
+            })),
             other => {
                 return Err(FrameError::Malformed(format!(
                     "unknown reply kind {other:#04x}"
@@ -592,14 +661,34 @@ mod tests {
             Reply::Reject {
                 reason: "poison".into(),
             },
-            Reply::Report(StatusReport {
+            Reply::Report(Box::new(StatusReport {
                 tenant: "sj".into(),
                 status: "running".into(),
                 breaker: "closed".into(),
                 applied: 4,
                 last_epoch: 4,
                 ..StatusReport::default()
-            }),
+            })),
+            Reply::Report(Box::new(StatusReport {
+                tenant: "atl".into(),
+                status: "degraded".into(),
+                breaker: "closed".into(),
+                applied: 12,
+                last_epoch: 14,
+                watermark_bits: Some(420.5f64.to_bits()),
+                live_fragments: 37,
+                expiries: 3,
+                drift: DriftCounts {
+                    born: 2,
+                    grew: 5,
+                    shrank: 1,
+                    merged: 1,
+                    died: 2,
+                },
+                compactions: 4,
+                compaction_failures: 1,
+                ..StatusReport::default()
+            })),
         ] {
             let wire = reply.encode();
             let body = unframe(&wire, DEFAULT_MAX_FRAME).unwrap();

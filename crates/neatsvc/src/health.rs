@@ -1,6 +1,7 @@
 //! Service health: counters, status, and the storage-retry surface.
 
 use crate::queue::Backpressure;
+use neat_core::DriftCounts;
 use neat_durability::retry::RetryStats;
 
 /// Coarse service state, mapped onto exit codes by the CLI layer
@@ -64,6 +65,20 @@ pub struct Health {
     pub journal_repairs: u64,
     /// Supervised worker restarts performed.
     pub restarts: u64,
+    /// Watermark advances that actually expired or re-refined state
+    /// (one per journaled expiry operation).
+    pub expiries: u64,
+    /// T-fragments removed by retention since the service opened.
+    pub expired_fragments: u64,
+    /// Cluster-drift lifecycle totals across all expiries.
+    pub drift: DriftCounts,
+    /// Journal compactions that completed (checkpoint retention,
+    /// forced cadence, or a successful retry).
+    pub compactions: u64,
+    /// Journal compactions that failed (e.g. ENOSPC mid-rewrite). The
+    /// service keeps serving from the old segments and retries with
+    /// backoff.
+    pub compaction_failures: u64,
     /// Backpressure state of the most recent spool scan.
     pub backpressure: Backpressure,
     /// Most recent worker failure, for diagnostics.
@@ -83,7 +98,8 @@ impl Health {
         };
         format!(
             "applied={} accepted={} deferred={} shed={} poisoned={} spool-races={} dup-skipped={} \
-             degraded={} checkpoints={} journal-repairs={} restarts={} backpressure={}{}",
+             degraded={} checkpoints={} journal-repairs={} restarts={} expiries={} expired={} \
+             drift={} compactions={} compaction-failures={} backpressure={}{}",
             self.applied,
             self.accepted,
             self.deferred,
@@ -95,6 +111,11 @@ impl Health {
             self.checkpoints,
             self.journal_repairs,
             self.restarts,
+            self.expiries,
+            self.expired_fragments,
+            self.drift.total(),
+            self.compactions,
+            self.compaction_failures,
             self.backpressure.name(),
             retry
         )

@@ -47,15 +47,36 @@ use crate::snapshot::{QueryView, SnapshotCell};
 use crate::spool;
 use neat_core::checkpoint::{CheckpointError, CheckpointStore};
 use neat_core::incremental::IncrementalNeat;
+use neat_durability::codec::{Dec, Enc};
 use neat_durability::fs::{write_atomic, Fs};
 use neat_durability::journal;
-use neat_durability::retry::RetryStats;
+use neat_durability::retry::{JitterBackoff, NoSleep, RetryStats};
 use neat_rnet::RoadNetwork;
 use neat_runctl::{CancelToken, Clock, Control, Interrupt, OverrunMode, RunBudget};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Version header of the on-disk applied-ID index: a format-tag record
+/// written first, so a pre-retention index (bare UTF-8 IDs, no
+/// metadata) is still recognized and loaded conservatively.
+const APPLIED_IDS_HEADER: &[u8] = b"AIDX2";
+
+/// What the replay index remembers about one applied batch: the journal
+/// sequence its record landed at and the largest observation time it
+/// carried. Together they decide when the ID itself may be retired (see
+/// [`Service::prune_applied_ids`]).
+#[derive(Debug, Clone, Copy)]
+struct AppliedMeta {
+    /// Journal sequence of the batch record (0 when unknown — a legacy
+    /// index entry — which keeps the ID forever).
+    seq: u64,
+    /// Largest trajectory-point time in the batch
+    /// (`f64::INFINITY` when unknown, which keeps the ID forever).
+    max_time: f64,
+}
 
 /// Infrastructure-level service failure (never a single bad batch —
 /// those go down the poison path instead).
@@ -154,8 +175,9 @@ pub struct Service<'n, F: Fs + Clone> {
     cancel: CancelToken,
     health: Health,
     status: ServiceStatus,
-    /// Batch IDs present in the journal — the idempotent-replay index.
-    applied_ids: BTreeSet<String>,
+    /// Batch IDs applied and journaled — the idempotent-replay index —
+    /// with the metadata retention needs to eventually retire them.
+    applied_ids: BTreeMap<String, AppliedMeta>,
     /// Failure counts per batch ID, kept across supervised restarts so
     /// a batch that keeps crashing the worker still reaches the poison
     /// threshold.
@@ -164,6 +186,18 @@ pub struct Service<'n, F: Fs + Clone> {
     current: Option<String>,
     batches_since_ckpt: usize,
     ops_since_ckpt: u64,
+    /// Applied batches since the last forced journal compaction
+    /// ([`compact_every_batches`](SvcConfig::compact_every_batches)).
+    batches_since_compact: usize,
+    /// A journal compaction failed and a retry is scheduled; the
+    /// service keeps serving from the uncompacted segments meanwhile.
+    compaction_pending: bool,
+    /// Consecutive failed compaction attempts (drives the backoff).
+    compaction_attempt: u32,
+    /// Ticks to wait before the next compaction retry.
+    compaction_hold_ticks: u64,
+    /// Deterministic jittered backoff for compaction retries.
+    compaction_backoff: JitterBackoff<NoSleep>,
     retry_probe: Option<Arc<dyn Fn() -> RetryStats + Send + Sync>>,
 }
 
@@ -225,11 +259,21 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
             cancel,
             health: Health::default(),
             status: ServiceStatus::Running,
-            applied_ids: BTreeSet::new(),
+            applied_ids: BTreeMap::new(),
             attempts: HashMap::new(),
             current: None,
             batches_since_ckpt: 0,
             ops_since_ckpt: 0,
+            batches_since_compact: 0,
+            compaction_pending: false,
+            compaction_attempt: 0,
+            compaction_hold_ticks: 0,
+            compaction_backoff: JitterBackoff::with_sleeper(
+                0x5ea7_c0de,
+                Duration::from_millis(20),
+                Duration::from_secs(2),
+                NoSleep,
+            ),
             retry_probe: None,
         };
         svc.recover()?;
@@ -300,7 +344,14 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
     /// the network layer consults to acknowledge duplicate sends
     /// without re-applying.
     pub fn is_applied(&self, id: &str) -> bool {
-        self.applied_ids.contains(id)
+        self.applied_ids.contains_key(id)
+    }
+
+    /// Size of the in-memory idempotent-replay index. With a retention
+    /// window configured this is bounded O(window); without one it
+    /// grows with history (the keep-forever contract).
+    pub fn replay_index_len(&self) -> usize {
+        self.applied_ids.len()
     }
 
     /// A health report: counters plus, when a probe is installed,
@@ -327,8 +378,9 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
     /// run and an uninterrupted one.
     pub fn state_fingerprint(&self) -> String {
         format!(
-            "batches={};flows={:?};resilience={:?}",
+            "batches={};watermark={:?};flows={:?};resilience={:?}",
             self.session.batches(),
+            self.session.watermark(),
             self.session.flow_clusters(),
             self.session.resilience()
         )
@@ -346,6 +398,10 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
             return Ok(TickOutcome::Cancelled);
         }
 
+        // A failed journal compaction is retried on a tick-counted
+        // backoff; serving never stops while the retry is pending.
+        let compaction_ticked = self.tick_compaction_retry();
+
         self.hooks.at(Edge::SpoolScan);
         let pending = spool::scan(&self.fs, &self.cfg.spool_dir)
             .map_err(|e| SvcError::io("scan spool", e))?;
@@ -354,7 +410,7 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
             if self.queue.contains(id) {
                 continue;
             }
-            if self.applied_ids.contains(id) {
+            if self.applied_ids.contains_key(id) {
                 // Already journaled: the acknowledgement (spool file
                 // removal) was lost in a crash. Skip, never re-apply.
                 spool::remove(&self.fs, &self.cfg.spool_dir, id)
@@ -394,6 +450,12 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
                 // checkpoint inside the supervised tick so a crash here
                 // is part of the chaos matrix too.
                 self.checkpoint_now()?;
+                return Ok(TickOutcome::Worked);
+            }
+            if compaction_ticked || self.compaction_pending {
+                // Keep driving the compaction retry to completion;
+                // applied state is already durable, so this only delays
+                // the Idle verdict, never correctness.
                 return Ok(TickOutcome::Worked);
             }
             return Ok(TickOutcome::Idle);
@@ -468,32 +530,94 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
         }
         self.hooks.at(Edge::Journaled);
 
-        self.applied_ids.insert(id.clone());
+        let batch_max_time = batch
+            .trajectories()
+            .iter()
+            .map(|t| t.last().time)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.applied_ids.insert(
+            id.clone(),
+            AppliedMeta {
+                seq: self.session.batches() as u64,
+                max_time: batch_max_time,
+            },
+        );
         self.attempts.remove(&id);
         spool::remove(&self.fs, &self.cfg.spool_dir, &id)
             .map_err(|e| SvcError::io("remove acknowledged batch", e))?;
         self.hooks.at(Edge::SpoolRemoved);
 
-        let degraded = outcome.interrupt.is_some() || !outcome.degradation.steps.is_empty();
+        let mut degraded = outcome.interrupt.is_some() || !outcome.degradation.steps.is_empty();
         if degraded {
             self.health.degraded_batches += 1;
             self.mark_degraded();
         }
+
+        // Retention: advance the watermark to `newest observation -
+        // window` and expire out-of-window t-fragments. Mirrors the
+        // batch path — mutate memory first, then journal the expiry
+        // operation; a failed append is the same divergence window and
+        // gets the same emergency-checkpoint repair.
+        let mut drift = Vec::new();
+        let mut expiry_clusters = None;
+        if let Some(window) = self.cfg.window {
+            let target = batch_max_time - window;
+            if target.is_finite() && self.session.watermark().is_none_or(|w| target > w) {
+                match self.session.expire_before(target) {
+                    Ok(mut exp) if exp.advanced => {
+                        self.health.expiries += 1;
+                        self.health.expired_fragments += exp.expired_fragments as u64;
+                        self.health.drift.absorb(&exp.events);
+                        drift = std::mem::take(&mut exp.events);
+                        expiry_clusters = Some(exp.clusters);
+                        if let Err(e) = self.store.log_expiry(self.session.batches() as u64, target)
+                        {
+                            self.health.journal_repairs += 1;
+                            self.health.last_error = Some(format!(
+                                "expiry journal append failed ({e}); repairing via checkpoint"
+                            ));
+                            self.mark_degraded();
+                            self.checkpoint_now()?;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        // Expiry is reclamation, not correctness: a
+                        // refinement error here degrades the service but
+                        // must not fail the already-applied batch.
+                        self.health.last_error = Some(format!("expiry failed: {e}"));
+                        self.mark_degraded();
+                        degraded = true;
+                    }
+                }
+            }
+        }
+
         self.cell.publish(QueryView {
             epoch: 0, // stamped by the cell
             batches: self.session.batches(),
             flows: self.session.flow_clusters().len(),
-            clusters: outcome.clusters,
+            clusters: expiry_clusters.unwrap_or(outcome.clusters),
             degraded,
+            watermark: self.session.watermark(),
+            live_fragments: self.session.live_fragments(),
+            drift,
         });
         self.hooks.at(Edge::Published);
         self.health.applied += 1;
         self.batches_since_ckpt += 1;
+        self.batches_since_compact += 1;
 
         if self.batches_since_ckpt >= self.cfg.checkpoint_every_batches
             || self.ops_since_ckpt >= self.cfg.checkpoint_every_ops
         {
             self.checkpoint_now()?;
+        }
+        if let Some(every) = self.cfg.compact_every_batches {
+            if every > 0 && self.batches_since_compact >= every {
+                self.batches_since_compact = 0;
+                self.attempt_compaction();
+            }
         }
         Ok(TickOutcome::Worked)
     }
@@ -531,51 +655,172 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
     /// index is rewritten atomically *before* every snapshot — and
     /// therefore before any pruning — so at every crash point the union
     /// of journal IDs and this file covers every batch ever applied.
-    /// One journal-framed record per ID, torn tails tolerated.
+    ///
+    /// Format (`AIDX2`): one journal-framed record per entry, torn
+    /// tails tolerated. The first record is the literal header tag;
+    /// every following record is `str id, u64 seq, f64 max_time`. A
+    /// file without the header is the pre-retention format (bare UTF-8
+    /// IDs) and loads with conservative metadata that never prunes.
     fn persist_applied_ids(&self) -> Result<(), SvcError> {
         let mut buf = Vec::new();
-        for id in &self.applied_ids {
-            buf.extend_from_slice(&journal::encode_record(id.as_bytes()));
+        buf.extend_from_slice(&journal::encode_record(APPLIED_IDS_HEADER));
+        for (id, meta) in &self.applied_ids {
+            let mut enc = Enc::with_capacity(id.len() + 20);
+            enc.str(id);
+            enc.u64(meta.seq);
+            enc.f64(meta.max_time);
+            buf.extend_from_slice(&journal::encode_record(&enc.into_bytes()));
         }
         write_atomic(&self.fs, &self.applied_ids_path(), &buf)
             .map_err(|e| SvcError::Checkpoint(CheckpointError::Durability(e)))
     }
 
     /// Reloads the applied-ID index persisted by
-    /// [`persist_applied_ids`](Self::persist_applied_ids); IDs that are
-    /// not valid UTF-8 cannot match any batch and are impossible to
-    /// write, so they are reported as corruption.
-    fn load_applied_ids(&self) -> Result<Vec<String>, SvcError> {
+    /// [`persist_applied_ids`](Self::persist_applied_ids), in either
+    /// format; IDs that are not valid UTF-8 cannot match any batch and
+    /// are impossible to write, so they are reported as corruption.
+    fn load_applied_ids(&self) -> Result<Vec<(String, AppliedMeta)>, SvcError> {
         let scan = journal::read_journal(&self.fs, &self.applied_ids_path())
             .map_err(|e| SvcError::Checkpoint(CheckpointError::Durability(e)))?;
-        let mut ids = Vec::with_capacity(scan.records.len());
-        for rec in scan.records {
-            match String::from_utf8(rec) {
-                Ok(id) => ids.push(id),
-                Err(_) => {
-                    return Err(SvcError::Pipeline(
-                        "applied-id index record is not UTF-8".to_string(),
-                    ))
+        let mut records = scan.records.into_iter();
+        let first = records.next();
+        let versioned = first.as_deref() == Some(APPLIED_IDS_HEADER);
+        let mut ids = Vec::new();
+        if versioned {
+            for rec in records {
+                let mut dec = Dec::new(&rec);
+                let entry =
+                    (|| -> Result<(String, AppliedMeta), neat_durability::DurabilityError> {
+                        let id = dec.str("applied-id")?.to_string();
+                        let seq = dec.u64("applied-id seq")?;
+                        let max_time = dec.f64("applied-id max-time")?;
+                        dec.expect_exhausted("applied-id record")?;
+                        Ok((id, AppliedMeta { seq, max_time }))
+                    })()
+                    .map_err(|e| SvcError::Checkpoint(CheckpointError::Durability(e)))?;
+                ids.push(entry);
+            }
+        } else {
+            // Legacy index: IDs only. Unknown seq/max_time means these
+            // entries are never pruned — correctness over reclamation.
+            for rec in first.into_iter().chain(records) {
+                match String::from_utf8(rec) {
+                    Ok(id) => ids.push((
+                        id,
+                        AppliedMeta {
+                            seq: 0,
+                            max_time: f64::INFINITY,
+                        },
+                    )),
+                    Err(_) => {
+                        return Err(SvcError::Pipeline(
+                            "applied-id index record is not UTF-8".to_string(),
+                        ))
+                    }
                 }
             }
         }
         Ok(ids)
     }
 
-    /// Writes a snapshot of the full retained state and resets the
-    /// cadence counters.
+    /// Retires replay-index entries that can never again change state.
+    ///
+    /// An ID is dropped only when **both** hold:
+    ///
+    /// * `seq <= retained_floor` — its journal record is behind every
+    ///   retained snapshot, so compaction has dropped (or may drop) it
+    ///   and recovery can no longer re-derive the ID from the journal;
+    /// * `max_time < watermark` — every observation in the batch is
+    ///   behind the watermark, so re-ingesting it is a clustering no-op
+    ///   (ingest admits no flow that ends before the watermark).
+    ///
+    /// Together: a duplicate send of a dropped ID re-journals but
+    /// cannot change clusters — the exactly-once guarantee narrows to
+    /// exactly-once *effect*, which is what bounds the index at
+    /// O(window) instead of O(history). With no watermark (no window
+    /// configured) nothing is ever dropped — the pre-retention
+    /// keep-forever behavior.
+    fn prune_applied_ids(&mut self) -> Result<(), SvcError> {
+        let Some(watermark) = self.session.watermark() else {
+            return Ok(());
+        };
+        let floor = self.store.retained_floor()?;
+        self.applied_ids
+            .retain(|_, meta| meta.seq > floor || meta.max_time >= watermark);
+        Ok(())
+    }
+
+    /// Writes a snapshot of the full retained state, resets the cadence
+    /// counters and accounts the best-effort retention outcome.
     fn checkpoint_now(&mut self) -> Result<(), SvcError> {
         self.hooks.at(Edge::CheckpointStart);
         // Index first: `save_checkpoint` prunes the journal, and every
         // pruned ID must already be durable here (or the batch could be
-        // applied twice on a post-restart duplicate send).
+        // applied twice on a post-restart duplicate send). Pruning the
+        // index itself uses the floor of the *previous* checkpoint —
+        // conservative, since this one has not landed yet.
+        self.prune_applied_ids()?;
         self.persist_applied_ids()?;
-        self.session.save_checkpoint(&self.store)?;
+        let report = self.session.save_checkpoint(&self.store)?;
         self.hooks.at(Edge::CheckpointDone);
         self.health.checkpoints += 1;
         self.batches_since_ckpt = 0;
         self.ops_since_ckpt = 0;
+        if report.compaction.is_some() {
+            self.health.compactions += 1;
+            self.compaction_pending = false;
+            self.compaction_attempt = 0;
+            self.compaction_hold_ticks = 0;
+        }
+        if let Some(err) = report.error {
+            self.compaction_failed(&err.to_string());
+        }
         Ok(())
+    }
+
+    /// One immediate journal-compaction attempt (forced cadence or a
+    /// due retry); failure schedules the next backoff step.
+    fn attempt_compaction(&mut self) {
+        match self.store.compact_journal() {
+            Ok(_) => {
+                self.health.compactions += 1;
+                self.compaction_pending = false;
+                self.compaction_attempt = 0;
+                self.compaction_hold_ticks = 0;
+            }
+            Err(e) => self.compaction_failed(&e.to_string()),
+        }
+    }
+
+    /// Accounts a failed compaction and schedules a jittered retry. The
+    /// store is built so a failed compaction leaves the old segments
+    /// fully readable — the service keeps serving, merely degraded.
+    fn compaction_failed(&mut self, err: &str) {
+        self.health.compaction_failures += 1;
+        self.health.last_error = Some(format!(
+            "journal compaction failed ({err}); serving from uncompacted segments, retry scheduled"
+        ));
+        self.mark_degraded();
+        let delay = self.compaction_backoff.next_delay(self.compaction_attempt);
+        self.compaction_attempt = self.compaction_attempt.saturating_add(1);
+        // One supervised tick ~ one poll interval; translate the
+        // backoff delay into held ticks (at least one).
+        self.compaction_hold_ticks = (delay.as_millis() as u64 / 10).max(1);
+        self.compaction_pending = true;
+    }
+
+    /// Counts down the compaction-retry hold and fires the attempt when
+    /// it reaches zero. Returns whether any retry work happened.
+    fn tick_compaction_retry(&mut self) -> bool {
+        if !self.compaction_pending {
+            return false;
+        }
+        if self.compaction_hold_ticks > 0 {
+            self.compaction_hold_ticks -= 1;
+            return true;
+        }
+        self.attempt_compaction();
+        true
     }
 
     /// Supervisor response to a worker panic or infrastructure error:
@@ -624,18 +869,64 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
         };
         // The replay index is the union of the journal (everything
         // since the oldest retained snapshot) and the persisted index
-        // (everything pruned before it) — together, every batch ever
-        // applied, so duplicate sends stay duplicates across restarts.
+        // (everything pruned before it) — together, every batch whose
+        // replay could still change state, so duplicate sends stay
+        // duplicates across restarts. The journal entry wins when both
+        // exist: it carries the authoritative sequence.
         self.applied_ids = self
             .store
-            .journaled_batch_ids()?
+            .journaled_batch_index()?
             .into_iter()
-            .map(|(_seq, id)| id)
+            .map(|(seq, id, max_time)| (id, AppliedMeta { seq, max_time }))
             .collect();
-        self.applied_ids.extend(self.load_applied_ids()?);
+        for (id, meta) in self.load_applied_ids()? {
+            self.applied_ids.entry(id).or_insert(meta);
+        }
+        // Watermark catch-up: a crash between a batch's journal append
+        // and its expiry append leaves the batch durable but its
+        // watermark advance lost — with no further traffic the restarted
+        // process would retain state the uninterrupted run expired.
+        // Re-derive the target from the replay index (the largest
+        // observation time of any applied batch) and jump to it; a jump
+        // is equivalent to the step-by-step expiries it replaces because
+        // expiry composes monotonically (see `tests/prop_retention.rs`).
+        if let Some(window) = self.cfg.window {
+            let max_observed = self
+                .applied_ids
+                .values()
+                .map(|m| m.max_time)
+                .filter(|t| t.is_finite())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let target = max_observed - window;
+            if target.is_finite() && self.session.watermark().is_none_or(|w| target > w) {
+                let exp = self
+                    .session
+                    .expire_before(target)
+                    .map_err(|e| SvcError::Pipeline(format!("recovery expiry: {e}")))?;
+                if exp.advanced {
+                    self.health.expiries += 1;
+                    self.health.expired_fragments += exp.expired_fragments as u64;
+                    self.health.drift.absorb(&exp.events);
+                    if let Err(e) = self.store.log_expiry(self.session.batches() as u64, target) {
+                        self.health.journal_repairs += 1;
+                        self.health.last_error = Some(format!(
+                            "recovery expiry journal append failed ({e}); repairing via checkpoint"
+                        ));
+                        self.mark_degraded();
+                        self.checkpoint_now()?;
+                    }
+                }
+            }
+        }
         // Resume replays the journal, so memory and disk agree again.
         self.batches_since_ckpt = 0;
         self.ops_since_ckpt = 0;
+        // A pending compaction retry does not survive the restart; the
+        // next checkpoint's retention pass re-detects the backlog.
+        self.batches_since_compact = 0;
+        self.compaction_pending = false;
+        self.compaction_attempt = 0;
+        self.compaction_hold_ticks = 0;
         let clusters = self
             .session
             .current_clusters()
@@ -646,6 +937,9 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
             flows: self.session.flow_clusters().len(),
             clusters,
             degraded: false,
+            watermark: self.session.watermark(),
+            live_fragments: self.session.live_fragments(),
+            drift: Vec::new(),
         });
         self.hooks.at(Edge::Recovered);
         Ok(())
@@ -655,7 +949,7 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
     /// [`poison_after`](SvcConfig::poison_after) the batch is moved to
     /// quarantine so it cannot wedge the queue.
     fn batch_failure(&mut self, id: &str, why: &str) {
-        if self.applied_ids.contains(id) {
+        if self.applied_ids.contains_key(id) {
             // The batch actually landed (e.g. a crash after the journal
             // append); reconciliation skips it, nothing failed.
             return;

@@ -8,7 +8,7 @@
 //! constructed entirely off to the side, then swapped in one pointer
 //! store under a short critical section.
 
-use neat_core::TrajectoryCluster;
+use neat_core::{DriftEvent, TrajectoryCluster};
 use neat_runctl::Lock;
 use std::sync::{Arc, Mutex};
 
@@ -26,6 +26,14 @@ pub struct QueryView {
     /// Whether the refinement producing this view was degraded
     /// (opt→flow→base ladder or truncation).
     pub degraded: bool,
+    /// Retention watermark in effect when this view was built (`None`
+    /// until the first expiry, or when no window is configured).
+    pub watermark: Option<f64>,
+    /// T-fragments retained across all flows at publish time.
+    pub live_fragments: usize,
+    /// Cluster-drift events emitted by the expiry folded into this view
+    /// (empty when the watermark did not advance).
+    pub drift: Vec<DriftEvent>,
 }
 
 /// The swap cell readers and the worker share.

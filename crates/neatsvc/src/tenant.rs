@@ -461,7 +461,8 @@ impl<'n, F: Fs + Clone> TenantRouter<'n, F> {
             };
         };
         let h = t.svc.health();
-        Reply::Report(StatusReport {
+        let view = t.svc.query();
+        Reply::Report(Box::new(StatusReport {
             tenant: tenant.to_string(),
             status: t.svc.status().name().to_string(),
             breaker: t.breaker.state().name().to_string(),
@@ -471,11 +472,17 @@ impl<'n, F: Fs + Clone> TenantRouter<'n, F> {
             shed: h.shed,
             poisoned: h.poisoned,
             applied: h.applied,
-            batches: t.svc.query().batches as u64,
+            batches: view.batches as u64,
             duplicates: h.duplicates_skipped,
             restarts: h.restarts,
-            last_epoch: t.svc.query().epoch,
-        })
+            last_epoch: view.epoch,
+            watermark_bits: view.watermark.map(f64::to_bits),
+            live_fragments: view.live_fragments as u64,
+            expiries: h.expiries,
+            drift: h.drift,
+            compactions: h.compactions,
+            compaction_failures: h.compaction_failures,
+        }))
     }
 
     /// One supervised tick across every tenant (watch-mode idle work:

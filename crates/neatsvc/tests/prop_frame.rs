@@ -72,7 +72,7 @@ fn make_reply(pick: u8, n: u64, text: String, counters: [u64; 4]) -> Reply {
         1 => Reply::Defer { retry_after_ms: n },
         2 => Reply::Shed,
         3 => Reply::Reject { reason: text },
-        _ => Reply::Report(StatusReport {
+        _ => Reply::Report(Box::new(StatusReport {
             tenant: text,
             status: "running".to_string(),
             breaker: "half-open".to_string(),
@@ -86,7 +86,19 @@ fn make_reply(pick: u8, n: u64, text: String, counters: [u64; 4]) -> Reply {
             duplicates: counters[1] ^ n,
             restarts: counters[2].rotate_left(7),
             last_epoch: n.wrapping_add(counters[3]),
-        }),
+            watermark_bits: n.is_multiple_of(2).then(|| (n as f64).to_bits()),
+            live_fragments: counters[3].rotate_left(3),
+            expiries: counters[0] % 17,
+            drift: neat_core::DriftCounts {
+                born: counters[0] % 5,
+                grew: counters[1] % 5,
+                shrank: counters[2] % 5,
+                merged: counters[3] % 5,
+                died: n % 5,
+            },
+            compactions: counters[1] % 9,
+            compaction_failures: counters[2] % 3,
+        })),
     }
 }
 

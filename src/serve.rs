@@ -54,11 +54,20 @@ pub const SERVE_USAGE: &str = "usage:
         [--batch-max-ops N] [--batch-deadline DUR]
         [--on-error fail|skip|repair] [--min-card N] [--epsilon M]
         [--poison-after N] [--max-restarts N]
+        [--window SECONDS] [--compact-every N]
   neatd --listen HOST:PORT --network FILE --spool DIR --state DIR
         [--quarantine DIR] [--max-tenants N] [--push-ticks N]
         [--max-conns N] [--idle-timeout DUR] [--read-timeout DUR]
         [--max-frame-bytes N] [... service flags as above]
   (same flags as `neat serve`)
+
+--window bounds retention: after each batch the watermark advances to
+the newest observation time minus the window, t-fragments wholly
+behind it are expired (drift events are printed as clusters are born,
+grow, shrink, merge and die), and journal/checkpoint/index storage
+stays O(window) instead of growing forever. --compact-every N forces
+a journal compaction every N applied batches on top of the compaction
+each checkpoint performs.
 
 With --listen the daemon serves the framed TCP ingestion protocol
 (`neat push`); the three directories become per-tenant roots. SIGTERM
@@ -105,6 +114,26 @@ fn build_config(flags: &HashMap<String, String>) -> Result<SvcConfig, String> {
     }
     cfg.poison_after = parse(flags, "poison-after", cfg.poison_after)?;
     cfg.max_restarts = parse(flags, "max-restarts", cfg.max_restarts)?;
+    if let Some(spec) = flags.get("window") {
+        let window: f64 = spec
+            .parse()
+            .map_err(|e| format!("invalid --window `{spec}`: {e}"))?;
+        if !window.is_finite() || window <= 0.0 {
+            return Err(format!(
+                "invalid --window `{spec}`: must be a positive duration in seconds"
+            ));
+        }
+        cfg.window = Some(window);
+    }
+    if let Some(spec) = flags.get("compact-every") {
+        let every: usize = spec
+            .parse()
+            .map_err(|e| format!("invalid --compact-every `{spec}`: {e}"))?;
+        if every == 0 {
+            return Err(format!("invalid --compact-every `{spec}`: must be >= 1"));
+        }
+        cfg.compact_every_batches = Some(every);
+    }
     Ok(cfg)
 }
 
@@ -151,18 +180,22 @@ pub fn serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
 
     if drain {
         let outcome = svc.run_drain(max_ticks);
+        report_drift(&svc, 0);
         eprintln!("neatd: {:?}; {}", outcome, svc.health().digest());
         return Ok(exit_for(&svc, outcome == DrainOutcome::Failed));
     }
 
     let mut ticks: u64 = 0;
+    let mut seen_epoch: u64 = 0;
     let failed = loop {
         if ticks >= max_ticks {
             break false;
         }
         ticks += 1;
         match svc.tick() {
-            neat_svc::TickOutcome::Worked => {}
+            neat_svc::TickOutcome::Worked => {
+                seen_epoch = report_drift(&svc, seen_epoch);
+            }
             neat_svc::TickOutcome::Idle => {
                 std::thread::sleep(Duration::from_millis(poll_ms));
             }
@@ -327,6 +360,34 @@ fn install_signal_drain(cancel: &CancelToken) {
 /// layout-specific); stop the daemon gracefully with a `Drain` frame.
 #[cfg(not(target_os = "linux"))]
 fn install_signal_drain(_cancel: &CancelToken) {}
+
+/// Prints the cluster-drift lifecycle events of the current query view
+/// when it is newer than `seen_epoch`; returns the newest epoch seen.
+/// Views published and replaced between calls cannot be reported (only
+/// the latest is retained) — watch mode calls this every worked tick,
+/// which observes each per-batch publish.
+fn report_drift<F: neat_durability::Fs + Clone>(svc: &Service<'_, F>, seen_epoch: u64) -> u64 {
+    let view = svc.query();
+    if view.epoch > seen_epoch {
+        for ev in &view.drift {
+            eprintln!("neatd: drift: {}", drift_line(ev));
+        }
+    }
+    view.epoch
+}
+
+/// Stable one-line rendering of a drift event for operator logs.
+fn drift_line(ev: &neat_core::DriftEvent) -> String {
+    use neat_core::DriftEvent as E;
+    match ev {
+        E::Born { key, size } => format!("born key={key} size={size}"),
+        E::Grew { key, from, to } => format!("grew key={key} size={from}->{to}"),
+        E::Shrank { key, from, to } => format!("shrank key={key} size={from}->{to}"),
+        E::Merged { key, sources } => format!("merged key={key} sources={sources:?}"),
+        E::Died { key, size } => format!("died key={key} size={size}"),
+        other => format!("{other:?}"),
+    }
+}
 
 /// Maps the final service status onto the exit-code scheme.
 fn exit_for<F: neat_durability::Fs + Clone>(svc: &Service<'_, F>, failed: bool) -> ExitCode {

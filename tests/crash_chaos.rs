@@ -10,11 +10,15 @@
 //!
 //! Invariants asserted per crash point:
 //!
-//! * **Fatal faults** (`Lost`, `Torn`) — the driver errors, the restart
-//!   resumes and finishes with a fingerprint identical to the reference.
+//! * **Fatal faults** (`Lost`, `Torn`) — the driver errors (or, when the
+//!   fault strikes the best-effort retention phase of the final
+//!   checkpoint, completes with reference-identical clusters), the
+//!   restart resumes and finishes with a fingerprint identical to the
+//!   reference.
 //! * **Recoverable faults** (`NoSpace`, `RenameFail`) — the driver sees
-//!   the error, the on-disk state stays consistent, and a restart again
-//!   matches the reference exactly.
+//!   the error (or rides through it when it hits best-effort retention),
+//!   the on-disk state stays consistent, and a restart again matches the
+//!   reference exactly.
 //! * **Silent corruption** (`BitFlip`) — the live run is unaffected; the
 //!   restart either recovers to the reference (older snapshot + journal)
 //!   or fails with a structured corruption error. It must never succeed
@@ -252,10 +256,20 @@ fn crashes_during_recovery_are_also_recoverable() {
             assert_eq!(second.expect("no fault fired"), reference);
             continue;
         }
-        assert!(
-            second.is_err(),
-            "torn write mid-recovery must crash (op {op})"
-        );
+        match &second {
+            Err(_) => {}
+            // Retention (snapshot pruning + journal compaction) is
+            // best-effort: a crash there is swallowed by
+            // `save_checkpoint`, so a fault striking the *final*
+            // batch's retention phase lets the run complete — but only
+            // ever with the reference clusters.
+            Ok(fp) if fp == &reference => {}
+            Ok(fp) => fail_with_artifact(
+                &format!("recovery-op{op}"),
+                &recovery.storage(),
+                &format!("faulted recovery diverged:\n{fp}\nvs:\n{reference}"),
+            ),
+        }
         match drive(recovery.storage(), &net, &windows) {
             Ok(fp) if fp == reference => {}
             Ok(fp) => fail_with_artifact(

@@ -32,7 +32,7 @@ use neat_repro::svc::{DrainOutcome, NetConfig, NetServer, SvcConfig, TenantConfi
 use neat_repro::traj::{io as trajio, Dataset, Trajectory, TrajectoryId};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -282,9 +282,11 @@ fn status_frames_report_per_tenant_health() {
 
 #[test]
 fn slowloris_on_tenant_a_never_blocks_tenant_b() {
-    let mut ncfg = NetConfig::default();
-    ncfg.read_timeout_ms = 20;
-    ncfg.idle_timeout_ms = 1_500;
+    let ncfg = NetConfig {
+        read_timeout_ms: 20,
+        idle_timeout_ms: 1_500,
+        ..NetConfig::default()
+    };
     let (elapsed_b, router) = with_server(MemFs::new(), tenant_cfg(), ncfg, |addr, _| {
         // Tenant A's client drips one byte of a push frame at a time.
         let torn = frame(&push_req("atl", "slow-1", 9).encode_body());
@@ -336,9 +338,11 @@ fn fast_drip_slowloris_is_cut_by_the_idle_guard() {
     // connection. Regression: the guard used to live only on the
     // `TimedOut` arm, letting such a client hold a bulkhead slot
     // forever and hang graceful drain.
-    let mut ncfg = NetConfig::default();
-    ncfg.read_timeout_ms = 60;
-    ncfg.idle_timeout_ms = 250;
+    let ncfg = NetConfig {
+        read_timeout_ms: 60,
+        idle_timeout_ms: 250,
+        ..NetConfig::default()
+    };
     // Asserted outside `with_server` so a regression fails the test
     // instead of deadlocking the serve thread inside the scope.
     let ((cut, verdict), _router) = with_server(MemFs::new(), tenant_cfg(), ncfg, |addr, _| {
@@ -363,7 +367,10 @@ fn fast_drip_slowloris_is_cut_by_the_idle_guard() {
         }
         (cut, read_reply(&mut s))
     });
-    assert!(cut, "server kept reading the drip for 8 s without giving up");
+    assert!(
+        cut,
+        "server kept reading the drip for 8 s without giving up"
+    );
     match verdict {
         // Best case the idle Reject is still readable; a drip racing
         // the teardown may instead see the reset.
@@ -375,8 +382,10 @@ fn fast_drip_slowloris_is_cut_by_the_idle_guard() {
 
 #[test]
 fn connection_cap_sheds_the_excess() {
-    let mut ncfg = NetConfig::default();
-    ncfg.max_conns = 1;
+    let ncfg = NetConfig {
+        max_conns: 1,
+        ..NetConfig::default()
+    };
     let (_, _router) = with_server(MemFs::new(), tenant_cfg(), ncfg, |addr, _| {
         let parked = connect(addr);
         std::thread::sleep(Duration::from_millis(300)); // let the handler spawn
@@ -556,7 +565,7 @@ impl Drop for TempDirs {
 
 /// Spawns `neatd --listen 127.0.0.1:0 ...` and parses the bound address
 /// off its stderr.
-fn spawn_daemon(dirs: &TempDirs, network: &PathBuf) -> (std::process::Child, SocketAddr) {
+fn spawn_daemon(dirs: &TempDirs, network: &Path) -> (std::process::Child, SocketAddr) {
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_neatd"))
         .args([
             "--listen",
