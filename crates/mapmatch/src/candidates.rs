@@ -2,7 +2,7 @@
 
 use neat_rnet::geometry::Point;
 use neat_rnet::index::SegmentHit;
-use neat_rnet::{RoadNetwork, SegmentIndex};
+use neat_rnet::{GridScratch, RoadNetwork, SegmentIndex};
 
 /// Finds candidate segments near query points via a grid index.
 #[derive(Debug, Clone)]
@@ -30,12 +30,30 @@ impl<'a> CandidateFinder<'a> {
     /// single nearest segment is returned so matching never dead-ends;
     /// an empty vector means the network has no segments at all.
     pub fn candidates(&self, p: Point) -> Vec<SegmentHit> {
-        let mut hits = self.index.within(self.net, p, self.radius);
-        if hits.is_empty() {
-            return self.index.nearest(self.net, p).into_iter().collect();
-        }
-        hits.truncate(self.max_candidates);
+        let mut scratch = GridScratch::new();
+        let mut hits = Vec::new();
+        self.candidates_into(p, &mut scratch, &mut hits);
         hits
+    }
+
+    /// Allocation-reusing variant of [`CandidateFinder::candidates`]:
+    /// clears `out` and fills it with the same hits in the same order,
+    /// amortizing the per-point lookup buffers across a whole trace.
+    /// Returns the number of grid queries performed (1, or 2 when the
+    /// nearest-segment fallback fired).
+    pub fn candidates_into(
+        &self,
+        p: Point,
+        scratch: &mut GridScratch,
+        out: &mut Vec<SegmentHit>,
+    ) -> usize {
+        self.index.within_into(p, self.radius, scratch, out);
+        if out.is_empty() {
+            out.extend(self.index.nearest(self.net, p));
+            return 2;
+        }
+        out.truncate(self.max_candidates);
+        1
     }
 }
 
@@ -72,6 +90,25 @@ mod tests {
         // Nearest first.
         for w in hits.windows(2) {
             assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn candidates_into_matches_allocating_path() {
+        let net = chain_network(30, 10.0, 10.0);
+        let f = CandidateFinder::new(&net, 100.0, 3);
+        let mut scratch = GridScratch::new();
+        let mut hits = Vec::new();
+        for &(x, y) in &[(150.0, 0.0), (5.0, 3.0), (150.0, 500.0), (299.0, -2.0)] {
+            let p = Point::new(x, y);
+            let queries = f.candidates_into(p, &mut scratch, &mut hits);
+            assert!(queries == 1 || queries == 2);
+            let fresh = f.candidates(p);
+            assert_eq!(hits.len(), fresh.len());
+            for (a, b) in hits.iter().zip(&fresh) {
+                assert_eq!(a.segment, b.segment);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
         }
     }
 

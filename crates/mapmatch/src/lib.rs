@@ -46,4 +46,4 @@ pub mod matcher;
 pub use candidates::CandidateFinder;
 pub use error::MapMatchError;
 pub use evaluate::{evaluate, MatchEvaluation};
-pub use matcher::{MapMatcher, MatchConfig};
+pub use matcher::{MapMatcher, MatchConfig, MatchScratch, MatchStats};

@@ -3,10 +3,72 @@
 
 use crate::candidates::CandidateFinder;
 use crate::error::MapMatchError;
-use neat_rnet::geometry::project_onto_segment;
+use neat_rnet::geometry::project_run_onto_segment;
+use neat_rnet::index::SegmentHit;
 use neat_rnet::location::RawSample;
-use neat_rnet::{RoadLocation, RoadNetwork, SegmentId};
+use neat_rnet::{GridScratch, Point, RoadLocation, RoadNetwork, SegmentId};
 use neat_traj::{Dataset, Trajectory, TrajectoryId};
+
+/// Deterministic work counters for a matching run.
+///
+/// Every field is a pure function of the input traces, the network and
+/// the [`MatchConfig`] — independent of allocator state, thread count or
+/// wall clock — which makes them usable as a CI regression gate (see the
+/// `pr6_frontend` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchStats {
+    /// Samples matched across all traces.
+    pub samples_matched: u64,
+    /// Grid queries issued for candidate sets (radius lookups plus
+    /// nearest-segment fallbacks).
+    pub candidate_lookups: u64,
+    /// Viterbi cost/backpointer cells filled.
+    pub matrix_cells: u64,
+}
+
+impl MatchStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: MatchStats) {
+        self.samples_matched += other.samples_matched;
+        self.candidate_lookups += other.candidate_lookups;
+        self.matrix_cells += other.matrix_cells;
+    }
+}
+
+/// Reusable buffers for [`MapMatcher::match_trace_into`].
+///
+/// One scratch amortizes every per-trace allocation of the matcher: the
+/// grid-lookup buffers, the flat candidate lattice, the row-major
+/// cost/backpointer matrices and the snap-projection runs. Steady-state
+/// batch matching performs no per-trace heap allocation beyond the output
+/// locations themselves.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    grid: GridScratch,
+    /// Per-sample candidate buffer (cleared by `candidates_into`).
+    cand_buf: Vec<SegmentHit>,
+    /// Flat candidate lattice: sample `i`'s candidates occupy
+    /// `cand[cand_starts[i]..cand_starts[i + 1]]`.
+    cand: Vec<SegmentHit>,
+    cand_starts: Vec<u32>,
+    /// Row-major Viterbi matrices aligned with `cand`.
+    cost: Vec<f64>,
+    back: Vec<u32>,
+    /// Chosen candidate index (within its row) per sample.
+    chosen: Vec<u32>,
+    /// Gathered raw positions / projected outputs for a same-segment run.
+    run_x: Vec<f64>,
+    run_y: Vec<f64>,
+    snap_x: Vec<f64>,
+    snap_y: Vec<f64>,
+}
+
+impl MatchScratch {
+    /// A fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Map-matching parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +149,26 @@ impl<'a> MapMatcher<'a> {
     /// [`MapMatchError::EmptyNetwork`] when the network has no segments,
     /// and [`MapMatchError::InvalidConfig`] for bad parameters.
     pub fn match_trace(&self, trace: &[RawSample]) -> Result<Vec<RoadLocation>, MapMatchError> {
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        self.match_trace_into(trace, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-reusing variant of [`MapMatcher::match_trace`]: clears
+    /// `out` and fills it with the matched locations, reusing `scratch`
+    /// for the candidate lattice, the Viterbi matrices and the snap
+    /// buffers. Returns the deterministic work counters of this trace.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MapMatcher::match_trace`].
+    pub fn match_trace_into(
+        &self,
+        trace: &[RawSample],
+        scratch: &mut MatchScratch,
+        out: &mut Vec<RoadLocation>,
+    ) -> Result<MatchStats, MapMatchError> {
         self.config.validate()?;
         if trace.is_empty() {
             return Err(MapMatchError::EmptyTrace);
@@ -94,66 +176,115 @@ impl<'a> MapMatcher<'a> {
         if self.net.segment_count() == 0 {
             return Err(MapMatchError::EmptyNetwork);
         }
+        let mut stats = MatchStats::default();
 
-        // Candidate sets per sample.
-        let cand: Vec<Vec<neat_rnet::index::SegmentHit>> = trace
-            .iter()
-            .map(|s| self.finder.candidates(s.position))
-            .collect();
+        // Candidate sets per sample, packed into one flat lattice:
+        // sample i's candidates live in cand[starts[i]..starts[i + 1]].
+        let n = trace.len();
+        scratch.cand.clear();
+        scratch.cand_starts.clear();
+        scratch.cand_starts.push(0);
+        for s in trace {
+            let queries =
+                self.finder
+                    .candidates_into(s.position, &mut scratch.grid, &mut scratch.cand_buf);
+            stats.candidate_lookups += queries as u64;
+            scratch.cand.extend_from_slice(&scratch.cand_buf);
+            scratch.cand_starts.push(scratch.cand.len() as u32); // lint:allow(L4) reason=lattice width is samples x max_candidates, far below u32::MAX
+        }
+        let MatchScratch {
+            cand,
+            cand_starts,
+            cost,
+            back,
+            chosen,
+            run_x,
+            run_y,
+            snap_x,
+            snap_y,
+            ..
+        } = scratch;
+        let cand = &cand[..];
+        let starts = |i: usize| cand_starts[i] as usize;
 
         // Viterbi over the candidate lattice: cost = snap distance +
         // transition discontinuity. This is the "look-ahead" — the global
         // optimum can prefer a slightly-farther candidate now to avoid a
         // large discontinuity later (e.g. parallel-road flip-flops).
-        let n = trace.len();
-        let mut cost: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut back: Vec<Vec<usize>> = Vec::with_capacity(n);
-        cost.push(cand[0].iter().map(|h| h.distance).collect());
-        back.push(vec![0; cand[0].len()]);
+        // Row-major flat matrices aligned with the lattice keep the inner
+        // k-scan on one contiguous cache line per row.
+        cost.clear();
+        cost.resize(cand.len(), 0.0);
+        back.clear();
+        back.resize(cand.len(), 0);
+        for j in starts(0)..starts(1) {
+            cost[j] = cand[j].distance;
+        }
         for i in 1..n {
-            let mut row_cost = Vec::with_capacity(cand[i].len());
-            let mut row_back = Vec::with_capacity(cand[i].len());
-            for hj in &cand[i] {
+            let (p0, p1) = (starts(i - 1), starts(i));
+            for j in starts(i)..starts(i + 1) {
                 let mut best = f64::INFINITY;
                 let mut best_k = 0usize;
-                for (k, hk) in cand[i - 1].iter().enumerate() {
-                    let t = self.transition_cost(hk.segment, hj.segment);
-                    let c = cost[i - 1][k] + t;
+                for (k, e) in (p0..p1).enumerate() {
+                    let t = self.transition_cost(cand[e].segment, cand[j].segment);
+                    let c = cost[e] + t;
                     if c < best {
                         best = c;
                         best_k = k;
                     }
                 }
-                row_cost.push(best + hj.distance);
-                row_back.push(best_k);
+                cost[j] = best + cand[j].distance;
+                back[j] = best_k as u32; // lint:allow(L4) reason=row width is at most max_candidates
             }
-            cost.push(row_cost);
-            back.push(row_back);
         }
+        stats.matrix_cells += cand.len() as u64;
 
         // Backtrack the optimal assignment.
-        let mut idx = (0..cand[n - 1].len())
-            .min_by(|&a, &b| cost[n - 1][a].total_cmp(&cost[n - 1][b]))
+        let last = starts(n - 1);
+        let mut idx = (0..starts(n) - last)
+            .min_by(|&a, &b| cost[last + a].total_cmp(&cost[last + b]))
             .expect("candidate sets are non-empty"); // lint:allow(L1) reason=candidate sets are checked non-empty when built
-        let mut chosen = vec![0usize; n];
-        chosen[n - 1] = idx;
+        chosen.clear();
+        chosen.resize(n, 0);
+        chosen[n - 1] = idx as u32; // lint:allow(L4) reason=row width is at most max_candidates
         for i in (1..n).rev() {
-            idx = back[i][idx];
-            chosen[i - 1] = idx;
+            idx = back[starts(i) + idx] as usize;
+            chosen[i - 1] = idx as u32; // lint:allow(L4) reason=row width is at most max_candidates
         }
 
-        Ok(trace
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let sid = cand[i][chosen[i]].segment;
-                let seg = self.net.segment(sid).expect("candidate segment exists"); // lint:allow(L1) reason=candidates are drawn from this network's own index
-                let a = self.net.position(seg.a);
-                let b = self.net.position(seg.b);
-                let snapped = project_onto_segment(s.position, a, b).point;
-                RoadLocation::new(sid, snapped, s.time)
-            })
-            .collect())
+        // Snap each maximal same-segment run of samples through the
+        // widened projection kernel (bit-identical to the scalar
+        // point-at-a-time projection).
+        out.clear();
+        out.reserve(n);
+        let mut i = 0usize;
+        while i < n {
+            let sid = cand[starts(i) + chosen[i] as usize].segment;
+            let mut j = i + 1;
+            while j < n && cand[starts(j) + chosen[j] as usize].segment == sid {
+                j += 1;
+            }
+            let seg = self.net.segment(sid).expect("candidate segment exists"); // lint:allow(L1) reason=candidates are drawn from this network's own index
+            let a = self.net.position(seg.a);
+            let b = self.net.position(seg.b);
+            run_x.clear();
+            run_y.clear();
+            for s in &trace[i..j] {
+                run_x.push(s.position.x);
+                run_y.push(s.position.y);
+            }
+            project_run_onto_segment(run_x, run_y, a, b, snap_x, snap_y);
+            for (k, s) in trace[i..j].iter().enumerate() {
+                out.push(RoadLocation::new(
+                    sid,
+                    Point::new(snap_x[k], snap_y[k]),
+                    s.time,
+                ));
+            }
+            i = j;
+        }
+        stats.samples_matched += n as u64;
+        Ok(stats)
     }
 
     /// Matches a batch of traces into a [`Dataset`]. Traces that fail to
@@ -169,24 +300,43 @@ impl<'a> MapMatcher<'a> {
         traces: &[Vec<RawSample>],
         name: impl Into<String>,
     ) -> Result<(Dataset, usize), MapMatchError> {
+        let (dataset, skipped, _) = self.match_traces_stats(traces, name)?;
+        Ok((dataset, skipped))
+    }
+
+    /// [`MapMatcher::match_traces`] with the batch's deterministic work
+    /// counters. One [`MatchScratch`] is reused across the whole batch,
+    /// so steady-state matching allocates only the output locations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MapMatcher::match_traces`].
+    pub fn match_traces_stats(
+        &self,
+        traces: &[Vec<RawSample>],
+        name: impl Into<String>,
+    ) -> Result<(Dataset, usize, MatchStats), MapMatchError> {
         self.config.validate()?;
         if self.net.segment_count() == 0 {
             return Err(MapMatchError::EmptyNetwork);
         }
         let mut dataset = Dataset::new(name);
         let mut skipped = 0usize;
+        let mut stats = MatchStats::default();
+        let mut scratch = MatchScratch::new();
         for (i, trace) in traces.iter().enumerate() {
             if trace.len() < 2 {
                 skipped += 1;
                 continue;
             }
-            let pts = self.match_trace(trace)?;
+            let mut pts = Vec::new();
+            stats.merge(self.match_trace_into(trace, &mut scratch, &mut pts)?);
             match Trajectory::new(TrajectoryId::new(i as u64), pts) {
                 Ok(tr) => dataset.push(tr),
                 Err(_) => skipped += 1,
             }
         }
-        Ok((dataset, skipped))
+        Ok((dataset, skipped, stats))
     }
 
     /// Discontinuity cost between consecutive segment assignments.

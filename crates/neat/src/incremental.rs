@@ -122,6 +122,21 @@ impl<'a> IncrementalNeat<'a> {
         self.flows.iter().map(FlowCluster::density).sum()
     }
 
+    /// The earliest `last.time` among retained t-fragments — the first
+    /// observation a watermark advance could expire — or `None` when
+    /// nothing is retained. A watermark at or below this value is
+    /// guaranteed to expire zero fragments, which lets idle-stream
+    /// retention skip no-op advances (each advance is a journaled
+    /// operation, so callers only want ones that reclaim something).
+    pub fn oldest_retained_time(&self) -> Option<f64> {
+        self.flows
+            .iter()
+            .flat_map(|flow| flow.members())
+            .flat_map(|member| member.fragments())
+            .map(|f| f.last.time)
+            .min_by(f64::total_cmp)
+    }
+
     /// The retained flow clusters (across all batches).
     pub fn flow_clusters(&self) -> &[FlowCluster] {
         &self.flows

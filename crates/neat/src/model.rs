@@ -41,6 +41,19 @@ impl BaseCluster {
         })
     }
 
+    /// Like [`BaseCluster::new`] for fragments already grouped by
+    /// `segment` (phase 1's counting scatter guarantees it), skipping
+    /// the per-fragment re-validation pass.
+    pub(crate) fn from_grouped(segment: SegmentId, fragments: Vec<TFragment>) -> Self {
+        debug_assert!(fragments.iter().all(|f| f.segment == segment));
+        let trajectories = fragments.iter().map(|f| f.trajectory).collect();
+        BaseCluster {
+            segment,
+            fragments,
+            trajectories,
+        }
+    }
+
     /// The representative road segment `e_S`.
     pub fn segment(&self) -> SegmentId {
         self.segment

@@ -22,8 +22,7 @@ use neat_rnet::path::TravelMode;
 use neat_rnet::{RoadLocation, RoadNetwork, SegmentId, ShortestPathEngine};
 use neat_runctl::{Control, Interrupt};
 use neat_traj::sanitize::ErrorPolicy;
-use neat_traj::{Dataset, TFragment, Trajectory, TrajectoryId};
-use std::collections::HashMap;
+use neat_traj::{Dataset, SampleArena, TFragment, TrajView, Trajectory, TrajectoryId};
 
 /// Output of Phase 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +33,11 @@ pub struct Phase1Output {
     pub base_clusters: Vec<BaseCluster>,
     /// Total number of t-fragments extracted.
     pub fragment_count: usize,
+    /// Samples of the trajectories this output covers — a deterministic
+    /// work counter: a pure function of the dataset and the interrupt cut
+    /// point, identical at every thread count (see the `pr6_frontend`
+    /// bench gate).
+    pub samples_scanned: usize,
 }
 
 impl Phase1Output {
@@ -154,16 +158,55 @@ fn extract_with_policy(
 }
 
 /// Groups fragments by segment into density-sorted base clusters.
-fn group_into_clusters(frags: impl IntoIterator<Item = TFragment>) -> Phase1Output {
-    let mut by_segment: HashMap<SegmentId, Vec<TFragment>> = HashMap::new();
+///
+/// Takes per-chunk `(fragments, segment keys)` lists — the keys mirror
+/// `fragments[i].segment.index()` and are built while the chunk is still
+/// cache-hot, so the counting pass below scans compact `u32` runs
+/// instead of striding through the (much larger) fragment records. The
+/// lists' logical concatenation is the fragment stream in dataset order;
+/// the scatter is a dense counting sort keyed by segment index — no
+/// hashing on the hot path. Within-segment fragment order is the
+/// concatenation order, and the final (density desc, segment asc) sort
+/// is a total order over clusters (one cluster per segment), so the
+/// output is identical to the old `HashMap`-based grouping for any
+/// input.
+fn group_into_clusters(
+    lists: &[(Vec<TFragment>, Vec<u32>)],
+    samples_scanned: usize,
+) -> Phase1Output {
     let mut fragment_count = 0usize;
-    for f in frags {
-        fragment_count += 1;
-        by_segment.entry(f.segment).or_default().push(f);
+    let mut counts: Vec<u32> = Vec::new();
+    for (_, keys) in lists {
+        fragment_count += keys.len();
+        for &k in keys {
+            let s = k as usize;
+            if s >= counts.len() {
+                counts.resize(s + 1, 0);
+            }
+            counts[s] += 1;
+        }
     }
-    let mut base_clusters: Vec<BaseCluster> = by_segment
+    let max_seg = counts.len();
+    // Dense slot map: segment index → bucket position, in segment order.
+    let mut slot = vec![u32::MAX; max_seg];
+    let mut buckets: Vec<Vec<TFragment>> = Vec::new();
+    for (s, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            slot[s] = buckets.len() as u32; // lint:allow(L4) reason=bucket count is bounded by the u32-backed segment id space
+            buckets.push(Vec::with_capacity(c as usize));
+        }
+    }
+    for (frags, keys) in lists {
+        for (f, &k) in frags.iter().zip(keys) {
+            buckets[slot[k as usize] as usize].push(*f);
+        }
+    }
+    let mut base_clusters: Vec<BaseCluster> = buckets
         .into_iter()
-        .map(|(sid, frags)| BaseCluster::new(sid, frags).expect("grouped by segment")) // lint:allow(L1) reason=by_segment groups each fragment under its own segment key
+        .map(|frags| {
+            let sid = frags[0].segment;
+            BaseCluster::from_grouped(sid, frags)
+        })
         .collect();
     base_clusters.sort_by(|a, b| {
         b.density()
@@ -173,6 +216,7 @@ fn group_into_clusters(frags: impl IntoIterator<Item = TFragment>) -> Phase1Outp
     Phase1Output {
         base_clusters,
         fragment_count,
+        samples_scanned,
     }
 }
 
@@ -213,40 +257,54 @@ pub fn form_base_clusters_with_policy(
     insert_junctions: bool,
     policy: ErrorPolicy,
 ) -> Result<(Phase1Output, ResilienceCounters), NeatError> {
-    form_base_clusters_seq_ctl(net, dataset, insert_junctions, policy, None)
-        .map(|(out, counters, _)| (out, counters))
+    form_base_clusters_arena(net, dataset, insert_junctions, 1, policy)
 }
 
-/// Sequential extraction under an optional [`Control`]: stops at the
-/// first interrupted trajectory and reports how far it got.
+/// Segment keys mirroring `frags[i].segment.index()` — the compact scan
+/// input for the grouping counting sort.
+fn segment_keys(frags: &[TFragment]) -> Vec<u32> {
+    frags
+        .iter()
+        .map(|f| f.segment.index() as u32) // lint:allow(L4) reason=SegmentId is u32-backed, so index() round-trips losslessly
+        .collect()
+}
+
+/// Sequential extraction under a [`Control`]: stops at the first
+/// interrupted trajectory and reports how far it got. This is the legacy
+/// per-trajectory path, kept for controlled runs (the arena fast path
+/// has no cancel points).
 fn form_base_clusters_seq_ctl(
     net: &RoadNetwork,
     dataset: &Dataset,
     insert_junctions: bool,
     policy: ErrorPolicy,
-    ctl: Option<&Control>,
+    ctl: &Control,
 ) -> Result<(Phase1Output, ResilienceCounters, PhaseStatus), NeatError> {
     let mut engine = ShortestPathEngine::new(net);
     let total = dataset.len();
     let mut counters = ResilienceCounters::default();
     let mut all_frags: Vec<TFragment> = Vec::new();
     let mut done = 0usize;
+    let mut samples_scanned = 0usize;
     let mut status = PhaseStatus::Complete;
     for tr in dataset.trajectories() {
-        match extract_with_policy(net, &mut engine, tr, insert_junctions, policy, ctl) {
+        match extract_with_policy(net, &mut engine, tr, insert_junctions, policy, Some(ctl)) {
             TrajOutcome::Ok(frags) => {
                 all_frags.extend(frags);
                 done += 1;
+                samples_scanned += tr.len();
             }
             TrajOutcome::Repaired(frags) => {
                 counters.repaired += 1;
                 all_frags.extend(frags);
                 done += 1;
+                samples_scanned += tr.len();
             }
             TrajOutcome::Skipped(id) => {
                 counters.skipped += 1;
                 counters.skipped_ids.push(id);
                 done += 1;
+                samples_scanned += tr.len();
             }
             TrajOutcome::Failed(e) => return Err(e),
             TrajOutcome::Interrupted(why) => {
@@ -258,7 +316,12 @@ fn form_base_clusters_seq_ctl(
             }
         }
     }
-    Ok((group_into_clusters(all_frags), counters, status))
+    let keys = segment_keys(&all_frags);
+    Ok((
+        group_into_clusters(&[(all_frags, keys)], samples_scanned),
+        counters,
+        status,
+    ))
 }
 
 /// Parallel variant of [`form_base_clusters`]: trajectories are split
@@ -306,8 +369,7 @@ pub fn form_base_clusters_parallel_with_policy(
     threads: usize,
     policy: ErrorPolicy,
 ) -> Result<(Phase1Output, ResilienceCounters), NeatError> {
-    form_base_clusters_par_ctl(net, dataset, insert_junctions, threads, policy, None)
-        .map(|(out, counters, _)| (out, counters))
+    form_base_clusters_arena(net, dataset, insert_junctions, threads, policy)
 }
 
 /// Phase 1 under a [`Control`]: cooperative cancel points per trajectory
@@ -332,17 +394,6 @@ pub fn form_base_clusters_ctl(
     policy: ErrorPolicy,
     ctl: &Control,
 ) -> Result<(Phase1Output, ResilienceCounters, PhaseStatus), NeatError> {
-    form_base_clusters_par_ctl(net, dataset, insert_junctions, threads, policy, Some(ctl))
-}
-
-fn form_base_clusters_par_ctl(
-    net: &RoadNetwork,
-    dataset: &Dataset,
-    insert_junctions: bool,
-    threads: usize,
-    policy: ErrorPolicy,
-    ctl: Option<&Control>,
-) -> Result<(Phase1Output, ResilienceCounters, PhaseStatus), NeatError> {
     let exec = Executor::new(threads);
     let total = dataset.len();
     if !exec.is_parallel_for(total) {
@@ -352,68 +403,51 @@ fn form_base_clusters_par_ctl(
 
     // Each worker owns a private shortest-path engine; outcomes come back
     // in dataset order, so folding below is identical to the sequential
-    // loop. Under a control, trajectories run speculatively against
-    // recorder controls and charge the real budget in dataset order — the
-    // interrupt cut point (and therefore the delivered prefix) is
-    // bit-identical to a single-threaded run.
-    let (outcomes, halted) = match ctl {
-        Some(c) => {
-            let run = exec.try_map_ctl(
-                total,
-                c,
-                || ShortestPathEngine::new(net),
-                |i, engine, cc| match extract_with_policy(
-                    net,
-                    engine,
-                    &trajectories[i],
-                    insert_junctions,
-                    policy,
-                    Some(cc),
-                ) {
-                    TrajOutcome::Interrupted(why) => Err(why),
-                    other => Ok(other),
-                },
-            );
-            (run.items, run.halted)
-        }
-        None => {
-            let items = exec.map_ctx(
-                total,
-                || ShortestPathEngine::new(net),
-                |i, engine| {
-                    extract_with_policy(
-                        net,
-                        engine,
-                        &trajectories[i],
-                        insert_junctions,
-                        policy,
-                        None,
-                    )
-                },
-            );
-            (items, None)
-        }
-    };
+    // loop. Trajectories run speculatively against recorder controls and
+    // charge the real budget in dataset order — the interrupt cut point
+    // (and therefore the delivered prefix) is bit-identical to a
+    // single-threaded run.
+    let run = exec.try_map_ctl(
+        total,
+        ctl,
+        || ShortestPathEngine::new(net),
+        |i, engine, cc| match extract_with_policy(
+            net,
+            engine,
+            &trajectories[i],
+            insert_junctions,
+            policy,
+            Some(cc),
+        ) {
+            TrajOutcome::Interrupted(why) => Err(why),
+            other => Ok(other),
+        },
+    );
+    let (outcomes, halted) = (run.items, run.halted);
 
     let mut counters = ResilienceCounters::default();
     let mut all_frags: Vec<TFragment> = Vec::new();
     let mut done = 0usize;
+    let mut samples_scanned = 0usize;
     let mut status = PhaseStatus::Complete;
-    for outcome in outcomes {
+    for (i, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             TrajOutcome::Ok(frags) => {
                 all_frags.extend(frags);
                 done += 1;
+                samples_scanned += trajectories[i].len();
             }
             TrajOutcome::Repaired(frags) => {
                 counters.repaired += 1;
                 all_frags.extend(frags);
                 done += 1;
+                samples_scanned += trajectories[i].len();
             }
             TrajOutcome::Skipped(id) => {
                 counters.skipped += 1;
                 counters.skipped_ids.push(id);
                 done += 1;
+                samples_scanned += trajectories[i].len();
             }
             TrajOutcome::Failed(e) => return Err(e),
             // Interrupts surface through `halted`; a stray outcome here is
@@ -427,7 +461,170 @@ fn form_base_clusters_par_ctl(
     if let (PhaseStatus::Complete, Some(why)) = (&status, halted) {
         status = PhaseStatus::Partial { done, total, why };
     }
-    Ok((group_into_clusters(all_frags), counters, status))
+    let keys = segment_keys(&all_frags);
+    Ok((
+        group_into_clusters(&[(all_frags, keys)], samples_scanned),
+        counters,
+        status,
+    ))
+}
+
+/// Outcome of extracting one trajectory view on the arena fast path.
+/// Fragments go straight into the caller's shared buffer, so the
+/// outcome carries bookkeeping only.
+enum SlotOutcome {
+    Ok,
+    Repaired,
+    Skipped(TrajectoryId),
+    Failed(NeatError),
+}
+
+/// Appends one view's fragments to `out`, validating every sample's
+/// segment against the network up front. On error, `out` is left with
+/// partial fragments appended — the caller truncates back to its mark.
+///
+/// The flat pre-scan reports the same error as the legacy per-fragment
+/// post-validation: the first invalid sample's segment. (Fragments are
+/// emitted in sample order, so the first invalid fragment is the run of
+/// the first invalid sample; and when junction insertion trips first,
+/// `junction_chain` fails on the transition *into* that same sample.
+/// Pass-through fragments need no check — their segments come from the
+/// network's own router.)
+fn extract_view_into(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    view: &TrajView<'_>,
+    insert_junctions: bool,
+    out: &mut Vec<TFragment>,
+) -> Result<(), NeatError> {
+    let max = net.segment_count();
+    if let Some(&bad) = view.segs().iter().find(|&&s| s as usize >= max) {
+        // lint:allow(L4) reason=widening the u32 raw segment index back to usize is lossless
+        return Err(NeatError::UnknownSegment(SegmentId::new(bad as usize)));
+    }
+    if insert_junctions {
+        extract_fragments_view(net, engine, view, out)?;
+    } else {
+        view.split_into_fragments_into(out);
+    }
+    Ok(())
+}
+
+/// Arena-path twin of [`extract_with_policy`]: extracts one trajectory
+/// view under an error policy, appending fragments to the shared chunk
+/// buffer and rolling the buffer back on any error.
+fn extract_view_with_policy(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    view: &TrajView<'_>,
+    insert_junctions: bool,
+    policy: ErrorPolicy,
+    out: &mut Vec<TFragment>,
+) -> SlotOutcome {
+    let mark = out.len();
+    match extract_view_into(net, engine, view, insert_junctions, out) {
+        Ok(()) => SlotOutcome::Ok,
+        Err(e) => {
+            out.truncate(mark);
+            match policy {
+                ErrorPolicy::Strict => SlotOutcome::Failed(e),
+                ErrorPolicy::Skip => SlotOutcome::Skipped(view.id),
+                ErrorPolicy::Repair => {
+                    // Drop the points the network cannot place; if enough
+                    // remain to form a trajectory, extract from the rest.
+                    let kept: Vec<RoadLocation> = (0..view.len())
+                        .map(|j| view.location(j))
+                        .filter(|p| net.segment(p.segment).is_ok())
+                        .collect();
+                    if kept.len() >= 2 {
+                        if let Ok(repaired) = Trajectory::new(view.id, kept) {
+                            if let Ok(frags) =
+                                try_extract(net, engine, &repaired, insert_junctions, None)
+                            {
+                                out.extend(frags);
+                                return SlotOutcome::Repaired;
+                            }
+                        }
+                    }
+                    SlotOutcome::Skipped(view.id)
+                }
+            }
+        }
+    }
+}
+
+/// The arena fast path: the whole dataset is flattened into a
+/// [`SampleArena`] and scanned chunk by chunk via
+/// [`Executor::map_chunks`]. Each worker appends fragments for the
+/// trajectories of its chunk into one contiguous per-chunk buffer —
+/// no per-trajectory `Vec` allocations — and chunk boundaries depend
+/// only on the chunk size, so the folded fragment stream (and every
+/// downstream cluster) is bit-identical at any thread count.
+fn form_base_clusters_arena(
+    net: &RoadNetwork,
+    dataset: &Dataset,
+    insert_junctions: bool,
+    threads: usize,
+    policy: ErrorPolicy,
+) -> Result<(Phase1Output, ResilienceCounters), NeatError> {
+    let arena = SampleArena::from_dataset(dataset);
+    let exec = Executor::new(threads);
+    let n = arena.len();
+    let chunks = exec.map_chunks(
+        n,
+        || ShortestPathEngine::new(net),
+        |range, engine| {
+            // Pre-size from the chunk's sample count: fragments rarely
+            // exceed half the samples, so this usually avoids every
+            // growth-copy of the (large) fragment buffer.
+            let mut frags: Vec<TFragment> = Vec::with_capacity(arena.samples_in(range.clone()) / 2);
+            let mut meta: Vec<SlotOutcome> = Vec::with_capacity(range.len());
+            for i in range {
+                let view = arena.view(i);
+                let outcome = extract_view_with_policy(
+                    net,
+                    engine,
+                    &view,
+                    insert_junctions,
+                    policy,
+                    &mut frags,
+                );
+                let failed = matches!(outcome, SlotOutcome::Failed(_));
+                meta.push(outcome);
+                if failed {
+                    // Strict mode aborts the run; the fold below surfaces
+                    // the earliest failure in dataset order.
+                    break;
+                }
+            }
+            // Mirror the segment keys while the chunk is cache-hot: the
+            // grouping counting sort then scans compact u32 runs.
+            let keys = segment_keys(&frags);
+            (frags, keys, meta)
+        },
+    );
+
+    let mut counters = ResilienceCounters::default();
+    let mut samples_scanned = 0usize;
+    let mut frag_lists: Vec<(Vec<TFragment>, Vec<u32>)> = Vec::with_capacity(chunks.len());
+    let mut idx = 0usize;
+    for (frags, keys, meta) in chunks {
+        for outcome in meta {
+            match outcome {
+                SlotOutcome::Ok => {}
+                SlotOutcome::Repaired => counters.repaired += 1,
+                SlotOutcome::Skipped(id) => {
+                    counters.skipped += 1;
+                    counters.skipped_ids.push(id);
+                }
+                SlotOutcome::Failed(e) => return Err(e),
+            }
+            samples_scanned += arena.view(idx).len();
+            idx += 1;
+        }
+        frag_lists.push((frags, keys));
+    }
+    Ok((group_into_clusters(&frag_lists, samples_scanned), counters))
 }
 
 /// Extracts the t-fragments of one trajectory, inserting junction points at
@@ -479,10 +676,17 @@ fn extract_fragments_ctl(
         }
         // Segment transition: recover the junction chain between p and q.
         match junction_chain(net, engine, p, *q, ctl)? {
-            Some(chain) => {
-                // chain: the traversed junctions j0..jk and the segments
-                // between them (len = k, may be empty when contiguous).
-                let (junctions, mid_segments, times) = chain;
+            Some(Chain::Contiguous(jpos, jt)) => {
+                // Close the current fragment at the shared junction and
+                // reopen on q's segment from that same junction.
+                cur_last = RoadLocation::new(p.segment, jpos, jt);
+                cur_count += 1;
+                close(&mut out, cur_first, cur_last, cur_count);
+                cur_first = RoadLocation::new(q.segment, jpos, jt);
+                cur_last = *q;
+                cur_count = 2;
+            }
+            Some(Chain::Repaired(junctions, mid_segments, times)) => {
                 // Close the current fragment at the first junction.
                 let j0 = RoadLocation::new(p.segment, junctions[0], times[0]);
                 cur_last = j0;
@@ -517,13 +721,124 @@ fn extract_fragments_ctl(
     Ok(out)
 }
 
-type Chain = (Vec<neat_rnet::Point>, Vec<SegmentId>, Vec<f64>);
+/// Arena twin of [`extract_fragments_ctl`] (always uncontrolled): scans
+/// the view's dense `&[u32]` segment run for boundaries and only
+/// reconstructs `RoadLocation`s at run edges. Produces the exact same
+/// fragment stream: sample coordinates round-trip bit-identically
+/// through the arena, junction chains are computed from the same `p`/`q`
+/// pairs in the same order, and the point-count arithmetic below mirrors
+/// the legacy `cur_count` bookkeeping
+/// (`(j - run_start) + open_extra [+ 1 at a junction close]`).
+fn extract_fragments_view(
+    net: &RoadNetwork,
+    engine: &mut ShortestPathEngine,
+    view: &TrajView<'_>,
+    out: &mut Vec<TFragment>,
+) -> Result<(), NeatError> {
+    let segs = view.segs();
+    let n = segs.len();
+    let id = view.id;
+    // Current open fragment: starts at `open_first`, covers the samples
+    // `run_start..j` plus `open_extra` inserted junction points.
+    let mut run_start = 0usize;
+    let mut open_first = view.location(0);
+    let mut open_extra = 0usize;
+    let mut j = 1;
+    loop {
+        if j < n && segs[j] == segs[j - 1] {
+            j += 1;
+            continue;
+        }
+        let p = view.location(j - 1);
+        if j == n {
+            out.push(TFragment {
+                trajectory: id,
+                segment: open_first.segment,
+                first: open_first,
+                last: p,
+                point_count: (j - run_start) + open_extra,
+            });
+            return Ok(());
+        }
+        // Segment transition: recover the junction chain between p and q.
+        let q = view.location(j);
+        match junction_chain(net, engine, p, q, None)? {
+            Some(Chain::Contiguous(jpos, jt)) => {
+                // Close the current fragment at the shared junction and
+                // reopen on q's segment from that same junction.
+                out.push(TFragment {
+                    trajectory: id,
+                    segment: open_first.segment,
+                    first: open_first,
+                    last: RoadLocation::new(p.segment, jpos, jt),
+                    point_count: (j - run_start) + open_extra + 1,
+                });
+                open_first = RoadLocation::new(q.segment, jpos, jt);
+                open_extra = 1;
+            }
+            Some(Chain::Repaired(junctions, mid_segments, times)) => {
+                // Close the current fragment at the first junction.
+                let j0 = RoadLocation::new(p.segment, junctions[0], times[0]);
+                out.push(TFragment {
+                    trajectory: id,
+                    segment: open_first.segment,
+                    first: open_first,
+                    last: j0,
+                    point_count: (j - run_start) + open_extra + 1,
+                });
+                // Pass-through fragments for intermediate segments.
+                for (i, &mid) in mid_segments.iter().enumerate() {
+                    out.push(TFragment {
+                        trajectory: id,
+                        segment: mid,
+                        first: RoadLocation::new(mid, junctions[i], times[i]),
+                        last: RoadLocation::new(mid, junctions[i + 1], times[i + 1]),
+                        point_count: 2,
+                    });
+                }
+                // Open the next fragment on q's segment at the last junction.
+                open_first = RoadLocation::new(
+                    q.segment,
+                    *junctions.last().expect("chain non-empty"), // lint:allow(L1) reason=the chain loop pushes at least one junction/time first
+                    *times.last().expect("chain non-empty"), // lint:allow(L1) reason=the chain loop pushes at least one junction/time first
+                );
+                open_extra = 1;
+            }
+            None => {
+                // Unreachable gap: split without junction insertion.
+                out.push(TFragment {
+                    trajectory: id,
+                    segment: open_first.segment,
+                    first: open_first,
+                    last: p,
+                    point_count: (j - run_start) + open_extra,
+                });
+                open_first = q;
+                open_extra = 0;
+            }
+        }
+        run_start = j;
+        j += 1;
+    }
+}
+
+/// Junction chain travelled between two consecutive samples. The
+/// contiguous case — the overwhelmingly common one — carries no heap
+/// allocations, keeping the phase-1 transition loop malloc-free.
+enum Chain {
+    /// Contiguous segments: the single shared junction and its
+    /// interpolated crossing time.
+    Contiguous(neat_rnet::Point, f64),
+    /// Gap repair: the traversed junctions `j0..jk`, the segments
+    /// between them (`len = k`), and interpolated timestamps.
+    Repaired(Vec<neat_rnet::Point>, Vec<SegmentId>, Vec<f64>),
+}
 
 /// Computes the junction chain travelled between consecutive samples `p`
 /// (on segment `ep`) and `q` (on segment `eq ≠ ep`).
 ///
 /// Returns the junction positions, the intermediate segments between them
-/// (empty when the segments are contiguous) and interpolated timestamps —
+/// (none when the segments are contiguous) and interpolated timestamps —
 /// or `None` when no path connects the two segments.
 fn junction_chain(
     net: &RoadNetwork,
@@ -546,7 +861,7 @@ fn junction_chain(
         let d2 = jpos.distance(q.position);
         let total = (d1 + d2).max(1e-9);
         let t = p.time + (q.time - p.time) * d1 / total;
-        return Ok(Some((vec![jpos], vec![], vec![t])));
+        return Ok(Some(Chain::Contiguous(jpos, t)));
     }
 
     // Non-contiguous: choose the endpoint pair minimising the detour and
@@ -593,7 +908,7 @@ fn junction_chain(
         times.push(p.time + span * (travelled / total));
         prev = Some(n);
     }
-    Ok(Some((junctions, route.segments, times)))
+    Ok(Some(Chain::Repaired(junctions, route.segments, times)))
 }
 
 #[cfg(test)]
@@ -860,6 +1175,59 @@ mod tests {
                 assert_eq!(par, seq, "{policy:?} threads={threads}");
             }
         }
+    }
+
+    /// The arena fast path must reproduce the legacy per-trajectory path
+    /// exactly — clusters, counters, and the samples_scanned counter —
+    /// for every policy, junction mode, and thread count.
+    #[test]
+    fn arena_path_matches_legacy_path() {
+        let net = net5();
+        let mut data = mixed_dataset();
+        // Widen the fixture: multi-fragment trajectories, gap repair, and
+        // enough rows to cross several executor chunks.
+        for id in 100..170 {
+            let s = (id % 3) as usize;
+            data.push(traj(
+                id,
+                vec![
+                    loc(s, s as f64 * 100.0 + 20.0, 0.0),
+                    loc(s, s as f64 * 100.0 + 40.0, 5.0),
+                    loc(s + 1, (s + 1) as f64 * 100.0 + 30.0, 15.0),
+                    loc(3, 350.0, 40.0),
+                ],
+            ));
+        }
+        for insert_junctions in [false, true] {
+            for policy in [ErrorPolicy::Skip, ErrorPolicy::Repair] {
+                let ctl = Control::unlimited();
+                let (legacy, legacy_counters, status) =
+                    form_base_clusters_seq_ctl(&net, &data, insert_junctions, policy, &ctl)
+                        .unwrap();
+                assert_eq!(status, PhaseStatus::Complete);
+                for threads in [1usize, 2, 8] {
+                    let (arena, counters) =
+                        form_base_clusters_arena(&net, &data, insert_junctions, threads, policy)
+                            .unwrap();
+                    assert_eq!(
+                        arena, legacy,
+                        "junctions={insert_junctions} {policy:?} threads={threads}"
+                    );
+                    assert_eq!(counters, legacy_counters);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn samples_scanned_counts_every_processed_sample() {
+        let net = net5();
+        let data = mixed_dataset();
+        // 3 clean trajectories × 2 samples + one skipped pair + one
+        // 3-sample trajectory: every policy-processed sample counts.
+        let (out, _) =
+            form_base_clusters_with_policy(&net, &data, true, ErrorPolicy::Skip).unwrap();
+        assert_eq!(out.samples_scanned, 3 * 2 + 2 + 3);
     }
 
     #[test]

@@ -17,7 +17,6 @@ use crate::model::{BaseCluster, FlowCluster};
 use neat_exec::Executor;
 use neat_rnet::{RoadNetwork, SegmentId};
 use neat_runctl::{Control, Interrupt};
-use std::collections::HashMap;
 
 /// Output of Phase 2.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,11 +157,19 @@ fn form_flow_clusters_inner(
     // entries below and in `expand_end` rely on this bookkeeping, never on
     // caller input, so they are unreachable for malformed datasets.
     let mut pool: Vec<Option<BaseCluster>> = base_clusters.into_iter().map(Some).collect();
-    let by_segment: HashMap<SegmentId, usize> = pool
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c.as_ref().expect("fresh pool").segment(), i)) // lint:allow(L1) reason=pool slots start Some; see the invariant note above
-        .collect();
+    // Flat segment-index → pool-slot lookup (`u32::MAX` = no cluster):
+    // the adjacency probes in `expand_end` become a dense array read
+    // instead of a hash lookup. Segments outside the network are not
+    // indexed — they are unreachable from `adjacent_segments_at`, and a
+    // seed on such a segment errors in `FlowCluster::from_base` exactly
+    // as before.
+    let mut by_segment: Vec<u32> = vec![u32::MAX; net.segment_count()];
+    for (i, c) in pool.iter().enumerate() {
+        let seg = c.as_ref().expect("fresh pool").segment(); // lint:allow(L1) reason=pool slots start Some; see the invariant note above
+        if seg.index() < by_segment.len() {
+            by_segment[seg.index()] = i as u32; // lint:allow(L4) reason=pool slots are bounded by the u32-backed segment id space
+        }
+    }
 
     let total = pool.len();
     // Candidate scoring inside `expand_end` is a pure read of the pool, so
@@ -276,7 +283,7 @@ fn expand_end(
     net: &RoadNetwork,
     flow: &mut FlowCluster,
     pool: &mut [Option<BaseCluster>],
-    by_segment: &HashMap<SegmentId, usize>,
+    by_segment: &[u32],
     config: &NeatConfig,
     end: End,
     flow_idx: usize,
@@ -316,7 +323,10 @@ fn expand_end(
         let mut neigh: Vec<usize> = net
             .adjacent_segments_at(end_segment, nu)
             .into_iter()
-            .filter_map(|sid| by_segment.get(&sid).copied())
+            .filter_map(|sid| {
+                let slot = by_segment[sid.index()];
+                (slot != u32::MAX).then_some(slot as usize) // lint:allow(L4) reason=widening a u32 slot back to usize is lossless
+            })
             .filter(|&i| pool[i].as_ref().is_some_and(|c| end_cluster.netflow(c) > 0))
             .collect();
         neigh.sort_by_key(|&i| pool[i].as_ref().expect("filtered above").segment()); // lint:allow(L1) reason=the filter above keeps only populated slots

@@ -75,6 +75,9 @@ pub struct NeatResult {
     pub base_cluster_count: usize,
     /// Number of t-fragments Phase 1 extracted.
     pub fragment_count: usize,
+    /// Samples Phase 1 scanned — a deterministic work counter, identical
+    /// at every thread count (see the `pr6_frontend` bench gate).
+    pub samples_scanned: usize,
     /// Phase-2 flow clusters that passed the `minCard` filter (empty for
     /// [`Mode::Base`]).
     pub flow_clusters: Vec<FlowCluster>,
@@ -205,6 +208,7 @@ impl<'a> Neat<'a> {
         timings.phase1 = t0.elapsed();
         let base_cluster_count = p1.base_clusters.len();
         let fragment_count = p1.fragment_count;
+        let samples_scanned = p1.samples_scanned;
 
         if mode == Mode::Base {
             return Ok(NeatResult {
@@ -212,6 +216,7 @@ impl<'a> Neat<'a> {
                 base_clusters: p1.base_clusters,
                 base_cluster_count,
                 fragment_count,
+                samples_scanned,
                 flow_clusters: Vec::new(),
                 discarded_flows: 0,
                 clusters: Vec::new(),
@@ -231,6 +236,7 @@ impl<'a> Neat<'a> {
                 base_clusters: Vec::new(),
                 base_cluster_count,
                 fragment_count,
+                samples_scanned,
                 flow_clusters: p2.flow_clusters,
                 discarded_flows: p2.discarded,
                 clusters: Vec::new(),
@@ -250,6 +256,7 @@ impl<'a> Neat<'a> {
             base_clusters: Vec::new(),
             base_cluster_count,
             fragment_count,
+            samples_scanned,
             flow_clusters,
             discarded_flows: p2.discarded,
             clusters: p3.clusters,
@@ -298,6 +305,7 @@ impl<'a> Neat<'a> {
         ctl.phase_end("phase1");
         let base_cluster_count = p1.base_clusters.len();
         let fragment_count = p1.fragment_count;
+        let samples_scanned = p1.samples_scanned;
 
         if requested == Mode::Base || !s1.is_complete() {
             // Ladder bottom: deliver base-NEAT, possibly truncated.
@@ -324,6 +332,7 @@ impl<'a> Neat<'a> {
                     base_clusters: p1.base_clusters,
                     base_cluster_count,
                     fragment_count,
+                    samples_scanned,
                     flow_clusters: Vec::new(),
                     discarded_flows: 0,
                     clusters: Vec::new(),
@@ -373,6 +382,7 @@ impl<'a> Neat<'a> {
                     base_clusters: Vec::new(),
                     base_cluster_count,
                     fragment_count,
+                    samples_scanned,
                     flow_clusters: p2.flow_clusters,
                     discarded_flows: p2.discarded,
                     clusters: Vec::new(),
@@ -418,6 +428,7 @@ impl<'a> Neat<'a> {
                 base_clusters: Vec::new(),
                 base_cluster_count,
                 fragment_count,
+                samples_scanned,
                 flow_clusters,
                 discarded_flows: p2.discarded,
                 clusters: refined.output.clusters,
@@ -635,11 +646,12 @@ mod tests {
     /// which legitimately differ between two runs.
     fn fingerprint(r: &NeatResult) -> String {
         format!(
-            "{:?}|{:?}|{}|{}|{:?}|{}|{:?}|{:?}|{:?}",
+            "{:?}|{:?}|{}|{}|{}|{:?}|{}|{:?}|{:?}|{:?}",
             r.mode,
             r.base_clusters,
             r.base_cluster_count,
             r.fragment_count,
+            r.samples_scanned,
             r.flow_clusters,
             r.discarded_flows,
             r.clusters,

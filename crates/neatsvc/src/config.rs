@@ -55,6 +55,14 @@ pub struct SvcConfig {
     /// addition to the compaction every checkpoint performs as part of
     /// retention. `None` relies on checkpoint-time compaction alone.
     pub compact_every_batches: Option<usize>,
+    /// Advance the retention watermark from the injected wall clock on
+    /// idle ticks (no spool traffic), mapping one wall-clock second to
+    /// one trajectory-time unit, so windows keep closing — and drift
+    /// events keep firing — on quiet streams. Inert without both a
+    /// [`window`](SvcConfig::window) and a clock passed to
+    /// [`Service::open_with`](crate::service::Service::open_with).
+    /// `false` (the default) keeps the batch-driven-only watermark.
+    pub idle_expiry: bool,
 }
 
 impl SvcConfig {
@@ -82,6 +90,7 @@ impl SvcConfig {
             max_restarts: 8,
             window: None,
             compact_every_batches: None,
+            idle_expiry: false,
         }
     }
 }

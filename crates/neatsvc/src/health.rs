@@ -70,6 +70,11 @@ pub struct Health {
     pub expiries: u64,
     /// T-fragments removed by retention since the service opened.
     pub expired_fragments: u64,
+    /// The subset of [`expiries`](Health::expiries) driven by the
+    /// idle-stream wall clock ([`idle_expiry`]) rather than a batch.
+    ///
+    /// [`idle_expiry`]: crate::config::SvcConfig::idle_expiry
+    pub idle_expiries: u64,
     /// Cluster-drift lifecycle totals across all expiries.
     pub drift: DriftCounts,
     /// Journal compactions that completed (checkpoint retention,
@@ -98,7 +103,8 @@ impl Health {
         };
         format!(
             "applied={} accepted={} deferred={} shed={} poisoned={} spool-races={} dup-skipped={} \
-             degraded={} checkpoints={} journal-repairs={} restarts={} expiries={} expired={} \
+             degraded={} checkpoints={} journal-repairs={} restarts={} expiries={} \
+             idle-expiries={} expired={} \
              drift={} compactions={} compaction-failures={} backpressure={}{}",
             self.applied,
             self.accepted,
@@ -112,6 +118,7 @@ impl Health {
             self.journal_repairs,
             self.restarts,
             self.expiries,
+            self.idle_expiries,
             self.expired_fragments,
             self.drift.total(),
             self.compactions,

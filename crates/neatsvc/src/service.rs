@@ -198,6 +198,11 @@ pub struct Service<'n, F: Fs + Clone> {
     compaction_hold_ticks: u64,
     /// Deterministic jittered backoff for compaction retries.
     compaction_backoff: JitterBackoff<NoSleep>,
+    /// The idle-stream retention anchor ([`SvcConfig::idle_expiry`]):
+    /// the newest observation time applied so far, paired with the
+    /// clock reading taken when it was applied. Idle ticks extrapolate
+    /// the stream's observation time as `anchor + wall seconds since`.
+    idle_anchor: Option<(f64, u64)>,
     retry_probe: Option<Arc<dyn Fn() -> RetryStats + Send + Sync>>,
 }
 
@@ -274,6 +279,7 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
                 Duration::from_secs(2),
                 NoSleep,
             ),
+            idle_anchor: None,
             retry_probe: None,
         };
         svc.recover()?;
@@ -458,6 +464,12 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
                 // the Idle verdict, never correctness.
                 return Ok(TickOutcome::Worked);
             }
+            // Wall-clock retention for quiet streams: with
+            // `idle_expiry` on, an idle tick may still advance the
+            // watermark and fire drift events.
+            if self.idle_expire()? {
+                return Ok(TickOutcome::Worked);
+            }
             return Ok(TickOutcome::Idle);
         };
 
@@ -547,6 +559,21 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
             .map_err(|e| SvcError::io("remove acknowledged batch", e))?;
         self.hooks.at(Edge::SpoolRemoved);
 
+        // Re-anchor idle-stream retention at the newest observation
+        // ever applied: wall time elapsed on later idle ticks counts
+        // from here. `max` keeps the anchor monotone when batches
+        // arrive out of observation order.
+        if self.cfg.idle_expiry {
+            if let Some(clock) = &self.clock {
+                let base = self
+                    .idle_anchor
+                    .map_or(batch_max_time, |(b, _)| b.max(batch_max_time));
+                if base.is_finite() {
+                    self.idle_anchor = Some((base, clock.now_millis()));
+                }
+            }
+        }
+
         let mut degraded = outcome.interrupt.is_some() || !outcome.degradation.steps.is_empty();
         if degraded {
             self.health.degraded_batches += 1;
@@ -620,6 +647,96 @@ impl<'n, F: Fs + Clone> Service<'n, F> {
             }
         }
         Ok(TickOutcome::Worked)
+    }
+
+    /// The idle-stream watermark advance ([`SvcConfig::idle_expiry`]).
+    ///
+    /// Extrapolates the stream's observation time from the injected
+    /// wall clock (one wall-clock second = one trajectory-time unit,
+    /// counted from the newest observation applied) and expires
+    /// t-fragments that fall out of the window, exactly like the
+    /// batch-path retention block. Returns `true` when state changed
+    /// (the tick counts as [`TickOutcome::Worked`]).
+    ///
+    /// Two properties keep this safe to call every idle tick:
+    ///
+    /// * **Journal discipline** — the checkpoint journal is gapless in
+    ///   the operation-sequence domain, so every watermark advance must
+    ///   be journaled immediately. The advance is therefore gated on
+    ///   [`IncrementalNeat::oldest_retained_time`]: the watermark only
+    ///   moves when it expires at least one fragment, bounding idle
+    ///   journal appends by the retained-fragment count instead of the
+    ///   poll frequency — and letting a drain loop reach its Idle
+    ///   verdict once the stream has fully quiesced.
+    /// * **Anchored extrapolation** — with no anchor yet (fresh or
+    ///   freshly recovered session), the first idle observation anchors
+    ///   at the recovered watermark's implied observation time
+    ///   (`watermark + window`) so wall time starts counting from now,
+    ///   never from before a restart.
+    fn idle_expire(&mut self) -> Result<bool, SvcError> {
+        if !self.cfg.idle_expiry {
+            return Ok(false);
+        }
+        let (Some(window), Some(clock)) = (self.cfg.window, self.clock.as_ref()) else {
+            return Ok(false);
+        };
+        let now = clock.now_millis();
+        let Some((base, anchor_ms)) = self.idle_anchor else {
+            self.idle_anchor = self.session.watermark().map(|w| (w + window, now));
+            return Ok(false);
+        };
+        let elapsed_s = (now.saturating_sub(anchor_ms)) as f64 / 1000.0;
+        let target = base + elapsed_s - window;
+        let expirable = self
+            .session
+            .oldest_retained_time()
+            .is_some_and(|oldest| oldest < target);
+        if !expirable || !target.is_finite() || !self.session.watermark().is_none_or(|w| target > w)
+        {
+            return Ok(false);
+        }
+        match self.session.expire_before(target) {
+            Ok(mut exp) if exp.advanced => {
+                self.health.expiries += 1;
+                self.health.idle_expiries += 1;
+                self.health.expired_fragments += exp.expired_fragments as u64;
+                self.health.drift.absorb(&exp.events);
+                let drift = std::mem::take(&mut exp.events);
+                // Same divergence window as the batch path: memory is
+                // ahead of the journal until the append lands; repair a
+                // failed append with an emergency checkpoint.
+                if let Err(e) = self.store.log_expiry(self.session.batches() as u64, target) {
+                    self.health.journal_repairs += 1;
+                    self.health.last_error = Some(format!(
+                        "idle expiry journal append failed ({e}); repairing via checkpoint"
+                    ));
+                    self.mark_degraded();
+                    self.checkpoint_now()?;
+                }
+                self.cell.publish(QueryView {
+                    epoch: 0, // stamped by the cell
+                    batches: self.session.batches(),
+                    flows: self.session.flow_clusters().len(),
+                    clusters: exp.clusters,
+                    degraded: false,
+                    watermark: self.session.watermark(),
+                    live_fragments: self.session.live_fragments(),
+                    drift,
+                });
+                self.hooks.at(Edge::Published);
+                // Count toward the checkpoint cadence so a long-idle
+                // stream still snapshots (and compacts) what it expired.
+                self.batches_since_ckpt += 1;
+                Ok(true)
+            }
+            Ok(_) => Ok(false),
+            Err(e) => {
+                // Reclamation, not correctness: degrade and keep serving.
+                self.health.last_error = Some(format!("idle expiry failed: {e}"));
+                self.mark_degraded();
+                Ok(false)
+            }
+        }
     }
 
     /// Builds the per-batch [`Control`] from the configured budget,

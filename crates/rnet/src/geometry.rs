@@ -135,6 +135,83 @@ pub fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
     project_onto_segment(p, a, b).distance
 }
 
+/// Projects a *run* of points onto one segment chord — the widened,
+/// slice-in/slice-out form of [`project_onto_segment`] used to snap
+/// consecutive samples that share a matched segment.
+///
+/// `out_x`/`out_y` are cleared and filled with the snapped coordinates.
+/// Each element goes through exactly the floating-point operations of
+/// [`project_onto_segment`] in the same order, so the results are
+/// bit-identical to point-at-a-time calls; the segment-dependent terms
+/// (`b − a`, its squared length and the degeneracy test) are hoisted out
+/// of the loop, which they do not vary across, leaving a branch-light
+/// body the compiler can unroll and vectorise.
+pub fn project_run_onto_segment(
+    xs: &[f64],
+    ys: &[f64],
+    a: Point,
+    b: Point,
+    out_x: &mut Vec<f64>,
+    out_y: &mut Vec<f64>,
+) {
+    debug_assert_eq!(xs.len(), ys.len());
+    let ab = b - a;
+    let len_sq = ab.dot(ab);
+    out_x.clear();
+    out_y.clear();
+    out_x.reserve(xs.len());
+    out_y.reserve(xs.len());
+    if len_sq <= f64::EPSILON {
+        // Degenerate chord: every point snaps to t = 0. Evaluated through
+        // the same `a + ab·t` arithmetic as the scalar path so signed
+        // zeros round-trip bit-identically.
+        out_x.extend(xs.iter().map(|_| a.x + ab.x * 0.0));
+        out_y.extend(ys.iter().map(|_| a.y + ab.y * 0.0));
+        return;
+    }
+    for (&px, &py) in xs.iter().zip(ys) {
+        let t = (((px - a.x) * ab.x + (py - a.y) * ab.y) / len_sq).clamp(0.0, 1.0);
+        out_x.push(a.x + ab.x * t);
+        out_y.push(a.y + ab.y * t);
+    }
+}
+
+/// Distances from one point to a *run* of segment chords — the widened
+/// form of [`point_segment_distance`] used by the grid index to score a
+/// cell's candidate segments from their inlined endpoint arrays.
+///
+/// `out` is cleared and filled with one distance per chord. Per element
+/// the floating-point operations replicate [`project_onto_segment`]
+/// followed by [`Point::distance`] exactly (including the final
+/// `hypot`, kept for bit-identity even though it costs a libm call per
+/// element), so results match point-at-a-time evaluation bit for bit.
+pub fn point_to_segments_distances(
+    p: Point,
+    ax: &[f64],
+    ay: &[f64],
+    bx: &[f64],
+    by: &[f64],
+    out: &mut Vec<f64>,
+) {
+    debug_assert!(ax.len() == ay.len() && ax.len() == bx.len() && ax.len() == by.len());
+    out.clear();
+    out.reserve(ax.len());
+    for i in 0..ax.len() {
+        let (ax_i, ay_i) = (ax[i], ay[i]);
+        let abx = bx[i] - ax_i;
+        let aby = by[i] - ay_i;
+        let len_sq = abx * abx + aby * aby;
+        let t = if len_sq <= f64::EPSILON {
+            0.0
+        } else {
+            (((p.x - ax_i) * abx + (p.y - ay_i) * aby) / len_sq).clamp(0.0, 1.0)
+        };
+        let qx = ax_i + abx * t;
+        let qy = ay_i + aby * t;
+        out.push((p.x - qx).hypot(p.y - qy));
+    }
+}
+
 /// Axis-aligned bounding box.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Bbox {
@@ -252,7 +329,57 @@ mod tests {
         assert!(e2.cross(e1) < 0.0);
     }
 
+    #[test]
+    fn run_projection_handles_degenerate_chord() {
+        let a = Point::new(2.0, 2.0);
+        let (mut ox, mut oy) = (Vec::new(), Vec::new());
+        project_run_onto_segment(&[5.0, -1.0], &[6.0, 2.0], a, a, &mut ox, &mut oy);
+        for i in 0..2 {
+            let pr = project_onto_segment(Point::new([5.0, -1.0][i], [6.0, 2.0][i]), a, a);
+            assert_eq!(ox[i].to_bits(), pr.point.x.to_bits());
+            assert_eq!(oy[i].to_bits(), pr.point.y.to_bits());
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_run_projection_is_bit_identical(
+            pts in proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 0..40),
+            ax in -1e4..1e4f64, ay in -1e4..1e4f64,
+            bx in -1e4..1e4f64, by in -1e4..1e4f64,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            let (mut ox, mut oy) = (Vec::new(), Vec::new());
+            project_run_onto_segment(&xs, &ys, a, b, &mut ox, &mut oy);
+            for (i, &(px, py)) in pts.iter().enumerate() {
+                let pr = project_onto_segment(Point::new(px, py), a, b);
+                prop_assert_eq!(ox[i].to_bits(), pr.point.x.to_bits());
+                prop_assert_eq!(oy[i].to_bits(), pr.point.y.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_segments_distances_are_bit_identical(
+            segs in proptest::collection::vec(
+                (-1e4..1e4f64, -1e4..1e4f64, -1e4..1e4f64, -1e4..1e4f64), 0..40),
+            px in -1e4..1e4f64, py in -1e4..1e4f64,
+        ) {
+            let p = Point::new(px, py);
+            let ax: Vec<f64> = segs.iter().map(|s| s.0).collect();
+            let ay: Vec<f64> = segs.iter().map(|s| s.1).collect();
+            let bx: Vec<f64> = segs.iter().map(|s| s.2).collect();
+            let by: Vec<f64> = segs.iter().map(|s| s.3).collect();
+            let mut out = Vec::new();
+            point_to_segments_distances(p, &ax, &ay, &bx, &by, &mut out);
+            for (i, &(sax, say, sbx, sby)) in segs.iter().enumerate() {
+                let d = point_segment_distance(p, Point::new(sax, say), Point::new(sbx, sby));
+                prop_assert_eq!(out[i].to_bits(), d.to_bits());
+            }
+        }
+
         #[test]
         fn prop_triangle_inequality(ax in -1e4..1e4f64, ay in -1e4..1e4f64,
                                     bx in -1e4..1e4f64, by in -1e4..1e4f64,

@@ -221,12 +221,15 @@ impl RoadNetwork {
     /// returned, keeping the operator deterministic.
     pub fn intersection_of(&self, ei: SegmentId, ej: SegmentId) -> Option<NodeId> {
         let (si, sj) = (&self.segments[ei.index()], &self.segments[ej.index()]);
-        let mut shared: Vec<NodeId> = [si.a, si.b]
-            .into_iter()
-            .filter(|&n| sj.has_endpoint(n))
-            .collect();
-        shared.sort();
-        shared.first().copied()
+        // Allocation-free (this sits on the phase-1 transition hot path):
+        // of the up-to-two shared endpoints, return the smallest id —
+        // exactly what collect-sort-first used to produce.
+        let a = sj.has_endpoint(si.a).then_some(si.a);
+        let b = sj.has_endpoint(si.b).then_some(si.b);
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
     }
 
     /// Whether the ordered list of segments forms a route (Section II-A): a

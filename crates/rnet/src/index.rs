@@ -4,8 +4,19 @@
 //! a uniform grid over segment bounding boxes answers nearest-segment and
 //! radius queries in near-constant time for road networks, whose segments
 //! are short (~125–170 m on the paper's maps) and evenly spread.
+//!
+//! The grid is stored in compressed-sparse-row form: one flat entry array
+//! bucketed by cell, with the chord endpoint coordinates inlined next to
+//! each entry. A radius query therefore streams contiguous memory instead
+//! of chasing `Vec<Vec<_>>` and `net.segment()` pointers, and the
+//! distance evaluation runs through the widened
+//! [`crate::geometry::point_to_segments_distances`] kernel over the
+//! gathered candidate run. [`SegmentIndex::within_into`] exposes the
+//! allocation-free variant used by the map-matching hot loop, with a
+//! caller-owned [`GridScratch`] whose epoch-stamped `seen` array replaces
+//! the per-query `HashSet` dedup.
 
-use crate::geometry::{point_segment_distance, Bbox, Point};
+use crate::geometry::{point_segment_distance, point_to_segments_distances, Bbox, Point};
 use crate::graph::RoadNetwork;
 use crate::ids::SegmentId;
 
@@ -16,6 +27,54 @@ pub struct SegmentHit {
     pub segment: SegmentId,
     /// Distance from the query point to the segment chord, in metres.
     pub distance: f64,
+}
+
+/// Reusable scratch buffers for [`SegmentIndex::within_into`].
+///
+/// One instance amortizes every per-query allocation of a radius lookup:
+/// the segment-dedup table (epoch-stamped, so clearing is O(1)) and the
+/// gathered candidate run fed to the batched distance kernel. A scratch
+/// is not tied to one index; it resizes itself to whatever index it is
+/// used with.
+#[derive(Debug, Clone, Default)]
+pub struct GridScratch {
+    /// `seen[sid] == epoch` marks segment `sid` as already gathered
+    /// during the current query.
+    seen: Vec<u32>,
+    epoch: u32,
+    cand_sid: Vec<SegmentId>,
+    cand_ax: Vec<f64>,
+    cand_ay: Vec<f64>,
+    cand_bx: Vec<f64>,
+    cand_by: Vec<f64>,
+    dist: Vec<f64>,
+}
+
+impl GridScratch {
+    /// A fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new query epoch, resizing the dedup table to cover
+    /// `seg_count` segments. O(1) except on growth or epoch wraparound.
+    fn begin(&mut self, seg_count: usize) {
+        if self.seen.len() < seg_count {
+            self.seen.resize(seg_count, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wraparound (once per 2^32 queries): stale stamps could
+            // collide with the restarted epoch, so clear them all.
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.cand_sid.clear();
+        self.cand_ax.clear();
+        self.cand_ay.clear();
+        self.cand_bx.clear();
+        self.cand_by.clear();
+    }
 }
 
 /// Uniform-grid index over the chords of all segments in a network.
@@ -42,7 +101,20 @@ pub struct SegmentIndex {
     cell: f64,
     cols: usize,
     rows: usize,
-    cells: Vec<Vec<SegmentId>>,
+    /// Number of segments in the indexed network (dedup-table size).
+    seg_count: usize,
+    /// CSR bucket boundaries: cell `i` owns entries
+    /// `cell_starts[i]..cell_starts[i + 1]`; always `cols * rows + 1`
+    /// entries.
+    cell_starts: Vec<u32>,
+    /// Flat per-cell segment ids, bucketed by `cell_starts`.
+    entries: Vec<SegmentId>,
+    /// Chord endpoints aligned with `entries`, inlined so queries never
+    /// touch the network graph.
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
 }
 
 impl SegmentIndex {
@@ -64,8 +136,39 @@ impl SegmentIndex {
             cell: cell_size,
             cols,
             rows,
-            cells: vec![Vec::new(); cols * rows],
+            seg_count: net.segment_count(),
+            cell_starts: vec![0u32; cols * rows + 1],
+            entries: Vec::new(),
+            ax: Vec::new(),
+            ay: Vec::new(),
+            bx: Vec::new(),
+            by: Vec::new(),
         };
+        // Pass 1: count entries per cell into cell_starts[c + 1].
+        let mut total = 0usize;
+        for seg in net.segments() {
+            let sb = Bbox::from_corners(net.position(seg.a), net.position(seg.b));
+            let (c0, r0) = idx.cell_of(sb.min);
+            let (c1, r1) = idx.cell_of(sb.max);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    idx.cell_starts[r * idx.cols + c + 1] += 1;
+                    total += 1;
+                }
+            }
+        }
+        for i in 1..idx.cell_starts.len() {
+            idx.cell_starts[i] += idx.cell_starts[i - 1];
+        }
+        // Pass 2: fill each bucket in segment-iteration order via a
+        // per-cell cursor, preserving the order a Vec<Vec<_>> build
+        // would produce.
+        idx.entries.resize(total, SegmentId::new(0));
+        idx.ax.resize(total, 0.0);
+        idx.ay.resize(total, 0.0);
+        idx.bx.resize(total, 0.0);
+        idx.by.resize(total, 0.0);
+        let mut cursor: Vec<u32> = idx.cell_starts[..cols * rows].to_vec();
         for seg in net.segments() {
             let a = net.position(seg.a);
             let b = net.position(seg.b);
@@ -74,7 +177,13 @@ impl SegmentIndex {
             let (c1, r1) = idx.cell_of(sb.max);
             for r in r0..=r1 {
                 for c in c0..=c1 {
-                    idx.cells[r * idx.cols + c].push(seg.id);
+                    let slot = cursor[r * idx.cols + c] as usize;
+                    cursor[r * idx.cols + c] += 1;
+                    idx.entries[slot] = seg.id;
+                    idx.ax[slot] = a.x;
+                    idx.ay[slot] = a.y;
+                    idx.bx[slot] = b.x;
+                    idx.by[slot] = b.y;
                 }
             }
         }
@@ -89,46 +198,90 @@ impl SegmentIndex {
         (c, r)
     }
 
+    /// The entry range of cell `(c, r)`.
+    fn bucket(&self, c: usize, r: usize) -> (usize, usize) {
+        let i = r * self.cols + c;
+        (
+            self.cell_starts[i] as usize,
+            self.cell_starts[i + 1] as usize,
+        )
+    }
+
     /// All segments whose chord lies within `radius` of `p`, sorted by
-    /// distance then segment id (deterministic).
-    pub fn within(&self, net: &RoadNetwork, p: Point, radius: f64) -> Vec<SegmentHit> {
+    /// distance then segment id (deterministic). Convenience wrapper
+    /// over [`SegmentIndex::within_into`] that allocates fresh buffers.
+    pub fn within(&self, _net: &RoadNetwork, p: Point, radius: f64) -> Vec<SegmentHit> {
+        let mut scratch = GridScratch::new();
         let mut hits = Vec::new();
+        self.within_into(p, radius, &mut scratch, &mut hits);
+        hits
+    }
+
+    /// Allocation-reusing radius query: fills `out` with all segments
+    /// whose chord lies within `radius` of `p`, sorted by distance then
+    /// segment id. `out` is cleared first. Produces exactly the hits of
+    /// [`SegmentIndex::within`] — same candidates, same bit-exact
+    /// distances, same order.
+    pub fn within_into(
+        &self,
+        p: Point,
+        radius: f64,
+        scratch: &mut GridScratch,
+        out: &mut Vec<SegmentHit>,
+    ) {
+        out.clear();
+        scratch.begin(self.seg_count);
         let rings = (radius / self.cell).ceil() as isize + 1;
         let (pc, pr) = self.cell_of(p);
-        let mut seen = std::collections::HashSet::new();
-        for dr in -rings..=rings {
-            for dc in -rings..=rings {
-                let r = pr as isize + dr;
-                let c = pc as isize + dc;
-                if r < 0 || c < 0 || r >= self.rows as isize || c >= self.cols as isize {
+        let r0 = (pr as isize - rings).max(0) as usize;
+        let r1 = ((pr as isize + rings).min(self.rows as isize - 1)).max(0) as usize;
+        let c0 = (pc as isize - rings).max(0) as usize;
+        let c1 = ((pc as isize + rings).min(self.cols as isize - 1)).max(0) as usize;
+        // Gather the deduplicated candidate run cell by cell in row-major
+        // order (contiguous CSR reads), then evaluate all distances in
+        // one widened-kernel pass.
+        for r in r0..=r1 {
+            let (lo, hi) = (self.bucket(c0, r).0, self.bucket(c1, r).1);
+            for e in lo..hi {
+                let sid = self.entries[e];
+                let stamp = &mut scratch.seen[sid.index()];
+                if *stamp == scratch.epoch {
                     continue;
                 }
-                for &sid in &self.cells[r as usize * self.cols + c as usize] {
-                    if !seen.insert(sid) {
-                        continue;
-                    }
-                    let seg = net.segment(sid).expect("indexed segment exists"); // lint:allow(L1) reason=grid cells only hold segment ids of the indexed network
-                    let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
-                    if d <= radius {
-                        hits.push(SegmentHit {
-                            segment: sid,
-                            distance: d,
-                        });
-                    }
-                }
+                *stamp = scratch.epoch;
+                scratch.cand_sid.push(sid);
+                scratch.cand_ax.push(self.ax[e]);
+                scratch.cand_ay.push(self.ay[e]);
+                scratch.cand_bx.push(self.bx[e]);
+                scratch.cand_by.push(self.by[e]);
             }
         }
-        hits.sort_by(|x, y| {
+        point_to_segments_distances(
+            p,
+            &scratch.cand_ax,
+            &scratch.cand_ay,
+            &scratch.cand_bx,
+            &scratch.cand_by,
+            &mut scratch.dist,
+        );
+        for (i, &d) in scratch.dist.iter().enumerate() {
+            if d <= radius {
+                out.push(SegmentHit {
+                    segment: scratch.cand_sid[i],
+                    distance: d,
+                });
+            }
+        }
+        out.sort_by(|x, y| {
             x.distance
                 .total_cmp(&y.distance)
                 .then_with(|| x.segment.cmp(&y.segment))
         });
-        hits
     }
 
     /// The nearest segment to `p`, searching outward ring by ring.
     /// Returns `None` only for a network with no segments.
-    pub fn nearest(&self, net: &RoadNetwork, p: Point) -> Option<SegmentHit> {
+    pub fn nearest(&self, _net: &RoadNetwork, p: Point) -> Option<SegmentHit> {
         let max_rings = self.cols.max(self.rows) as isize + 1;
         let mut best: Option<SegmentHit> = None;
         let (pc, pr) = self.cell_of(p);
@@ -140,7 +293,7 @@ impl SegmentIndex {
                     break;
                 }
             }
-            let mut candidates: Vec<SegmentId> = Vec::new();
+            let mut candidates: Vec<(SegmentId, u32)> = Vec::new();
             for dr in -ring..=ring {
                 for dc in -ring..=ring {
                     if dr.abs() != ring && dc.abs() != ring {
@@ -151,14 +304,21 @@ impl SegmentIndex {
                     if r < 0 || c < 0 || r >= self.rows as isize || c >= self.cols as isize {
                         continue;
                     }
-                    candidates.extend(&self.cells[r as usize * self.cols + c as usize]);
+                    let (lo, hi) = self.bucket(c as usize, r as usize);
+                    for e in lo..hi {
+                        candidates.push((self.entries[e], e as u32)); // lint:allow(L4) reason=entry count bounded by 4x segment count, far below u32::MAX
+                    }
                 }
             }
-            candidates.sort();
-            candidates.dedup();
-            for sid in candidates {
-                let seg = net.segment(sid).expect("indexed segment exists"); // lint:allow(L1) reason=grid cells only hold segment ids of the indexed network
-                let d = point_segment_distance(p, net.position(seg.a), net.position(seg.b));
+            candidates.sort_by_key(|&(sid, _)| sid);
+            candidates.dedup_by_key(|&mut (sid, _)| sid);
+            for (sid, e) in candidates {
+                let e = e as usize;
+                let d = point_segment_distance(
+                    p,
+                    Point::new(self.ax[e], self.ay[e]),
+                    Point::new(self.bx[e], self.by[e]),
+                );
                 let better = match best {
                     None => true,
                     Some(b) => d < b.distance || (d == b.distance && sid < b.segment),
@@ -280,6 +440,30 @@ mod tests {
             let fast = idx.nearest(&net, p).unwrap();
             assert_eq!(fast.segment, brute.segment, "at {p}");
             assert!((fast.distance - brute.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn within_into_reuses_buffers_and_matches_within() {
+        let (net, _) = cross_net();
+        let idx = SegmentIndex::build(&net, 73.0);
+        let mut scratch = GridScratch::new();
+        let mut hits = Vec::new();
+        for &(x, y, radius) in &[
+            (500.0, 0.0, 10.0),
+            (100.0, 20.0, 25.0),
+            (333.0, -77.0, 300.0),
+            (-200.0, -200.0, 5.0),
+            (505.0, 499.0, 1200.0),
+        ] {
+            let p = Point::new(x, y);
+            idx.within_into(p, radius, &mut scratch, &mut hits);
+            let fresh = idx.within(&net, p, radius);
+            assert_eq!(hits.len(), fresh.len(), "at {p} r={radius}");
+            for (a, b) in hits.iter().zip(&fresh) {
+                assert_eq!(a.segment, b.segment);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
         }
     }
 }

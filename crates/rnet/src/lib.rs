@@ -43,7 +43,7 @@ pub use error::RnetError;
 pub use geometry::Point;
 pub use graph::{NetworkStats, RoadNetwork, RoadNetworkBuilder, Segment};
 pub use ids::{NodeId, SegmentId};
-pub use index::SegmentIndex;
+pub use index::{GridScratch, SegmentIndex};
 pub use location::RoadLocation;
 pub use path::{Route, ShortestPathEngine};
 pub use rtree::SegmentRTree;

@@ -1,0 +1,322 @@
+//! Flat struct-of-arrays sample storage for the phases 1–2 front end.
+//!
+//! A [`SampleArena`] holds every sample of a dataset in four contiguous
+//! parallel arrays (`x`, `y`, `t`, segment index) plus per-trajectory
+//! offset ranges. Scanning a trajectory's samples — the inner loop of
+//! NEAT Phase 1 — then walks a dense `&[u32]` of segment indices instead
+//! of hopping through per-trajectory `Vec<RoadLocation>` allocations,
+//! which keeps the scan in cache and lets the fragment-boundary detector
+//! run branch-light over plain integers.
+//!
+//! The arena is a *view representation*: it is built from an existing
+//! [`Dataset`] by copying the sample fields verbatim (`f64` bits are
+//! preserved exactly), and any sample can be reconstructed as a
+//! [`RoadLocation`] with identical bits. Algorithms that consume the
+//! arena therefore produce output bit-identical to the per-trajectory
+//! representation — see `DESIGN.md` §17 for the determinism argument.
+
+use crate::dataset::Dataset;
+use crate::error::TrajError;
+use crate::fragment::TFragment;
+use crate::trajectory::{Trajectory, TrajectoryId};
+use neat_rnet::{Point, RoadLocation, SegmentId};
+
+/// Contiguous struct-of-arrays storage for every sample in a dataset.
+///
+/// ```
+/// use neat_traj::{Dataset, SampleArena, Trajectory, TrajectoryId};
+/// use neat_rnet::{Point, RoadLocation, SegmentId};
+///
+/// # fn main() -> Result<(), neat_traj::TrajError> {
+/// let s = SegmentId::new(0);
+/// let mut data = Dataset::new("d");
+/// data.push(Trajectory::new(TrajectoryId::new(1), vec![
+///     RoadLocation::new(s, Point::new(0.0, 0.0), 0.0),
+///     RoadLocation::new(s, Point::new(50.0, 0.0), 5.0),
+/// ])?);
+/// let arena = SampleArena::from_dataset(&data);
+/// assert_eq!(arena.len(), 1);
+/// assert_eq!(arena.total_samples(), 2);
+/// let view = arena.view(0);
+/// assert_eq!(view.segs(), &[0, 0]);
+/// assert_eq!(view.location(1).time, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampleArena {
+    ids: Vec<TrajectoryId>,
+    /// `offsets[i]..offsets[i + 1]` is trajectory `i`'s sample range;
+    /// always `ids.len() + 1` entries (a lone `0` when empty).
+    offsets: Vec<usize>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ts: Vec<f64>,
+    /// Raw segment indices (`SegmentId::index() as u32`).
+    segs: Vec<u32>,
+}
+
+impl SampleArena {
+    /// Builds an arena from a dataset, copying every sample field
+    /// verbatim. Trajectory order and per-trajectory sample order are
+    /// preserved.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_trajectories(dataset.trajectories())
+    }
+
+    /// Builds an arena from a trajectory slice (same layout contract as
+    /// [`SampleArena::from_dataset`]).
+    pub fn from_trajectories(trajectories: &[Trajectory]) -> Self {
+        let total: usize = trajectories.iter().map(Trajectory::len).sum();
+        let mut arena = SampleArena {
+            ids: Vec::with_capacity(trajectories.len()),
+            offsets: Vec::with_capacity(trajectories.len() + 1),
+            xs: Vec::with_capacity(total),
+            ys: Vec::with_capacity(total),
+            ts: Vec::with_capacity(total),
+            segs: Vec::with_capacity(total),
+        };
+        arena.offsets.push(0);
+        for tr in trajectories {
+            arena.ids.push(tr.id());
+            let pts = tr.points();
+            arena.xs.extend(pts.iter().map(|p| p.position.x));
+            arena.ys.extend(pts.iter().map(|p| p.position.y));
+            arena.ts.extend(pts.iter().map(|p| p.time));
+            arena
+                .segs
+                .extend(pts.iter().map(|p| p.segment.index() as u32)); // lint:allow(L4) reason=SegmentId is u32-backed, so index() round-trips losslessly
+            arena.offsets.push(arena.xs.len());
+        }
+        arena
+    }
+
+    /// Number of trajectories in the arena.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the arena holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total number of samples across all trajectories.
+    pub fn total_samples(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Total samples across the trajectories in `range` — an O(1)
+    /// offsets lookup, used to pre-size per-chunk fragment buffers.
+    pub fn samples_in(&self, range: std::ops::Range<usize>) -> usize {
+        self.offsets[range.end] - self.offsets[range.start]
+    }
+
+    /// The id of trajectory `i`.
+    pub fn id(&self, i: usize) -> TrajectoryId {
+        self.ids[i]
+    }
+
+    /// A borrowed struct-of-arrays view of trajectory `i`'s samples.
+    pub fn view(&self, i: usize) -> TrajView<'_> {
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        TrajView {
+            id: self.ids[i],
+            xs: &self.xs[lo..hi],
+            ys: &self.ys[lo..hi],
+            ts: &self.ts[lo..hi],
+            segs: &self.segs[lo..hi],
+        }
+    }
+
+    /// Rebuilds the per-trajectory representation. Round-trips
+    /// bit-identically: `SampleArena::from_dataset(&d).rebuild(d.name())`
+    /// equals `d` for any valid dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrajError`] from trajectory validation; unreachable
+    /// when the arena was built from valid trajectories, whose invariants
+    /// the arena preserves.
+    pub fn rebuild(&self, name: impl Into<String>) -> Result<Dataset, TrajError> {
+        let mut out = Dataset::new(name);
+        for i in 0..self.len() {
+            let view = self.view(i);
+            let pts = (0..view.len()).map(|j| view.location(j)).collect();
+            out.push(Trajectory::new(view.id, pts)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Borrowed struct-of-arrays view of one trajectory inside a
+/// [`SampleArena`]. All slices have equal length ≥ 2.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajView<'a> {
+    /// The trajectory's id.
+    pub id: TrajectoryId,
+    xs: &'a [f64],
+    ys: &'a [f64],
+    ts: &'a [f64],
+    segs: &'a [u32],
+}
+
+impl<'a> TrajView<'a> {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always `false`: valid trajectories have at least two samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The contiguous run of raw segment indices — the fragment-boundary
+    /// scan input.
+    pub fn segs(&self) -> &'a [u32] {
+        self.segs
+    }
+
+    /// Sample x coordinates.
+    pub fn xs(&self) -> &'a [f64] {
+        self.xs
+    }
+
+    /// Sample y coordinates.
+    pub fn ys(&self) -> &'a [f64] {
+        self.ys
+    }
+
+    /// Sample timestamps.
+    pub fn ts(&self) -> &'a [f64] {
+        self.ts
+    }
+
+    /// Reconstructs sample `j` as a [`RoadLocation`] with bit-identical
+    /// fields to the original dataset point.
+    pub fn location(&self, j: usize) -> RoadLocation {
+        RoadLocation::new(
+            SegmentId::new(self.segs[j] as usize),
+            Point::new(self.xs[j], self.ys[j]),
+            self.ts[j],
+        )
+    }
+
+    /// Splits the view into t-fragments, equivalent to
+    /// [`crate::fragment::split_into_fragments`] on the rebuilt
+    /// trajectory: consecutive samples with equal segment indices group
+    /// into one fragment. The boundary detector scans the dense `u32`
+    /// run; endpoint locations are reconstructed bit-identically.
+    pub fn split_into_fragments(&self) -> Vec<TFragment> {
+        let mut out = Vec::new();
+        self.split_into_fragments_into(&mut out);
+        out
+    }
+
+    /// Appends this view's t-fragments to `out` (allocation-reusing
+    /// variant of [`TrajView::split_into_fragments`]).
+    pub fn split_into_fragments_into(&self, out: &mut Vec<TFragment>) {
+        let segs = self.segs;
+        let mut start = 0usize;
+        for i in 1..=segs.len() {
+            let boundary = i == segs.len() || segs[i] != segs[start];
+            if boundary {
+                out.push(TFragment {
+                    trajectory: self.id,
+                    segment: SegmentId::new(segs[start] as usize),
+                    first: self.location(start),
+                    last: self.location(i - 1),
+                    point_count: i - start,
+                });
+                start = i;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::split_into_fragments;
+
+    fn loc(seg: usize, x: f64, t: f64) -> RoadLocation {
+        RoadLocation::new(SegmentId::new(seg), Point::new(x, 0.5 * x), t)
+    }
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new("arena");
+        d.push(
+            Trajectory::new(
+                TrajectoryId::new(1),
+                vec![loc(0, 0.0, 0.0), loc(0, 10.0, 1.0), loc(1, 20.0, 2.0)],
+            )
+            .unwrap(),
+        );
+        d.push(
+            Trajectory::new(
+                TrajectoryId::new(7),
+                vec![loc(2, 5.0, 0.0), loc(2, 6.0, 3.0)],
+            )
+            .unwrap(),
+        );
+        d
+    }
+
+    #[test]
+    fn layout_matches_dataset() {
+        let d = dataset();
+        let a = SampleArena::from_dataset(&d);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total_samples(), 5);
+        assert_eq!(a.id(0), TrajectoryId::new(1));
+        let v = a.view(0);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.segs(), &[0, 0, 1]);
+        assert_eq!(v.ts(), &[0.0, 1.0, 2.0]);
+        let v1 = a.view(1);
+        assert_eq!(v1.segs(), &[2, 2]);
+        assert_eq!(v1.xs(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn locations_round_trip_bit_identically() {
+        let d = dataset();
+        let a = SampleArena::from_dataset(&d);
+        for (i, tr) in d.trajectories().iter().enumerate() {
+            let v = a.view(i);
+            for (j, p) in tr.points().iter().enumerate() {
+                let q = v.location(j);
+                assert_eq!(p.segment, q.segment);
+                assert_eq!(p.position.x.to_bits(), q.position.x.to_bits());
+                assert_eq!(p.position.y.to_bits(), q.position.y.to_bits());
+                assert_eq!(p.time.to_bits(), q.time.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_round_trips() {
+        let d = dataset();
+        let a = SampleArena::from_dataset(&d);
+        let back = a.rebuild(d.name()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn view_fragments_match_trajectory_fragments() {
+        let d = dataset();
+        let a = SampleArena::from_dataset(&d);
+        for (i, tr) in d.trajectories().iter().enumerate() {
+            assert_eq!(a.view(i).split_into_fragments(), split_into_fragments(tr));
+        }
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_arena() {
+        let a = SampleArena::from_dataset(&Dataset::new("e"));
+        assert!(a.is_empty());
+        assert_eq!(a.total_samples(), 0);
+        assert_eq!(a.rebuild("e").unwrap(), Dataset::new("e"));
+    }
+}

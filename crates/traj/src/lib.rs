@@ -13,11 +13,14 @@
 //! * [`TFragment`] — the paper's t-fragment ([`fragment`]),
 //! * [`Dataset`] — a named collection of trajectories with aggregate
 //!   statistics matching Table II of the paper ([`dataset`]),
+//! * [`SampleArena`] — contiguous struct-of-arrays sample storage backing
+//!   the phases 1–2 fast path ([`arena`]),
 //! * plain-text I/O for datasets ([`io`]),
 //! * ingestion sanitization with configurable error policies
 //!   ([`sanitize`]): detect, repair or quarantine corrupt GPS feeds
 //!   instead of aborting.
 
+pub mod arena;
 pub mod dataset;
 pub mod error;
 pub mod fragment;
@@ -26,6 +29,7 @@ pub mod ops;
 pub mod sanitize;
 pub mod trajectory;
 
+pub use arena::{SampleArena, TrajView};
 pub use dataset::{Dataset, DatasetStats};
 pub use error::TrajError;
 pub use fragment::TFragment;

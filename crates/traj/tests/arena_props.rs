@@ -1,0 +1,88 @@
+//! Property tests for the flat struct-of-arrays sample arena: for any
+//! valid dataset, flattening into a [`SampleArena`] and reading it back
+//! must be lossless down to the bit level — sample fields, fragment
+//! extraction, and the full rebuild round trip.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use neat_rnet::{Point, RoadLocation, SegmentId};
+use neat_traj::fragment::split_into_fragments;
+use neat_traj::{Dataset, SampleArena, Trajectory, TrajectoryId};
+use proptest::prelude::*;
+
+/// Builds a dataset from raw generated samples: a small segment universe
+/// (so runs of equal segments — multi-sample fragments — are common),
+/// strictly increasing times, and full-range coordinates.
+fn dataset_from(raw: Vec<Vec<(usize, f64, f64)>>) -> Dataset {
+    let mut d = Dataset::new("prop");
+    for (i, samples) in raw.into_iter().enumerate() {
+        let pts: Vec<RoadLocation> = samples
+            .into_iter()
+            .enumerate()
+            .map(|(j, (seg, x, y))| {
+                RoadLocation::new(SegmentId::new(seg), Point::new(x, y), j as f64)
+            })
+            .collect();
+        d.push(Trajectory::new(TrajectoryId::new(i as u64), pts).expect("valid by construction"));
+    }
+    d
+}
+
+fn raw_strategy() -> impl Strategy<Value = Vec<Vec<(usize, f64, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..6, -1.0e4f64..1.0e4, -1.0e4f64..1.0e4), 2..25),
+        0..8,
+    )
+}
+
+proptest! {
+    /// Build → iterate: every sample reads back with bit-identical
+    /// coordinates, time, and segment.
+    #[test]
+    fn arena_views_are_bit_identical_to_the_dataset(raw in raw_strategy()) {
+        let d = dataset_from(raw);
+        let arena = SampleArena::from_dataset(&d);
+        prop_assert_eq!(arena.len(), d.len());
+        let total: usize = d.trajectories().iter().map(Trajectory::len).sum();
+        prop_assert_eq!(arena.total_samples(), total);
+        for (i, tr) in d.trajectories().iter().enumerate() {
+            let view = arena.view(i);
+            prop_assert_eq!(view.id, tr.id());
+            prop_assert_eq!(view.len(), tr.len());
+            for (j, p) in tr.points().iter().enumerate() {
+                let q = view.location(j);
+                prop_assert_eq!(p.segment, q.segment);
+                prop_assert_eq!(p.position.x.to_bits(), q.position.x.to_bits());
+                prop_assert_eq!(p.position.y.to_bits(), q.position.y.to_bits());
+                prop_assert_eq!(p.time.to_bits(), q.time.to_bits());
+                prop_assert_eq!(view.segs()[j] as usize, p.segment.index());
+            }
+        }
+    }
+
+    /// Build → rebuild: the arena reconstructs the exact dataset.
+    #[test]
+    fn arena_rebuild_round_trips(raw in raw_strategy()) {
+        let d = dataset_from(raw);
+        let arena = SampleArena::from_dataset(&d);
+        let back = arena.rebuild(d.name()).expect("rebuild of valid data");
+        prop_assert_eq!(back, d);
+    }
+
+    /// Fragment extraction over the flat segment run matches the
+    /// per-trajectory splitter exactly (endpoints included, bit for bit —
+    /// TFragment derives PartialEq over its RoadLocation fields).
+    #[test]
+    fn arena_fragments_match_trajectory_fragments(raw in raw_strategy()) {
+        let d = dataset_from(raw);
+        let arena = SampleArena::from_dataset(&d);
+        for (i, tr) in d.trajectories().iter().enumerate() {
+            let view = arena.view(i);
+            prop_assert_eq!(view.split_into_fragments(), split_into_fragments(tr));
+            // The reusable-buffer variant appends the same fragments.
+            let mut buf = vec![];
+            view.split_into_fragments_into(&mut buf);
+            prop_assert_eq!(buf, split_into_fragments(tr));
+        }
+    }
+}

@@ -4,7 +4,15 @@
 use std::collections::HashMap;
 
 /// Flags that take no value.
-pub const BARE_FLAGS: [&str; 6] = ["no-elb", "full-route", "trace", "resume", "drain", "status"];
+pub const BARE_FLAGS: [&str; 7] = [
+    "no-elb",
+    "full-route",
+    "trace",
+    "resume",
+    "drain",
+    "status",
+    "idle-expiry",
+];
 
 /// Splits `args` into `--key value` / bare `--key` flags.
 ///

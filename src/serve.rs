@@ -28,8 +28,8 @@ use neat_durability::StdFs;
 use neat_rnet::{io as netio, RoadNetwork};
 use neat_runctl::{CancelToken, Clock, SystemClock};
 use neat_svc::{
-    DrainOutcome, NetConfig, NetServer, Service, ServiceStatus, SvcConfig, SvcError, TenantConfig,
-    TenantRouter,
+    DrainOutcome, NetConfig, NetServer, NoFaults, Service, ServiceStatus, SvcConfig, SvcError,
+    TenantConfig, TenantRouter,
 };
 use neat_traj::sanitize::ErrorPolicy;
 use std::collections::HashMap;
@@ -54,7 +54,7 @@ pub const SERVE_USAGE: &str = "usage:
         [--batch-max-ops N] [--batch-deadline DUR]
         [--on-error fail|skip|repair] [--min-card N] [--epsilon M]
         [--poison-after N] [--max-restarts N]
-        [--window SECONDS] [--compact-every N]
+        [--window SECONDS] [--compact-every N] [--idle-expiry]
   neatd --listen HOST:PORT --network FILE --spool DIR --state DIR
         [--quarantine DIR] [--max-tenants N] [--push-ticks N]
         [--max-conns N] [--idle-timeout DUR] [--read-timeout DUR]
@@ -68,6 +68,13 @@ grow, shrink, merge and die), and journal/checkpoint/index storage
 stays O(window) instead of growing forever. --compact-every N forces
 a journal compaction every N applied batches on top of the compaction
 each checkpoint performs.
+
+--idle-expiry (requires --window) also ticks the watermark from the
+wall clock while no traffic arrives, mapping one wall-clock second to
+one trajectory-time unit from the newest observation applied — so
+windows keep closing and drift events keep firing on quiet streams
+(and, with --listen, on quiet tenants). Without it the watermark only
+advances when a batch is applied.
 
 With --listen the daemon serves the framed TCP ingestion protocol
 (`neat push`); the three directories become per-tenant roots. SIGTERM
@@ -134,6 +141,12 @@ fn build_config(flags: &HashMap<String, String>) -> Result<SvcConfig, String> {
         }
         cfg.compact_every_batches = Some(every);
     }
+    if flags.contains_key("idle-expiry") {
+        if cfg.window.is_none() {
+            return Err("--idle-expiry requires --window".to_string());
+        }
+        cfg.idle_expiry = true;
+    }
     Ok(cfg)
 }
 
@@ -158,17 +171,25 @@ pub fn serve(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     // its counters into the health report.
     let fs = RetryFs::new(StdFs, 3, JitterBackoff::seeded(seed));
     let probe_fs = fs.clone();
-    let mut svc = match Service::open(&net, cfg, fs) {
-        Ok(svc) => svc,
-        Err(SvcError::Checkpoint(e)) => {
-            // A state directory from a different session (config or
-            // network mismatch) or beyond-repair storage damage is not
-            // recoverable by restarting with the same flags.
-            eprintln!("neatd: unrecoverable state directory: {e}");
-            return Ok(ExitCode::from(EXIT_UNRECOVERABLE));
-        }
-        Err(e) => return Err(format!("cannot start service: {e}")),
+    // The plain path normally runs clockless (deterministic ticks);
+    // idle-stream retention is the one feature that needs wall time.
+    let clock: Option<Arc<dyn Clock>> = if cfg.idle_expiry {
+        Some(Arc::new(SystemClock::new()))
+    } else {
+        None
     };
+    let mut svc =
+        match Service::open_with(&net, cfg, fs, Arc::new(NoFaults), clock, CancelToken::new()) {
+            Ok(svc) => svc,
+            Err(SvcError::Checkpoint(e)) => {
+                // A state directory from a different session (config or
+                // network mismatch) or beyond-repair storage damage is not
+                // recoverable by restarting with the same flags.
+                eprintln!("neatd: unrecoverable state directory: {e}");
+                return Ok(ExitCode::from(EXIT_UNRECOVERABLE));
+            }
+            Err(e) => return Err(format!("cannot start service: {e}")),
+        };
     svc = svc.with_retry_probe(Arc::new(move || probe_fs.stats()));
 
     eprintln!(

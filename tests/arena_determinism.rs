@@ -1,0 +1,67 @@
+//! Phase-1 bit-identity for the arena fast path: the flat SoA front end
+//! claims the exact same FP operation order per sample at every thread
+//! count, so base clusters — fragment endpoints included, bit for bit —
+//! and the deterministic work counters must not depend on `threads`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use neat_repro::mobisim::{generate_dataset, SimConfig};
+use neat_repro::neat::phase1::{
+    form_base_clusters_parallel_with_policy, form_base_clusters_with_policy,
+};
+use neat_repro::neat::ErrorPolicy;
+use neat_repro::rnet::netgen::{generate_grid_network, GridNetworkConfig};
+use neat_repro::rnet::RoadNetwork;
+use neat_repro::traj::{Dataset, Trajectory};
+use std::sync::OnceLock;
+
+/// The chaos fixture shared with `parallel_determinism`: 4×4 grid,
+/// 18 objects, seed 7.
+fn chaos_fixture() -> &'static (RoadNetwork, Dataset) {
+    static FIXTURE: OnceLock<(RoadNetwork, Dataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let net = generate_grid_network(&GridNetworkConfig::small_test(4, 4), 7);
+        let config = SimConfig {
+            num_objects: 18,
+            num_hotspots: 2,
+            num_destinations: 2,
+            sample_period_s: 4.0,
+            ..SimConfig::default()
+        };
+        let data = generate_dataset(&net, &config, 7, "chaos");
+        (net, data)
+    })
+}
+
+/// Phase 1 on the chaos fixture is byte-identical across thread counts
+/// {1, 2, 8}, for both junction modes and every error policy, and the
+/// `samples_scanned` counter equals the dataset's total sample count.
+#[test]
+fn phase1_is_bit_identical_across_threads_on_the_chaos_fixture() {
+    let (net, data) = chaos_fixture();
+    let total_samples: usize = data.trajectories().iter().map(Trajectory::len).sum();
+    for insert_junctions in [false, true] {
+        for policy in [ErrorPolicy::Strict, ErrorPolicy::Skip, ErrorPolicy::Repair] {
+            let (reference, ref_counters) =
+                form_base_clusters_with_policy(net, data, insert_junctions, policy)
+                    .expect("sequential phase 1");
+            assert_eq!(reference.samples_scanned, total_samples);
+            let want = format!("{reference:#?}\n{ref_counters:#?}");
+            for threads in [1usize, 2, 8] {
+                let (got, counters) = form_base_clusters_parallel_with_policy(
+                    net,
+                    data,
+                    insert_junctions,
+                    threads,
+                    policy,
+                )
+                .expect("parallel phase 1");
+                assert_eq!(
+                    format!("{got:#?}\n{counters:#?}"),
+                    want,
+                    "phase 1 diverged: junctions={insert_junctions} {policy:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
